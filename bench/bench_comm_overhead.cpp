@@ -1,0 +1,80 @@
+// Ablation bench for the communication model — the paper's announced future
+// work ("we plan to extend E2C with ... various communication paradigms").
+//
+// Sweeps link bandwidth for a fixed per-task payload on the heterogeneous
+// system at medium intensity and reports completion percentage per policy.
+//
+// Expected shape: completion falls monotonically (within noise) as links
+// slow down; at very high bandwidth the results converge to the no-network
+// simulation; load-aware policies retain their advantage over FCFS at every
+// bandwidth.
+#include "bench_common.hpp"
+#include "net/comm_model.hpp"
+#include "sched/registry.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+double run_cell(const e2c::sched::SystemConfig& base, double bandwidth_mb_s,
+                const std::string& policy, std::size_t replications) {
+  using namespace e2c;
+  const auto machine_types = exp::machine_types_of(base);
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    auto config = base;
+    if (bandwidth_mb_s > 0.0) {
+      config.comm = net::CommModel::uniform(
+          config.eet.task_type_count(), config.eet.machine_type_count(),
+          /*payload_mb=*/8.0, net::LinkSpec{0.01, bandwidth_mb_s});
+    }
+    const auto generator = workload::config_for_intensity(
+        config.eet, machine_types, workload::Intensity::kHigh, 150.0, 700 + rep);
+    const auto trace = workload::generate_workload(config.eet, generator);
+    sched::Simulation simulation(config, sched::make_policy(policy));
+    simulation.load(trace);
+    simulation.run();
+    total += simulation.counters().completion_percent();
+  }
+  return total / static_cast<double>(replications);
+}
+
+}  // namespace
+
+int main() {
+  using namespace e2c;
+
+  const auto base = exp::heterogeneous_classroom(2);
+  constexpr std::size_t kReps = 12;
+  // 0 = no network model (the base simulator); payload is 8 MB/task.
+  const std::vector<double> bandwidths{0.0, 64.0, 8.0, 4.0, 2.0};
+
+  std::cout << "==== communication-overhead ablation — high intensity, 8 MB/task"
+               " ====\n\nbandwidth_MBps,FCFS,MECT,MM\n";
+  std::vector<double> fcfs;
+  std::vector<double> mect;
+  std::vector<double> mm;
+  for (double bandwidth : bandwidths) {
+    fcfs.push_back(run_cell(base, bandwidth, "FCFS", kReps));
+    mect.push_back(run_cell(base, bandwidth, "MECT", kReps));
+    mm.push_back(run_cell(base, bandwidth, "MM", kReps));
+    std::cout << (bandwidth == 0.0 ? std::string("none")
+                                   : util::format_fixed(bandwidth, 0))
+              << "," << util::format_fixed(fcfs.back(), 2) << ","
+              << util::format_fixed(mect.back(), 2) << ","
+              << util::format_fixed(mm.back(), 2) << "\n";
+  }
+  std::cout << "\n";
+
+  bool ok = true;
+  ok &= bench::check(std::abs(mect[1] - mect[0]) < 3.0,
+                     "fast links converge to the no-network baseline (MECT)");
+  ok &= bench::check(mect.back() < mect[0] - 3.0,
+                     "slow links visibly cost completions (MECT)");
+  ok &= bench::check(mm.back() < mm[0] - 3.0,
+                     "slow links visibly cost completions (MM)");
+  for (std::size_t i = 0; i < bandwidths.size(); ++i) {
+    ok &= bench::check(mect[i] >= fcfs[i] - 1.0,
+                       "MECT stays at least at FCFS's level at every bandwidth");
+  }
+  return ok ? 0 : 1;
+}

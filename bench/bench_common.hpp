@@ -1,0 +1,46 @@
+// Shared scaffolding for the figure-reproduction benches: consistent spec
+// defaults, chart + CSV printing, and shape-check reporting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "viz/bar_chart.hpp"
+
+namespace e2c::bench {
+
+/// Default sweep parameters used by the figure benches. 20 replications of a
+/// 300-second arrival window keep each bench under a few seconds while
+/// giving tight confidence intervals.
+inline exp::ExperimentSpec figure_spec(sched::SystemConfig system,
+                                       std::vector<std::string> policies) {
+  exp::ExperimentSpec spec;
+  spec.system = std::move(system);
+  spec.policies = std::move(policies);
+  spec.intensities = {workload::Intensity::kLow, workload::Intensity::kMedium,
+                      workload::Intensity::kHigh};
+  spec.replications = 20;
+  spec.duration = 300.0;
+  spec.base_seed = 20230607;  // arbitrary fixed seed for reproducibility
+  return spec;
+}
+
+/// Prints the figure: title banner, grouped bar chart, CSV rows.
+inline void print_figure(const exp::ExperimentResult& result, const std::string& title) {
+  std::cout << "==== " << title << " ====\n\n";
+  std::cout << viz::render_bar_chart(exp::completion_chart(result, title)) << "\n";
+  std::cout << util::to_csv(exp::result_csv(result)) << "\n";
+}
+
+/// Reports one qualitative shape check (paper-vs-measured) and returns
+/// whether it held.
+inline bool check(bool condition, const std::string& what) {
+  std::cout << (condition ? "[shape OK]   " : "[shape FAIL] ") << what << "\n";
+  return condition;
+}
+
+}  // namespace e2c::bench

@@ -1,0 +1,91 @@
+// Ablation bench for the elasticity substrate — the "scalability" dimension
+// the paper's abstract lists among the system-level solutions students
+// examine with E2C.
+//
+// Compares a fixed 4-machine homogeneous fleet against the same fleet with
+// the autoscaler enabled (one machine always on, three elastic) at low and
+// high intensity. The homogeneous fleet makes the scale-in decision
+// unambiguous — every parked machine is interchangeable with the survivors.
+//
+// Expected shape: at LOW intensity the autoscaler parks idle machines and
+// cuts total energy substantially at (near) zero completion cost; at HIGH
+// intensity it powers everything on, converging to the static system's
+// completion while still saving the boot-lag energy slivers.
+#include "bench_common.hpp"
+#include "reports/metrics.hpp"
+#include "sched/registry.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+struct CellOutcome {
+  double completion = 0.0;
+  double energy_kj = 0.0;
+};
+
+CellOutcome run_cell(const e2c::sched::SystemConfig& base, bool elastic,
+                     e2c::workload::Intensity intensity, std::size_t replications) {
+  using namespace e2c;
+  const auto machine_types = exp::machine_types_of(base);
+  CellOutcome outcome;
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    auto config = base;
+    if (elastic) {
+      config.autoscaler.enabled = true;
+      config.autoscaler.interval = 1.0;
+      config.autoscaler.queue_high = 2;
+      config.autoscaler.queue_low = 0;
+      config.autoscaler.boot_delay = 1.0;
+      config.autoscaler.min_online = 1;
+      config.autoscaler.initially_offline = {1, 2, 3};
+    }
+    const auto generator = workload::config_for_intensity(
+        config.eet, machine_types, intensity, 150.0, 800 + rep);
+    const auto trace = workload::generate_workload(config.eet, generator);
+    sched::Simulation simulation(config, sched::make_policy("MM"));
+    simulation.load(trace);
+    simulation.run();
+    outcome.completion += simulation.counters().completion_percent();
+    outcome.energy_kj += simulation.total_energy_joules() / 1000.0;
+  }
+  outcome.completion /= static_cast<double>(replications);
+  outcome.energy_kj /= static_cast<double>(replications);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace e2c;
+  using workload::Intensity;
+
+  const auto base = exp::homogeneous_classroom(2);
+  constexpr std::size_t kReps = 12;
+
+  std::cout << "==== elasticity ablation — MM, autoscaler vs static fleet ====\n\n";
+  std::cout << "intensity,config,completion_percent,energy_kJ\n";
+  bool ok = true;
+  for (Intensity intensity : {Intensity::kLow, Intensity::kHigh}) {
+    const CellOutcome fixed = run_cell(base, false, intensity, kReps);
+    const CellOutcome elastic = run_cell(base, true, intensity, kReps);
+    for (const auto& [label, cell] :
+         {std::pair{"static", fixed}, std::pair{"elastic", elastic}}) {
+      std::cout << workload::intensity_name(intensity) << "," << label << ","
+                << util::format_fixed(cell.completion, 2) << ","
+                << util::format_fixed(cell.energy_kj, 2) << "\n";
+    }
+    if (intensity == Intensity::kLow) {
+      ok &= bench::check(elastic.energy_kj < 0.8 * fixed.energy_kj,
+                         "low intensity: autoscaler cuts energy by >20%");
+      ok &= bench::check(elastic.completion > fixed.completion - 10.0,
+                         "low intensity: the saving costs at most a few completions");
+    } else {
+      ok &= bench::check(elastic.completion > 0.75 * fixed.completion,
+                         "high intensity: the elastic fleet scales out and keeps pace");
+      ok &= bench::check(elastic.energy_kj <= fixed.energy_kj * 1.05,
+                         "high intensity: elasticity never costs extra energy");
+    }
+  }
+  std::cout << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 5 of the paper: completion percentage of the immediate
+// scheduling policies (FCFS, MECT, MEET) on a HOMOGENEOUS system at low /
+// medium / high arrival intensity.
+//
+// Expected shape (paper §4): completion % decreases with intensity; on a
+// homogeneous system the EET-aware policies cannot exploit heterogeneity, so
+// the three policies bunch together (MEET degenerates: all machines equal).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace e2c;
+  using workload::Intensity;
+
+  const auto spec = bench::figure_spec(exp::homogeneous_classroom(),
+                                       {"FCFS", "MECT", "MEET"});
+  const auto result = exp::run_experiment(spec);
+  bench::print_figure(result, "Fig. 5 — immediate policies, homogeneous system");
+
+  bool ok = true;
+  for (const std::string& policy : spec.policies) {
+    ok &= bench::check(
+        result.cell(policy, Intensity::kLow).mean_completion_percent() >
+            result.cell(policy, Intensity::kHigh).mean_completion_percent(),
+        policy + ": completion drops from low to high intensity");
+    ok &= bench::check(
+        result.cell(policy, Intensity::kLow).mean_completion_percent() >= 75.0,
+        policy + ": low intensity mostly completes");
+  }
+  // Homogeneity: MECT and FCFS both reduce to least-loaded-machine logic, so
+  // their gap stays small (within 15 points at every intensity).
+  for (Intensity intensity :
+       {Intensity::kLow, Intensity::kMedium, Intensity::kHigh}) {
+    const double gap =
+        result.cell("MECT", intensity).mean_completion_percent() -
+        result.cell("FCFS", intensity).mean_completion_percent();
+    ok &= bench::check(gap > -15.0 && gap < 15.0,
+                       std::string("MECT~FCFS bunch together at ") +
+                           workload::intensity_name(intensity) + " intensity");
+  }
+  return ok ? 0 : 1;
+}

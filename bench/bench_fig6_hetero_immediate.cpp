@@ -1,0 +1,41 @@
+// Reproduces Figure 6 of the paper: completion percentage of the immediate
+// scheduling policies (FCFS, MECT, MEET) on a HETEROGENEOUS system at low /
+// medium / high arrival intensity.
+//
+// Expected shape (paper §4): completion % decreases with intensity, and
+// "MECT performs better than FCFS" because FCFS ignores the EET matrix on a
+// system where machine speeds differ per task type.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace e2c;
+  using workload::Intensity;
+
+  const auto spec = bench::figure_spec(exp::heterogeneous_classroom(),
+                                       {"FCFS", "MECT", "MEET"});
+  const auto result = exp::run_experiment(spec);
+  bench::print_figure(result, "Fig. 6 — immediate policies, heterogeneous system");
+
+  bool ok = true;
+  for (const std::string& policy : spec.policies) {
+    ok &= bench::check(
+        result.cell(policy, Intensity::kLow).mean_completion_percent() >
+            result.cell(policy, Intensity::kHigh).mean_completion_percent(),
+        policy + ": completion drops from low to high intensity");
+  }
+  for (Intensity intensity :
+       {Intensity::kLow, Intensity::kMedium, Intensity::kHigh}) {
+    ok &= bench::check(
+        result.cell("MECT", intensity).mean_completion_percent() >
+            result.cell("FCFS", intensity).mean_completion_percent(),
+        std::string("MECT beats FCFS at ") + workload::intensity_name(intensity) +
+            " intensity (the assignment's headline lesson)");
+  }
+  // MEET is competitive at low load but saturates favourite machines as the
+  // load grows, falling behind MECT.
+  ok &= bench::check(
+      result.cell("MECT", Intensity::kHigh).mean_completion_percent() >
+          result.cell("MEET", Intensity::kHigh).mean_completion_percent(),
+      "MECT beats MEET at high intensity (MEET herds tasks onto favourites)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 7 of the paper: completion percentage of the batch
+// scheduling policies (MM, MMU, MSD) on a HETEROGENEOUS system at low /
+// medium / high arrival intensity (machine queue size 2, per Fig. 3's batch
+// configuration).
+//
+// Expected shape (paper §4): completion % decreases with intensity, and the
+// batch policies outperform immediate scheduling (FCFS is included as the
+// immediate reference series to exhibit the cross-mode comparison).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace e2c;
+  using workload::Intensity;
+
+  const auto spec = bench::figure_spec(exp::heterogeneous_classroom(/*queue=*/2),
+                                       {"MM", "MMU", "MSD", "FCFS"});
+  const auto result = exp::run_experiment(spec);
+  bench::print_figure(result,
+                      "Fig. 7 — batch policies, heterogeneous system (queue size 2)");
+
+  bool ok = true;
+  for (const std::string policy : {"MM", "MMU", "MSD"}) {
+    ok &= bench::check(
+        result.cell(policy, Intensity::kLow).mean_completion_percent() >
+            result.cell(policy, Intensity::kHigh).mean_completion_percent(),
+        std::string(policy) + ": completion drops from low to high intensity");
+    for (Intensity intensity : {Intensity::kMedium, Intensity::kHigh}) {
+      ok &= bench::check(
+          result.cell(policy, intensity).mean_completion_percent() >
+              result.cell("FCFS", intensity).mean_completion_percent(),
+          std::string(policy) + " (batch) beats FCFS (immediate) at " +
+              workload::intensity_name(intensity) + " intensity");
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Custom scheduler plug-in: the graduate part of the class assignment.
+//
+// Implements a new batch policy ("LeastLoadedFair") from scratch, registers
+// it in the policy registry, and compares it against the built-ins on the
+// heterogeneous classroom scenario — exactly the workflow the paper
+// advertises for researchers ("adding their own custom-designed scheduling
+// methods").
+//
+//   $ ./custom_scheduler
+#include <algorithm>
+#include <iostream>
+
+#include "e2c.hpp"
+
+namespace {
+
+/// A student policy: pick the pending task of the task type with the fewest
+/// completions so far (fairness), map it to the least-loaded feasible
+/// machine (not necessarily the fastest) to spread wear.
+class LeastLoadedFairPolicy final : public e2c::sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "LeastLoadedFair"; }
+  [[nodiscard]] e2c::sched::PolicyMode mode() const override {
+    return e2c::sched::PolicyMode::kBatch;
+  }
+
+  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
+      e2c::sched::SchedulingContext& context) override {
+    std::vector<e2c::sched::Assignment> assignments;
+    auto pending = context.batch_queue();
+    while (!pending.empty()) {
+      // Fairness: most-suffering task type first.
+      const auto chosen = std::min_element(
+          pending.begin(), pending.end(), [&](const auto* a, const auto* b) {
+            return context.type_ontime_rate(a->type) < context.type_ontime_rate(b->type);
+          });
+      const auto* task = *chosen;
+
+      // Least-loaded machine with space (ready time, not EET).
+      std::size_t best = context.machines().size();
+      for (std::size_t m = 0; m < context.machines().size(); ++m) {
+        const auto& view = context.machines()[m];
+        if (view.free_slots == 0) continue;
+        if (best == context.machines().size() ||
+            view.ready_time < context.machines()[best].ready_time) {
+          best = m;
+        }
+      }
+      if (best == context.machines().size()) break;  // saturated
+
+      assignments.push_back({task->id, context.machines()[best].id});
+      context.commit(*task, best);
+      pending.erase(chosen);
+    }
+    return assignments;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace e2c;
+
+  // Register the new policy — one line, same as the built-ins.
+  sched::PolicyRegistry::instance().register_policy(
+      "LeastLoadedFair", [] { return std::make_unique<LeastLoadedFairPolicy>(); });
+
+  // Compare against the built-in roster on the heterogeneous classroom
+  // system at medium and high intensity (paired workloads).
+  exp::ExperimentSpec spec;
+  spec.system = exp::heterogeneous_classroom(/*queue=*/2);
+  spec.policies = {"MM", "MSD", "FairShare", "LeastLoadedFair"};
+  spec.intensities = {workload::Intensity::kMedium, workload::Intensity::kHigh};
+  spec.replications = 10;
+  spec.duration = 150.0;
+  spec.base_seed = 2023;
+
+  const auto result = exp::run_experiment(spec);
+  std::cout << viz::render_bar_chart(
+      exp::completion_chart(result, "custom policy vs built-ins (completion %)"));
+
+  std::cout << "\nfairness across task types (Jain index, 1.0 = perfectly fair):\n";
+  for (const std::string& policy : spec.policies) {
+    std::cout << "  " << util::pad_right(policy, 16) << " "
+              << util::format_fixed(
+                     result.cell(policy, workload::Intensity::kHigh).mean_type_fairness(),
+                     4)
+              << "\n";
+  }
+  std::cout << "\nLesson: fairness-aware policies trade a little completion for a\n"
+               "more even service across task types — run the numbers above.\n";
+  return 0;
+}

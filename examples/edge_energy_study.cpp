@@ -1,0 +1,89 @@
+// Edge energy study: the research workflow of the paper's §3 ("in [15], we
+// have used E2C to examine energy efficiency and fairness of scheduling
+// methods on a heterogeneous edge").
+//
+// Models a battery-constrained edge site running ML inference task types
+// (object detection, face recognition, speech recognition) on an ARM CPU +
+// GPU + ASIC, and studies the energy/latency/fairness trade-off of MM vs
+// ELARE vs FELARE across intensities, writing a CSV a paper plot could use.
+//
+//   $ ./edge_energy_study [out.csv]
+#include <iostream>
+
+#include "e2c.hpp"
+
+int run_study(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_study(argc, argv);
+  } catch (const e2c::Error& error) {
+    std::cerr << "edge_energy_study: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+int run_study(int argc, char** argv) {
+  using namespace e2c;
+
+  // Edge site: low-power ARM host, one discrete GPU, one inference ASIC.
+  hetero::EetMatrix eet(
+      {"object-detect", "face-rec", "speech-rec"}, {"arm-cpu", "gpu", "asic"},
+      {
+          {9.0, 1.5, 1.0},  // object detection: accelerators shine
+          {7.0, 1.2, 2.5},  // face recognition: GPU best
+          {3.0, 2.0, 6.0},  // speech: CPU competitive, ASIC poor
+      });
+  sched::SystemConfig system;
+  system.eet = eet;
+  system.machine_queue_capacity = 2;
+  const auto specs = hetero::resolve_machine_types(eet.machine_type_names());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    system.machines.push_back({eet.machine_type_name(i), i, specs[i]});
+  }
+
+  exp::ExperimentSpec spec;
+  spec.system = system;
+  spec.policies = {"MM", "ELARE", "FELARE"};
+  spec.intensities = {workload::Intensity::kLow, workload::Intensity::kMedium,
+                      workload::Intensity::kHigh};
+  spec.replications = 10;
+  spec.duration = 200.0;
+  spec.base_seed = 77;
+
+  const auto result = exp::run_experiment(spec);
+  std::cout << viz::render_bar_chart(
+      exp::completion_chart(result, "edge ML: completion % by policy"));
+
+  std::cout << "\npolicy,intensity,completion_%,energy_kJ,energy_per_task_J,fairness\n";
+  std::vector<std::vector<std::string>> csv{{"policy", "intensity", "completion_percent",
+                                             "energy_kJ", "energy_per_task_J",
+                                             "fairness_jain"}};
+  for (const auto& cell : result.cells) {
+    const double per_task = cell.mean_of(
+        [](const reports::Metrics& m) { return m.energy_per_completed_task; });
+    const std::vector<std::string> row{
+        cell.policy,
+        workload::intensity_name(cell.intensity),
+        util::format_fixed(cell.mean_completion_percent(), 2),
+        util::format_fixed(cell.mean_energy_joules() / 1000.0, 2),
+        util::format_fixed(per_task, 1),
+        util::format_fixed(cell.mean_type_fairness(), 4)};
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::cout << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+    csv.push_back(row);
+  }
+
+  if (argc > 1) {
+    util::write_csv_file(argv[1], csv);
+    std::cout << "\nwrote " << argv[1] << "\n";
+  }
+
+  std::cout << "\nReading the numbers: ELARE defers infeasible tasks instead of\n"
+               "burning accelerator watts on doomed work, so its energy-per-task\n"
+               "stays lowest; FELARE gives up a little of that to keep all three\n"
+               "ML services alive (higher Jain fairness) — the trade-off studied\n"
+               "in the FELARE paper, reproduced here on synthetic hardware.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scalability study: the "scalability" system-level solution the paper's
+// abstract lists next to scheduling and load balancing.
+//
+// Two questions a student can answer with this example:
+//   1. Horizontal scaling — how does completion % grow as identical GPU
+//      workers are added to a fixed overloaded workload?
+//   2. Elasticity — what does an autoscaler save on a bursty day, and what
+//      does the boot delay cost?
+//
+//   $ ./scalability_study
+#include <iostream>
+
+#include "e2c.hpp"
+
+namespace {
+
+e2c::sched::SystemConfig fleet_of(std::size_t gpu_workers) {
+  // One ingest CPU plus N identical GPU workers.
+  std::vector<std::string> machine_names{"x86-cpu"};
+  for (std::size_t i = 0; i < gpu_workers; ++i) {
+    machine_names.push_back("gpu-" + std::to_string(i + 1));
+  }
+  std::vector<std::vector<double>> values;
+  for (const double cpu_time : {9.0, 5.0, 7.0}) {  // 3 task types
+    std::vector<double> row{cpu_time};
+    for (std::size_t i = 0; i < gpu_workers; ++i) row.push_back(cpu_time / 4.0);
+    values.push_back(row);
+  }
+  e2c::hetero::EetMatrix eet({"T1", "T2", "T3"}, machine_names, values);
+  e2c::sched::SystemConfig config;
+  config.machine_queue_capacity = 2;
+  config.machines.push_back(
+      {"x86-cpu", 0, e2c::hetero::find_machine_type("x86-cpu").value()});
+  for (std::size_t i = 0; i < gpu_workers; ++i) {
+    auto spec = e2c::hetero::find_machine_type("gpu").value();
+    spec.name = machine_names[i + 1];
+    config.machines.push_back({machine_names[i + 1], i + 1, spec});
+  }
+  config.eet = std::move(eet);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace e2c;
+
+  // ---- Part 1: horizontal scaling against a FIXED workload -----------------
+  // The workload is sized to overload the 1-GPU fleet (rho = 2 against it).
+  std::cout << "==== part 1 — horizontal scaling (fixed overloaded workload) ====\n\n";
+  const auto reference = fleet_of(1);
+  const auto reference_types = exp::machine_types_of(reference);
+  const auto generator = workload::config_for_offered_load(
+      reference.eet, reference_types, /*rho=*/2.0, /*duration=*/200.0, /*seed=*/31);
+
+  viz::BarChart chart;
+  chart.title = "completion % vs fleet size (MM)";
+  chart.groups = {"fixed workload"};
+  std::cout << "gpu_workers,completion_percent,energy_kJ\n";
+  for (std::size_t gpus : {1u, 2u, 4u, 8u}) {
+    auto config = fleet_of(gpus);
+    // The same trace must be replayable on every fleet: generate it against
+    // the reference EET (task types are shared; machine columns differ).
+    const auto trace = workload::generate_workload(reference.eet, generator);
+    std::vector<workload::Task> tasks = trace.tasks();
+    sched::Simulation simulation(config, sched::make_policy("MM"));
+    simulation.load(workload::Workload(std::move(tasks)));
+    simulation.run();
+    std::cout << gpus << ","
+              << util::format_fixed(simulation.counters().completion_percent(), 2) << ","
+              << util::format_fixed(simulation.total_energy_joules() / 1000.0, 2)
+              << "\n";
+    chart.series.push_back({std::to_string(gpus) + " gpu",
+                            {simulation.counters().completion_percent()}});
+  }
+  std::cout << "\n" << viz::render_bar_chart(chart) << "\n";
+
+  // ---- Part 2: elasticity on a bursty day ----------------------------------
+  std::cout << "==== part 2 — elasticity (bursty arrivals, 4-GPU fleet) ====\n\n";
+  auto config = fleet_of(4);
+  const auto machine_types = exp::machine_types_of(config);
+  auto burst_generator = workload::config_for_offered_load(
+      config.eet, machine_types, /*rho=*/0.6, /*duration=*/300.0, /*seed=*/32);
+  burst_generator.arrival = workload::ArrivalKind::kBurst;
+  const auto trace = workload::generate_workload(config.eet, burst_generator);
+
+  std::cout << "config,completion_percent,energy_kJ,peak_online\n";
+  for (const bool elastic : {false, true}) {
+    auto run_config = config;
+    if (elastic) {
+      run_config.autoscaler.enabled = true;
+      run_config.autoscaler.interval = 2.0;
+      run_config.autoscaler.queue_high = 4;
+      run_config.autoscaler.queue_low = 0;
+      run_config.autoscaler.boot_delay = 3.0;
+      run_config.autoscaler.min_online = 1;
+      run_config.autoscaler.initially_offline = {1, 2, 3, 4};
+    }
+    sched::Simulation simulation(run_config, sched::make_policy("MM"));
+    simulation.load(trace);
+    std::size_t peak_online = simulation.online_machine_count();
+    while (simulation.step()) {
+      peak_online = std::max(peak_online, simulation.online_machine_count());
+    }
+    std::cout << (elastic ? "elastic" : "static") << ","
+              << util::format_fixed(simulation.counters().completion_percent(), 2) << ","
+              << util::format_fixed(simulation.total_energy_joules() / 1000.0, 2) << ","
+              << peak_online << "\n";
+  }
+  std::cout << "\nLesson: throwing machines at an overloaded system has diminishing\n"
+               "returns once the batch queue drains, and an autoscaler buys most of\n"
+               "the fixed fleet's completion at a fraction of its idle energy.\n";
+  return 0;
+}

@@ -1,0 +1,328 @@
+/// \file e2c_run.cpp
+/// \brief The E2C command-line front-end.
+///
+/// Mirrors the GUI workflow without programming input from the user: load an
+/// EET CSV and a workload CSV (or generate one at a named intensity), pick a
+/// scheduling policy and machine-queue size, run (optionally animated in the
+/// terminal), and save any of the four reports plus Gantt/HTML artifacts.
+///
+/// Examples:
+///   e2c_run --eet data/eet_hetero.csv --workload data/workload_medium.csv
+///           --policy MECT --summary -
+///   e2c_run --eet data/eet_hetero.csv --generate medium --policy MM
+///           --queue-size 2 --task-report out/tasks.csv --gantt out/run.svg
+///   e2c_run --eet data/eet_hetero.csv --generate high --policy FCFS --live
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "hetero/machine_catalog.hpp"
+#include "hetero/pet_matrix.hpp"
+#include "net/comm_model.hpp"
+#include "reports/report.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "viz/ascii_view.hpp"
+#include "viz/controller.hpp"
+#include "viz/gantt_svg.hpp"
+#include "viz/html_report.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace {
+
+struct Options {
+  std::string eet_path;
+  std::string workload_path;
+  std::optional<std::string> generate_intensity;
+  std::string policy = "FCFS";
+  std::size_t queue_size = 2;
+  std::uint64_t seed = 42;
+  double duration = 200.0;
+  bool live = false;
+  double speed = 50.0;
+  std::optional<std::string> summary_out;
+  std::optional<std::string> task_out;
+  std::optional<std::string> machine_out;
+  std::optional<std::string> full_out;
+  std::optional<std::string> missed_out;
+  std::optional<std::string> trace_stats_out;
+  std::optional<std::string> gantt_out;
+  std::optional<std::string> html_out;
+  bool list_policies = false;
+  bool help = false;
+  // stochastic execution
+  std::optional<std::string> pet_kind;
+  double pet_cv = 0.3;
+  // communication model
+  std::optional<double> payload_mb;
+  double bandwidth = 100.0;
+  double link_latency = 0.0;
+  // elasticity
+  bool autoscale = false;
+};
+
+void print_usage() {
+  std::cout <<
+      R"(e2c_run — E2C heterogeneous-computing simulator (headless front-end)
+
+Inputs:
+  --eet FILE            EET matrix CSV (required unless --list-policies)
+  --workload FILE       workload trace CSV
+  --generate LEVEL      generate a workload instead: low | medium | high
+  --duration SECONDS    arrival window for --generate (default 200)
+  --seed N              generator seed (default 42)
+
+Scheduling:
+  --policy NAME         scheduling policy (default FCFS); see --list-policies
+  --queue-size N        machine queue size for batch policies (default 2,
+                        0 = unbounded; immediate policies are always unbounded)
+
+Visualization:
+  --live                animate the run in the terminal
+  --speed X             simulated seconds per wall second for --live (default 50)
+
+Substrates (optional):
+  --pet KIND            stochastic execution times: normal | uniform |
+                        exponential | lognormal (EET becomes the mean)
+  --pet-cv X            coefficient of variation for --pet (default 0.3)
+  --payload-mb X        enable the communication model with X MB per task
+  --bandwidth Y         link bandwidth MB/s for --payload-mb (default 100)
+  --latency Z           link latency seconds for --payload-mb (default 0)
+  --autoscale           elastic fleet: machine 1 always on, the rest
+                        powered by the autoscaler
+
+Reports (PATH or '-' for stdout):
+  --summary PATH        Summary Report CSV
+  --task-report PATH    Task Report CSV
+  --machine-report PATH Machine Report CSV
+  --full-report PATH    Full Report CSV
+  --missed-report PATH  Missed Tasks CSV (Fig. 4 panel)
+  --trace-stats PATH    workload analysis CSV (rates, mix, offered load)
+  --gantt PATH          execution Gantt as SVG
+  --html PATH           one-page HTML report
+
+Misc:
+  --list-policies       print registered scheduling policies and exit
+  --help                this text
+)";
+}
+
+Options parse_args(const std::vector<std::string>& args) {
+  Options options;
+  const auto need_value = [&](std::size_t i, const std::string& flag) {
+    e2c::require_input(i + 1 < args.size(), "missing value for " + flag);
+    return args[i + 1];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") options.help = true;
+    else if (arg == "--list-policies") options.list_policies = true;
+    else if (arg == "--live") options.live = true;
+    else if (arg == "--eet") options.eet_path = need_value(i++, arg);
+    else if (arg == "--workload") options.workload_path = need_value(i++, arg);
+    else if (arg == "--generate") options.generate_intensity = need_value(i++, arg);
+    else if (arg == "--policy") options.policy = need_value(i++, arg);
+    else if (arg == "--pet") options.pet_kind = need_value(i++, arg);
+    else if (arg == "--autoscale") options.autoscale = true;
+    else if (arg == "--summary") options.summary_out = need_value(i++, arg);
+    else if (arg == "--task-report") options.task_out = need_value(i++, arg);
+    else if (arg == "--machine-report") options.machine_out = need_value(i++, arg);
+    else if (arg == "--full-report") options.full_out = need_value(i++, arg);
+    else if (arg == "--missed-report") options.missed_out = need_value(i++, arg);
+    else if (arg == "--trace-stats") options.trace_stats_out = need_value(i++, arg);
+    else if (arg == "--gantt") options.gantt_out = need_value(i++, arg);
+    else if (arg == "--html") options.html_out = need_value(i++, arg);
+    else if (arg == "--queue-size") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0, "--queue-size needs an integer >= 0");
+      options.queue_size = static_cast<std::size_t>(*value);
+    } else if (arg == "--seed") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0, "--seed needs an integer >= 0");
+      options.seed = static_cast<std::uint64_t>(*value);
+    } else if (arg == "--duration") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0, "--duration needs a number > 0");
+      options.duration = *value;
+    } else if (arg == "--speed") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0, "--speed needs a number > 0");
+      options.speed = *value;
+    } else if (arg == "--pet-cv") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0, "--pet-cv needs a number >= 0");
+      options.pet_cv = *value;
+    } else if (arg == "--payload-mb") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--payload-mb needs a number >= 0");
+      options.payload_mb = *value;
+    } else if (arg == "--bandwidth") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0, "--bandwidth needs a number > 0");
+      options.bandwidth = *value;
+    } else if (arg == "--latency") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0, "--latency needs a number >= 0");
+      options.link_latency = *value;
+    } else {
+      throw e2c::InputError("unknown argument: " + arg + " (see --help)");
+    }
+  }
+  return options;
+}
+
+e2c::workload::Intensity parse_intensity(const std::string& name) {
+  using e2c::workload::Intensity;
+  if (e2c::util::iequals(name, "low")) return Intensity::kLow;
+  if (e2c::util::iequals(name, "medium")) return Intensity::kMedium;
+  if (e2c::util::iequals(name, "high")) return Intensity::kHigh;
+  throw e2c::InputError("unknown intensity '" + name + "' (low|medium|high)");
+}
+
+void write_rows(const std::optional<std::string>& path,
+                const std::vector<std::vector<std::string>>& rows) {
+  if (!path) return;
+  if (*path == "-") {
+    std::cout << e2c::util::to_csv(rows);
+  } else {
+    e2c::util::write_csv_file(*path, rows);
+    std::cout << "wrote " << *path << "\n";
+  }
+}
+
+int run(const Options& options) {
+  using namespace e2c;
+
+  if (options.help) {
+    print_usage();
+    return 0;
+  }
+  if (options.list_policies) {
+    std::cout << "registered scheduling policies:\n";
+    for (const std::string& name : sched::PolicyRegistry::instance().names()) {
+      const auto policy = sched::make_policy(name);
+      std::cout << "  " << util::pad_right(name, 10) << " ("
+                << (policy->mode() == sched::PolicyMode::kImmediate ? "immediate" : "batch")
+                << ")\n";
+    }
+    return 0;
+  }
+  require_input(!options.eet_path.empty(), "--eet is required (see --help)");
+
+  hetero::EetMatrix eet = hetero::EetMatrix::load_csv(options.eet_path);
+  sched::SystemConfig system = sched::make_default_system(eet, options.queue_size);
+
+  if (options.pet_kind) {
+    system.pet = hetero::PetMatrix::homoscedastic(
+        eet, hetero::parse_pet_kind(*options.pet_kind), options.pet_cv);
+    std::cout << "stochastic execution: " << *options.pet_kind
+              << " (cv=" << options.pet_cv << ")\n";
+  }
+  if (options.payload_mb) {
+    system.comm = net::CommModel::uniform(
+        eet.task_type_count(), eet.machine_type_count(), *options.payload_mb,
+        net::LinkSpec{options.link_latency, options.bandwidth});
+    std::cout << "communication model: " << *options.payload_mb << " MB/task at "
+              << options.bandwidth << " MB/s\n";
+  }
+  if (options.autoscale) {
+    system.autoscaler.enabled = true;
+    system.autoscaler.interval = 2.0;
+    system.autoscaler.queue_high = 4;
+    system.autoscaler.queue_low = 0;
+    system.autoscaler.boot_delay = 2.0;
+    system.autoscaler.min_online = 1;
+    for (std::size_t m = 1; m < system.machines.size(); ++m) {
+      system.autoscaler.initially_offline.push_back(m);
+    }
+    std::cout << "autoscaler enabled (machine 1 always on)\n";
+  }
+
+  workload::Workload trace;
+  if (options.generate_intensity) {
+    std::vector<hetero::MachineTypeId> machine_types;
+    for (const auto& machine : system.machines) machine_types.push_back(machine.type);
+    workload::GeneratorConfig generator = workload::config_for_intensity(
+        eet, machine_types, parse_intensity(*options.generate_intensity),
+        options.duration, options.seed);
+    trace = workload::generate_workload(eet, generator);
+    std::cout << "generated " << trace.size() << " tasks at intensity '"
+              << *options.generate_intensity << "'\n";
+  } else {
+    require_input(!options.workload_path.empty(),
+                  "either --workload or --generate is required");
+    trace = workload::Workload::load_csv(options.workload_path, eet);
+  }
+
+  viz::SimulationController controller([&] {
+    auto simulation =
+        std::make_unique<sched::Simulation>(system, sched::make_policy(options.policy));
+    simulation->load(trace);
+    return simulation;
+  });
+
+  if (options.live) {
+    controller.set_speed(options.speed);
+    viz::AsciiViewOptions view;
+    view.clear_screen = true;
+    controller.play([&](const sched::Simulation& simulation) {
+      std::cout << viz::render_frame(simulation, view) << std::flush;
+      return true;
+    });
+    view.clear_screen = false;
+    std::cout << viz::render_frame(controller.simulation(), view);
+  } else {
+    controller.run_to_completion();
+  }
+
+  const sched::Simulation& simulation = controller.simulation();
+  const auto& counters = simulation.counters();
+  std::cout << "policy=" << simulation.policy().name() << " tasks=" << counters.total
+            << " completed=" << counters.completed << " cancelled=" << counters.cancelled
+            << " dropped=" << counters.dropped << " completion="
+            << util::format_fixed(counters.completion_percent(), 2) << "%\n";
+  std::cout << viz::render_missed_panel(simulation);
+
+  write_rows(options.summary_out, reports::summary_report(simulation));
+  write_rows(options.task_out, reports::task_report(simulation));
+  write_rows(options.machine_out, reports::machine_report(simulation));
+  write_rows(options.full_out, reports::full_report(simulation));
+  write_rows(options.missed_out, reports::missed_report(simulation));
+  if (options.trace_stats_out) {
+    auto stats_rows =
+        workload::trace_stats_csv(workload::compute_trace_stats(trace, eet), eet);
+    std::vector<hetero::MachineTypeId> machine_types;
+    for (const auto& machine : system.machines) machine_types.push_back(machine.type);
+    stats_rows.push_back({"offered_load",
+                          util::format_fixed(
+                              workload::offered_load(trace, eet, machine_types), 3)});
+    write_rows(options.trace_stats_out, stats_rows);
+  }
+  if (options.gantt_out) {
+    viz::save_gantt_svg(simulation, *options.gantt_out);
+    std::cout << "wrote " << *options.gantt_out << "\n";
+  }
+  if (options.html_out) {
+    viz::save_html_report(simulation, *options.html_out);
+    std::cout << "wrote " << *options.html_out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args({argv + 1, argv + argc}));
+  } catch (const e2c::Error& error) {
+    std::cerr << "e2c_run: " << error.what() << "\n";
+    return 1;
+  }
+}

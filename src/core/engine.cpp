@@ -1,0 +1,71 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace e2c::core {
+
+EventId Engine::schedule_at(SimTime time, EventPriority priority, std::string label,
+                            EventFn fn) {
+  e2c::require(time >= now_ - kTimeEpsilon,
+               "Engine::schedule_at in the past: t=" + std::to_string(time) +
+                   " now=" + std::to_string(now_));
+  // Clamp tiny negative drift so the calendar never goes backwards.
+  const SimTime when = std::max(time, now_);
+  return queue_.schedule(when, priority, std::move(label), std::move(fn));
+}
+
+EventId Engine::schedule_in(SimTime delay, EventPriority priority, std::string label,
+                            EventFn fn) {
+  e2c::require(delay >= 0.0, "Engine::schedule_in negative delay");
+  return schedule_at(now_ + delay, priority, std::move(label), std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+
+void Engine::dispatch_one() {
+  auto popped = queue_.pop();
+  now_ = popped.record.time;
+  ++processed_;
+  for (EngineObserver* observer : observers_) observer->on_event(popped.record);
+  if (popped.fn) popped.fn();
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  dispatch_one();
+  for (EngineObserver* observer : observers_) observer->on_idle(now_);
+  return true;
+}
+
+void Engine::run_until(SimTime horizon) {
+  while (!queue_.empty() && *queue_.next_time() <= horizon) dispatch_one();
+  if (now_ < horizon && horizon < kTimeInfinity) now_ = horizon;
+  for (EngineObserver* observer : observers_) observer->on_idle(now_);
+}
+
+void Engine::run() {
+  while (!queue_.empty()) dispatch_one();
+  for (EngineObserver* observer : observers_) observer->on_idle(now_);
+}
+
+void Engine::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  processed_ = 0;
+}
+
+void Engine::add_observer(EngineObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) != observers_.end()) return;
+  observers_.push_back(observer);
+}
+
+void Engine::remove_observer(EngineObserver* observer) noexcept {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+}  // namespace e2c::core

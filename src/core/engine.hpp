@@ -1,0 +1,94 @@
+/// \file engine.hpp
+/// \brief The discrete-event engine: clock, calendar, observers, stepping.
+///
+/// The engine is deliberately model-agnostic: machines, schedulers and
+/// workloads (higher layers) interact with it only through schedule()/
+/// cancel() and the clock. The GUI-replacement visualizer and the trace
+/// recorder attach as observers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/event_queue.hpp"
+
+namespace e2c::core {
+
+/// Receives notifications as the engine processes events. Observers must not
+/// mutate the engine (they may schedule follow-up work via the model layer).
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// Called immediately before an event's callback executes.
+  virtual void on_event(const EventRecord& record) = 0;
+
+  /// Called when run()/run_until()/step() finishes a processing burst.
+  virtual void on_idle(SimTime now) { (void)now; }
+};
+
+/// Discrete-event simulation engine.
+///
+/// Not thread-safe: one engine per thread. Experiment replications each own
+/// a private engine (C++ Core Guidelines CP.2/CP.3 — no shared mutable
+/// state between parallel replications).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules \p fn at absolute time \p time. Requires time >= now().
+  EventId schedule_at(SimTime time, EventPriority priority, std::string label, EventFn fn);
+
+  /// Schedules \p fn at now() + delay. Requires delay >= 0.
+  EventId schedule_in(SimTime delay, EventPriority priority, std::string label, EventFn fn);
+
+  /// Cancels a pending event; false if already fired or unknown.
+  bool cancel(EventId id);
+
+  /// Processes exactly one event if any is pending. This is the backing of
+  /// the GUI "Increment" button. Returns true if an event was processed.
+  bool step();
+
+  /// Runs until the calendar is empty or \p horizon is passed. Events at
+  /// exactly \p horizon are processed.
+  void run_until(SimTime horizon);
+
+  /// Runs until the calendar is empty.
+  void run();
+
+  /// Clears the calendar and rewinds the clock to zero (GUI "Reset"; the
+  /// model layer rebuilds its state and reschedules arrivals afterwards).
+  void reset();
+
+  /// Registers an observer (not owned; must outlive the engine or be
+  /// removed). Duplicate registration is ignored.
+  void add_observer(EngineObserver* observer);
+
+  /// Unregisters an observer; no-op if absent.
+  void remove_observer(EngineObserver* observer) noexcept;
+
+  /// Number of events processed since construction/reset.
+  [[nodiscard]] std::uint64_t processed_count() const noexcept { return processed_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending_count() const noexcept { return queue_.size(); }
+
+  /// Metadata of the next pending event (for the step-mode UI), if any.
+  [[nodiscard]] std::optional<EventRecord> peek_next() const { return queue_.peek(); }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  std::vector<EngineObserver*> observers_;
+};
+
+}  // namespace e2c::core

@@ -1,0 +1,50 @@
+/// \file event.hpp
+/// \brief Event identity, ordering and metadata for the discrete-event core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/sim_time.hpp"
+
+namespace e2c::core {
+
+/// Ordering class for events that share a timestamp. Lower values execute
+/// first. The order encodes E2C's simulation semantics:
+///  - a task completing exactly at its deadline counts as completed, so
+///    completions run before deadline checks;
+///  - deadline checks run before new arrivals so a stale task never occupies
+///    a queue slot an arriving task could use;
+///  - scheduler invocations run after the arrivals that triggered them.
+enum class EventPriority : std::uint8_t {
+  kCompletion = 0,   ///< task finishes executing on a machine
+  kDeadline = 1,     ///< deadline check (cancel / drop)
+  kArrival = 2,      ///< task arrives into the batch queue
+  kSchedule = 3,     ///< scheduler invocation
+  kControl = 4,      ///< bookkeeping (end-of-run, observers, snapshots)
+};
+
+/// Display name of a priority class ("completion", "arrival", ...).
+[[nodiscard]] const char* event_priority_name(EventPriority priority) noexcept;
+
+/// Unique handle for a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// Reserved id meaning "no event".
+inline constexpr EventId kNoEvent = 0;
+
+/// Callback executed when an event fires. Runs with the engine clock already
+/// advanced to the event's time.
+using EventFn = std::function<void()>;
+
+/// Immutable metadata describing one processed (or pending) event; consumed
+/// by observers, the trace recorder and the step-mode visualizer.
+struct EventRecord {
+  EventId id = kNoEvent;
+  SimTime time = 0.0;
+  EventPriority priority = EventPriority::kControl;
+  std::string label;  ///< human-readable description, e.g. "arrival task=7"
+};
+
+}  // namespace e2c::core

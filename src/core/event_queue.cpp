@@ -1,0 +1,64 @@
+#include "core/event_queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace e2c::core {
+
+const char* event_priority_name(EventPriority priority) noexcept {
+  switch (priority) {
+    case EventPriority::kCompletion: return "completion";
+    case EventPriority::kDeadline: return "deadline";
+    case EventPriority::kArrival: return "arrival";
+    case EventPriority::kSchedule: return "schedule";
+    case EventPriority::kControl: return "control";
+  }
+  return "unknown";
+}
+
+EventId EventQueue::schedule(SimTime time, EventPriority priority, std::string label,
+                             EventFn fn) {
+  const EventId id = next_id_++;
+  const OrderKey key{time, priority, next_sequence_++};
+  by_order_.emplace(key, Entry{id, std::move(label), std::move(fn)});
+  by_id_.emplace(id, key);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  by_order_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+std::optional<SimTime> EventQueue::next_time() const noexcept {
+  if (by_order_.empty()) return std::nullopt;
+  return by_order_.begin()->first.time;
+}
+
+std::optional<EventRecord> EventQueue::peek() const {
+  if (by_order_.empty()) return std::nullopt;
+  const auto& [key, entry] = *by_order_.begin();
+  return EventRecord{entry.id, key.time, key.priority, entry.label};
+}
+
+EventQueue::PoppedEvent EventQueue::pop() {
+  e2c::require(!by_order_.empty(), "EventQueue::pop on empty queue");
+  auto first = by_order_.begin();
+  PoppedEvent popped{EventRecord{first->second.id, first->first.time,
+                                 first->first.priority, std::move(first->second.label)},
+                     std::move(first->second.fn)};
+  by_id_.erase(first->second.id);
+  by_order_.erase(first);
+  return popped;
+}
+
+void EventQueue::clear() noexcept {
+  by_order_.clear();
+  by_id_.clear();
+}
+
+}  // namespace e2c::core

@@ -1,0 +1,78 @@
+/// \file event_queue.hpp
+/// \brief Pending-event calendar with deterministic total ordering and
+/// O(log n) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/event.hpp"
+
+namespace e2c::core {
+
+/// Priority calendar ordered by (time, priority class, insertion sequence).
+///
+/// The insertion sequence is the tiebreaker of last resort, which makes the
+/// processing order a deterministic function of the schedule() call order —
+/// the property E2C's replay/step debugging relies on.
+///
+/// Implemented over std::map keyed by the ordering tuple: pop-min, insert and
+/// cancel are all O(log n), and cancellation physically removes the entry
+/// (no tombstones), keeping size() exact for the GUI's pending-event count.
+class EventQueue {
+ public:
+  /// Inserts an event; returns its unique id (never kNoEvent).
+  EventId schedule(SimTime time, EventPriority priority, std::string label, EventFn fn);
+
+  /// Removes a pending event. Returns false if the id is unknown or the
+  /// event already fired.
+  bool cancel(EventId id);
+
+  /// Time of the earliest pending event, or nullopt when empty.
+  [[nodiscard]] std::optional<SimTime> next_time() const noexcept;
+
+  /// Metadata of the earliest pending event without removing it.
+  [[nodiscard]] std::optional<EventRecord> peek() const;
+
+  /// Removes and returns the earliest pending event (record + callback).
+  /// Requires !empty().
+  struct PoppedEvent {
+    EventRecord record;
+    EventFn fn;
+  };
+  [[nodiscard]] PoppedEvent pop();
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return by_order_.size(); }
+
+  /// True when no events are pending.
+  [[nodiscard]] bool empty() const noexcept { return by_order_.empty(); }
+
+  /// Discards all pending events (used by reset).
+  void clear() noexcept;
+
+ private:
+  struct OrderKey {
+    SimTime time;
+    EventPriority priority;
+    std::uint64_t sequence;
+    bool operator<(const OrderKey& other) const noexcept {
+      if (time != other.time) return time < other.time;
+      if (priority != other.priority) return priority < other.priority;
+      return sequence < other.sequence;
+    }
+  };
+  struct Entry {
+    EventId id;
+    std::string label;
+    EventFn fn;
+  };
+
+  std::map<OrderKey, Entry> by_order_;
+  std::map<EventId, OrderKey> by_id_;
+  std::uint64_t next_sequence_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace e2c::core

@@ -1,0 +1,31 @@
+/// \file sim_time.hpp
+/// \brief Simulation time representation and helpers.
+///
+/// E2C uses continuous simulated seconds, matching the original simulator's
+/// display (e.g. arrival 12.90, start 42.21). Determinism is achieved by a
+/// total event ordering (time, priority class, insertion sequence) rather
+/// than by quantizing time.
+#pragma once
+
+#include <limits>
+
+namespace e2c::core {
+
+/// Simulated seconds since the start of the run.
+using SimTime = double;
+
+/// Sentinel meaning "never" / unbounded horizon.
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Tolerance used when comparing computed simulation times that should be
+/// mathematically equal (guards against floating-point drift in tests and
+/// deadline comparisons are done with <= so an exact tie counts as on-time).
+inline constexpr SimTime kTimeEpsilon = 1e-9;
+
+/// True if two times are equal within kTimeEpsilon.
+[[nodiscard]] constexpr bool time_close(SimTime a, SimTime b) noexcept {
+  const SimTime diff = a > b ? a - b : b - a;
+  return diff <= kTimeEpsilon;
+}
+
+}  // namespace e2c::core

@@ -1,0 +1,42 @@
+#include "core/trace.hpp"
+
+#include "util/string_util.hpp"
+
+namespace e2c::core {
+
+TraceRecorder::TraceRecorder(Engine& engine) : engine_(engine) {
+  engine_.add_observer(this);
+}
+
+TraceRecorder::~TraceRecorder() { engine_.remove_observer(this); }
+
+void TraceRecorder::on_event(const EventRecord& record) { records_.push_back(record); }
+
+std::vector<std::vector<std::string>> TraceRecorder::to_csv_rows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records_.size() + 1);
+  rows.push_back({"time", "priority", "label"});
+  for (const auto& record : records_) {
+    rows.push_back({util::format_fixed(record.time, 4),
+                    event_priority_name(record.priority), record.label});
+  }
+  return rows;
+}
+
+bool TraceRecorder::is_monotonic() const noexcept {
+  const auto pre_scheduled = [](EventPriority priority) {
+    return priority <= EventPriority::kArrival;
+  };
+  for (std::size_t i = 1; i < records_.size(); ++i) {
+    const auto& prev = records_[i - 1];
+    const auto& curr = records_[i];
+    if (curr.time < prev.time) return false;
+    if (curr.time == prev.time && pre_scheduled(curr.priority) &&
+        pre_scheduled(prev.priority) && curr.priority < prev.priority) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace e2c::core

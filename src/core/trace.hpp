@@ -1,0 +1,56 @@
+/// \file trace.hpp
+/// \brief Event trace recorder: the machine-readable counterpart of the
+/// GUI's live animation.
+///
+/// Attach a TraceRecorder to an Engine to capture every processed event.
+/// Tests use it to assert ordering invariants; the visualizer uses it to
+/// replay a finished run; the CLI can dump it as CSV for students who want
+/// to inspect every simulation action (the paper's step-by-step analysis
+/// use-case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace e2c::core {
+
+/// Records every event an engine processes, in order.
+class TraceRecorder final : public EngineObserver {
+ public:
+  /// Attaches to \p engine for its lifetime (caller removes on teardown).
+  explicit TraceRecorder(Engine& engine);
+  ~TraceRecorder() override;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void on_event(const EventRecord& record) override;
+
+  /// All recorded events, oldest first.
+  [[nodiscard]] const std::vector<EventRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Forgets all recorded events.
+  void clear() noexcept { records_.clear(); }
+
+  /// Renders the trace as CSV rows: time,priority,label.
+  [[nodiscard]] std::vector<std::vector<std::string>> to_csv_rows() const;
+
+  /// True if recorded timestamps are non-decreasing AND same-time events of
+  /// the pre-scheduled classes (completion, deadline, arrival) are ordered
+  /// by priority class. Those three are always inserted strictly before
+  /// their fire time, so the calendar guarantees their relative order;
+  /// schedule/control events may legitimately be injected mid-timestamp by
+  /// a handler (e.g. a machine coming online requests a scheduler pass at
+  /// the same instant) and are exempt from the priority check.
+  [[nodiscard]] bool is_monotonic() const noexcept;
+
+ private:
+  Engine& engine_;
+  std::vector<EventRecord> records_;
+};
+
+}  // namespace e2c::core

@@ -1,0 +1,58 @@
+/// \file quiz.hpp
+/// \brief The pre/post scheduling quiz of the paper's evaluation (§5).
+///
+/// "The quizzes asked the students to map three arriving tasks to four
+/// heterogeneous machines via the following scheduling methods: MEET, MECT,
+/// MM, and MSD" — 12 points total (3 tasks x 4 methods). This module
+/// reproduces the computational core: it derives the ground-truth mappings
+/// by running the actual policies on the quiz scenario and auto-grades
+/// answer sheets, which is precisely how the instructors graded.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "workload/task.hpp"
+
+namespace e2c::edu {
+
+/// The quiz's static situation: tasks present at time zero, idle machines.
+struct QuizScenario {
+  hetero::EetMatrix eet;             ///< 3 task types x 4 machines
+  std::vector<workload::Task> tasks; ///< the three arriving tasks (with deadlines)
+};
+
+/// The default quiz used in the course: three tasks, four machines with an
+/// inconsistent EET, deadlines chosen so MSD and MM order differently.
+[[nodiscard]] QuizScenario default_quiz();
+
+/// A (task -> machine) mapping for one scheduling method.
+using MethodAnswer = std::map<workload::TaskId, hetero::MachineId>;
+
+/// A full answer sheet: method name -> mapping. Methods are the quiz's four:
+/// "MEET", "MECT", "MM", "MSD".
+using AnswerSheet = std::map<std::string, MethodAnswer>;
+
+/// The quiz's method list, in grading order.
+[[nodiscard]] const std::vector<std::string>& quiz_methods();
+
+/// Computes the correct mapping for \p method by running the real policy on
+/// the scenario (machines idle, all tasks in the batch queue). Throws
+/// e2c::InputError for methods outside quiz_methods().
+[[nodiscard]] MethodAnswer solve_method(const QuizScenario& scenario,
+                                        const std::string& method);
+
+/// The full ground-truth answer sheet.
+[[nodiscard]] AnswerSheet solve_quiz(const QuizScenario& scenario);
+
+/// Grades an answer sheet: one point per (method, task) whose machine
+/// matches the ground truth; maximum = methods x tasks (12 for the default
+/// quiz). Missing methods/tasks score zero for the missing entries.
+[[nodiscard]] int grade(const QuizScenario& scenario, const AnswerSheet& answers);
+
+/// Maximum attainable score for a scenario.
+[[nodiscard]] int max_score(const QuizScenario& scenario);
+
+}  // namespace e2c::edu

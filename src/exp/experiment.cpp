@@ -1,0 +1,153 @@
+#include "exp/experiment.hpp"
+
+#include <future>
+
+#include "exp/scenario.hpp"
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace e2c::exp {
+
+double CellResult::mean_of(double (*field)(const reports::Metrics&)) const {
+  if (runs.empty()) return 0.0;
+  double total = 0.0;
+  for (const reports::Metrics& metrics : runs) total += field(metrics);
+  return total / static_cast<double>(runs.size());
+}
+
+double CellResult::mean_completion_percent() const {
+  return mean_of([](const reports::Metrics& m) { return m.completion_percent; });
+}
+
+double CellResult::ci95_completion_percent() const {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const reports::Metrics& metrics : runs) values.push_back(metrics.completion_percent);
+  return util::ci95_half_width(values);
+}
+
+double CellResult::mean_energy_joules() const {
+  return mean_of([](const reports::Metrics& m) { return m.total_energy_joules; });
+}
+
+double CellResult::mean_type_fairness() const {
+  return mean_of([](const reports::Metrics& m) { return m.type_fairness_jain; });
+}
+
+const CellResult& ExperimentResult::cell(const std::string& policy,
+                                         workload::Intensity intensity) const {
+  for (const CellResult& c : cells) {
+    if (c.policy == policy && c.intensity == intensity) return c;
+  }
+  throw InputError("experiment: no cell for policy '" + policy + "' at intensity '" +
+                   workload::intensity_name(intensity) + "'");
+}
+
+std::uint64_t workload_seed(std::uint64_t base_seed, workload::Intensity intensity,
+                            std::size_t replication) noexcept {
+  // SplitMix-style mixing keeps distinct (intensity, rep) pairs independent
+  // while remaining a pure function of the inputs.
+  std::uint64_t state = base_seed ^ (0x632BE59BD9B4E019ULL *
+                                     (static_cast<std::uint64_t>(intensity) + 1));
+  state ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
+  return util::splitmix64(state);
+}
+
+namespace {
+
+reports::Metrics run_single(const ExperimentSpec& spec, const std::string& policy_name,
+                            workload::Intensity intensity, std::size_t replication) {
+  const auto machine_types = machine_types_of(spec.system);
+  workload::GeneratorConfig generator = workload::config_for_intensity(
+      spec.system.eet, machine_types, intensity, spec.duration,
+      workload_seed(spec.base_seed, intensity, replication));
+  generator.arrival = spec.arrival;
+  generator.deadline_factor_lo = spec.deadline_factor_lo;
+  generator.deadline_factor_hi = spec.deadline_factor_hi;
+  const workload::Workload trace = workload::generate_workload(spec.system.eet, generator);
+
+  sched::Simulation simulation(spec.system, sched::make_policy(policy_name));
+  simulation.load(trace);
+  simulation.run();
+  return reports::compute_metrics(simulation);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers) {
+  require_input(!spec.policies.empty(), "experiment: no policies");
+  require_input(!spec.intensities.empty(), "experiment: no intensities");
+  require_input(spec.replications > 0, "experiment: replications must be > 0");
+
+  ExperimentResult result;
+  result.spec = spec;
+
+  util::ThreadPool pool(workers);
+  struct PendingCell {
+    CellResult cell;
+    std::vector<std::future<reports::Metrics>> futures;
+  };
+  std::vector<PendingCell> pending;
+
+  for (const std::string& policy : spec.policies) {
+    require_input(sched::PolicyRegistry::instance().contains(policy),
+                  "experiment: unknown policy '" + policy + "'");
+    for (workload::Intensity intensity : spec.intensities) {
+      PendingCell cell;
+      cell.cell.policy = policy;
+      cell.cell.intensity = intensity;
+      for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+        cell.futures.push_back(pool.submit([&spec, policy, intensity, rep] {
+          return run_single(spec, policy, intensity, rep);
+        }));
+      }
+      pending.push_back(std::move(cell));
+    }
+  }
+
+  result.cells.reserve(pending.size());
+  for (PendingCell& cell : pending) {
+    cell.cell.runs.reserve(cell.futures.size());
+    for (auto& future : cell.futures) cell.cell.runs.push_back(future.get());
+    result.cells.push_back(std::move(cell.cell));
+  }
+  return result;
+}
+
+viz::BarChart completion_chart(const ExperimentResult& result, std::string title) {
+  viz::BarChart chart;
+  chart.title = std::move(title);
+  for (workload::Intensity intensity : result.spec.intensities) {
+    chart.groups.emplace_back(workload::intensity_name(intensity));
+  }
+  for (const std::string& policy : result.spec.policies) {
+    viz::BarSeries series;
+    series.name = policy;
+    for (workload::Intensity intensity : result.spec.intensities) {
+      series.values.push_back(result.cell(policy, intensity).mean_completion_percent());
+    }
+    chart.series.push_back(std::move(series));
+  }
+  return chart;
+}
+
+std::vector<std::vector<std::string>> result_csv(const ExperimentResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"policy", "intensity", "completion_percent_mean",
+                  "completion_percent_ci95", "energy_joules_mean", "type_fairness_mean",
+                  "replications"});
+  for (const CellResult& cell : result.cells) {
+    rows.push_back({cell.policy, workload::intensity_name(cell.intensity),
+                    util::format_fixed(cell.mean_completion_percent(), 2),
+                    util::format_fixed(cell.ci95_completion_percent(), 2),
+                    util::format_fixed(cell.mean_energy_joules(), 1),
+                    util::format_fixed(cell.mean_type_fairness(), 4),
+                    std::to_string(cell.runs.size())});
+  }
+  return rows;
+}
+
+}  // namespace e2c::exp

@@ -1,0 +1,89 @@
+/// \file experiment.hpp
+/// \brief Policy x intensity sweeps with replications — the engine behind
+/// every figure of the paper's evaluation.
+///
+/// Workloads are *paired*: for a given (intensity, replication) every policy
+/// sees the identical trace, exactly as the students ran the same CSV
+/// workload through each scheduling method. Replications vary the seed so
+/// the reported completion percentages carry confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reports/metrics.hpp"
+#include "sched/simulation.hpp"
+#include "viz/bar_chart.hpp"
+#include "workload/generator.hpp"
+
+namespace e2c::exp {
+
+/// Full sweep description.
+struct ExperimentSpec {
+  sched::SystemConfig system;
+  std::vector<std::string> policies;              ///< registry names
+  std::vector<workload::Intensity> intensities;   ///< low/medium/high presets
+  std::size_t replications = 10;
+  core::SimTime duration = 400.0;                 ///< arrival window per run
+  std::uint64_t base_seed = 42;
+  workload::ArrivalKind arrival = workload::ArrivalKind::kPoisson;
+  double deadline_factor_lo = 2.0;
+  double deadline_factor_hi = 4.0;
+};
+
+/// Results of one (policy, intensity) cell across replications.
+struct CellResult {
+  std::string policy;
+  workload::Intensity intensity = workload::Intensity::kLow;
+  std::vector<reports::Metrics> runs;  ///< one Metrics per replication
+
+  /// Mean across replications of a metric extracted by \p field.
+  [[nodiscard]] double mean_of(double (*field)(const reports::Metrics&)) const;
+
+  /// Mean completion percentage across replications.
+  [[nodiscard]] double mean_completion_percent() const;
+
+  /// ~95% CI half-width of the completion percentage.
+  [[nodiscard]] double ci95_completion_percent() const;
+
+  /// Mean total energy (J) across replications.
+  [[nodiscard]] double mean_energy_joules() const;
+
+  /// Mean Jain fairness across task types.
+  [[nodiscard]] double mean_type_fairness() const;
+};
+
+/// All cells of a sweep, in (policy-major, intensity-minor) order.
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<CellResult> cells;
+
+  /// The cell for (policy, intensity); throws e2c::InputError if absent.
+  [[nodiscard]] const CellResult& cell(const std::string& policy,
+                                       workload::Intensity intensity) const;
+};
+
+/// Deterministic seed of the workload shared by all policies for one
+/// (intensity, replication) pair.
+[[nodiscard]] std::uint64_t workload_seed(std::uint64_t base_seed,
+                                          workload::Intensity intensity,
+                                          std::size_t replication) noexcept;
+
+/// Runs the sweep. \p workers selects thread-pool size (0 = hardware
+/// concurrency). Each replication builds its own Simulation; no state is
+/// shared across threads.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                              std::size_t workers = 0);
+
+/// Builds the grouped bar chart of completion % — the layout of Figs. 5-7
+/// (groups = intensities, series = policies).
+[[nodiscard]] viz::BarChart completion_chart(const ExperimentResult& result,
+                                             std::string title);
+
+/// Emits the result as CSV rows: policy, intensity, mean/ci completion %,
+/// mean energy, mean fairness, replications.
+[[nodiscard]] std::vector<std::vector<std::string>> result_csv(
+    const ExperimentResult& result);
+
+}  // namespace e2c::exp

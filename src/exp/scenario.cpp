@@ -1,0 +1,71 @@
+#include "exp/scenario.hpp"
+
+#include "hetero/machine_catalog.hpp"
+
+namespace e2c::exp {
+
+namespace {
+
+const std::vector<std::string>& task_type_names() {
+  // T1 object detection, T2 noise removal, T3 image enhancement,
+  // T4 speech recognition, T5 face recognition (the paper's IoT example).
+  static const std::vector<std::string> names{"T1", "T2", "T3", "T4", "T5"};
+  return names;
+}
+
+sched::SystemConfig build(hetero::EetMatrix eet, std::size_t queue_capacity) {
+  sched::SystemConfig config;
+  config.machine_queue_capacity = queue_capacity;
+  const auto names = eet.machine_type_names();
+  config.eet = std::move(eet);
+  const auto specs = hetero::resolve_machine_types(names);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    config.machines.push_back(sched::MachineInstance{"m" + std::to_string(i + 1), i,
+                                                     specs[i]});
+  }
+  return config;
+}
+
+}  // namespace
+
+sched::SystemConfig homogeneous_classroom(std::size_t machine_queue_capacity) {
+  // Four identical CPUs; per-type base times chosen so the mean service time
+  // matches the heterogeneous system's scale (≈6 s per task).
+  const std::vector<std::string> machines{"cpu-1", "cpu-2", "cpu-3", "cpu-4"};
+  const std::vector<double> base_times{6.0, 5.0, 7.0, 5.0, 6.0};
+  hetero::EetMatrix eet =
+      hetero::EetMatrix::homogeneous(task_type_names(), machines, base_times);
+  sched::SystemConfig config = build(std::move(eet), machine_queue_capacity);
+  // Identical machines share one power profile.
+  for (auto& machine : config.machines) {
+    machine.power = hetero::MachineTypeSpec{machine.name, 20.0, 95.0};
+  }
+  return config;
+}
+
+sched::SystemConfig heterogeneous_classroom(std::size_t machine_queue_capacity) {
+  // Inconsistent EET (seconds): each machine type wins somewhere —
+  //   GPU dominates vision types, FPGA wins noise removal and speech,
+  //   ASIC is a specialized object-detection/face-recognition part but
+  //   poor at everything else, the CPU is the mediocre generalist.
+  const std::vector<std::string> machines{"x86-cpu", "gpu", "fpga", "asic"};
+  const std::vector<std::vector<double>> values{
+      // x86-cpu  gpu   fpga  asic
+      {12.0, 2.5, 6.0, 1.2},   // T1 object detection
+      {6.0, 3.0, 2.0, 14.0},   // T2 noise removal
+      {8.0, 2.0, 9.0, 10.0},   // T3 image enhancement
+      {4.0, 6.0, 4.5, 9.0},    // T4 speech recognition (CPU's win)
+      {10.0, 3.0, 5.0, 2.0},   // T5 face recognition
+  };
+  hetero::EetMatrix eet(task_type_names(), machines, values);
+  return build(std::move(eet), machine_queue_capacity);
+}
+
+std::vector<hetero::MachineTypeId> machine_types_of(const sched::SystemConfig& config) {
+  std::vector<hetero::MachineTypeId> types;
+  types.reserve(config.machines.size());
+  for (const auto& machine : config.machines) types.push_back(machine.type);
+  return types;
+}
+
+}  // namespace e2c::exp

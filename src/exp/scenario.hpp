@@ -1,0 +1,31 @@
+/// \file scenario.hpp
+/// \brief The classroom scenarios of the paper's §4 assignment.
+///
+/// Two systems, matching the assignment setup and the quiz dimensions
+/// (3-5 task types, 4 machines):
+///  - homogeneous: four identical CPU machines (every EET row constant);
+///  - heterogeneous: x86 CPU + GPU + FPGA + ASIC with an *inconsistent* EET
+///    (each accelerator is best at different task types), which is the case
+///    Table 1 says CloudSim/iCanCloud-style tools cannot model.
+///
+/// Task types follow the paper's IoT example: object detection, noise
+/// removal, image enhancement, speech recognition, face recognition.
+#pragma once
+
+#include "sched/simulation.hpp"
+
+namespace e2c::exp {
+
+/// Four identical CPU machines; five task types with constant rows.
+[[nodiscard]] sched::SystemConfig homogeneous_classroom(
+    std::size_t machine_queue_capacity = 2);
+
+/// x86-cpu / gpu / fpga / asic machines; five task types, inconsistent EET.
+[[nodiscard]] sched::SystemConfig heterogeneous_classroom(
+    std::size_t machine_queue_capacity = 2);
+
+/// The machine-type id of each machine instance, for capacity calibration.
+[[nodiscard]] std::vector<hetero::MachineTypeId> machine_types_of(
+    const sched::SystemConfig& config);
+
+}  // namespace e2c::exp

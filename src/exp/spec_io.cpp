@@ -1,0 +1,96 @@
+#include "exp/spec_io.hpp"
+
+#include "exp/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "viz/bar_chart_svg.hpp"
+
+namespace e2c::exp {
+
+namespace {
+
+workload::Intensity parse_intensity(const std::string& name) {
+  if (util::iequals(name, "low")) return workload::Intensity::kLow;
+  if (util::iequals(name, "medium")) return workload::Intensity::kMedium;
+  if (util::iequals(name, "high")) return workload::Intensity::kHigh;
+  throw InputError("experiment config: unknown intensity '" + name + "'");
+}
+
+}  // namespace
+
+ExperimentSpec spec_from_ini(const util::IniFile& ini) {
+  ExperimentSpec spec;
+
+  // [system]
+  const std::string scenario = ini.get_or("system", "scenario", "heterogeneous");
+  const auto queue_size = ini.get_int("system", "queue_size");
+  const std::size_t queue =
+      queue_size ? static_cast<std::size_t>(*queue_size) : std::size_t{2};
+  if (const auto eet_path = ini.get("system", "eet")) {
+    spec.system =
+        sched::make_default_system(hetero::EetMatrix::load_csv(*eet_path), queue);
+  } else if (util::iequals(scenario, "heterogeneous")) {
+    spec.system = heterogeneous_classroom(queue);
+  } else if (util::iequals(scenario, "homogeneous")) {
+    spec.system = homogeneous_classroom(queue);
+  } else {
+    throw InputError("experiment config: unknown scenario '" + scenario +
+                     "' (heterogeneous | homogeneous | eet = file.csv)");
+  }
+
+  // [sweep]
+  spec.policies = ini.get_list("sweep", "policies");
+  require_input(!spec.policies.empty(), "experiment config: sweep.policies is required");
+  const auto intensities = ini.get_list("sweep", "intensities");
+  require_input(!intensities.empty(), "experiment config: sweep.intensities is required");
+  spec.intensities.clear();
+  for (const std::string& name : intensities) {
+    spec.intensities.push_back(parse_intensity(name));
+  }
+  if (const auto reps = ini.get_int("sweep", "replications")) {
+    require_input(*reps > 0, "experiment config: replications must be > 0");
+    spec.replications = static_cast<std::size_t>(*reps);
+  }
+  if (const auto duration = ini.get_double("sweep", "duration")) {
+    require_input(*duration > 0, "experiment config: duration must be > 0");
+    spec.duration = *duration;
+  }
+  if (const auto seed = ini.get_int("sweep", "seed")) {
+    spec.base_seed = static_cast<std::uint64_t>(*seed);
+  }
+  if (const auto arrival = ini.get("sweep", "arrival")) {
+    spec.arrival = workload::parse_arrival_kind(*arrival);
+  }
+  if (const auto lo = ini.get_double("sweep", "deadline_lo")) spec.deadline_factor_lo = *lo;
+  if (const auto hi = ini.get_double("sweep", "deadline_hi")) spec.deadline_factor_hi = *hi;
+  require_input(spec.deadline_factor_lo > 0 &&
+                    spec.deadline_factor_hi >= spec.deadline_factor_lo,
+                "experiment config: deadline factors must satisfy 0 < lo <= hi");
+  return spec;
+}
+
+ExperimentOutputs outputs_from_ini(const util::IniFile& ini) {
+  ExperimentOutputs outputs;
+  outputs.title = ini.get_or("output", "title", "experiment");
+  if (const auto csv = ini.get("output", "csv")) outputs.csv_path = *csv;
+  if (const auto svg = ini.get("output", "chart_svg")) outputs.chart_svg_path = *svg;
+  return outputs;
+}
+
+ExperimentResult run_experiment_file(const std::string& path, std::size_t workers) {
+  const util::IniFile ini = util::IniFile::load(path);
+  const ExperimentSpec spec = spec_from_ini(ini);
+  const ExperimentOutputs outputs = outputs_from_ini(ini);
+  ExperimentResult result = run_experiment(spec, workers);
+  if (outputs.csv_path) {
+    util::write_csv_file(*outputs.csv_path, result_csv(result));
+  }
+  if (outputs.chart_svg_path) {
+    viz::save_bar_chart_svg(completion_chart(result, outputs.title),
+                            *outputs.chart_svg_path);
+  }
+  return result;
+}
+
+}  // namespace e2c::exp

@@ -1,0 +1,55 @@
+/// \file spec_io.hpp
+/// \brief Experiment specs from INI config files — the researcher workflow
+/// without writing C++.
+///
+/// Example config (see data/experiment_example.ini):
+///
+///   [system]
+///   scenario = heterogeneous      ; or homogeneous, or eet = path/to.csv
+///   queue_size = 2
+///
+///   [sweep]
+///   policies = FCFS, MECT, MM
+///   intensities = low, medium, high
+///   replications = 20
+///   duration = 300
+///   seed = 42
+///   arrival = poisson
+///   deadline_lo = 2.0
+///   deadline_hi = 4.0
+///
+///   [output]
+///   title = my experiment
+///   csv = results.csv             ; optional
+///   chart_svg = results.svg       ; optional
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "util/ini.hpp"
+
+namespace e2c::exp {
+
+/// Output destinations of a config-driven experiment.
+struct ExperimentOutputs {
+  std::string title = "experiment";
+  std::optional<std::string> csv_path;
+  std::optional<std::string> chart_svg_path;
+};
+
+/// Builds an ExperimentSpec from a parsed config. Throws e2c::InputError on
+/// missing/invalid fields (unknown scenario, unknown policy names are caught
+/// later by run_experiment).
+[[nodiscard]] ExperimentSpec spec_from_ini(const util::IniFile& ini);
+
+/// Reads the [output] section.
+[[nodiscard]] ExperimentOutputs outputs_from_ini(const util::IniFile& ini);
+
+/// Convenience: load a config file and run it end to end — runs the sweep,
+/// writes the configured outputs, and returns the result.
+[[nodiscard]] ExperimentResult run_experiment_file(const std::string& path,
+                                                   std::size_t workers = 0);
+
+}  // namespace e2c::exp

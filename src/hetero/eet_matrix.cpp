@@ -1,0 +1,222 @@
+#include "hetero/eet_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::hetero {
+
+EetMatrix::EetMatrix(std::vector<std::string> task_type_names,
+                     std::vector<std::string> machine_type_names,
+                     std::vector<std::vector<double>> values)
+    : task_names_(std::move(task_type_names)),
+      machine_names_(std::move(machine_type_names)),
+      values_(std::move(values)) {
+  validate();
+}
+
+void EetMatrix::validate() const {
+  require_input(!task_names_.empty(), "EET: at least one task type required");
+  require_input(!machine_names_.empty(), "EET: at least one machine type required");
+  require_input(values_.size() == task_names_.size(),
+                "EET: row count does not match task type count");
+  for (std::size_t r = 0; r < values_.size(); ++r) {
+    require_input(values_[r].size() == machine_names_.size(),
+                  "EET: row '" + task_names_[r] + "' has wrong column count");
+    for (double v : values_[r]) {
+      require_input(std::isfinite(v) && v > 0.0,
+                    "EET: entries must be finite and > 0 (row '" + task_names_[r] + "')");
+    }
+  }
+  // Duplicate names would make CSV round-trips ambiguous.
+  auto has_duplicates = [](std::vector<std::string> names) {
+    std::sort(names.begin(), names.end());
+    return std::adjacent_find(names.begin(), names.end()) != names.end();
+  };
+  require_input(!has_duplicates(task_names_), "EET: duplicate task type names");
+  require_input(!has_duplicates(machine_names_), "EET: duplicate machine type names");
+}
+
+double EetMatrix::eet(TaskTypeId task_type, MachineTypeId machine_type) const {
+  require_input(task_type < task_names_.size(), "EET: task type index out of range");
+  require_input(machine_type < machine_names_.size(), "EET: machine type index out of range");
+  return values_[task_type][machine_type];
+}
+
+void EetMatrix::set_eet(TaskTypeId task_type, MachineTypeId machine_type, double value) {
+  require_input(task_type < task_names_.size(), "EET: task type index out of range");
+  require_input(machine_type < machine_names_.size(), "EET: machine type index out of range");
+  require_input(std::isfinite(value) && value > 0.0, "EET: entry must be finite and > 0");
+  values_[task_type][machine_type] = value;
+}
+
+const std::string& EetMatrix::task_type_name(TaskTypeId id) const {
+  require_input(id < task_names_.size(), "EET: task type index out of range");
+  return task_names_[id];
+}
+
+const std::string& EetMatrix::machine_type_name(MachineTypeId id) const {
+  require_input(id < machine_names_.size(), "EET: machine type index out of range");
+  return machine_names_[id];
+}
+
+TaskTypeId EetMatrix::task_type_index(const std::string& name) const {
+  for (std::size_t i = 0; i < task_names_.size(); ++i) {
+    if (task_names_[i] == name) return i;
+  }
+  throw InputError("EET: unknown task type '" + name +
+                   "' (workload must conform to the EET matrix)");
+}
+
+bool EetMatrix::has_task_type(const std::string& name) const noexcept {
+  return std::find(task_names_.begin(), task_names_.end(), name) != task_names_.end();
+}
+
+MachineTypeId EetMatrix::machine_type_index(const std::string& name) const {
+  for (std::size_t i = 0; i < machine_names_.size(); ++i) {
+    if (machine_names_[i] == name) return i;
+  }
+  throw InputError("EET: unknown machine type '" + name + "'");
+}
+
+double EetMatrix::row_mean(TaskTypeId task_type) const {
+  require_input(task_type < values_.size(), "EET: task type index out of range");
+  const auto& row = values_[task_type];
+  return std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(row.size());
+}
+
+double EetMatrix::row_min(TaskTypeId task_type) const {
+  require_input(task_type < values_.size(), "EET: task type index out of range");
+  const auto& row = values_[task_type];
+  return *std::min_element(row.begin(), row.end());
+}
+
+bool EetMatrix::is_homogeneous() const noexcept {
+  for (const auto& row : values_) {
+    for (double v : row) {
+      if (v != row.front()) return false;
+    }
+  }
+  return true;
+}
+
+bool EetMatrix::is_consistent() const noexcept {
+  if (values_.empty()) return true;
+  // Consistency means: for every pair of machines, their speed order is the
+  // same in every row. Comparing pairwise (rather than sorted index lists)
+  // tolerates ties.
+  for (std::size_t a = 0; a < machine_names_.size(); ++a) {
+    for (std::size_t b = a + 1; b < machine_names_.size(); ++b) {
+      int sign = 0;  // -1: a faster, +1: b faster
+      for (const auto& row : values_) {
+        int s = row[a] < row[b] ? -1 : (row[a] > row[b] ? 1 : 0);
+        if (s == 0) continue;
+        if (sign == 0) sign = s;
+        else if (sign != s) return false;
+      }
+    }
+  }
+  return true;
+}
+
+EetMatrix EetMatrix::from_csv_text(const std::string& text) {
+  const util::CsvTable table = util::parse_csv(text);
+  require_input(table.row_count() >= 2, "EET CSV: need a header row and at least one task row");
+  const auto& header = table.rows.front();
+  require_input(header.size() >= 2, "EET CSV: header needs task_type plus machine columns");
+
+  std::vector<std::string> machine_names;
+  machine_names.reserve(header.size() - 1);
+  for (std::size_t c = 1; c < header.size(); ++c) {
+    machine_names.emplace_back(util::trim(header[c]));
+  }
+
+  std::vector<std::string> task_names;
+  std::vector<std::vector<double>> values;
+  for (std::size_t r = 1; r < table.row_count(); ++r) {
+    const auto& row = table.rows[r];
+    require_input(row.size() == header.size(),
+                  "EET CSV: row " + std::to_string(r + 1) + " has wrong field count");
+    task_names.emplace_back(util::trim(row[0]));
+    std::vector<double> row_values;
+    row_values.reserve(row.size() - 1);
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      const auto value = util::parse_double(row[c]);
+      require_input(value.has_value(), "EET CSV: non-numeric entry '" + row[c] + "' at row " +
+                                           std::to_string(r + 1));
+      row_values.push_back(*value);
+    }
+    values.push_back(std::move(row_values));
+  }
+  return EetMatrix(std::move(task_names), std::move(machine_names), std::move(values));
+}
+
+EetMatrix EetMatrix::load_csv(const std::string& path) {
+  const util::CsvTable table = util::read_csv_file(path);
+  return from_csv_text(util::to_csv(table.rows));
+}
+
+std::string EetMatrix::to_csv_text() const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"task_type"};
+  header.insert(header.end(), machine_names_.begin(), machine_names_.end());
+  rows.push_back(std::move(header));
+  for (std::size_t r = 0; r < task_names_.size(); ++r) {
+    std::vector<std::string> row{task_names_[r]};
+    for (double v : values_[r]) row.push_back(util::format_fixed(v, 4));
+    rows.push_back(std::move(row));
+  }
+  return util::to_csv(rows);
+}
+
+void EetMatrix::save_csv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows = util::parse_csv(to_csv_text()).rows;
+  util::write_csv_file(path, rows);
+}
+
+EetMatrix EetMatrix::homogeneous(std::vector<std::string> task_type_names,
+                                 std::vector<std::string> machine_type_names,
+                                 const std::vector<double>& base_times) {
+  require_input(base_times.size() == task_type_names.size(),
+                "EET::homogeneous: one base time per task type required");
+  std::vector<std::vector<double>> values;
+  values.reserve(task_type_names.size());
+  for (double t : base_times) {
+    values.emplace_back(machine_type_names.size(), t);
+  }
+  return EetMatrix(std::move(task_type_names), std::move(machine_type_names),
+                   std::move(values));
+}
+
+EetMatrix EetMatrix::random(std::vector<std::string> task_type_names,
+                            std::vector<std::string> machine_type_names, double base,
+                            double task_range, double machine_range, bool inconsistent,
+                            util::Rng& rng) {
+  require_input(base > 0.0, "EET::random: base must be > 0");
+  require_input(task_range >= 1.0 && machine_range >= 1.0,
+                "EET::random: ranges must be >= 1");
+  const std::size_t rows = task_type_names.size();
+  const std::size_t cols = machine_type_names.size();
+  std::vector<double> task_weight(rows);
+  for (auto& u : task_weight) u = rng.uniform(1.0, task_range);
+  std::vector<double> machine_weight(cols);
+  for (auto& v : machine_weight) v = rng.uniform(1.0, machine_range);
+
+  std::vector<std::vector<double>> values(rows, std::vector<double>(cols, 0.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v =
+          inconsistent ? rng.uniform(1.0, machine_range) : machine_weight[c];
+      values[r][c] = base * task_weight[r] * v;
+    }
+  }
+  return EetMatrix(std::move(task_type_names), std::move(machine_type_names),
+                   std::move(values));
+}
+
+}  // namespace e2c::hetero

@@ -1,0 +1,137 @@
+/// \file eet_matrix.hpp
+/// \brief The Expected Execution Time (EET) matrix — E2C's heterogeneity model.
+///
+/// Following the paper (§3) and Ali et al. [4], system heterogeneity is
+/// captured by a matrix giving the expected execution time of each task type
+/// on each machine type. A homogeneous system is the degenerate case where
+/// every row is constant. The matrix is the single source of truth consulted
+/// by every scheduling policy.
+///
+/// File format (matches E2C-Sim's CSV):
+///   task_type,m1,m2,...
+///   T1,12.0,3.5,...
+///   T2,...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetero/types.hpp"
+#include "util/rng.hpp"
+
+namespace e2c::hetero {
+
+/// Expected Execution Time matrix: rows are task types, columns machine types.
+/// All entries must be finite and strictly positive (a zero execution time is
+/// physically meaningless and would break event ordering).
+class EetMatrix {
+ public:
+  EetMatrix() = default;
+
+  /// Builds a matrix from names and values. values[row][col] is seconds of
+  /// execution for task type \p row on machine type \p col.
+  /// Throws e2c::InputError on dimension mismatch or non-positive entries.
+  EetMatrix(std::vector<std::string> task_type_names,
+            std::vector<std::string> machine_type_names,
+            std::vector<std::vector<double>> values);
+
+  /// Number of task types (rows).
+  [[nodiscard]] std::size_t task_type_count() const noexcept { return task_names_.size(); }
+
+  /// Number of machine types (columns).
+  [[nodiscard]] std::size_t machine_type_count() const noexcept {
+    return machine_names_.size();
+  }
+
+  /// Expected execution time of \p task_type on \p machine_type (seconds).
+  [[nodiscard]] double eet(TaskTypeId task_type, MachineTypeId machine_type) const;
+
+  /// Overwrites one entry (the GUI "Edit" path). Throws e2c::InputError on
+  /// out-of-range indices or a non-positive value.
+  void set_eet(TaskTypeId task_type, MachineTypeId machine_type, double value);
+
+  /// Display name of a task type row.
+  [[nodiscard]] const std::string& task_type_name(TaskTypeId id) const;
+
+  /// Display name of a machine type column.
+  [[nodiscard]] const std::string& machine_type_name(MachineTypeId id) const;
+
+  /// All task type names, row order.
+  [[nodiscard]] const std::vector<std::string>& task_type_names() const noexcept {
+    return task_names_;
+  }
+
+  /// All machine type names, column order.
+  [[nodiscard]] const std::vector<std::string>& machine_type_names() const noexcept {
+    return machine_names_;
+  }
+
+  /// Index of the task type named \p name; throws e2c::InputError if absent.
+  /// The workload loader uses this to enforce the paper's compatibility rule
+  /// ("no task type within the workload that is not defined within the EET").
+  [[nodiscard]] TaskTypeId task_type_index(const std::string& name) const;
+
+  /// True if the named task type exists.
+  [[nodiscard]] bool has_task_type(const std::string& name) const noexcept;
+
+  /// Index of the machine type named \p name; throws e2c::InputError if absent.
+  [[nodiscard]] MachineTypeId machine_type_index(const std::string& name) const;
+
+  /// Mean EET of a task type across all machine types (used for deadline
+  /// assignment and load calibration).
+  [[nodiscard]] double row_mean(TaskTypeId task_type) const;
+
+  /// Minimum EET of a task type across machine types (its best-case time).
+  [[nodiscard]] double row_min(TaskTypeId task_type) const;
+
+  /// True if every row is constant: every task type runs equally fast on
+  /// every machine type (a homogeneous system).
+  [[nodiscard]] bool is_homogeneous() const noexcept;
+
+  /// True if all task types order the machine types identically by speed —
+  /// "consistent" heterogeneity in the Ali et al. taxonomy. An inconsistent
+  /// matrix (some machine is faster for one task type, slower for another)
+  /// is what GPUs/FPGAs/ASICs produce and what iCanCloud-style simulators
+  /// cannot model (Table 1 of the paper).
+  [[nodiscard]] bool is_consistent() const noexcept;
+
+  // ---- persistence -------------------------------------------------------
+
+  /// Parses the E2C CSV format. Throws e2c::InputError on malformed content.
+  [[nodiscard]] static EetMatrix from_csv_text(const std::string& text);
+
+  /// Loads from a CSV file.
+  [[nodiscard]] static EetMatrix load_csv(const std::string& path);
+
+  /// Serializes to the E2C CSV format.
+  [[nodiscard]] std::string to_csv_text() const;
+
+  /// Writes to a CSV file.
+  void save_csv(const std::string& path) const;
+
+  // ---- synthesis ---------------------------------------------------------
+
+  /// Generates a homogeneous matrix: EET[i][j] = base_times[i] for all j.
+  [[nodiscard]] static EetMatrix homogeneous(std::vector<std::string> task_type_names,
+                                             std::vector<std::string> machine_type_names,
+                                             const std::vector<double>& base_times);
+
+  /// Range-based synthesis of Ali et al. [4]: task weight u_i ~ U(1, task_range)
+  /// and machine weight v_j ~ U(1, machine_range) give EET = base * u_i * v_j
+  /// (consistent). When \p inconsistent is true the machine weight is
+  /// re-sampled per cell, producing inconsistent heterogeneity.
+  [[nodiscard]] static EetMatrix random(std::vector<std::string> task_type_names,
+                                        std::vector<std::string> machine_type_names,
+                                        double base, double task_range,
+                                        double machine_range, bool inconsistent,
+                                        util::Rng& rng);
+
+ private:
+  void validate() const;
+
+  std::vector<std::string> task_names_;
+  std::vector<std::string> machine_names_;
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace e2c::hetero

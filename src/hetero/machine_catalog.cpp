@@ -1,0 +1,42 @@
+#include "hetero/machine_catalog.hpp"
+
+#include "util/string_util.hpp"
+
+namespace e2c::hetero {
+
+const std::vector<MachineTypeSpec>& builtin_machine_types() {
+  static const std::vector<MachineTypeSpec> presets{
+      {"x86-cpu", 20.0, 95.0},
+      {"arm-cpu", 5.0, 15.0},
+      {"gpu", 25.0, 250.0},
+      {"fpga", 10.0, 40.0},
+      {"asic", 2.0, 8.0},
+  };
+  return presets;
+}
+
+std::optional<MachineTypeSpec> find_machine_type(const std::string& name) {
+  for (const auto& spec : builtin_machine_types()) {
+    if (util::iequals(spec.name, name)) return spec;
+  }
+  return std::nullopt;
+}
+
+MachineTypeSpec generic_machine_type(const std::string& name) {
+  return MachineTypeSpec{name, 10.0, 100.0};
+}
+
+std::vector<MachineTypeSpec> resolve_machine_types(const std::vector<std::string>& names) {
+  std::vector<MachineTypeSpec> specs;
+  specs.reserve(names.size());
+  for (const auto& name : names) {
+    if (auto preset = find_machine_type(name)) {
+      specs.push_back(*preset);
+    } else {
+      specs.push_back(generic_machine_type(name));
+    }
+  }
+  return specs;
+}
+
+}  // namespace e2c::hetero

@@ -1,0 +1,41 @@
+/// \file machine_catalog.hpp
+/// \brief Preset machine types with power models.
+///
+/// The paper motivates E2C with systems mixing general-purpose CPUs with
+/// GPUs, FPGAs and ASICs. This catalog provides named presets whose power
+/// figures are representative of each class (edge-scale parts), so course
+/// scenarios and the energy experiments have realistic relative magnitudes.
+/// Values are deliberately round numbers: E2C teaches *relative* behaviour,
+/// not vendor benchmarking.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hetero/types.hpp"
+
+namespace e2c::hetero {
+
+/// Returns the built-in machine-type presets:
+///   x86-cpu  (idle 20 W, busy 95 W)   — general-purpose server CPU
+///   arm-cpu  (idle  5 W, busy 15 W)   — low-power edge CPU
+///   gpu      (idle 25 W, busy 250 W)  — discrete accelerator
+///   fpga     (idle 10 W, busy 40 W)   — reconfigurable fabric
+///   asic     (idle  2 W, busy  8 W)   — domain-specific accelerator
+[[nodiscard]] const std::vector<MachineTypeSpec>& builtin_machine_types();
+
+/// Looks up a preset by (case-insensitive) name.
+[[nodiscard]] std::optional<MachineTypeSpec> find_machine_type(const std::string& name);
+
+/// A generic spec for machine type names with no preset: mid-range power
+/// (idle 10 W, busy 100 W). Used when a student's EET CSV invents its own
+/// machine names (m1, m2, ...).
+[[nodiscard]] MachineTypeSpec generic_machine_type(const std::string& name);
+
+/// Resolves a list of machine-type names to specs: preset if known,
+/// generic otherwise. This is what the CLI does with EET CSV headers.
+[[nodiscard]] std::vector<MachineTypeSpec> resolve_machine_types(
+    const std::vector<std::string>& names);
+
+}  // namespace e2c::hetero

@@ -1,0 +1,116 @@
+#include "hetero/pet_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::hetero {
+
+namespace {
+constexpr double kMinExec = 1e-6;  // execution times must stay positive
+}
+
+const char* pet_kind_name(PetKind kind) noexcept {
+  switch (kind) {
+    case PetKind::kDeterministic: return "deterministic";
+    case PetKind::kNormal: return "normal";
+    case PetKind::kUniform: return "uniform";
+    case PetKind::kExponential: return "exponential";
+    case PetKind::kLognormal: return "lognormal";
+  }
+  return "unknown";
+}
+
+PetKind parse_pet_kind(const std::string& name) {
+  for (PetKind kind : {PetKind::kDeterministic, PetKind::kNormal, PetKind::kUniform,
+                       PetKind::kExponential, PetKind::kLognormal}) {
+    if (util::iequals(name, pet_kind_name(kind))) return kind;
+  }
+  throw InputError("unknown PET distribution: '" + name + "'");
+}
+
+double PetCell::sample(util::Rng& rng) const {
+  switch (kind) {
+    case PetKind::kDeterministic:
+      return mean;
+    case PetKind::kNormal:
+      return std::max(kMinExec, rng.normal(mean, cv * mean));
+    case PetKind::kUniform: {
+      // Half-width sqrt(3)*sigma gives the requested cv exactly.
+      const double half = std::sqrt(3.0) * cv * mean;
+      return std::max(kMinExec, rng.uniform(mean - half, mean + half));
+    }
+    case PetKind::kExponential:
+      return std::max(kMinExec, rng.exponential(1.0 / mean));
+    case PetKind::kLognormal: {
+      // Match mean and cv: sigma^2 = ln(1+cv^2), mu = ln(mean) - sigma^2/2.
+      const double sigma_sq = std::log(1.0 + cv * cv);
+      const double mu = std::log(mean) - 0.5 * sigma_sq;
+      return std::max(kMinExec, rng.lognormal(mu, std::sqrt(sigma_sq)));
+    }
+  }
+  return mean;
+}
+
+double PetCell::stddev() const noexcept {
+  switch (kind) {
+    case PetKind::kDeterministic: return 0.0;
+    case PetKind::kExponential: return mean;
+    default: return cv * mean;
+  }
+}
+
+PetMatrix PetMatrix::deterministic(const EetMatrix& eet) {
+  return homoscedastic(eet, PetKind::kDeterministic, 0.0);
+}
+
+PetMatrix PetMatrix::homoscedastic(const EetMatrix& eet, PetKind kind, double cv) {
+  require_input(cv >= 0.0, "PET: cv must be >= 0");
+  PetMatrix pet;
+  pet.cells_.resize(eet.task_type_count());
+  for (std::size_t r = 0; r < eet.task_type_count(); ++r) {
+    pet.cells_[r].resize(eet.machine_type_count());
+    for (std::size_t c = 0; c < eet.machine_type_count(); ++c) {
+      pet.cells_[r][c] = PetCell{kind, eet.eet(r, c), cv};
+    }
+  }
+  return pet;
+}
+
+const PetCell& PetMatrix::cell(TaskTypeId task_type, MachineTypeId machine_type) const {
+  require_input(task_type < cells_.size(), "PET: task type index out of range");
+  require_input(machine_type < cells_[task_type].size(),
+                "PET: machine type index out of range");
+  return cells_[task_type][machine_type];
+}
+
+void PetMatrix::set_cell(TaskTypeId task_type, MachineTypeId machine_type, PetCell value) {
+  require_input(task_type < cells_.size(), "PET: task type index out of range");
+  require_input(machine_type < cells_[task_type].size(),
+                "PET: machine type index out of range");
+  require_input(std::isfinite(value.mean) && value.mean > 0.0, "PET: mean must be > 0");
+  require_input(value.cv >= 0.0, "PET: cv must be >= 0");
+  cells_[task_type][machine_type] = value;
+}
+
+double PetMatrix::sample(TaskTypeId task_type, MachineTypeId machine_type,
+                         util::Rng& rng) const {
+  return cell(task_type, machine_type).sample(rng);
+}
+
+EetMatrix PetMatrix::to_eet(std::vector<std::string> task_type_names,
+                            std::vector<std::string> machine_type_names) const {
+  std::vector<std::vector<double>> values(task_type_count());
+  for (std::size_t r = 0; r < task_type_count(); ++r) {
+    values[r].resize(machine_type_count());
+    for (std::size_t c = 0; c < machine_type_count(); ++c) {
+      values[r][c] = cells_[r][c].mean;
+    }
+  }
+  return EetMatrix(std::move(task_type_names), std::move(machine_type_names),
+                   std::move(values));
+}
+
+}  // namespace e2c::hetero

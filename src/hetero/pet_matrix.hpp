@@ -1,0 +1,94 @@
+/// \file pet_matrix.hpp
+/// \brief Probabilistic Execution Time (PET) model — stochastic extension of
+/// the EET matrix.
+///
+/// The E2C authors' research line (Gentry et al. IPDPS'19 [10], Denninnart
+/// et al. JPDC'20 [8], Mokhtari et al. IPDPSW'20 [14]) models task execution
+/// times as *distributions* rather than scalars; the EET matrix is the
+/// deterministic expectation of this model. E2C-Sim++ supports both: a
+/// simulation configured with a PET matrix samples the actual execution time
+/// of each dispatch, while schedulers keep planning on the EET expectations
+/// — exactly the mismatch that makes probabilistic task pruning worthwhile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace e2c::hetero {
+
+/// Distribution family of one PET cell.
+enum class PetKind : int {
+  kDeterministic,  ///< always exactly the mean (reduces to EET)
+  kNormal,         ///< truncated normal (floor at a small positive epsilon)
+  kUniform,        ///< uniform on [mean*(1-sqrt(3)cv), mean*(1+sqrt(3)cv)]
+  kExponential,    ///< exponential with the given mean (cv fixed at 1)
+  kLognormal,      ///< lognormal matched to the given mean and cv
+};
+
+/// Display name ("deterministic", "normal", ...).
+[[nodiscard]] const char* pet_kind_name(PetKind kind) noexcept;
+
+/// Parses a case-insensitive kind name; throws e2c::InputError if unknown.
+[[nodiscard]] PetKind parse_pet_kind(const std::string& name);
+
+/// One stochastic execution-time cell: family + mean + coefficient of
+/// variation (stddev / mean).
+struct PetCell {
+  PetKind kind = PetKind::kDeterministic;
+  double mean = 1.0;
+  double cv = 0.0;  ///< ignored for deterministic; forced to 1 for exponential
+
+  /// Draws one execution time (> 0).
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// Standard deviation implied by (kind, mean, cv).
+  [[nodiscard]] double stddev() const noexcept;
+};
+
+/// Matrix of PET cells aligned with an EET matrix's shape. The EET value of
+/// each cell is the PET mean, so any simulation/policy that only understands
+/// EET remains consistent with the stochastic ground truth.
+class PetMatrix {
+ public:
+  PetMatrix() = default;
+
+  /// Builds a PET with every cell deterministic at the EET values.
+  [[nodiscard]] static PetMatrix deterministic(const EetMatrix& eet);
+
+  /// Builds a PET where every cell has the EET value as mean and the given
+  /// family/cv. Throws e2c::InputError on cv < 0.
+  [[nodiscard]] static PetMatrix homoscedastic(const EetMatrix& eet, PetKind kind,
+                                               double cv);
+
+  /// Number of task types (rows).
+  [[nodiscard]] std::size_t task_type_count() const noexcept { return cells_.size(); }
+
+  /// Number of machine types (columns).
+  [[nodiscard]] std::size_t machine_type_count() const noexcept {
+    return cells_.empty() ? 0 : cells_.front().size();
+  }
+
+  /// The cell for (task type, machine type); throws e2c::InputError when out
+  /// of range.
+  [[nodiscard]] const PetCell& cell(TaskTypeId task_type, MachineTypeId machine_type) const;
+
+  /// Overwrites one cell. Throws e2c::InputError on invalid parameters.
+  void set_cell(TaskTypeId task_type, MachineTypeId machine_type, PetCell cell);
+
+  /// Samples an execution time for (task type, machine type).
+  [[nodiscard]] double sample(TaskTypeId task_type, MachineTypeId machine_type,
+                              util::Rng& rng) const;
+
+  /// The expectation matrix: an EetMatrix whose entries are the PET means.
+  /// Useful to hand planners the expectations the PET implies.
+  [[nodiscard]] EetMatrix to_eet(std::vector<std::string> task_type_names,
+                                 std::vector<std::string> machine_type_names) const;
+
+ private:
+  std::vector<std::vector<PetCell>> cells_;
+};
+
+}  // namespace e2c::hetero

@@ -1,0 +1,34 @@
+/// \file types.hpp
+/// \brief Identifier aliases for task types and machines.
+///
+/// Task types are the "applications" of the paper (object detection, noise
+/// removal, ...). Machine types are hardware flavours (x86 CPU, GPU, FPGA,
+/// ASIC, ...). A concrete system instantiates N machines, each referencing a
+/// machine type; heterogeneity lives entirely in the EET matrix, which maps
+/// (task type, machine type) to an expected execution time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace e2c::hetero {
+
+/// Index of a task type (row of the EET matrix).
+using TaskTypeId = std::size_t;
+
+/// Index of a machine type (column of the EET matrix).
+using MachineTypeId = std::size_t;
+
+/// Index of a concrete machine instance in the simulated system.
+using MachineId = std::size_t;
+
+/// Static description of one machine type, including its power model.
+/// Energy integration follows the common two-state model: a machine draws
+/// idle_watts when no task is running and busy_watts while executing.
+struct MachineTypeSpec {
+  std::string name;          ///< e.g. "gpu"
+  double idle_watts = 10.0;  ///< power draw when idle (W)
+  double busy_watts = 100.0; ///< power draw when executing (W)
+};
+
+}  // namespace e2c::hetero

@@ -1,0 +1,162 @@
+#include "machines/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace e2c::machines {
+
+Machine::Machine(core::Engine& engine, hetero::MachineId id, std::string name,
+                 hetero::MachineTypeId type, hetero::MachineTypeSpec power,
+                 std::size_t queue_capacity)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      type_(type),
+      power_(std::move(power)),
+      queue_capacity_(queue_capacity) {}
+
+bool Machine::has_queue_space() const noexcept {
+  if (!online_) return false;
+  if (queue_capacity_ == kUnboundedQueue) return true;
+  return queue_.size() < queue_capacity_;
+}
+
+void Machine::set_online(bool online, core::SimTime now) {
+  if (online == online_) return;
+  if (online) {
+    online_since_ = now;
+  } else {
+    accumulated_online_ += std::max(0.0, now - online_since_);
+  }
+  online_ = online;
+}
+
+double Machine::online_seconds(core::SimTime horizon) const {
+  double total = accumulated_online_;
+  if (online_) total += std::max(0.0, horizon - online_since_);
+  return std::min(total, horizon);
+}
+
+core::SimTime Machine::ready_time() const {
+  core::SimTime ready = engine_.now();
+  if (running_) ready = running_->finish_at;
+  for (const QueueEntry& entry : queue_) ready += entry.exec_seconds;
+  return ready;
+}
+
+void Machine::enqueue(workload::Task& task, double exec_seconds) {
+  require(exec_seconds > 0.0, "Machine::enqueue: execution time must be > 0");
+  require(has_queue_space(), "Machine::enqueue: machine queue '" + name_ + "' saturated");
+  task.status = workload::TaskStatus::kInMachineQueue;
+  task.assigned_machine = id_;
+  // A task that transferred first was assigned earlier; keep that timestamp.
+  if (!task.assignment_time) task.assignment_time = engine_.now();
+  queue_.push_back(QueueEntry{&task, exec_seconds});
+  if (!running_) start_next();
+}
+
+void Machine::start_next() {
+  require(!running_, "Machine::start_next while busy");
+  if (queue_.empty()) return;
+  QueueEntry entry = queue_.front();
+  queue_.pop_front();
+
+  const core::SimTime now = engine_.now();
+  // Cold starts extend the execution by the model-load penalty; schedulers
+  // plan on the warm EET, so the penalty is exactly the mis-estimation the
+  // memory-allocation studies investigate.
+  const double cold_penalty =
+      model_cache_ ? model_cache_->on_execute(entry.task->type) : 0.0;
+  RunningEntry run;
+  run.task = entry.task;
+  run.exec_seconds = entry.exec_seconds + cold_penalty;
+  run.started_at = now;
+  run.finish_at = now + run.exec_seconds;
+  run.completion_event = engine_.schedule_at(
+      run.finish_at, core::EventPriority::kCompletion,
+      "complete task=" + std::to_string(entry.task->id) + " machine=" + name_,
+      [this] { on_completion(); });
+  entry.task->status = workload::TaskStatus::kRunning;
+  entry.task->start_time = now;
+  running_ = run;
+  // The freed queue slot becomes visible to batch schedulers immediately.
+  if (listener_) listener_->on_slot_freed(id_);
+}
+
+void Machine::on_completion() {
+  require(running_.has_value(), "Machine::on_completion with no running task");
+  RunningEntry run = *running_;
+  running_.reset();
+
+  busy_seconds_ += run.exec_seconds;
+  ++completed_;
+  run.task->status = workload::TaskStatus::kCompleted;
+  run.task->completion_time = engine_.now();
+
+  if (listener_) listener_->on_task_completed(*run.task, id_);
+  start_next();
+}
+
+bool Machine::remove(workload::TaskId task_id) {
+  if (running_ && running_->task->id == task_id) {
+    RunningEntry run = *running_;
+    running_.reset();
+    engine_.cancel(run.completion_event);
+    // Partial execution still consumed energy/time.
+    busy_seconds_ += engine_.now() - run.started_at;
+    ++dropped_;
+    start_next();
+    return true;
+  }
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [task_id](const QueueEntry& e) {
+    return e.task->id == task_id;
+  });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  ++dropped_;
+  if (listener_) listener_->on_slot_freed(id_);
+  return true;
+}
+
+std::vector<workload::TaskId> Machine::queued_task_ids() const {
+  std::vector<workload::TaskId> ids;
+  ids.reserve(queue_.size());
+  for (const QueueEntry& entry : queue_) ids.push_back(entry.task->id);
+  return ids;
+}
+
+std::optional<workload::TaskId> Machine::running_task_id() const noexcept {
+  if (!running_) return std::nullopt;
+  return running_->task->id;
+}
+
+MachineStats Machine::finalize_stats(core::SimTime horizon) const {
+  MachineStats stats;
+  stats.busy_seconds = busy_seconds_;
+  if (running_) {
+    // Count the in-flight task's execution up to the horizon.
+    stats.busy_seconds += std::max(0.0, std::min(horizon, running_->finish_at) -
+                                            running_->started_at);
+  }
+  stats.observed_seconds = horizon;
+  stats.tasks_completed = completed_;
+  stats.tasks_dropped = dropped_;
+  return stats;
+}
+
+double Machine::energy_joules(core::SimTime horizon) const {
+  const MachineStats stats = finalize_stats(horizon);
+  const double busy = std::min(stats.busy_seconds, horizon);
+  // Idle power is drawn only while online; an offline machine consumes
+  // nothing (the point of the autoscaler).
+  const double idle = std::max(0.0, online_seconds(horizon) - busy);
+  return busy * power_.busy_watts + idle * power_.idle_watts;
+}
+
+double Machine::dynamic_energy_joules(core::SimTime horizon) const {
+  const MachineStats stats = finalize_stats(horizon);
+  return std::min(stats.busy_seconds, horizon) * power_.busy_watts;
+}
+
+}  // namespace e2c::machines

@@ -1,0 +1,203 @@
+/// \file machine.hpp
+/// \brief A simulated machine: bounded local queue, sequential executor,
+/// two-state power model.
+///
+/// Per the paper (§3): "the task is appended to the local queue of the
+/// assigned machine until the machine queue is saturated. Tasks are executed
+/// on the assigned machine in a sequential manner... If a task missed its
+/// deadline while executing on the machine, it is dropped from the machine."
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hetero/types.hpp"
+#include "mem/model_cache.hpp"
+#include "workload/task.hpp"
+
+namespace e2c::machines {
+
+/// Unbounded machine-queue capacity (immediate-mode scheduling uses this;
+/// see the paper's Fig. 3: "machine queue size is limited to infinite for
+/// immediate policies").
+inline constexpr std::size_t kUnboundedQueue = 0;
+
+/// Receives machine lifecycle callbacks. Implemented by the simulation layer
+/// to update task records and re-invoke batch schedulers when a queue slot
+/// frees up.
+class MachineListener {
+ public:
+  virtual ~MachineListener() = default;
+
+  /// A task finished executing (always before its deadline; the simulation
+  /// drops tasks whose deadline fires first).
+  virtual void on_task_completed(workload::Task& task, hetero::MachineId machine) = 0;
+
+  /// A task left the machine (completed or removed), freeing queue capacity.
+  virtual void on_slot_freed(hetero::MachineId machine) = 0;
+};
+
+/// Accumulated activity/energy figures for one machine.
+struct MachineStats {
+  double busy_seconds = 0.0;       ///< total time spent executing
+  double observed_seconds = 0.0;   ///< horizon used for energy/utilization
+  std::size_t tasks_completed = 0; ///< tasks that ran to completion here
+  std::size_t tasks_dropped = 0;   ///< tasks removed mid-queue or mid-run
+
+  /// Fraction of observed time spent executing (0 when nothing observed).
+  [[nodiscard]] double utilization() const noexcept {
+    return observed_seconds > 0.0 ? busy_seconds / observed_seconds : 0.0;
+  }
+};
+
+/// A single machine instance bound to an engine.
+///
+/// The machine schedules its own completion events; removal (deadline drop)
+/// cancels the in-flight completion. All operations are O(queue length) or
+/// better. Not thread-safe (one engine per thread).
+class Machine {
+ public:
+  /// \param queue_capacity maximum tasks waiting in the local queue, not
+  ///        counting the running task; kUnboundedQueue means unlimited.
+  Machine(core::Engine& engine, hetero::MachineId id, std::string name,
+          hetero::MachineTypeId type, hetero::MachineTypeSpec power,
+          std::size_t queue_capacity);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Registers the listener invoked on completions/slot releases.
+  void set_listener(MachineListener* listener) noexcept { listener_ = listener; }
+
+  /// Attaches a warm-model cache (Edge-MultiAI memory substrate). When set,
+  /// each execution start consults the cache and a cold start extends the
+  /// task's execution by the model-load penalty. Not owned; must outlive
+  /// the machine's activity. Pass nullptr to detach.
+  void set_model_cache(mem::ModelCache* cache) noexcept { model_cache_ = cache; }
+
+  /// The attached warm-model cache, if any.
+  [[nodiscard]] const mem::ModelCache* model_cache() const noexcept {
+    return model_cache_;
+  }
+
+  /// Instance id within the system.
+  [[nodiscard]] hetero::MachineId id() const noexcept { return id_; }
+
+  /// Display name, e.g. "m1" or "gpu-0".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Machine type (EET column) of this instance.
+  [[nodiscard]] hetero::MachineTypeId type() const noexcept { return type_; }
+
+  /// Power model of this instance.
+  [[nodiscard]] const hetero::MachineTypeSpec& power() const noexcept { return power_; }
+
+  /// True when a task is currently executing.
+  [[nodiscard]] bool busy() const noexcept { return running_.has_value(); }
+
+  /// True when the machine is powered on (accepting work). Machines start
+  /// online; the elasticity substrate (autoscaler) toggles this.
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  /// Powers the machine on/off at simulated time \p now. Powering off does
+  /// not abort the running task or drop queued ones — the machine *drains*
+  /// (finishes its committed work) but accepts no new assignments; energy
+  /// accounting charges idle power only while online. Requires \p now to be
+  /// non-decreasing across calls.
+  void set_online(bool online, core::SimTime now);
+
+  /// Seconds spent online over [0, horizon].
+  [[nodiscard]] double online_seconds(core::SimTime horizon) const;
+
+  /// Number of tasks waiting in the local queue (excluding the running one).
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// True if enqueue() would be accepted right now (requires the machine to
+  /// be online and, for bounded queues, a free waiting slot).
+  [[nodiscard]] bool has_queue_space() const noexcept;
+
+  /// Earliest simulated time at which a newly assigned task could start:
+  /// now when idle, otherwise the completion time of the running task plus
+  /// the execution times of everything queued. This is the "ready time" that
+  /// MECT/MM-style policies add the EET to.
+  [[nodiscard]] core::SimTime ready_time() const;
+
+  /// Expected completion time of a hypothetical task with execution time
+  /// \p exec_seconds if it were assigned now.
+  [[nodiscard]] core::SimTime expected_completion(double exec_seconds) const {
+    return ready_time() + exec_seconds;
+  }
+
+  /// Assigns a task (paper: appends to the local machine queue). Starts it
+  /// immediately when the machine is idle. Requires queue space and
+  /// exec_seconds > 0. Updates the task record (status, machine, times).
+  void enqueue(workload::Task& task, double exec_seconds);
+
+  /// Removes a task before it finishes (deadline drop). Cancels the pending
+  /// completion if the task was running and pulls the next queued task in.
+  /// Returns false when the task is not on this machine.
+  bool remove(workload::TaskId task_id);
+
+  /// Ids of queued tasks, front (next to run) first.
+  [[nodiscard]] std::vector<workload::TaskId> queued_task_ids() const;
+
+  /// Id of the running task, if any.
+  [[nodiscard]] std::optional<workload::TaskId> running_task_id() const noexcept;
+
+  /// Finalizes accounting at \p horizon (usually the end of the simulation)
+  /// and returns activity statistics. Requires horizon >= engine.now() of
+  /// the last activity; partial busy time of an in-flight task is counted.
+  [[nodiscard]] MachineStats finalize_stats(core::SimTime horizon) const;
+
+  /// Energy in joules consumed over [0, horizon] under the two-state model:
+  /// busy_seconds * busy_watts + idle_seconds * idle_watts.
+  [[nodiscard]] double energy_joules(core::SimTime horizon) const;
+
+  /// Dynamic (execution-attributable) energy over [0, horizon]:
+  /// busy_seconds * busy_watts. This is the quantity energy-aware policies
+  /// (ELARE/FELARE) optimize; the remainder of energy_joules() is the static
+  /// idle draw, which accrues with wall time regardless of mapping.
+  [[nodiscard]] double dynamic_energy_joules(core::SimTime horizon) const;
+
+ private:
+  struct QueueEntry {
+    workload::Task* task;
+    double exec_seconds;
+  };
+  struct RunningEntry {
+    workload::Task* task;
+    double exec_seconds;
+    core::SimTime started_at;
+    core::SimTime finish_at;
+    core::EventId completion_event;
+  };
+
+  void start_next();
+  void on_completion();
+
+  core::Engine& engine_;
+  hetero::MachineId id_;
+  std::string name_;
+  hetero::MachineTypeId type_;
+  hetero::MachineTypeSpec power_;
+  std::size_t queue_capacity_;
+  MachineListener* listener_ = nullptr;
+  mem::ModelCache* model_cache_ = nullptr;
+
+  bool online_ = true;
+  core::SimTime online_since_ = 0.0;      ///< start of the current online span
+  double accumulated_online_ = 0.0;       ///< closed online spans
+
+  std::deque<QueueEntry> queue_;
+  std::optional<RunningEntry> running_;
+
+  double busy_seconds_ = 0.0;  ///< completed/aborted execution time so far
+  std::size_t completed_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace e2c::machines

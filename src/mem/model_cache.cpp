@@ -1,0 +1,101 @@
+#include "mem/model_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::mem {
+
+const char* eviction_policy_name(EvictionPolicy policy) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kFifo: return "fifo";
+    case EvictionPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+EvictionPolicy parse_eviction_policy(const std::string& name) {
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kLru, EvictionPolicy::kFifo, EvictionPolicy::kNone}) {
+    if (util::iequals(name, eviction_policy_name(policy))) return policy;
+  }
+  throw InputError("unknown eviction policy: '" + name + "'");
+}
+
+ModelCache::ModelCache(double capacity_mb, std::vector<double> model_mb,
+                       std::vector<double> load_seconds, EvictionPolicy eviction)
+    : capacity_mb_(capacity_mb),
+      model_mb_(std::move(model_mb)),
+      load_seconds_(std::move(load_seconds)),
+      eviction_(eviction),
+      warm_(model_mb_.size(), false) {
+  require_input(capacity_mb_ > 0.0, "model cache: capacity must be > 0");
+  require_input(model_mb_.size() == load_seconds_.size(),
+                "model cache: one load penalty per model required");
+  for (double mb : model_mb_) {
+    require_input(mb > 0.0, "model cache: model sizes must be > 0");
+  }
+  for (double s : load_seconds_) {
+    require_input(s >= 0.0, "model cache: load penalties must be >= 0");
+  }
+}
+
+double ModelCache::on_execute(hetero::TaskTypeId type) {
+  require_input(type < model_mb_.size(), "model cache: task type out of range");
+
+  if (eviction_ == EvictionPolicy::kNone) {
+    ++misses_;
+    return load_seconds_[type];
+  }
+  if (warm_[type]) {
+    ++hits_;
+    touch(type);
+    return 0.0;
+  }
+  ++misses_;
+  const double needed = model_mb_[type];
+  if (needed > capacity_mb_) {
+    // The model can never be resident; always a cold start.
+    return load_seconds_[type];
+  }
+  evict_until_fits(needed);
+  warm_[type] = true;
+  used_mb_ += needed;
+  order_.push_back(type);
+  return load_seconds_[type];
+}
+
+bool ModelCache::is_warm(hetero::TaskTypeId type) const noexcept {
+  return type < warm_.size() && warm_[type];
+}
+
+std::vector<hetero::TaskTypeId> ModelCache::warm_types() const {
+  return {order_.begin(), order_.end()};
+}
+
+double ModelCache::hit_rate() const noexcept {
+  const std::size_t total = hits_ + misses_;
+  return total == 0 ? 1.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void ModelCache::evict_until_fits(double needed_mb) {
+  while (used_mb_ + needed_mb > capacity_mb_ && !order_.empty()) {
+    const hetero::TaskTypeId victim = order_.front();
+    order_.pop_front();
+    warm_[victim] = false;
+    used_mb_ -= model_mb_[victim];
+  }
+}
+
+void ModelCache::touch(hetero::TaskTypeId type) {
+  if (eviction_ != EvictionPolicy::kLru) return;  // FIFO ignores recency
+  const auto it = std::find(order_.begin(), order_.end(), type);
+  if (it != order_.end()) {
+    order_.erase(it);
+    order_.push_back(type);
+  }
+}
+
+}  // namespace e2c::mem

@@ -1,0 +1,99 @@
+/// \file model_cache.hpp
+/// \brief Multi-tenant memory substrate — the Edge-MultiAI extension.
+///
+/// The paper (§3) notes that E2C was extended "to simulate the memory
+/// allocation policies of multi-tenant applications on a homogeneous edge
+/// computing system" (Zobaed et al., UCC'22). This module reproduces that
+/// substrate: each task type is an application whose model occupies memory;
+/// a machine that still holds the model warm executes the task at its EET,
+/// while a cold start pays an extra load penalty and must make room by
+/// evicting other warm models.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hetero/types.hpp"
+
+namespace e2c::mem {
+
+/// Which warm model to evict when memory is needed.
+enum class EvictionPolicy : int {
+  kLru,   ///< least-recently-used model goes first
+  kFifo,  ///< oldest-loaded model goes first
+  kNone,  ///< never cache: every execution is a cold start
+};
+
+/// Display name ("lru", "fifo", "none").
+[[nodiscard]] const char* eviction_policy_name(EvictionPolicy policy) noexcept;
+
+/// Parses a case-insensitive policy name; throws e2c::InputError if unknown.
+[[nodiscard]] EvictionPolicy parse_eviction_policy(const std::string& name);
+
+/// Static description of the memory landscape of a system.
+struct MemoryModel {
+  /// Model footprint per task type (MB, > 0).
+  std::vector<double> model_mb;
+  /// Cold-start load penalty per task type (seconds, >= 0), added to the
+  /// task's execution time when its model is not warm.
+  std::vector<double> load_seconds;
+  /// Memory capacity per machine *type* (MB, > 0).
+  std::vector<double> machine_memory_mb;
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+};
+
+/// Warm-model cache of ONE machine instance.
+///
+/// on_execute(type) is called when an execution starts; it returns the extra
+/// seconds (0 for a warm hit), updates the warm set and eviction metadata,
+/// and counts hits/misses. Deterministic.
+class ModelCache {
+ public:
+  /// \param capacity_mb machine memory (must be > 0)
+  /// \param model_mb per-type footprints (each must fit within capacity
+  ///        or the type can never be cached and always cold-starts)
+  /// \param load_seconds per-type cold penalties
+  ModelCache(double capacity_mb, std::vector<double> model_mb,
+             std::vector<double> load_seconds, EvictionPolicy eviction);
+
+  /// Registers an execution of \p type; returns the cold-start penalty in
+  /// seconds (0 when the model was warm).
+  [[nodiscard]] double on_execute(hetero::TaskTypeId type);
+
+  /// True if the model of \p type is currently warm.
+  [[nodiscard]] bool is_warm(hetero::TaskTypeId type) const noexcept;
+
+  /// Warm model types, in eviction order (next victim first).
+  [[nodiscard]] std::vector<hetero::TaskTypeId> warm_types() const;
+
+  /// Memory currently occupied by warm models (MB).
+  [[nodiscard]] double used_mb() const noexcept { return used_mb_; }
+
+  /// Executions that found their model warm.
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+  /// Executions that cold-started.
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+  /// hits / (hits + misses); 1.0 before any execution.
+  [[nodiscard]] double hit_rate() const noexcept;
+
+ private:
+  void evict_until_fits(double needed_mb);
+  void touch(hetero::TaskTypeId type);
+
+  double capacity_mb_;
+  std::vector<double> model_mb_;
+  std::vector<double> load_seconds_;
+  EvictionPolicy eviction_;
+
+  std::deque<hetero::TaskTypeId> order_;  ///< eviction order, victim at front
+  std::vector<bool> warm_;
+  double used_mb_ = 0.0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace e2c::mem

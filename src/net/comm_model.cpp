@@ -1,0 +1,61 @@
+#include "net/comm_model.hpp"
+
+#include "util/error.hpp"
+
+namespace e2c::net {
+
+namespace {
+void validate_link(const LinkSpec& link) {
+  require_input(link.latency_seconds >= 0.0, "comm: link latency must be >= 0");
+  require_input(link.bandwidth_mb_per_s > 0.0, "comm: link bandwidth must be > 0");
+}
+}  // namespace
+
+CommModel::CommModel(std::vector<double> payload_mb, std::vector<LinkSpec> links)
+    : payload_mb_(std::move(payload_mb)), links_(std::move(links)) {
+  for (double mb : payload_mb_) {
+    require_input(mb >= 0.0, "comm: payload size must be >= 0");
+  }
+  for (const LinkSpec& link : links_) validate_link(link);
+}
+
+CommModel CommModel::instantaneous(std::size_t task_types, std::size_t machine_types) {
+  return CommModel(std::vector<double>(task_types, 0.0),
+                   std::vector<LinkSpec>(machine_types, LinkSpec{0.0, 1000.0}));
+}
+
+CommModel CommModel::uniform(std::size_t task_types, std::size_t machine_types,
+                             double payload_mb, LinkSpec link) {
+  return CommModel(std::vector<double>(task_types, payload_mb),
+                   std::vector<LinkSpec>(machine_types, link));
+}
+
+double CommModel::payload_mb(hetero::TaskTypeId type) const {
+  require_input(type < payload_mb_.size(), "comm: task type out of range");
+  return payload_mb_[type];
+}
+
+const LinkSpec& CommModel::link(hetero::MachineTypeId machine_type) const {
+  require_input(machine_type < links_.size(), "comm: machine type out of range");
+  return links_[machine_type];
+}
+
+core::SimTime CommModel::transfer_time(hetero::TaskTypeId type,
+                                       hetero::MachineTypeId machine_type) const {
+  const LinkSpec& spec = link(machine_type);
+  return spec.latency_seconds + payload_mb(type) / spec.bandwidth_mb_per_s;
+}
+
+void CommModel::set_payload_mb(hetero::TaskTypeId type, double mb) {
+  require_input(type < payload_mb_.size(), "comm: task type out of range");
+  require_input(mb >= 0.0, "comm: payload size must be >= 0");
+  payload_mb_[type] = mb;
+}
+
+void CommModel::set_link(hetero::MachineTypeId machine_type, LinkSpec link) {
+  require_input(machine_type < links_.size(), "comm: machine type out of range");
+  validate_link(link);
+  links_[machine_type] = link;
+}
+
+}  // namespace e2c::net

@@ -1,0 +1,74 @@
+/// \file comm_model.hpp
+/// \brief Communication (data transfer) model — the paper's stated future
+/// work ("we plan to extend E2C with ... various communication paradigms").
+///
+/// Each task type carries an input payload; each machine type is reached
+/// over a link with a fixed latency and bandwidth. When a scheduler maps a
+/// task, its payload must transfer before execution can start. Transfers do
+/// NOT occupy the machine's executor (DMA/NIC model): the machine keeps
+/// executing other tasks while a mapped task's data is in flight, but the
+/// in-flight task holds its reserved queue slot.
+///
+/// transfer_time(type, machine) = latency(machine) + size(type) / bandwidth(machine)
+#pragma once
+
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "hetero/types.hpp"
+
+namespace e2c::net {
+
+/// Link description for one machine type.
+struct LinkSpec {
+  double latency_seconds = 0.0;       ///< fixed per-transfer latency (>= 0)
+  double bandwidth_mb_per_s = 1000.0; ///< link bandwidth (> 0)
+};
+
+/// Data-transfer model for a system: payload sizes per task type, link specs
+/// per machine type.
+class CommModel {
+ public:
+  CommModel() = default;
+
+  /// \param payload_mb input payload of each task type (MB, >= 0)
+  /// \param links link spec of each machine type
+  /// Throws e2c::InputError on negative sizes or non-positive bandwidth.
+  CommModel(std::vector<double> payload_mb, std::vector<LinkSpec> links);
+
+  /// A model where every transfer is instantaneous (the no-network case the
+  /// base simulator assumes).
+  [[nodiscard]] static CommModel instantaneous(std::size_t task_types,
+                                               std::size_t machine_types);
+
+  /// A model with one payload size for every task type and one link spec for
+  /// every machine type.
+  [[nodiscard]] static CommModel uniform(std::size_t task_types, std::size_t machine_types,
+                                         double payload_mb, LinkSpec link);
+
+  /// Number of task types covered.
+  [[nodiscard]] std::size_t task_type_count() const noexcept { return payload_mb_.size(); }
+
+  /// Number of machine types covered.
+  [[nodiscard]] std::size_t machine_type_count() const noexcept { return links_.size(); }
+
+  /// Payload of a task type (MB).
+  [[nodiscard]] double payload_mb(hetero::TaskTypeId type) const;
+
+  /// Link spec of a machine type.
+  [[nodiscard]] const LinkSpec& link(hetero::MachineTypeId machine_type) const;
+
+  /// Seconds to move a task's payload onto a machine of the given type.
+  [[nodiscard]] core::SimTime transfer_time(hetero::TaskTypeId type,
+                                            hetero::MachineTypeId machine_type) const;
+
+  /// Mutators for scenario building (validated).
+  void set_payload_mb(hetero::TaskTypeId type, double mb);
+  void set_link(hetero::MachineTypeId machine_type, LinkSpec link);
+
+ private:
+  std::vector<double> payload_mb_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace e2c::net

@@ -1,0 +1,65 @@
+#include "reports/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace e2c::reports {
+
+Metrics compute_metrics(const sched::Simulation& simulation) {
+  Metrics metrics;
+  const auto& counters = simulation.counters();
+  metrics.total_tasks = counters.total;
+  metrics.completed = counters.completed;
+  metrics.cancelled = counters.cancelled;
+  metrics.dropped = counters.dropped;
+
+  const auto pct = [&](std::size_t n) {
+    return counters.total == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(n) / static_cast<double>(counters.total);
+  };
+  metrics.completion_percent = pct(counters.completed);
+  metrics.cancelled_percent = pct(counters.cancelled);
+  metrics.dropped_percent = pct(counters.dropped);
+
+  util::RunningStats waits;
+  util::RunningStats responses;
+  for (const workload::Task& task : simulation.tasks()) {
+    if (const auto wait = task.wait_time()) waits.add(*wait);
+    if (const auto response = task.response_time()) responses.add(*response);
+    if (task.completion_time) {
+      metrics.makespan = std::max(metrics.makespan, *task.completion_time);
+    }
+  }
+  metrics.mean_wait = waits.mean();
+  metrics.mean_response = responses.mean();
+
+  const core::SimTime horizon = simulation.engine().now();
+  metrics.total_energy_joules = simulation.total_energy_joules(horizon);
+  metrics.energy_per_completed_task =
+      counters.completed == 0
+          ? 0.0
+          : metrics.total_energy_joules / static_cast<double>(counters.completed);
+  metrics.dynamic_energy_joules = simulation.total_dynamic_energy_joules(horizon);
+  metrics.dynamic_energy_per_completed_task =
+      counters.completed == 0
+          ? 0.0
+          : metrics.dynamic_energy_joules / static_cast<double>(counters.completed);
+
+  metrics.machine_utilization.reserve(simulation.machine_count());
+  for (std::size_t i = 0; i < simulation.machine_count(); ++i) {
+    metrics.machine_utilization.push_back(
+        simulation.machine(i).finalize_stats(horizon).utilization());
+  }
+
+  const std::size_t type_count = simulation.eet().task_type_count();
+  metrics.type_completion_rate.reserve(type_count);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    metrics.type_completion_rate.push_back(simulation.type_ontime_rate(t));
+  }
+  metrics.type_fairness_jain = util::jain_fairness(metrics.type_completion_rate);
+  return metrics;
+}
+
+}  // namespace e2c::reports

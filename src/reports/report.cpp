@@ -1,0 +1,160 @@
+#include "reports/report.hpp"
+
+#include "reports/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::reports {
+
+namespace {
+
+std::string opt_time(const std::optional<core::SimTime>& value) {
+  return value ? util::format_fixed(*value, 2) : std::string{};
+}
+
+std::string machine_name_of(const sched::Simulation& simulation,
+                            const workload::Task& task) {
+  if (!task.assigned_machine) return {};
+  return simulation.machine(*task.assigned_machine).name();
+}
+
+}  // namespace
+
+const char* report_kind_name(ReportKind kind) noexcept {
+  switch (kind) {
+    case ReportKind::kTask: return "task";
+    case ReportKind::kMachine: return "machine";
+    case ReportKind::kSummary: return "summary";
+    case ReportKind::kFull: return "full";
+    case ReportKind::kMissed: return "missed";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<std::string>> task_report(const sched::Simulation& simulation) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(simulation.tasks().size() + 1);
+  rows.push_back({"task_id", "task_type", "status", "assigned_machine", "arrival_time",
+                  "deadline", "start_time", "completion_time", "missed_time",
+                  "wait_time", "response_time"});
+  for (const workload::Task& task : simulation.tasks()) {
+    rows.push_back({std::to_string(task.id),
+                    simulation.eet().task_type_name(task.type),
+                    workload::task_status_name(task.status),
+                    machine_name_of(simulation, task),
+                    util::format_fixed(task.arrival, 2),
+                    task.deadline == core::kTimeInfinity
+                        ? std::string{}
+                        : util::format_fixed(task.deadline, 2),
+                    opt_time(task.start_time), opt_time(task.completion_time),
+                    opt_time(task.missed_time),
+                    task.wait_time() ? util::format_fixed(*task.wait_time(), 2)
+                                     : std::string{},
+                    task.response_time() ? util::format_fixed(*task.response_time(), 2)
+                                         : std::string{}});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> machine_report(const sched::Simulation& simulation) {
+  const core::SimTime horizon = simulation.engine().now();
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(simulation.machine_count() + 1);
+  rows.push_back({"machine", "machine_type", "tasks_completed", "tasks_dropped",
+                  "busy_seconds", "utilization", "energy_joules"});
+  for (std::size_t i = 0; i < simulation.machine_count(); ++i) {
+    const machines::Machine& machine = simulation.machine(i);
+    const machines::MachineStats stats = machine.finalize_stats(horizon);
+    rows.push_back({machine.name(),
+                    simulation.eet().machine_type_name(machine.type()),
+                    std::to_string(stats.tasks_completed),
+                    std::to_string(stats.tasks_dropped),
+                    util::format_fixed(stats.busy_seconds, 2),
+                    util::format_fixed(stats.utilization(), 4),
+                    util::format_fixed(machine.energy_joules(horizon), 2)});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> summary_report(const sched::Simulation& simulation) {
+  const Metrics metrics = compute_metrics(simulation);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  rows.push_back({"policy", simulation.policy().name()});
+  rows.push_back({"total_tasks", std::to_string(metrics.total_tasks)});
+  rows.push_back({"completed", std::to_string(metrics.completed)});
+  rows.push_back({"cancelled", std::to_string(metrics.cancelled)});
+  rows.push_back({"dropped", std::to_string(metrics.dropped)});
+  rows.push_back({"completion_percent", util::format_fixed(metrics.completion_percent, 2)});
+  rows.push_back({"cancelled_percent", util::format_fixed(metrics.cancelled_percent, 2)});
+  rows.push_back({"dropped_percent", util::format_fixed(metrics.dropped_percent, 2)});
+  rows.push_back({"makespan", util::format_fixed(metrics.makespan, 2)});
+  rows.push_back({"mean_wait", util::format_fixed(metrics.mean_wait, 2)});
+  rows.push_back({"mean_response", util::format_fixed(metrics.mean_response, 2)});
+  rows.push_back({"total_energy_joules", util::format_fixed(metrics.total_energy_joules, 2)});
+  rows.push_back({"energy_per_completed_task",
+                  util::format_fixed(metrics.energy_per_completed_task, 2)});
+  rows.push_back({"dynamic_energy_joules",
+                  util::format_fixed(metrics.dynamic_energy_joules, 2)});
+  rows.push_back({"dynamic_energy_per_completed_task",
+                  util::format_fixed(metrics.dynamic_energy_per_completed_task, 2)});
+  rows.push_back({"type_fairness_jain", util::format_fixed(metrics.type_fairness_jain, 4)});
+  for (std::size_t t = 0; t < metrics.type_completion_rate.size(); ++t) {
+    rows.push_back({"completion_rate[" + simulation.eet().task_type_name(t) + "]",
+                    util::format_fixed(metrics.type_completion_rate[t], 4)});
+  }
+  for (std::size_t m = 0; m < metrics.machine_utilization.size(); ++m) {
+    rows.push_back({"utilization[" + simulation.machine(m).name() + "]",
+                    util::format_fixed(metrics.machine_utilization[m], 4)});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> full_report(const sched::Simulation& simulation) {
+  std::vector<std::vector<std::string>> rows = task_report(simulation);
+  // Extend the header and every row with the task's EET on every machine
+  // type — "how each machine performed on it".
+  const auto& eet = simulation.eet();
+  for (const std::string& machine_type : eet.machine_type_names()) {
+    rows[0].push_back("eet_" + machine_type);
+  }
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const workload::Task& task = simulation.tasks()[r - 1];
+    for (std::size_t c = 0; c < eet.machine_type_count(); ++c) {
+      rows[r].push_back(util::format_fixed(eet.eet(task.type, c), 2));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> missed_report(const sched::Simulation& simulation) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"task_id", "task_type", "assigned_machine", "arrival_time", "start_time",
+                  "missed_time", "outcome"});
+  for (const workload::Task* task : simulation.missed_tasks()) {
+    rows.push_back({std::to_string(task->id), simulation.eet().task_type_name(task->type),
+                    machine_name_of(simulation, *task),
+                    util::format_fixed(task->arrival, 2), opt_time(task->start_time),
+                    opt_time(task->missed_time), workload::task_status_name(task->status)});
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> build_report(const sched::Simulation& simulation,
+                                                   ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kTask: return task_report(simulation);
+    case ReportKind::kMachine: return machine_report(simulation);
+    case ReportKind::kSummary: return summary_report(simulation);
+    case ReportKind::kFull: return full_report(simulation);
+    case ReportKind::kMissed: return missed_report(simulation);
+  }
+  return {};
+}
+
+void save_report_csv(const sched::Simulation& simulation, ReportKind kind,
+                     const std::string& path) {
+  util::write_csv_file(path, build_report(simulation, kind));
+}
+
+}  // namespace e2c::reports

@@ -1,0 +1,56 @@
+/// \file report.hpp
+/// \brief The four report kinds of the paper's Reports menu, as CSV tables.
+///
+/// "There is an option for a 'Full Report,' 'Task Report,' 'Machine Report,'
+/// and 'Summary Report'" (§3). Each builder returns rows (header first) that
+/// can be saved with e2c::util::write_csv_file — the "save the report as a
+/// CSV file" workflow students used for their bar charts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/simulation.hpp"
+
+namespace e2c::reports {
+
+/// Report kinds selectable in the Reports menu.
+enum class ReportKind { kTask, kMachine, kSummary, kFull, kMissed };
+
+/// Display name ("task", "machine", ...).
+[[nodiscard]] const char* report_kind_name(ReportKind kind) noexcept;
+
+/// Task Report: one row per task — id, type, status, assigned machine,
+/// arrival/start/completion/missed times, wait and response.
+[[nodiscard]] std::vector<std::vector<std::string>> task_report(
+    const sched::Simulation& simulation);
+
+/// Machine Report: one row per machine — name, type, tasks completed/
+/// dropped, busy seconds, utilization, energy.
+[[nodiscard]] std::vector<std::vector<std::string>> machine_report(
+    const sched::Simulation& simulation);
+
+/// Summary Report: key/value rows of the aggregate metrics.
+[[nodiscard]] std::vector<std::vector<std::string>> summary_report(
+    const sched::Simulation& simulation);
+
+/// Full Report: the task report joined with per-task machine columns —
+/// "all data related to each task and how each machine performed on it",
+/// i.e. the task's EET on every machine type alongside its actual record.
+[[nodiscard]] std::vector<std::vector<std::string>> full_report(
+    const sched::Simulation& simulation);
+
+/// Missed Tasks panel (Fig. 4): task id, type, assigned machine, arrival,
+/// start, and missed time for every cancelled/dropped task, in miss order.
+[[nodiscard]] std::vector<std::vector<std::string>> missed_report(
+    const sched::Simulation& simulation);
+
+/// Builds a report by kind.
+[[nodiscard]] std::vector<std::vector<std::string>> build_report(
+    const sched::Simulation& simulation, ReportKind kind);
+
+/// Saves a report as CSV at \p path.
+void save_report_csv(const sched::Simulation& simulation, ReportKind kind,
+                     const std::string& path);
+
+}  // namespace e2c::reports

@@ -1,0 +1,76 @@
+#include "sched/batch.hpp"
+
+#include <algorithm>
+
+namespace e2c::sched {
+
+namespace {
+
+/// Iterative batch mapper shared by MM/MMU/MSD. \p key computes the
+/// selection score of a task given its best completion time; the task with
+/// the smallest score is mapped each round (ties break to the earlier
+/// arrival, which is the batch-queue order).
+///
+/// Tasks whose best-case completion already misses their deadline are
+/// *deferred* (left in the batch queue), following the task-pruning line of
+/// the E2C authors (Gentry/Denninnart/Mokhtari et al.): mapping doomed work
+/// only burns machine time that on-time tasks need, and the deferred task is
+/// cancelled by its deadline event anyway. Without this, MMU in particular
+/// inverts at high load — the most-negative-slack (already doomed) tasks
+/// count as "most urgent" and starve the feasible ones.
+template <typename Key>
+std::vector<Assignment> iterative_map(SchedulingContext& context, Key key) {
+  std::vector<Assignment> assignments;
+  std::vector<const workload::Task*> pending = context.batch_queue();
+
+  while (!pending.empty()) {
+    std::size_t best_task = pending.size();
+    std::size_t best_machine = context.machines().size();
+    double best_key = 0.0;
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const workload::Task& task = *pending[i];
+      const std::size_t machine_index = argmin_completion(context, task);
+      if (machine_index >= context.machines().size()) continue;  // no slot anywhere
+      const core::SimTime completion =
+          context.completion_time(task, context.machines()[machine_index]);
+      if (completion > task.deadline) continue;  // infeasible: defer (prune)
+      const double k = key(task, completion);
+      if (best_task == pending.size() || k < best_key) {
+        best_task = i;
+        best_machine = machine_index;
+        best_key = k;
+      }
+    }
+    if (best_task == pending.size()) break;  // saturated or only infeasible left
+
+    const workload::Task& task = *pending[best_task];
+    assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
+    context.commit(task, best_machine);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+  }
+  return assignments;
+}
+
+}  // namespace
+
+std::vector<Assignment> MinMinPolicy::schedule(SchedulingContext& context) {
+  return iterative_map(context, [](const workload::Task&, core::SimTime completion) {
+    return completion;
+  });
+}
+
+std::vector<Assignment> MaxUrgencyPolicy::schedule(SchedulingContext& context) {
+  // Smallest slack first == max urgency.
+  return iterative_map(context, [](const workload::Task& task, core::SimTime completion) {
+    return task.deadline - completion;
+  });
+}
+
+std::vector<Assignment> SoonestDeadlinePolicy::schedule(SchedulingContext& context) {
+  return iterative_map(context, [](const workload::Task& task, core::SimTime) {
+    return task.deadline;
+  });
+}
+
+}  // namespace e2c::sched

@@ -1,0 +1,51 @@
+/// \file batch.hpp
+/// \brief The batch-mode mapping heuristics of the paper: MM, MMU and MSD.
+///
+/// Batch mode (Maheswaran et al. [13], Mokhtari et al. [14]): tasks buffer
+/// in the batch queue and the scheduler maps possibly several of them per
+/// invocation, against bounded machine queues. All three policies share the
+/// iterative structure of Min-Min: repeatedly pick a (task, machine) pair,
+/// commit it to the projection, and continue until the batch queue drains or
+/// no machine has a free slot. They differ in *which task* is picked next.
+///
+/// All three defer tasks whose best-case completion already misses the
+/// deadline (the E2C authors' task-pruning mechanism [8]/[10]/[14]): doomed
+/// work stays in the batch queue and is cancelled at its deadline instead of
+/// occupying a machine until the drop.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace e2c::sched {
+
+/// MinCompletion-MinCompletion (classic Min-Min): next pick is the task
+/// whose best-case completion time is smallest. Maximizes short-term
+/// throughput; long tasks can starve under load.
+class MinMinPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MM"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+/// MinCompletion-MaxUrgency: next pick is the task with the smallest slack
+/// (deadline minus best completion time); the mapping machine is still the
+/// completion-time minimizer. Prioritizes tasks about to miss.
+class MaxUrgencyPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MMU"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+/// MinCompletion-SoonestDeadline: next pick is the task with the earliest
+/// absolute deadline (EDF flavour); machine is the completion-time
+/// minimizer.
+class SoonestDeadlinePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MSD"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+}  // namespace e2c::sched

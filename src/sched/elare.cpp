@@ -1,0 +1,81 @@
+#include "sched/elare.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace e2c::sched {
+
+ElarePolicy::ElarePolicy(double energy_weight) : energy_weight_(energy_weight) {
+  require_input(energy_weight >= 0.0 && energy_weight <= 1.0,
+                "ELARE: energy_weight must be in [0, 1]");
+}
+
+double ElarePolicy::fairness_factor(const SchedulingContext&, const workload::Task&) const {
+  return 1.0;
+}
+
+std::vector<Assignment> ElarePolicy::schedule(SchedulingContext& context) {
+  std::vector<Assignment> assignments;
+  std::vector<const workload::Task*> pending = context.batch_queue();
+
+  // Normalization bases so the energy and latency terms are comparable:
+  // the worst (largest) energy and completion values over all pairs in this
+  // invocation. Recomputed per round because commits move ready times.
+  while (!pending.empty()) {
+    double max_energy = 0.0;
+    core::SimTime max_completion = 0.0;
+    bool any_slot = false;
+    for (const workload::Task* task : pending) {
+      for (const MachineView& m : context.machines()) {
+        if (m.free_slots == 0) continue;
+        any_slot = true;
+        max_energy = std::max(max_energy, context.exec_energy(*task, m));
+        max_completion = std::max(max_completion, context.completion_time(*task, m));
+      }
+    }
+    if (!any_slot || max_energy <= 0.0 || max_completion <= 0.0) break;
+
+    std::size_t best_task = pending.size();
+    std::size_t best_machine = context.machines().size();
+    double best_score = 0.0;
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const workload::Task& task = *pending[i];
+      const double factor = fairness_factor(context, task);
+      for (std::size_t j = 0; j < context.machines().size(); ++j) {
+        const MachineView& m = context.machines()[j];
+        if (m.free_slots == 0) continue;
+        const core::SimTime completion = context.completion_time(task, m);
+        if (completion > task.deadline) continue;  // infeasible: defer, don't waste
+        const double score = factor * (energy_weight_ * context.exec_energy(task, m) /
+                                           max_energy +
+                                       (1.0 - energy_weight_) * completion / max_completion);
+        if (best_task == pending.size() || score < best_score) {
+          best_task = i;
+          best_machine = j;
+          best_score = score;
+        }
+      }
+    }
+    if (best_task == pending.size()) break;  // every remaining task is infeasible
+
+    const workload::Task& task = *pending[best_task];
+    assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
+    context.commit(task, best_machine);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+  }
+  return assignments;
+}
+
+double FelarePolicy::fairness_factor(const SchedulingContext& context,
+                                     const workload::Task& task) const {
+  // A type completing only 40% on time gets factor ~0.4+eps: its score
+  // shrinks, so its tasks win ties against well-served types. The floor
+  // keeps starved types from monopolizing the mapper outright.
+  constexpr double kFloor = 0.2;
+  const double rate = context.type_ontime_rate(task.type);
+  return std::max(kFloor, rate);
+}
+
+}  // namespace e2c::sched

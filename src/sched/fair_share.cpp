@@ -1,0 +1,39 @@
+#include "sched/fair_share.hpp"
+
+#include <algorithm>
+
+namespace e2c::sched {
+
+std::vector<Assignment> FairSharePolicy::schedule(SchedulingContext& context) {
+  std::vector<Assignment> assignments;
+  std::vector<const workload::Task*> pending = context.batch_queue();
+
+  while (!pending.empty()) {
+    // Pick the pending task of the most-suffering type; break ties by
+    // soonest deadline, then arrival order (stable).
+    std::size_t best_task = pending.size();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (best_task == pending.size()) {
+        best_task = i;
+        continue;
+      }
+      const double rate_i = context.type_ontime_rate(pending[i]->type);
+      const double rate_b = context.type_ontime_rate(pending[best_task]->type);
+      if (rate_i < rate_b ||
+          (rate_i == rate_b && pending[i]->deadline < pending[best_task]->deadline)) {
+        best_task = i;
+      }
+    }
+
+    const workload::Task& task = *pending[best_task];
+    const std::size_t machine_index = argmin_completion(context, task);
+    if (machine_index >= context.machines().size()) break;  // saturated
+
+    assignments.push_back(Assignment{task.id, context.machines()[machine_index].id});
+    context.commit(task, machine_index);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+  }
+  return assignments;
+}
+
+}  // namespace e2c::sched

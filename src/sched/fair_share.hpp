@@ -1,0 +1,31 @@
+/// \file fair_share.hpp
+/// \brief Example custom policy: the graduate-assignment solution.
+///
+/// Part 3 of the paper's class assignment asks graduate students to "create
+/// and implement their own scheduling method for the heterogeneous system
+/// that enabled fairness across various task types". This policy is a
+/// reference solution, shipped both as a usable policy and as the worked
+/// example of extending E2C through the registry (see examples/
+/// custom_scheduler.cpp, which registers a variant from scratch).
+///
+/// Strategy: batch-mode iterative mapping where the next task is chosen by
+/// *sufferage across task types* — among pending tasks, prefer the type with
+/// the lowest observed on-time completion rate; within a type, soonest
+/// deadline first. The machine is the completion-time minimizer, skipping
+/// mappings that cannot meet the deadline when a feasible alternative
+/// exists.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace e2c::sched {
+
+/// Fairness-first batch policy (reference solution to assignment part 3).
+class FairSharePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FairShare"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+}  // namespace e2c::sched

@@ -1,0 +1,43 @@
+#include "sched/immediate.hpp"
+
+namespace e2c::sched {
+
+namespace {
+/// Maps every task in the batch queue, in arrival order, to the machine
+/// selected by \p pick (a member-style selector). Shared by all immediate
+/// policies, which differ only in the selector.
+template <typename Pick>
+std::vector<Assignment> map_all_in_order(SchedulingContext& context, Pick pick) {
+  std::vector<Assignment> assignments;
+  for (const workload::Task* task : context.batch_queue()) {
+    const std::size_t machine_index = pick(context, *task);
+    if (machine_index >= context.machines().size()) continue;  // no space anywhere
+    assignments.push_back(
+        Assignment{task->id, context.machines()[machine_index].id});
+    context.commit(*task, machine_index);
+  }
+  return assignments;
+}
+}  // namespace
+
+std::vector<Assignment> FcfsPolicy::schedule(SchedulingContext& context) {
+  return map_all_in_order(context, [](const SchedulingContext& ctx, const workload::Task&) {
+    return argmin_ready(ctx);
+  });
+}
+
+std::vector<Assignment> MeetPolicy::schedule(SchedulingContext& context) {
+  return map_all_in_order(context,
+                          [](const SchedulingContext& ctx, const workload::Task& task) {
+                            return argmin_exec(ctx, task);
+                          });
+}
+
+std::vector<Assignment> MectPolicy::schedule(SchedulingContext& context) {
+  return map_all_in_order(context,
+                          [](const SchedulingContext& ctx, const workload::Task& task) {
+                            return argmin_completion(ctx, task);
+                          });
+}
+
+}  // namespace e2c::sched

@@ -1,0 +1,47 @@
+/// \file immediate.hpp
+/// \brief The immediate-mode scheduling policies of the paper:
+/// FCFS, MEET and MECT.
+///
+/// Immediate mode (Maheswaran et al. [13]): an arriving task is mapped as
+/// soon as it arrives, with unbounded machine queues. Each invocation of
+/// these policies therefore maps every task currently in the batch queue
+/// (normally exactly the one that just arrived), in arrival order.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace e2c::sched {
+
+/// First-Come-First-Serve: the arriving task goes to the machine that will
+/// be available soonest (minimum ready time), ignoring execution-time
+/// heterogeneity. This is the pedagogical baseline the class assignment
+/// compares against: it load-balances queue *time* but wastes fast machines.
+class FcfsPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+/// Minimum Expected Execution Time: the arriving task goes to the machine
+/// type that executes its task type fastest, ignoring current load. Strong
+/// at low intensity on heterogeneous systems; at high intensity it herds all
+/// tasks of a type onto one machine and saturates it.
+class MeetPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MEET"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+/// Minimum Expected Completion Time: the arriving task goes to the machine
+/// minimizing ready_time + EET — the load-and-speed-aware immediate policy
+/// that the assignment expects to beat FCFS on heterogeneous systems.
+class MectPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MECT"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
+}  // namespace e2c::sched

@@ -1,0 +1,60 @@
+#include "sched/pam.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace e2c::sched {
+
+PamPolicy::PamPolicy(double success_threshold) : success_threshold_(success_threshold) {
+  require_input(success_threshold >= 0.0 && success_threshold <= 1.0,
+                "PAM: success_threshold must be in [0, 1]");
+}
+
+double PamPolicy::success_probability(const SchedulingContext& context,
+                                      const workload::Task& task, const MachineView& m) {
+  const core::SimTime mean_completion = context.completion_time(task, m);
+  const double sigma = context.exec_stddev(task, m);
+  const double slack = task.deadline - mean_completion;
+  if (sigma <= 0.0) return slack >= 0.0 ? 1.0 : 0.0;
+  // Phi(slack / sigma) via erfc for numerical stability in the tails.
+  return 0.5 * std::erfc(-slack / (sigma * std::numbers::sqrt2));
+}
+
+std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
+  std::vector<Assignment> assignments;
+  std::vector<const workload::Task*> pending = context.batch_queue();
+
+  while (!pending.empty()) {
+    std::size_t best_task = pending.size();
+    std::size_t best_machine = context.machines().size();
+    core::SimTime best_completion = 0.0;
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const workload::Task& task = *pending[i];
+      // The task's best machine by expected completion among those clearing
+      // the success threshold.
+      for (std::size_t j = 0; j < context.machines().size(); ++j) {
+        const MachineView& m = context.machines()[j];
+        if (m.free_slots == 0) continue;
+        if (success_probability(context, task, m) < success_threshold_) continue;
+        const core::SimTime completion = context.completion_time(task, m);
+        if (best_task == pending.size() || completion < best_completion) {
+          best_task = i;
+          best_machine = j;
+          best_completion = completion;
+        }
+      }
+    }
+    if (best_task == pending.size()) break;  // everything pruned or saturated
+
+    const workload::Task& task = *pending[best_task];
+    assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
+    context.commit(task, best_machine);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+  }
+  return assignments;
+}
+
+}  // namespace e2c::sched

@@ -1,0 +1,57 @@
+#include "sched/policy.hpp"
+
+namespace e2c::sched {
+
+namespace {
+template <typename Score>
+std::size_t argmin_with_space(const SchedulingContext& context, Score score) {
+  const auto& machines = context.machines();
+  std::size_t best = machines.size();
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (machines[i].free_slots == 0) continue;
+    const double s = score(machines[i]);
+    if (best == machines.size() || s < best_score) {
+      best = i;
+      best_score = s;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+std::size_t argmin_completion(const SchedulingContext& context, const workload::Task& task) {
+  return argmin_with_space(context, [&](const MachineView& m) {
+    return context.completion_time(task, m);
+  });
+}
+
+std::size_t argmin_exec(const SchedulingContext& context, const workload::Task& task) {
+  // Ties on raw EET are broken by current load (ready time): on a
+  // homogeneous system every machine ties, and without this MEET would herd
+  // every task onto machine 0 while the rest sit idle. With the load
+  // tie-break MEET degenerates to least-loaded there, and is unchanged on
+  // heterogeneous systems where EETs differ.
+  const auto& machines = context.machines();
+  std::size_t best = machines.size();
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (machines[i].free_slots == 0) continue;
+    if (best == machines.size()) {
+      best = i;
+      continue;
+    }
+    const double exec_i = context.exec_time(task, machines[i]);
+    const double exec_b = context.exec_time(task, machines[best]);
+    if (exec_i < exec_b ||
+        (exec_i == exec_b && machines[i].ready_time < machines[best].ready_time)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t argmin_ready(const SchedulingContext& context) {
+  return argmin_with_space(context, [](const MachineView& m) { return m.ready_time; });
+}
+
+}  // namespace e2c::sched

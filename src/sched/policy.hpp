@@ -1,0 +1,172 @@
+/// \file policy.hpp
+/// \brief The pluggable scheduling-policy interface.
+///
+/// E2C's modularity promise (§3: "providing the ability for the user to
+/// modify the existing scheduling methods or adding their own
+/// custom-designed scheduling methods") maps to this interface plus the
+/// registry in registry.hpp. A policy sees a snapshot of the system (batch
+/// queue + projected machine states) and returns the mappings it wants; the
+/// simulation applies them. Policies never touch engine internals, so a
+/// student's policy cannot corrupt the simulation.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "hetero/eet_matrix.hpp"
+#include "hetero/pet_matrix.hpp"
+#include "workload/task.hpp"
+
+namespace e2c::sched {
+
+/// One mapping decision: put task onto machine.
+struct Assignment {
+  workload::TaskId task = 0;
+  hetero::MachineId machine = 0;
+};
+
+/// Snapshot of one machine as the policy sees it. ready_time and free_slots
+/// are *projections*: helper methods update them as the policy commits
+/// assignments inside a single scheduler invocation, so multi-task batch
+/// policies account for their own earlier picks.
+struct MachineView {
+  hetero::MachineId id = 0;
+  hetero::MachineTypeId type = 0;
+  core::SimTime ready_time = 0.0;
+  /// Remaining queue slots; kUnlimitedSlots when the queue is unbounded.
+  std::size_t free_slots = 0;
+  double idle_watts = 0.0;
+  double busy_watts = 0.0;
+};
+
+/// Sentinel for unbounded machine queues.
+inline constexpr std::size_t kUnlimitedSlots = std::numeric_limits<std::size_t>::max();
+
+/// Everything a policy may consult while deciding. The context is a
+/// per-invocation copy: policies are free to mutate machine views through
+/// commit() and to reorder/filter their own working copies of the queue.
+class SchedulingContext {
+ public:
+  SchedulingContext(core::SimTime now, const hetero::EetMatrix& eet,
+                    std::vector<MachineView> machines,
+                    std::vector<const workload::Task*> batch_queue,
+                    std::vector<double> type_ontime_rate,
+                    const hetero::PetMatrix* pet = nullptr)
+      : now_(now),
+        eet_(&eet),
+        pet_(pet),
+        machines_(std::move(machines)),
+        batch_queue_(std::move(batch_queue)),
+        type_ontime_rate_(std::move(type_ontime_rate)) {}
+
+  /// Current simulated time.
+  [[nodiscard]] core::SimTime now() const noexcept { return now_; }
+
+  /// The system's EET matrix.
+  [[nodiscard]] const hetero::EetMatrix& eet() const noexcept { return *eet_; }
+
+  /// Machine snapshots (projected; see commit()).
+  [[nodiscard]] const std::vector<MachineView>& machines() const noexcept {
+    return machines_;
+  }
+
+  /// Unmapped tasks in arrival order (the batch queue of Fig. 1).
+  [[nodiscard]] const std::vector<const workload::Task*>& batch_queue() const noexcept {
+    return batch_queue_;
+  }
+
+  /// Expected execution time of \p task on machine view \p m.
+  [[nodiscard]] double exec_time(const workload::Task& task, const MachineView& m) const {
+    return eet_->eet(task.type, m.type);
+  }
+
+  /// Projected completion time of \p task on machine view \p m.
+  [[nodiscard]] core::SimTime completion_time(const workload::Task& task,
+                                              const MachineView& m) const {
+    return m.ready_time + exec_time(task, m);
+  }
+
+  /// Standard deviation of the execution time of \p task on machine view
+  /// \p m under the system's PET model; 0 when the system is deterministic
+  /// (no PET configured). Probabilistic policies (PAM) use this to assess
+  /// deadline risk.
+  [[nodiscard]] double exec_stddev(const workload::Task& task, const MachineView& m) const {
+    return pet_ ? pet_->cell(task.type, m.type).stddev() : 0.0;
+  }
+
+  /// True when the system runs with stochastic execution times.
+  [[nodiscard]] bool stochastic() const noexcept { return pet_ != nullptr; }
+
+  /// Projected energy (J) to execute \p task on \p m: exec * busy_watts.
+  /// The two-state power model attributes idle power to the machine, not the
+  /// task, so the marginal task energy is the busy-power integral.
+  [[nodiscard]] double exec_energy(const workload::Task& task, const MachineView& m) const {
+    return exec_time(task, m) * m.busy_watts;
+  }
+
+  /// On-time completion rate observed so far for a task type (1.0 before any
+  /// task of the type finished). Fairness-oriented policies (FELARE, custom
+  /// assignments) use this to find suffering task types.
+  [[nodiscard]] double type_ontime_rate(hetero::TaskTypeId type) const {
+    return type < type_ontime_rate_.size() ? type_ontime_rate_[type] : 1.0;
+  }
+
+  /// Records an assignment into the projection: advances the machine's
+  /// ready_time by the task's execution time and consumes one queue slot.
+  /// Policies call this after each pick so later picks see the load.
+  void commit(const workload::Task& task, std::size_t machine_index) {
+    MachineView& m = machines_.at(machine_index);
+    m.ready_time += exec_time(task, m);
+    if (m.free_slots != kUnlimitedSlots && m.free_slots > 0) --m.free_slots;
+  }
+
+ private:
+  core::SimTime now_;
+  const hetero::EetMatrix* eet_;
+  const hetero::PetMatrix* pet_ = nullptr;
+  std::vector<MachineView> machines_;
+  std::vector<const workload::Task*> batch_queue_;
+  std::vector<double> type_ontime_rate_;
+};
+
+/// Scheduling mode, mirroring the GUI's immediate/batch selector (Fig. 3).
+enum class PolicyMode { kImmediate, kBatch };
+
+/// Base class for all scheduling policies.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Registry name, e.g. "MECT".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Immediate policies run with unbounded machine queues; batch policies
+  /// respect the configured queue size.
+  [[nodiscard]] virtual PolicyMode mode() const = 0;
+
+  /// Decides mappings for the current invocation. The returned assignments
+  /// are applied in order; each must reference a task from the batch queue
+  /// and a machine with a free (projected) slot. Tasks not assigned stay in
+  /// the batch queue for the next invocation (or cancellation).
+  [[nodiscard]] virtual std::vector<Assignment> schedule(SchedulingContext& context) = 0;
+};
+
+/// Shared helper: index of the machine view minimizing completion time for
+/// \p task among views with a free slot; returns machines.size() when no
+/// machine has space. Ties break to the lower machine id (deterministic).
+[[nodiscard]] std::size_t argmin_completion(const SchedulingContext& context,
+                                            const workload::Task& task);
+
+/// Shared helper: index of the machine view minimizing raw EET for \p task
+/// among views with a free slot; machines.size() when none has space.
+[[nodiscard]] std::size_t argmin_exec(const SchedulingContext& context,
+                                      const workload::Task& task);
+
+/// Shared helper: index of the machine view with the earliest ready time
+/// among views with a free slot; machines.size() when none has space.
+[[nodiscard]] std::size_t argmin_ready(const SchedulingContext& context);
+
+}  // namespace e2c::sched

@@ -1,0 +1,443 @@
+#include "sched/simulation.hpp"
+
+#include <algorithm>
+
+#include "hetero/machine_catalog.hpp"
+#include "util/error.hpp"
+
+namespace e2c::sched {
+
+SystemConfig make_default_system(hetero::EetMatrix eet, std::size_t machine_queue_capacity) {
+  SystemConfig config;
+  config.machine_queue_capacity = machine_queue_capacity;
+  const auto names = eet.machine_type_names();
+  config.eet = std::move(eet);
+  config.machines.reserve(names.size());
+  const auto specs = hetero::resolve_machine_types(names);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    config.machines.push_back(MachineInstance{names[i], i, specs[i]});
+  }
+  return config;
+}
+
+Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      sampling_rng_(config_.sampling_seed) {
+  require_input(policy_ != nullptr, "Simulation: policy must not be null");
+  require_input(!config_.machines.empty(), "Simulation: at least one machine required");
+  if (config_.pet) {
+    require_input(config_.pet->task_type_count() == config_.eet.task_type_count() &&
+                      config_.pet->machine_type_count() == config_.eet.machine_type_count(),
+                  "Simulation: PET shape must match the EET matrix");
+  }
+  if (config_.comm) {
+    require_input(config_.comm->task_type_count() >= config_.eet.task_type_count() &&
+                      config_.comm->machine_type_count() >= config_.eet.machine_type_count(),
+                  "Simulation: comm model must cover the EET's task/machine types");
+  }
+
+  // Immediate policies always run with unbounded machine queues (Fig. 3:
+  // "machine queue size is limited to infinite for immediate policies").
+  const std::size_t capacity = policy_->mode() == PolicyMode::kImmediate
+                                   ? machines::kUnboundedQueue
+                                   : config_.machine_queue_capacity;
+
+  machines_.reserve(config_.machines.size());
+  for (std::size_t i = 0; i < config_.machines.size(); ++i) {
+    const MachineInstance& instance = config_.machines[i];
+    require_input(instance.type < config_.eet.machine_type_count(),
+                  "Simulation: machine '" + instance.name +
+                      "' references a type outside the EET matrix");
+    machines_.push_back(std::make_unique<machines::Machine>(
+        engine_, i, instance.name, instance.type, instance.power, capacity));
+    machines_.back()->set_listener(this);
+  }
+
+  if (config_.memory) {
+    const mem::MemoryModel& memory = *config_.memory;
+    require_input(memory.model_mb.size() == config_.eet.task_type_count() &&
+                      memory.load_seconds.size() == config_.eet.task_type_count(),
+                  "Simulation: memory model needs one entry per task type");
+    require_input(memory.machine_memory_mb.size() == config_.eet.machine_type_count(),
+                  "Simulation: memory model needs one capacity per machine type");
+    model_caches_.reserve(machines_.size());
+    for (const auto& machine : machines_) {
+      model_caches_.push_back(std::make_unique<mem::ModelCache>(
+          memory.machine_memory_mb[machine->type()], memory.model_mb,
+          memory.load_seconds, memory.eviction));
+      machine->set_model_cache(model_caches_.back().get());
+    }
+  }
+
+  completed_by_type_.assign(config_.eet.task_type_count(), 0);
+  terminal_by_type_.assign(config_.eet.task_type_count(), 0);
+  in_flight_count_.assign(machines_.size(), 0);
+  in_flight_exec_.assign(machines_.size(), 0.0);
+  booting_.assign(machines_.size(), false);
+
+  const AutoscalerConfig& scaler = config_.autoscaler;
+  if (scaler.enabled) {
+    require_input(scaler.interval > 0.0, "autoscaler: interval must be > 0");
+    require_input(scaler.boot_delay >= 0.0, "autoscaler: boot_delay must be >= 0");
+    require_input(scaler.min_online >= 1, "autoscaler: min_online must be >= 1");
+    require_input(scaler.min_online <= machines_.size(),
+                  "autoscaler: min_online exceeds the machine count");
+  }
+  for (std::size_t index : scaler.initially_offline) {
+    require_input(index < machines_.size(), "autoscaler: initially_offline out of range");
+    machines_[index]->set_online(false, 0.0);
+  }
+  if (scaler.enabled) {
+    require_input(online_machine_count() >= scaler.min_online,
+                  "autoscaler: fewer machines online at start than min_online");
+  } else {
+    require_input(scaler.initially_offline.empty() ||
+                      online_machine_count() >= 1,
+                  "Simulation: at least one machine must start online");
+  }
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::load(const workload::Workload& workload) {
+  require_input(!loaded_, "Simulation: load() may only be called once");
+  workload.validate_against(config_.eet);
+  loaded_ = true;
+
+  tasks_ = workload.tasks();  // copy; the simulation owns the mutable records
+  counters_.total = tasks_.size();
+  index_of_.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    require_input(index_of_.emplace(tasks_[i].id, i).second,
+                  "Simulation: duplicate task id " + std::to_string(tasks_[i].id));
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const workload::Task& task = tasks_[i];
+    engine_.schedule_at(task.arrival, core::EventPriority::kArrival,
+                        "arrival task=" + std::to_string(task.id),
+                        [this, i] { on_arrival(i); });
+  }
+  if (config_.autoscaler.enabled && !tasks_.empty()) {
+    engine_.schedule_at(config_.autoscaler.interval, core::EventPriority::kControl,
+                        "autoscaler tick", [this] { autoscaler_tick(); });
+  }
+}
+
+void Simulation::run() {
+  require_input(loaded_, "Simulation: call load() before run()");
+  engine_.run();
+}
+
+bool Simulation::step() {
+  require_input(loaded_, "Simulation: call load() before step()");
+  return engine_.step();
+}
+
+bool Simulation::finished() const noexcept {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const workload::Task& task) { return task.finished(); });
+}
+
+std::vector<workload::TaskId> Simulation::batch_queue_ids() const {
+  return {batch_queue_.begin(), batch_queue_.end()};
+}
+
+std::vector<const workload::Task*> Simulation::missed_tasks() const {
+  std::vector<const workload::Task*> missed;
+  missed.reserve(missed_order_.size());
+  for (workload::TaskId id : missed_order_) {
+    missed.push_back(&tasks_[task_index(id)]);
+  }
+  return missed;
+}
+
+double Simulation::type_ontime_rate(hetero::TaskTypeId type) const {
+  require_input(type < terminal_by_type_.size(), "type_ontime_rate: type out of range");
+  if (terminal_by_type_[type] == 0) return 1.0;
+  return static_cast<double>(completed_by_type_[type]) /
+         static_cast<double>(terminal_by_type_[type]);
+}
+
+double Simulation::total_energy_joules() const { return total_energy_joules(engine_.now()); }
+
+double Simulation::total_energy_joules(core::SimTime horizon) const {
+  double joules = 0.0;
+  for (const auto& machine : machines_) joules += machine->energy_joules(horizon);
+  return joules;
+}
+
+double Simulation::total_dynamic_energy_joules(core::SimTime horizon) const {
+  double joules = 0.0;
+  for (const auto& machine : machines_) joules += machine->dynamic_energy_joules(horizon);
+  return joules;
+}
+
+void Simulation::on_arrival(std::size_t index) {
+  workload::Task& task = tasks_[index];
+  task.status = workload::TaskStatus::kInBatchQueue;
+  batch_queue_.push_back(task.id);
+  if (task.deadline < core::kTimeInfinity) {
+    const core::SimTime when = std::max(task.deadline, engine_.now());
+    deadline_event_[task.id] = engine_.schedule_at(
+        when, core::EventPriority::kDeadline,
+        "deadline task=" + std::to_string(task.id), [this, index] { on_deadline(index); });
+  }
+  request_schedule();
+}
+
+void Simulation::on_deadline(std::size_t index) {
+  workload::Task& task = tasks_[index];
+  deadline_event_.erase(task.id);
+  switch (task.status) {
+    case workload::TaskStatus::kCompleted:
+    case workload::TaskStatus::kCancelled:
+    case workload::TaskStatus::kDropped:
+      return;  // already terminal (completion at the same instant ran first)
+    case workload::TaskStatus::kInBatchQueue: {
+      // Deadline before mapping: cancelled (paper §3).
+      const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
+      require(it != batch_queue_.end(), "deadline: task missing from batch queue");
+      batch_queue_.erase(it);
+      task.status = workload::TaskStatus::kCancelled;
+      task.missed_time = engine_.now();
+      ++counters_.cancelled;
+      missed_order_.push_back(task.id);
+      mark_terminal(task);
+      return;
+    }
+    case workload::TaskStatus::kTransferring: {
+      // Deadline while the payload was still in flight: the task was mapped,
+      // so this counts as dropped; release the reserved queue slot.
+      const auto it = in_flight_.find(task.id);
+      require(it != in_flight_.end(), "deadline: transferring task has no reservation");
+      --in_flight_count_[it->second.machine];
+      in_flight_exec_[it->second.machine] -= it->second.exec_seconds;
+      in_flight_.erase(it);
+      task.status = workload::TaskStatus::kDropped;
+      task.missed_time = engine_.now();
+      ++counters_.dropped;
+      missed_order_.push_back(task.id);
+      mark_terminal(task);
+      request_schedule();  // the freed slot may unblock a batch-queue task
+      return;
+    }
+    case workload::TaskStatus::kInMachineQueue:
+    case workload::TaskStatus::kRunning: {
+      // Deadline after mapping: dropped from the machine (paper §3).
+      require(task.assigned_machine.has_value(), "deadline: mapped task has no machine");
+      const bool removed = machines_[*task.assigned_machine]->remove(task.id);
+      require(removed, "deadline: task not found on its assigned machine");
+      task.status = workload::TaskStatus::kDropped;
+      task.missed_time = engine_.now();
+      ++counters_.dropped;
+      missed_order_.push_back(task.id);
+      mark_terminal(task);
+      return;
+    }
+    case workload::TaskStatus::kPending:
+      throw InvariantError("deadline fired for a task that never arrived");
+  }
+}
+
+void Simulation::request_schedule() {
+  if (schedule_pending_ || batch_queue_.empty()) return;
+  schedule_pending_ = true;
+  engine_.schedule_at(engine_.now(), core::EventPriority::kSchedule,
+                      "invoke scheduler (" + policy_->name() + ")",
+                      [this] { run_scheduler(); });
+}
+
+void Simulation::run_scheduler() {
+  schedule_pending_ = false;
+  if (batch_queue_.empty()) return;
+
+  std::vector<MachineView> views;
+  views.reserve(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const machines::Machine& machine = *machines_[m];
+    MachineView view;
+    view.id = machine.id();
+    view.type = machine.type();
+    // Projected ready time includes work whose payload is still in flight.
+    view.ready_time = machine.ready_time() + in_flight_exec_[m];
+    const bool unbounded = policy_->mode() == PolicyMode::kImmediate ||
+                           config_.machine_queue_capacity == machines::kUnboundedQueue;
+    const std::size_t used = machine.queue_length() + in_flight_count_[m];
+    if (!machine.online() || (!unbounded && used >= config_.machine_queue_capacity)) {
+      view.free_slots = 0;
+    } else {
+      view.free_slots =
+          unbounded ? kUnlimitedSlots : config_.machine_queue_capacity - used;
+    }
+    view.idle_watts = machine.power().idle_watts;
+    view.busy_watts = machine.power().busy_watts;
+    views.push_back(view);
+  }
+
+  std::vector<const workload::Task*> queue_view;
+  queue_view.reserve(batch_queue_.size());
+  for (workload::TaskId id : batch_queue_) queue_view.push_back(&tasks_[task_index(id)]);
+
+  std::vector<double> rates(config_.eet.task_type_count(), 1.0);
+  for (std::size_t t = 0; t < rates.size(); ++t) rates[t] = type_ontime_rate(t);
+
+  SchedulingContext context(engine_.now(), config_.eet, std::move(views),
+                            std::move(queue_view), std::move(rates),
+                            config_.pet ? &*config_.pet : nullptr);
+  const std::vector<Assignment> assignments = policy_->schedule(context);
+  for (const Assignment& assignment : assignments) apply_assignment(assignment);
+}
+
+void Simulation::apply_assignment(const Assignment& assignment) {
+  const std::size_t index = task_index(assignment.task);
+  workload::Task& task = tasks_[index];
+  require_input(task.status == workload::TaskStatus::kInBatchQueue,
+                "policy '" + policy_->name() + "' assigned task " +
+                    std::to_string(assignment.task) + " which is not in the batch queue");
+  require_input(assignment.machine < machines_.size(),
+                "policy '" + policy_->name() + "' assigned to unknown machine");
+  machines::Machine& machine = *machines_[assignment.machine];
+  require_input(machine.has_queue_space(),
+                "policy '" + policy_->name() + "' overflowed queue of machine '" +
+                    machine.name() + "'");
+  const bool bounded = policy_->mode() != PolicyMode::kImmediate &&
+                       config_.machine_queue_capacity != machines::kUnboundedQueue;
+  require_input(!bounded || machine.queue_length() + in_flight_count_[assignment.machine] <
+                                config_.machine_queue_capacity,
+                "policy '" + policy_->name() +
+                    "' overflowed reserved (in-flight) capacity of machine '" +
+                    machine.name() + "'");
+
+  const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
+  require(it != batch_queue_.end(), "assignment: task missing from batch queue");
+  batch_queue_.erase(it);
+
+  // Actual execution time: sampled under a PET, the EET expectation otherwise.
+  const double exec = config_.pet
+                          ? config_.pet->sample(task.type, machine.type(), sampling_rng_)
+                          : config_.eet.eet(task.type, machine.type());
+
+  const core::SimTime transfer =
+      config_.comm ? config_.comm->transfer_time(task.type, machine.type()) : 0.0;
+  if (transfer > 0.0) {
+    task.status = workload::TaskStatus::kTransferring;
+    task.assigned_machine = machine.id();
+    task.assignment_time = engine_.now();
+    in_flight_.emplace(task.id, InFlight{machine.id(), exec});
+    ++in_flight_count_[machine.id()];
+    in_flight_exec_[machine.id()] += exec;
+    engine_.schedule_in(transfer, core::EventPriority::kControl,
+                        "transfer done task=" + std::to_string(task.id) + " machine=" +
+                            machine.name(),
+                        [this, index] { on_transfer_complete(index); });
+  } else {
+    machine.enqueue(task, exec);
+  }
+}
+
+void Simulation::on_transfer_complete(std::size_t index) {
+  workload::Task& task = tasks_[index];
+  if (task.status != workload::TaskStatus::kTransferring) {
+    return;  // dropped at its deadline while in flight; reservation released there
+  }
+  const auto it = in_flight_.find(task.id);
+  require(it != in_flight_.end(), "transfer: missing reservation");
+  const InFlight in_flight = it->second;
+  in_flight_.erase(it);
+  --in_flight_count_[in_flight.machine];
+  in_flight_exec_[in_flight.machine] -= in_flight.exec_seconds;
+  machines_[in_flight.machine]->enqueue(task, in_flight.exec_seconds);
+}
+
+std::size_t Simulation::online_machine_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& machine : machines_) {
+    if (machine->online()) ++count;
+  }
+  return count;
+}
+
+std::size_t Simulation::in_flight_count(hetero::MachineId machine) const {
+  require_input(machine < in_flight_count_.size(), "in_flight_count: machine out of range");
+  return in_flight_count_[machine];
+}
+
+const mem::ModelCache* Simulation::model_cache(hetero::MachineId machine) const {
+  require_input(machine < machines_.size(), "model_cache: machine out of range");
+  return machine < model_caches_.size() ? model_caches_[machine].get() : nullptr;
+}
+
+void Simulation::autoscaler_tick() {
+  const AutoscalerConfig& scaler = config_.autoscaler;
+  if (batch_queue_.size() >= scaler.queue_high) {
+    scale_out();
+  } else if (batch_queue_.size() <= scaler.queue_low) {
+    scale_in();
+  }
+  if (!finished()) {
+    engine_.schedule_in(scaler.interval, core::EventPriority::kControl,
+                        "autoscaler tick", [this] { autoscaler_tick(); });
+  }
+}
+
+void Simulation::scale_out() {
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machines_[m]->online() || booting_[m]) continue;
+    booting_[m] = true;
+    engine_.schedule_in(config_.autoscaler.boot_delay, core::EventPriority::kControl,
+                        "machine online " + machines_[m]->name(), [this, m] {
+                          booting_[m] = false;
+                          machines_[m]->set_online(true, engine_.now());
+                          request_schedule();
+                        });
+    return;  // one machine per control decision
+  }
+}
+
+void Simulation::scale_in() {
+  std::size_t online = online_machine_count();
+  for (std::size_t b = 0; b < booting_.size(); ++b) {
+    if (booting_[b]) ++online;  // about to join; counts against min_online
+  }
+  if (online <= config_.autoscaler.min_online) return;
+  // Candidates: fully idle machines (nothing running, queued or in flight).
+  // Keep one idle machine as headroom — powering off the only idle machine
+  // while its peers are saturated causes boot-lag thrash on the next burst.
+  std::vector<std::size_t> idle;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const machines::Machine& machine = *machines_[m];
+    if (machine.online() && !machine.busy() && machine.queue_length() == 0 &&
+        in_flight_count_[m] == 0) {
+      idle.push_back(m);
+    }
+  }
+  if (idle.size() < 2) return;
+  machines_[idle.back()]->set_online(false, engine_.now());
+}
+
+std::size_t Simulation::task_index(workload::TaskId id) const {
+  const auto it = index_of_.find(id);
+  require(it != index_of_.end(), "unknown task id " + std::to_string(id));
+  return it->second;
+}
+
+void Simulation::mark_terminal(const workload::Task& task) {
+  ++terminal_by_type_[task.type];
+  if (task.status == workload::TaskStatus::kCompleted) ++completed_by_type_[task.type];
+}
+
+void Simulation::on_task_completed(workload::Task& task, hetero::MachineId) {
+  ++counters_.completed;
+  mark_terminal(task);
+  // The deadline check is no longer needed; keep the calendar lean.
+  const auto it = deadline_event_.find(task.id);
+  if (it != deadline_event_.end()) {
+    engine_.cancel(it->second);
+    deadline_event_.erase(it);
+  }
+}
+
+void Simulation::on_slot_freed(hetero::MachineId) { request_schedule(); }
+
+}  // namespace e2c::sched

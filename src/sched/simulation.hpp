@@ -1,0 +1,243 @@
+/// \file simulation.hpp
+/// \brief The E2C simulation: Fig. 1's pipeline wired onto the event engine.
+///
+/// A Simulation owns the engine, the machines, the task records and the
+/// batch queue, and drives the selected scheduling policy:
+///
+///   workload --arrival events--> batch queue --policy--> machine queues
+///        cancelled (deadline before mapping)   dropped (deadline after)
+///
+/// The simulation is the single writer of task records; policies only see
+/// const views. One Simulation per thread (engines are not thread-safe);
+/// parallel experiments build one Simulation per replication.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <optional>
+
+#include "core/engine.hpp"
+#include "hetero/eet_matrix.hpp"
+#include "hetero/pet_matrix.hpp"
+#include "machines/machine.hpp"
+#include "mem/model_cache.hpp"
+#include "net/comm_model.hpp"
+#include "sched/policy.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace e2c::sched {
+
+/// Elasticity controller configuration (the "scalability" dimension the
+/// paper's abstract names). When enabled, the simulation periodically
+/// inspects the batch queue: sustained backlog powers on an offline machine
+/// (after a boot delay); an empty queue powers off idle machines down to
+/// min_online. Offline machines draw no power and accept no work.
+struct AutoscalerConfig {
+  bool enabled = false;
+  core::SimTime interval = 5.0;     ///< seconds between control decisions
+  std::size_t queue_high = 8;       ///< batch-queue length that triggers scale-out
+  std::size_t queue_low = 1;        ///< batch-queue length that allows scale-in
+  core::SimTime boot_delay = 2.0;   ///< power-on latency
+  std::size_t min_online = 1;       ///< never scale below this many machines
+  /// Machines started offline (indices into SystemConfig::machines); they
+  /// join only when the autoscaler powers them on.
+  std::vector<std::size_t> initially_offline;
+};
+
+/// One machine instance to build: display name + type (EET column) + power.
+struct MachineInstance {
+  std::string name;
+  hetero::MachineTypeId type = 0;
+  hetero::MachineTypeSpec power;
+};
+
+/// Static description of the simulated system.
+struct SystemConfig {
+  hetero::EetMatrix eet;
+  std::vector<MachineInstance> machines;
+  /// Waiting-slot capacity of each machine's local queue for batch policies
+  /// (the paper's "machine queue size"); immediate policies always run
+  /// unbounded (Fig. 3). machines::kUnboundedQueue disables the limit.
+  std::size_t machine_queue_capacity = 2;
+
+  /// Stochastic execution times (PET). When set, each dispatch samples its
+  /// actual execution time from the PET cell while schedulers keep planning
+  /// on the EET expectations. Must match the EET's shape.
+  std::optional<hetero::PetMatrix> pet;
+  /// Seed for the PET sampling stream (independent of workload seeds).
+  std::uint64_t sampling_seed = 0xE2CE2CE2CULL;
+
+  /// Data-transfer model. When set, a mapped task's payload must transfer
+  /// (holding its reserved queue slot, not the executor) before it can
+  /// enter the machine queue. Must cover the EET's task/machine types.
+  std::optional<net::CommModel> comm;
+
+  /// Multi-tenant memory model (Edge-MultiAI substrate, paper ref [22]).
+  /// When set, each machine gets a warm-model cache sized by its machine
+  /// type; cold starts extend execution by the model-load penalty.
+  std::optional<mem::MemoryModel> memory;
+
+  /// Elasticity controller (off by default).
+  AutoscalerConfig autoscaler;
+};
+
+/// Builds a SystemConfig with one machine instance per EET machine-type
+/// column, named after the column, with catalog/generic power specs.
+[[nodiscard]] SystemConfig make_default_system(hetero::EetMatrix eet,
+                                               std::size_t machine_queue_capacity = 2);
+
+/// Aggregate outcome counters (the Summary Report's headline numbers).
+struct SimulationCounters {
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;  ///< deadline passed before mapping
+  std::size_t dropped = 0;    ///< deadline passed after mapping
+
+  /// Completed / total in percent; 0 for an empty workload.
+  [[nodiscard]] double completion_percent() const noexcept {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(completed) / static_cast<double>(total);
+  }
+};
+
+/// A full simulation run bound to one workload and one policy.
+class Simulation final : public machines::MachineListener {
+ public:
+  /// Builds the system. Throws e2c::InputError on an empty machine list or a
+  /// machine referencing a type outside the EET matrix.
+  Simulation(SystemConfig config, std::unique_ptr<Policy> policy);
+  ~Simulation() override;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Loads the workload (validated against the EET matrix) and schedules all
+  /// arrival events. Call exactly once before run()/stepping.
+  void load(const workload::Workload& workload);
+
+  /// Runs to completion (every task reaches a terminal state).
+  void run();
+
+  /// Processes a single event — the GUI "Increment" button. Returns false
+  /// when nothing is pending (simulation finished).
+  bool step();
+
+  /// True once every loaded task is terminal.
+  [[nodiscard]] bool finished() const noexcept;
+
+  // ---- inspection ---------------------------------------------------------
+
+  /// The engine (exposed for observers/visualizers; do not schedule into it).
+  [[nodiscard]] core::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const core::Engine& engine() const noexcept { return engine_; }
+
+  /// The EET matrix in use.
+  [[nodiscard]] const hetero::EetMatrix& eet() const noexcept { return config_.eet; }
+
+  /// The policy in use.
+  [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
+
+  /// All task records (arrival order), with live status.
+  [[nodiscard]] const std::vector<workload::Task>& tasks() const noexcept { return tasks_; }
+
+  /// Number of machine instances.
+  [[nodiscard]] std::size_t machine_count() const noexcept { return machines_.size(); }
+
+  /// Machine instance \p index.
+  [[nodiscard]] const machines::Machine& machine(std::size_t index) const {
+    return *machines_.at(index);
+  }
+
+  /// Ids of tasks currently waiting in the batch queue, arrival order.
+  [[nodiscard]] std::vector<workload::TaskId> batch_queue_ids() const;
+
+  /// Outcome counters so far.
+  [[nodiscard]] const SimulationCounters& counters() const noexcept { return counters_; }
+
+  /// Tasks that were cancelled or dropped, in the order they missed —
+  /// the Missed Tasks panel of Fig. 4.
+  [[nodiscard]] std::vector<const workload::Task*> missed_tasks() const;
+
+  /// Observed on-time completion rate of a task type (1.0 before any task of
+  /// the type reached a terminal state). Drives fairness-aware policies.
+  [[nodiscard]] double type_ontime_rate(hetero::TaskTypeId type) const;
+
+  /// Total energy (J) across machines over [0, horizon]; horizon defaults to
+  /// the current simulated time.
+  [[nodiscard]] double total_energy_joules() const;
+  [[nodiscard]] double total_energy_joules(core::SimTime horizon) const;
+
+  /// Dynamic (execution-only) energy across machines — excludes idle draw.
+  [[nodiscard]] double total_dynamic_energy_joules(core::SimTime horizon) const;
+
+  /// Number of machines currently online (powered).
+  [[nodiscard]] std::size_t online_machine_count() const noexcept;
+
+  /// Number of tasks whose payload is currently in flight to \p machine.
+  [[nodiscard]] std::size_t in_flight_count(hetero::MachineId machine) const;
+
+  /// The warm-model cache of \p machine, or nullptr when the system has no
+  /// memory model.
+  [[nodiscard]] const mem::ModelCache* model_cache(hetero::MachineId machine) const;
+
+  // ---- MachineListener ----------------------------------------------------
+  void on_task_completed(workload::Task& task, hetero::MachineId machine) override;
+  void on_slot_freed(hetero::MachineId machine) override;
+
+ private:
+  void on_arrival(std::size_t task_index);
+  void on_deadline(std::size_t task_index);
+  void on_transfer_complete(std::size_t task_index);
+  void request_schedule();
+  void run_scheduler();
+  void apply_assignment(const Assignment& assignment);
+  void autoscaler_tick();
+  void scale_out();
+  void scale_in();
+  [[nodiscard]] std::size_t task_index(workload::TaskId id) const;
+  void mark_terminal(const workload::Task& task);
+
+  SystemConfig config_;
+  std::unique_ptr<Policy> policy_;
+  core::Engine engine_;
+  std::vector<std::unique_ptr<machines::Machine>> machines_;
+
+  std::vector<workload::Task> tasks_;
+  std::unordered_map<workload::TaskId, std::size_t> index_of_;
+  std::unordered_map<workload::TaskId, core::EventId> deadline_event_;
+  std::deque<workload::TaskId> batch_queue_;
+  std::vector<workload::TaskId> missed_order_;
+
+  SimulationCounters counters_;
+  std::vector<std::size_t> completed_by_type_;
+  std::vector<std::size_t> terminal_by_type_;
+
+  // Stochastic execution sampling stream (unused without a PET).
+  util::Rng sampling_rng_;
+
+  // Per-machine in-flight transfer reservations (comm model only).
+  struct InFlight {
+    hetero::MachineId machine;
+    double exec_seconds;
+  };
+  std::unordered_map<workload::TaskId, InFlight> in_flight_;
+  std::vector<std::size_t> in_flight_count_;
+  std::vector<double> in_flight_exec_;
+
+  // Autoscaler state.
+  std::vector<bool> booting_;
+
+  // Per-machine warm-model caches (memory model only).
+  std::vector<std::unique_ptr<mem::ModelCache>> model_caches_;
+
+  bool loaded_ = false;
+  bool schedule_pending_ = false;
+};
+
+}  // namespace e2c::sched

@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace e2c::util {
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one character/field marker
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = true;
+  };
+  auto end_row = [&] {
+    end_field();
+    // Skip rows that are entirely empty (blank line).
+    const bool blank = row.size() == 1 && row[0].empty();
+    if (!blank) table.rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) ends the row.
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        break;
+    }
+  }
+  if (in_quotes) throw InputError("CSV: unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += csv_escape(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open CSV file for writing: " + path);
+  out << to_csv(rows);
+  if (!out) throw IoError("failed writing CSV file: " + path);
+}
+
+}  // namespace e2c::util

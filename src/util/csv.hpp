@@ -1,0 +1,47 @@
+/// \file csv.hpp
+/// \brief RFC-4180-style CSV reading and writing.
+///
+/// E2C's file formats (EET matrix, workload trace, reports) are CSV, matching
+/// the original simulator so that course material and student spreadsheets
+/// interoperate. The parser supports quoted fields, embedded commas/quotes/
+/// newlines, and both LF and CRLF line endings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e2c::util {
+
+/// A parsed CSV document: rows of string fields.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  /// Number of rows.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows.size(); }
+
+  /// True when no rows were parsed.
+  [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
+};
+
+/// Parses CSV text. Throws e2c::InputError on unterminated quotes.
+/// Trailing newline does not create an empty final row; completely blank
+/// lines are skipped (students' hand-edited files often contain them).
+[[nodiscard]] CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws e2c::IoError if unreadable and
+/// e2c::InputError on malformed content.
+[[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// Quotes a field if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Serializes rows to CSV text (LF line endings, fields escaped as needed).
+[[nodiscard]] std::string to_csv(const std::vector<std::vector<std::string>>& rows);
+
+/// Writes rows to a file. Throws e2c::IoError on failure.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace e2c::util

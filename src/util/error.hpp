@@ -1,0 +1,58 @@
+/// \file error.hpp
+/// \brief Exception hierarchy for the E2C simulator.
+///
+/// All errors thrown by E2C libraries derive from e2c::Error so callers can
+/// catch simulator faults separately from standard-library failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace e2c {
+
+/// Root of the E2C exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed or inconsistent user input (CSV files, EET/workload mismatch,
+/// invalid configuration values).
+class InputError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Violation of an internal simulator invariant; indicates a bug in E2C
+/// itself rather than in user input.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure to read from or write to the filesystem.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A scheduling policy name that is not present in the policy registry.
+class UnknownPolicyError : public InputError {
+ public:
+  using InputError::InputError;
+};
+
+/// Throws InvariantError with \p message if \p condition is false.
+///
+/// Used for internal consistency checks that must hold in release builds
+/// (unlike assert, which vanishes under NDEBUG).
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+/// Throws InputError with \p message if \p condition is false.
+inline void require_input(bool condition, const std::string& message) {
+  if (!condition) throw InputError(message);
+}
+
+}  // namespace e2c

@@ -1,0 +1,117 @@
+#include "util/ini.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::util {
+
+namespace {
+std::string strip_comment(std::string_view line) {
+  // A comment starts at an unquoted '#' or ';' (values here are never quoted).
+  const auto pos = line.find_first_of("#;");
+  if (pos != std::string_view::npos) line = line.substr(0, pos);
+  return std::string(trim(line));
+}
+}  // namespace
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::string section;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const std::string line = strip_comment(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      require_input(line.back() == ']' && line.size() > 2,
+                    "INI line " + std::to_string(line_number) + ": malformed section");
+      section = to_lower(trim(std::string_view(line).substr(1, line.size() - 2)));
+      if (std::find(ini.section_order_.begin(), ini.section_order_.end(), section) ==
+          ini.section_order_.end()) {
+        ini.section_order_.push_back(section);
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    require_input(eq != std::string::npos,
+                  "INI line " + std::to_string(line_number) + ": expected key = value");
+    const std::string key = to_lower(trim(std::string_view(line).substr(0, eq)));
+    const std::string value{trim(std::string_view(line).substr(eq + 1))};
+    require_input(!key.empty(), "INI line " + std::to_string(line_number) + ": empty key");
+    ini.entries_.push_back(Entry{section, key, value});
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const std::string s = to_lower(section);
+  const std::string k = to_lower(key);
+  // Last assignment wins, as in most INI dialects.
+  std::optional<std::string> value;
+  for (const Entry& entry : entries_) {
+    if (entry.section == s && entry.key == k) value = entry.value;
+  }
+  return value;
+}
+
+std::string IniFile::get_or(const std::string& section, const std::string& key,
+                            const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+std::optional<double> IniFile::get_double(const std::string& section,
+                                          const std::string& key) const {
+  const auto value = get(section, key);
+  if (!value) return std::nullopt;
+  const auto parsed = parse_double(*value);
+  require_input(parsed.has_value(),
+                "INI: " + section + "." + key + " is not a number: '" + *value + "'");
+  return parsed;
+}
+
+std::optional<long long> IniFile::get_int(const std::string& section,
+                                          const std::string& key) const {
+  const auto value = get(section, key);
+  if (!value) return std::nullopt;
+  const auto parsed = parse_int(*value);
+  require_input(parsed.has_value(),
+                "INI: " + section + "." + key + " is not an integer: '" + *value + "'");
+  return parsed;
+}
+
+std::vector<std::string> IniFile::get_list(const std::string& section,
+                                           const std::string& key) const {
+  const auto value = get(section, key);
+  if (!value) return {};
+  std::vector<std::string> items;
+  for (const std::string& field : split(*value, ',')) {
+    const auto item = trim(field);
+    if (!item.empty()) items.emplace_back(item);
+  }
+  return items;
+}
+
+bool IniFile::has_section(const std::string& section) const noexcept {
+  const std::string s = to_lower(section);
+  return std::find(section_order_.begin(), section_order_.end(), s) !=
+         section_order_.end();
+}
+
+std::vector<std::string> IniFile::sections() const { return section_order_; }
+
+}  // namespace e2c::util

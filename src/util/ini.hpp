@@ -1,0 +1,61 @@
+/// \file ini.hpp
+/// \brief Minimal INI-style config parser for experiment files.
+///
+/// Grammar: `[section]` headers, `key = value` pairs, `#`/`;` comments
+/// (full-line or trailing), blank lines ignored. Keys are case-insensitive
+/// and scoped to their section; values keep internal whitespace. This is the
+/// no-programming-input configuration path for the experiment harness —
+/// the CLI counterpart of filling in the GUI's dialogs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace e2c::util {
+
+/// A parsed INI document.
+class IniFile {
+ public:
+  /// Parses INI text. Throws e2c::InputError on malformed lines (a line
+  /// that is neither a section, a pair, a comment, nor blank).
+  [[nodiscard]] static IniFile parse(const std::string& text);
+
+  /// Reads and parses a file. Throws e2c::IoError / e2c::InputError.
+  [[nodiscard]] static IniFile load(const std::string& path);
+
+  /// Value of section.key, if present (case-insensitive lookup).
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+
+  /// Value or \p fallback.
+  [[nodiscard]] std::string get_or(const std::string& section, const std::string& key,
+                                   const std::string& fallback) const;
+
+  /// Numeric accessors; throw e2c::InputError when present but malformed.
+  [[nodiscard]] std::optional<double> get_double(const std::string& section,
+                                                 const std::string& key) const;
+  [[nodiscard]] std::optional<long long> get_int(const std::string& section,
+                                                 const std::string& key) const;
+
+  /// Splits a comma-separated value into trimmed items; empty when absent.
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& section,
+                                                  const std::string& key) const;
+
+  /// True if the section exists (even if empty).
+  [[nodiscard]] bool has_section(const std::string& section) const noexcept;
+
+  /// All section names in file order.
+  [[nodiscard]] std::vector<std::string> sections() const;
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> section_order_;
+};
+
+}  // namespace e2c::util

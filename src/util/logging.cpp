@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace e2c::util {
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  auto eq = [&](std::string_view target) {
+    if (name.size() != target.size()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char a = name[i];
+      if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+      if (a != target[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off") || eq("none")) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  std::scoped_lock lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const noexcept {
+  std::scoped_lock lock(mutex_);
+  return level_;
+}
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  std::scoped_lock lock(mutex_);
+  sink_ = sink;
+}
+
+bool Logger::enabled(LogLevel level) const noexcept {
+  std::scoped_lock lock(mutex_);
+  return level >= level_ && level_ != LogLevel::kOff;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  std::scoped_lock lock(mutex_);
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << "[" << log_level_name(level) << "] [" << component << "] " << message << "\n";
+}
+
+}  // namespace e2c::util

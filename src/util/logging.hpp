@@ -1,0 +1,84 @@
+/// \file logging.hpp
+/// \brief Minimal thread-safe leveled logger used across the simulator.
+///
+/// The logger writes to an arbitrary std::ostream (stderr by default) and is
+/// intentionally tiny: E2C is an educational tool and the log output is part
+/// of its teaching surface, so messages are kept human-readable.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace e2c::util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the fixed-width display name of a level ("TRACE", "INFO", ...).
+std::string_view log_level_name(LogLevel level) noexcept;
+
+/// Parses a case-insensitive level name; returns kInfo for unknown names.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Process-wide logger. Thread-safe: each emitted line is written atomically.
+class Logger {
+ public:
+  /// Returns the singleton logger instance.
+  static Logger& instance();
+
+  /// Sets the minimum severity that will be emitted.
+  void set_level(LogLevel level) noexcept;
+
+  /// Currently configured minimum severity.
+  [[nodiscard]] LogLevel level() const noexcept;
+
+  /// Redirects output to \p sink. The sink must outlive all logging calls.
+  /// Pass nullptr to restore the default (stderr).
+  void set_sink(std::ostream* sink) noexcept;
+
+  /// Emits one line at \p level tagged with \p component.
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+  /// True if a message at \p level would currently be emitted.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept;
+
+ private:
+  Logger() = default;
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+};
+
+/// Convenience wrappers: E2C_LOG(level, component) << "message" << value;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component), live_(Logger::instance().enabled(level)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (live_) Logger::instance().log(level_, component_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (live_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool live_;
+  std::ostringstream stream_;
+};
+
+}  // namespace e2c::util
+
+#define E2C_LOG(level, component) ::e2c::util::LogLine((level), (component))
+#define E2C_LOG_INFO(component) E2C_LOG(::e2c::util::LogLevel::kInfo, (component))
+#define E2C_LOG_WARN(component) E2C_LOG(::e2c::util::LogLevel::kWarn, (component))
+#define E2C_LOG_ERROR(component) E2C_LOG(::e2c::util::LogLevel::kError, (component))
+#define E2C_LOG_DEBUG(component) E2C_LOG(::e2c::util::LogLevel::kDebug, (component))

@@ -1,0 +1,42 @@
+/// \file string_util.hpp
+/// \brief Small string helpers shared across libraries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e2c::util {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Parses a double; nullopt on malformed or partial input.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Parses a non-negative integer; nullopt on malformed or partial input.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// Formats a double with fixed \p decimals digits (reports use 2).
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+
+/// Left-pads \p text with spaces to width \p width (no-op if already wider).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads \p text with spaces to width \p width.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// True if \p text starts with \p prefix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace e2c::util

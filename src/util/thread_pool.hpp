@@ -1,0 +1,66 @@
+/// \file thread_pool.hpp
+/// \brief Task-based thread pool for parallel experiment replication.
+///
+/// Follows C++ Core Guidelines CP.4 ("think in terms of tasks, rather than
+/// threads"): callers submit callables and receive futures; no raw thread
+/// management leaks into client code. The experiment harness uses it to run
+/// independent simulation replications concurrently (each replication owns
+/// its engine and split RNG stream, so there is no shared mutable state —
+/// CP.2/CP.3).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace e2c::util {
+
+/// Fixed-size worker pool. Joins all workers on destruction (CP.23/CP.25:
+/// threads are scoped to the pool object's lifetime).
+class ThreadPool {
+ public:
+  /// Creates \p worker_count workers; 0 selects hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Submits a callable; the returned future yields its result.
+  /// Tasks must not block on other tasks submitted to the same pool.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> result = packaged->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    wakeup_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wakeup_;
+  bool stopping_ = false;
+};
+
+}  // namespace e2c::util

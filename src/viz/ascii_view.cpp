@@ -1,0 +1,107 @@
+#include "viz/ascii_view.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace e2c::viz {
+
+namespace {
+
+/// Cycle of ANSI foreground colors, one per task type (mirrors the GUI's
+/// per-type machine colors in Fig. 1).
+const char* type_color(std::size_t type, bool use_color) {
+  if (!use_color) return "";
+  static const char* kColors[] = {"\033[36m", "\033[33m", "\033[35m",
+                                  "\033[32m", "\033[34m", "\033[31m"};
+  return kColors[type % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+const char* reset_color(bool use_color) { return use_color ? "\033[0m" : ""; }
+
+std::string task_chip(const sched::Simulation& simulation, workload::TaskId id,
+                      const AsciiViewOptions& options) {
+  // Find the task to color it by type; linear scan is fine for display sizes.
+  for (const workload::Task& task : simulation.tasks()) {
+    if (task.id != id) continue;
+    std::ostringstream out;
+    out << type_color(task.type, options.use_color) << "["
+        << simulation.eet().task_type_name(task.type) << "#" << id << "]"
+        << reset_color(options.use_color);
+    return out.str();
+  }
+  return "[?#" + std::to_string(id) + "]";
+}
+
+}  // namespace
+
+std::string render_frame(const sched::Simulation& simulation,
+                         const AsciiViewOptions& options) {
+  std::ostringstream out;
+  if (options.clear_screen) out << "\033[H\033[2J";
+
+  out << "E2C  t=" << util::format_fixed(simulation.engine().now(), 2)
+      << "  policy=" << simulation.policy().name()
+      << "  events=" << simulation.engine().processed_count() << "\n";
+
+  // Batch queue (Fig. 1: tasks waiting for the scheduler).
+  const auto batch = simulation.batch_queue_ids();
+  out << "  batch queue (" << batch.size() << "): ";
+  for (std::size_t i = 0; i < batch.size() && i < options.queue_display; ++i) {
+    out << task_chip(simulation, batch[i], options) << " ";
+  }
+  if (batch.size() > options.queue_display) out << "…";
+  out << "\n  scheduler --> machines\n";
+
+  // Machines with running task + local queue.
+  for (std::size_t m = 0; m < simulation.machine_count(); ++m) {
+    const machines::Machine& machine = simulation.machine(m);
+    out << "  " << util::pad_right(machine.name(), 10) << " ";
+    if (const auto running = machine.running_task_id()) {
+      out << "RUN " << task_chip(simulation, *running, options);
+    } else {
+      out << "idle";
+    }
+    const auto queued = machine.queued_task_ids();
+    out << "  queue(" << queued.size() << "):";
+    for (std::size_t i = 0; i < queued.size() && i < options.queue_display; ++i) {
+      out << " " << task_chip(simulation, queued[i], options);
+    }
+    if (queued.size() > options.queue_display) out << " …";
+    out << "\n";
+  }
+
+  const auto& counters = simulation.counters();
+  out << "  completed=" << counters.completed << "  cancelled=" << counters.cancelled
+      << "  missed=" << counters.dropped << "  total=" << counters.total << "\n";
+  return out.str();
+}
+
+std::string render_missed_panel(const sched::Simulation& simulation, std::size_t max_rows) {
+  std::ostringstream out;
+  out << "Missed Tasks\n";
+  out << util::pad_right("task", 7) << util::pad_right("type", 6)
+      << util::pad_right("machine", 9) << util::pad_right("arrival", 9)
+      << util::pad_right("start", 9) << util::pad_right("missed", 9) << "\n";
+  std::size_t shown = 0;
+  for (const workload::Task* task : simulation.missed_tasks()) {
+    if (shown++ >= max_rows) {
+      out << "…\n";
+      break;
+    }
+    const std::string machine =
+        task->assigned_machine ? simulation.machine(*task->assigned_machine).name() : "-";
+    out << util::pad_right(std::to_string(task->id), 7)
+        << util::pad_right(simulation.eet().task_type_name(task->type), 6)
+        << util::pad_right(machine, 9)
+        << util::pad_right(util::format_fixed(task->arrival, 2), 9)
+        << util::pad_right(task->start_time ? util::format_fixed(*task->start_time, 2) : "-",
+                           9)
+        << util::pad_right(
+               task->missed_time ? util::format_fixed(*task->missed_time, 2) : "-", 9)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace e2c::viz

@@ -1,0 +1,31 @@
+/// \file ascii_view.hpp
+/// \brief ANSI terminal rendering of the live simulation — the counterpart
+/// of the GUI's animated main window (Fig. 1).
+///
+/// Renders, per frame: the current time, the batch queue, the scheduler
+/// label, every machine with its running task and local queue, and the
+/// Completed / Cancelled / Missed counters the GUI shows as components.
+#pragma once
+
+#include <string>
+
+#include "sched/simulation.hpp"
+
+namespace e2c::viz {
+
+/// Rendering options.
+struct AsciiViewOptions {
+  bool use_color = true;          ///< ANSI colors per task type (like Fig. 1's hues)
+  std::size_t queue_display = 8;  ///< max queued tasks shown per queue before "…"
+  bool clear_screen = false;      ///< prefix with cursor-home + clear (live mode)
+};
+
+/// Renders one frame of the simulation state as text.
+[[nodiscard]] std::string render_frame(const sched::Simulation& simulation,
+                                       const AsciiViewOptions& options = {});
+
+/// Renders the Missed Tasks panel (Fig. 4) as an aligned text table.
+[[nodiscard]] std::string render_missed_panel(const sched::Simulation& simulation,
+                                              std::size_t max_rows = 10);
+
+}  // namespace e2c::viz

@@ -1,0 +1,41 @@
+#include "viz/bar_chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::viz {
+
+std::string render_bar_chart(const BarChart& chart) {
+  require_input(chart.max_value > 0.0, "bar chart: max_value must be > 0");
+  for (const BarSeries& series : chart.series) {
+    require_input(series.values.size() == chart.groups.size(),
+                  "bar chart: series '" + series.name + "' has " +
+                      std::to_string(series.values.size()) + " values for " +
+                      std::to_string(chart.groups.size()) + " groups");
+  }
+
+  std::size_t label_width = 0;
+  for (const BarSeries& series : chart.series) {
+    label_width = std::max(label_width, series.name.size());
+  }
+
+  std::ostringstream out;
+  out << chart.title << "\n";
+  for (std::size_t g = 0; g < chart.groups.size(); ++g) {
+    out << chart.groups[g] << ":\n";
+    for (const BarSeries& series : chart.series) {
+      const double value = std::clamp(series.values[g], 0.0, chart.max_value);
+      const auto filled = static_cast<std::size_t>(
+          value / chart.max_value * static_cast<double>(chart.width) + 0.5);
+      out << "  " << util::pad_right(series.name, label_width) << " |"
+          << std::string(filled, '#') << std::string(chart.width - filled, ' ') << "| "
+          << util::format_fixed(series.values[g], 1) << chart.unit << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace e2c::viz

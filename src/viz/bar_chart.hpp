@@ -1,0 +1,35 @@
+/// \file bar_chart.hpp
+/// \brief ASCII grouped bar charts — the figures of the class assignment.
+///
+/// The assignment has students plot completion percentage per scheduling
+/// method and intensity (the paper's Figures 5-7). This renderer produces
+/// the same grouped-bar layout in a terminal so the benches can print the
+/// figures directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace e2c::viz {
+
+/// One series (e.g. one scheduling policy) of a grouped bar chart.
+struct BarSeries {
+  std::string name;            ///< legend label, e.g. "MECT"
+  std::vector<double> values;  ///< one value per group (e.g. low/med/high)
+};
+
+/// Chart description.
+struct BarChart {
+  std::string title;
+  std::vector<std::string> groups;  ///< x-axis group labels
+  std::vector<BarSeries> series;    ///< bars within each group
+  double max_value = 100.0;         ///< axis maximum (completion % -> 100)
+  std::size_t width = 40;           ///< bar length in characters at max_value
+  std::string unit = "%";
+};
+
+/// Renders the chart as horizontal grouped bars. Throws e2c::InputError if a
+/// series' value count does not match the group count.
+[[nodiscard]] std::string render_bar_chart(const BarChart& chart);
+
+}  // namespace e2c::viz

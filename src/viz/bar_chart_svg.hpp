@@ -1,0 +1,33 @@
+/// \file bar_chart_svg.hpp
+/// \brief SVG rendering of the grouped bar charts (Figs. 5-7 as artifacts).
+///
+/// The ASCII renderer (bar_chart.hpp) serves the terminal; this renderer
+/// produces the same chart as a standalone SVG a student can embed in an
+/// assignment write-up — the deliverable the paper's §4 asks for ("students
+/// then created bar graphs to depict the percentage of completed tasks").
+#pragma once
+
+#include <string>
+
+#include "viz/bar_chart.hpp"
+
+namespace e2c::viz {
+
+/// SVG chart options.
+struct BarChartSvgOptions {
+  int width_px = 720;
+  int height_px = 420;
+  bool y_grid = true;  ///< horizontal gridlines every 20% of the axis
+};
+
+/// Renders the chart as a vertical grouped bar chart (groups on the x axis,
+/// one colored bar per series, legend on top). Throws e2c::InputError on a
+/// series/group size mismatch.
+[[nodiscard]] std::string render_bar_chart_svg(const BarChart& chart,
+                                               const BarChartSvgOptions& options = {});
+
+/// Writes render_bar_chart_svg() output to \p path. Throws e2c::IoError.
+void save_bar_chart_svg(const BarChart& chart, const std::string& path,
+                        const BarChartSvgOptions& options = {});
+
+}  // namespace e2c::viz

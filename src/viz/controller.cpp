@@ -1,0 +1,88 @@
+#include "viz/controller.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace e2c::viz {
+
+const char* run_state_name(RunState state) noexcept {
+  switch (state) {
+    case RunState::kReady: return "ready";
+    case RunState::kRunning: return "running";
+    case RunState::kPaused: return "paused";
+    case RunState::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+SimulationController::SimulationController(SimulationFactory factory)
+    : factory_(std::move(factory)),
+      sleeper_([](std::chrono::duration<double> d) { std::this_thread::sleep_for(d); }) {
+  require_input(static_cast<bool>(factory_), "controller: factory must not be null");
+  simulation_ = factory_();
+  require_input(simulation_ != nullptr, "controller: factory returned null");
+}
+
+void SimulationController::set_speed(double sim_seconds_per_wall_second) {
+  require_input(sim_seconds_per_wall_second > 0.0, "controller: speed must be > 0");
+  speed_ = sim_seconds_per_wall_second;
+}
+
+void SimulationController::play(const FrameCallback& frame) {
+  if (state_ == RunState::kFinished) return;
+  state_ = RunState::kRunning;
+  while (state_ == RunState::kRunning) {
+    const core::SimTime before = simulation_->engine().now();
+    if (!simulation_->step()) {
+      state_ = RunState::kFinished;
+      break;
+    }
+    const core::SimTime advanced = simulation_->engine().now() - before;
+    if (advanced > 0.0) {
+      sleeper_(std::chrono::duration<double>(advanced / speed_));
+    }
+    if (frame && !frame(*simulation_)) {
+      state_ = RunState::kPaused;
+      break;
+    }
+  }
+  refresh_state();
+}
+
+void SimulationController::pause() noexcept {
+  if (state_ == RunState::kRunning) state_ = RunState::kPaused;
+}
+
+bool SimulationController::increment() {
+  if (state_ == RunState::kFinished) return false;
+  const bool stepped = simulation_->step();
+  state_ = stepped ? RunState::kPaused : RunState::kFinished;
+  refresh_state();
+  return stepped;
+}
+
+void SimulationController::run_to_completion() {
+  simulation_->run();
+  state_ = RunState::kFinished;
+}
+
+void SimulationController::reset() {
+  simulation_ = factory_();
+  require_input(simulation_ != nullptr, "controller: factory returned null on reset");
+  state_ = RunState::kReady;
+}
+
+void SimulationController::set_sleeper(Sleeper sleeper) {
+  require_input(static_cast<bool>(sleeper), "controller: sleeper must not be null");
+  sleeper_ = std::move(sleeper);
+}
+
+void SimulationController::refresh_state() noexcept {
+  if (simulation_->engine().pending_count() == 0 &&
+      (state_ == RunState::kRunning || state_ == RunState::kPaused)) {
+    state_ = RunState::kFinished;
+  }
+}
+
+}  // namespace e2c::viz

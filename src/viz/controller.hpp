@@ -1,0 +1,91 @@
+/// \file controller.hpp
+/// \brief SimulationController: the control surface behind the GUI buttons.
+///
+/// The paper's GUI exposes Play (toggle run/pause), Increment (single step
+/// while paused), Reset (start over, optionally with new inputs) and a speed
+/// dial. This controller implements exactly those semantics over a headless
+/// Simulation; the ANSI renderer (ascii_view.hpp) and the examples drive it
+/// the same way the Qt front-end drove the original. Substituting the GUI at
+/// this API boundary is what DESIGN.md documents.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "sched/simulation.hpp"
+
+namespace e2c::viz {
+
+/// Controller run states.
+enum class RunState { kReady, kRunning, kPaused, kFinished };
+
+/// Display name ("ready", "running", ...).
+[[nodiscard]] const char* run_state_name(RunState state) noexcept;
+
+/// Factory that builds a fresh Simulation with its workload loaded; invoked
+/// at construction and on every reset() (the GUI lets the user re-submit new
+/// EET/workload CSVs before pressing Play again).
+using SimulationFactory = std::function<std::unique_ptr<sched::Simulation>()>;
+
+/// Frame callback: invoked after every processed event during play()/
+/// run_to_completion() so a renderer can redraw. Return false to request a
+/// pause (the renderer's own stop button).
+using FrameCallback = std::function<bool(const sched::Simulation&)>;
+
+/// Sleep hook, injectable for tests (virtual time instead of wall time).
+using Sleeper = std::function<void(std::chrono::duration<double>)>;
+
+/// The Play/Pause/Increment/Reset/speed control surface.
+class SimulationController {
+ public:
+  /// Builds the first simulation via \p factory.
+  explicit SimulationController(SimulationFactory factory);
+
+  /// The live simulation (rebuilt on reset()).
+  [[nodiscard]] sched::Simulation& simulation() noexcept { return *simulation_; }
+  [[nodiscard]] const sched::Simulation& simulation() const noexcept { return *simulation_; }
+
+  /// Current state.
+  [[nodiscard]] RunState state() const noexcept { return state_; }
+
+  /// Speed dial: simulated seconds advanced per wall-clock second during
+  /// play(). Defaults to 10. Must be > 0. Higher is faster.
+  void set_speed(double sim_seconds_per_wall_second);
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  /// The "Play" button: runs events, throttled to the speed dial, invoking
+  /// \p frame after each one, until finished or the callback requests pause.
+  /// Synchronous; returns when paused or finished.
+  void play(const FrameCallback& frame = {});
+
+  /// The "Play" button pressed during a run (handled by the frame callback
+  /// returning false in a real-time front-end): marks the controller paused.
+  void pause() noexcept;
+
+  /// The "Increment" button: processes exactly one event while paused (or
+  /// ready). Returns false when the simulation has no more events.
+  bool increment();
+
+  /// Runs to completion at full speed, no throttling, no frames.
+  void run_to_completion();
+
+  /// The "Reset" button: discards the simulation and builds a fresh one via
+  /// the factory. State returns to kReady.
+  void reset();
+
+  /// Injects a sleep function (tests pass a recorder; default is
+  /// std::this_thread::sleep_for).
+  void set_sleeper(Sleeper sleeper);
+
+ private:
+  void refresh_state() noexcept;
+
+  SimulationFactory factory_;
+  std::unique_ptr<sched::Simulation> simulation_;
+  RunState state_ = RunState::kReady;
+  double speed_ = 10.0;
+  Sleeper sleeper_;
+};
+
+}  // namespace e2c::viz

@@ -1,0 +1,108 @@
+#include "viz/gantt_svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::viz {
+
+namespace {
+
+/// Distinct fill colors per task type (cycled).
+const char* kTypeFills[] = {"#4e9fd1", "#e0a33c", "#b06fc4", "#62b36a", "#5b6ee1", "#d1605e"};
+
+const char* fill_for_type(std::size_t type) {
+  return kTypeFills[type % (sizeof(kTypeFills) / sizeof(kTypeFills[0]))];
+}
+
+}  // namespace
+
+std::string render_gantt_svg(const sched::Simulation& simulation,
+                             const GanttOptions& options) {
+  const auto& tasks = simulation.tasks();
+  core::SimTime horizon = simulation.engine().now();
+  for (const workload::Task& task : tasks) {
+    if (task.completion_time) horizon = std::max(horizon, *task.completion_time);
+    if (task.missed_time) horizon = std::max(horizon, *task.missed_time);
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+
+  const int lanes = static_cast<int>(simulation.machine_count());
+  const int chart_width = options.width_px - 2 * options.margin_px;
+  const int height = options.margin_px * 2 + lanes * options.lane_height_px;
+  const auto x_of = [&](core::SimTime t) {
+    return options.margin_px + t / horizon * chart_width;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  svg << "<text x=\"" << options.margin_px << "\" y=\"18\" font-size=\"14\">E2C Gantt — "
+      << simulation.policy().name() << "</text>\n";
+
+  // Lanes + machine labels.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const int y = options.margin_px + lane * options.lane_height_px;
+    svg << "<line x1=\"" << options.margin_px << "\" y1=\"" << y + options.lane_height_px
+        << "\" x2=\"" << options.width_px - options.margin_px << "\" y2=\""
+        << y + options.lane_height_px << "\" stroke=\"#ccc\"/>\n";
+    svg << "<text x=\"4\" y=\"" << y + options.lane_height_px / 2 + 4 << "\">"
+        << simulation.machine(static_cast<std::size_t>(lane)).name() << "</text>\n";
+  }
+
+  // Execution spans.
+  for (const workload::Task& task : tasks) {
+    if (!task.start_time || !task.assigned_machine) continue;
+    const core::SimTime start = *task.start_time;
+    core::SimTime end;
+    bool dropped_midrun = false;
+    if (task.completion_time) {
+      end = *task.completion_time;
+    } else if (task.missed_time && task.status == workload::TaskStatus::kDropped) {
+      end = *task.missed_time;
+      dropped_midrun = true;
+    } else {
+      continue;  // queued-but-dropped tasks never executed
+    }
+    if (end <= start) continue;
+    const int lane = static_cast<int>(*task.assigned_machine);
+    const double x = x_of(start);
+    const double w = std::max(1.0, x_of(end) - x);
+    const int y = options.margin_px + lane * options.lane_height_px + 3;
+    svg << "<rect x=\"" << util::format_fixed(x, 1) << "\" y=\"" << y << "\" width=\""
+        << util::format_fixed(w, 1) << "\" height=\"" << options.lane_height_px - 6
+        << "\" fill=\"" << fill_for_type(task.type) << "\" opacity=\""
+        << (dropped_midrun ? "0.45" : "0.9") << "\"><title>task " << task.id << " ("
+        << simulation.eet().task_type_name(task.type) << ") "
+        << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
+        << (dropped_midrun ? " DROPPED" : "") << "</title></rect>\n";
+    if (dropped_midrun && options.show_deadline_marks) {
+      svg << "<line x1=\"" << util::format_fixed(x + w, 1) << "\" y1=\"" << y
+          << "\" x2=\"" << util::format_fixed(x + w, 1) << "\" y2=\""
+          << y + options.lane_height_px - 6 << "\" stroke=\"red\" stroke-width=\"2\"/>\n";
+    }
+  }
+
+  // Time axis ticks (5 divisions).
+  for (int i = 0; i <= 5; ++i) {
+    const double t = horizon * i / 5.0;
+    const double x = x_of(t);
+    svg << "<text x=\"" << util::format_fixed(x - 8, 1) << "\" y=\"" << height - 28
+        << "\" fill=\"#555\">" << util::format_fixed(t, 1) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_gantt_svg(const sched::Simulation& simulation, const std::string& path,
+                    const GanttOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open SVG file for writing: " + path);
+  out << render_gantt_svg(simulation, options);
+  if (!out) throw IoError("failed writing SVG file: " + path);
+}
+
+}  // namespace e2c::viz

@@ -1,0 +1,34 @@
+/// \file gantt_svg.hpp
+/// \brief SVG Gantt-chart export of a finished simulation.
+///
+/// One lane per machine; one rectangle per executed task span, colored by
+/// task type; hatched (semi-transparent) rectangles for partially executed
+/// tasks that were dropped at their deadline. Together with the ANSI live
+/// view this replaces the Qt animation with a publishable artifact students
+/// can embed in their assignment write-ups.
+#pragma once
+
+#include <string>
+
+#include "sched/simulation.hpp"
+
+namespace e2c::viz {
+
+/// SVG rendering options.
+struct GanttOptions {
+  int width_px = 960;
+  int lane_height_px = 28;
+  int margin_px = 60;
+  bool show_deadline_marks = true;  ///< red tick at each dropped task's miss time
+};
+
+/// Renders the simulation's execution history as an SVG document.
+/// Tasks that never started do not appear (they never occupied a machine).
+[[nodiscard]] std::string render_gantt_svg(const sched::Simulation& simulation,
+                                           const GanttOptions& options = {});
+
+/// Writes render_gantt_svg() output to \p path. Throws e2c::IoError.
+void save_gantt_svg(const sched::Simulation& simulation, const std::string& path,
+                    const GanttOptions& options = {});
+
+}  // namespace e2c::viz

@@ -1,0 +1,43 @@
+/// \file arrival.hpp
+/// \brief Arrival processes for workload generation.
+///
+/// The paper's workload component lets the user pick an arrival distribution
+/// per task type. E2C-Sim++ implements the standard set used in scheduling
+/// studies: Poisson (exponential inter-arrivals), uniform, normal
+/// (truncated at a small positive floor), constant spacing, and an on/off
+/// burst process for stress scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "util/rng.hpp"
+
+namespace e2c::workload {
+
+/// Kinds of arrival processes available to the generator.
+enum class ArrivalKind : int {
+  kPoisson,   ///< exponential inter-arrival times (memoryless)
+  kUniform,   ///< inter-arrivals uniform in [0, 2/rate]
+  kNormal,    ///< inter-arrivals normal(1/rate, 0.25/rate), floored at epsilon
+  kConstant,  ///< fixed spacing 1/rate
+  kBurst,     ///< on/off: bursts of rapid arrivals separated by quiet gaps
+};
+
+/// Display name ("poisson", "uniform", ...).
+[[nodiscard]] const char* arrival_kind_name(ArrivalKind kind) noexcept;
+
+/// Parses a case-insensitive name; throws e2c::InputError on unknown names.
+[[nodiscard]] ArrivalKind parse_arrival_kind(const std::string& name);
+
+/// Generates arrival timestamps in [0, duration) with mean rate \p rate
+/// (tasks per simulated second) using process \p kind. The realized count is
+/// stochastic for all kinds except kConstant. Requires rate > 0 and
+/// duration > 0.
+[[nodiscard]] std::vector<core::SimTime> generate_arrivals(ArrivalKind kind, double rate,
+                                                           core::SimTime duration,
+                                                           util::Rng& rng);
+
+}  // namespace e2c::workload

@@ -1,0 +1,157 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace e2c::workload {
+
+const char* intensity_name(Intensity intensity) noexcept {
+  switch (intensity) {
+    case Intensity::kLow: return "low";
+    case Intensity::kMedium: return "medium";
+    case Intensity::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+double intensity_offered_load(Intensity intensity) noexcept {
+  switch (intensity) {
+    case Intensity::kLow: return 0.5;
+    case Intensity::kMedium: return 1.0;
+    case Intensity::kHigh: return 2.0;
+  }
+  return 1.0;
+}
+
+double system_capacity(const hetero::EetMatrix& eet,
+                       const std::vector<hetero::MachineTypeId>& machine_types,
+                       const std::vector<double>& type_weights) {
+  require_input(!machine_types.empty(), "system_capacity: no machines");
+  const std::size_t types = eet.task_type_count();
+  std::vector<double> weights = type_weights;
+  if (weights.empty()) weights.assign(types, 1.0);
+  require_input(weights.size() == types,
+                "system_capacity: type_weights size must match EET task types");
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    require_input(w >= 0.0, "system_capacity: negative type weight");
+    weight_sum += w;
+  }
+  require_input(weight_sum > 0.0, "system_capacity: all type weights are zero");
+
+  double capacity = 0.0;
+  for (hetero::MachineTypeId machine_type : machine_types) {
+    double mean_service = 0.0;
+    for (std::size_t t = 0; t < types; ++t) {
+      mean_service += weights[t] / weight_sum * eet.eet(t, machine_type);
+    }
+    capacity += 1.0 / mean_service;
+  }
+  return capacity;
+}
+
+namespace {
+
+/// One (arrival time, type) pair prior to id assignment.
+struct PendingArrival {
+  core::SimTime time;
+  hetero::TaskTypeId type;
+};
+
+/// Aggregate mode: one arrival stream, types drawn from the weighted mix.
+std::vector<PendingArrival> aggregate_arrivals(const hetero::EetMatrix& eet,
+                                               const GeneratorConfig& config,
+                                               util::Rng& rng) {
+  require_input(config.rate > 0.0, "generator: rate must be > 0");
+  const std::size_t types = eet.task_type_count();
+  std::vector<double> weights = config.type_weights;
+  if (weights.empty()) weights.assign(types, 1.0);
+  require_input(weights.size() == types,
+                "generator: type_weights size must match EET task types");
+
+  util::Rng arrivals_rng = rng.split();
+  util::Rng types_rng = rng.split();
+  const std::vector<core::SimTime> times =
+      generate_arrivals(config.arrival, config.rate, config.duration, arrivals_rng);
+  std::vector<PendingArrival> arrivals;
+  arrivals.reserve(times.size());
+  for (core::SimTime t : times) {
+    arrivals.push_back(PendingArrival{t, types_rng.weighted_index(weights)});
+  }
+  return arrivals;
+}
+
+/// Per-type mode (the paper's "arrival distribution for each task type"):
+/// independent streams, merged by time.
+std::vector<PendingArrival> per_type_arrivals(const hetero::EetMatrix& eet,
+                                              const GeneratorConfig& config,
+                                              util::Rng& rng) {
+  require_input(config.per_type_arrivals.size() == eet.task_type_count(),
+                "generator: per_type_arrivals needs one spec per task type");
+  std::vector<PendingArrival> arrivals;
+  for (std::size_t type = 0; type < config.per_type_arrivals.size(); ++type) {
+    const TypeArrivalSpec& spec = config.per_type_arrivals[type];
+    require_input(spec.rate > 0.0, "generator: per-type rate must be > 0 (type " +
+                                       eet.task_type_name(type) + ")");
+    util::Rng stream_rng = rng.split();
+    for (core::SimTime t :
+         generate_arrivals(spec.kind, spec.rate, config.duration, stream_rng)) {
+      arrivals.push_back(PendingArrival{t, type});
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const PendingArrival& a, const PendingArrival& b) {
+                     return a.time < b.time;
+                   });
+  return arrivals;
+}
+
+}  // namespace
+
+Workload generate_workload(const hetero::EetMatrix& eet, const GeneratorConfig& config) {
+  require_input(config.duration > 0.0, "generator: duration must be > 0");
+  require_input(config.deadline_factor_lo > 0.0 &&
+                    config.deadline_factor_hi >= config.deadline_factor_lo,
+                "generator: deadline factors must satisfy 0 < lo <= hi");
+
+  util::Rng rng(config.seed);
+  const std::vector<PendingArrival> arrivals = config.per_type_arrivals.empty()
+                                                   ? aggregate_arrivals(eet, config, rng)
+                                                   : per_type_arrivals(eet, config, rng);
+  util::Rng deadlines_rng = rng.split();
+
+  std::vector<Task> tasks;
+  tasks.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.type = arrivals[i].type;
+    task.arrival = arrivals[i].time;
+    const double factor =
+        deadlines_rng.uniform(config.deadline_factor_lo, config.deadline_factor_hi);
+    task.deadline = task.arrival + factor * eet.row_mean(task.type);
+    tasks.push_back(task);
+  }
+  return Workload(std::move(tasks));
+}
+
+GeneratorConfig config_for_offered_load(
+    const hetero::EetMatrix& eet, const std::vector<hetero::MachineTypeId>& machine_types,
+    double rho, core::SimTime duration, std::uint64_t seed) {
+  require_input(rho > 0.0, "config_for_offered_load: rho must be > 0");
+  GeneratorConfig config;
+  config.rate = rho * system_capacity(eet, machine_types, {});
+  config.duration = duration;
+  config.seed = seed;
+  return config;
+}
+
+GeneratorConfig config_for_intensity(
+    const hetero::EetMatrix& eet, const std::vector<hetero::MachineTypeId>& machine_types,
+    Intensity intensity, core::SimTime duration, std::uint64_t seed) {
+  return config_for_offered_load(eet, machine_types, intensity_offered_load(intensity),
+                                 duration, seed);
+}
+
+}  // namespace e2c::workload

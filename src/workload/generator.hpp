@@ -1,0 +1,80 @@
+/// \file generator.hpp
+/// \brief Seeded workload generator with calibrated intensity presets.
+///
+/// The class assignment of the paper (§4) uses "three workload traces with
+/// arrival intensities ranging from low, medium, to high to stress the
+/// system at different levels". We make intensity quantitative: the offered
+/// load rho is the ratio of the aggregate arrival rate to the system's
+/// aggregate service capacity, so rho = 0.5 under-loads, 1.0 saturates and
+/// 2.0 over-loads any system regardless of its EET matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "workload/arrival.hpp"
+#include "workload/workload.hpp"
+
+namespace e2c::workload {
+
+/// The three intensity levels of the class assignment.
+enum class Intensity : int { kLow, kMedium, kHigh };
+
+/// Display name ("low", "medium", "high").
+[[nodiscard]] const char* intensity_name(Intensity intensity) noexcept;
+
+/// Offered-load fraction for a preset: low=0.5, medium=1.0, high=2.0.
+[[nodiscard]] double intensity_offered_load(Intensity intensity) noexcept;
+
+/// Arrival process of ONE task type, for the paper's per-type workload
+/// definition ("the task types, arrival distribution for each task type,
+/// and their arrival duration").
+struct TypeArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 1.0;  ///< arrivals per second of this task type (> 0)
+};
+
+/// Everything the generator needs besides the EET matrix.
+struct GeneratorConfig {
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double rate = 1.0;                ///< aggregate arrivals per second (> 0)
+  core::SimTime duration = 100.0;   ///< arrival window [0, duration)
+  std::vector<double> type_weights; ///< per-type mix; empty = uniform
+  /// Per-type arrival processes (one entry per task type). When non-empty
+  /// this supersedes (arrival, rate, type_weights): each type gets its own
+  /// independent stream and the streams are merged by arrival time.
+  std::vector<TypeArrivalSpec> per_type_arrivals;
+  /// Deadline = arrival + factor * mean-EET(type), factor uniform in
+  /// [deadline_factor_lo, deadline_factor_hi]. A factor comfortably above 1
+  /// leaves slack for queueing; tight factors create urgency.
+  double deadline_factor_lo = 2.0;
+  double deadline_factor_hi = 4.0;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate service capacity (tasks/second) of a system: the sum over
+/// machine instances of the reciprocal of the mix-weighted mean EET on that
+/// machine's type. \p machine_types lists the machine type of each instance.
+/// Empty \p type_weights means a uniform mix.
+[[nodiscard]] double system_capacity(const hetero::EetMatrix& eet,
+                                     const std::vector<hetero::MachineTypeId>& machine_types,
+                                     const std::vector<double>& type_weights);
+
+/// Generates a workload trace from \p config against \p eet. Task ids are
+/// assigned in arrival order starting at 0. Deterministic in config.seed.
+[[nodiscard]] Workload generate_workload(const hetero::EetMatrix& eet,
+                                         const GeneratorConfig& config);
+
+/// Builds a config whose rate realizes offered load \p rho on the system
+/// described by (eet, machine_types): rate = rho * system_capacity.
+[[nodiscard]] GeneratorConfig config_for_offered_load(
+    const hetero::EetMatrix& eet, const std::vector<hetero::MachineTypeId>& machine_types,
+    double rho, core::SimTime duration, std::uint64_t seed);
+
+/// Convenience: config for an intensity preset (low/medium/high).
+[[nodiscard]] GeneratorConfig config_for_intensity(
+    const hetero::EetMatrix& eet, const std::vector<hetero::MachineTypeId>& machine_types,
+    Intensity intensity, core::SimTime duration, std::uint64_t seed);
+
+}  // namespace e2c::workload

@@ -1,0 +1,24 @@
+#include "workload/task.hpp"
+
+namespace e2c::workload {
+
+const char* task_status_name(TaskStatus status) noexcept {
+  switch (status) {
+    case TaskStatus::kPending: return "pending";
+    case TaskStatus::kInBatchQueue: return "batch-queue";
+    case TaskStatus::kTransferring: return "transferring";
+    case TaskStatus::kInMachineQueue: return "machine-queue";
+    case TaskStatus::kRunning: return "running";
+    case TaskStatus::kCompleted: return "completed";
+    case TaskStatus::kCancelled: return "cancelled";
+    case TaskStatus::kDropped: return "dropped";
+  }
+  return "unknown";
+}
+
+bool is_terminal(TaskStatus status) noexcept {
+  return status == TaskStatus::kCompleted || status == TaskStatus::kCancelled ||
+         status == TaskStatus::kDropped;
+}
+
+}  // namespace e2c::workload

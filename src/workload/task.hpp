@@ -1,0 +1,89 @@
+/// \file task.hpp
+/// \brief The task model and its status lifecycle.
+///
+/// A task is one request for an application (task type). Its lifecycle
+/// follows the paper's Figure 1 flow:
+///
+///   arrival -> batch queue -> (scheduler) -> machine queue -> running -> completed
+///                 |                             |               |
+///                 v                             v               v
+///              CANCELLED                     DROPPED          DROPPED
+///        (deadline before mapping)   (deadline in queue)  (deadline mid-run)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/sim_time.hpp"
+#include "hetero/types.hpp"
+
+namespace e2c::workload {
+
+/// Unique task identifier within one workload.
+using TaskId = std::uint64_t;
+
+/// Where a task currently is in its lifecycle.
+enum class TaskStatus : std::uint8_t {
+  kPending,        ///< generated, not yet arrived
+  kInBatchQueue,   ///< arrived, waiting for the scheduler
+  kTransferring,   ///< mapped, input payload in flight to the machine
+  kInMachineQueue, ///< mapped, waiting in a machine's local queue
+  kRunning,        ///< executing on a machine
+  kCompleted,      ///< finished before its deadline
+  kCancelled,      ///< deadline passed while still unmapped (batch queue)
+  kDropped,        ///< deadline passed after mapping (transfer, queue or run)
+};
+
+/// Display name of a status ("completed", "cancelled", ...).
+[[nodiscard]] const char* task_status_name(TaskStatus status) noexcept;
+
+/// True for the three terminal states.
+[[nodiscard]] bool is_terminal(TaskStatus status) noexcept;
+
+/// One task: identity, requirements and (mutable) execution record.
+///
+/// The immutable part (id, type, arrival, deadline) comes from the workload
+/// trace; the mutable part is filled in by the simulation and is what the
+/// Task Report exports.
+struct Task {
+  TaskId id = 0;
+  hetero::TaskTypeId type = 0;
+  core::SimTime arrival = 0.0;
+  core::SimTime deadline = core::kTimeInfinity;
+
+  // --- simulation record ---
+  TaskStatus status = TaskStatus::kPending;
+  std::optional<hetero::MachineId> assigned_machine;  ///< set on mapping
+  std::optional<core::SimTime> assignment_time;       ///< when mapped
+  std::optional<core::SimTime> start_time;            ///< execution start
+  std::optional<core::SimTime> completion_time;       ///< on-time finish
+  std::optional<core::SimTime> missed_time;           ///< when cancelled/dropped
+
+  /// True once the task reached a terminal state.
+  [[nodiscard]] bool finished() const noexcept { return is_terminal(status); }
+
+  /// True if the task completed on time.
+  [[nodiscard]] bool completed() const noexcept {
+    return status == TaskStatus::kCompleted;
+  }
+
+  /// Urgency at time \p now: remaining slack until the deadline.
+  [[nodiscard]] core::SimTime slack(core::SimTime now) const noexcept {
+    return deadline - now;
+  }
+
+  /// Response time (completion - arrival) when completed.
+  [[nodiscard]] std::optional<core::SimTime> response_time() const noexcept {
+    if (!completion_time) return std::nullopt;
+    return *completion_time - arrival;
+  }
+
+  /// Waiting time before execution started, when it started.
+  [[nodiscard]] std::optional<core::SimTime> wait_time() const noexcept {
+    if (!start_time) return std::nullopt;
+    return *start_time - arrival;
+  }
+};
+
+}  // namespace e2c::workload

@@ -1,0 +1,79 @@
+#include "workload/trace_stats.hpp"
+
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "workload/generator.hpp"
+
+namespace e2c::workload {
+
+TraceStats compute_trace_stats(const Workload& workload, const hetero::EetMatrix& eet) {
+  workload.validate_against(eet);
+  TraceStats stats;
+  stats.task_count = workload.size();
+  stats.type_counts = workload.type_histogram(eet.task_type_count());
+  stats.type_fractions.assign(eet.task_type_count(), 0.0);
+  if (workload.empty()) return stats;
+
+  const auto& tasks = workload.tasks();
+  stats.span = tasks.back().arrival - tasks.front().arrival;
+  if (stats.span > 0.0) {
+    stats.arrival_rate = static_cast<double>(stats.task_count) / stats.span;
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(tasks.size());
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    gaps.push_back(tasks[i].arrival - tasks[i - 1].arrival);
+  }
+  stats.interarrival_mean = util::mean(gaps);
+  if (stats.interarrival_mean > 0.0) {
+    stats.interarrival_cv = util::stddev(gaps) / stats.interarrival_mean;
+  }
+
+  for (std::size_t t = 0; t < stats.type_counts.size(); ++t) {
+    stats.type_fractions[t] = static_cast<double>(stats.type_counts[t]) /
+                              static_cast<double>(stats.task_count);
+  }
+
+  util::RunningStats factors;
+  for (const Task& task : tasks) {
+    if (task.deadline == core::kTimeInfinity) {
+      ++stats.infinite_deadlines;
+      continue;
+    }
+    factors.add((task.deadline - task.arrival) / eet.row_mean(task.type));
+  }
+  stats.deadline_factor_mean = factors.mean();
+  return stats;
+}
+
+double offered_load(const Workload& workload, const hetero::EetMatrix& eet,
+                    const std::vector<hetero::MachineTypeId>& machine_types) {
+  if (workload.empty()) return 0.0;
+  const TraceStats stats = compute_trace_stats(workload, eet);
+  if (stats.arrival_rate <= 0.0) return 0.0;
+  std::vector<double> weights(stats.type_fractions.begin(), stats.type_fractions.end());
+  const double capacity = system_capacity(eet, machine_types, weights);
+  return stats.arrival_rate / capacity;
+}
+
+std::vector<std::vector<std::string>> trace_stats_csv(const TraceStats& stats,
+                                                      const hetero::EetMatrix& eet) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  rows.push_back({"task_count", std::to_string(stats.task_count)});
+  rows.push_back({"span_seconds", util::format_fixed(stats.span, 2)});
+  rows.push_back({"arrival_rate", util::format_fixed(stats.arrival_rate, 4)});
+  rows.push_back({"interarrival_mean", util::format_fixed(stats.interarrival_mean, 4)});
+  rows.push_back({"interarrival_cv", util::format_fixed(stats.interarrival_cv, 4)});
+  rows.push_back({"deadline_factor_mean",
+                  util::format_fixed(stats.deadline_factor_mean, 2)});
+  rows.push_back({"infinite_deadlines", std::to_string(stats.infinite_deadlines)});
+  for (std::size_t t = 0; t < stats.type_counts.size(); ++t) {
+    rows.push_back({"count[" + eet.task_type_name(t) + "]",
+                    std::to_string(stats.type_counts[t])});
+  }
+  return rows;
+}
+
+}  // namespace e2c::workload

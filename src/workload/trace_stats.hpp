@@ -1,0 +1,47 @@
+/// \file trace_stats.hpp
+/// \brief Workload-trace analysis: what a loaded CSV actually contains.
+///
+/// Students receive or generate workload traces as CSVs; before running
+/// them, the natural questions are "how intense is this trace for my
+/// system?" and "what does the task mix look like?". This module answers
+/// them: arrival-rate and inter-arrival statistics, per-type mix, deadline
+/// tightness, and the implied offered load against a given system.
+#pragma once
+
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "workload/workload.hpp"
+
+namespace e2c::workload {
+
+/// Descriptive statistics of one workload trace.
+struct TraceStats {
+  std::size_t task_count = 0;
+  core::SimTime span = 0.0;            ///< last arrival - first arrival
+  double arrival_rate = 0.0;           ///< tasks per second over the span
+  double interarrival_mean = 0.0;
+  double interarrival_cv = 0.0;        ///< ~1 for Poisson, <1 regular, >1 bursty
+  std::vector<std::size_t> type_counts;       ///< per task type
+  std::vector<double> type_fractions;         ///< per task type, sums to 1
+  double deadline_factor_mean = 0.0;   ///< mean (deadline-arrival)/row_mean(type)
+  std::size_t infinite_deadlines = 0;  ///< tasks with no deadline
+};
+
+/// Computes trace statistics against the EET the trace conforms to.
+/// Throws e2c::InputError if the trace references unknown task types.
+[[nodiscard]] TraceStats compute_trace_stats(const Workload& workload,
+                                             const hetero::EetMatrix& eet);
+
+/// Offered load of the trace on a system: arrival_rate / system_capacity,
+/// where capacity uses the trace's own type mix. 0 for an empty trace.
+/// The intensity presets invert this: a trace generated at Intensity::kHigh
+/// reports an offered load near 2.0.
+[[nodiscard]] double offered_load(const Workload& workload, const hetero::EetMatrix& eet,
+                                  const std::vector<hetero::MachineTypeId>& machine_types);
+
+/// Renders the stats as CSV key/value rows (header first).
+[[nodiscard]] std::vector<std::vector<std::string>> trace_stats_csv(
+    const TraceStats& stats, const hetero::EetMatrix& eet);
+
+}  // namespace e2c::workload

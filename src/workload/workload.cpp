@@ -1,0 +1,106 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::workload {
+
+Workload::Workload(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  std::stable_sort(tasks_.begin(), tasks_.end(), [](const Task& a, const Task& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+  for (const Task& task : tasks_) {
+    require_input(task.deadline >= task.arrival,
+                  "workload: task " + std::to_string(task.id) +
+                      " has a deadline before its arrival");
+    require_input(task.arrival >= 0.0, "workload: task " + std::to_string(task.id) +
+                                           " has a negative arrival time");
+  }
+}
+
+core::SimTime Workload::last_arrival() const noexcept {
+  return tasks_.empty() ? 0.0 : tasks_.back().arrival;
+}
+
+void Workload::validate_against(const hetero::EetMatrix& eet) const {
+  for (const Task& task : tasks_) {
+    require_input(task.type < eet.task_type_count(),
+                  "workload: task " + std::to_string(task.id) +
+                      " references task type id " + std::to_string(task.type) +
+                      " that is not defined within the EET matrix");
+  }
+}
+
+std::vector<std::size_t> Workload::type_histogram(std::size_t type_count) const {
+  std::vector<std::size_t> histogram(type_count, 0);
+  for (const Task& task : tasks_) {
+    if (task.type < type_count) ++histogram[task.type];
+  }
+  return histogram;
+}
+
+Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatrix& eet) {
+  const util::CsvTable table = util::parse_csv(text);
+  require_input(!table.empty(), "workload CSV: file is empty");
+  const auto& header = table.rows.front();
+  require_input(header.size() >= 3,
+                "workload CSV: expected header task_id,task_type,arrival_time[,deadline]");
+  const bool has_deadline = header.size() >= 4;
+
+  std::vector<Task> tasks;
+  tasks.reserve(table.row_count() - 1);
+  for (std::size_t r = 1; r < table.row_count(); ++r) {
+    const auto& row = table.rows[r];
+    require_input(row.size() >= 3, "workload CSV: row " + std::to_string(r + 1) +
+                                       " has too few fields");
+    const auto id = util::parse_int(row[0]);
+    require_input(id.has_value() && *id >= 0,
+                  "workload CSV: bad task_id at row " + std::to_string(r + 1));
+    const std::string type_name{util::trim(row[1])};
+    const auto arrival = util::parse_double(row[2]);
+    require_input(arrival.has_value(),
+                  "workload CSV: bad arrival_time at row " + std::to_string(r + 1));
+
+    Task task;
+    task.id = static_cast<TaskId>(*id);
+    task.type = eet.task_type_index(type_name);  // throws if unknown (paper rule)
+    task.arrival = *arrival;
+    if (has_deadline && row.size() >= 4 && !util::trim(row[3]).empty()) {
+      const auto deadline = util::parse_double(row[3]);
+      require_input(deadline.has_value(),
+                    "workload CSV: bad deadline at row " + std::to_string(r + 1));
+      task.deadline = *deadline;
+    }
+    tasks.push_back(task);
+  }
+  return Workload(std::move(tasks));
+}
+
+Workload Workload::load_csv(const std::string& path, const hetero::EetMatrix& eet) {
+  const util::CsvTable table = util::read_csv_file(path);
+  return from_csv_text(util::to_csv(table.rows), eet);
+}
+
+std::string Workload::to_csv_text(const hetero::EetMatrix& eet) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tasks_.size() + 1);
+  rows.push_back({"task_id", "task_type", "arrival_time", "deadline"});
+  for (const Task& task : tasks_) {
+    rows.push_back({std::to_string(task.id), eet.task_type_name(task.type),
+                    util::format_fixed(task.arrival, 4),
+                    task.deadline == core::kTimeInfinity
+                        ? std::string{}
+                        : util::format_fixed(task.deadline, 4)});
+  }
+  return util::to_csv(rows);
+}
+
+void Workload::save_csv(const std::string& path, const hetero::EetMatrix& eet) const {
+  util::write_csv_file(path, util::parse_csv(to_csv_text(eet)).rows);
+}
+
+}  // namespace e2c::workload

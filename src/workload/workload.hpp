@@ -1,0 +1,70 @@
+/// \file workload.hpp
+/// \brief The workload trace: an ordered collection of tasks plus CSV IO.
+///
+/// File format (matches E2C-Sim's workload CSV):
+///   task_id,task_type,arrival_time,deadline
+///   0,T1,0.52,12.40
+///   ...
+/// Task type names must exist in the EET matrix the workload is used with —
+/// the paper's compatibility rule. Validation happens at load/bind time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "workload/task.hpp"
+
+namespace e2c::workload {
+
+/// An immutable-by-convention trace of tasks sorted by arrival time.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Takes ownership of tasks; sorts them by (arrival, id) and validates
+  /// that deadlines are not before arrivals.
+  explicit Workload(std::vector<Task> tasks);
+
+  /// Number of tasks.
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// True when there are no tasks.
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  /// Tasks in arrival order.
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  /// Arrival time of the last task (0 for an empty workload).
+  [[nodiscard]] core::SimTime last_arrival() const noexcept;
+
+  /// Throws e2c::InputError if any task references a type id outside the
+  /// matrix, enforcing "there can be no task type within the workload that
+  /// is not defined within the EET".
+  void validate_against(const hetero::EetMatrix& eet) const;
+
+  /// Tally of tasks per task type id (index = type id; sized to \p type_count).
+  [[nodiscard]] std::vector<std::size_t> type_histogram(std::size_t type_count) const;
+
+  // ---- persistence -------------------------------------------------------
+
+  /// Parses the workload CSV, resolving task type names through \p eet.
+  /// The deadline column is optional; absent deadlines are infinite.
+  [[nodiscard]] static Workload from_csv_text(const std::string& text,
+                                              const hetero::EetMatrix& eet);
+
+  /// Loads a workload CSV file.
+  [[nodiscard]] static Workload load_csv(const std::string& path,
+                                         const hetero::EetMatrix& eet);
+
+  /// Serializes as CSV with type names from \p eet.
+  [[nodiscard]] std::string to_csv_text(const hetero::EetMatrix& eet) const;
+
+  /// Writes a CSV file.
+  void save_csv(const std::string& path, const hetero::EetMatrix& eet) const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace e2c::workload

@@ -1,0 +1,200 @@
+// Unit tests for the elasticity substrate: machine power gating and the
+// autoscaler (sched/simulation.hpp, machines/machine.hpp).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "machines/machine.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/error.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using e2c::core::Engine;
+using e2c::hetero::EetMatrix;
+using e2c::hetero::MachineTypeSpec;
+using e2c::machines::kUnboundedQueue;
+using e2c::machines::Machine;
+using e2c::sched::AutoscalerConfig;
+using e2c::sched::Simulation;
+using e2c::sched::SystemConfig;
+using e2c::workload::Task;
+using e2c::workload::Workload;
+
+Task make_task(std::uint64_t id, double arrival, double deadline) {
+  Task task;
+  task.id = id;
+  task.type = 0;
+  task.arrival = arrival;
+  task.deadline = deadline;
+  return task;
+}
+
+// ---- machine power gating ---------------------------------------------------
+
+TEST(MachinePowerGating, OfflineRefusesWork) {
+  Engine engine;
+  Machine machine(engine, 0, "m", 0, MachineTypeSpec{"t", 10.0, 100.0}, kUnboundedQueue);
+  EXPECT_TRUE(machine.online());
+  machine.set_online(false, 0.0);
+  EXPECT_FALSE(machine.online());
+  EXPECT_FALSE(machine.has_queue_space());
+}
+
+TEST(MachinePowerGating, OnlineSecondsTracksIntervals) {
+  Engine engine;
+  Machine machine(engine, 0, "m", 0, MachineTypeSpec{"t", 10.0, 100.0}, kUnboundedQueue);
+  machine.set_online(false, 4.0);   // online [0, 4)
+  machine.set_online(true, 10.0);   // online [10, ...)
+  EXPECT_DOUBLE_EQ(machine.online_seconds(12.0), 6.0);
+  EXPECT_DOUBLE_EQ(machine.online_seconds(10.0), 4.0);
+  machine.set_online(false, 15.0);  // closes [10, 15)
+  EXPECT_DOUBLE_EQ(machine.online_seconds(20.0), 9.0);
+}
+
+TEST(MachinePowerGating, RedundantTogglesIgnored) {
+  Engine engine;
+  Machine machine(engine, 0, "m", 0, MachineTypeSpec{"t", 10.0, 100.0}, kUnboundedQueue);
+  machine.set_online(true, 3.0);  // already online: no-op
+  machine.set_online(false, 5.0);
+  machine.set_online(false, 7.0);  // already offline: no-op
+  EXPECT_DOUBLE_EQ(machine.online_seconds(10.0), 5.0);
+}
+
+TEST(MachinePowerGating, OfflineMachineDrawsNoIdlePower) {
+  Engine engine;
+  Machine machine(engine, 0, "m", 0, MachineTypeSpec{"t", 10.0, 100.0}, kUnboundedQueue);
+  machine.set_online(false, 0.0);
+  EXPECT_DOUBLE_EQ(machine.energy_joules(100.0), 0.0);
+  machine.set_online(true, 50.0);
+  EXPECT_DOUBLE_EQ(machine.energy_joules(100.0), 50.0 * 10.0);
+}
+
+// ---- autoscaled simulation ---------------------------------------------------
+
+SystemConfig scaled_system(AutoscalerConfig scaler) {
+  EetMatrix eet({"T1"}, {"m0", "m1", "m2"}, {{2.0, 2.0, 2.0}});
+  SystemConfig config = e2c::sched::make_default_system(std::move(eet), 2);
+  config.autoscaler = std::move(scaler);
+  return config;
+}
+
+AutoscalerConfig default_scaler() {
+  AutoscalerConfig scaler;
+  scaler.enabled = true;
+  scaler.interval = 1.0;
+  scaler.queue_high = 3;
+  scaler.queue_low = 0;
+  scaler.boot_delay = 0.5;
+  scaler.min_online = 1;
+  scaler.initially_offline = {1, 2};
+  return scaler;
+}
+
+TEST(Autoscaler, StartsWithConfiguredMachinesOffline) {
+  Simulation simulation(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
+  EXPECT_EQ(simulation.online_machine_count(), 1u);
+  EXPECT_FALSE(simulation.machine(1).online());
+}
+
+TEST(Autoscaler, ScalesOutUnderBacklog) {
+  Simulation simulation(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
+  // A burst of simultaneous tasks overflows the single online machine.
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 12; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
+  simulation.load(Workload(std::move(tasks)));
+  std::size_t max_online = 0;
+  while (simulation.step()) {
+    max_online = std::max(max_online, simulation.online_machine_count());
+  }
+  EXPECT_GT(max_online, 1u);
+  EXPECT_EQ(simulation.counters().completed, 12u);
+}
+
+TEST(Autoscaler, ScalesInWhenIdle) {
+  Simulation simulation(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 12; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
+  // A late straggler keeps the simulation alive long after the burst, giving
+  // the autoscaler time to park the extra machines.
+  tasks.push_back(make_task(99, 40.0, 100.0));
+  simulation.load(Workload(std::move(tasks)));
+  simulation.run();
+  EXPECT_EQ(simulation.online_machine_count(), 1u);
+  EXPECT_EQ(simulation.counters().completed, 13u);
+}
+
+TEST(Autoscaler, RespectsMinOnline) {
+  auto scaler = default_scaler();
+  scaler.min_online = 2;
+  scaler.initially_offline = {2};
+  Simulation simulation(scaled_system(scaler), e2c::sched::make_policy("MM"));
+  simulation.load(Workload({make_task(0, 0.0, 60.0), make_task(1, 30.0, 90.0)}));
+  simulation.run();
+  EXPECT_GE(simulation.online_machine_count(), 2u);
+}
+
+TEST(Autoscaler, SavesEnergyOnSparseLoad) {
+  // Sparse trickle of work: with the autoscaler only one machine stays
+  // powered, so total energy drops well below the always-on system.
+  auto build_tasks = [] {
+    std::vector<Task> tasks;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      tasks.push_back(make_task(i, static_cast<double>(i) * 10.0, 1e9));
+    }
+    return tasks;
+  };
+  Simulation scaled(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
+  scaled.load(Workload(build_tasks()));
+  scaled.run();
+
+  SystemConfig always_on = scaled_system(AutoscalerConfig{});
+  Simulation baseline(always_on, e2c::sched::make_policy("MM"));
+  baseline.load(Workload(build_tasks()));
+  baseline.run();
+
+  EXPECT_EQ(scaled.counters().completed, 8u);
+  EXPECT_EQ(baseline.counters().completed, 8u);
+  // Two of three machines stay parked: the saving is their idle draw
+  // (exactly 40% of the always-on bill in this scenario).
+  EXPECT_LT(scaled.total_energy_joules(scaled.engine().now()),
+            0.65 * baseline.total_energy_joules(baseline.engine().now()));
+}
+
+TEST(Autoscaler, ValidatesConfig) {
+  auto scaler = default_scaler();
+  scaler.interval = 0.0;
+  EXPECT_THROW(Simulation(scaled_system(scaler), e2c::sched::make_policy("MM")),
+               e2c::InputError);
+  scaler = default_scaler();
+  scaler.min_online = 0;
+  EXPECT_THROW(Simulation(scaled_system(scaler), e2c::sched::make_policy("MM")),
+               e2c::InputError);
+  scaler = default_scaler();
+  scaler.initially_offline = {7};
+  EXPECT_THROW(Simulation(scaled_system(scaler), e2c::sched::make_policy("MM")),
+               e2c::InputError);
+  scaler = default_scaler();
+  scaler.initially_offline = {0, 1, 2};  // nothing online but min_online=1
+  EXPECT_THROW(Simulation(scaled_system(scaler), e2c::sched::make_policy("MM")),
+               e2c::InputError);
+}
+
+TEST(Autoscaler, OfflineMachinesInvisibleToPolicies) {
+  // With machines 1 and 2 offline and no backlog, all work lands on m0.
+  auto scaler = default_scaler();
+  scaler.queue_high = 100;  // never scale out
+  Simulation simulation(scaled_system(scaler), e2c::sched::make_policy("MM"));
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    tasks.push_back(make_task(i, static_cast<double>(i) * 3.0, 1e9));
+  }
+  simulation.load(Workload(std::move(tasks)));
+  simulation.run();
+  const auto horizon = simulation.engine().now();
+  EXPECT_EQ(simulation.machine(0).finalize_stats(horizon).tasks_completed, 4u);
+  EXPECT_EQ(simulation.machine(1).finalize_stats(horizon).tasks_completed, 0u);
+}
+
+}  // namespace

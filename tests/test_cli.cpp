@@ -1,0 +1,139 @@
+// End-to-end tests of the e2c_run command-line front-end: drives the real
+// binary (path injected by CMake) against the shipped data fixtures and
+// checks its output and artifacts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace {
+
+#ifndef E2C_RUN_BIN
+#error "E2C_RUN_BIN must be defined by the build"
+#endif
+#ifndef E2C_DATA_DIR
+#error "E2C_DATA_DIR must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& args) {
+  const std::string command = std::string(E2C_RUN_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CommandResult result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string data(const std::string& file) { return std::string(E2C_DATA_DIR) + "/" + file; }
+
+TEST(Cli, HelpExitsZero) {
+  const auto result = run_command("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--policy"), std::string::npos);
+  EXPECT_NE(result.output.find("--autoscale"), std::string::npos);
+}
+
+TEST(Cli, ListPoliciesShowsFullRoster) {
+  const auto result = run_command("--list-policies");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* name : {"FCFS", "MECT", "MEET", "MM", "MMU", "MSD", "ELARE",
+                           "FELARE", "PAM"}) {
+    EXPECT_NE(result.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, RunsFixtureWorkload) {
+  const auto result = run_command("--eet " + data("eet_heterogeneous.csv") +
+                                  " --workload " + data("workload_medium.csv") +
+                                  " --policy MECT");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("policy=MECT"), std::string::npos);
+  EXPECT_NE(result.output.find("tasks=144"), std::string::npos);
+}
+
+TEST(Cli, GeneratesWorkloadAndWritesSummary) {
+  const std::string out = testing::TempDir() + "/e2c_cli_summary.csv";
+  const auto result =
+      run_command("--eet " + data("eet_heterogeneous.csv") +
+                  " --generate medium --seed 3 --policy MM --summary " + out);
+  EXPECT_EQ(result.exit_code, 0);
+  const auto rows = e2c::util::read_csv_file(out);
+  EXPECT_GT(rows.row_count(), 5u);
+  EXPECT_EQ(rows.rows[0][0], "metric");
+  std::remove(out.c_str());
+}
+
+TEST(Cli, SummaryToStdout) {
+  const auto result = run_command("--eet " + data("eet_homogeneous.csv") +
+                                  " --generate low --policy FCFS --summary -");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("completion_percent"), std::string::npos);
+}
+
+TEST(Cli, WritesGanttSvg) {
+  const std::string out = testing::TempDir() + "/e2c_cli_gantt.svg";
+  const auto result = run_command("--eet " + data("eet_heterogeneous.csv") +
+                                  " --workload " + data("workload_low.csv") +
+                                  " --policy MSD --gantt " + out);
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream svg(out);
+  std::string first_line;
+  std::getline(svg, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(Cli, TraceStatsReportsOfferedLoad) {
+  const auto result = run_command("--eet " + data("eet_heterogeneous.csv") +
+                                  " --workload " + data("workload_high.csv") +
+                                  " --policy MM --trace-stats -");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("offered_load"), std::string::npos);
+  EXPECT_NE(result.output.find("interarrival_cv"), std::string::npos);
+}
+
+TEST(Cli, SubstrateFlagsCompose) {
+  const auto result = run_command(
+      "--eet " + data("eet_heterogeneous.csv") +
+      " --generate low --policy PAM --pet lognormal --pet-cv 0.3 --payload-mb 4 "
+      "--bandwidth 32 --autoscale");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("stochastic execution"), std::string::npos);
+  EXPECT_NE(result.output.find("communication model"), std::string::npos);
+  EXPECT_NE(result.output.find("autoscaler enabled"), std::string::npos);
+}
+
+TEST(Cli, BadArgumentsFailWithMessage) {
+  EXPECT_NE(run_command("--bogus-flag").exit_code, 0);
+  EXPECT_NE(run_command("--policy MECT").exit_code, 0);  // missing --eet
+  const auto unknown_policy = run_command(
+      "--eet " + data("eet_homogeneous.csv") + " --generate low --policy NOPE");
+  EXPECT_NE(unknown_policy.exit_code, 0);
+  EXPECT_NE(unknown_policy.output.find("unknown scheduling policy"), std::string::npos);
+}
+
+TEST(Cli, IncompatibleWorkloadRejected) {
+  // The quiz EET has task types T1-T3 only; the classroom workload uses
+  // T1-T5 — the paper's compatibility rule must reject it.
+  const auto result = run_command("--eet " + data("quiz_eet.csv") + " --workload " +
+                                  data("workload_low.csv") + " --policy FCFS");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown task type"), std::string::npos);
+}
+
+}  // namespace

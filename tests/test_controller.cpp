@@ -1,0 +1,133 @@
+// Unit tests for the GUI-substitute SimulationController (viz/controller.hpp).
+#include "viz/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::hetero::EetMatrix;
+using e2c::sched::Simulation;
+using e2c::viz::RunState;
+using e2c::viz::SimulationController;
+using e2c::workload::Task;
+using e2c::workload::Workload;
+
+e2c::viz::SimulationFactory make_factory(std::size_t task_count = 5) {
+  return [task_count] {
+    EetMatrix eet({"T1"}, {"m0", "m1"}, {{2.0, 3.0}});
+    auto simulation = std::make_unique<Simulation>(
+        e2c::sched::make_default_system(std::move(eet)), e2c::sched::make_policy("MECT"));
+    std::vector<Task> tasks;
+    for (std::uint64_t i = 0; i < task_count; ++i) {
+      Task task;
+      task.id = i;
+      task.type = 0;
+      task.arrival = static_cast<double>(i);
+      task.deadline = 1000.0;
+      tasks.push_back(task);
+    }
+    simulation->load(Workload(std::move(tasks)));
+    return simulation;
+  };
+}
+
+TEST(Controller, StartsReady) {
+  SimulationController controller(make_factory());
+  EXPECT_EQ(controller.state(), RunState::kReady);
+  EXPECT_DOUBLE_EQ(controller.simulation().engine().now(), 0.0);
+}
+
+TEST(Controller, RunToCompletionFinishes) {
+  SimulationController controller(make_factory());
+  controller.run_to_completion();
+  EXPECT_EQ(controller.state(), RunState::kFinished);
+  EXPECT_TRUE(controller.simulation().finished());
+}
+
+TEST(Controller, IncrementStepsOneEvent) {
+  SimulationController controller(make_factory());
+  const auto before = controller.simulation().engine().processed_count();
+  EXPECT_TRUE(controller.increment());
+  EXPECT_EQ(controller.simulation().engine().processed_count(), before + 1);
+  EXPECT_EQ(controller.state(), RunState::kPaused);
+}
+
+TEST(Controller, IncrementUntilFinished) {
+  SimulationController controller(make_factory(2));
+  while (controller.increment()) {
+  }
+  EXPECT_EQ(controller.state(), RunState::kFinished);
+  EXPECT_FALSE(controller.increment());  // stays finished
+}
+
+TEST(Controller, PlayRunsToCompletionWithVirtualTime) {
+  SimulationController controller(make_factory());
+  double slept = 0.0;
+  controller.set_sleeper([&](std::chrono::duration<double> d) { slept += d.count(); });
+  controller.set_speed(100.0);
+  controller.play();
+  EXPECT_EQ(controller.state(), RunState::kFinished);
+  EXPECT_GT(slept, 0.0);  // throttling happened
+}
+
+TEST(Controller, SpeedDialScalesSleep) {
+  double slow_sleep = 0.0;
+  double fast_sleep = 0.0;
+  {
+    SimulationController controller(make_factory());
+    controller.set_sleeper(
+        [&](std::chrono::duration<double> d) { slow_sleep += d.count(); });
+    controller.set_speed(10.0);
+    controller.play();
+  }
+  {
+    SimulationController controller(make_factory());
+    controller.set_sleeper(
+        [&](std::chrono::duration<double> d) { fast_sleep += d.count(); });
+    controller.set_speed(100.0);
+    controller.play();
+  }
+  EXPECT_NEAR(slow_sleep / fast_sleep, 10.0, 0.2);
+}
+
+TEST(Controller, FrameCallbackCanPause) {
+  SimulationController controller(make_factory());
+  controller.set_sleeper([](std::chrono::duration<double>) {});
+  int frames = 0;
+  controller.play([&](const Simulation&) { return ++frames < 3; });
+  EXPECT_EQ(controller.state(), RunState::kPaused);
+  EXPECT_EQ(frames, 3);
+  // Resuming play finishes the run.
+  controller.play();
+  EXPECT_EQ(controller.state(), RunState::kFinished);
+}
+
+TEST(Controller, ResetRebuildsSimulation) {
+  SimulationController controller(make_factory());
+  controller.run_to_completion();
+  const auto processed = controller.simulation().engine().processed_count();
+  EXPECT_GT(processed, 0u);
+  controller.reset();
+  EXPECT_EQ(controller.state(), RunState::kReady);
+  EXPECT_EQ(controller.simulation().engine().processed_count(), 0u);
+  controller.run_to_completion();  // fresh run works
+  EXPECT_TRUE(controller.simulation().finished());
+}
+
+TEST(Controller, ValidatesInputs) {
+  EXPECT_THROW(SimulationController(nullptr), e2c::InputError);
+  SimulationController controller(make_factory());
+  EXPECT_THROW(controller.set_speed(0.0), e2c::InputError);
+  EXPECT_THROW(controller.set_speed(-5.0), e2c::InputError);
+  EXPECT_THROW(controller.set_sleeper(nullptr), e2c::InputError);
+}
+
+TEST(Controller, RunStateNames) {
+  EXPECT_STREQ(e2c::viz::run_state_name(RunState::kReady), "ready");
+  EXPECT_STREQ(e2c::viz::run_state_name(RunState::kFinished), "finished");
+}
+
+}  // namespace

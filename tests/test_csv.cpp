@@ -1,0 +1,110 @@
+// Unit tests for the CSV parser/writer (util/csv.hpp).
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::util::CsvTable;
+using e2c::util::csv_escape;
+using e2c::util::parse_csv;
+using e2c::util::to_csv;
+
+TEST(CsvParse, SimpleRows) {
+  const CsvTable table = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const CsvTable table = parse_csv("a,b\n1,2");
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParse, BlankLinesSkipped) {
+  const CsvTable table = parse_csv("a,b\n\n\n1,2\n\n");
+  ASSERT_EQ(table.row_count(), 2u);
+}
+
+TEST(CsvParse, EmptyInput) {
+  EXPECT_TRUE(parse_csv("").empty());
+  EXPECT_TRUE(parse_csv("\n\n").empty());
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const CsvTable table = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvParse, QuotedFieldWithEscapedQuote) {
+  const CsvTable table = parse_csv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(table.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedFieldWithNewline) {
+  const CsvTable table = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  const CsvTable table = parse_csv("a,,c\n");
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)parse_csv("\"oops\n"), e2c::InputError);
+}
+
+TEST(CsvEscape, PlainFieldUntouched) { EXPECT_EQ(csv_escape("hello"), "hello"); }
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvRoundTrip, SerializeThenParse) {
+  const std::vector<std::vector<std::string>> rows{
+      {"id", "name,with,commas", "note"},
+      {"1", "plain", "multi\nline"},
+      {"2", "quote\"inside", ""},
+  };
+  const CsvTable parsed = parse_csv(to_csv(rows));
+  ASSERT_EQ(parsed.row_count(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) EXPECT_EQ(parsed.rows[r], rows[r]);
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::string path = testing::TempDir() + "/e2c_csv_test.csv";
+  e2c::util::write_csv_file(path, {{"a", "b"}, {"1", "2"}});
+  const CsvTable table = e2c::util::read_csv_file(path);
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"1", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW((void)e2c::util::read_csv_file("/nonexistent/nope.csv"), e2c::IoError);
+}
+
+TEST(CsvFile, UnwritablePathThrows) {
+  EXPECT_THROW(e2c::util::write_csv_file("/nonexistent/dir/out.csv", {{"a"}}),
+               e2c::IoError);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Unit tests for ELARE / FELARE (sched/elare.hpp).
+#include "sched/elare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::hetero::EetMatrix;
+using e2c::sched::ElarePolicy;
+using e2c::sched::FelarePolicy;
+using e2c::sched::MachineView;
+using e2c::sched::SchedulingContext;
+using e2c::test::queued_task;
+
+// Two machines: m0 is slow-but-frugal (low busy watts), m1 fast-but-hungry.
+EetMatrix eet() {
+  return EetMatrix({"T1", "T2"}, {"frugal", "fast"}, {{8.0, 2.0}, {10.0, 3.0}});
+}
+
+SchedulingContext power_context(const std::vector<const e2c::workload::Task*>& queue,
+                                std::vector<double> ontime_rates = {}) {
+  const static EetMatrix matrix = eet();
+  std::vector<MachineView> machines(2);
+  machines[0] = {0, 0, 0.0, e2c::sched::kUnlimitedSlots, 2.0, 10.0};   // frugal
+  machines[1] = {1, 1, 0.0, e2c::sched::kUnlimitedSlots, 25.0, 250.0}; // fast
+  return SchedulingContext(0.0, matrix, std::move(machines), queue,
+                           std::move(ontime_rates));
+}
+
+TEST(Elare, NameAndMode) {
+  EXPECT_EQ(ElarePolicy{}.name(), "ELARE");
+  EXPECT_EQ(ElarePolicy{}.mode(), e2c::sched::PolicyMode::kBatch);
+  EXPECT_EQ(FelarePolicy{}.name(), "FELARE");
+}
+
+TEST(Elare, RejectsBadWeight) {
+  EXPECT_THROW(ElarePolicy{-0.1}, e2c::InputError);
+  EXPECT_THROW(ElarePolicy{1.1}, e2c::InputError);
+}
+
+TEST(Elare, PureLatencyWeightMatchesMinCompletion) {
+  // energy_weight = 0: ELARE reduces to completion-time minimization.
+  const auto task = queued_task(1, 0, /*deadline=*/100.0);
+  auto context = power_context({&task});
+  ElarePolicy policy(/*energy_weight=*/0.0);
+  const auto assignments = policy.schedule(context);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].machine, 1u);  // fast machine: 2 < 8
+}
+
+TEST(Elare, PureEnergyWeightPicksFrugalMachine) {
+  // T1: frugal 8s*10W = 80 J vs fast 2s*250W = 500 J.
+  const auto task = queued_task(1, 0, /*deadline=*/100.0);
+  auto context = power_context({&task});
+  ElarePolicy policy(/*energy_weight=*/1.0);
+  const auto assignments = policy.schedule(context);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].machine, 0u);
+}
+
+TEST(Elare, DefersInfeasibleTasks) {
+  // Deadline 1.0: no machine completes T1 in time -> deferred (unmapped),
+  // the pruning behaviour of the FELARE line of work.
+  const auto task = queued_task(1, 0, /*deadline=*/1.0);
+  auto context = power_context({&task});
+  EXPECT_TRUE(ElarePolicy{}.schedule(context).empty());
+}
+
+TEST(Elare, SkipsInfeasibleMachineOnly) {
+  // Deadline 3.0: only the fast machine (completion 2) is feasible, even at
+  // full energy weight.
+  const auto task = queued_task(1, 0, /*deadline=*/3.0);
+  auto context = power_context({&task});
+  ElarePolicy policy(/*energy_weight=*/1.0);
+  const auto assignments = policy.schedule(context);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].machine, 1u);
+}
+
+TEST(Elare, MapsAllFeasibleTasks) {
+  const auto t1 = queued_task(1, 0, 100.0);
+  const auto t2 = queued_task(2, 1, 100.0);
+  const auto t3 = queued_task(3, 0, 0.5);  // infeasible
+  auto context = power_context({&t1, &t2, &t3});
+  const auto assignments = ElarePolicy{}.schedule(context);
+  EXPECT_EQ(assignments.size(), 2u);
+  for (const auto& assignment : assignments) EXPECT_NE(assignment.task, 3u);
+}
+
+TEST(Felare, SufferingTypeMapsFirst) {
+  // Type 1 has a poor on-time record (0.2) vs type 0 (1.0): FELARE should
+  // pull the type-1 task forward even though type 0 completes sooner.
+  const auto t0 = queued_task(1, 0, 100.0);  // best completion 2 (fast)
+  const auto t1 = queued_task(2, 1, 100.0);  // best completion 3 (fast)
+  auto context = power_context({&t0, &t1}, /*ontime=*/{1.0, 0.2});
+  const auto assignments = FelarePolicy{/*energy_weight=*/0.0}.schedule(context);
+  ASSERT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(assignments[0].task, 2u);
+}
+
+TEST(Felare, EqualRatesBehaveLikeElare) {
+  const auto t0 = queued_task(1, 0, 100.0);
+  const auto t1 = queued_task(2, 1, 100.0);
+  auto felare_ctx = power_context({&t0, &t1}, {1.0, 1.0});
+  auto elare_ctx = power_context({&t0, &t1}, {1.0, 1.0});
+  const auto felare = FelarePolicy{0.5}.schedule(felare_ctx);
+  const auto elare = ElarePolicy{0.5}.schedule(elare_ctx);
+  ASSERT_EQ(felare.size(), elare.size());
+  for (std::size_t i = 0; i < felare.size(); ++i) {
+    EXPECT_EQ(felare[i].task, elare[i].task);
+    EXPECT_EQ(felare[i].machine, elare[i].machine);
+  }
+}
+
+}  // namespace

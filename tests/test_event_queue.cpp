@@ -1,0 +1,173 @@
+// Unit tests for the pending-event calendar (core/event_queue.hpp).
+#include "core/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using e2c::core::EventPriority;
+using e2c::core::EventQueue;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  (void)queue.schedule(3.0, EventPriority::kArrival, "c", {});
+  (void)queue.schedule(1.0, EventPriority::kArrival, "a", {});
+  (void)queue.schedule(2.0, EventPriority::kArrival, "b", {});
+  EXPECT_EQ(queue.pop().record.label, "a");
+  EXPECT_EQ(queue.pop().record.label, "b");
+  EXPECT_EQ(queue.pop().record.label, "c");
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies) {
+  EventQueue queue;
+  (void)queue.schedule(5.0, EventPriority::kArrival, "arrival", {});
+  (void)queue.schedule(5.0, EventPriority::kCompletion, "completion", {});
+  (void)queue.schedule(5.0, EventPriority::kDeadline, "deadline", {});
+  (void)queue.schedule(5.0, EventPriority::kSchedule, "schedule", {});
+  // completion < deadline < arrival < schedule
+  EXPECT_EQ(queue.pop().record.label, "completion");
+  EXPECT_EQ(queue.pop().record.label, "deadline");
+  EXPECT_EQ(queue.pop().record.label, "arrival");
+  EXPECT_EQ(queue.pop().record.label, "schedule");
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue queue;
+  (void)queue.schedule(1.0, EventPriority::kArrival, "first", {});
+  (void)queue.schedule(1.0, EventPriority::kArrival, "second", {});
+  (void)queue.schedule(1.0, EventPriority::kArrival, "third", {});
+  EXPECT_EQ(queue.pop().record.label, "first");
+  EXPECT_EQ(queue.pop().record.label, "second");
+  EXPECT_EQ(queue.pop().record.label, "third");
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue queue;
+  const auto id = queue.schedule(1.0, EventPriority::kArrival, "a", {});
+  (void)queue.schedule(2.0, EventPriority::kArrival, "b", {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pop().record.label, "b");
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(9999));
+  const auto id = queue.schedule(1.0, EventPriority::kArrival, "a", {});
+  (void)queue.pop();
+  EXPECT_FALSE(queue.cancel(id));  // already fired
+}
+
+TEST(EventQueue, NextTimeAndPeek) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.next_time().has_value());
+  EXPECT_FALSE(queue.peek().has_value());
+  (void)queue.schedule(4.5, EventPriority::kControl, "x", {});
+  EXPECT_DOUBLE_EQ(queue.next_time().value(), 4.5);
+  EXPECT_EQ(queue.peek().value().label, "x");
+  EXPECT_EQ(queue.size(), 1u);  // peek does not remove
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW((void)queue.pop(), e2c::InvariantError);
+}
+
+TEST(EventQueue, ClearEmptiesEverything) {
+  EventQueue queue;
+  const auto id = queue.schedule(1.0, EventPriority::kArrival, "a", {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CallbackSurvivesPop) {
+  EventQueue queue;
+  int fired = 0;
+  (void)queue.schedule(1.0, EventPriority::kArrival, "a", [&fired] { ++fired; });
+  auto popped = queue.pop();
+  popped.fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, IdsAreUniqueAndNonZero) {
+  EventQueue queue;
+  std::vector<e2c::core::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(queue.schedule(1.0, EventPriority::kArrival, "", {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i], e2c::core::kNoEvent);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) EXPECT_NE(ids[i], ids[j]);
+  }
+}
+
+// Randomized differential test: a mixed schedule/cancel/pop workload must
+// match a naive reference model (sorted vector) exactly, across seeds.
+class EventQueueFuzzTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
+  using Key = std::tuple<double, int, std::uint64_t>;  // time, priority, seq
+  e2c::util::Rng rng(GetParam());
+  EventQueue queue;
+  std::vector<std::pair<Key, e2c::core::EventId>> reference;
+  std::uint64_t seq = 0;
+  std::vector<e2c::core::EventId> live_ids;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.55 || queue.empty()) {
+      const double time = rng.uniform(0.0, 100.0);
+      const auto priority = static_cast<EventPriority>(rng.uniform_int(0, 4));
+      const auto id = queue.schedule(time, priority, "", {});
+      reference.push_back({Key{time, static_cast<int>(priority), seq++}, id});
+      live_ids.push_back(id);
+    } else if (action < 0.75 && !live_ids.empty()) {
+      // Cancel a random live id (may already have been popped).
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live_ids.size()) - 1));
+      const e2c::core::EventId id = live_ids[index];
+      const bool in_reference =
+          std::any_of(reference.begin(), reference.end(),
+                      [id](const auto& entry) { return entry.second == id; });
+      EXPECT_EQ(queue.cancel(id), in_reference);
+      reference.erase(std::remove_if(reference.begin(), reference.end(),
+                                     [id](const auto& entry) {
+                                       return entry.second == id;
+                                     }),
+                      reference.end());
+    } else {
+      const auto expected =
+          std::min_element(reference.begin(), reference.end(),
+                           [](const auto& a, const auto& b) { return a.first < b.first; });
+      const auto popped = queue.pop();
+      ASSERT_NE(expected, reference.end());
+      EXPECT_EQ(popped.record.id, expected->second);
+      reference.erase(expected);
+    }
+    EXPECT_EQ(queue.size(), reference.size());
+  }
+  // Drain and verify the final ordering end to end.
+  std::sort(reference.begin(), reference.end());
+  for (const auto& [key, id] : reference) {
+    EXPECT_EQ(queue.pop().record.id, id);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzzTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(EventQueue, PriorityNames) {
+  EXPECT_STREQ(e2c::core::event_priority_name(EventPriority::kCompletion), "completion");
+  EXPECT_STREQ(e2c::core::event_priority_name(EventPriority::kSchedule), "schedule");
+}
+
+}  // namespace

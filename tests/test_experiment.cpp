@@ -1,0 +1,113 @@
+// Unit tests for the experiment harness (exp/experiment.hpp).
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace exp = e2c::exp;
+using e2c::workload::Intensity;
+
+exp::ExperimentSpec small_spec() {
+  exp::ExperimentSpec spec;
+  spec.system = exp::heterogeneous_classroom();
+  spec.policies = {"FCFS", "MECT"};
+  spec.intensities = {Intensity::kLow, Intensity::kHigh};
+  spec.replications = 3;
+  spec.duration = 60.0;
+  spec.base_seed = 7;
+  return spec;
+}
+
+TEST(Experiment, ProducesAllCells) {
+  const auto result = exp::run_experiment(small_spec(), /*workers=*/2);
+  EXPECT_EQ(result.cells.size(), 4u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.runs.size(), 3u);
+    for (const auto& metrics : cell.runs) EXPECT_GT(metrics.total_tasks, 0u);
+  }
+  EXPECT_NO_THROW((void)result.cell("FCFS", Intensity::kLow));
+  EXPECT_THROW((void)result.cell("MM", Intensity::kLow), e2c::InputError);
+}
+
+TEST(Experiment, DeterministicAcrossWorkerCounts) {
+  // Parallel scheduling must not change results: replications are seeded by
+  // (base_seed, intensity, rep) only.
+  const auto serial = exp::run_experiment(small_spec(), 1);
+  const auto parallel = exp::run_experiment(small_spec(), 4);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.cells[i].mean_completion_percent(),
+                     parallel.cells[i].mean_completion_percent());
+    EXPECT_DOUBLE_EQ(serial.cells[i].mean_energy_joules(),
+                     parallel.cells[i].mean_energy_joules());
+  }
+}
+
+TEST(Experiment, WorkloadSeedPairsPolicies) {
+  // Identical for all policies at a given (intensity, rep)...
+  EXPECT_EQ(exp::workload_seed(42, Intensity::kLow, 0),
+            exp::workload_seed(42, Intensity::kLow, 0));
+  // ...different across intensity, rep and base seed.
+  EXPECT_NE(exp::workload_seed(42, Intensity::kLow, 0),
+            exp::workload_seed(42, Intensity::kHigh, 0));
+  EXPECT_NE(exp::workload_seed(42, Intensity::kLow, 0),
+            exp::workload_seed(42, Intensity::kLow, 1));
+  EXPECT_NE(exp::workload_seed(42, Intensity::kLow, 0),
+            exp::workload_seed(43, Intensity::kLow, 0));
+}
+
+TEST(Experiment, CompletionDropsWithIntensity) {
+  const auto result = exp::run_experiment(small_spec(), 2);
+  for (const std::string policy : {"FCFS", "MECT"}) {
+    EXPECT_GT(result.cell(policy, Intensity::kLow).mean_completion_percent(),
+              result.cell(policy, Intensity::kHigh).mean_completion_percent())
+        << policy;
+  }
+}
+
+TEST(Experiment, ChartHasSeriesPerPolicy) {
+  const auto result = exp::run_experiment(small_spec(), 2);
+  const auto chart = exp::completion_chart(result, "test chart");
+  EXPECT_EQ(chart.title, "test chart");
+  EXPECT_EQ(chart.groups.size(), 2u);
+  ASSERT_EQ(chart.series.size(), 2u);
+  EXPECT_EQ(chart.series[0].name, "FCFS");
+  EXPECT_EQ(chart.series[0].values.size(), 2u);
+  // Renders without throwing.
+  EXPECT_FALSE(e2c::viz::render_bar_chart(chart).empty());
+}
+
+TEST(Experiment, ResultCsvShape) {
+  const auto result = exp::run_experiment(small_spec(), 2);
+  const auto rows = exp::result_csv(result);
+  ASSERT_EQ(rows.size(), 5u);  // header + 4 cells
+  EXPECT_EQ(rows[0][0], "policy");
+  for (const auto& row : rows) EXPECT_EQ(row.size(), rows[0].size());
+}
+
+TEST(Experiment, ValidatesSpec) {
+  auto spec = small_spec();
+  spec.policies.clear();
+  EXPECT_THROW((void)exp::run_experiment(spec, 1), e2c::InputError);
+  spec = small_spec();
+  spec.replications = 0;
+  EXPECT_THROW((void)exp::run_experiment(spec, 1), e2c::InputError);
+  spec = small_spec();
+  spec.policies = {"NOPE"};
+  EXPECT_THROW((void)exp::run_experiment(spec, 1), e2c::InputError);
+}
+
+TEST(Experiment, CellAggregatesMatchManualAverage) {
+  const auto result = exp::run_experiment(small_spec(), 2);
+  const auto& cell = result.cell("MECT", Intensity::kLow);
+  double manual = 0.0;
+  for (const auto& metrics : cell.runs) manual += metrics.completion_percent;
+  manual /= static_cast<double>(cell.runs.size());
+  EXPECT_DOUBLE_EQ(cell.mean_completion_percent(), manual);
+}
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Shared helpers for policy/simulation tests.
+#pragma once
+
+#include <vector>
+
+#include "hetero/eet_matrix.hpp"
+#include "sched/policy.hpp"
+#include "workload/task.hpp"
+
+namespace e2c::test {
+
+/// A task present in the batch queue at time zero.
+inline workload::Task queued_task(workload::TaskId id, hetero::TaskTypeId type,
+                                  double deadline = 1e9, double arrival = 0.0) {
+  workload::Task task;
+  task.id = id;
+  task.type = type;
+  task.arrival = arrival;
+  task.deadline = deadline;
+  task.status = workload::TaskStatus::kInBatchQueue;
+  return task;
+}
+
+/// Builds a context of idle machines (one per EET machine type, machine id ==
+/// type id) with \p free_slots each, ready at \p ready_times (zeros if empty).
+inline sched::SchedulingContext make_context(
+    const hetero::EetMatrix& eet, const std::vector<const workload::Task*>& queue,
+    std::size_t free_slots = sched::kUnlimitedSlots,
+    std::vector<double> ready_times = {}, std::vector<double> ontime_rates = {}) {
+  std::vector<sched::MachineView> machines;
+  for (std::size_t m = 0; m < eet.machine_type_count(); ++m) {
+    sched::MachineView view;
+    view.id = m;
+    view.type = m;
+    view.ready_time = m < ready_times.size() ? ready_times[m] : 0.0;
+    view.free_slots = free_slots;
+    view.idle_watts = 10.0;
+    view.busy_watts = 100.0;
+    machines.push_back(view);
+  }
+  return sched::SchedulingContext(0.0, eet, std::move(machines), queue,
+                                  std::move(ontime_rates));
+}
+
+}  // namespace e2c::test

@@ -1,0 +1,164 @@
+// Unit tests for the INI config parser (util/ini.hpp) and the experiment
+// spec loader (exp/spec_io.hpp).
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "exp/spec_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::util::IniFile;
+
+TEST(Ini, ParsesSectionsAndPairs) {
+  const IniFile ini = IniFile::parse(
+      "[system]\n"
+      "scenario = heterogeneous\n"
+      "queue_size = 2\n"
+      "\n"
+      "[sweep]\n"
+      "policies = FCFS, MECT\n");
+  EXPECT_EQ(ini.get("system", "scenario").value(), "heterogeneous");
+  EXPECT_EQ(ini.get_int("system", "queue_size").value(), 2);
+  EXPECT_TRUE(ini.has_section("sweep"));
+  EXPECT_FALSE(ini.has_section("output"));
+  EXPECT_EQ(ini.sections(), (std::vector<std::string>{"system", "sweep"}));
+}
+
+TEST(Ini, CommentsAndWhitespace) {
+  const IniFile ini = IniFile::parse(
+      "# full-line comment\n"
+      "[a]\n"
+      "  key  =  value with spaces   ; trailing comment\n"
+      "other = 3.5 # also a comment\n");
+  EXPECT_EQ(ini.get("a", "key").value(), "value with spaces");
+  EXPECT_DOUBLE_EQ(ini.get_double("a", "other").value(), 3.5);
+}
+
+TEST(Ini, CaseInsensitiveLookup) {
+  const IniFile ini = IniFile::parse("[Section]\nKey = V\n");
+  EXPECT_EQ(ini.get("sEcTiOn", "kEy").value(), "V");
+}
+
+TEST(Ini, LastAssignmentWins) {
+  const IniFile ini = IniFile::parse("[a]\nk = 1\nk = 2\n");
+  EXPECT_EQ(ini.get("a", "k").value(), "2");
+}
+
+TEST(Ini, ListsSplitAndTrim) {
+  const IniFile ini = IniFile::parse("[s]\nitems = a , b,c ,\n");
+  EXPECT_EQ(ini.get_list("s", "items"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(ini.get_list("s", "missing").empty());
+}
+
+TEST(Ini, AccessorsReportAbsence) {
+  const IniFile ini = IniFile::parse("[s]\nk = x\n");
+  EXPECT_FALSE(ini.get("s", "missing").has_value());
+  EXPECT_EQ(ini.get_or("s", "missing", "fallback"), "fallback");
+  EXPECT_FALSE(ini.get_double("s", "missing").has_value());
+}
+
+TEST(Ini, MalformedInputRejected) {
+  EXPECT_THROW((void)IniFile::parse("[unterminated\n"), e2c::InputError);
+  EXPECT_THROW((void)IniFile::parse("[s]\nno equals sign here\n"), e2c::InputError);
+  EXPECT_THROW((void)IniFile::parse("[s]\n= value\n"), e2c::InputError);
+  const IniFile ini = IniFile::parse("[s]\nk = abc\n");
+  EXPECT_THROW((void)ini.get_double("s", "k"), e2c::InputError);
+  EXPECT_THROW((void)ini.get_int("s", "k"), e2c::InputError);
+}
+
+TEST(Ini, LoadMissingFileThrows) {
+  EXPECT_THROW((void)IniFile::load("/nonexistent/config.ini"), e2c::IoError);
+}
+
+// ---- experiment spec loading ----------------------------------------------
+
+const char* kValidConfig =
+    "[system]\n"
+    "scenario = homogeneous\n"
+    "queue_size = 3\n"
+    "[sweep]\n"
+    "policies = FCFS, MM\n"
+    "intensities = low, high\n"
+    "replications = 4\n"
+    "duration = 80\n"
+    "seed = 9\n"
+    "arrival = burst\n"
+    "deadline_lo = 1.5\n"
+    "deadline_hi = 3.0\n"
+    "[output]\n"
+    "title = spec test\n";
+
+TEST(SpecIo, LoadsFullSpec) {
+  const auto spec = e2c::exp::spec_from_ini(IniFile::parse(kValidConfig));
+  EXPECT_TRUE(spec.system.eet.is_homogeneous());
+  EXPECT_EQ(spec.system.machine_queue_capacity, 3u);
+  EXPECT_EQ(spec.policies, (std::vector<std::string>{"FCFS", "MM"}));
+  ASSERT_EQ(spec.intensities.size(), 2u);
+  EXPECT_EQ(spec.intensities[1], e2c::workload::Intensity::kHigh);
+  EXPECT_EQ(spec.replications, 4u);
+  EXPECT_DOUBLE_EQ(spec.duration, 80.0);
+  EXPECT_EQ(spec.base_seed, 9u);
+  EXPECT_EQ(spec.arrival, e2c::workload::ArrivalKind::kBurst);
+  EXPECT_DOUBLE_EQ(spec.deadline_factor_lo, 1.5);
+}
+
+TEST(SpecIo, DefaultsApplied) {
+  const auto spec = e2c::exp::spec_from_ini(IniFile::parse(
+      "[sweep]\npolicies = MECT\nintensities = medium\n"));
+  EXPECT_FALSE(spec.system.eet.is_homogeneous());  // heterogeneous default
+  EXPECT_EQ(spec.replications, 10u);               // ExperimentSpec default
+  EXPECT_EQ(spec.arrival, e2c::workload::ArrivalKind::kPoisson);
+}
+
+TEST(SpecIo, OutputsParsed) {
+  const auto outputs = e2c::exp::outputs_from_ini(IniFile::parse(
+      "[output]\ntitle = t\ncsv = a.csv\nchart_svg = b.svg\n"));
+  EXPECT_EQ(outputs.title, "t");
+  EXPECT_EQ(outputs.csv_path.value(), "a.csv");
+  EXPECT_EQ(outputs.chart_svg_path.value(), "b.svg");
+}
+
+TEST(SpecIo, RejectsInvalidConfigs) {
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse("[sweep]\n")),
+               e2c::InputError);  // no policies
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(
+                   IniFile::parse("[sweep]\npolicies = MM\n")),
+               e2c::InputError);  // no intensities
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse(
+                   "[system]\nscenario = marsbase\n"
+                   "[sweep]\npolicies = MM\nintensities = low\n")),
+               e2c::InputError);  // unknown scenario
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse(
+                   "[sweep]\npolicies = MM\nintensities = turbo\n")),
+               e2c::InputError);  // unknown intensity
+}
+
+TEST(SpecIo, EndToEndRunFromFile) {
+  const std::string config_path = testing::TempDir() + "/e2c_spec_test.ini";
+  const std::string csv_path = testing::TempDir() + "/e2c_spec_test_out.csv";
+  const std::string svg_path = testing::TempDir() + "/e2c_spec_test_out.svg";
+  {
+    std::ofstream out(config_path);
+    out << "[system]\nscenario = homogeneous\n"
+        << "[sweep]\npolicies = FCFS\nintensities = low\nreplications = 2\n"
+        << "duration = 30\n"
+        << "[output]\ntitle = e2e\ncsv = " << csv_path << "\nchart_svg = " << svg_path
+        << "\n";
+  }
+  const auto result = e2c::exp::run_experiment_file(config_path, 2);
+  EXPECT_EQ(result.cells.size(), 1u);
+  std::ifstream csv(csv_path);
+  std::ifstream svg(svg_path);
+  EXPECT_TRUE(csv.good());
+  EXPECT_TRUE(svg.good());
+  std::remove(config_path.c_str());
+  std::remove(csv_path.c_str());
+  std::remove(svg_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Unit tests for the machine model (machines/machine.hpp).
+#include "machines/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::core::Engine;
+using e2c::hetero::MachineTypeSpec;
+using e2c::machines::kUnboundedQueue;
+using e2c::machines::Machine;
+using e2c::workload::Task;
+using e2c::workload::TaskStatus;
+
+class RecordingListener final : public e2c::machines::MachineListener {
+ public:
+  void on_task_completed(Task& task, e2c::hetero::MachineId machine) override {
+    completed.push_back({task.id, machine});
+  }
+  void on_slot_freed(e2c::hetero::MachineId machine) override {
+    slots_freed.push_back(machine);
+  }
+  std::vector<std::pair<e2c::workload::TaskId, e2c::hetero::MachineId>> completed;
+  std::vector<e2c::hetero::MachineId> slots_freed;
+};
+
+Task make_task(std::uint64_t id) {
+  Task task;
+  task.id = id;
+  task.type = 0;
+  task.arrival = 0.0;
+  return task;
+}
+
+MachineTypeSpec power_spec() { return MachineTypeSpec{"test", 10.0, 110.0}; }
+
+TEST(Machine, RunsTasksSequentially) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  RecordingListener listener;
+  machine.set_listener(&listener);
+
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 3.0);
+  machine.enqueue(t2, 2.0);
+  EXPECT_TRUE(machine.busy());
+  EXPECT_EQ(machine.queue_length(), 1u);
+
+  engine.run();
+  EXPECT_EQ(t1.status, TaskStatus::kCompleted);
+  EXPECT_EQ(t2.status, TaskStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(t1.completion_time.value(), 3.0);
+  EXPECT_DOUBLE_EQ(t2.completion_time.value(), 5.0);  // waited for t1
+  EXPECT_DOUBLE_EQ(t2.start_time.value(), 3.0);
+  ASSERT_EQ(listener.completed.size(), 2u);
+  EXPECT_EQ(listener.completed[0].first, 1u);
+}
+
+TEST(Machine, TaskRecordUpdatedOnEnqueue) {
+  Engine engine;
+  Machine machine(engine, 3, "m4", 1, power_spec(), kUnboundedQueue);
+  Task task = make_task(7);
+  machine.enqueue(task, 2.0);
+  // Idle machine: task starts immediately (status running).
+  EXPECT_EQ(task.status, TaskStatus::kRunning);
+  EXPECT_EQ(task.assigned_machine.value(), 3u);
+  EXPECT_DOUBLE_EQ(task.assignment_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(task.start_time.value(), 0.0);
+}
+
+TEST(Machine, QueuedTaskStatusIsMachineQueue) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 5.0);
+  machine.enqueue(t2, 1.0);
+  EXPECT_EQ(t2.status, TaskStatus::kInMachineQueue);
+  EXPECT_EQ(machine.queued_task_ids(), std::vector<e2c::workload::TaskId>{2});
+  EXPECT_EQ(machine.running_task_id().value(), 1u);
+}
+
+TEST(Machine, BoundedQueueCapacity) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), /*queue_capacity=*/1);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  Task t3 = make_task(3);
+  machine.enqueue(t1, 5.0);  // starts; queue empty
+  EXPECT_TRUE(machine.has_queue_space());
+  machine.enqueue(t2, 5.0);  // occupies the single waiting slot
+  EXPECT_FALSE(machine.has_queue_space());
+  EXPECT_THROW(machine.enqueue(t3, 5.0), e2c::InvariantError);
+}
+
+TEST(Machine, ReadyTimeAccountsForQueue) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  EXPECT_DOUBLE_EQ(machine.ready_time(), 0.0);  // idle
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 4.0);
+  EXPECT_DOUBLE_EQ(machine.ready_time(), 4.0);
+  machine.enqueue(t2, 2.5);
+  EXPECT_DOUBLE_EQ(machine.ready_time(), 6.5);
+  EXPECT_DOUBLE_EQ(machine.expected_completion(1.0), 7.5);
+}
+
+TEST(Machine, RemoveRunningTaskCancelsCompletion) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  RecordingListener listener;
+  machine.set_listener(&listener);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 10.0);
+  machine.enqueue(t2, 2.0);
+
+  // Advance to t=4 via a control event, then drop the running task.
+  (void)engine.schedule_at(4.0, e2c::core::EventPriority::kControl, "drop",
+                           [&] { EXPECT_TRUE(machine.remove(1)); });
+  engine.run();
+  // t1 never completed; t2 ran right after the drop: 4 + 2 = 6.
+  EXPECT_FALSE(t1.completion_time.has_value());
+  EXPECT_EQ(t2.status, TaskStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(t2.start_time.value(), 4.0);
+  EXPECT_DOUBLE_EQ(t2.completion_time.value(), 6.0);
+  ASSERT_EQ(listener.completed.size(), 1u);
+  EXPECT_EQ(listener.completed[0].first, 2u);
+}
+
+TEST(Machine, RemoveQueuedTask) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 5.0);
+  machine.enqueue(t2, 5.0);
+  EXPECT_TRUE(machine.remove(2));
+  EXPECT_EQ(machine.queue_length(), 0u);
+  EXPECT_FALSE(machine.remove(2));  // already gone
+  EXPECT_FALSE(machine.remove(99)); // never there
+}
+
+TEST(Machine, StatsCountCompletionsAndDrops) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 3.0);
+  machine.enqueue(t2, 3.0);
+  (void)engine.schedule_at(4.0, e2c::core::EventPriority::kControl, "drop",
+                           [&] { (void)machine.remove(2); });
+  engine.run();
+  const auto stats = machine.finalize_stats(engine.now());
+  EXPECT_EQ(stats.tasks_completed, 1u);
+  EXPECT_EQ(stats.tasks_dropped, 1u);
+  // t1 ran 3 s; t2 ran from 3 to 4 before the drop.
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 4.0);
+}
+
+TEST(Machine, UtilizationAndEnergy) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  machine.enqueue(t1, 4.0);
+  engine.run();
+  const double horizon = 10.0;
+  const auto stats = machine.finalize_stats(horizon);
+  EXPECT_DOUBLE_EQ(stats.utilization(), 0.4);
+  // 4 s busy at 110 W + 6 s idle at 10 W = 440 + 60 = 500 J.
+  EXPECT_DOUBLE_EQ(machine.energy_joules(horizon), 500.0);
+}
+
+TEST(Machine, EnergyOfIdleMachine) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  EXPECT_DOUBLE_EQ(machine.energy_joules(100.0), 1000.0);  // all idle
+}
+
+TEST(Machine, InFlightBusyTimeCountedAtHorizon) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  machine.enqueue(t1, 10.0);
+  // Don't run the engine: the task is mid-flight at t=0, horizon 4 counts
+  // min(horizon, finish) - start = 4 busy seconds.
+  const auto stats = machine.finalize_stats(4.0);
+  EXPECT_DOUBLE_EQ(stats.busy_seconds, 4.0);
+}
+
+TEST(Machine, EnqueueValidatesExecTime) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), kUnboundedQueue);
+  Task t1 = make_task(1);
+  EXPECT_THROW(machine.enqueue(t1, 0.0), e2c::InvariantError);
+  EXPECT_THROW(machine.enqueue(t1, -2.0), e2c::InvariantError);
+}
+
+TEST(Machine, SlotFreedFiredWhenQueuedTaskStarts) {
+  Engine engine;
+  Machine machine(engine, 0, "m1", 0, power_spec(), 2);
+  RecordingListener listener;
+  machine.set_listener(&listener);
+  Task t1 = make_task(1);
+  Task t2 = make_task(2);
+  machine.enqueue(t1, 1.0);  // starts immediately -> slot event
+  machine.enqueue(t2, 1.0);  // waits
+  const auto initial = listener.slots_freed.size();
+  engine.run();  // t1 completes, t2 starts -> another slot event
+  EXPECT_GT(listener.slots_freed.size(), initial);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Unit tests for machine-type presets (hetero/machine_catalog.hpp).
+#include "hetero/machine_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace hetero = e2c::hetero;
+
+TEST(MachineCatalog, BuiltinsPresent) {
+  const auto& presets = hetero::builtin_machine_types();
+  ASSERT_EQ(presets.size(), 5u);
+  for (const auto& spec : presets) {
+    EXPECT_GT(spec.busy_watts, spec.idle_watts) << spec.name;
+    EXPECT_GT(spec.idle_watts, 0.0) << spec.name;
+  }
+}
+
+TEST(MachineCatalog, FindIsCaseInsensitive) {
+  ASSERT_TRUE(hetero::find_machine_type("GPU").has_value());
+  EXPECT_EQ(hetero::find_machine_type("GPU")->name, "gpu");
+  EXPECT_FALSE(hetero::find_machine_type("quantum").has_value());
+}
+
+TEST(MachineCatalog, AsicIsLowestPower) {
+  const auto asic = hetero::find_machine_type("asic").value();
+  for (const auto& spec : hetero::builtin_machine_types()) {
+    EXPECT_LE(asic.busy_watts, spec.busy_watts);
+  }
+}
+
+TEST(MachineCatalog, GenericFallback) {
+  const auto spec = hetero::generic_machine_type("m7");
+  EXPECT_EQ(spec.name, "m7");
+  EXPECT_GT(spec.busy_watts, spec.idle_watts);
+}
+
+TEST(MachineCatalog, ResolveMixesPresetsAndGenerics) {
+  const auto specs = hetero::resolve_machine_types({"gpu", "m1", "FPGA"});
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_DOUBLE_EQ(specs[0].busy_watts, 250.0);  // gpu preset
+  EXPECT_EQ(specs[1].name, "m1");                // generic
+  EXPECT_DOUBLE_EQ(specs[2].busy_watts, 40.0);   // fpga preset, case-insensitive
+}
+
+}  // namespace

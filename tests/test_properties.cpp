@@ -1,0 +1,186 @@
+// Property-based tests: invariants that must hold for EVERY scheduling
+// policy on EVERY scenario/intensity. Parameterized over the full policy
+// registry cross intensity presets.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/trace.hpp"
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "reports/metrics.hpp"
+#include "sched/registry.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using e2c::sched::Simulation;
+using e2c::workload::Intensity;
+using e2c::workload::Task;
+using e2c::workload::TaskStatus;
+
+struct PropertyCase {
+  std::string policy;
+  Intensity intensity;
+  bool heterogeneous;
+};
+
+std::vector<PropertyCase> all_cases() {
+  std::vector<PropertyCase> cases;
+  for (const std::string policy : {"FCFS", "MEET", "MECT", "MM", "MMU", "MSD", "ELARE",
+                                   "FELARE", "FairShare", "PAM"}) {
+    for (Intensity intensity : {Intensity::kLow, Intensity::kMedium, Intensity::kHigh}) {
+      for (bool heterogeneous : {false, true}) {
+        cases.push_back({policy, intensity, heterogeneous});
+      }
+    }
+  }
+  return cases;
+}
+
+class PolicyInvariantTest : public testing::TestWithParam<PropertyCase> {
+ protected:
+  // Builds and runs one simulation for the parameter case; also records the
+  // trace for ordering checks.
+  void run_case() {
+    const PropertyCase& param = GetParam();
+    system_ = param.heterogeneous ? e2c::exp::heterogeneous_classroom(2)
+                                  : e2c::exp::homogeneous_classroom(2);
+    const auto machine_types = e2c::exp::machine_types_of(system_);
+    auto generator = e2c::workload::config_for_intensity(
+        system_.eet, machine_types, param.intensity, /*duration=*/80.0, /*seed=*/1234);
+    workload_ = e2c::workload::generate_workload(system_.eet, generator);
+
+    simulation_ = std::make_unique<Simulation>(system_,
+                                               e2c::sched::make_policy(param.policy));
+    trace_ = std::make_unique<e2c::core::TraceRecorder>(simulation_->engine());
+    simulation_->load(workload_);
+    simulation_->run();
+  }
+
+  e2c::sched::SystemConfig system_;
+  e2c::workload::Workload workload_;
+  std::unique_ptr<Simulation> simulation_;
+  std::unique_ptr<e2c::core::TraceRecorder> trace_;
+};
+
+TEST_P(PolicyInvariantTest, EveryTaskReachesExactlyOneTerminalState) {
+  run_case();
+  const auto& counters = simulation_->counters();
+  EXPECT_GT(counters.total, 0u);
+  EXPECT_EQ(counters.completed + counters.cancelled + counters.dropped, counters.total);
+  for (const Task& task : simulation_->tasks()) {
+    EXPECT_TRUE(task.finished()) << "task " << task.id;
+  }
+}
+
+TEST_P(PolicyInvariantTest, TaskRecordsAreInternallyConsistent) {
+  run_case();
+  for (const Task& task : simulation_->tasks()) {
+    switch (task.status) {
+      case TaskStatus::kCompleted:
+        ASSERT_TRUE(task.start_time.has_value());
+        ASSERT_TRUE(task.completion_time.has_value());
+        ASSERT_TRUE(task.assigned_machine.has_value());
+        EXPECT_GE(*task.start_time, task.arrival);
+        EXPECT_GE(*task.completion_time, *task.start_time);
+        // On-time means at or before the deadline.
+        EXPECT_LE(*task.completion_time, task.deadline + 1e-9);
+        EXPECT_FALSE(task.missed_time.has_value());
+        break;
+      case TaskStatus::kCancelled:
+        // Cancelled before mapping: never saw a machine.
+        EXPECT_FALSE(task.assigned_machine.has_value());
+        EXPECT_FALSE(task.start_time.has_value());
+        ASSERT_TRUE(task.missed_time.has_value());
+        EXPECT_NEAR(*task.missed_time, task.deadline, 1e-9);
+        break;
+      case TaskStatus::kDropped:
+        // Dropped after mapping.
+        EXPECT_TRUE(task.assigned_machine.has_value());
+        ASSERT_TRUE(task.missed_time.has_value());
+        EXPECT_NEAR(*task.missed_time, task.deadline, 1e-9);
+        EXPECT_FALSE(task.completion_time.has_value());
+        break;
+      default:
+        FAIL() << "non-terminal status after run()";
+    }
+  }
+}
+
+TEST_P(PolicyInvariantTest, ExecutionRespectsEet) {
+  run_case();
+  const auto& eet = simulation_->eet();
+  for (const Task& task : simulation_->tasks()) {
+    if (task.status != TaskStatus::kCompleted) continue;
+    const auto machine_type = simulation_->machine(*task.assigned_machine).type();
+    EXPECT_NEAR(*task.completion_time - *task.start_time, eet.eet(task.type, machine_type),
+                1e-9)
+        << "task " << task.id;
+  }
+}
+
+TEST_P(PolicyInvariantTest, MachineAccountingBounded) {
+  run_case();
+  const double horizon = simulation_->engine().now();
+  std::size_t completions = 0;
+  for (std::size_t m = 0; m < simulation_->machine_count(); ++m) {
+    const auto stats = simulation_->machine(m).finalize_stats(horizon);
+    EXPECT_LE(stats.busy_seconds, horizon + 1e-9);
+    EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+    EXPECT_GE(stats.utilization(), 0.0);
+    completions += stats.tasks_completed;
+  }
+  EXPECT_EQ(completions, simulation_->counters().completed);
+}
+
+TEST_P(PolicyInvariantTest, EnergyWithinPowerEnvelope) {
+  run_case();
+  const double horizon = simulation_->engine().now();
+  double idle_floor = 0.0;
+  double busy_ceiling = 0.0;
+  for (const auto& machine : system_.machines) {
+    idle_floor += machine.power.idle_watts * horizon;
+    busy_ceiling += machine.power.busy_watts * horizon;
+  }
+  const double energy = simulation_->total_energy_joules(horizon);
+  EXPECT_GE(energy, idle_floor - 1e-6);
+  EXPECT_LE(energy, busy_ceiling + 1e-6);
+}
+
+TEST_P(PolicyInvariantTest, EventOrderingIsMonotonic) {
+  run_case();
+  EXPECT_TRUE(trace_->is_monotonic());
+  EXPECT_GT(trace_->records().size(), workload_.size());  // >= one event per task
+}
+
+TEST_P(PolicyInvariantTest, ImmediateModeNeverCancels) {
+  run_case();
+  const auto policy = e2c::sched::make_policy(GetParam().policy);
+  if (policy->mode() != e2c::sched::PolicyMode::kImmediate) return;
+  // Unbounded machine queues: every task is mapped on arrival, so the
+  // "cancelled in batch queue" outcome is unreachable.
+  EXPECT_EQ(simulation_->counters().cancelled, 0u);
+  EXPECT_TRUE(simulation_->batch_queue_ids().empty());
+}
+
+TEST_P(PolicyInvariantTest, MetricsAgreeWithCounters) {
+  run_case();
+  const auto metrics = e2c::reports::compute_metrics(*simulation_);
+  EXPECT_EQ(metrics.completed, simulation_->counters().completed);
+  EXPECT_NEAR(metrics.completion_percent + metrics.cancelled_percent +
+                  metrics.dropped_percent,
+              100.0, 1e-9);
+  EXPECT_EQ(metrics.type_completion_rate.size(), system_.eet.task_type_count());
+}
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.policy + "_" +
+         e2c::workload::intensity_name(info.param.intensity) + "_" +
+         (info.param.heterogeneous ? "hetero" : "homog");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllIntensities, PolicyInvariantTest,
+                         testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace

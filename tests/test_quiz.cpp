@@ -1,0 +1,113 @@
+// Unit tests for the quiz engine (edu/quiz.hpp).
+#include "edu/quiz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+namespace edu = e2c::edu;
+
+TEST(Quiz, DefaultScenarioShape) {
+  const auto scenario = edu::default_quiz();
+  EXPECT_EQ(scenario.eet.task_type_count(), 3u);
+  EXPECT_EQ(scenario.eet.machine_type_count(), 4u);
+  EXPECT_EQ(scenario.tasks.size(), 3u);
+  EXPECT_EQ(edu::max_score(scenario), 12);  // 3 tasks x 4 methods, as in §5
+}
+
+TEST(Quiz, MeetGroundTruthIsRowMinimum) {
+  const auto scenario = edu::default_quiz();
+  const auto answer = edu::solve_method(scenario, "MEET");
+  ASSERT_EQ(answer.size(), 3u);
+  EXPECT_EQ(answer.at(1), 3u);  // T1 fastest on m4 (index 3)
+  EXPECT_EQ(answer.at(2), 2u);  // T2 fastest on m3 (index 2)
+  EXPECT_EQ(answer.at(3), 3u);  // T3 also fastest on m4 — MEET stacks them
+}
+
+TEST(Quiz, MectDivertsTheContendedTask) {
+  // MECT maps in arrival order with a load projection: T1 takes m4 (3 s);
+  // T3 then sees m4 ready at 3 (completion 5) tie m2 (5) -> lower index m2.
+  const auto scenario = edu::default_quiz();
+  const auto answer = edu::solve_method(scenario, "MECT");
+  EXPECT_EQ(answer.at(1), 3u);  // m4
+  EXPECT_EQ(answer.at(2), 2u);  // m3
+  EXPECT_EQ(answer.at(3), 1u);  // diverted to m2
+  // The whole point of the contention: MECT != MEET.
+  EXPECT_NE(answer, edu::solve_method(scenario, "MEET"));
+}
+
+TEST(Quiz, MinMinMapsShortestFirstAndDivertsT1) {
+  // MM picks the globally smallest completion first: T2 (2 on m3), then T3
+  // (2 on m4); T1 now compares m4 at 2+3=5 vs m2 at 4 -> m2.
+  const auto scenario = edu::default_quiz();
+  const auto answer = edu::solve_method(scenario, "MM");
+  EXPECT_EQ(answer.at(2), 2u);
+  EXPECT_EQ(answer.at(3), 3u);  // T3 wins the contended m4 under MM
+  EXPECT_EQ(answer.at(1), 1u);  // T1 diverted to m2
+  // MM and MECT disagree on who gets m4 — the teachable contrast.
+  EXPECT_NE(answer, edu::solve_method(scenario, "MECT"));
+}
+
+TEST(Quiz, MsdFollowsDeadlinesThenMinCompletion) {
+  const auto scenario = edu::default_quiz();
+  const auto answer = edu::solve_method(scenario, "MSD");
+  // Deadline order T2 (6) < T3 (9) < T1 (12): T2->m3, T3->m4, T1->m2.
+  EXPECT_EQ(answer.at(2), 2u);
+  EXPECT_EQ(answer.at(3), 3u);
+  EXPECT_EQ(answer.at(1), 1u);
+}
+
+TEST(Quiz, AllMethodsMapEveryTask) {
+  const auto scenario = edu::default_quiz();
+  const auto sheet = edu::solve_quiz(scenario);
+  ASSERT_EQ(sheet.size(), 4u);
+  for (const auto& [method, answer] : sheet) {
+    EXPECT_EQ(answer.size(), 3u) << method;
+  }
+}
+
+TEST(Quiz, PerfectAnswerScoresFull) {
+  const auto scenario = edu::default_quiz();
+  const auto truth = edu::solve_quiz(scenario);
+  EXPECT_EQ(edu::grade(scenario, truth), 12);
+}
+
+TEST(Quiz, EmptyAnswerScoresZero) {
+  const auto scenario = edu::default_quiz();
+  EXPECT_EQ(edu::grade(scenario, {}), 0);
+}
+
+TEST(Quiz, PartialAnswerScoresPartially) {
+  const auto scenario = edu::default_quiz();
+  auto answers = edu::solve_quiz(scenario);
+  answers.erase("MM");                 // one method unanswered: -3
+  answers.at("MEET").at(1) = 0;        // one wrong pick: -1
+  EXPECT_EQ(edu::grade(scenario, answers), 8);
+}
+
+TEST(Quiz, NaiveFastestMachineStudentScoresBelowFull) {
+  // The classic pre-E2C misconception: map every task to the machine with
+  // its minimum EET regardless of the method asked. With the contended m4,
+  // that is only fully correct for MEET; MECT loses T3, MM and MSD lose T1
+  // -> 3 + 2 + 2 + 2 = 9 of 12.
+  const auto scenario = edu::default_quiz();
+  const auto meet = edu::solve_method(scenario, "MEET");
+  edu::AnswerSheet naive;
+  for (const auto& method : edu::quiz_methods()) naive[method] = meet;
+  EXPECT_EQ(edu::grade(scenario, naive), 9);
+}
+
+TEST(Quiz, UnknownMethodThrows) {
+  const auto scenario = edu::default_quiz();
+  EXPECT_THROW((void)edu::solve_method(scenario, "FCFS"), e2c::InputError);
+}
+
+TEST(Quiz, GradeIsDeterministic) {
+  const auto scenario = edu::default_quiz();
+  const auto sheet = edu::solve_quiz(scenario);
+  EXPECT_EQ(edu::grade(scenario, sheet), edu::grade(scenario, sheet));
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Unit tests for the policy registry (sched/registry.hpp).
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::sched::make_policy;
+using e2c::sched::PolicyMode;
+using e2c::sched::PolicyRegistry;
+
+TEST(Registry, BuiltinsRegistered) {
+  auto& registry = PolicyRegistry::instance();
+  for (const char* name : {"FCFS", "MEET", "MECT", "MM", "MMU", "MSD", "ELARE",
+                           "FELARE", "FairShare"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+}
+
+TEST(Registry, CreateInstantiates) {
+  const auto policy = make_policy("MECT");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), "MECT");
+  EXPECT_EQ(policy->mode(), PolicyMode::kImmediate);
+}
+
+TEST(Registry, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(PolicyRegistry::instance().contains("fcfs"));
+  EXPECT_EQ(make_policy("mm")->name(), "MM");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_policy("DOES_NOT_EXIST"), e2c::UnknownPolicyError);
+  EXPECT_FALSE(PolicyRegistry::instance().contains("DOES_NOT_EXIST"));
+}
+
+TEST(Registry, BuiltinModesMatchPaper) {
+  // Fig. 3: FCFS/MECT/MEET immediate; MM/MMU/MSD/ELARE/FELARE batch.
+  for (const std::string& name : e2c::sched::immediate_policy_names()) {
+    EXPECT_EQ(make_policy(name)->mode(), PolicyMode::kImmediate) << name;
+  }
+  for (const std::string& name : e2c::sched::batch_policy_names()) {
+    EXPECT_EQ(make_policy(name)->mode(), PolicyMode::kBatch) << name;
+  }
+}
+
+// A trivial user-defined policy for registration tests.
+class NullPolicy final : public e2c::sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Null"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
+  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
+      e2c::sched::SchedulingContext&) override {
+    return {};
+  }
+};
+
+TEST(Registry, UserPolicyRegistration) {
+  auto& registry = PolicyRegistry::instance();
+  registry.register_policy("TestNull", [] { return std::make_unique<NullPolicy>(); });
+  EXPECT_TRUE(registry.contains("TestNull"));
+  EXPECT_EQ(registry.create("TestNull")->name(), "Null");
+}
+
+TEST(Registry, ReRegistrationReplacesFactory) {
+  auto& registry = PolicyRegistry::instance();
+  registry.register_policy("TestReplace", [] { return std::make_unique<NullPolicy>(); });
+  const auto before = registry.names().size();
+  registry.register_policy("testreplace", [] { return std::make_unique<NullPolicy>(); });
+  EXPECT_EQ(registry.names().size(), before);  // replaced, not duplicated
+}
+
+TEST(Registry, RejectsEmptyNameOrNullFactory) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_THROW(registry.register_policy("", [] { return std::make_unique<NullPolicy>(); }),
+               e2c::InputError);
+  EXPECT_THROW(registry.register_policy("X", nullptr), e2c::InputError);
+}
+
+TEST(Registry, NamesListIncludesBuiltinsInOrder) {
+  const auto names = PolicyRegistry::instance().names();
+  ASSERT_GE(names.size(), 9u);
+  EXPECT_EQ(names[0], "FCFS");
+  EXPECT_EQ(names[1], "MEET");
+  EXPECT_EQ(names[2], "MECT");
+}
+
+}  // namespace

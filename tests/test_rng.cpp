@@ -1,0 +1,169 @@
+// Unit + statistical tests for the deterministic RNG (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace {
+
+using e2c::util::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // Must not get stuck (the all-zero xoshiro state would emit only zeros).
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng.next_u64());
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniform(3.0, 5.0);
+    EXPECT_GE(value, 3.0);
+    EXPECT_LT(value, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = rng.uniform_int(2, 5);
+    EXPECT_GE(value, 2);
+    EXPECT_LE(value, 5);
+    saw_lo |= value == 2;
+    saw_hi |= value == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double lambda = 2.0;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.02);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.normal(10.0, 2.0);
+    sum += value;
+    sum_sq += value * value;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(31);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);  // zero weight never picked
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(37);
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_index(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.next_u64() != child.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(47);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = values;
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);  // same multiset
+}
+
+TEST(Rng, Splitmix64KnownValue) {
+  // Reference value from the SplitMix64 reference implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t first = e2c::util::splitmix64(state);
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Unit tests for the classroom scenarios (exp/scenario.hpp).
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace {
+
+namespace exp = e2c::exp;
+
+TEST(Scenario, HomogeneousIsHomogeneous) {
+  const auto config = exp::homogeneous_classroom();
+  EXPECT_TRUE(config.eet.is_homogeneous());
+  EXPECT_EQ(config.machines.size(), 4u);
+  EXPECT_EQ(config.eet.task_type_count(), 5u);
+}
+
+TEST(Scenario, HomogeneousMachinesShareOnePowerProfile) {
+  const auto config = exp::homogeneous_classroom();
+  for (const auto& machine : config.machines) {
+    EXPECT_DOUBLE_EQ(machine.power.idle_watts, config.machines[0].power.idle_watts);
+    EXPECT_DOUBLE_EQ(machine.power.busy_watts, config.machines[0].power.busy_watts);
+  }
+}
+
+TEST(Scenario, HeterogeneousIsInconsistent) {
+  const auto config = exp::heterogeneous_classroom();
+  EXPECT_FALSE(config.eet.is_homogeneous());
+  // Inconsistent heterogeneity: the case the paper says existing GUI
+  // simulators (e.g. iCanCloud) cannot model.
+  EXPECT_FALSE(config.eet.is_consistent());
+  EXPECT_EQ(config.machines.size(), 4u);
+}
+
+TEST(Scenario, HeterogeneousUsesCatalogPower) {
+  const auto config = exp::heterogeneous_classroom();
+  // Machine 1 is the GPU: catalog busy power 250 W.
+  EXPECT_EQ(config.eet.machine_type_name(1), "gpu");
+  EXPECT_DOUBLE_EQ(config.machines[1].power.busy_watts, 250.0);
+  // Machine 3 is the ASIC: catalog busy power 8 W.
+  EXPECT_DOUBLE_EQ(config.machines[3].power.busy_watts, 8.0);
+}
+
+TEST(Scenario, EachAcceleratorWinsSomewhere) {
+  const auto& eet = exp::heterogeneous_classroom().eet;
+  // Every machine type is the fastest for at least one task type — the
+  // defining feature of the heterogeneous classroom scenario.
+  for (std::size_t m = 0; m < eet.machine_type_count(); ++m) {
+    bool wins = false;
+    for (std::size_t t = 0; t < eet.task_type_count(); ++t) {
+      if (eet.eet(t, m) <= eet.row_min(t)) wins = true;
+    }
+    EXPECT_TRUE(wins) << eet.machine_type_name(m);
+  }
+}
+
+TEST(Scenario, QueueCapacityPlumbing) {
+  EXPECT_EQ(exp::homogeneous_classroom(7).machine_queue_capacity, 7u);
+  EXPECT_EQ(exp::heterogeneous_classroom(3).machine_queue_capacity, 3u);
+}
+
+TEST(Scenario, MachineTypesOfListsInstanceTypes) {
+  const auto config = exp::heterogeneous_classroom();
+  const auto types = exp::machine_types_of(config);
+  ASSERT_EQ(types.size(), 4u);
+  for (std::size_t i = 0; i < types.size(); ++i) EXPECT_EQ(types[i], i);
+}
+
+TEST(Scenario, SimilarServiceScales) {
+  // The homogeneous and heterogeneous systems are calibrated to comparable
+  // aggregate capacity so intensity presets stress them similarly.
+  const auto homog = exp::homogeneous_classroom();
+  const auto hetero = exp::heterogeneous_classroom();
+  const double cap_homog =
+      e2c::workload::system_capacity(homog.eet, exp::machine_types_of(homog), {});
+  const double cap_hetero =
+      e2c::workload::system_capacity(hetero.eet, exp::machine_types_of(hetero), {});
+  EXPECT_GT(cap_homog, 0.0);
+  EXPECT_GT(cap_hetero, 0.0);
+  EXPECT_LT(cap_homog / cap_hetero, 3.0);
+  EXPECT_GT(cap_homog / cap_hetero, 1.0 / 3.0);
+}
+
+}  // namespace

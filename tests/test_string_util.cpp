@@ -1,0 +1,72 @@
+// Unit tests for string helpers (util/string_util.hpp).
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace util = e2c::util;
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(util::trim("  hi  "), "hi");
+  EXPECT_EQ(util::trim("\t\r\nhi\n"), "hi");
+  EXPECT_EQ(util::trim("hi"), "hi");
+  EXPECT_EQ(util::trim("   "), "");
+  EXPECT_EQ(util::trim(""), "");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(util::split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(util::split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(util::split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(util::split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(util::to_lower("MeCt"), "mect");
+  EXPECT_EQ(util::to_lower("already"), "already");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(util::iequals("FCFS", "fcfs"));
+  EXPECT_TRUE(util::iequals("MeEt", "mEEt"));
+  EXPECT_FALSE(util::iequals("MM", "MMU"));
+  EXPECT_FALSE(util::iequals("a", "b"));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(util::parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(util::parse_double("  -4e2 ").value(), -400.0);
+  EXPECT_FALSE(util::parse_double("abc").has_value());
+  EXPECT_FALSE(util::parse_double("1.2x").has_value());
+  EXPECT_FALSE(util::parse_double("").has_value());
+  EXPECT_FALSE(util::parse_double("   ").has_value());
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(util::parse_int("42").value(), 42);
+  EXPECT_EQ(util::parse_int(" -7 ").value(), -7);
+  EXPECT_FALSE(util::parse_int("4.5").has_value());
+  EXPECT_FALSE(util::parse_int("x").has_value());
+  EXPECT_FALSE(util::parse_int("").has_value());
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(util::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::format_fixed(2.0, 0), "2");
+  EXPECT_EQ(util::format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(util::pad_left("ab", 4), "  ab");
+  EXPECT_EQ(util::pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(util::pad_left("abcdef", 4), "abcdef");  // no truncation
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(util::starts_with("--policy", "--"));
+  EXPECT_FALSE(util::starts_with("-p", "--"));
+  EXPECT_TRUE(util::starts_with("abc", ""));
+}
+
+}  // namespace

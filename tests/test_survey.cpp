@@ -1,0 +1,161 @@
+// Unit tests for the survey dataset + aggregation pipeline (edu/survey.hpp):
+// the Fig. 8 reproduction must match the paper's published aggregates.
+#include "edu/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+namespace edu = e2c::edu;
+
+const edu::MetricAggregate& find_metric(const std::vector<edu::MetricAggregate>& metrics,
+                                        const std::string& name) {
+  for (const auto& metric : metrics) {
+    if (metric.metric == name) return metric;
+  }
+  throw std::runtime_error("metric not found: " + name);
+}
+
+class BundledSurveyTest : public testing::Test {
+ protected:
+  edu::SurveyDataset dataset_ = edu::SurveyDataset::bundled();
+  edu::SurveySummary summary_ = dataset_.summarize();
+};
+
+TEST_F(BundledSurveyTest, DemographicsMatchPaper) {
+  EXPECT_EQ(dataset_.size(), 23u);
+  EXPECT_NEAR(summary_.male_fraction, 0.739, 0.001);
+  EXPECT_NEAR(summary_.female_fraction, 0.261, 0.001);
+  EXPECT_NEAR(summary_.undergraduate_fraction, 0.609, 0.001);
+  EXPECT_NEAR(summary_.graduate_fraction, 0.391, 0.001);
+  EXPECT_NEAR(summary_.passed_os_fraction, 0.435, 0.001);
+  EXPECT_NEAR(summary_.programming_years_mean, 3.8, 0.1);
+  EXPECT_DOUBLE_EQ(summary_.programming_years_median, 3.0);
+}
+
+TEST_F(BundledSurveyTest, Fig8aUserExperienceMeans) {
+  const auto& ux = summary_.user_experience;
+  EXPECT_NEAR(find_metric(ux, "installation").mean, 8.3, 0.05);
+  EXPECT_NEAR(find_metric(ux, "intuitive GUI").mean, 8.35, 0.05);
+  EXPECT_NEAR(find_metric(ux, "ease of use").mean, 8.3, 0.08);
+  // The paper quotes 5.7 overall with female 4.8 / male 5.9; those gender
+  // means imply (6*4.8 + 17*5.9)/23 = 5.61, so the published overall is
+  // rounded. We match the gender means exactly and accept the implied mean.
+  EXPECT_NEAR(find_metric(ux, "reports").mean, 5.7, 0.12);
+  EXPECT_NEAR(find_metric(ux, "recommend to others").mean, 8.3, 0.05);
+}
+
+TEST_F(BundledSurveyTest, Fig8aGenderSplits) {
+  const auto& ux = summary_.user_experience;
+  EXPECT_NEAR(find_metric(ux, "intuitive GUI").female_mean, 9.3, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "intuitive GUI").male_mean, 8.0, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "ease of use").female_mean, 9.3, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "ease of use").male_mean, 7.9, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "reports").female_mean, 4.8, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "reports").male_mean, 5.9, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "recommend to others").female_mean, 9.7, 1e-9);
+  EXPECT_NEAR(find_metric(ux, "recommend to others").male_mean, 7.8, 1e-9);
+}
+
+TEST_F(BundledSurveyTest, CustomSchedulingOnlyGraduates) {
+  const auto& metric = find_metric(summary_.user_experience, "custom scheduling");
+  EXPECT_EQ(metric.respondents, 9u);  // the 9 graduate students
+  EXPECT_NEAR(metric.female_mean, 9.2, 1e-9);
+  EXPECT_NEAR(metric.male_mean, 7.4, 1e-9);
+  // Overall lands near the paper's 8.3 (exact value depends on the grad
+  // gender split, which the paper does not publish).
+  EXPECT_NEAR(metric.mean, 8.3, 0.25);
+}
+
+TEST_F(BundledSurveyTest, Fig8bLearningOutcomes) {
+  const auto& lo = summary_.learning_outcomes;
+  EXPECT_NEAR(find_metric(lo, "scheduling in heterogeneous systems").female_mean, 9.8,
+              1e-9);
+  EXPECT_NEAR(find_metric(lo, "scheduling in heterogeneous systems").male_mean, 8.2, 1e-9);
+  EXPECT_NEAR(find_metric(lo, "scheduling in homogeneous systems").female_mean, 9.5, 1e-9);
+  EXPECT_NEAR(find_metric(lo, "scheduling in homogeneous systems").male_mean, 8.4, 1e-9);
+  EXPECT_NEAR(find_metric(lo, "impact of arrival rate").mean, 8.6, 0.05);
+  EXPECT_NEAR(find_metric(lo, "overall usefulness").male_mean, 8.6, 1e-9);
+  // The paper reports medians 8.7 / 8.8 for hetero/overall; the synthetic
+  // medians land in that neighbourhood.
+  EXPECT_NEAR(find_metric(lo, "scheduling in heterogeneous systems").median, 8.7, 0.5);
+  EXPECT_NEAR(find_metric(lo, "overall usefulness").median, 8.8, 0.5);
+}
+
+TEST_F(BundledSurveyTest, QuizImprovementMatchesPaper) {
+  EXPECT_NEAR(summary_.quiz_pre_mean, 7.6, 1e-9);
+  EXPECT_NEAR(summary_.quiz_post_mean, 8.94, 1e-9);
+  EXPECT_NEAR(summary_.quiz_improvement_percent, 17.6, 0.1);
+}
+
+TEST_F(BundledSurveyTest, AllScoresInRange) {
+  for (const auto& response : dataset_.responses()) {
+    for (double score : {response.install, response.gui, response.ease_of_use,
+                         response.reports, response.recommend, response.hetero_scheduling,
+                         response.homog_scheduling, response.arrival_rate_impact,
+                         response.overall_usefulness}) {
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 10.0);
+    }
+    EXPECT_GE(response.quiz_pre, 0.0);
+    EXPECT_LE(response.quiz_pre, 12.0);
+    EXPECT_GE(response.quiz_post, 0.0);
+    EXPECT_LE(response.quiz_post, 12.0);
+    if (response.level == edu::Level::kUndergraduate) {
+      EXPECT_FALSE(response.custom_scheduling.has_value());
+    } else {
+      EXPECT_TRUE(response.custom_scheduling.has_value());
+    }
+  }
+}
+
+TEST(SurveyPipeline, AggregateSkipsNullopt) {
+  std::vector<edu::SurveyResponse> responses(3);
+  responses[0].gender = edu::Gender::kFemale;
+  responses[0].custom_scheduling = 8.0;
+  responses[1].custom_scheduling = 6.0;
+  // responses[2] has no custom_scheduling answer.
+  const edu::SurveyDataset dataset(std::move(responses));
+  const auto metric = dataset.aggregate(
+      "custom", [](const edu::SurveyResponse& r) { return r.custom_scheduling; });
+  EXPECT_EQ(metric.respondents, 2u);
+  EXPECT_DOUBLE_EQ(metric.mean, 7.0);
+  EXPECT_DOUBLE_EQ(metric.female_mean, 8.0);
+  EXPECT_DOUBLE_EQ(metric.male_mean, 6.0);
+}
+
+TEST(SurveyPipeline, CsvRoundTrip) {
+  const auto original = edu::SurveyDataset::bundled();
+  const auto parsed = edu::SurveyDataset::from_csv_rows(original.to_csv_rows());
+  ASSERT_EQ(parsed.size(), original.size());
+  const auto a = original.summarize();
+  const auto b = parsed.summarize();
+  EXPECT_NEAR(a.quiz_pre_mean, b.quiz_pre_mean, 1e-3);
+  EXPECT_NEAR(a.user_experience[1].female_mean, b.user_experience[1].female_mean, 1e-3);
+  EXPECT_EQ(a.learning_outcomes.size(), b.learning_outcomes.size());
+  for (std::size_t i = 0; i < original.responses().size(); ++i) {
+    EXPECT_EQ(parsed.responses()[i].gender, original.responses()[i].gender);
+    EXPECT_EQ(parsed.responses()[i].custom_scheduling.has_value(),
+              original.responses()[i].custom_scheduling.has_value());
+  }
+}
+
+TEST(SurveyPipeline, CsvRejectsMalformed) {
+  EXPECT_THROW((void)edu::SurveyDataset::from_csv_rows({}), e2c::InputError);
+  EXPECT_THROW((void)edu::SurveyDataset::from_csv_rows({{"just", "two"}}),
+               e2c::InputError);
+  auto rows = edu::SurveyDataset::bundled().to_csv_rows();
+  rows[1][0] = "robot";  // unknown gender
+  EXPECT_THROW((void)edu::SurveyDataset::from_csv_rows(rows), e2c::InputError);
+}
+
+TEST(SurveyPipeline, EmptyDatasetSummarizes) {
+  const edu::SurveyDataset dataset;
+  const auto summary = dataset.summarize();
+  EXPECT_DOUBLE_EQ(summary.quiz_improvement_percent, 0.0);
+  EXPECT_DOUBLE_EQ(summary.female_fraction, 0.0);
+}
+
+}  // namespace

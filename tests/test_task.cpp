@@ -1,0 +1,59 @@
+// Unit tests for the task model (workload/task.hpp).
+#include "workload/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using e2c::workload::Task;
+using e2c::workload::TaskStatus;
+
+TEST(TaskStatus, Names) {
+  EXPECT_STREQ(e2c::workload::task_status_name(TaskStatus::kCompleted), "completed");
+  EXPECT_STREQ(e2c::workload::task_status_name(TaskStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(e2c::workload::task_status_name(TaskStatus::kDropped), "dropped");
+  EXPECT_STREQ(e2c::workload::task_status_name(TaskStatus::kInBatchQueue), "batch-queue");
+}
+
+TEST(TaskStatus, TerminalClassification) {
+  EXPECT_TRUE(e2c::workload::is_terminal(TaskStatus::kCompleted));
+  EXPECT_TRUE(e2c::workload::is_terminal(TaskStatus::kCancelled));
+  EXPECT_TRUE(e2c::workload::is_terminal(TaskStatus::kDropped));
+  EXPECT_FALSE(e2c::workload::is_terminal(TaskStatus::kPending));
+  EXPECT_FALSE(e2c::workload::is_terminal(TaskStatus::kRunning));
+  EXPECT_FALSE(e2c::workload::is_terminal(TaskStatus::kInMachineQueue));
+}
+
+TEST(Task, SlackComputation) {
+  Task task;
+  task.deadline = 10.0;
+  EXPECT_DOUBLE_EQ(task.slack(4.0), 6.0);
+  EXPECT_LT(task.slack(12.0), 0.0);
+}
+
+TEST(Task, DerivedTimesEmptyUntilSet) {
+  Task task;
+  EXPECT_FALSE(task.response_time().has_value());
+  EXPECT_FALSE(task.wait_time().has_value());
+  EXPECT_FALSE(task.finished());
+  EXPECT_FALSE(task.completed());
+}
+
+TEST(Task, DerivedTimesAfterExecution) {
+  Task task;
+  task.arrival = 2.0;
+  task.start_time = 5.0;
+  task.completion_time = 9.0;
+  task.status = TaskStatus::kCompleted;
+  EXPECT_DOUBLE_EQ(task.wait_time().value(), 3.0);
+  EXPECT_DOUBLE_EQ(task.response_time().value(), 7.0);
+  EXPECT_TRUE(task.finished());
+  EXPECT_TRUE(task.completed());
+}
+
+TEST(Task, DefaultDeadlineIsInfinite) {
+  Task task;
+  EXPECT_EQ(task.deadline, e2c::core::kTimeInfinity);
+}
+
+}  // namespace

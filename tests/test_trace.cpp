@@ -1,0 +1,67 @@
+// Unit tests for the event trace recorder (core/trace.hpp).
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using e2c::core::Engine;
+using e2c::core::EventPriority;
+using e2c::core::TraceRecorder;
+
+TEST(Trace, RecordsAllEvents) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  (void)engine.schedule_at(1.0, EventPriority::kArrival, "a", {});
+  (void)engine.schedule_at(2.0, EventPriority::kCompletion, "b", {});
+  engine.run();
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].label, "a");
+  EXPECT_EQ(trace.records()[1].label, "b");
+  EXPECT_DOUBLE_EQ(trace.records()[1].time, 2.0);
+}
+
+TEST(Trace, MonotonicOnOrderedRun) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  (void)engine.schedule_at(2.0, EventPriority::kArrival, "later", {});
+  (void)engine.schedule_at(2.0, EventPriority::kCompletion, "first", {});
+  (void)engine.schedule_at(1.0, EventPriority::kSchedule, "earliest", {});
+  engine.run();
+  EXPECT_TRUE(trace.is_monotonic());
+}
+
+TEST(Trace, CsvRowsHaveHeaderAndData) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  (void)engine.schedule_at(1.5, EventPriority::kArrival, "task", {});
+  engine.run();
+  const auto rows = trace.to_csv_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "time");
+  EXPECT_EQ(rows[1][0], "1.5000");
+  EXPECT_EQ(rows[1][1], "arrival");
+  EXPECT_EQ(rows[1][2], "task");
+}
+
+TEST(Trace, ClearForgets) {
+  Engine engine;
+  TraceRecorder trace(engine);
+  (void)engine.schedule_at(1.0, EventPriority::kArrival, "x", {});
+  engine.run();
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(Trace, DetachesOnDestruction) {
+  Engine engine;
+  {
+    TraceRecorder trace(engine);
+  }
+  // Recorder destroyed; engine must not call a dangling observer.
+  (void)engine.schedule_at(1.0, EventPriority::kArrival, "x", {});
+  engine.run();
+  SUCCEED();
+}
+
+}  // namespace

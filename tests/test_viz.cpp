@@ -1,0 +1,208 @@
+// Unit tests for the rendering components: ASCII frames, bar charts,
+// SVG Gantt and the HTML report (src/viz).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+#include "viz/ascii_view.hpp"
+#include "viz/bar_chart.hpp"
+#include "viz/bar_chart_svg.hpp"
+#include "viz/gantt_svg.hpp"
+#include "viz/html_report.hpp"
+
+namespace {
+
+using e2c::hetero::EetMatrix;
+using e2c::sched::Simulation;
+using e2c::workload::Task;
+using e2c::workload::Workload;
+
+std::unique_ptr<Simulation> finished_simulation() {
+  EetMatrix eet({"T1", "T2"}, {"m0", "m1"}, {{4.0, 6.0}, {5.0, 2.0}});
+  auto simulation = std::make_unique<Simulation>(
+      e2c::sched::make_default_system(std::move(eet)), e2c::sched::make_policy("MECT"));
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Task task;
+    task.id = i;
+    task.type = i % 2;
+    task.arrival = static_cast<double>(i) * 0.5;
+    task.deadline = i == 5 ? 3.0 : 100.0;  // one task misses
+    tasks.push_back(task);
+  }
+  simulation->load(Workload(std::move(tasks)));
+  simulation->run();
+  return simulation;
+}
+
+TEST(AsciiView, FrameShowsHeaderAndMachines) {
+  const auto simulation = finished_simulation();
+  e2c::viz::AsciiViewOptions options;
+  options.use_color = false;
+  const std::string frame = e2c::viz::render_frame(*simulation, options);
+  EXPECT_NE(frame.find("policy=MECT"), std::string::npos);
+  EXPECT_NE(frame.find("m0"), std::string::npos);
+  EXPECT_NE(frame.find("m1"), std::string::npos);
+  EXPECT_NE(frame.find("completed="), std::string::npos);
+  EXPECT_EQ(frame.find("\033["), std::string::npos);  // no ANSI without color
+}
+
+TEST(AsciiView, ColorModeEmitsAnsi) {
+  EetMatrix eet({"T1"}, {"m0"}, {{5.0}});
+  Simulation simulation(e2c::sched::make_default_system(std::move(eet)),
+                        e2c::sched::make_policy("FCFS"));
+  Task task;
+  task.id = 0;
+  task.type = 0;
+  task.arrival = 0.0;
+  task.deadline = 100.0;
+  simulation.load(Workload({task}));
+  (void)simulation.step();  // arrival
+  (void)simulation.step();  // scheduler -> running
+  e2c::viz::AsciiViewOptions options;
+  options.use_color = true;
+  const std::string frame = e2c::viz::render_frame(simulation, options);
+  EXPECT_NE(frame.find("\033["), std::string::npos);
+  EXPECT_NE(frame.find("RUN"), std::string::npos);
+}
+
+TEST(AsciiView, ClearScreenPrefix) {
+  const auto simulation = finished_simulation();
+  e2c::viz::AsciiViewOptions options;
+  options.clear_screen = true;
+  const std::string frame = e2c::viz::render_frame(*simulation, options);
+  EXPECT_EQ(frame.rfind("\033[H\033[2J", 0), 0u);
+}
+
+TEST(AsciiView, MissedPanelListsMissedTask) {
+  const auto simulation = finished_simulation();
+  const std::string panel = e2c::viz::render_missed_panel(*simulation);
+  EXPECT_NE(panel.find("Missed Tasks"), std::string::npos);
+  EXPECT_NE(panel.find("5"), std::string::npos);  // the missing task's id
+}
+
+TEST(BarChart, RendersGroupsAndSeries) {
+  e2c::viz::BarChart chart;
+  chart.title = "Completion %";
+  chart.groups = {"low", "high"};
+  chart.series = {{"FCFS", {90.0, 40.0}}, {"MECT", {95.0, 60.0}}};
+  const std::string out = e2c::viz::render_bar_chart(chart);
+  EXPECT_NE(out.find("Completion %"), std::string::npos);
+  EXPECT_NE(out.find("low:"), std::string::npos);
+  EXPECT_NE(out.find("FCFS"), std::string::npos);
+  EXPECT_NE(out.find("95.0%"), std::string::npos);
+}
+
+TEST(BarChart, BarLengthProportional) {
+  e2c::viz::BarChart chart;
+  chart.groups = {"g"};
+  chart.series = {{"full", {100.0}}, {"half", {50.0}}, {"zero", {0.0}}};
+  chart.width = 10;
+  const std::string out = e2c::viz::render_bar_chart(chart);
+  EXPECT_NE(out.find("|##########|"), std::string::npos);
+  EXPECT_NE(out.find("|#####     |"), std::string::npos);
+  EXPECT_NE(out.find("|          |"), std::string::npos);
+}
+
+TEST(BarChart, ValuesClampedToAxis) {
+  e2c::viz::BarChart chart;
+  chart.groups = {"g"};
+  chart.series = {{"over", {150.0}}};
+  chart.width = 10;
+  const std::string out = e2c::viz::render_bar_chart(chart);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // capped, no overflow
+}
+
+TEST(BarChart, RejectsMismatchedSeries) {
+  e2c::viz::BarChart chart;
+  chart.groups = {"a", "b"};
+  chart.series = {{"x", {1.0}}};
+  EXPECT_THROW((void)e2c::viz::render_bar_chart(chart), e2c::InputError);
+  chart.series = {{"x", {1.0, 2.0}}};
+  chart.max_value = 0.0;
+  EXPECT_THROW((void)e2c::viz::render_bar_chart(chart), e2c::InputError);
+}
+
+TEST(BarChartSvg, WellFormedWithLegendAndBars) {
+  e2c::viz::BarChart chart;
+  chart.title = "completion %";
+  chart.groups = {"low", "medium", "high"};
+  chart.series = {{"FCFS", {95.0, 80.0, 40.0}}, {"MECT", {100.0, 95.0, 70.0}}};
+  const std::string svg = e2c::viz::render_bar_chart_svg(chart);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("FCFS"), std::string::npos);   // legend
+  EXPECT_NE(svg.find("medium"), std::string::npos); // group label
+  // 2 series x 3 groups = 6 bars plus the 2 legend swatches.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 8u);
+}
+
+TEST(BarChartSvg, ValidatesInput) {
+  e2c::viz::BarChart chart;
+  chart.groups = {"a"};
+  chart.series = {{"x", {1.0, 2.0}}};  // mismatch
+  EXPECT_THROW((void)e2c::viz::render_bar_chart_svg(chart), e2c::InputError);
+  chart.series.clear();
+  EXPECT_THROW((void)e2c::viz::render_bar_chart_svg(chart), e2c::InputError);
+}
+
+TEST(BarChartSvg, SaveWritesFile) {
+  e2c::viz::BarChart chart;
+  chart.groups = {"g"};
+  chart.series = {{"s", {42.0}}};
+  const std::string path = testing::TempDir() + "/e2c_barchart_test.svg";
+  e2c::viz::save_bar_chart_svg(chart, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(GanttSvg, WellFormedAndContainsLanes) {
+  const auto simulation = finished_simulation();
+  const std::string svg = e2c::viz::render_gantt_svg(*simulation);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("m0"), std::string::npos);
+  EXPECT_NE(svg.find("m1"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);     // executed spans
+  EXPECT_NE(svg.find("MECT"), std::string::npos);      // title
+}
+
+TEST(GanttSvg, SaveWritesFile) {
+  const auto simulation = finished_simulation();
+  const std::string path = testing::TempDir() + "/e2c_gantt_test.svg";
+  e2c::viz::save_gantt_svg(*simulation, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(e2c::viz::save_gantt_svg(*simulation, "/nonexistent/x.svg"), e2c::IoError);
+}
+
+TEST(HtmlReport, ContainsAllSections) {
+  const auto simulation = finished_simulation();
+  const std::string html = e2c::viz::render_html_report(*simulation);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Summary Report"), std::string::npos);
+  EXPECT_NE(html.find("Machine Report"), std::string::npos);
+  EXPECT_NE(html.find("Missed Tasks"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);  // embedded Gantt
+}
+
+TEST(HtmlReport, SaveWritesFile) {
+  const auto simulation = finished_simulation();
+  const std::string path = testing::TempDir() + "/e2c_html_test.html";
+  e2c::viz::save_html_report(*simulation, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace

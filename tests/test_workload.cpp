@@ -1,0 +1,149 @@
+// Unit tests for the workload trace container + CSV IO (workload/workload.hpp).
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace {
+
+using e2c::hetero::EetMatrix;
+using e2c::workload::Task;
+using e2c::workload::Workload;
+
+EetMatrix sample_eet() {
+  return EetMatrix({"T1", "T2"}, {"m1", "m2"}, {{2.0, 4.0}, {3.0, 1.0}});
+}
+
+Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  Task task;
+  task.id = id;
+  task.type = type;
+  task.arrival = arrival;
+  task.deadline = deadline;
+  return task;
+}
+
+TEST(Workload, SortsByArrival) {
+  Workload workload({make_task(1, 0, 5.0, 10.0), make_task(2, 1, 1.0, 9.0),
+                     make_task(3, 0, 3.0, 8.0)});
+  ASSERT_EQ(workload.size(), 3u);
+  EXPECT_EQ(workload.tasks()[0].id, 2u);
+  EXPECT_EQ(workload.tasks()[1].id, 3u);
+  EXPECT_EQ(workload.tasks()[2].id, 1u);
+  EXPECT_DOUBLE_EQ(workload.last_arrival(), 5.0);
+}
+
+TEST(Workload, TieBrokenById) {
+  Workload workload({make_task(9, 0, 2.0, 10.0), make_task(4, 0, 2.0, 10.0)});
+  EXPECT_EQ(workload.tasks()[0].id, 4u);
+}
+
+TEST(Workload, RejectsDeadlineBeforeArrival) {
+  EXPECT_THROW(Workload({make_task(1, 0, 5.0, 4.0)}), e2c::InputError);
+}
+
+TEST(Workload, RejectsNegativeArrival) {
+  EXPECT_THROW(Workload({make_task(1, 0, -1.0, 4.0)}), e2c::InputError);
+}
+
+TEST(Workload, ValidateAgainstEnforcesEetCompatibility) {
+  const EetMatrix eet = sample_eet();
+  Workload ok({make_task(1, 1, 0.0, 5.0)});
+  EXPECT_NO_THROW(ok.validate_against(eet));
+  Workload bad({make_task(1, 7, 0.0, 5.0)});  // type 7 not in the EET
+  EXPECT_THROW(bad.validate_against(eet), e2c::InputError);
+}
+
+TEST(Workload, TypeHistogram) {
+  Workload workload({make_task(1, 0, 0.0, 5.0), make_task(2, 1, 1.0, 5.0),
+                     make_task(3, 1, 2.0, 6.0)});
+  const auto histogram = workload.type_histogram(2);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+}
+
+TEST(Workload, CsvParseWithDeadline) {
+  const EetMatrix eet = sample_eet();
+  const Workload workload = Workload::from_csv_text(
+      "task_id,task_type,arrival_time,deadline\n0,T1,0.5,4.5\n1,T2,1.25,9\n", eet);
+  ASSERT_EQ(workload.size(), 2u);
+  EXPECT_EQ(workload.tasks()[0].type, 0u);
+  EXPECT_DOUBLE_EQ(workload.tasks()[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(workload.tasks()[0].deadline, 4.5);
+  EXPECT_EQ(workload.tasks()[1].type, 1u);
+}
+
+TEST(Workload, CsvParseWithoutDeadlineColumn) {
+  const EetMatrix eet = sample_eet();
+  const Workload workload =
+      Workload::from_csv_text("task_id,task_type,arrival_time\n0,T1,2\n", eet);
+  EXPECT_EQ(workload.tasks()[0].deadline, e2c::core::kTimeInfinity);
+}
+
+TEST(Workload, CsvEmptyDeadlineFieldMeansInfinite) {
+  const EetMatrix eet = sample_eet();
+  const Workload workload = Workload::from_csv_text(
+      "task_id,task_type,arrival_time,deadline\n0,T1,2,\n", eet);
+  EXPECT_EQ(workload.tasks()[0].deadline, e2c::core::kTimeInfinity);
+}
+
+TEST(Workload, CsvRejectsUnknownTaskType) {
+  // The paper's rule: no workload task type outside the EET.
+  const EetMatrix eet = sample_eet();
+  EXPECT_THROW((void)Workload::from_csv_text(
+                   "task_id,task_type,arrival_time\n0,T9,1\n", eet),
+               e2c::InputError);
+}
+
+TEST(Workload, CsvRejectsMalformedRows) {
+  const EetMatrix eet = sample_eet();
+  EXPECT_THROW((void)Workload::from_csv_text("", eet), e2c::InputError);
+  EXPECT_THROW((void)Workload::from_csv_text("task_id\n", eet), e2c::InputError);
+  EXPECT_THROW((void)Workload::from_csv_text(
+                   "task_id,task_type,arrival_time\nx,T1,1\n", eet),
+               e2c::InputError);
+  EXPECT_THROW((void)Workload::from_csv_text(
+                   "task_id,task_type,arrival_time\n0,T1,abc\n", eet),
+               e2c::InputError);
+}
+
+TEST(Workload, CsvRoundTrip) {
+  const EetMatrix eet = sample_eet();
+  Workload original({make_task(0, 0, 0.5, 4.0), make_task(1, 1, 2.5, 12.0),
+                     make_task(2, 0, 3.0, e2c::core::kTimeInfinity)});
+  const Workload parsed = Workload::from_csv_text(original.to_csv_text(eet), eet);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.tasks()[i].id, original.tasks()[i].id);
+    EXPECT_EQ(parsed.tasks()[i].type, original.tasks()[i].type);
+    EXPECT_NEAR(parsed.tasks()[i].arrival, original.tasks()[i].arrival, 1e-4);
+    if (original.tasks()[i].deadline == e2c::core::kTimeInfinity) {
+      EXPECT_EQ(parsed.tasks()[i].deadline, e2c::core::kTimeInfinity);
+    } else {
+      EXPECT_NEAR(parsed.tasks()[i].deadline, original.tasks()[i].deadline, 1e-4);
+    }
+  }
+}
+
+TEST(Workload, SaveAndLoadFile) {
+  const EetMatrix eet = sample_eet();
+  const std::string path = testing::TempDir() + "/e2c_workload_test.csv";
+  Workload original({make_task(0, 0, 1.0, 7.0)});
+  original.save_csv(path, eet);
+  const Workload loaded = Workload::load_csv(path, eet);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.tasks()[0].arrival, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Workload, EmptyWorkloadBehaves) {
+  Workload workload;
+  EXPECT_TRUE(workload.empty());
+  EXPECT_DOUBLE_EQ(workload.last_arrival(), 0.0);
+  EXPECT_NO_THROW(workload.validate_against(sample_eet()));
+}
+
+}  // namespace

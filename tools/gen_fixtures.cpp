@@ -1,0 +1,53 @@
+/// \file gen_fixtures.cpp
+/// \brief Regenerates the CSV fixtures shipped under data/.
+///
+/// Everything in data/ is a deterministic function of this tool, so the
+/// fixtures can be audited and rebuilt:
+///   eet_homogeneous.csv / eet_heterogeneous.csv — the classroom systems;
+///   workload_{low,medium,high}.csv — the assignment's three traces,
+///     generated against the heterogeneous EET at seed 7;
+///   quiz_eet.csv — the pre/post quiz's 3x4 matrix;
+///   survey_responses.csv — the bundled 23-respondent dataset.
+///
+///   $ e2c_gen_fixtures [output_dir=data]
+#include <iostream>
+#include <string>
+
+#include "edu/quiz.hpp"
+#include "edu/survey.hpp"
+#include "exp/scenario.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace e2c;
+  const std::string dir = argc > 1 ? argv[1] : "data";
+  try {
+    const auto homog = exp::homogeneous_classroom();
+    const auto hetero = exp::heterogeneous_classroom();
+    homog.eet.save_csv(dir + "/eet_homogeneous.csv");
+    hetero.eet.save_csv(dir + "/eet_heterogeneous.csv");
+
+    const auto machine_types = exp::machine_types_of(hetero);
+    for (const auto intensity :
+         {workload::Intensity::kLow, workload::Intensity::kMedium,
+          workload::Intensity::kHigh}) {
+      const auto generator = workload::config_for_intensity(
+          hetero.eet, machine_types, intensity, /*duration=*/200.0, /*seed=*/7);
+      const auto trace = workload::generate_workload(hetero.eet, generator);
+      trace.save_csv(
+          dir + "/workload_" + workload::intensity_name(intensity) + ".csv",
+          hetero.eet);
+      std::cout << "workload_" << workload::intensity_name(intensity) << ".csv: "
+                << trace.size() << " tasks\n";
+    }
+
+    edu::default_quiz().eet.save_csv(dir + "/quiz_eet.csv");
+    edu::SurveyDataset::bundled().save_csv(dir + "/survey_responses.csv");
+    std::cout << "fixtures written under " << dir << "/\n";
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "gen_fixtures: " << error.what() << "\n";
+    return 1;
+  }
+}
