@@ -19,8 +19,10 @@ int main(int argc, char** argv) {
   using namespace e2c;
   if (argc < 2 || std::string(argv[1]) == "--help") {
     std::cout << "usage: e2c_experiment CONFIG.ini [workers]\n"
-                 "Runs the experiment sweep described by CONFIG.ini.\n";
-    return argc < 2 ? 1 : 0;
+                 "Runs the experiment sweep described by CONFIG.ini.\n"
+                 "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
+                 "3 I/O error.\n";
+    return argc < 2 ? 2 : 0;
   }
   try {
     const std::size_t workers =
@@ -35,7 +37,13 @@ int main(int argc, char** argv) {
     if (outputs.csv_path) std::cout << "wrote " << *outputs.csv_path << "\n";
     if (outputs.chart_svg_path) std::cout << "wrote " << *outputs.chart_svg_path << "\n";
     return 0;
-  } catch (const Error& error) {
+  } catch (const InputError& error) {
+    std::cerr << "e2c_experiment: " << error.what() << "\n";
+    return 2;
+  } catch (const IoError& error) {
+    std::cerr << "e2c_experiment: " << error.what() << "\n";
+    return 3;
+  } catch (const std::exception& error) {
     std::cerr << "e2c_experiment: " << error.what() << "\n";
     return 1;
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "fault/fault_model.hpp"
 #include "hetero/machine_catalog.hpp"
 #include "hetero/pet_matrix.hpp"
 #include "net/comm_model.hpp"
@@ -65,6 +66,14 @@ struct Options {
   double link_latency = 0.0;
   // elasticity
   bool autoscale = false;
+  // fault injection
+  std::optional<double> mtbf;
+  double mttr = 5.0;
+  std::uint64_t fault_seed = 0xFA17FA17ULL;
+  std::optional<std::string> fault_trace;
+  std::size_t max_retries = 3;
+  double retry_backoff = 1.0;
+  double retry_backoff_factor = 2.0;
 };
 
 void print_usage() {
@@ -97,6 +106,17 @@ Substrates (optional):
   --autoscale           elastic fleet: machine 1 always on, the rest
                         powered by the autoscaler
 
+Fault injection (optional):
+  --mtbf X              enable stochastic machine failures with mean time
+                        between failures X seconds (exponential)
+  --mttr Y              mean time to repair seconds (default 5)
+  --fault-seed N        seed of the failure processes (default 4195875351)
+  --fault-trace FILE    trace-driven failures instead: CSV with header
+                        machine,fail_time,repair_time (0-based machine index)
+  --max-retries N       retries per fault-aborted task (default 3)
+  --retry-backoff X     seconds before the first retry (default 1)
+  --retry-backoff-factor X  backoff multiplier per retry (default 2)
+
 Reports (PATH or '-' for stdout):
   --summary PATH        Summary Report CSV
   --task-report PATH    Task Report CSV
@@ -110,6 +130,10 @@ Reports (PATH or '-' for stdout):
 Misc:
   --list-policies       print registered scheduling policies and exit
   --help                this text
+
+Exit codes:
+  0 success, 1 internal error, 2 invalid input (bad flags or malformed
+  CSV/config), 3 I/O error (unreadable or unwritable file)
 )";
 }
 
@@ -171,6 +195,36 @@ Options parse_args(const std::vector<std::string>& args) {
       const auto value = e2c::util::parse_double(need_value(i++, arg));
       e2c::require_input(value.has_value() && *value >= 0, "--latency needs a number >= 0");
       options.link_latency = *value;
+    } else if (arg == "--mtbf") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0, "--mtbf needs a number > 0");
+      options.mtbf = *value;
+    } else if (arg == "--mttr") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0, "--mttr needs a number > 0");
+      options.mttr = *value;
+    } else if (arg == "--fault-seed") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--fault-seed needs an integer >= 0");
+      options.fault_seed = static_cast<std::uint64_t>(*value);
+    } else if (arg == "--fault-trace") {
+      options.fault_trace = need_value(i++, arg);
+    } else if (arg == "--max-retries") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--max-retries needs an integer >= 0");
+      options.max_retries = static_cast<std::size_t>(*value);
+    } else if (arg == "--retry-backoff") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--retry-backoff needs a number >= 0");
+      options.retry_backoff = *value;
+    } else if (arg == "--retry-backoff-factor") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 1,
+                         "--retry-backoff-factor needs a number >= 1");
+      options.retry_backoff_factor = *value;
     } else {
       throw e2c::InputError("unknown argument: " + arg + " (see --help)");
     }
@@ -232,6 +286,31 @@ int run(const Options& options) {
     std::cout << "communication model: " << *options.payload_mb << " MB/task at "
               << options.bandwidth << " MB/s\n";
   }
+  if (options.mtbf || options.fault_trace) {
+    require_input(!(options.mtbf && options.fault_trace),
+                  "--mtbf and --fault-trace are mutually exclusive");
+    system.faults.enabled = true;
+    if (options.fault_trace) {
+      system.faults.mode = fault::FaultMode::kTrace;
+      system.faults.trace = fault::load_fault_trace_csv(*options.fault_trace);
+      std::cout << "fault injection: trace " << *options.fault_trace << " ("
+                << system.faults.trace.size() << " spans)\n";
+    } else {
+      system.faults.mtbf = *options.mtbf;
+      system.faults.mttr = options.mttr;
+      system.faults.seed = options.fault_seed;
+      std::cout << "fault injection: mtbf=" << *options.mtbf
+                << "s mttr=" << options.mttr << "s seed=" << options.fault_seed << "\n";
+    }
+    system.faults.retry.max_retries = options.max_retries;
+    system.faults.retry.backoff_base = options.retry_backoff;
+    system.faults.retry.backoff_factor = options.retry_backoff_factor;
+  } else {
+    require_input(options.max_retries == 3 && options.retry_backoff == 1.0 &&
+                      options.retry_backoff_factor == 2.0 &&
+                      options.fault_seed == 0xFA17FA17ULL,
+                  "retry/fault flags need --mtbf or --fault-trace");
+  }
   if (options.autoscale) {
     system.autoscaler.enabled = true;
     system.autoscaler.interval = 2.0;
@@ -286,8 +365,12 @@ int run(const Options& options) {
   const auto& counters = simulation.counters();
   std::cout << "policy=" << simulation.policy().name() << " tasks=" << counters.total
             << " completed=" << counters.completed << " cancelled=" << counters.cancelled
-            << " dropped=" << counters.dropped << " completion="
-            << util::format_fixed(counters.completion_percent(), 2) << "%\n";
+            << " dropped=" << counters.dropped;
+  if (system.faults.enabled) {
+    std::cout << " failed=" << counters.failed << " requeued=" << counters.requeued;
+  }
+  std::cout << " completion=" << util::format_fixed(counters.completion_percent(), 2)
+            << "%\n";
   std::cout << viz::render_missed_panel(simulation);
 
   write_rows(options.summary_out, reports::summary_report(simulation));
@@ -319,9 +402,16 @@ int run(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Exit codes: 0 success, 1 internal error, 2 invalid input, 3 I/O error.
   try {
     return run(parse_args({argv + 1, argv + argc}));
-  } catch (const e2c::Error& error) {
+  } catch (const e2c::InputError& error) {
+    std::cerr << "e2c_run: " << error.what() << "\n";
+    return 2;
+  } catch (const e2c::IoError& error) {
+    std::cerr << "e2c_run: " << error.what() << "\n";
+    return 3;
+  } catch (const std::exception& error) {
     std::cerr << "e2c_run: " << error.what() << "\n";
     return 1;
   }

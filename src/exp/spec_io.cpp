@@ -1,6 +1,7 @@
 #include "exp/spec_io.hpp"
 
 #include "exp/scenario.hpp"
+#include "fault/fault_model.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -15,6 +16,46 @@ workload::Intensity parse_intensity(const std::string& name) {
   if (util::iequals(name, "medium")) return workload::Intensity::kMedium;
   if (util::iequals(name, "high")) return workload::Intensity::kHigh;
   throw InputError("experiment config: unknown intensity '" + name + "'");
+}
+
+bool parse_flag(const std::string& value, const std::string& what) {
+  if (util::iequals(value, "true") || util::iequals(value, "yes") ||
+      util::iequals(value, "on") || value == "1") {
+    return true;
+  }
+  if (util::iequals(value, "false") || util::iequals(value, "no") ||
+      util::iequals(value, "off") || value == "0") {
+    return false;
+  }
+  throw InputError("experiment config: " + what + " must be a boolean, got '" + value +
+                   "'");
+}
+
+void faults_from_ini(const util::IniFile& ini, fault::FaultConfig& faults) {
+  if (!ini.has_section("faults")) return;
+  faults.enabled = true;
+  if (const auto enabled = ini.get("faults", "enabled")) {
+    faults.enabled = parse_flag(*enabled, "faults.enabled");
+  }
+  if (const auto trace = ini.get("faults", "trace")) {
+    faults.mode = fault::FaultMode::kTrace;
+    faults.trace = fault::load_fault_trace_csv(*trace);
+  }
+  if (const auto mtbf = ini.get_double("faults", "mtbf")) faults.mtbf = *mtbf;
+  if (const auto mttr = ini.get_double("faults", "mttr")) faults.mttr = *mttr;
+  if (const auto seed = ini.get_int("faults", "seed")) {
+    faults.seed = static_cast<std::uint64_t>(*seed);
+  }
+  if (const auto retries = ini.get_int("faults", "max_retries")) {
+    require_input(*retries >= 0, "experiment config: faults.max_retries must be >= 0");
+    faults.retry.max_retries = static_cast<std::size_t>(*retries);
+  }
+  if (const auto backoff = ini.get_double("faults", "backoff")) {
+    faults.retry.backoff_base = *backoff;
+  }
+  if (const auto factor = ini.get_double("faults", "backoff_factor")) {
+    faults.retry.backoff_factor = *factor;
+  }
 }
 
 }  // namespace
@@ -38,6 +79,12 @@ ExperimentSpec spec_from_ini(const util::IniFile& ini) {
     throw InputError("experiment config: unknown scenario '" + scenario +
                      "' (heterogeneous | homogeneous | eet = file.csv)");
   }
+
+  // [faults] — presence of the section enables fault injection unless
+  // `enabled = false` opts out explicitly. Validate here so a bad value is
+  // reported when the config loads, not replications later mid-sweep.
+  faults_from_ini(ini, spec.system.faults);
+  spec.system.faults.validate(spec.system.machines.size());
 
   // [sweep]
   spec.policies = ini.get_list("sweep", "policies");

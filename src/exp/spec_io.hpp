@@ -8,6 +8,16 @@
 ///   scenario = heterogeneous      ; or homogeneous, or eet = path/to.csv
 ///   queue_size = 2
 ///
+///   [faults]                      ; optional; presence enables fault injection
+///   mtbf = 100                    ; mean time between failures (s)
+///   mttr = 5                      ; mean time to repair (s)
+///   seed = 4199266839             ; master seed for the failure processes
+///   trace = faults.csv            ; optional: trace-driven instead of stochastic
+///   max_retries = 3               ; retries per aborted task
+///   backoff = 1.0                 ; seconds before the first retry
+///   backoff_factor = 2.0          ; backoff multiplier per retry
+///   enabled = true                ; set false to keep the section but opt out
+///
 ///   [sweep]
 ///   policies = FCFS, MECT, MM
 ///   intensities = low, medium, high

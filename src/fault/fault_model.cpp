@@ -1,0 +1,121 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace e2c::fault {
+
+double RetryPolicy::delay(std::size_t retry) const {
+  require(retry >= 1, "RetryPolicy::delay: retry numbers are 1-based");
+  return backoff_base * std::pow(backoff_factor, static_cast<double>(retry - 1));
+}
+
+void FaultConfig::validate(std::size_t machine_count) const {
+  if (!enabled) return;
+  if (mode == FaultMode::kStochastic) {
+    require_input(mtbf > 0.0, "fault config: mtbf must be > 0");
+    require_input(mttr > 0.0, "fault config: mttr must be > 0");
+  } else {
+    for (const FaultTraceEntry& entry : trace) {
+      require_input(entry.machine < machine_count,
+                    "fault trace: machine index " + std::to_string(entry.machine) +
+                        " out of range (system has " +
+                        std::to_string(machine_count) + " machines)");
+    }
+  }
+  require_input(retry.backoff_base >= 0.0,
+                "fault config: retry backoff must be >= 0");
+  require_input(retry.backoff_factor >= 1.0,
+                "fault config: retry backoff factor must be >= 1");
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::size_t machine_count)
+    : config_(config) {
+  config_.validate(machine_count);
+  if (config_.mode == FaultMode::kStochastic) {
+    util::Rng master(config_.seed);
+    streams_.reserve(machine_count);
+    for (std::size_t m = 0; m < machine_count; ++m) streams_.push_back(master.split());
+  } else {
+    trace_spans_.resize(machine_count);
+    cursors_.assign(machine_count, 0);
+    for (const FaultTraceEntry& entry : config_.trace) {
+      trace_spans_[entry.machine].push_back(
+          FaultSpan{entry.fail_time, entry.repair_time});
+    }
+    for (auto& spans : trace_spans_) {
+      std::sort(spans.begin(), spans.end(), [](const FaultSpan& a, const FaultSpan& b) {
+        return a.fail_time < b.fail_time;
+      });
+    }
+  }
+}
+
+std::optional<FaultSpan> FaultInjector::next(std::size_t machine, double from) {
+  if (config_.mode == FaultMode::kStochastic) {
+    require(machine < streams_.size(), "FaultInjector::next: machine out of range");
+    util::Rng& rng = streams_[machine];
+    FaultSpan span;
+    span.fail_time = from + rng.exponential(1.0 / config_.mtbf);
+    span.repair_time = span.fail_time + rng.exponential(1.0 / config_.mttr);
+    return span;
+  }
+  require(machine < trace_spans_.size(), "FaultInjector::next: machine out of range");
+  const auto& spans = trace_spans_[machine];
+  std::size_t& cursor = cursors_[machine];
+  while (cursor < spans.size() && spans[cursor].fail_time < from) ++cursor;
+  if (cursor >= spans.size()) return std::nullopt;
+  return spans[cursor++];
+}
+
+namespace {
+
+std::vector<FaultTraceEntry> trace_from_table(const util::CsvTable& table) {
+  require_input(!table.empty(),
+                "fault trace CSV: file is empty" +
+                    (table.source.empty() ? "" : " (" + table.source + ")"));
+  const auto& header = table.rows.front();
+  require_input(header.size() >= 3,
+                "fault trace CSV: expected header machine,fail_time,repair_time (" +
+                    table.where(0) + ")");
+
+  std::vector<FaultTraceEntry> entries;
+  entries.reserve(table.row_count() - 1);
+  for (std::size_t r = 1; r < table.row_count(); ++r) {
+    const auto& row = table.rows[r];
+    require_input(row.size() >= 3,
+                  "fault trace CSV: too few fields at " + table.where(r));
+    const auto machine = util::parse_int(row[0]);
+    require_input(machine.has_value() && *machine >= 0,
+                  "fault trace CSV: bad machine '" + row[0] + "' at " + table.where(r));
+    const auto fail = util::parse_double(row[1]);
+    require_input(fail.has_value(),
+                  "fault trace CSV: bad fail_time '" + row[1] + "' at " + table.where(r));
+    const auto repair = util::parse_double(row[2]);
+    require_input(repair.has_value(), "fault trace CSV: bad repair_time '" + row[2] +
+                                          "' at " + table.where(r));
+    require_input(*fail >= 0.0,
+                  "fault trace CSV: fail_time must be >= 0 at " + table.where(r));
+    require_input(*repair > *fail,
+                  "fault trace CSV: repair_time must be after fail_time at " +
+                      table.where(r));
+    entries.push_back(FaultTraceEntry{static_cast<std::size_t>(*machine), *fail, *repair});
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<FaultTraceEntry> fault_trace_from_csv_text(const std::string& text) {
+  return trace_from_table(util::parse_csv(text));
+}
+
+std::vector<FaultTraceEntry> load_fault_trace_csv(const std::string& path) {
+  return trace_from_table(util::read_csv_file(path));
+}
+
+}  // namespace e2c::fault

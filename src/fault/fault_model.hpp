@@ -1,0 +1,113 @@
+/// \file fault_model.hpp
+/// \brief Machine fault injection: stochastic failure/repair processes and
+/// trace-driven failure schedules.
+///
+/// Real edge deployments lose nodes — power loss, thermal shutdown, network
+/// partition. The fault subsystem lets students study how each scheduling
+/// policy degrades when machines crash mid-run: a FaultInjector produces, per
+/// machine, a sequence of (fail_time, repair_time) spans either from
+/// exponential MTBF/MTTR distributions (kStochastic) or verbatim from a CSV
+/// trace (kTrace). The simulation layer turns each span into a machine
+/// failure event (abort + queue flush) and a later repair event.
+///
+/// Determinism: the stochastic mode draws from per-machine Rng streams that
+/// are split() off one master seed at construction, so the sampled failure
+/// schedule is independent of event interleaving and bit-identical across
+/// runs with the same seed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace e2c::fault {
+
+/// How failure spans are produced.
+enum class FaultMode : std::uint8_t {
+  kStochastic,  ///< exponential inter-failure (MTBF) and repair (MTTR) times
+  kTrace,       ///< spans read verbatim from a CSV trace
+};
+
+/// One failure interval for one machine, as produced by the injector.
+struct FaultSpan {
+  double fail_time = 0.0;    ///< when the machine crashes
+  double repair_time = 0.0;  ///< when it comes back online (> fail_time)
+};
+
+/// One row of a fault trace CSV (header: machine,fail_time,repair_time).
+struct FaultTraceEntry {
+  std::size_t machine = 0;  ///< 0-based machine index
+  double fail_time = 0.0;
+  double repair_time = 0.0;
+};
+
+/// Retry semantics for tasks aborted by a machine failure.
+///
+/// An aborted task waits out an exponential backoff —
+/// backoff_base * backoff_factor^(retries-1) — before becoming eligible for
+/// the batch queue again. Once retries exceed max_retries the task is marked
+/// FAILED and leaves the system.
+struct RetryPolicy {
+  std::size_t max_retries = 3;   ///< requeues allowed per task
+  double backoff_base = 1.0;     ///< seconds before the first retry
+  double backoff_factor = 2.0;   ///< multiplier per successive retry
+
+  /// Backoff before retry number \p retry (1-based). Requires retry >= 1.
+  [[nodiscard]] double delay(std::size_t retry) const;
+};
+
+/// Full fault-injection configuration, carried inside SystemConfig.
+struct FaultConfig {
+  bool enabled = false;
+  FaultMode mode = FaultMode::kStochastic;
+  double mtbf = 100.0;  ///< mean time between failures, seconds (> 0)
+  double mttr = 5.0;    ///< mean time to repair, seconds (> 0)
+  std::uint64_t seed = 0xFA17FA17ULL;  ///< master seed for stochastic mode
+  std::vector<FaultTraceEntry> trace;  ///< used when mode == kTrace
+  RetryPolicy retry;
+
+  /// Validates parameters against the system's machine count.
+  /// Throws e2c::InputError on bad values or out-of-range trace machines.
+  void validate(std::size_t machine_count) const;
+};
+
+/// Produces the failure schedule for each machine.
+///
+/// Stateless queries are not supported: next() advances the per-machine
+/// stream (stochastic) or cursor (trace), so call it exactly once per
+/// consumed span, in simulated-time order per machine.
+class FaultInjector {
+ public:
+  /// \throws e2c::InputError when config.validate(machine_count) fails.
+  FaultInjector(const FaultConfig& config, std::size_t machine_count);
+
+  /// Next failure span for \p machine starting at or after \p from.
+  /// Stochastic mode always yields a span (fail = from + Exp(1/mtbf)); trace
+  /// mode returns nullopt once the machine's trace is exhausted.
+  [[nodiscard]] std::optional<FaultSpan> next(std::size_t machine, double from);
+
+  /// The configuration this injector was built from.
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+  std::vector<util::Rng> streams_;                    ///< stochastic mode
+  std::vector<std::vector<FaultSpan>> trace_spans_;   ///< trace mode, sorted
+  std::vector<std::size_t> cursors_;                  ///< trace mode
+};
+
+/// Parses a fault trace from CSV text (header machine,fail_time,repair_time;
+/// machine is a 0-based index). Throws e2c::InputError with a file:line
+/// locator on malformed rows; requires 0 <= fail_time < repair_time.
+[[nodiscard]] std::vector<FaultTraceEntry> fault_trace_from_csv_text(
+    const std::string& text);
+
+/// Reads and parses a fault trace CSV file. Throws e2c::IoError if the file
+/// is unreadable, e2c::InputError on malformed content.
+[[nodiscard]] std::vector<FaultTraceEntry> load_fault_trace_csv(
+    const std::string& path);
+
+}  // namespace e2c::fault

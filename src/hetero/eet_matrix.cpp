@@ -124,11 +124,13 @@ bool EetMatrix::is_consistent() const noexcept {
   return true;
 }
 
-EetMatrix EetMatrix::from_csv_text(const std::string& text) {
-  const util::CsvTable table = util::parse_csv(text);
+namespace {
+
+EetMatrix eet_from_table(const util::CsvTable& table) {
   require_input(table.row_count() >= 2, "EET CSV: need a header row and at least one task row");
   const auto& header = table.rows.front();
-  require_input(header.size() >= 2, "EET CSV: header needs task_type plus machine columns");
+  require_input(header.size() >= 2, "EET CSV: header needs task_type plus machine columns (" +
+                                        table.where(0) + ")");
 
   std::vector<std::string> machine_names;
   machine_names.reserve(header.size() - 1);
@@ -141,14 +143,14 @@ EetMatrix EetMatrix::from_csv_text(const std::string& text) {
   for (std::size_t r = 1; r < table.row_count(); ++r) {
     const auto& row = table.rows[r];
     require_input(row.size() == header.size(),
-                  "EET CSV: row " + std::to_string(r + 1) + " has wrong field count");
+                  "EET CSV: wrong field count at " + table.where(r));
     task_names.emplace_back(util::trim(row[0]));
     std::vector<double> row_values;
     row_values.reserve(row.size() - 1);
     for (std::size_t c = 1; c < row.size(); ++c) {
       const auto value = util::parse_double(row[c]);
-      require_input(value.has_value(), "EET CSV: non-numeric entry '" + row[c] + "' at row " +
-                                           std::to_string(r + 1));
+      require_input(value.has_value(), "EET CSV: non-numeric entry '" + row[c] + "' at " +
+                                           table.where(r));
       row_values.push_back(*value);
     }
     values.push_back(std::move(row_values));
@@ -156,9 +158,14 @@ EetMatrix EetMatrix::from_csv_text(const std::string& text) {
   return EetMatrix(std::move(task_names), std::move(machine_names), std::move(values));
 }
 
+}  // namespace
+
+EetMatrix EetMatrix::from_csv_text(const std::string& text) {
+  return eet_from_table(util::parse_csv(text));
+}
+
 EetMatrix EetMatrix::load_csv(const std::string& path) {
-  const util::CsvTable table = util::read_csv_file(path);
-  return from_csv_text(util::to_csv(table.rows));
+  return eet_from_table(util::read_csv_file(path));
 }
 
 std::string EetMatrix::to_csv_text() const {

@@ -6,6 +6,15 @@
 
 namespace e2c::machines {
 
+const char* machine_state_name(MachineState state) noexcept {
+  switch (state) {
+    case MachineState::kOnline: return "online";
+    case MachineState::kOffline: return "offline";
+    case MachineState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 Machine::Machine(core::Engine& engine, hetero::MachineId id, std::string name,
                  hetero::MachineTypeId type, hetero::MachineTypeSpec power,
                  std::size_t queue_capacity)
@@ -17,24 +26,72 @@ Machine::Machine(core::Engine& engine, hetero::MachineId id, std::string name,
       queue_capacity_(queue_capacity) {}
 
 bool Machine::has_queue_space() const noexcept {
-  if (!online_) return false;
+  if (state_ != MachineState::kOnline) return false;
   if (queue_capacity_ == kUnboundedQueue) return true;
   return queue_.size() < queue_capacity_;
 }
 
 void Machine::set_online(bool online, core::SimTime now) {
-  if (online == online_) return;
+  if (state_ == MachineState::kFailed) return;  // only repair() revives a crash
+  const bool is_online = state_ == MachineState::kOnline;
+  if (online == is_online) return;
   if (online) {
     online_since_ = now;
   } else {
     accumulated_online_ += std::max(0.0, now - online_since_);
   }
-  online_ = online;
+  state_ = online ? MachineState::kOnline : MachineState::kOffline;
+}
+
+std::vector<workload::Task*> Machine::fail(core::SimTime now) {
+  require(state_ == MachineState::kOnline, "Machine::fail: machine '" + name_ +
+                                               "' is not online");
+  std::vector<workload::Task*> evicted;
+  evicted.reserve(queue_.size() + 1);
+  if (running_) {
+    RunningEntry run = *running_;
+    running_.reset();
+    engine_.cancel(run.completion_event);
+    // The partial execution still burned time and energy.
+    busy_seconds_ += std::max(0.0, now - run.started_at);
+    evicted.push_back(run.task);
+  }
+  for (const QueueEntry& entry : queue_) evicted.push_back(entry.task);
+  queue_.clear();
+  aborted_ += evicted.size();
+
+  accumulated_online_ += std::max(0.0, now - online_since_);
+  state_ = MachineState::kFailed;
+  failure_spans_.push_back(FailureSpan{now, core::kTimeInfinity});
+  return evicted;
+}
+
+void Machine::repair(core::SimTime now) {
+  require(state_ == MachineState::kFailed, "Machine::repair: machine '" + name_ +
+                                               "' is not failed");
+  require(!failure_spans_.empty(), "Machine::repair: no open failure span");
+  failure_spans_.back().end = now;
+  state_ = MachineState::kOnline;
+  online_since_ = now;
+}
+
+double Machine::failed_seconds(core::SimTime horizon) const {
+  double total = 0.0;
+  for (const FailureSpan& span : failure_spans_) {
+    if (span.start >= horizon) break;
+    total += std::min(span.end, horizon) - span.start;
+  }
+  return total;
+}
+
+double Machine::availability(core::SimTime horizon) const {
+  if (horizon <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - failed_seconds(horizon) / horizon);
 }
 
 double Machine::online_seconds(core::SimTime horizon) const {
   double total = accumulated_online_;
-  if (online_) total += std::max(0.0, horizon - online_since_);
+  if (state_ == MachineState::kOnline) total += std::max(0.0, horizon - online_since_);
   return std::min(total, horizon);
 }
 
@@ -142,6 +199,8 @@ MachineStats Machine::finalize_stats(core::SimTime horizon) const {
   stats.observed_seconds = horizon;
   stats.tasks_completed = completed_;
   stats.tasks_dropped = dropped_;
+  stats.tasks_aborted = aborted_;
+  stats.failures = failure_spans_.size();
   return stats;
 }
 

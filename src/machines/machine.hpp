@@ -41,12 +41,29 @@ class MachineListener {
   virtual void on_slot_freed(hetero::MachineId machine) = 0;
 };
 
+/// Power/availability state of a machine. Online and Offline are the
+/// elasticity states (autoscaler); Failed is the fault-injection state — the
+/// machine crashed, aborted its committed work, and is awaiting repair.
+enum class MachineState : std::uint8_t { kOnline, kOffline, kFailed };
+
+/// Display name of a machine state ("online", "offline", "failed").
+[[nodiscard]] const char* machine_state_name(MachineState state) noexcept;
+
+/// A closed or still-open failure interval; end is kTimeInfinity while the
+/// machine is down. Consumed by the Gantt/availability reporting.
+struct FailureSpan {
+  core::SimTime start = 0.0;
+  core::SimTime end = core::kTimeInfinity;
+};
+
 /// Accumulated activity/energy figures for one machine.
 struct MachineStats {
   double busy_seconds = 0.0;       ///< total time spent executing
   double observed_seconds = 0.0;   ///< horizon used for energy/utilization
   std::size_t tasks_completed = 0; ///< tasks that ran to completion here
   std::size_t tasks_dropped = 0;   ///< tasks removed mid-queue or mid-run
+  std::size_t tasks_aborted = 0;   ///< tasks evicted by machine failures
+  std::size_t failures = 0;        ///< number of failure events
 
   /// Fraction of observed time spent executing (0 when nothing observed).
   [[nodiscard]] double utilization() const noexcept {
@@ -99,16 +116,48 @@ class Machine {
   /// True when a task is currently executing.
   [[nodiscard]] bool busy() const noexcept { return running_.has_value(); }
 
+  /// Current power/availability state. Machines start online.
+  [[nodiscard]] MachineState state() const noexcept { return state_; }
+
   /// True when the machine is powered on (accepting work). Machines start
-  /// online; the elasticity substrate (autoscaler) toggles this.
-  [[nodiscard]] bool online() const noexcept { return online_; }
+  /// online; the elasticity substrate (autoscaler) toggles this and a
+  /// failure forces it false until repair.
+  [[nodiscard]] bool online() const noexcept { return state_ == MachineState::kOnline; }
+
+  /// True while the machine is down with an injected fault.
+  [[nodiscard]] bool failed() const noexcept { return state_ == MachineState::kFailed; }
 
   /// Powers the machine on/off at simulated time \p now. Powering off does
   /// not abort the running task or drop queued ones — the machine *drains*
   /// (finishes its committed work) but accepts no new assignments; energy
   /// accounting charges idle power only while online. Requires \p now to be
-  /// non-decreasing across calls.
+  /// non-decreasing across calls. No-op while the machine is failed: only
+  /// repair() can bring a crashed machine back.
   void set_online(bool online, core::SimTime now);
+
+  /// Crashes the machine at \p now: the running task is aborted (its partial
+  /// execution is charged to busy time/energy) and the local queue is
+  /// flushed. Returns the evicted tasks, running task first, then queue
+  /// order — the simulation layer decides whether each is retried. The
+  /// machine draws no power until repair(). Requires the machine online.
+  [[nodiscard]] std::vector<workload::Task*> fail(core::SimTime now);
+
+  /// Repairs a failed machine at \p now: it re-enters the online pool with
+  /// an empty queue. Requires the machine failed.
+  void repair(core::SimTime now);
+
+  /// Failure intervals so far (last one open-ended while failed).
+  [[nodiscard]] const std::vector<FailureSpan>& failure_spans() const noexcept {
+    return failure_spans_;
+  }
+
+  /// Seconds spent failed over [0, horizon].
+  [[nodiscard]] double failed_seconds(core::SimTime horizon) const;
+
+  /// Observed availability over [0, horizon]: 1 - failed/horizon. 1.0 for a
+  /// zero horizon or a machine that never failed. Fault-aware policies use
+  /// this to discount flaky machines.
+  [[nodiscard]] double availability(core::SimTime horizon) const;
 
   /// Seconds spent online over [0, horizon].
   [[nodiscard]] double online_seconds(core::SimTime horizon) const;
@@ -188,9 +237,10 @@ class Machine {
   MachineListener* listener_ = nullptr;
   mem::ModelCache* model_cache_ = nullptr;
 
-  bool online_ = true;
+  MachineState state_ = MachineState::kOnline;
   core::SimTime online_since_ = 0.0;      ///< start of the current online span
   double accumulated_online_ = 0.0;       ///< closed online spans
+  std::vector<FailureSpan> failure_spans_;
 
   std::deque<QueueEntry> queue_;
   std::optional<RunningEntry> running_;
@@ -198,6 +248,7 @@ class Machine {
   double busy_seconds_ = 0.0;  ///< completed/aborted execution time so far
   std::size_t completed_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t aborted_ = 0;    ///< evicted by failures
 };
 
 }  // namespace e2c::machines

@@ -13,6 +13,8 @@ Metrics compute_metrics(const sched::Simulation& simulation) {
   metrics.completed = counters.completed;
   metrics.cancelled = counters.cancelled;
   metrics.dropped = counters.dropped;
+  metrics.failed = counters.failed;
+  metrics.requeued = counters.requeued;
 
   const auto pct = [&](std::size_t n) {
     return counters.total == 0
@@ -22,6 +24,7 @@ Metrics compute_metrics(const sched::Simulation& simulation) {
   metrics.completion_percent = pct(counters.completed);
   metrics.cancelled_percent = pct(counters.cancelled);
   metrics.dropped_percent = pct(counters.dropped);
+  metrics.failed_percent = pct(counters.failed);
 
   util::RunningStats waits;
   util::RunningStats responses;

@@ -18,10 +18,13 @@ struct Metrics {
   std::size_t completed = 0;
   std::size_t cancelled = 0;
   std::size_t dropped = 0;
+  std::size_t failed = 0;    ///< lost to machine failures
+  std::size_t requeued = 0;  ///< fault-abort retries (events)
 
   double completion_percent = 0.0;  ///< completed / total * 100
   double cancelled_percent = 0.0;
   double dropped_percent = 0.0;
+  double failed_percent = 0.0;
 
   double makespan = 0.0;            ///< last completion time
   double mean_wait = 0.0;           ///< mean (start - arrival) over started tasks

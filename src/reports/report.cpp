@@ -61,7 +61,8 @@ std::vector<std::vector<std::string>> machine_report(const sched::Simulation& si
   std::vector<std::vector<std::string>> rows;
   rows.reserve(simulation.machine_count() + 1);
   rows.push_back({"machine", "machine_type", "tasks_completed", "tasks_dropped",
-                  "busy_seconds", "utilization", "energy_joules"});
+                  "tasks_aborted", "failures", "availability", "busy_seconds",
+                  "utilization", "energy_joules"});
   for (std::size_t i = 0; i < simulation.machine_count(); ++i) {
     const machines::Machine& machine = simulation.machine(i);
     const machines::MachineStats stats = machine.finalize_stats(horizon);
@@ -69,6 +70,9 @@ std::vector<std::vector<std::string>> machine_report(const sched::Simulation& si
                     simulation.eet().machine_type_name(machine.type()),
                     std::to_string(stats.tasks_completed),
                     std::to_string(stats.tasks_dropped),
+                    std::to_string(stats.tasks_aborted),
+                    std::to_string(stats.failures),
+                    util::format_fixed(machine.availability(horizon), 4),
                     util::format_fixed(stats.busy_seconds, 2),
                     util::format_fixed(stats.utilization(), 4),
                     util::format_fixed(machine.energy_joules(horizon), 2)});
@@ -85,9 +89,12 @@ std::vector<std::vector<std::string>> summary_report(const sched::Simulation& si
   rows.push_back({"completed", std::to_string(metrics.completed)});
   rows.push_back({"cancelled", std::to_string(metrics.cancelled)});
   rows.push_back({"dropped", std::to_string(metrics.dropped)});
+  rows.push_back({"failed", std::to_string(metrics.failed)});
+  rows.push_back({"requeued", std::to_string(metrics.requeued)});
   rows.push_back({"completion_percent", util::format_fixed(metrics.completion_percent, 2)});
   rows.push_back({"cancelled_percent", util::format_fixed(metrics.cancelled_percent, 2)});
   rows.push_back({"dropped_percent", util::format_fixed(metrics.dropped_percent, 2)});
+  rows.push_back({"failed_percent", util::format_fixed(metrics.failed_percent, 2)});
   rows.push_back({"makespan", util::format_fixed(metrics.makespan, 2)});
   rows.push_back({"mean_wait", util::format_fixed(metrics.mean_wait, 2)});
   rows.push_back({"mean_response", util::format_fixed(metrics.mean_response, 2)});

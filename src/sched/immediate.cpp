@@ -1,5 +1,7 @@
 #include "sched/immediate.hpp"
 
+#include <algorithm>
+
 namespace e2c::sched {
 
 namespace {
@@ -38,6 +40,34 @@ std::vector<Assignment> MectPolicy::schedule(SchedulingContext& context) {
                           [](const SchedulingContext& ctx, const workload::Task& task) {
                             return argmin_completion(ctx, task);
                           });
+}
+
+std::vector<Assignment> FtMinEetPolicy::schedule(SchedulingContext& context) {
+  return map_all_in_order(
+      context, [](const SchedulingContext& ctx, const workload::Task& task) {
+        // Availability-discounted completion time: only the execution term is
+        // inflated (a machine up `a` of the time effectively runs at speed
+        // `a`), not the already-committed queue backlog — discounting the
+        // whole completion overreacts to one early crash and starves the
+        // repaired machine. With equal availabilities this degenerates to
+        // MECT exactly. The floor keeps a mostly-down machine rankable.
+        constexpr double kAvailabilityFloor = 0.05;
+        const auto& machines = ctx.machines();
+        std::size_t best = machines.size();
+        double best_score = 0.0;
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+          if (machines[m].free_slots == 0) continue;
+          const double score =
+              machines[m].ready_time +
+              ctx.exec_time(task, machines[m]) /
+                  std::max(machines[m].availability, kAvailabilityFloor);
+          if (best == machines.size() || score < best_score) {
+            best = m;
+            best_score = score;
+          }
+        }
+        return best;
+      });
 }
 
 }  // namespace e2c::sched

@@ -44,4 +44,17 @@ class MectPolicy final : public Policy {
   [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
 };
 
+/// Fault-Tolerant Minimum Expected Execution Time: MECT's completion-time
+/// objective divided by the machine's observed availability, so machines
+/// that keep crashing look proportionally slower and attract fewer tasks.
+/// With fault injection disabled every availability is 1.0 and FTMIN-EET
+/// decides exactly like MECT. Availability is floored at 5% so a machine
+/// that failed early in a run is discounted, never excluded outright.
+class FtMinEetPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FTMIN-EET"; }
+  [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+};
+
 }  // namespace e2c::sched

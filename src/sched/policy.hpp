@@ -40,6 +40,10 @@ struct MachineView {
   std::size_t free_slots = 0;
   double idle_watts = 0.0;
   double busy_watts = 0.0;
+  /// Observed availability in [0, 1]: fraction of elapsed simulated time the
+  /// machine was not failed. 1.0 without fault injection. Fault-aware
+  /// policies (FTMIN-EET) discount flaky machines by this.
+  double availability = 1.0;
 };
 
 /// Sentinel for unbounded machine queues.

@@ -14,6 +14,7 @@ PolicyRegistry::PolicyRegistry() {
   register_policy("FCFS", [] { return std::make_unique<FcfsPolicy>(); });
   register_policy("MEET", [] { return std::make_unique<MeetPolicy>(); });
   register_policy("MECT", [] { return std::make_unique<MectPolicy>(); });
+  register_policy("FTMIN-EET", [] { return std::make_unique<FtMinEetPolicy>(); });
   register_policy("MM", [] { return std::make_unique<MinMinPolicy>(); });
   register_policy("MMU", [] { return std::make_unique<MaxUrgencyPolicy>(); });
   register_policy("MSD", [] { return std::make_unique<SoonestDeadlinePolicy>(); });
@@ -65,7 +66,9 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   return PolicyRegistry::instance().create(name);
 }
 
-std::vector<std::string> immediate_policy_names() { return {"FCFS", "MECT", "MEET"}; }
+std::vector<std::string> immediate_policy_names() {
+  return {"FCFS", "FTMIN-EET", "MECT", "MEET"};
+}
 
 std::vector<std::string> batch_policy_names() {
   return {"MM", "MMU", "MSD", "ELARE", "FELARE", "PAM"};

@@ -75,6 +75,10 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
   in_flight_count_.assign(machines_.size(), 0);
   in_flight_exec_.assign(machines_.size(), 0.0);
   booting_.assign(machines_.size(), false);
+  pending_fault_event_.assign(machines_.size(), core::kNoEvent);
+  if (config_.faults.enabled) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.faults, machines_.size());
+  }
 
   const AutoscalerConfig& scaler = config_.autoscaler;
   if (scaler.enabled) {
@@ -121,6 +125,9 @@ void Simulation::load(const workload::Workload& workload) {
   if (config_.autoscaler.enabled && !tasks_.empty()) {
     engine_.schedule_at(config_.autoscaler.interval, core::EventPriority::kControl,
                         "autoscaler tick", [this] { autoscaler_tick(); });
+  }
+  if (injector_ && !tasks_.empty()) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) schedule_next_failure(m, 0.0);
   }
 }
 
@@ -193,7 +200,22 @@ void Simulation::on_deadline(std::size_t index) {
     case workload::TaskStatus::kCompleted:
     case workload::TaskStatus::kCancelled:
     case workload::TaskStatus::kDropped:
+    case workload::TaskStatus::kFailed:
       return;  // already terminal (completion at the same instant ran first)
+    case workload::TaskStatus::kRetryWait: {
+      // Deadline passed while the task waited out a retry backoff: the
+      // machine failure ultimately cost the task, so it counts as failed.
+      const auto rit = retry_event_.find(task.id);
+      require(rit != retry_event_.end(), "deadline: retry-wait task has no retry event");
+      engine_.cancel(rit->second);
+      retry_event_.erase(rit);
+      task.status = workload::TaskStatus::kFailed;
+      task.missed_time = engine_.now();
+      ++counters_.failed;
+      missed_order_.push_back(task.id);
+      mark_terminal(task);
+      return;
+    }
     case workload::TaskStatus::kInBatchQueue: {
       // Deadline before mapping: cancelled (paper §3).
       const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
@@ -211,6 +233,7 @@ void Simulation::on_deadline(std::size_t index) {
       // so this counts as dropped; release the reserved queue slot.
       const auto it = in_flight_.find(task.id);
       require(it != in_flight_.end(), "deadline: transferring task has no reservation");
+      engine_.cancel(it->second.event);
       --in_flight_count_[it->second.machine];
       in_flight_exec_[it->second.machine] -= it->second.exec_seconds;
       in_flight_.erase(it);
@@ -272,6 +295,7 @@ void Simulation::run_scheduler() {
     }
     view.idle_watts = machine.power().idle_watts;
     view.busy_watts = machine.power().busy_watts;
+    view.availability = machine.availability(engine_.now());
     views.push_back(view);
   }
 
@@ -324,13 +348,13 @@ void Simulation::apply_assignment(const Assignment& assignment) {
     task.status = workload::TaskStatus::kTransferring;
     task.assigned_machine = machine.id();
     task.assignment_time = engine_.now();
-    in_flight_.emplace(task.id, InFlight{machine.id(), exec});
+    const core::EventId event = engine_.schedule_in(
+        transfer, core::EventPriority::kControl,
+        "transfer done task=" + std::to_string(task.id) + " machine=" + machine.name(),
+        [this, index] { on_transfer_complete(index); });
+    in_flight_.emplace(task.id, InFlight{machine.id(), exec, event});
     ++in_flight_count_[machine.id()];
     in_flight_exec_[machine.id()] += exec;
-    engine_.schedule_in(transfer, core::EventPriority::kControl,
-                        "transfer done task=" + std::to_string(task.id) + " machine=" +
-                            machine.name(),
-                        [this, index] { on_transfer_complete(index); });
   } else {
     machine.enqueue(task, exec);
   }
@@ -338,9 +362,10 @@ void Simulation::apply_assignment(const Assignment& assignment) {
 
 void Simulation::on_transfer_complete(std::size_t index) {
   workload::Task& task = tasks_[index];
-  if (task.status != workload::TaskStatus::kTransferring) {
-    return;  // dropped at its deadline while in flight; reservation released there
-  }
+  // Deadline drops and machine failures cancel the transfer event, so a
+  // firing event always finds its reservation intact.
+  require(task.status == workload::TaskStatus::kTransferring,
+          "transfer completed for a task no longer transferring");
   const auto it = in_flight_.find(task.id);
   require(it != in_flight_.end(), "transfer: missing reservation");
   const InFlight in_flight = it->second;
@@ -348,6 +373,108 @@ void Simulation::on_transfer_complete(std::size_t index) {
   --in_flight_count_[in_flight.machine];
   in_flight_exec_[in_flight.machine] -= in_flight.exec_seconds;
   machines_[in_flight.machine]->enqueue(task, in_flight.exec_seconds);
+}
+
+void Simulation::schedule_next_failure(std::size_t m, double from) {
+  const auto span = injector_->next(m, from);
+  if (!span) {
+    pending_fault_event_[m] = core::kNoEvent;  // trace exhausted for this machine
+    return;
+  }
+  const double repair_time = span->repair_time;
+  pending_fault_event_[m] = engine_.schedule_at(
+      span->fail_time, core::EventPriority::kControl,
+      "machine failure " + machines_[m]->name(),
+      [this, m, repair_time] { on_machine_failure(m, repair_time); });
+}
+
+void Simulation::on_machine_failure(std::size_t m, double repair_time) {
+  pending_fault_event_[m] = core::kNoEvent;
+  machines::Machine& machine = *machines_[m];
+  if (!machine.online()) {
+    // A parked (powered-off) machine cannot crash; resume the failure
+    // process once this span would have ended.
+    schedule_next_failure(m, repair_time);
+    return;
+  }
+
+  // Abort the committed work: running task first, then local queue, then
+  // payloads still in flight toward the crashed machine (sorted by id so the
+  // retry order never depends on hash-map iteration).
+  std::vector<workload::Task*> evicted = machine.fail(engine_.now());
+  std::vector<workload::TaskId> transferring;
+  for (const auto& [id, reservation] : in_flight_) {
+    if (reservation.machine == m) transferring.push_back(id);
+  }
+  std::sort(transferring.begin(), transferring.end());
+  for (workload::TaskId id : transferring) {
+    const auto it = in_flight_.find(id);
+    engine_.cancel(it->second.event);
+    --in_flight_count_[m];
+    in_flight_exec_[m] -= it->second.exec_seconds;
+    in_flight_.erase(it);
+    evicted.push_back(&tasks_[task_index(id)]);
+  }
+  // Schedule the repair before aborting tasks: if an abort ends the last
+  // live task, mark_terminal drains this event so run() ends promptly.
+  pending_fault_event_[m] = engine_.schedule_at(
+      repair_time, core::EventPriority::kControl, "machine repair " + machine.name(),
+      [this, m] { on_machine_repair(m); });
+  for (workload::Task* task : evicted) handle_fault_abort(*task);
+}
+
+void Simulation::on_machine_repair(std::size_t m) {
+  pending_fault_event_[m] = core::kNoEvent;
+  machines_[m]->repair(engine_.now());
+  if (!all_terminal()) {
+    schedule_next_failure(m, engine_.now());
+    request_schedule();  // the repaired machine may unblock the batch queue
+  }
+}
+
+void Simulation::handle_fault_abort(workload::Task& task) {
+  // The mapping is void; a retry starts from a clean record.
+  task.assigned_machine.reset();
+  task.assignment_time.reset();
+  task.start_time.reset();
+
+  const fault::RetryPolicy& retry = config_.faults.retry;
+  if (task.retries >= retry.max_retries) {
+    task.status = workload::TaskStatus::kFailed;
+    task.missed_time = engine_.now();
+    ++counters_.failed;
+    missed_order_.push_back(task.id);
+    const auto it = deadline_event_.find(task.id);
+    if (it != deadline_event_.end()) {
+      engine_.cancel(it->second);
+      deadline_event_.erase(it);
+    }
+    mark_terminal(task);
+    return;
+  }
+  ++task.retries;
+  ++counters_.requeued;
+  task.status = workload::TaskStatus::kRetryWait;
+  const std::size_t index = task_index(task.id);
+  retry_event_[task.id] = engine_.schedule_in(
+      retry.delay(task.retries), core::EventPriority::kControl,
+      "retry task=" + std::to_string(task.id), [this, index] { on_retry_ready(index); });
+}
+
+void Simulation::on_retry_ready(std::size_t index) {
+  workload::Task& task = tasks_[index];
+  retry_event_.erase(task.id);
+  require(task.status == workload::TaskStatus::kRetryWait,
+          "retry fired for a task not waiting on retry");
+  task.status = workload::TaskStatus::kInBatchQueue;
+  batch_queue_.push_back(task.id);
+  request_schedule();
+}
+
+bool Simulation::all_terminal() const noexcept {
+  return counters_.completed + counters_.cancelled + counters_.dropped +
+             counters_.failed ==
+         counters_.total;
 }
 
 std::size_t Simulation::online_machine_count() const noexcept {
@@ -383,7 +510,8 @@ void Simulation::autoscaler_tick() {
 
 void Simulation::scale_out() {
   for (std::size_t m = 0; m < machines_.size(); ++m) {
-    if (machines_[m]->online() || booting_[m]) continue;
+    // A failed machine cannot be booted; only repair brings it back.
+    if (machines_[m]->online() || machines_[m]->failed() || booting_[m]) continue;
     booting_[m] = true;
     engine_.schedule_in(config_.autoscaler.boot_delay, core::EventPriority::kControl,
                         "machine online " + machines_[m]->name(), [this, m] {
@@ -425,6 +553,16 @@ std::size_t Simulation::task_index(workload::TaskId id) const {
 void Simulation::mark_terminal(const workload::Task& task) {
   ++terminal_by_type_[task.type];
   if (task.status == workload::TaskStatus::kCompleted) ++completed_by_type_[task.type];
+  if (injector_ && all_terminal()) {
+    // Nothing left to disturb: drain pending failure/repair events so the
+    // calendar empties and run() terminates at the last task's finish.
+    for (core::EventId& event : pending_fault_event_) {
+      if (event != core::kNoEvent) {
+        engine_.cancel(event);
+        event = core::kNoEvent;
+      }
+    }
+  }
 }
 
 void Simulation::on_task_completed(workload::Task& task, hetero::MachineId) {

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "core/engine.hpp"
+#include "fault/fault_model.hpp"
 #include "hetero/eet_matrix.hpp"
 #include "hetero/pet_matrix.hpp"
 #include "machines/machine.hpp"
@@ -85,6 +86,12 @@ struct SystemConfig {
 
   /// Elasticity controller (off by default).
   AutoscalerConfig autoscaler;
+
+  /// Fault injection (off by default). When enabled, machines crash per the
+  /// injector's schedule: the running task and local queue are aborted into
+  /// retry (or FAILED once out of retries) and the machine rejoins the pool
+  /// at its repair time.
+  fault::FaultConfig faults;
 };
 
 /// Builds a SystemConfig with one machine instance per EET machine-type
@@ -98,6 +105,9 @@ struct SimulationCounters {
   std::size_t completed = 0;
   std::size_t cancelled = 0;  ///< deadline passed before mapping
   std::size_t dropped = 0;    ///< deadline passed after mapping
+  std::size_t failed = 0;     ///< lost to machine failures (retries exhausted
+                              ///< or deadline passed while waiting on retry)
+  std::size_t requeued = 0;   ///< fault-abort retries (events, not tasks)
 
   /// Completed / total in percent; 0 for an empty workload.
   [[nodiscard]] double completion_percent() const noexcept {
@@ -194,6 +204,12 @@ class Simulation final : public machines::MachineListener {
   void on_arrival(std::size_t task_index);
   void on_deadline(std::size_t task_index);
   void on_transfer_complete(std::size_t task_index);
+  void schedule_next_failure(std::size_t machine_index, double from);
+  void on_machine_failure(std::size_t machine_index, double repair_time);
+  void on_machine_repair(std::size_t machine_index);
+  void handle_fault_abort(workload::Task& task);
+  void on_retry_ready(std::size_t task_index);
+  [[nodiscard]] bool all_terminal() const noexcept;
   void request_schedule();
   void run_scheduler();
   void apply_assignment(const Assignment& assignment);
@@ -221,10 +237,13 @@ class Simulation final : public machines::MachineListener {
   // Stochastic execution sampling stream (unused without a PET).
   util::Rng sampling_rng_;
 
-  // Per-machine in-flight transfer reservations (comm model only).
+  // Per-machine in-flight transfer reservations (comm model only). The
+  // transfer-complete event id lets a machine failure (or deadline) cancel
+  // the arrival so a later re-assignment cannot race a stale event.
   struct InFlight {
     hetero::MachineId machine;
     double exec_seconds;
+    core::EventId event;
   };
   std::unordered_map<workload::TaskId, InFlight> in_flight_;
   std::vector<std::size_t> in_flight_count_;
@@ -232,6 +251,13 @@ class Simulation final : public machines::MachineListener {
 
   // Autoscaler state.
   std::vector<bool> booting_;
+
+  // Fault-injection state (null/empty when faults are disabled). Each
+  // machine has at most one pending failure *or* repair event; ids are kept
+  // so the calendar can be drained once every task is terminal.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<core::EventId> pending_fault_event_;
+  std::unordered_map<workload::TaskId, core::EventId> retry_event_;
 
   // Per-machine warm-model caches (memory model only).
   std::vector<std::unique_ptr<mem::ModelCache>> model_caches_;

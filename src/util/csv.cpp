@@ -7,12 +7,21 @@
 
 namespace e2c::util {
 
-CsvTable parse_csv(std::string_view text) {
+std::string CsvTable::where(std::size_t row_index) const {
+  const std::size_t line = row_index < row_lines.size() ? row_lines[row_index] : 0;
+  if (source.empty()) return "line " + std::to_string(line);
+  return source + ":" + std::to_string(line);
+}
+
+CsvTable parse_csv(std::string_view text, std::string source) {
   CsvTable table;
+  table.source = std::move(source);
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;  // row has at least one character/field marker
+  std::size_t line = 1;        // 1-based source line of the cursor
+  std::size_t row_line = 1;    // source line the current row started on
 
   auto end_field = [&] {
     row.push_back(std::move(field));
@@ -23,13 +32,18 @@ CsvTable parse_csv(std::string_view text) {
     end_field();
     // Skip rows that are entirely empty (blank line).
     const bool blank = row.size() == 1 && row[0].empty();
-    if (!blank) table.rows.push_back(std::move(row));
+    if (!blank) {
+      table.rows.push_back(std::move(row));
+      table.row_lines.push_back(row_line);
+    }
     row.clear();
     field_started = false;
   };
 
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
+    // A row starts at the first character after the previous row ended.
+    if (row.empty() && field.empty() && !field_started) row_line = line;
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -39,6 +53,7 @@ CsvTable parse_csv(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
       continue;
@@ -56,13 +71,19 @@ CsvTable parse_csv(std::string_view text) {
         break;
       case '\n':
         end_row();
+        ++line;
         break;
       default:
         field.push_back(c);
         break;
     }
   }
-  if (in_quotes) throw InputError("CSV: unterminated quoted field");
+  if (in_quotes) {
+    const std::string at = table.source.empty()
+                               ? "line " + std::to_string(row_line)
+                               : table.source + ":" + std::to_string(row_line);
+    throw InputError("CSV: unterminated quoted field (" + at + ")");
+  }
   if (field_started || !field.empty() || !row.empty()) end_row();
   return table;
 }
@@ -72,7 +93,7 @@ CsvTable read_csv_file(const std::string& path) {
   if (!in) throw IoError("cannot open CSV file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_csv(buffer.str());
+  return parse_csv(buffer.str(), path);
 }
 
 std::string csv_escape(std::string_view field) {

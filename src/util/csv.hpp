@@ -14,24 +14,35 @@
 
 namespace e2c::util {
 
-/// A parsed CSV document: rows of string fields.
+/// A parsed CSV document: rows of string fields, each row tagged with the
+/// 1-based source line it started on so loaders can point error messages at
+/// the exact spot in the file the user has open.
 struct CsvTable {
   std::vector<std::vector<std::string>> rows;
+  /// 1-based source line each row starts on (parallel to rows).
+  std::vector<std::size_t> row_lines;
+  /// File path when read from disk; empty for in-memory text.
+  std::string source;
 
   /// Number of rows.
   [[nodiscard]] std::size_t row_count() const noexcept { return rows.size(); }
 
   /// True when no rows were parsed.
   [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
+
+  /// Locator for error messages: "path:line" when the table came from a
+  /// file, "line N" for in-memory text.
+  [[nodiscard]] std::string where(std::size_t row_index) const;
 };
 
 /// Parses CSV text. Throws e2c::InputError on unterminated quotes.
 /// Trailing newline does not create an empty final row; completely blank
 /// lines are skipped (students' hand-edited files often contain them).
-[[nodiscard]] CsvTable parse_csv(std::string_view text);
+/// \p source, when given, names the origin (file path) in error locators.
+[[nodiscard]] CsvTable parse_csv(std::string_view text, std::string source = {});
 
 /// Reads and parses a CSV file. Throws e2c::IoError if unreadable and
-/// e2c::InputError on malformed content.
+/// e2c::InputError on malformed content. The result's locators carry \p path.
 [[nodiscard]] CsvTable read_csv_file(const std::string& path);
 
 /// Quotes a field if it contains a comma, quote, or newline.

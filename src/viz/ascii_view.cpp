@@ -57,8 +57,12 @@ std::string render_frame(const sched::Simulation& simulation,
   for (std::size_t m = 0; m < simulation.machine_count(); ++m) {
     const machines::Machine& machine = simulation.machine(m);
     out << "  " << util::pad_right(machine.name(), 10) << " ";
-    if (const auto running = machine.running_task_id()) {
+    if (machine.failed()) {
+      out << (options.use_color ? "\033[31mFAILED\033[0m" : "FAILED");
+    } else if (const auto running = machine.running_task_id()) {
       out << "RUN " << task_chip(simulation, *running, options);
+    } else if (!machine.online()) {
+      out << "off";
     } else {
       out << "idle";
     }
@@ -73,7 +77,8 @@ std::string render_frame(const sched::Simulation& simulation,
 
   const auto& counters = simulation.counters();
   out << "  completed=" << counters.completed << "  cancelled=" << counters.cancelled
-      << "  missed=" << counters.dropped << "  total=" << counters.total << "\n";
+      << "  missed=" << counters.dropped << "  failed=" << counters.failed
+      << "  total=" << counters.total << "\n";
   return out.str();
 }
 

@@ -53,6 +53,26 @@ std::string render_gantt_svg(const sched::Simulation& simulation,
         << simulation.machine(static_cast<std::size_t>(lane)).name() << "</text>\n";
   }
 
+  // Failure intervals: hatch the lane red while the machine was down so
+  // aborted work and the recovery gap are visible at a glance.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const machines::Machine& machine = simulation.machine(static_cast<std::size_t>(lane));
+    for (const machines::FailureSpan& span : machine.failure_spans()) {
+      const core::SimTime start = std::min(span.start, horizon);
+      const core::SimTime end = std::min(span.end, horizon);
+      if (end <= start) continue;
+      const double x = x_of(start);
+      const double w = std::max(1.0, x_of(end) - x);
+      const int y = options.margin_px + lane * options.lane_height_px + 1;
+      svg << "<rect x=\"" << util::format_fixed(x, 1) << "\" y=\"" << y << "\" width=\""
+          << util::format_fixed(w, 1) << "\" height=\"" << options.lane_height_px - 2
+          << "\" fill=\"#d1605e\" opacity=\"0.25\" stroke=\"#d1605e\""
+          << " stroke-dasharray=\"3,2\"><title>" << machine.name() << " FAILED "
+          << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
+          << "</title></rect>\n";
+    }
+  }
+
   // Execution spans.
   for (const workload::Task& task : tasks) {
     if (!task.start_time || !task.assigned_machine) continue;

@@ -9,16 +9,18 @@ const char* task_status_name(TaskStatus status) noexcept {
     case TaskStatus::kTransferring: return "transferring";
     case TaskStatus::kInMachineQueue: return "machine-queue";
     case TaskStatus::kRunning: return "running";
+    case TaskStatus::kRetryWait: return "retry-wait";
     case TaskStatus::kCompleted: return "completed";
     case TaskStatus::kCancelled: return "cancelled";
     case TaskStatus::kDropped: return "dropped";
+    case TaskStatus::kFailed: return "failed";
   }
   return "unknown";
 }
 
 bool is_terminal(TaskStatus status) noexcept {
   return status == TaskStatus::kCompleted || status == TaskStatus::kCancelled ||
-         status == TaskStatus::kDropped;
+         status == TaskStatus::kDropped || status == TaskStatus::kFailed;
 }
 
 }  // namespace e2c::workload

@@ -9,6 +9,10 @@
 ///                 v                             v               v
 ///              CANCELLED                     DROPPED          DROPPED
 ///        (deadline before mapping)   (deadline in queue)  (deadline mid-run)
+///
+/// With fault injection enabled, a machine failure aborts mapped tasks into
+/// RETRY_WAIT (backoff, then back to the batch queue) until the retry budget
+/// is exhausted or the deadline passes, which ends in FAILED.
 #pragma once
 
 #include <cstdint>
@@ -30,15 +34,17 @@ enum class TaskStatus : std::uint8_t {
   kTransferring,   ///< mapped, input payload in flight to the machine
   kInMachineQueue, ///< mapped, waiting in a machine's local queue
   kRunning,        ///< executing on a machine
+  kRetryWait,      ///< aborted by a machine failure, waiting out the retry backoff
   kCompleted,      ///< finished before its deadline
   kCancelled,      ///< deadline passed while still unmapped (batch queue)
   kDropped,        ///< deadline passed after mapping (transfer, queue or run)
+  kFailed,         ///< aborted by machine failure(s) and out of retries
 };
 
 /// Display name of a status ("completed", "cancelled", ...).
 [[nodiscard]] const char* task_status_name(TaskStatus status) noexcept;
 
-/// True for the three terminal states.
+/// True for the four terminal states (completed, cancelled, dropped, failed).
 [[nodiscard]] bool is_terminal(TaskStatus status) noexcept;
 
 /// One task: identity, requirements and (mutable) execution record.
@@ -58,7 +64,8 @@ struct Task {
   std::optional<core::SimTime> assignment_time;       ///< when mapped
   std::optional<core::SimTime> start_time;            ///< execution start
   std::optional<core::SimTime> completion_time;       ///< on-time finish
-  std::optional<core::SimTime> missed_time;           ///< when cancelled/dropped
+  std::optional<core::SimTime> missed_time;           ///< when cancelled/dropped/failed
+  std::size_t retries = 0;                            ///< requeues after machine failures
 
   /// True once the task reached a terminal state.
   [[nodiscard]] bool finished() const noexcept { return is_terminal(status); }

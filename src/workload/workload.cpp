@@ -43,27 +43,30 @@ std::vector<std::size_t> Workload::type_histogram(std::size_t type_count) const 
   return histogram;
 }
 
-Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatrix& eet) {
-  const util::CsvTable table = util::parse_csv(text);
-  require_input(!table.empty(), "workload CSV: file is empty");
+namespace {
+
+Workload workload_from_table(const util::CsvTable& table, const hetero::EetMatrix& eet) {
+  require_input(!table.empty(), "workload CSV: file is empty" +
+                                    (table.source.empty() ? "" : " (" + table.source + ")"));
   const auto& header = table.rows.front();
   require_input(header.size() >= 3,
-                "workload CSV: expected header task_id,task_type,arrival_time[,deadline]");
+                "workload CSV: expected header task_id,task_type,arrival_time[,deadline] (" +
+                    table.where(0) + ")");
   const bool has_deadline = header.size() >= 4;
 
   std::vector<Task> tasks;
   tasks.reserve(table.row_count() - 1);
   for (std::size_t r = 1; r < table.row_count(); ++r) {
     const auto& row = table.rows[r];
-    require_input(row.size() >= 3, "workload CSV: row " + std::to_string(r + 1) +
-                                       " has too few fields");
+    require_input(row.size() >= 3,
+                  "workload CSV: too few fields at " + table.where(r));
     const auto id = util::parse_int(row[0]);
     require_input(id.has_value() && *id >= 0,
-                  "workload CSV: bad task_id at row " + std::to_string(r + 1));
+                  "workload CSV: bad task_id '" + row[0] + "' at " + table.where(r));
     const std::string type_name{util::trim(row[1])};
     const auto arrival = util::parse_double(row[2]);
     require_input(arrival.has_value(),
-                  "workload CSV: bad arrival_time at row " + std::to_string(r + 1));
+                  "workload CSV: bad arrival_time '" + row[2] + "' at " + table.where(r));
 
     Task task;
     task.id = static_cast<TaskId>(*id);
@@ -72,7 +75,7 @@ Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatri
     if (has_deadline && row.size() >= 4 && !util::trim(row[3]).empty()) {
       const auto deadline = util::parse_double(row[3]);
       require_input(deadline.has_value(),
-                    "workload CSV: bad deadline at row " + std::to_string(r + 1));
+                    "workload CSV: bad deadline '" + row[3] + "' at " + table.where(r));
       task.deadline = *deadline;
     }
     tasks.push_back(task);
@@ -80,9 +83,14 @@ Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatri
   return Workload(std::move(tasks));
 }
 
+}  // namespace
+
+Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatrix& eet) {
+  return workload_from_table(util::parse_csv(text), eet);
+}
+
 Workload Workload::load_csv(const std::string& path, const hetero::EetMatrix& eet) {
-  const util::CsvTable table = util::read_csv_file(path);
-  return from_csv_text(util::to_csv(table.rows), eet);
+  return workload_from_table(util::read_csv_file(path), eet);
 }
 
 std::string Workload::to_csv_text(const hetero::EetMatrix& eet) const {

@@ -181,6 +181,32 @@ TEST(Autoscaler, ValidatesConfig) {
                e2c::InputError);
 }
 
+TEST(Autoscaler, ScaleInWhileBootingKeepsCapacity) {
+  // A long boot overlaps several autoscaler ticks that take the scale-in
+  // branch. The booting machine counts toward min_online, and the headroom
+  // rule keeps the last genuinely-online machine powered — so capacity never
+  // drops to zero mid-boot, and the boot still completes and joins the pool.
+  auto scaler = default_scaler();
+  scaler.queue_high = 1;    // the burst triggers one scale-out immediately
+  scaler.boot_delay = 10.0; // boot spans many idle ticks
+  scaler.initially_offline = {1, 2};
+  Simulation simulation(scaled_system(scaler), e2c::sched::make_policy("MM"));
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 4; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
+  // Straggler keeps the run alive long past the boot, through idle ticks.
+  tasks.push_back(make_task(9, 25.0, 60.0));
+  simulation.load(Workload(std::move(tasks)));
+  std::size_t min_online = 99, max_online = 0;
+  while (simulation.step()) {
+    min_online = std::min(min_online, simulation.online_machine_count());
+    max_online = std::max(max_online, simulation.online_machine_count());
+  }
+  EXPECT_GE(min_online, 1u);  // never powered off the only running machine
+  EXPECT_EQ(max_online, 2u);  // the pending boot completed and joined
+  EXPECT_EQ(simulation.online_machine_count(), 1u);  // idle extra parked again
+  EXPECT_EQ(simulation.counters().completed, 5u);
+}
+
 TEST(Autoscaler, OfflineMachinesInvisibleToPolicies) {
   // With machines 1 and 2 offline and no backlog, all work lands on m0.
   auto scaler = default_scaler();

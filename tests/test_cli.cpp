@@ -127,6 +127,44 @@ TEST(Cli, BadArgumentsFailWithMessage) {
   EXPECT_NE(unknown_policy.output.find("unknown scheduling policy"), std::string::npos);
 }
 
+TEST(Cli, ExitCodeDistinguishesInputFromIoErrors) {
+  // Documented contract: 2 = invalid input/flags, 3 = filesystem error,
+  // 0 = success.
+  EXPECT_EQ(run_command("--bogus-flag").exit_code, 2);
+  EXPECT_EQ(run_command("--policy MECT").exit_code, 2);  // missing --eet
+  const auto missing_file =
+      run_command("--eet /nonexistent/eet.csv --generate low --policy FCFS");
+  EXPECT_EQ(missing_file.exit_code, 3);
+  EXPECT_NE(missing_file.output.find("e2c_run:"), std::string::npos);
+}
+
+TEST(Cli, FaultFlagsRunAndReportFailureCounters) {
+  const auto result = run_command("--eet " + data("eet_heterogeneous.csv") +
+                                  " --workload " + data("workload_medium.csv") +
+                                  " --policy MECT --mtbf 40 --mttr 5 --fault-seed 7");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("fault injection"), std::string::npos);
+  EXPECT_NE(result.output.find("failed="), std::string::npos);
+  EXPECT_NE(result.output.find("requeued="), std::string::npos);
+}
+
+TEST(Cli, FaultRunIsBitIdenticalUnderSeed) {
+  const std::string args = "--eet " + data("eet_heterogeneous.csv") +
+                           " --workload " + data("workload_medium.csv") +
+                           " --policy MM --mtbf 30 --mttr 4 --fault-seed 99";
+  const auto first = run_command(args);
+  const auto second = run_command(args);
+  ASSERT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(Cli, RetryFlagsWithoutFaultSourceRejected) {
+  const auto result = run_command("--eet " + data("eet_homogeneous.csv") +
+                                  " --generate low --policy FCFS --max-retries 5");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--mtbf or --fault-trace"), std::string::npos);
+}
+
 TEST(Cli, IncompatibleWorkloadRejected) {
   // The quiz EET has task types T1-T3 only; the classroom workload uses
   // T1-T5 — the paper's compatibility rule must reject it.

@@ -89,6 +89,31 @@ TEST(CsvRoundTrip, SerializeThenParse) {
   for (std::size_t r = 0; r < rows.size(); ++r) EXPECT_EQ(parsed.rows[r], rows[r]);
 }
 
+TEST(CsvParse, RowLinesTrackSourceLines) {
+  // Blank lines and a multi-line quoted field shift later rows: loaders must
+  // report the line a row *started* on, not its index in the table.
+  const CsvTable table = parse_csv("a,b\n\n1,2\n\"x\ny\",3\n5,6\n");
+  ASSERT_EQ(table.row_count(), 4u);
+  EXPECT_EQ(table.row_lines,
+            (std::vector<std::size_t>{1, 3, 4, 6}));
+}
+
+TEST(CsvParse, WhereNamesSourceFileOrLine) {
+  const CsvTable in_memory = parse_csv("a\nb\n");
+  EXPECT_EQ(in_memory.where(1), "line 2");
+  const CsvTable from_path = parse_csv("a\nb\n", "traces/faults.csv");
+  EXPECT_EQ(from_path.where(1), "traces/faults.csv:2");
+}
+
+TEST(CsvFile, ReadBackCarriesPathInLocators) {
+  const std::string path = testing::TempDir() + "/e2c_csv_where.csv";
+  e2c::util::write_csv_file(path, {{"h"}, {"v"}});
+  const CsvTable table = e2c::util::read_csv_file(path);
+  EXPECT_EQ(table.source, path);
+  EXPECT_EQ(table.where(1), path + ":2");
+  std::remove(path.c_str());
+}
+
 TEST(CsvFile, WriteAndReadBack) {
   const std::string path = testing::TempDir() + "/e2c_csv_test.csv";
   e2c::util::write_csv_file(path, {{"a", "b"}, {"1", "2"}});

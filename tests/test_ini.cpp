@@ -123,6 +123,42 @@ TEST(SpecIo, OutputsParsed) {
   EXPECT_EQ(outputs.chart_svg_path.value(), "b.svg");
 }
 
+TEST(SpecIo, FaultsSectionParsed) {
+  const auto spec = e2c::exp::spec_from_ini(IniFile::parse(
+      "[sweep]\npolicies = MECT\nintensities = medium\n"
+      "[faults]\nmtbf = 120\nmttr = 8\nseed = 5\n"
+      "max_retries = 2\nbackoff = 0.5\nbackoff_factor = 3\n"));
+  const auto& faults = spec.system.faults;
+  EXPECT_TRUE(faults.enabled);  // section presence enables
+  EXPECT_EQ(faults.mode, e2c::fault::FaultMode::kStochastic);
+  EXPECT_DOUBLE_EQ(faults.mtbf, 120.0);
+  EXPECT_DOUBLE_EQ(faults.mttr, 8.0);
+  EXPECT_EQ(faults.seed, 5u);
+  EXPECT_EQ(faults.retry.max_retries, 2u);
+  EXPECT_DOUBLE_EQ(faults.retry.backoff_base, 0.5);
+  EXPECT_DOUBLE_EQ(faults.retry.backoff_factor, 3.0);
+
+  const auto off = e2c::exp::spec_from_ini(IniFile::parse(
+      "[sweep]\npolicies = MECT\nintensities = medium\n"
+      "[faults]\nenabled = no\nmtbf = 120\n"));
+  EXPECT_FALSE(off.system.faults.enabled);
+
+  const auto none = e2c::exp::spec_from_ini(
+      IniFile::parse("[sweep]\npolicies = MECT\nintensities = medium\n"));
+  EXPECT_FALSE(none.system.faults.enabled);
+}
+
+TEST(SpecIo, RejectsBadFaultsSection) {
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse(
+                   "[sweep]\npolicies = MM\nintensities = low\n"
+                   "[faults]\nmtbf = -1\n")),
+               e2c::InputError);
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse(
+                   "[sweep]\npolicies = MM\nintensities = low\n"
+                   "[faults]\nenabled = maybe\n")),
+               e2c::InputError);
+}
+
 TEST(SpecIo, RejectsInvalidConfigs) {
   EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse("[sweep]\n")),
                e2c::InputError);  // no policies

@@ -76,6 +76,23 @@ TEST(Simulation, CompletionExactlyAtDeadlineCounts) {
   EXPECT_EQ(simulation.tasks()[0].status, TaskStatus::kCompleted);
 }
 
+TEST(Simulation, DeadlineAtExactDispatchInstantCancels) {
+  // Queue capacity 1 on each machine: task 2 waits in the batch queue until a
+  // slot frees at t=4 when task 0 completes. Its deadline is also 4.0 — and
+  // deadline events outrank scheduler events at equal times, so the task is
+  // cancelled at the very instant it would otherwise have been dispatched.
+  Simulation simulation(two_machine_system(1), e2c::sched::make_policy("MM"));
+  simulation.load(Workload({make_task(0, 0, 0.0, 100.0), make_task(1, 0, 0.0, 100.0),
+                            make_task(2, 0, 0.0, 4.0)}));
+  simulation.run();
+  const Task& task = simulation.tasks()[2];
+  EXPECT_EQ(task.status, TaskStatus::kCancelled);
+  EXPECT_DOUBLE_EQ(task.missed_time.value(), 4.0);
+  EXPECT_FALSE(task.assigned_machine.has_value());
+  EXPECT_EQ(simulation.counters().cancelled, 1u);
+  EXPECT_EQ(simulation.counters().completed, 2u);
+}
+
 TEST(Simulation, TaskCancelledWhenStuckInBatchQueue) {
   // Batch mode, queue capacity 1. Three simultaneous T1 tasks: two can be
   // mapped (one running + one queued per... two machines), the extras wait in

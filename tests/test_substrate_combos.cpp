@@ -89,6 +89,10 @@ class SubstrateComboTest : public testing::TestWithParam<ComboCase> {
         system_.eet, machine_types, e2c::workload::Intensity::kMedium, 60.0, seed);
     workload_ = e2c::workload::generate_workload(system_.eet, generator);
 
+    // The recorder observes the simulation's engine: detach it before the
+    // old simulation (and engine) is destroyed, or its destructor would
+    // unregister from freed memory.
+    trace_.reset();
     simulation_ = std::make_unique<Simulation>(system_,
                                                e2c::sched::make_policy(GetParam().policy));
     trace_ = std::make_unique<e2c::core::TraceRecorder>(simulation_->engine());

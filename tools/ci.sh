@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer CI sweep: builds the tree in Debug with ASan and (separately)
+# UBSan, and runs the tier-1 ctest suite under each. Any sanitizer report
+# fails the run. Usage: tools/ci.sh [build-root]  (default: build-san)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-${ROOT}/build-san}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local name="$1" sanitize="$2"
+  local dir="${BUILD_ROOT}/${name}"
+  echo "=== ${name}: configure (${sanitize}) ==="
+  cmake -S "${ROOT}" -B "${dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DE2C_SANITIZE="${sanitize}" >/dev/null
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+# halt_on_error makes UBSan findings fail tests instead of just logging.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+run_suite asan address
+run_suite ubsan undefined
+
+echo "sanitizer sweep passed"
