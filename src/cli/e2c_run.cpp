@@ -74,6 +74,14 @@ struct Options {
   std::size_t max_retries = 3;
   double retry_backoff = 1.0;
   double retry_backoff_factor = 2.0;
+  double retry_max_backoff = 300.0;
+  // recovery strategy (defaults must match fault::RecoveryConfig for the
+  // flags-without-fault-source guard below)
+  std::string recovery = "resubmit";
+  double checkpoint_interval = 0.0;
+  double checkpoint_cost = 0.5;
+  double restart_cost = 0.5;
+  std::size_t replicas = 2;
 };
 
 void print_usage() {
@@ -116,6 +124,15 @@ Fault injection (optional):
   --max-retries N       retries per fault-aborted task (default 3)
   --retry-backoff X     seconds before the first retry (default 1)
   --retry-backoff-factor X  backoff multiplier per retry (default 2)
+  --retry-max-backoff X ceiling in seconds for any single backoff (default 300)
+
+Recovery strategy (optional, needs --mtbf or --fault-trace):
+  --recovery NAME       resubmit | checkpoint | replicate (default resubmit)
+  --checkpoint-interval X  τ seconds between checkpoints; 0 = the Young/Daly
+                        optimum sqrt(2*C*MTBF) (default 0)
+  --checkpoint-cost X   C: seconds per checkpoint write (default 0.5)
+  --restart-cost X      R: seconds to reload the last checkpoint (default 0.5)
+  --replicas K          copies per task for --recovery replicate (default 2)
 
 Reports (PATH or '-' for stdout):
   --summary PATH        Summary Report CSV
@@ -225,6 +242,33 @@ Options parse_args(const std::vector<std::string>& args) {
       e2c::require_input(value.has_value() && *value >= 1,
                          "--retry-backoff-factor needs a number >= 1");
       options.retry_backoff_factor = *value;
+    } else if (arg == "--retry-max-backoff") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0,
+                         "--retry-max-backoff needs a number > 0");
+      options.retry_max_backoff = *value;
+    } else if (arg == "--recovery") {
+      options.recovery = need_value(i++, arg);
+    } else if (arg == "--checkpoint-interval") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--checkpoint-interval needs a number >= 0");
+      options.checkpoint_interval = *value;
+    } else if (arg == "--checkpoint-cost") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--checkpoint-cost needs a number >= 0");
+      options.checkpoint_cost = *value;
+    } else if (arg == "--restart-cost") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--restart-cost needs a number >= 0");
+      options.restart_cost = *value;
+    } else if (arg == "--replicas") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 1,
+                         "--replicas needs an integer >= 1");
+      options.replicas = static_cast<std::size_t>(*value);
     } else {
       throw e2c::InputError("unknown argument: " + arg + " (see --help)");
     }
@@ -305,11 +349,39 @@ int run(const Options& options) {
     system.faults.retry.max_retries = options.max_retries;
     system.faults.retry.backoff_base = options.retry_backoff;
     system.faults.retry.backoff_factor = options.retry_backoff_factor;
+    system.faults.retry.max_backoff = options.retry_max_backoff;
+    fault::RecoveryConfig& recovery = system.faults.recovery;
+    recovery.strategy = fault::parse_recovery_strategy(options.recovery);
+    recovery.checkpoint_interval = options.checkpoint_interval;
+    recovery.checkpoint_cost = options.checkpoint_cost;
+    recovery.restart_cost = options.restart_cost;
+    recovery.replicas = options.replicas;
+    // Fail fast (exit 2) on an inconsistent combination — e.g. auto-τ with a
+    // fault trace, or more replicas than machines — before building anything.
+    system.faults.validate(system.machines.size());
+    if (recovery.strategy == fault::RecoveryStrategy::kCheckpoint) {
+      std::cout << "recovery: checkpoint interval=";
+      if (options.checkpoint_interval > 0.0) {
+        std::cout << options.checkpoint_interval << "s (fixed)";
+      } else {
+        std::cout << util::format_fixed(system.faults.effective_checkpoint_interval(), 2)
+                  << "s (Young/Daly)";
+      }
+      std::cout << " cost=" << options.checkpoint_cost
+                << "s restart=" << options.restart_cost << "s\n";
+    } else if (recovery.strategy == fault::RecoveryStrategy::kReplicate) {
+      std::cout << "recovery: replicate k=" << options.replicas << "\n";
+    }
   } else {
     require_input(options.max_retries == 3 && options.retry_backoff == 1.0 &&
                       options.retry_backoff_factor == 2.0 &&
-                      options.fault_seed == 0xFA17FA17ULL,
-                  "retry/fault flags need --mtbf or --fault-trace");
+                      options.retry_max_backoff == 300.0 &&
+                      options.fault_seed == 0xFA17FA17ULL &&
+                      options.recovery == "resubmit" &&
+                      options.checkpoint_interval == 0.0 &&
+                      options.checkpoint_cost == 0.5 && options.restart_cost == 0.5 &&
+                      options.replicas == 2,
+                  "retry/fault/recovery flags need --mtbf or --fault-trace");
   }
   if (options.autoscale) {
     system.autoscaler.enabled = true;

@@ -41,20 +41,83 @@ void faults_from_ini(const util::IniFile& ini, fault::FaultConfig& faults) {
     faults.mode = fault::FaultMode::kTrace;
     faults.trace = fault::load_fault_trace_csv(*trace);
   }
-  if (const auto mtbf = ini.get_double("faults", "mtbf")) faults.mtbf = *mtbf;
-  if (const auto mttr = ini.get_double("faults", "mttr")) faults.mttr = *mttr;
+  // Value checks happen here, with the defining line in the message, so a
+  // typo is reported when the config loads — not replications later
+  // mid-sweep (FaultConfig::validate stays as the programmatic backstop).
+  if (const auto mtbf = ini.get_double("faults", "mtbf")) {
+    require_input(*mtbf > 0.0, "experiment config: faults.mtbf must be > 0 (" +
+                                   ini.where("faults", "mtbf") + ")");
+    faults.mtbf = *mtbf;
+  }
+  if (const auto mttr = ini.get_double("faults", "mttr")) {
+    require_input(*mttr > 0.0, "experiment config: faults.mttr must be > 0 (" +
+                                   ini.where("faults", "mttr") + ")");
+    faults.mttr = *mttr;
+  }
   if (const auto seed = ini.get_int("faults", "seed")) {
     faults.seed = static_cast<std::uint64_t>(*seed);
   }
   if (const auto retries = ini.get_int("faults", "max_retries")) {
-    require_input(*retries >= 0, "experiment config: faults.max_retries must be >= 0");
+    require_input(*retries >= 0, "experiment config: faults.max_retries must be >= 0 (" +
+                                     ini.where("faults", "max_retries") + ")");
     faults.retry.max_retries = static_cast<std::size_t>(*retries);
   }
   if (const auto backoff = ini.get_double("faults", "backoff")) {
+    require_input(*backoff >= 0.0, "experiment config: faults.backoff must be >= 0 (" +
+                                       ini.where("faults", "backoff") + ")");
     faults.retry.backoff_base = *backoff;
   }
   if (const auto factor = ini.get_double("faults", "backoff_factor")) {
+    require_input(*factor >= 1.0,
+                  "experiment config: faults.backoff_factor must be >= 1 (" +
+                      ini.where("faults", "backoff_factor") + ")");
     faults.retry.backoff_factor = *factor;
+  }
+  if (const auto cap = ini.get_double("faults", "max_backoff")) {
+    require_input(*cap > 0.0, "experiment config: faults.max_backoff must be > 0 (" +
+                                  ini.where("faults", "max_backoff") + ")");
+    faults.retry.max_backoff = *cap;
+  }
+}
+
+void recovery_from_ini(const util::IniFile& ini, fault::FaultConfig& faults,
+                       std::size_t machine_count) {
+  if (!ini.has_section("recovery")) return;
+  require_input(ini.has_section("faults"),
+                "experiment config: [recovery] needs a [faults] section — recovery "
+                "strategies only act on injected failures");
+  fault::RecoveryConfig& recovery = faults.recovery;
+  if (const auto strategy = ini.get("recovery", "strategy")) {
+    recovery.strategy = fault::parse_recovery_strategy(*strategy);
+  }
+  if (const auto interval = ini.get_double("recovery", "checkpoint_interval")) {
+    require_input(*interval >= 0.0,
+                  "experiment config: recovery.checkpoint_interval must be >= 0, 0 "
+                  "derives the Young/Daly optimum (" +
+                      ini.where("recovery", "checkpoint_interval") + ")");
+    recovery.checkpoint_interval = *interval;
+  }
+  if (const auto cost = ini.get_double("recovery", "checkpoint_cost")) {
+    require_input(*cost >= 0.0,
+                  "experiment config: recovery.checkpoint_cost must be >= 0 (" +
+                      ini.where("recovery", "checkpoint_cost") + ")");
+    recovery.checkpoint_cost = *cost;
+  }
+  if (const auto cost = ini.get_double("recovery", "restart_cost")) {
+    require_input(*cost >= 0.0,
+                  "experiment config: recovery.restart_cost must be >= 0 (" +
+                      ini.where("recovery", "restart_cost") + ")");
+    recovery.restart_cost = *cost;
+  }
+  if (const auto replicas = ini.get_int("recovery", "replicas")) {
+    require_input(*replicas >= 1, "experiment config: recovery.replicas must be >= 1 (" +
+                                      ini.where("recovery", "replicas") + ")");
+    require_input(static_cast<std::size_t>(*replicas) <= machine_count,
+                  "experiment config: recovery.replicas (" + std::to_string(*replicas) +
+                      ") exceed the machine count (" + std::to_string(machine_count) +
+                      "); replicas must run on distinct machines (" +
+                      ini.where("recovery", "replicas") + ")");
+    recovery.replicas = static_cast<std::size_t>(*replicas);
   }
 }
 
@@ -84,6 +147,8 @@ ExperimentSpec spec_from_ini(const util::IniFile& ini) {
   // `enabled = false` opts out explicitly. Validate here so a bad value is
   // reported when the config loads, not replications later mid-sweep.
   faults_from_ini(ini, spec.system.faults);
+  // [recovery] — checkpoint/replicate parameters; needs [faults] to matter.
+  recovery_from_ini(ini, spec.system.faults, spec.system.machines.size());
   spec.system.faults.validate(spec.system.machines.size());
 
   // [sweep]

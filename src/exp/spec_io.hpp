@@ -16,7 +16,15 @@
 ///   max_retries = 3               ; retries per aborted task
 ///   backoff = 1.0                 ; seconds before the first retry
 ///   backoff_factor = 2.0          ; backoff multiplier per retry
+///   max_backoff = 300             ; ceiling (s) for any single backoff
 ///   enabled = true                ; set false to keep the section but opt out
+///
+///   [recovery]                    ; optional; needs [faults]
+///   strategy = checkpoint         ; resubmit | checkpoint | replicate
+///   checkpoint_interval = 0       ; τ (s); 0 = Young/Daly √(2·C·MTBF)
+///   checkpoint_cost = 0.5         ; C (s) per checkpoint write
+///   restart_cost = 0.5            ; R (s) to reload the last checkpoint
+///   replicas = 2                  ; k copies for strategy = replicate
 ///
 ///   [sweep]
 ///   policies = FCFS, MECT, MM

@@ -11,7 +11,40 @@ namespace e2c::fault {
 
 double RetryPolicy::delay(std::size_t retry) const {
   require(retry >= 1, "RetryPolicy::delay: retry numbers are 1-based");
-  return backoff_base * std::pow(backoff_factor, static_cast<double>(retry - 1));
+  const double raw =
+      backoff_base * std::pow(backoff_factor, static_cast<double>(retry - 1));
+  // The uncapped power overflows to +inf near retry 1024; the cap keeps every
+  // backoff finite and bounded.
+  if (!std::isfinite(raw)) return max_backoff;
+  return std::min(raw, max_backoff);
+}
+
+const char* recovery_strategy_name(RecoveryStrategy strategy) noexcept {
+  switch (strategy) {
+    case RecoveryStrategy::kResubmit: return "resubmit";
+    case RecoveryStrategy::kCheckpoint: return "checkpoint";
+    case RecoveryStrategy::kReplicate: return "replicate";
+  }
+  return "unknown";
+}
+
+RecoveryStrategy parse_recovery_strategy(const std::string& name) {
+  if (util::iequals(name, "resubmit")) return RecoveryStrategy::kResubmit;
+  if (util::iequals(name, "checkpoint")) return RecoveryStrategy::kCheckpoint;
+  if (util::iequals(name, "replicate")) return RecoveryStrategy::kReplicate;
+  std::string message = "unknown recovery strategy: '" + name + "'";
+  if (const auto suggestion =
+          util::nearest_match(name, {"resubmit", "checkpoint", "replicate"})) {
+    message += " — did you mean '" + *suggestion + "'?";
+  }
+  message += " (valid: resubmit | checkpoint | replicate)";
+  throw InputError(message);
+}
+
+double young_daly_interval(double checkpoint_cost, double mtbf) {
+  require_input(checkpoint_cost > 0.0 && mtbf > 0.0,
+                "young_daly_interval: checkpoint cost and MTBF must be > 0");
+  return std::sqrt(2.0 * checkpoint_cost * mtbf);
 }
 
 void FaultConfig::validate(std::size_t machine_count) const {
@@ -31,6 +64,36 @@ void FaultConfig::validate(std::size_t machine_count) const {
                 "fault config: retry backoff must be >= 0");
   require_input(retry.backoff_factor >= 1.0,
                 "fault config: retry backoff factor must be >= 1");
+  require_input(retry.max_backoff > 0.0,
+                "fault config: retry max_backoff must be > 0");
+  require_input(recovery.checkpoint_interval >= 0.0,
+                "fault config: recovery checkpoint interval must be >= 0");
+  require_input(recovery.checkpoint_cost >= 0.0,
+                "fault config: recovery checkpoint cost must be >= 0");
+  require_input(recovery.restart_cost >= 0.0,
+                "fault config: recovery restart cost must be >= 0");
+  if (recovery.strategy == RecoveryStrategy::kCheckpoint &&
+      recovery.checkpoint_interval == 0.0) {
+    // Auto-τ is the Young/Daly optimum, which needs a cost and an MTBF.
+    require_input(mode == FaultMode::kStochastic,
+                  "fault config: the Young/Daly auto checkpoint interval needs a "
+                  "stochastic MTBF; set an explicit interval for trace-driven faults");
+    require_input(recovery.checkpoint_cost > 0.0,
+                  "fault config: the Young/Daly auto checkpoint interval needs a "
+                  "checkpoint cost > 0");
+  }
+  if (recovery.strategy == RecoveryStrategy::kReplicate) {
+    require_input(recovery.replicas >= 1, "fault config: replicas must be >= 1");
+    require_input(recovery.replicas <= machine_count,
+                  "fault config: replicas (" + std::to_string(recovery.replicas) +
+                      ") exceed the machine count (" + std::to_string(machine_count) +
+                      "); replicas must run on distinct machines");
+  }
+}
+
+double FaultConfig::effective_checkpoint_interval() const {
+  if (recovery.checkpoint_interval > 0.0) return recovery.checkpoint_interval;
+  return young_daly_interval(recovery.checkpoint_cost, mtbf);
 }
 
 FaultInjector::FaultInjector(const FaultConfig& config, std::size_t machine_count)

@@ -47,16 +47,52 @@ struct FaultTraceEntry {
 /// Retry semantics for tasks aborted by a machine failure.
 ///
 /// An aborted task waits out an exponential backoff —
-/// backoff_base * backoff_factor^(retries-1) — before becoming eligible for
-/// the batch queue again. Once retries exceed max_retries the task is marked
-/// FAILED and leaves the system.
+/// backoff_base * backoff_factor^(retries-1), capped at max_backoff — before
+/// becoming eligible for the batch queue again. Once retries exceed
+/// max_retries the task is marked FAILED and leaves the system. The cap
+/// matters: uncapped, the power overflows to +inf around retry 1024 and a
+/// task with a generous retry budget would silently never come back.
 struct RetryPolicy {
   std::size_t max_retries = 3;   ///< requeues allowed per task
   double backoff_base = 1.0;     ///< seconds before the first retry
   double backoff_factor = 2.0;   ///< multiplier per successive retry
+  double max_backoff = 300.0;    ///< ceiling in seconds for any single backoff
 
   /// Backoff before retry number \p retry (1-based). Requires retry >= 1.
+  /// Never exceeds max_backoff, even where the exponential overflows.
   [[nodiscard]] double delay(std::size_t retry) const;
+};
+
+/// How the system recovers work lost to machine failures.
+enum class RecoveryStrategy : std::uint8_t {
+  kResubmit,    ///< re-run the whole task from scratch (PR 1 behaviour)
+  kCheckpoint,  ///< checkpoint every τ work-seconds; restart from the last one
+  kReplicate,   ///< run k replicas on distinct machines; first completion wins
+};
+
+/// Display name of a strategy ("resubmit", "checkpoint", "replicate").
+[[nodiscard]] const char* recovery_strategy_name(RecoveryStrategy strategy) noexcept;
+
+/// Parses a strategy name (case-insensitive). Throws e2c::InputError listing
+/// the valid names, with a nearest-match suggestion for plausible typos.
+[[nodiscard]] RecoveryStrategy parse_recovery_strategy(const std::string& name);
+
+/// Young/Daly first-order optimal checkpoint interval √(2·C·MTBF) for
+/// checkpoint cost C (seconds) and mean time between failures MTBF (seconds).
+/// Throws e2c::InputError unless both are > 0.
+[[nodiscard]] double young_daly_interval(double checkpoint_cost, double mtbf);
+
+/// Recovery-strategy configuration, carried inside FaultConfig. Only one
+/// strategy is active per experiment; recovery has no effect unless fault
+/// injection is enabled.
+struct RecoveryConfig {
+  RecoveryStrategy strategy = RecoveryStrategy::kResubmit;
+  /// τ: work seconds between checkpoint writes; 0 derives the Young/Daly
+  /// optimum from checkpoint_cost and the stochastic MTBF.
+  double checkpoint_interval = 0.0;
+  double checkpoint_cost = 0.5;  ///< C: seconds to write one checkpoint
+  double restart_cost = 0.5;     ///< R: seconds to reload the last checkpoint
+  std::size_t replicas = 2;      ///< k: copies per task for kReplicate
 };
 
 /// Full fault-injection configuration, carried inside SystemConfig.
@@ -68,10 +104,18 @@ struct FaultConfig {
   std::uint64_t seed = 0xFA17FA17ULL;  ///< master seed for stochastic mode
   std::vector<FaultTraceEntry> trace;  ///< used when mode == kTrace
   RetryPolicy retry;
+  RecoveryConfig recovery;
 
   /// Validates parameters against the system's machine count.
-  /// Throws e2c::InputError on bad values or out-of-range trace machines.
+  /// Throws e2c::InputError on bad values, out-of-range trace machines, or
+  /// an inconsistent recovery configuration (negative τ/C/R, k < 1,
+  /// k > machine count, Young/Daly auto-τ without a stochastic MTBF).
   void validate(std::size_t machine_count) const;
+
+  /// The checkpoint interval the simulation will actually use: the fixed
+  /// recovery.checkpoint_interval when > 0, else the Young/Daly optimum
+  /// derived from recovery.checkpoint_cost and this config's MTBF.
+  [[nodiscard]] double effective_checkpoint_interval() const;
 };
 
 /// Produces the failure schedule for each machine.

@@ -1,6 +1,7 @@
 #include "machines/machine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -51,9 +52,10 @@ std::vector<workload::Task*> Machine::fail(core::SimTime now) {
   if (running_) {
     RunningEntry run = *running_;
     running_.reset();
-    engine_.cancel(run.completion_event);
-    // The partial execution still burned time and energy.
-    busy_seconds_ += std::max(0.0, now - run.started_at);
+    engine_.cancel(run.pending_event);
+    // The partial execution still burned time and energy; the task record
+    // keeps the loss decomposition (lost vs checkpointed-and-kept).
+    busy_seconds_ += settle_aborted_run(run, now);
     evicted.push_back(run.task);
   }
   for (const QueueEntry& entry : queue_) evicted.push_back(entry.task);
@@ -113,6 +115,22 @@ void Machine::enqueue(workload::Task& task, double exec_seconds) {
   if (!running_) start_next();
 }
 
+double Machine::projected_run_seconds(const RunningEntry& run) const {
+  double total = run.work_total;
+  if (run.base_fraction > 0.0 && checkpoint_ && checkpoint_->restart_cost > 0.0) {
+    total += checkpoint_->restart_cost;
+  }
+  if (checkpoint_ && checkpoint_->interval > 0.0 &&
+      run.work_total > checkpoint_->interval) {
+    // One write per full interval; the final partial segment runs straight
+    // to completion without a trailing checkpoint.
+    const double writes =
+        std::ceil(run.work_total / checkpoint_->interval) - 1.0;
+    total += writes * checkpoint_->cost;
+  }
+  return total;
+}
+
 void Machine::start_next() {
   require(!running_, "Machine::start_next while busy");
   if (queue_.empty()) return;
@@ -128,17 +146,87 @@ void Machine::start_next() {
   RunningEntry run;
   run.task = entry.task;
   run.exec_seconds = entry.exec_seconds + cold_penalty;
+  // Committed checkpoints travel with the task as a work fraction, so a
+  // restart on a *different* machine resumes the remaining fraction at that
+  // machine's own speed.
+  run.base_fraction = std::clamp(entry.task->completed_fraction, 0.0, 1.0);
+  run.work_total = (1.0 - run.base_fraction) * run.exec_seconds;
   run.started_at = now;
-  run.finish_at = now + run.exec_seconds;
-  run.completion_event = engine_.schedule_at(
-      run.finish_at, core::EventPriority::kCompletion,
-      "complete task=" + std::to_string(entry.task->id) + " machine=" + name_,
-      [this] { on_completion(); });
+  run.finish_at = now + projected_run_seconds(run);
   entry.task->status = workload::TaskStatus::kRunning;
   entry.task->start_time = now;
   running_ = run;
+
+  if (checkpoint_ && run.base_fraction > 0.0 && checkpoint_->restart_cost > 0.0) {
+    running_->phase = RunPhase::kRestart;
+    running_->phase_started_at = now;
+    running_->pending_event = engine_.schedule_at(
+        now + checkpoint_->restart_cost, core::EventPriority::kCompletion,
+        "restart task=" + std::to_string(run.task->id) + " machine=" + name_,
+        [this] { on_restart_loaded(); });
+  } else {
+    begin_work_segment();
+  }
   // The freed queue slot becomes visible to batch schedulers immediately.
   if (listener_) listener_->on_slot_freed(id_);
+}
+
+void Machine::begin_work_segment() {
+  require(running_.has_value(), "Machine::begin_work_segment with no running task");
+  RunningEntry& run = *running_;
+  const core::SimTime now = engine_.now();
+  run.phase = RunPhase::kWork;
+  run.phase_started_at = now;
+  const double remaining = std::max(0.0, run.work_total - run.work_done);
+  if (checkpoint_ && checkpoint_->interval > 0.0 && remaining > checkpoint_->interval) {
+    run.pending_event = engine_.schedule_at(
+        now + checkpoint_->interval, core::EventPriority::kCompletion,
+        "checkpoint task=" + std::to_string(run.task->id) + " machine=" + name_,
+        [this] { on_checkpoint_write(); });
+  } else {
+    run.pending_event = engine_.schedule_at(
+        now + remaining, core::EventPriority::kCompletion,
+        "complete task=" + std::to_string(run.task->id) + " machine=" + name_,
+        [this] { on_completion(); });
+  }
+}
+
+void Machine::on_checkpoint_write() {
+  require(running_.has_value(), "Machine::on_checkpoint_write with no running task");
+  RunningEntry& run = *running_;
+  run.work_done += checkpoint_->interval;
+  run.phase = RunPhase::kCheckpoint;
+  run.phase_started_at = engine_.now();
+  if (checkpoint_->cost > 0.0) {
+    run.pending_event = engine_.schedule_at(
+        engine_.now() + checkpoint_->cost, core::EventPriority::kCompletion,
+        "commit task=" + std::to_string(run.task->id) + " machine=" + name_,
+        [this] { on_checkpoint_commit(); });
+  } else {
+    on_checkpoint_commit();
+  }
+}
+
+void Machine::on_checkpoint_commit() {
+  require(running_.has_value(), "Machine::on_checkpoint_commit with no running task");
+  RunningEntry& run = *running_;
+  const core::SimTime now = engine_.now();
+  const double segment = run.work_done - run.work_committed;
+  run.work_committed = run.work_done;
+  workload::Task& task = *run.task;
+  task.useful_seconds += segment;
+  task.checkpoint_overhead_seconds += checkpoint_->cost;
+  task.completed_fraction =
+      std::min(1.0, run.base_fraction + run.work_committed / run.exec_seconds);
+  task.checkpoint_times.push_back(now);
+  checkpoint_marks_.push_back(CheckpointMark{task.id, now});
+  begin_work_segment();
+}
+
+void Machine::on_restart_loaded() {
+  require(running_.has_value(), "Machine::on_restart_loaded with no running task");
+  running_->task->checkpoint_overhead_seconds += checkpoint_->restart_cost;
+  begin_work_segment();
 }
 
 void Machine::on_completion() {
@@ -146,22 +234,50 @@ void Machine::on_completion() {
   RunningEntry run = *running_;
   running_.reset();
 
-  busy_seconds_ += run.exec_seconds;
+  const core::SimTime now = engine_.now();
+  const double elapsed = std::max(0.0, now - run.started_at);
+  busy_seconds_ += elapsed;
   ++completed_;
-  run.task->status = workload::TaskStatus::kCompleted;
-  run.task->completion_time = engine_.now();
+  workload::Task& task = *run.task;
+  // The final (uncheckpointed) work segment is useful too: it completed.
+  task.useful_seconds += std::max(0.0, run.work_total - run.work_committed);
+  task.machine_seconds += elapsed;
+  task.completed_fraction = 1.0;
+  task.status = workload::TaskStatus::kCompleted;
+  task.completion_time = now;
 
-  if (listener_) listener_->on_task_completed(*run.task, id_);
+  if (listener_) listener_->on_task_completed(task, id_);
   start_next();
+}
+
+double Machine::settle_aborted_run(const RunningEntry& run, core::SimTime now) const {
+  const double elapsed = std::max(0.0, now - run.started_at);
+  double work_executed = run.work_done;
+  if (run.phase == RunPhase::kWork) {
+    work_executed += std::max(0.0, now - run.phase_started_at);
+  }
+  work_executed = std::min(work_executed, run.work_total);
+  workload::Task& task = *run.task;
+  // Useful (committed) work was already credited at each commit; only the
+  // un-committed tail is lost. A partially written checkpoint or restart
+  // phase is overhead that bought nothing, but it still occupied the machine.
+  task.lost_seconds += std::max(0.0, work_executed - run.work_committed);
+  if (run.phase != RunPhase::kWork) {
+    task.checkpoint_overhead_seconds += std::max(0.0, now - run.phase_started_at);
+  }
+  task.machine_seconds += elapsed;
+  return elapsed;
 }
 
 bool Machine::remove(workload::TaskId task_id) {
   if (running_ && running_->task->id == task_id) {
     RunningEntry run = *running_;
     running_.reset();
-    engine_.cancel(run.completion_event);
-    // Partial execution still consumed energy/time.
-    busy_seconds_ += engine_.now() - run.started_at;
+    engine_.cancel(run.pending_event);
+    // Partial execution still consumed energy/time; the same waste settlement
+    // as a crash keeps useful+lost+overhead == machine wallclock for deadline
+    // drops and replica cancels too.
+    busy_seconds_ += settle_aborted_run(run, engine_.now());
     ++dropped_;
     start_next();
     return true;

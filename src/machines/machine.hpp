@@ -49,6 +49,22 @@ enum class MachineState : std::uint8_t { kOnline, kOffline, kFailed };
 /// Display name of a machine state ("online", "offline", "failed").
 [[nodiscard]] const char* machine_state_name(MachineState state) noexcept;
 
+/// Checkpointing parameters shared by every machine of one simulation. The
+/// machine interleaves work segments with checkpoint writes every \p interval
+/// work-seconds (each costing \p cost wallclock seconds), and a task that
+/// arrives with committed progress pays \p restart_cost once before resuming.
+struct CheckpointSpec {
+  double interval = 0.0;      ///< τ: work seconds between checkpoint writes
+  double cost = 0.0;          ///< C: wallclock seconds per checkpoint write
+  double restart_cost = 0.0;  ///< R: wallclock seconds to reload a checkpoint
+};
+
+/// One committed checkpoint, recorded for the Gantt chart's tick marks.
+struct CheckpointMark {
+  workload::TaskId task = 0;
+  core::SimTime time = 0.0;
+};
+
 /// A closed or still-open failure interval; end is kTimeInfinity while the
 /// machine is down. Consumed by the Gantt/availability reporting.
 struct FailureSpan {
@@ -99,6 +115,18 @@ class Machine {
   /// The attached warm-model cache, if any.
   [[nodiscard]] const mem::ModelCache* model_cache() const noexcept {
     return model_cache_;
+  }
+
+  /// Attaches the checkpoint/restart spec (recovery strategy "checkpoint").
+  /// When set with interval > 0, executions interleave work segments with
+  /// checkpoint writes and record committed progress on the task so a later
+  /// run resumes instead of restarting from zero. Not owned; must outlive the
+  /// machine's activity. Pass nullptr to disable (resubmit semantics).
+  void set_checkpoint_spec(const CheckpointSpec* spec) noexcept { checkpoint_ = spec; }
+
+  /// Committed checkpoints in commit order, for visualization.
+  [[nodiscard]] const std::vector<CheckpointMark>& checkpoint_marks() const noexcept {
+    return checkpoint_marks_;
   }
 
   /// Instance id within the system.
@@ -217,16 +245,37 @@ class Machine {
     workload::Task* task;
     double exec_seconds;
   };
+  /// What the machine is doing within one task's occupancy of the executor.
+  enum class RunPhase : std::uint8_t {
+    kRestart,     ///< reloading the last checkpoint (restart_cost)
+    kWork,        ///< executing useful work
+    kCheckpoint,  ///< writing a checkpoint (cost); commits on completion
+  };
   struct RunningEntry {
-    workload::Task* task;
-    double exec_seconds;
-    core::SimTime started_at;
-    core::SimTime finish_at;
-    core::EventId completion_event;
+    workload::Task* task = nullptr;
+    double exec_seconds = 0.0;    ///< full from-scratch execution on this machine
+    double work_total = 0.0;      ///< work remaining at start: (1-base)·exec
+    double work_done = 0.0;       ///< work executed in closed work segments
+    double work_committed = 0.0;  ///< work protected by committed checkpoints
+    double base_fraction = 0.0;   ///< committed progress carried in from prior runs
+    RunPhase phase = RunPhase::kWork;
+    core::SimTime phase_started_at = 0.0;
+    core::SimTime started_at = 0.0;
+    core::SimTime finish_at = 0.0;  ///< projected completion incl. overheads
+    core::EventId pending_event = 0;
   };
 
   void start_next();
+  void begin_work_segment();
+  void on_checkpoint_write();
+  void on_checkpoint_commit();
+  void on_restart_loaded();
   void on_completion();
+  /// Projected wallclock for the whole run: restart + work + checkpoint writes.
+  [[nodiscard]] double projected_run_seconds(const RunningEntry& run) const;
+  /// Charges an interrupted run's waste (lost work, partial-phase overhead,
+  /// machine wallclock) to the task record; returns the elapsed wallclock.
+  double settle_aborted_run(const RunningEntry& run, core::SimTime now) const;
 
   core::Engine& engine_;
   hetero::MachineId id_;
@@ -236,6 +285,8 @@ class Machine {
   std::size_t queue_capacity_;
   MachineListener* listener_ = nullptr;
   mem::ModelCache* model_cache_ = nullptr;
+  const CheckpointSpec* checkpoint_ = nullptr;
+  std::vector<CheckpointMark> checkpoint_marks_;
 
   MachineState state_ = MachineState::kOnline;
   core::SimTime online_since_ = 0.0;      ///< start of the current online span

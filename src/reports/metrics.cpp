@@ -62,6 +62,12 @@ Metrics compute_metrics(const sched::Simulation& simulation) {
     metrics.type_completion_rate.push_back(simulation.type_ontime_rate(t));
   }
   metrics.type_fairness_jain = util::jain_fairness(metrics.type_completion_rate);
+
+  metrics.lost_work_seconds = simulation.lost_work_seconds();
+  metrics.checkpoint_overhead_seconds = simulation.checkpoint_overhead_seconds();
+  metrics.cancelled_replica_seconds = counters.cancelled_replica_seconds;
+  metrics.checkpoints_taken = simulation.checkpoints_taken();
+  metrics.replicas_cancelled = counters.replicas_cancelled;
   return metrics;
 }
 

@@ -39,6 +39,13 @@ struct Metrics {
   std::vector<double> machine_utilization;   ///< per machine instance
   std::vector<double> type_completion_rate;  ///< per task type, in [0,1]
   double type_fairness_jain = 1.0;           ///< Jain index over type rates
+
+  // Recovery waste decomposition (all zero when faults are disabled).
+  double lost_work_seconds = 0.0;           ///< executed work discarded by aborts
+  double checkpoint_overhead_seconds = 0.0; ///< checkpoint writes + restarts
+  double cancelled_replica_seconds = 0.0;   ///< runtime of losing replicas
+  std::size_t checkpoints_taken = 0;        ///< committed checkpoints
+  std::size_t replicas_cancelled = 0;       ///< losing replicas cancelled
 };
 
 /// Computes metrics for \p simulation (normally after run(); partial runs

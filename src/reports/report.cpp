@@ -36,7 +36,8 @@ std::vector<std::vector<std::string>> task_report(const sched::Simulation& simul
   rows.reserve(simulation.tasks().size() + 1);
   rows.push_back({"task_id", "task_type", "status", "assigned_machine", "arrival_time",
                   "deadline", "start_time", "completion_time", "missed_time",
-                  "wait_time", "response_time"});
+                  "wait_time", "response_time", "retries", "useful_s", "lost_s",
+                  "ckpt_overhead_s", "replica_of"});
   for (const workload::Task& task : simulation.tasks()) {
     rows.push_back({std::to_string(task.id),
                     simulation.eet().task_type_name(task.type),
@@ -51,7 +52,12 @@ std::vector<std::vector<std::string>> task_report(const sched::Simulation& simul
                     task.wait_time() ? util::format_fixed(*task.wait_time(), 2)
                                      : std::string{},
                     task.response_time() ? util::format_fixed(*task.response_time(), 2)
-                                         : std::string{}});
+                                         : std::string{},
+                    std::to_string(task.retries),
+                    util::format_fixed(task.useful_seconds, 2),
+                    util::format_fixed(task.lost_seconds, 2),
+                    util::format_fixed(task.checkpoint_overhead_seconds, 2),
+                    task.replica_of ? std::to_string(*task.replica_of) : std::string{}});
   }
   return rows;
 }
@@ -91,6 +97,18 @@ std::vector<std::vector<std::string>> summary_report(const sched::Simulation& si
   rows.push_back({"dropped", std::to_string(metrics.dropped)});
   rows.push_back({"failed", std::to_string(metrics.failed)});
   rows.push_back({"requeued", std::to_string(metrics.requeued)});
+  if (simulation.fault_config().enabled) {
+    rows.push_back({"recovery_strategy",
+                    fault::recovery_strategy_name(
+                        simulation.fault_config().recovery.strategy)});
+  }
+  rows.push_back({"lost_work_seconds", util::format_fixed(metrics.lost_work_seconds, 2)});
+  rows.push_back({"checkpoint_overhead_seconds",
+                  util::format_fixed(metrics.checkpoint_overhead_seconds, 2)});
+  rows.push_back({"cancelled_replica_seconds",
+                  util::format_fixed(metrics.cancelled_replica_seconds, 2)});
+  rows.push_back({"checkpoints_taken", std::to_string(metrics.checkpoints_taken)});
+  rows.push_back({"replicas_cancelled", std::to_string(metrics.replicas_cancelled)});
   rows.push_back({"completion_percent", util::format_fixed(metrics.completion_percent, 2)});
   rows.push_back({"cancelled_percent", util::format_fixed(metrics.cancelled_percent, 2)});
   rows.push_back({"dropped_percent", util::format_fixed(metrics.dropped_percent, 2)});

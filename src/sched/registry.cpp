@@ -52,7 +52,14 @@ std::unique_ptr<Policy> PolicyRegistry::create(const std::string& name) const {
   for (const Entry& entry : entries_) {
     if (util::iequals(entry.name, name)) return entry.factory();
   }
-  throw UnknownPolicyError("unknown scheduling policy: '" + name + "'");
+  std::string message = "unknown scheduling policy: '" + name + "'";
+  if (const auto suggestion = util::nearest_match(name, names())) {
+    message += " — did you mean '" + *suggestion + "'?";
+  }
+  message += " (registered:";
+  for (const Entry& entry : entries_) message += " " + entry.name;
+  message += ")";
+  throw UnknownPolicyError(message);
 }
 
 std::vector<std::string> PolicyRegistry::names() const {

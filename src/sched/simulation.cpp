@@ -78,6 +78,17 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
   pending_fault_event_.assign(machines_.size(), core::kNoEvent);
   if (config_.faults.enabled) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.faults, machines_.size());
+    if (config_.faults.recovery.strategy == fault::RecoveryStrategy::kCheckpoint) {
+      // The spec lives in the simulation (non-movable, stable address); all
+      // machines of one run share the same τ/C/R.
+      checkpoint_spec_ = machines::CheckpointSpec{
+          config_.faults.effective_checkpoint_interval(),
+          config_.faults.recovery.checkpoint_cost,
+          config_.faults.recovery.restart_cost};
+      for (const auto& machine : machines_) {
+        machine->set_checkpoint_spec(&*checkpoint_spec_);
+      }
+    }
   }
 
   const AutoscalerConfig& scaler = config_.autoscaler;
@@ -110,7 +121,14 @@ void Simulation::load(const workload::Workload& workload) {
   loaded_ = true;
 
   tasks_ = workload.tasks();  // copy; the simulation owns the mutable records
+  // One outcome per *submitted* task: replica clones never add to the total.
   counters_.total = tasks_.size();
+  const fault::RecoveryConfig& recovery = config_.faults.recovery;
+  if (config_.faults.enabled &&
+      recovery.strategy == fault::RecoveryStrategy::kReplicate &&
+      recovery.replicas > 1) {
+    replicate_workload(recovery.replicas);
+  }
   index_of_.reserve(tasks_.size());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     require_input(index_of_.emplace(tasks_[i].id, i).second,
@@ -201,6 +219,7 @@ void Simulation::on_deadline(std::size_t index) {
     case workload::TaskStatus::kCancelled:
     case workload::TaskStatus::kDropped:
     case workload::TaskStatus::kFailed:
+    case workload::TaskStatus::kReplicaCancelled:
       return;  // already terminal (completion at the same instant ran first)
     case workload::TaskStatus::kRetryWait: {
       // Deadline passed while the task waited out a retry backoff: the
@@ -211,8 +230,6 @@ void Simulation::on_deadline(std::size_t index) {
       retry_event_.erase(rit);
       task.status = workload::TaskStatus::kFailed;
       task.missed_time = engine_.now();
-      ++counters_.failed;
-      missed_order_.push_back(task.id);
       mark_terminal(task);
       return;
     }
@@ -223,8 +240,6 @@ void Simulation::on_deadline(std::size_t index) {
       batch_queue_.erase(it);
       task.status = workload::TaskStatus::kCancelled;
       task.missed_time = engine_.now();
-      ++counters_.cancelled;
-      missed_order_.push_back(task.id);
       mark_terminal(task);
       return;
     }
@@ -239,22 +254,20 @@ void Simulation::on_deadline(std::size_t index) {
       in_flight_.erase(it);
       task.status = workload::TaskStatus::kDropped;
       task.missed_time = engine_.now();
-      ++counters_.dropped;
-      missed_order_.push_back(task.id);
       mark_terminal(task);
       request_schedule();  // the freed slot may unblock a batch-queue task
       return;
     }
     case workload::TaskStatus::kInMachineQueue:
     case workload::TaskStatus::kRunning: {
-      // Deadline after mapping: dropped from the machine (paper §3).
+      // Deadline after mapping: dropped from the machine (paper §3). A
+      // checkpointed task is no exception — committed progress never
+      // resurrects a task past its deadline.
       require(task.assigned_machine.has_value(), "deadline: mapped task has no machine");
       const bool removed = machines_[*task.assigned_machine]->remove(task.id);
       require(removed, "deadline: task not found on its assigned machine");
       task.status = workload::TaskStatus::kDropped;
       task.missed_time = engine_.now();
-      ++counters_.dropped;
-      missed_order_.push_back(task.id);
       mark_terminal(task);
       return;
     }
@@ -332,6 +345,25 @@ void Simulation::apply_assignment(const Assignment& assignment) {
                 "policy '" + policy_->name() +
                     "' overflowed reserved (in-flight) capacity of machine '" +
                     machine.name() + "'");
+
+  // Replicas must run on distinct machines: skip an assignment that would
+  // co-locate two live copies of the same task. The task simply stays in the
+  // batch queue and is re-offered on the next scheduling round (triggered by
+  // the next slot-free/repair/completion event), so no deadlock arises.
+  const auto git = group_of_.find(task.id);
+  if (git != group_of_.end()) {
+    for (std::size_t member : groups_[git->second].members) {
+      const workload::Task& sibling = tasks_[member];
+      if (sibling.id == task.id || sibling.finished()) continue;
+      const bool mapped = sibling.status == workload::TaskStatus::kTransferring ||
+                          sibling.status == workload::TaskStatus::kInMachineQueue ||
+                          sibling.status == workload::TaskStatus::kRunning;
+      if (mapped && sibling.assigned_machine &&
+          *sibling.assigned_machine == assignment.machine) {
+        return;
+      }
+    }
+  }
 
   const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
   require(it != batch_queue_.end(), "assignment: task missing from batch queue");
@@ -442,8 +474,6 @@ void Simulation::handle_fault_abort(workload::Task& task) {
   if (task.retries >= retry.max_retries) {
     task.status = workload::TaskStatus::kFailed;
     task.missed_time = engine_.now();
-    ++counters_.failed;
-    missed_order_.push_back(task.id);
     const auto it = deadline_event_.find(task.id);
     if (it != deadline_event_.end()) {
       engine_.cancel(it->second);
@@ -550,9 +580,111 @@ std::size_t Simulation::task_index(workload::TaskId id) const {
   return it->second;
 }
 
-void Simulation::mark_terminal(const workload::Task& task) {
+void Simulation::record_outcome(const workload::Task& task, workload::TaskId display_id) {
   ++terminal_by_type_[task.type];
-  if (task.status == workload::TaskStatus::kCompleted) ++completed_by_type_[task.type];
+  switch (task.status) {
+    case workload::TaskStatus::kCompleted:
+      ++counters_.completed;
+      ++completed_by_type_[task.type];
+      break;
+    case workload::TaskStatus::kCancelled:
+      ++counters_.cancelled;
+      missed_order_.push_back(display_id);
+      break;
+    case workload::TaskStatus::kDropped:
+      ++counters_.dropped;
+      missed_order_.push_back(display_id);
+      break;
+    case workload::TaskStatus::kFailed:
+      ++counters_.failed;
+      missed_order_.push_back(display_id);
+      break;
+    default:
+      throw InvariantError("record_outcome: task " + std::to_string(task.id) +
+                           " has no countable terminal status");
+  }
+}
+
+void Simulation::resolve_replica_group(ReplicaGroup& group, const workload::Task& task) {
+  if (group.resolved) return;
+  const workload::Task& primary = tasks_[group.members.front()];
+  if (task.status == workload::TaskStatus::kCompleted) {
+    // First completion wins the group; the siblings' work is now waste.
+    group.resolved = true;
+    record_outcome(task, primary.id);
+    cancel_replica_siblings(group, task.id);
+    return;
+  }
+  // A losing member alone decides nothing: the group's outcome stays open
+  // until every copy is terminal, then the primary's fate is the group's.
+  for (std::size_t member : group.members) {
+    if (!tasks_[member].finished()) return;
+  }
+  group.resolved = true;
+  record_outcome(primary, primary.id);
+}
+
+void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId winner_id) {
+  for (std::size_t member : group.members) {
+    workload::Task& sibling = tasks_[member];
+    if (sibling.id == winner_id || sibling.finished()) continue;
+    const auto dit = deadline_event_.find(sibling.id);
+    if (dit != deadline_event_.end()) {
+      engine_.cancel(dit->second);
+      deadline_event_.erase(dit);
+    }
+    switch (sibling.status) {
+      case workload::TaskStatus::kInBatchQueue: {
+        const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), sibling.id);
+        require(it != batch_queue_.end(), "replica cancel: task missing from batch queue");
+        batch_queue_.erase(it);
+        break;
+      }
+      case workload::TaskStatus::kTransferring: {
+        const auto it = in_flight_.find(sibling.id);
+        require(it != in_flight_.end(), "replica cancel: missing transfer reservation");
+        engine_.cancel(it->second.event);
+        --in_flight_count_[it->second.machine];
+        in_flight_exec_[it->second.machine] -= it->second.exec_seconds;
+        in_flight_.erase(it);
+        break;
+      }
+      case workload::TaskStatus::kInMachineQueue:
+      case workload::TaskStatus::kRunning: {
+        require(sibling.assigned_machine.has_value(),
+                "replica cancel: mapped sibling has no machine");
+        if (sibling.status == workload::TaskStatus::kRunning && sibling.start_time) {
+          counters_.cancelled_replica_seconds += engine_.now() - *sibling.start_time;
+        }
+        const bool removed = machines_[*sibling.assigned_machine]->remove(sibling.id);
+        require(removed, "replica cancel: sibling not found on its machine");
+        break;
+      }
+      case workload::TaskStatus::kRetryWait: {
+        const auto rit = retry_event_.find(sibling.id);
+        require(rit != retry_event_.end(), "replica cancel: missing retry event");
+        engine_.cancel(rit->second);
+        retry_event_.erase(rit);
+        break;
+      }
+      default:
+        // kPending is impossible: every replica arrives at the same instant
+        // as its primary, strictly before any copy can complete.
+        throw InvariantError("replica cancel: unexpected sibling status");
+    }
+    sibling.status = workload::TaskStatus::kReplicaCancelled;
+    sibling.missed_time = engine_.now();
+    ++counters_.replicas_cancelled;
+  }
+}
+
+void Simulation::mark_terminal(const workload::Task& task) {
+  const auto git = group_of_.find(task.id);
+  if (git == group_of_.end()) {
+    record_outcome(task, task.id);
+  } else {
+    resolve_replica_group(groups_[git->second], task);
+  }
   if (injector_ && all_terminal()) {
     // Nothing left to disturb: drain pending failure/repair events so the
     // calendar empties and run() terminates at the last task's finish.
@@ -565,15 +697,57 @@ void Simulation::mark_terminal(const workload::Task& task) {
   }
 }
 
+void Simulation::replicate_workload(std::size_t replicas) {
+  workload::TaskId next_id = 0;
+  for (const workload::Task& task : tasks_) next_id = std::max(next_id, task.id + 1);
+  std::vector<workload::Task> expanded;
+  expanded.reserve(tasks_.size() * replicas);
+  groups_.reserve(tasks_.size());
+  for (const workload::Task& primary : tasks_) {
+    ReplicaGroup group;
+    const std::size_t group_index = groups_.size();
+    group.members.push_back(expanded.size());
+    group_of_.emplace(primary.id, group_index);
+    expanded.push_back(primary);
+    for (std::size_t k = 1; k < replicas; ++k) {
+      workload::Task clone = primary;
+      clone.id = next_id++;
+      clone.replica_of = primary.id;
+      group.members.push_back(expanded.size());
+      group_of_.emplace(clone.id, group_index);
+      expanded.push_back(clone);
+    }
+    groups_.push_back(std::move(group));
+  }
+  tasks_ = std::move(expanded);
+}
+
+double Simulation::lost_work_seconds() const {
+  double total = 0.0;
+  for (const workload::Task& task : tasks_) total += task.lost_seconds;
+  return total;
+}
+
+double Simulation::checkpoint_overhead_seconds() const {
+  double total = 0.0;
+  for (const workload::Task& task : tasks_) total += task.checkpoint_overhead_seconds;
+  return total;
+}
+
+std::size_t Simulation::checkpoints_taken() const {
+  std::size_t total = 0;
+  for (const workload::Task& task : tasks_) total += task.checkpoint_times.size();
+  return total;
+}
+
 void Simulation::on_task_completed(workload::Task& task, hetero::MachineId) {
-  ++counters_.completed;
-  mark_terminal(task);
   // The deadline check is no longer needed; keep the calendar lean.
   const auto it = deadline_event_.find(task.id);
   if (it != deadline_event_.end()) {
     engine_.cancel(it->second);
     deadline_event_.erase(it);
   }
+  mark_terminal(task);
 }
 
 void Simulation::on_slot_freed(hetero::MachineId) { request_schedule(); }

@@ -108,6 +108,10 @@ struct SimulationCounters {
   std::size_t failed = 0;     ///< lost to machine failures (retries exhausted
                               ///< or deadline passed while waiting on retry)
   std::size_t requeued = 0;   ///< fault-abort retries (events, not tasks)
+  std::size_t replicas_cancelled = 0;  ///< losing replicas cancelled by a winner
+  /// Wallclock the losing replicas spent *running* before a sibling's
+  /// completion cancelled them — the honest price of active replication.
+  double cancelled_replica_seconds = 0.0;
 
   /// Completed / total in percent; 0 for an empty workload.
   [[nodiscard]] double completion_percent() const noexcept {
@@ -196,6 +200,20 @@ class Simulation final : public machines::MachineListener {
   /// memory model.
   [[nodiscard]] const mem::ModelCache* model_cache(hetero::MachineId machine) const;
 
+  /// The fault configuration in effect (recovery strategy, retry policy).
+  [[nodiscard]] const fault::FaultConfig& fault_config() const noexcept {
+    return config_.faults;
+  }
+
+  /// Executed work discarded by crashes/aborts, summed over all tasks (s).
+  [[nodiscard]] double lost_work_seconds() const;
+
+  /// Time spent writing checkpoints and reloading them, summed over tasks (s).
+  [[nodiscard]] double checkpoint_overhead_seconds() const;
+
+  /// Number of checkpoints committed across all tasks and machines.
+  [[nodiscard]] std::size_t checkpoints_taken() const;
+
   // ---- MachineListener ----------------------------------------------------
   void on_task_completed(workload::Task& task, hetero::MachineId machine) override;
   void on_slot_freed(hetero::MachineId machine) override;
@@ -218,6 +236,8 @@ class Simulation final : public machines::MachineListener {
   void scale_in();
   [[nodiscard]] std::size_t task_index(workload::TaskId id) const;
   void mark_terminal(const workload::Task& task);
+  void record_outcome(const workload::Task& task, workload::TaskId display_id);
+  void replicate_workload(std::size_t replicas);
 
   SystemConfig config_;
   std::unique_ptr<Policy> policy_;
@@ -258,6 +278,21 @@ class Simulation final : public machines::MachineListener {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<core::EventId> pending_fault_event_;
   std::unordered_map<workload::TaskId, core::EventId> retry_event_;
+
+  // Recovery-strategy state. The checkpoint spec lives here (Simulation is
+  // non-movable, so its address is stable for the machines). Each replica
+  // group is a primary plus its clones (indices into tasks_); the group
+  // yields exactly one outcome — the first completion wins and cancels the
+  // siblings, or the group fails once every member is terminal.
+  std::optional<machines::CheckpointSpec> checkpoint_spec_;
+  struct ReplicaGroup {
+    std::vector<std::size_t> members;  ///< indices into tasks_, primary first
+    bool resolved = false;             ///< outcome already counted
+  };
+  std::vector<ReplicaGroup> groups_;
+  std::unordered_map<workload::TaskId, std::size_t> group_of_;
+  void resolve_replica_group(ReplicaGroup& group, const workload::Task& task);
+  void cancel_replica_siblings(ReplicaGroup& group, workload::TaskId winner_id);
 
   // Per-machine warm-model caches (memory model only).
   std::vector<std::unique_ptr<mem::ModelCache>> model_caches_;

@@ -18,8 +18,9 @@ std::string strip_comment(std::string_view line) {
 }
 }  // namespace
 
-IniFile IniFile::parse(const std::string& text) {
+IniFile IniFile::parse(const std::string& text, const std::string& source) {
   IniFile ini;
+  ini.source_ = source;
   std::string section;
   std::istringstream stream(text);
   std::string raw;
@@ -44,7 +45,7 @@ IniFile IniFile::parse(const std::string& text) {
     const std::string key = to_lower(trim(std::string_view(line).substr(0, eq)));
     const std::string value{trim(std::string_view(line).substr(eq + 1))};
     require_input(!key.empty(), "INI line " + std::to_string(line_number) + ": empty key");
-    ini.entries_.push_back(Entry{section, key, value});
+    ini.entries_.push_back(Entry{section, key, value, line_number});
   }
   return ini;
 }
@@ -54,7 +55,20 @@ IniFile IniFile::load(const std::string& path) {
   if (!in) throw IoError("cannot open config file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  return parse(buffer.str(), path);
+}
+
+std::string IniFile::where(const std::string& section, const std::string& key) const {
+  const std::string s = to_lower(section);
+  const std::string k = to_lower(key);
+  // The last assignment wins in get(), so locate that one.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->section == s && it->key == k) {
+      if (source_.empty()) return "line " + std::to_string(it->line);
+      return source_ + ":" + std::to_string(it->line);
+    }
+  }
+  return section + "." + key;
 }
 
 std::optional<std::string> IniFile::get(const std::string& section,

@@ -18,8 +18,10 @@ namespace e2c::util {
 class IniFile {
  public:
   /// Parses INI text. Throws e2c::InputError on malformed lines (a line
-  /// that is neither a section, a pair, a comment, nor blank).
-  [[nodiscard]] static IniFile parse(const std::string& text);
+  /// that is neither a section, a pair, a comment, nor blank). \p source is
+  /// the display name (usually a path) used by where() locators.
+  [[nodiscard]] static IniFile parse(const std::string& text,
+                                     const std::string& source = {});
 
   /// Reads and parses a file. Throws e2c::IoError / e2c::InputError.
   [[nodiscard]] static IniFile load(const std::string& path);
@@ -42,6 +44,13 @@ class IniFile {
   [[nodiscard]] std::vector<std::string> get_list(const std::string& section,
                                                   const std::string& key) const;
 
+  /// Human-readable locator of section.key's defining line (the last
+  /// assignment, which is the one get() returns): "path:N" when the file was
+  /// loaded from disk, "line N" for in-memory text, or "section.key" when
+  /// the pair does not exist. For validation error messages.
+  [[nodiscard]] std::string where(const std::string& section,
+                                  const std::string& key) const;
+
   /// True if the section exists (even if empty).
   [[nodiscard]] bool has_section(const std::string& section) const noexcept;
 
@@ -53,9 +62,11 @@ class IniFile {
     std::string section;
     std::string key;
     std::string value;
+    std::size_t line = 0;
   };
   std::vector<Entry> entries_;
   std::vector<std::string> section_order_;
+  std::string source_;  ///< display name for where(); empty for in-memory text
 };
 
 }  // namespace e2c::util

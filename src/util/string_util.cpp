@@ -1,5 +1,6 @@
 #include "util/string_util.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
@@ -92,6 +93,39 @@ std::string pad_right(std::string_view text, std::size_t width) {
 
 bool starts_with(std::string_view text, std::string_view prefix) noexcept {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  const std::string la = to_lower(a);
+  const std::string lb = to_lower(b);
+  // Single-row Levenshtein DP; both operands are short identifiers.
+  std::vector<std::size_t> row(lb.size() + 1);
+  for (std::size_t j = 0; j <= lb.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= la.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= lb.size(); ++j) {
+      const std::size_t substitute = diagonal + (la[i - 1] == lb[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[lb.size()];
+}
+
+std::optional<std::string> nearest_match(std::string_view name,
+                                         const std::vector<std::string>& candidates) {
+  const std::size_t threshold = 1 + name.size() / 3;
+  std::optional<std::string> best;
+  std::size_t best_distance = threshold + 1;
+  for (const std::string& candidate : candidates) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 }  // namespace e2c::util

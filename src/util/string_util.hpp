@@ -39,4 +39,14 @@ namespace e2c::util {
 /// True if \p text starts with \p prefix.
 [[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
 
+/// Case-insensitive Levenshtein edit distance between two ASCII strings.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to \p name by case-insensitive edit distance, when
+/// that distance is small enough to be a plausible typo (at most
+/// 1 + |name| / 3 edits); nullopt otherwise. Ties resolve to the earliest
+/// candidate, so suggestions are deterministic.
+[[nodiscard]] std::optional<std::string> nearest_match(
+    std::string_view name, const std::vector<std::string>& candidates);
+
 }  // namespace e2c::util

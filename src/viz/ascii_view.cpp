@@ -79,6 +79,12 @@ std::string render_frame(const sched::Simulation& simulation,
   out << "  completed=" << counters.completed << "  cancelled=" << counters.cancelled
       << "  missed=" << counters.dropped << "  failed=" << counters.failed
       << "  total=" << counters.total << "\n";
+  if (simulation.fault_config().enabled) {
+    out << "  waste: lost=" << util::format_fixed(simulation.lost_work_seconds(), 1)
+        << "s ckpt=" << util::format_fixed(simulation.checkpoint_overhead_seconds(), 1)
+        << "s replicas="
+        << util::format_fixed(counters.cancelled_replica_seconds, 1) << "s\n";
+  }
   return out.str();
 }
 

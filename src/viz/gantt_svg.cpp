@@ -84,10 +84,15 @@ std::string render_gantt_svg(const sched::Simulation& simulation,
     } else if (task.missed_time && task.status == workload::TaskStatus::kDropped) {
       end = *task.missed_time;
       dropped_midrun = true;
+    } else if (task.missed_time &&
+               task.status == workload::TaskStatus::kReplicaCancelled) {
+      end = *task.missed_time;  // a losing replica cut short mid-run
     } else {
       continue;  // queued-but-dropped tasks never executed
     }
     if (end <= start) continue;
+    const bool replica_cancelled =
+        task.status == workload::TaskStatus::kReplicaCancelled;
     const int lane = static_cast<int>(*task.assigned_machine);
     const double x = x_of(start);
     const double w = std::max(1.0, x_of(end) - x);
@@ -95,14 +100,36 @@ std::string render_gantt_svg(const sched::Simulation& simulation,
     svg << "<rect x=\"" << util::format_fixed(x, 1) << "\" y=\"" << y << "\" width=\""
         << util::format_fixed(w, 1) << "\" height=\"" << options.lane_height_px - 6
         << "\" fill=\"" << fill_for_type(task.type) << "\" opacity=\""
-        << (dropped_midrun ? "0.45" : "0.9") << "\"><title>task " << task.id << " ("
+        << (dropped_midrun ? "0.45" : (replica_cancelled ? "0.3" : "0.9")) << "\"";
+    if (replica_cancelled) svg << " stroke=\"#888\" stroke-dasharray=\"4,2\"";
+    svg << "><title>task " << task.id << " ("
         << simulation.eet().task_type_name(task.type) << ") "
         << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
-        << (dropped_midrun ? " DROPPED" : "") << "</title></rect>\n";
+        << (dropped_midrun ? " DROPPED" : "");
+    if (replica_cancelled && task.replica_of) {
+      svg << " replica of " << *task.replica_of << " REPLICA-CANCELLED";
+    }
+    svg << "</title></rect>\n";
     if (dropped_midrun && options.show_deadline_marks) {
       svg << "<line x1=\"" << util::format_fixed(x + w, 1) << "\" y1=\"" << y
           << "\" x2=\"" << util::format_fixed(x + w, 1) << "\" y2=\""
           << y + options.lane_height_px - 6 << "\" stroke=\"red\" stroke-width=\"2\"/>\n";
+    }
+  }
+
+  // Checkpoint commits: short dark ticks at the bottom of each lane, so the
+  // checkpoint cadence (and what a crash rolls back to) is visible.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const machines::Machine& machine = simulation.machine(static_cast<std::size_t>(lane));
+    for (const machines::CheckpointMark& mark : machine.checkpoint_marks()) {
+      if (mark.time > horizon) continue;
+      const double x = x_of(mark.time);
+      const int y = options.margin_px + (lane + 1) * options.lane_height_px;
+      svg << "<line x1=\"" << util::format_fixed(x, 1) << "\" y1=\"" << y - 8
+          << "\" x2=\"" << util::format_fixed(x, 1) << "\" y2=\"" << y
+          << "\" stroke=\"#222\" stroke-width=\"1.5\"><title>checkpoint task "
+          << mark.task << " @ " << util::format_fixed(mark.time, 2)
+          << "</title></line>\n";
     }
   }
 

@@ -14,13 +14,15 @@ const char* task_status_name(TaskStatus status) noexcept {
     case TaskStatus::kCancelled: return "cancelled";
     case TaskStatus::kDropped: return "dropped";
     case TaskStatus::kFailed: return "failed";
+    case TaskStatus::kReplicaCancelled: return "replica-cancelled";
   }
   return "unknown";
 }
 
 bool is_terminal(TaskStatus status) noexcept {
   return status == TaskStatus::kCompleted || status == TaskStatus::kCancelled ||
-         status == TaskStatus::kDropped || status == TaskStatus::kFailed;
+         status == TaskStatus::kDropped || status == TaskStatus::kFailed ||
+         status == TaskStatus::kReplicaCancelled;
 }
 
 }  // namespace e2c::workload

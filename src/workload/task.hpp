@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/sim_time.hpp"
 #include "hetero/types.hpp"
@@ -39,12 +40,14 @@ enum class TaskStatus : std::uint8_t {
   kCancelled,      ///< deadline passed while still unmapped (batch queue)
   kDropped,        ///< deadline passed after mapping (transfer, queue or run)
   kFailed,         ///< aborted by machine failure(s) and out of retries
+  kReplicaCancelled, ///< replica sibling finished first; this copy was cancelled
 };
 
 /// Display name of a status ("completed", "cancelled", ...).
 [[nodiscard]] const char* task_status_name(TaskStatus status) noexcept;
 
-/// True for the four terminal states (completed, cancelled, dropped, failed).
+/// True for the terminal states (completed, cancelled, dropped, failed,
+/// replica-cancelled).
 [[nodiscard]] bool is_terminal(TaskStatus status) noexcept;
 
 /// One task: identity, requirements and (mutable) execution record.
@@ -66,6 +69,19 @@ struct Task {
   std::optional<core::SimTime> completion_time;       ///< on-time finish
   std::optional<core::SimTime> missed_time;           ///< when cancelled/dropped/failed
   std::size_t retries = 0;                            ///< requeues after machine failures
+
+  // --- recovery record ---
+  // The waste decomposition the reports export. For every machine the task
+  // touched, useful + lost + checkpoint_overhead == machine_seconds (wallclock
+  // the task occupied a slot), whether the run ended in completion, a crash,
+  // a deadline drop or a replica cancel.
+  double completed_fraction = 0.0;   ///< committed progress in [0,1] (checkpoint strategy)
+  double useful_seconds = 0.0;       ///< executed work that was kept (committed or finished)
+  double lost_seconds = 0.0;         ///< executed work discarded by crashes/aborts
+  double checkpoint_overhead_seconds = 0.0;  ///< time writing checkpoints + restarting
+  double machine_seconds = 0.0;      ///< total wallclock occupying machine slots
+  std::vector<core::SimTime> checkpoint_times;        ///< commit instants, in order
+  std::optional<TaskId> replica_of;  ///< primary's id when this task is a clone
 
   /// True once the task reached a terminal state.
   [[nodiscard]] bool finished() const noexcept { return is_terminal(status); }

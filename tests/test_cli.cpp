@@ -165,6 +165,69 @@ TEST(Cli, RetryFlagsWithoutFaultSourceRejected) {
   EXPECT_NE(result.output.find("--mtbf or --fault-trace"), std::string::npos);
 }
 
+TEST(Cli, UnknownPolicySuggestsNearestMatch) {
+  const auto result = run_command("--eet " + data("eet_homogeneous.csv") +
+                                  " --generate low --policy MEC");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown scheduling policy"), std::string::npos);
+  EXPECT_NE(result.output.find("did you mean"), std::string::npos);
+  // The full roster rides along so the user can pick without --list-policies.
+  EXPECT_NE(result.output.find("registered:"), std::string::npos);
+  EXPECT_NE(result.output.find("FCFS"), std::string::npos);
+}
+
+TEST(Cli, RecoveryCheckpointRunsAndPrintsItsParameters) {
+  const auto result = run_command(
+      "--eet " + data("eet_heterogeneous.csv") + " --workload " +
+      data("workload_medium.csv") +
+      " --policy MECT --mtbf 40 --mttr 5 --fault-seed 7 --recovery checkpoint"
+      " --checkpoint-interval 2 --checkpoint-cost 0.25 --restart-cost 0.25"
+      " --summary -");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("recovery: checkpoint"), std::string::npos);
+  // The waste decomposition lands in the summary report.
+  EXPECT_NE(result.output.find("recovery_strategy,checkpoint"), std::string::npos);
+  EXPECT_NE(result.output.find("lost_work_seconds"), std::string::npos);
+  EXPECT_NE(result.output.find("checkpoints_taken"), std::string::npos);
+}
+
+TEST(Cli, RecoveryReplicateRunsAndPrintsItsParameters) {
+  const auto result = run_command(
+      "--eet " + data("eet_heterogeneous.csv") + " --workload " +
+      data("workload_low.csv") +
+      " --policy MM --mtbf 50 --mttr 5 --recovery replicate --replicas 2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("recovery: replicate k=2"), std::string::npos);
+}
+
+TEST(Cli, UnknownRecoveryStrategySuggestsNearestMatch) {
+  const auto result = run_command(
+      "--eet " + data("eet_homogeneous.csv") +
+      " --generate low --policy FCFS --mtbf 50 --recovery checkpont");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("did you mean 'checkpoint'"), std::string::npos);
+  EXPECT_NE(result.output.find("resubmit"), std::string::npos);
+}
+
+TEST(Cli, RecoveryFlagsWithoutFaultSourceRejected) {
+  const auto result =
+      run_command("--eet " + data("eet_homogeneous.csv") +
+                  " --generate low --policy FCFS --recovery checkpoint");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--mtbf or --fault-trace"), std::string::npos);
+}
+
+TEST(Cli, RecoveryRunIsBitIdenticalUnderSeed) {
+  const std::string args = "--eet " + data("eet_heterogeneous.csv") +
+                           " --workload " + data("workload_medium.csv") +
+                           " --policy MM --mtbf 30 --mttr 4 --fault-seed 99"
+                           " --recovery checkpoint --checkpoint-interval 1.5";
+  const auto first = run_command(args);
+  const auto second = run_command(args);
+  ASSERT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.output, second.output);
+}
+
 TEST(Cli, IncompatibleWorkloadRejected) {
   // The quiz EET has task types T1-T3 only; the classroom workload uses
   // T1-T5 — the paper's compatibility rule must reject it.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -203,6 +204,84 @@ TEST(RetryPolicyTest, BackoffGrowsExponentially) {
   EXPECT_DOUBLE_EQ(retry.delay(1), 1.5);
   EXPECT_DOUBLE_EQ(retry.delay(2), 3.0);
   EXPECT_DOUBLE_EQ(retry.delay(3), 6.0);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedAtMaxBackoff) {
+  RetryPolicy retry;
+  retry.backoff_base = 1.0;
+  retry.backoff_factor = 2.0;
+  retry.max_backoff = 60.0;
+  // 2^9 = 512 > 60; the cap kicks in.
+  EXPECT_DOUBLE_EQ(retry.delay(10), 60.0);
+  // Far past where the uncapped exponential overflows to +inf.
+  EXPECT_DOUBLE_EQ(retry.delay(5000), 60.0);
+  EXPECT_TRUE(std::isfinite(retry.delay(5000)));
+  // Below the cap the exponential is untouched.
+  EXPECT_DOUBLE_EQ(retry.delay(3), 4.0);
+}
+
+// ---- config validation ----------------------------------------------------
+
+TEST(FaultConfigValidation, RejectsBadValues) {
+  FaultConfig config;
+  config.enabled = true;
+  config.mtbf = -1.0;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.mtbf = 100.0;
+  config.retry.max_backoff = 0.0;
+  EXPECT_THROW(config.validate(2), InputError);
+}
+
+TEST(FaultConfigValidation, RejectsBadRecoveryValues) {
+  FaultConfig config;
+  config.enabled = true;
+  config.recovery.strategy = e2c::fault::RecoveryStrategy::kCheckpoint;
+  config.recovery.checkpoint_cost = -0.5;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.recovery.checkpoint_cost = 0.5;
+  config.recovery.restart_cost = -1.0;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.recovery.restart_cost = 0.5;
+  config.validate(2);  // sane checkpoint config passes
+
+  config.recovery.strategy = e2c::fault::RecoveryStrategy::kReplicate;
+  config.recovery.replicas = 0;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.recovery.replicas = 3;  // only 2 machines -> cannot be distinct
+  EXPECT_THROW(config.validate(2), InputError);
+  config.recovery.replicas = 2;
+  config.validate(2);
+}
+
+TEST(FaultConfigValidation, AutoCheckpointIntervalNeedsStochasticMtbf) {
+  FaultConfig config = trace_faults({{0, 1.0, 2.0}});
+  config.recovery.strategy = e2c::fault::RecoveryStrategy::kCheckpoint;
+  config.recovery.checkpoint_interval = 0.0;  // auto τ needs an MTBF
+  EXPECT_THROW(config.validate(2), InputError);
+  config.recovery.checkpoint_interval = 2.0;  // fixed τ is fine with a trace
+  config.validate(2);
+}
+
+TEST(RecoveryStrategyParse, NamesRoundTripAndTyposGetSuggestions) {
+  using e2c::fault::parse_recovery_strategy;
+  using e2c::fault::RecoveryStrategy;
+  EXPECT_EQ(parse_recovery_strategy("checkpoint"), RecoveryStrategy::kCheckpoint);
+  EXPECT_EQ(parse_recovery_strategy("REPLICATE"), RecoveryStrategy::kReplicate);
+  try {
+    (void)parse_recovery_strategy("checkpont");
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("did you mean 'checkpoint'"), std::string::npos) << what;
+    EXPECT_NE(what.find("resubmit"), std::string::npos) << what;
+  }
+}
+
+TEST(RecoveryStrategyParse, YoungDalyInterval) {
+  // √(2·C·MTBF): C = 2, MTBF = 100 -> √400 = 20.
+  EXPECT_DOUBLE_EQ(e2c::fault::young_daly_interval(2.0, 100.0), 20.0);
+  EXPECT_THROW((void)e2c::fault::young_daly_interval(0.0, 100.0), InputError);
+  EXPECT_THROW((void)e2c::fault::young_daly_interval(1.0, 0.0), InputError);
 }
 
 // ---- simulation integration ----------------------------------------------

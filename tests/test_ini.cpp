@@ -75,6 +75,31 @@ TEST(Ini, LoadMissingFileThrows) {
   EXPECT_THROW((void)IniFile::load("/nonexistent/config.ini"), e2c::IoError);
 }
 
+TEST(Ini, WhereLocatesTheDefiningLine) {
+  const IniFile ini = IniFile::parse(
+      "[a]\n"
+      "k = 1\n"
+      "\n"
+      "[b]\n"
+      "k = 2\n"
+      "k = 3\n");  // last assignment wins, so line 6 is the defining one
+  EXPECT_EQ(ini.where("a", "k"), "line 2");
+  EXPECT_EQ(ini.where("b", "k"), "line 6");
+  // Unknown keys degrade to a section.key locator instead of a bogus line.
+  EXPECT_EQ(ini.where("b", "missing"), "b.missing");
+}
+
+TEST(Ini, WhereUsesThePathWhenLoadedFromFile) {
+  const std::string path = testing::TempDir() + "/e2c_ini_where.ini";
+  {
+    std::ofstream out(path);
+    out << "[faults]\nmtbf = 50\n";
+  }
+  const IniFile ini = IniFile::load(path);
+  EXPECT_EQ(ini.where("faults", "mtbf"), path + ":2");
+  std::remove(path.c_str());
+}
+
 // ---- experiment spec loading ----------------------------------------------
 
 const char* kValidConfig =
@@ -146,6 +171,54 @@ TEST(SpecIo, FaultsSectionParsed) {
   const auto none = e2c::exp::spec_from_ini(
       IniFile::parse("[sweep]\npolicies = MECT\nintensities = medium\n"));
   EXPECT_FALSE(none.system.faults.enabled);
+}
+
+TEST(SpecIo, FaultsValidationNamesTheDefiningLine) {
+  try {
+    (void)e2c::exp::spec_from_ini(IniFile::parse(
+        "[sweep]\npolicies = MM\nintensities = low\n"
+        "[faults]\nmtbf = -1\n"));
+    FAIL() << "expected InputError";
+  } catch (const e2c::InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("faults.mtbf must be > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+  }
+}
+
+TEST(SpecIo, RecoverySectionParsed) {
+  const auto spec = e2c::exp::spec_from_ini(IniFile::parse(
+      "[sweep]\npolicies = MECT\nintensities = medium\n"
+      "[faults]\nmtbf = 120\nmttr = 8\n"
+      "[recovery]\nstrategy = checkpoint\ncheckpoint_interval = 2\n"
+      "checkpoint_cost = 0.25\nrestart_cost = 0.75\n"));
+  const auto& recovery = spec.system.faults.recovery;
+  EXPECT_EQ(recovery.strategy, e2c::fault::RecoveryStrategy::kCheckpoint);
+  EXPECT_DOUBLE_EQ(recovery.checkpoint_interval, 2.0);
+  EXPECT_DOUBLE_EQ(recovery.checkpoint_cost, 0.25);
+  EXPECT_DOUBLE_EQ(recovery.restart_cost, 0.75);
+}
+
+TEST(SpecIo, RecoveryNeedsFaults) {
+  EXPECT_THROW((void)e2c::exp::spec_from_ini(IniFile::parse(
+                   "[sweep]\npolicies = MM\nintensities = low\n"
+                   "[recovery]\nstrategy = checkpoint\n")),
+               e2c::InputError);
+}
+
+TEST(SpecIo, RecoveryValidationNamesTheDefiningLine) {
+  try {
+    (void)e2c::exp::spec_from_ini(IniFile::parse(
+        "[sweep]\npolicies = MM\nintensities = low\n"
+        "[faults]\nmtbf = 100\n"
+        "[recovery]\nstrategy = replicate\nreplicas = 99\n"));
+    FAIL() << "expected InputError";
+  } catch (const e2c::InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("replicas"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("distinct machines"), std::string::npos) << what;
+  }
 }
 
 TEST(SpecIo, RejectsBadFaultsSection) {

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Sanitizer CI sweep: builds the tree in Debug with ASan and (separately)
-# UBSan, and runs the tier-1 ctest suite under each. Any sanitizer report
-# fails the run. Usage: tools/ci.sh [build-root]  (default: build-san)
+# Sanitizer CI sweep: builds the tree in Debug with the requested
+# sanitizer(s) and runs ctest under each. Any sanitizer report fails the run.
+#
+# Usage: tools/ci.sh [suite ...]
+#   suites: asan | ubsan | tsan   (default: all three)
+#   E2C_BUILD_ROOT overrides the build root (default: <repo>/build-san)
+#
+# The tsan suite runs only the threaded tests (thread pool and the parallel
+# substrate-combo sweep) — the rest of the suite is single-threaded by design
+# and would only slow the job down.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_ROOT="${1:-${ROOT}/build-san}"
+BUILD_ROOT="${E2C_BUILD_ROOT:-${ROOT}/build-san}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_suite() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
   echo "=== ${name}: configure (${sanitize}) ==="
   cmake -S "${ROOT}" -B "${dir}" \
@@ -18,14 +25,30 @@ run_suite() {
   echo "=== ${name}: build ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== ${name}: ctest ==="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  if [ -n "${filter}" ]; then
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -R "${filter}")
+  else
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  fi
 }
 
-# halt_on_error makes UBSan findings fail tests instead of just logging.
+# halt_on_error makes sanitizer findings fail tests instead of just logging.
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-run_suite asan address
-run_suite ubsan undefined
+suites=("$@")
+if [ ${#suites[@]} -eq 0 ]; then
+  suites=(asan ubsan tsan)
+fi
+
+for suite in "${suites[@]}"; do
+  case "${suite}" in
+    asan)  run_suite asan address ;;
+    ubsan) run_suite ubsan undefined ;;
+    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos' ;;
+    *) echo "unknown suite '${suite}' (asan | ubsan | tsan)" >&2; exit 2 ;;
+  esac
+done
 
 echo "sanitizer sweep passed"
