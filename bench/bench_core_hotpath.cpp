@@ -1,0 +1,148 @@
+// Core hot-path benchmark: raw discrete-event throughput of the simulation
+// kernel (calendar + dispatch + scheduler rounds), the number every large
+// sweep multiplies by policies x intensities x replications.
+//
+// Runs one immediate and one batch policy over generated workloads of
+// increasing size, reports events/sec and ns/event, and writes the results
+// as BENCH_core_hotpath.json so CI can track the perf trajectory per PR.
+//
+//   bench_core_hotpath [--sizes 10000,100000,1000000] [--out FILE.json]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+struct Row {
+  std::string policy;
+  std::string mode;
+  std::size_t tasks_requested = 0;
+  std::size_t tasks = 0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double ns_per_event = 0.0;
+  double completion_percent = 0.0;
+};
+
+Row run_one(const std::string& policy_name, std::size_t task_count) {
+  e2c::sched::SystemConfig config = e2c::exp::heterogeneous_classroom(2);
+  const auto machine_types = e2c::exp::machine_types_of(config);
+
+  // Offered load 1.3 keeps every machine saturated (so the batch queue and
+  // deadline machinery stay busy) while deadlines bound the backlog.
+  auto generator = e2c::workload::config_for_offered_load(
+      config.eet, machine_types, /*rho=*/1.3, /*duration=*/1.0, /*seed=*/7);
+  generator.duration = static_cast<double>(task_count) / generator.rate;
+  const auto workload = e2c::workload::generate_workload(config.eet, generator);
+
+  auto policy = e2c::sched::make_policy(policy_name);
+  Row row;
+  row.policy = policy_name;
+  row.mode = policy->mode() == e2c::sched::PolicyMode::kImmediate ? "immediate" : "batch";
+  row.tasks_requested = task_count;
+  row.tasks = workload.size();
+
+  e2c::sched::Simulation simulation(std::move(config), std::move(policy));
+  simulation.load(workload);
+
+  const auto start = std::chrono::steady_clock::now();
+  simulation.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.events = simulation.engine().processed_count();
+  if (row.seconds > 0.0) {
+    row.events_per_sec = static_cast<double>(row.events) / row.seconds;
+    row.ns_per_event = row.seconds * 1e9 / static_cast<double>(row.events);
+  }
+  row.completion_percent = simulation.counters().completion_percent();
+  return row;
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const long long value = std::stoll(token);
+    e2c::require_input(value > 0, "--sizes entries must be positive integers");
+    sizes.push_back(static_cast<std::size_t>(value));
+  }
+  e2c::require_input(!sizes.empty(), "--sizes needs at least one entry");
+  return sizes;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  if (!out.good()) throw e2c::IoError("cannot write " + path);
+  out << "{\n  \"bench\": \"core_hotpath\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"policy\": \"" << row.policy << "\", \"mode\": \"" << row.mode
+        << "\", \"tasks_requested\": " << row.tasks_requested
+        << ", \"tasks\": " << row.tasks << ", \"events\": " << row.events
+        << ", \"seconds\": " << row.seconds
+        << ", \"events_per_sec\": " << row.events_per_sec
+        << ", \"ns_per_event\": " << row.ns_per_event
+        << ", \"completion_percent\": " << row.completion_percent << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {10'000, 100'000, 1'000'000};
+  std::string out_path = "BENCH_core_hotpath.json";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sizes" && i + 1 < argc) {
+        sizes = parse_sizes(argv[++i]);
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--help") {
+        std::cout << "usage: bench_core_hotpath [--sizes N,N,...] [--out FILE.json]\n";
+        return 0;
+      } else {
+        std::cerr << "bench_core_hotpath: unknown argument '" << arg << "'\n";
+        return 2;
+      }
+    }
+
+    std::vector<Row> rows;
+    std::cout << "==== core hot path: events/sec by policy and size ====\n";
+    for (const char* policy : {"MECT", "MM"}) {
+      for (std::size_t size : sizes) {
+        const Row row = run_one(policy, size);
+        std::cout << row.policy << " (" << row.mode << ") tasks=" << row.tasks
+                  << " events=" << row.events << " seconds=" << row.seconds
+                  << " events/sec=" << static_cast<std::uint64_t>(row.events_per_sec)
+                  << " ns/event=" << row.ns_per_event
+                  << " completion=" << row.completion_percent << "%\n";
+        rows.push_back(row);
+      }
+    }
+    write_json(out_path, rows);
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const e2c::InputError& error) {
+    std::cerr << "bench_core_hotpath: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_core_hotpath: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -13,6 +13,7 @@
 #include "exp/spec_io.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 #include "viz/bar_chart.hpp"
 
 int main(int argc, char** argv) {
@@ -25,11 +26,18 @@ int main(int argc, char** argv) {
     return argc < 2 ? 2 : 0;
   }
   try {
-    const std::size_t workers =
-        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 0;
+    std::size_t workers = 0;
+    if (argc > 2) {
+      // std::stoul would accept "-1" (wrapping to SIZE_MAX workers) and exit
+      // 1 on junk; validate like e2c_run's numeric options instead.
+      const auto value = util::parse_int(argv[2]);
+      require_input(value.has_value() && *value >= 0,
+                    "workers must be an integer >= 0");
+      workers = static_cast<std::size_t>(*value);
+    }
     const util::IniFile ini = util::IniFile::load(argv[1]);
     const auto outputs = exp::outputs_from_ini(ini);
-    const auto result = exp::run_experiment_file(argv[1], workers);
+    const auto result = exp::run_experiment_file(ini, workers);
 
     std::cout << viz::render_bar_chart(exp::completion_chart(result, outputs.title))
               << "\n"

@@ -7,29 +7,34 @@
 
 namespace e2c::core {
 
-EventId Engine::schedule_at(SimTime time, EventPriority priority, std::string label,
+EventId Engine::schedule_at(SimTime time, EventPriority priority, EventLabel label,
                             EventFn fn) {
-  e2c::require(time >= now_ - kTimeEpsilon,
-               "Engine::schedule_at in the past: t=" + std::to_string(time) +
-                   " now=" + std::to_string(now_));
+  e2c::require(time >= now_ - kTimeEpsilon, [&] {
+    return "Engine::schedule_at in the past: t=" + std::to_string(time) +
+           " now=" + std::to_string(now_);
+  });
   // Clamp tiny negative drift so the calendar never goes backwards.
   const SimTime when = std::max(time, now_);
-  return queue_.schedule(when, priority, std::move(label), std::move(fn));
+  return queue_.schedule(when, priority, label, std::move(fn));
 }
 
-EventId Engine::schedule_in(SimTime delay, EventPriority priority, std::string label,
+EventId Engine::schedule_in(SimTime delay, EventPriority priority, EventLabel label,
                             EventFn fn) {
   e2c::require(delay >= 0.0, "Engine::schedule_in negative delay");
-  return schedule_at(now_ + delay, priority, std::move(label), std::move(fn));
+  return schedule_at(now_ + delay, priority, label, std::move(fn));
 }
 
 bool Engine::cancel(EventId id) { return queue_.cancel(id); }
 
 void Engine::dispatch_one() {
   auto popped = queue_.pop();
-  now_ = popped.record.time;
+  now_ = popped.time;
   ++processed_;
-  for (EngineObserver* observer : observers_) observer->on_event(popped.record);
+  if (!observers_.empty()) {
+    // Labels materialize only here: headless runs never pay for the string.
+    const EventRecord record{popped.id, popped.time, popped.priority, popped.label.str()};
+    for (EngineObserver* observer : observers_) observer->on_event(record);
+  }
   if (popped.fn) popped.fn();
 }
 

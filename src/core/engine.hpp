@@ -43,10 +43,12 @@ class Engine {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules \p fn at absolute time \p time. Requires time >= now().
-  EventId schedule_at(SimTime time, EventPriority priority, std::string label, EventFn fn);
+  /// The label is lazy (see EventLabel): pass a literal or a cheap piece-wise
+  /// label; it is only formatted when an observer or the step UI reads it.
+  EventId schedule_at(SimTime time, EventPriority priority, EventLabel label, EventFn fn);
 
   /// Schedules \p fn at now() + delay. Requires delay >= 0.
-  EventId schedule_in(SimTime delay, EventPriority priority, std::string label, EventFn fn);
+  EventId schedule_in(SimTime delay, EventPriority priority, EventLabel label, EventFn fn);
 
   /// Cancels a pending event; false if already fired or unknown.
   bool cancel(EventId id);

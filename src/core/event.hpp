@@ -38,8 +38,53 @@ inline constexpr EventId kNoEvent = 0;
 /// advanced to the event's time.
 using EventFn = std::function<void()>;
 
+/// Lazy event label: a small POD of string-literal pieces plus an optional
+/// number, materialized into a std::string only when someone (a trace
+/// observer, the step-mode visualizer) actually asks for the text.
+///
+/// Eagerly formatted labels cost one heap-allocated std::string per event —
+/// millions per large run — while headless sweeps never read them. The
+/// pieces are NOT owned: callers pass string literals or pointers into
+/// storage that outlives the event (a machine's name, the simulation's
+/// cached policy name).
+class EventLabel {
+ public:
+  constexpr EventLabel() noexcept = default;
+
+  /// A fixed label ("autoscaler tick"). Implicit so literal call sites stay
+  /// as cheap to write as the old std::string overloads were.
+  constexpr EventLabel(const char* text) noexcept : prefix_(text) {}  // NOLINT
+
+  /// "<prefix><number>" with optional trailing pieces, covering every label
+  /// shape the model layer emits: "arrival task=7",
+  /// "complete task=7 machine=gpu", ...
+  constexpr EventLabel(const char* prefix, std::uint64_t number, const char* mid = "",
+                       const char* text = "") noexcept
+      : prefix_(prefix), mid_(mid), text_(text), number_(number), has_number_(true) {}
+
+  /// "<prefix><text><suffix>" without a number: "invoke scheduler (FCFS)".
+  [[nodiscard]] static constexpr EventLabel join(const char* prefix, const char* text,
+                                                const char* suffix = "") noexcept {
+    EventLabel label(prefix);
+    label.mid_ = text;
+    label.text_ = suffix;
+    return label;
+  }
+
+  /// Materializes the label text (the only place that allocates).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  const char* prefix_ = "";
+  const char* mid_ = "";
+  const char* text_ = "";
+  std::uint64_t number_ = 0;
+  bool has_number_ = false;
+};
+
 /// Immutable metadata describing one processed (or pending) event; consumed
-/// by observers, the trace recorder and the step-mode visualizer.
+/// by observers, the trace recorder and the step-mode visualizer. The label
+/// is materialized at record-construction time (see EventLabel).
 struct EventRecord {
   EventId id = kNoEvent;
   SimTime time = 0.0;

@@ -17,48 +17,151 @@ const char* event_priority_name(EventPriority priority) noexcept {
   return "unknown";
 }
 
-EventId EventQueue::schedule(SimTime time, EventPriority priority, std::string label,
+std::string EventLabel::str() const {
+  std::string text;
+  text.reserve(48);
+  text += prefix_;
+  if (has_number_) text += std::to_string(number_);
+  text += mid_;
+  text += text_;
+  return text;
+}
+
+EventId EventQueue::schedule(SimTime time, EventPriority priority, EventLabel label,
                              EventFn fn) {
   const EventId id = next_id_++;
-  const OrderKey key{time, priority, next_sequence_++};
-  by_order_.emplace(key, Entry{id, std::move(label), std::move(fn)});
-  by_id_.emplace(id, key);
+  std::uint32_t slot_index;
+  if (free_slots_.empty()) {
+    slot_index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.id = id;
+  slot.live = true;
+  slot.label = label;
+  slot.fn = std::move(fn);
+
+  heap_.push_back(HeapNode{time, next_sequence_++, slot_index, slot.generation, priority});
+  sift_up(heap_.size() - 1);
+  slot_of_.emplace(id, slot_index);
+  ++live_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return false;
-  by_order_.erase(it->second);
-  by_id_.erase(it);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  Slot& slot = slots_[it->second];
+  // Free the slot now: the payload dies, the generation bump turns the slot's
+  // heap node into a tombstone, and the slot can be reused immediately.
+  slot.live = false;
+  ++slot.generation;
+  slot.fn = nullptr;
+  slot.label = EventLabel{};
+  free_slots_.push_back(it->second);
+  slot_of_.erase(it);
+  --live_;
+  ++tombstones_;
+  prune_top();
+  maybe_compact();
   return true;
 }
 
 std::optional<SimTime> EventQueue::next_time() const noexcept {
-  if (by_order_.empty()) return std::nullopt;
-  return by_order_.begin()->first.time;
+  if (live_ == 0) return std::nullopt;
+  return heap_.front().time;  // prune_top keeps the root live
 }
 
 std::optional<EventRecord> EventQueue::peek() const {
-  if (by_order_.empty()) return std::nullopt;
-  const auto& [key, entry] = *by_order_.begin();
-  return EventRecord{entry.id, key.time, key.priority, entry.label};
+  if (live_ == 0) return std::nullopt;
+  const HeapNode& top = heap_.front();
+  const Slot& slot = slots_[top.slot];
+  return EventRecord{slot.id, top.time, top.priority, slot.label.str()};
 }
 
 EventQueue::PoppedEvent EventQueue::pop() {
-  e2c::require(!by_order_.empty(), "EventQueue::pop on empty queue");
-  auto first = by_order_.begin();
-  PoppedEvent popped{EventRecord{first->second.id, first->first.time,
-                                 first->first.priority, std::move(first->second.label)},
-                     std::move(first->second.fn)};
-  by_id_.erase(first->second.id);
-  by_order_.erase(first);
+  e2c::require(live_ != 0, "EventQueue::pop on empty queue");
+  const HeapNode top = heap_.front();
+  Slot& slot = slots_[top.slot];
+  PoppedEvent popped{slot.id, top.time, top.priority, slot.label, std::move(slot.fn)};
+  slot_of_.erase(slot.id);
+  slot.live = false;
+  ++slot.generation;
+  slot.fn = nullptr;
+  slot.label = EventLabel{};
+  free_slots_.push_back(top.slot);
+  --live_;
+  remove_root();
+  prune_top();
   return popped;
 }
 
 void EventQueue::clear() noexcept {
-  by_order_.clear();
-  by_id_.clear();
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  slot_of_.clear();
+  live_ = 0;
+  tombstones_ = 0;
+}
+
+void EventQueue::remove_root() noexcept {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::prune_top() noexcept {
+  while (!heap_.empty() && !node_live(heap_.front())) {
+    remove_root();
+    --tombstones_;
+  }
+}
+
+void EventQueue::maybe_compact() {
+  // Rebuild once tombstones dominate; the slack constant keeps small queues
+  // from compacting on every cancel. O(n) Floyd heapify, amortized O(1).
+  if (tombstones_ <= live_ + 64) return;
+  std::size_t kept = 0;
+  for (const HeapNode& node : heap_) {
+    if (node_live(node)) heap_[kept++] = node;
+  }
+  heap_.resize(kept);
+  tombstones_ = 0;
+  for (std::size_t i = heap_.size() / kArity + 1; i-- > 0;) sift_down(i);
+}
+
+void EventQueue::sift_up(std::size_t index) noexcept {
+  const HeapNode node = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!node.precedes(heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = node;
+}
+
+void EventQueue::sift_down(std::size_t index) noexcept {
+  const HeapNode node = heap_[index];
+  const std::size_t count = heap_.size();
+  while (true) {
+    const std::size_t first_child = index * kArity + 1;
+    if (first_child >= count) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + kArity < count ? first_child + kArity : count;
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (heap_[child].precedes(heap_[best])) best = child;
+    }
+    if (!heap_[best].precedes(node)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = node;
 }
 
 }  // namespace e2c::core

@@ -1,11 +1,12 @@
 /// \file event_queue.hpp
-/// \brief Pending-event calendar with deterministic total ordering and
-/// O(log n) cancellation.
+/// \brief Pending-event calendar: cache-friendly d-ary heap with
+/// generation-stamped lazy cancellation.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "core/event.hpp"
 
@@ -15,62 +16,108 @@ namespace e2c::core {
 ///
 /// The insertion sequence is the tiebreaker of last resort, which makes the
 /// processing order a deterministic function of the schedule() call order —
-/// the property E2C's replay/step debugging relies on.
+/// the property E2C's replay/step debugging relies on. The key comparison is
+/// a strict total order, so the pop sequence is independent of the heap's
+/// internal layout: any correct heap produces the bit-identical event order
+/// the run-digest tests pin down.
 ///
-/// Implemented over std::map keyed by the ordering tuple: pop-min, insert and
-/// cancel are all O(log n), and cancellation physically removes the entry
-/// (no tombstones), keeping size() exact for the GUI's pending-event count.
+/// Implementation: a 4-ary min-heap of small key nodes over a slot pool that
+/// owns the payloads (label + callback). cancel() is O(1) lazy: the slot is
+/// freed immediately (payload destroyed, generation bumped) and the heap
+/// node becomes a tombstone that pop() discards when it surfaces. The heap
+/// top is always live, so peek()/next_time() stay const and exact; size()
+/// counts live events only (the GUI's pending-event panel). When tombstones
+/// outnumber live entries the heap is compacted in place, so cancel-heavy
+/// workloads (deadline drops, replica cancels, fault drains) cannot grow the
+/// heap without bound.
 class EventQueue {
  public:
   /// Inserts an event; returns its unique id (never kNoEvent).
-  EventId schedule(SimTime time, EventPriority priority, std::string label, EventFn fn);
+  EventId schedule(SimTime time, EventPriority priority, EventLabel label, EventFn fn);
 
   /// Removes a pending event. Returns false if the id is unknown or the
-  /// event already fired.
+  /// event already fired. O(1): the payload dies now, the heap node later.
   bool cancel(EventId id);
 
   /// Time of the earliest pending event, or nullopt when empty.
   [[nodiscard]] std::optional<SimTime> next_time() const noexcept;
 
-  /// Metadata of the earliest pending event without removing it.
+  /// Metadata of the earliest pending event without removing it (the label
+  /// is materialized — this is the step-mode UI path, not the hot path).
   [[nodiscard]] std::optional<EventRecord> peek() const;
 
-  /// Removes and returns the earliest pending event (record + callback).
-  /// Requires !empty().
+  /// Removes and returns the earliest pending event. Requires !empty().
+  /// The label stays lazy; the engine materializes it only for observers.
   struct PoppedEvent {
-    EventRecord record;
+    EventId id = kNoEvent;
+    SimTime time = 0.0;
+    EventPriority priority = EventPriority::kControl;
+    EventLabel label;
     EventFn fn;
   };
   [[nodiscard]] PoppedEvent pop();
 
-  /// Number of pending events.
-  [[nodiscard]] std::size_t size() const noexcept { return by_order_.size(); }
+  /// Number of pending (live) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// True when no events are pending.
-  [[nodiscard]] bool empty() const noexcept { return by_order_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Discards all pending events (used by reset).
   void clear() noexcept;
 
+  /// Heap nodes currently allocated, including tombstones — introspection
+  /// for the compaction tests; not part of the calendar's semantics.
+  [[nodiscard]] std::size_t debug_heap_size() const noexcept { return heap_.size(); }
+
  private:
-  struct OrderKey {
+  static constexpr std::size_t kArity = 4;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One heap element: the full ordering key plus a generation-stamped
+  /// reference into the slot pool. Keys live in the node so sift compares
+  /// never touch the (colder, payload-bearing) slots.
+  struct HeapNode {
     SimTime time;
-    EventPriority priority;
     std::uint64_t sequence;
-    bool operator<(const OrderKey& other) const noexcept {
+    std::uint32_t slot;
+    std::uint32_t generation;
+    EventPriority priority;
+
+    [[nodiscard]] bool precedes(const HeapNode& other) const noexcept {
       if (time != other.time) return time < other.time;
       if (priority != other.priority) return priority < other.priority;
       return sequence < other.sequence;
     }
   };
-  struct Entry {
-    EventId id;
-    std::string label;
+
+  /// Payload storage; generation detects stale heap nodes after slot reuse.
+  struct Slot {
+    EventId id = kNoEvent;
+    std::uint32_t generation = 0;
+    bool live = false;
+    EventLabel label;
     EventFn fn;
   };
 
-  std::map<OrderKey, Entry> by_order_;
-  std::map<EventId, OrderKey> by_id_;
+  void sift_up(std::size_t index) noexcept;
+  void sift_down(std::size_t index) noexcept;
+  [[nodiscard]] bool node_live(const HeapNode& node) const noexcept {
+    const Slot& slot = slots_[node.slot];
+    return slot.live && slot.generation == node.generation;
+  }
+  /// Drops tombstones off the heap top so the root is always live.
+  void prune_top() noexcept;
+  /// Rebuilds the heap from its live nodes once tombstones dominate.
+  void maybe_compact();
+  void remove_root() noexcept;
+
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<EventId, std::uint32_t> slot_of_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;  ///< dead nodes still inside heap_
   std::uint64_t next_sequence_ = 1;
   EventId next_id_ = 1;
 };

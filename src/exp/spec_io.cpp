@@ -191,7 +191,10 @@ ExperimentOutputs outputs_from_ini(const util::IniFile& ini) {
 }
 
 ExperimentResult run_experiment_file(const std::string& path, std::size_t workers) {
-  const util::IniFile ini = util::IniFile::load(path);
+  return run_experiment_file(util::IniFile::load(path), workers);
+}
+
+ExperimentResult run_experiment_file(const util::IniFile& ini, std::size_t workers) {
   const ExperimentSpec spec = spec_from_ini(ini);
   const ExperimentOutputs outputs = outputs_from_ini(ini);
   ExperimentResult result = run_experiment(spec, workers);

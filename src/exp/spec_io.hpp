@@ -65,8 +65,14 @@ struct ExperimentOutputs {
 /// Reads the [output] section.
 [[nodiscard]] ExperimentOutputs outputs_from_ini(const util::IniFile& ini);
 
-/// Convenience: load a config file and run it end to end — runs the sweep,
-/// writes the configured outputs, and returns the result.
+/// Runs an already-parsed config end to end — runs the sweep, writes the
+/// configured outputs, and returns the result. Callers that need the
+/// [output] section for their own reporting (e2c_experiment) parse the INI
+/// once and pass it here instead of having the file re-read.
+[[nodiscard]] ExperimentResult run_experiment_file(const util::IniFile& ini,
+                                                   std::size_t workers = 0);
+
+/// Convenience: load a config file and run it end to end.
 [[nodiscard]] ExperimentResult run_experiment_file(const std::string& path,
                                                    std::size_t workers = 0);
 

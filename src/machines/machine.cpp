@@ -106,7 +106,8 @@ core::SimTime Machine::ready_time() const {
 
 void Machine::enqueue(workload::Task& task, double exec_seconds) {
   require(exec_seconds > 0.0, "Machine::enqueue: execution time must be > 0");
-  require(has_queue_space(), "Machine::enqueue: machine queue '" + name_ + "' saturated");
+  require(has_queue_space(),
+          [this] { return "Machine::enqueue: machine queue '" + name_ + "' saturated"; });
   task.status = workload::TaskStatus::kInMachineQueue;
   task.assigned_machine = id_;
   // A task that transferred first was assigned earlier; keep that timestamp.
@@ -162,7 +163,7 @@ void Machine::start_next() {
     running_->phase_started_at = now;
     running_->pending_event = engine_.schedule_at(
         now + checkpoint_->restart_cost, core::EventPriority::kCompletion,
-        "restart task=" + std::to_string(run.task->id) + " machine=" + name_,
+        core::EventLabel("restart task=", run.task->id, " machine=", name_.c_str()),
         [this] { on_restart_loaded(); });
   } else {
     begin_work_segment();
@@ -181,12 +182,12 @@ void Machine::begin_work_segment() {
   if (checkpoint_ && checkpoint_->interval > 0.0 && remaining > checkpoint_->interval) {
     run.pending_event = engine_.schedule_at(
         now + checkpoint_->interval, core::EventPriority::kCompletion,
-        "checkpoint task=" + std::to_string(run.task->id) + " machine=" + name_,
+        core::EventLabel("checkpoint task=", run.task->id, " machine=", name_.c_str()),
         [this] { on_checkpoint_write(); });
   } else {
     run.pending_event = engine_.schedule_at(
         now + remaining, core::EventPriority::kCompletion,
-        "complete task=" + std::to_string(run.task->id) + " machine=" + name_,
+        core::EventLabel("complete task=", run.task->id, " machine=", name_.c_str()),
         [this] { on_completion(); });
   }
 }
@@ -200,7 +201,7 @@ void Machine::on_checkpoint_write() {
   if (checkpoint_->cost > 0.0) {
     run.pending_event = engine_.schedule_at(
         engine_.now() + checkpoint_->cost, core::EventPriority::kCompletion,
-        "commit task=" + std::to_string(run.task->id) + " machine=" + name_,
+        core::EventLabel("commit task=", run.task->id, " machine=", name_.c_str()),
         [this] { on_checkpoint_commit(); });
   } else {
     on_checkpoint_commit();
@@ -280,6 +281,11 @@ bool Machine::remove(workload::TaskId task_id) {
     busy_seconds_ += settle_aborted_run(run, engine_.now());
     ++dropped_;
     start_next();
+    // start_next() only notifies when it actually started a queued task; with
+    // an empty local queue the machine goes idle here and the slot that just
+    // opened must still be advertised, or batch-queue tasks wait forever for
+    // a scheduling trigger that never comes.
+    if (!running_ && listener_) listener_->on_slot_freed(id_);
     return true;
   }
   const auto it = std::find_if(queue_.begin(), queue_.end(), [task_id](const QueueEntry& e) {

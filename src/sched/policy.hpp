@@ -127,6 +127,18 @@ class SchedulingContext {
     if (m.free_slots != kUnlimitedSlots && m.free_slots > 0) --m.free_slots;
   }
 
+  /// Hands the context's buffers back to the caller after schedule() so a
+  /// per-round driver (Simulation::run_scheduler) can recycle their capacity
+  /// instead of reallocating three vectors on every scheduler invocation.
+  /// The context must not be used afterwards.
+  void release_buffers(std::vector<MachineView>& machines,
+                       std::vector<const workload::Task*>& batch_queue,
+                       std::vector<double>& type_ontime_rate) noexcept {
+    machines = std::move(machines_);
+    batch_queue = std::move(batch_queue_);
+    type_ontime_rate = std::move(type_ontime_rate_);
+  }
+
  private:
   core::SimTime now_;
   const hetero::EetMatrix* eet_;

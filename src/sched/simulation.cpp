@@ -25,6 +25,7 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
       policy_(std::move(policy)),
       sampling_rng_(config_.sampling_seed) {
   require_input(policy_ != nullptr, "Simulation: policy must not be null");
+  policy_name_ = policy_->name();
   require_input(!config_.machines.empty(), "Simulation: at least one machine required");
   if (config_.pet) {
     require_input(config_.pet->task_type_count() == config_.eet.task_type_count() &&
@@ -134,10 +135,11 @@ void Simulation::load(const workload::Workload& workload) {
     require_input(index_of_.emplace(tasks_[i].id, i).second,
                   "Simulation: duplicate task id " + std::to_string(tasks_[i].id));
   }
+  batch_queue_.reset(tasks_.size());
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const workload::Task& task = tasks_[i];
     engine_.schedule_at(task.arrival, core::EventPriority::kArrival,
-                        "arrival task=" + std::to_string(task.id),
+                        core::EventLabel("arrival task=", task.id),
                         [this, i] { on_arrival(i); });
   }
   if (config_.autoscaler.enabled && !tasks_.empty()) {
@@ -165,7 +167,10 @@ bool Simulation::finished() const noexcept {
 }
 
 std::vector<workload::TaskId> Simulation::batch_queue_ids() const {
-  return {batch_queue_.begin(), batch_queue_.end()};
+  std::vector<workload::TaskId> ids;
+  ids.reserve(batch_queue_.size());
+  batch_queue_.for_each([&](std::size_t index) { ids.push_back(tasks_[index].id); });
+  return ids;
 }
 
 std::vector<const workload::Task*> Simulation::missed_tasks() const {
@@ -201,12 +206,12 @@ double Simulation::total_dynamic_energy_joules(core::SimTime horizon) const {
 void Simulation::on_arrival(std::size_t index) {
   workload::Task& task = tasks_[index];
   task.status = workload::TaskStatus::kInBatchQueue;
-  batch_queue_.push_back(task.id);
+  batch_queue_.push_back(index);
   if (task.deadline < core::kTimeInfinity) {
     const core::SimTime when = std::max(task.deadline, engine_.now());
     deadline_event_[task.id] = engine_.schedule_at(
-        when, core::EventPriority::kDeadline,
-        "deadline task=" + std::to_string(task.id), [this, index] { on_deadline(index); });
+        when, core::EventPriority::kDeadline, core::EventLabel("deadline task=", task.id),
+        [this, index] { on_deadline(index); });
   }
   request_schedule();
 }
@@ -235,9 +240,7 @@ void Simulation::on_deadline(std::size_t index) {
     }
     case workload::TaskStatus::kInBatchQueue: {
       // Deadline before mapping: cancelled (paper §3).
-      const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
-      require(it != batch_queue_.end(), "deadline: task missing from batch queue");
-      batch_queue_.erase(it);
+      require(batch_queue_.erase(index), "deadline: task missing from batch queue");
       task.status = workload::TaskStatus::kCancelled;
       task.missed_time = engine_.now();
       mark_terminal(task);
@@ -280,7 +283,7 @@ void Simulation::request_schedule() {
   if (schedule_pending_ || batch_queue_.empty()) return;
   schedule_pending_ = true;
   engine_.schedule_at(engine_.now(), core::EventPriority::kSchedule,
-                      "invoke scheduler (" + policy_->name() + ")",
+                      core::EventLabel::join("invoke scheduler (", policy_name_.c_str(), ")"),
                       [this] { run_scheduler(); });
 }
 
@@ -288,8 +291,14 @@ void Simulation::run_scheduler() {
   schedule_pending_ = false;
   if (batch_queue_.empty()) return;
 
-  std::vector<MachineView> views;
+  // The three context buffers are scratch members: run_scheduler fires once
+  // per batch round, and reusing their capacity avoids three heap
+  // allocations per round on the hot path.
+  std::vector<MachineView>& views = views_scratch_;
+  views.clear();
   views.reserve(machines_.size());
+  const bool unbounded = policy_->mode() == PolicyMode::kImmediate ||
+                         config_.machine_queue_capacity == machines::kUnboundedQueue;
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     const machines::Machine& machine = *machines_[m];
     MachineView view;
@@ -297,8 +306,6 @@ void Simulation::run_scheduler() {
     view.type = machine.type();
     // Projected ready time includes work whose payload is still in flight.
     view.ready_time = machine.ready_time() + in_flight_exec_[m];
-    const bool unbounded = policy_->mode() == PolicyMode::kImmediate ||
-                           config_.machine_queue_capacity == machines::kUnboundedQueue;
     const std::size_t used = machine.queue_length() + in_flight_count_[m];
     if (!machine.online() || (!unbounded && used >= config_.machine_queue_capacity)) {
       view.free_slots = 0;
@@ -312,39 +319,47 @@ void Simulation::run_scheduler() {
     views.push_back(view);
   }
 
-  std::vector<const workload::Task*> queue_view;
+  std::vector<const workload::Task*>& queue_view = queue_view_scratch_;
+  queue_view.clear();
   queue_view.reserve(batch_queue_.size());
-  for (workload::TaskId id : batch_queue_) queue_view.push_back(&tasks_[task_index(id)]);
+  batch_queue_.for_each([&](std::size_t index) { queue_view.push_back(&tasks_[index]); });
 
-  std::vector<double> rates(config_.eet.task_type_count(), 1.0);
+  std::vector<double>& rates = rates_scratch_;
+  rates.assign(config_.eet.task_type_count(), 1.0);
   for (std::size_t t = 0; t < rates.size(); ++t) rates[t] = type_ontime_rate(t);
 
   SchedulingContext context(engine_.now(), config_.eet, std::move(views),
                             std::move(queue_view), std::move(rates),
                             config_.pet ? &*config_.pet : nullptr);
   const std::vector<Assignment> assignments = policy_->schedule(context);
+  context.release_buffers(views_scratch_, queue_view_scratch_, rates_scratch_);
   for (const Assignment& assignment : assignments) apply_assignment(assignment);
 }
 
 void Simulation::apply_assignment(const Assignment& assignment) {
   const std::size_t index = task_index(assignment.task);
   workload::Task& task = tasks_[index];
-  require_input(task.status == workload::TaskStatus::kInBatchQueue,
-                "policy '" + policy_->name() + "' assigned task " +
-                    std::to_string(assignment.task) + " which is not in the batch queue");
-  require_input(assignment.machine < machines_.size(),
-                "policy '" + policy_->name() + "' assigned to unknown machine");
+  require_input(task.status == workload::TaskStatus::kInBatchQueue, [&] {
+    return "policy '" + policy_name_ + "' assigned task " +
+           std::to_string(assignment.task) + " which is not in the batch queue";
+  });
+  require_input(assignment.machine < machines_.size(), [&] {
+    return "policy '" + policy_name_ + "' assigned to unknown machine";
+  });
   machines::Machine& machine = *machines_[assignment.machine];
-  require_input(machine.has_queue_space(),
-                "policy '" + policy_->name() + "' overflowed queue of machine '" +
-                    machine.name() + "'");
+  require_input(machine.has_queue_space(), [&] {
+    return "policy '" + policy_name_ + "' overflowed queue of machine '" +
+           machine.name() + "'";
+  });
   const bool bounded = policy_->mode() != PolicyMode::kImmediate &&
                        config_.machine_queue_capacity != machines::kUnboundedQueue;
   require_input(!bounded || machine.queue_length() + in_flight_count_[assignment.machine] <
                                 config_.machine_queue_capacity,
-                "policy '" + policy_->name() +
-                    "' overflowed reserved (in-flight) capacity of machine '" +
-                    machine.name() + "'");
+                [&] {
+                  return "policy '" + policy_name_ +
+                         "' overflowed reserved (in-flight) capacity of machine '" +
+                         machine.name() + "'";
+                });
 
   // Replicas must run on distinct machines: skip an assignment that would
   // co-locate two live copies of the same task. The task simply stays in the
@@ -365,9 +380,7 @@ void Simulation::apply_assignment(const Assignment& assignment) {
     }
   }
 
-  const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), task.id);
-  require(it != batch_queue_.end(), "assignment: task missing from batch queue");
-  batch_queue_.erase(it);
+  require(batch_queue_.erase(index), "assignment: task missing from batch queue");
 
   // Actual execution time: sampled under a PET, the EET expectation otherwise.
   const double exec = config_.pet
@@ -382,7 +395,8 @@ void Simulation::apply_assignment(const Assignment& assignment) {
     task.assignment_time = engine_.now();
     const core::EventId event = engine_.schedule_in(
         transfer, core::EventPriority::kControl,
-        "transfer done task=" + std::to_string(task.id) + " machine=" + machine.name(),
+        core::EventLabel("transfer done task=", task.id, " machine=",
+                         machine.name().c_str()),
         [this, index] { on_transfer_complete(index); });
     in_flight_.emplace(task.id, InFlight{machine.id(), exec, event});
     ++in_flight_count_[machine.id()];
@@ -416,7 +430,7 @@ void Simulation::schedule_next_failure(std::size_t m, double from) {
   const double repair_time = span->repair_time;
   pending_fault_event_[m] = engine_.schedule_at(
       span->fail_time, core::EventPriority::kControl,
-      "machine failure " + machines_[m]->name(),
+      core::EventLabel::join("machine failure ", machines_[m]->name().c_str()),
       [this, m, repair_time] { on_machine_failure(m, repair_time); });
 }
 
@@ -450,7 +464,8 @@ void Simulation::on_machine_failure(std::size_t m, double repair_time) {
   // Schedule the repair before aborting tasks: if an abort ends the last
   // live task, mark_terminal drains this event so run() ends promptly.
   pending_fault_event_[m] = engine_.schedule_at(
-      repair_time, core::EventPriority::kControl, "machine repair " + machine.name(),
+      repair_time, core::EventPriority::kControl,
+      core::EventLabel::join("machine repair ", machine.name().c_str()),
       [this, m] { on_machine_repair(m); });
   for (workload::Task* task : evicted) handle_fault_abort(*task);
 }
@@ -488,7 +503,7 @@ void Simulation::handle_fault_abort(workload::Task& task) {
   const std::size_t index = task_index(task.id);
   retry_event_[task.id] = engine_.schedule_in(
       retry.delay(task.retries), core::EventPriority::kControl,
-      "retry task=" + std::to_string(task.id), [this, index] { on_retry_ready(index); });
+      core::EventLabel("retry task=", task.id), [this, index] { on_retry_ready(index); });
 }
 
 void Simulation::on_retry_ready(std::size_t index) {
@@ -497,7 +512,7 @@ void Simulation::on_retry_ready(std::size_t index) {
   require(task.status == workload::TaskStatus::kRetryWait,
           "retry fired for a task not waiting on retry");
   task.status = workload::TaskStatus::kInBatchQueue;
-  batch_queue_.push_back(task.id);
+  batch_queue_.push_back(index);
   request_schedule();
 }
 
@@ -532,7 +547,10 @@ void Simulation::autoscaler_tick() {
   } else if (batch_queue_.size() <= scaler.queue_low) {
     scale_in();
   }
-  if (!finished()) {
+  // all_terminal() is the counter-based equivalent of finished(): both hold
+  // exactly when every submitted task reached a terminal outcome, and the
+  // counter check is O(1) instead of scanning every task per tick.
+  if (!all_terminal()) {
     engine_.schedule_in(scaler.interval, core::EventPriority::kControl,
                         "autoscaler tick", [this] { autoscaler_tick(); });
   }
@@ -544,7 +562,9 @@ void Simulation::scale_out() {
     if (machines_[m]->online() || machines_[m]->failed() || booting_[m]) continue;
     booting_[m] = true;
     engine_.schedule_in(config_.autoscaler.boot_delay, core::EventPriority::kControl,
-                        "machine online " + machines_[m]->name(), [this, m] {
+                        core::EventLabel::join("machine online ",
+                                               machines_[m]->name().c_str()),
+                        [this, m] {
                           booting_[m] = false;
                           machines_[m]->set_online(true, engine_.now());
                           request_schedule();
@@ -576,7 +596,8 @@ void Simulation::scale_in() {
 
 std::size_t Simulation::task_index(workload::TaskId id) const {
   const auto it = index_of_.find(id);
-  require(it != index_of_.end(), "unknown task id " + std::to_string(id));
+  require(it != index_of_.end(),
+          [id] { return "unknown task id " + std::to_string(id); });
   return it->second;
 }
 
@@ -635,9 +656,7 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
     }
     switch (sibling.status) {
       case workload::TaskStatus::kInBatchQueue: {
-        const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), sibling.id);
-        require(it != batch_queue_.end(), "replica cancel: task missing from batch queue");
-        batch_queue_.erase(it);
+        require(batch_queue_.erase(member), "replica cancel: task missing from batch queue");
         break;
       }
       case workload::TaskStatus::kTransferring: {

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,6 +28,7 @@
 #include "mem/model_cache.hpp"
 #include "net/comm_model.hpp"
 #include "sched/policy.hpp"
+#include "sched/task_index_queue.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -241,14 +241,23 @@ class Simulation final : public machines::MachineListener {
 
   SystemConfig config_;
   std::unique_ptr<Policy> policy_;
+  std::string policy_name_;  ///< cached: stable storage for lazy event labels
   core::Engine engine_;
   std::vector<std::unique_ptr<machines::Machine>> machines_;
 
   std::vector<workload::Task> tasks_;
   std::unordered_map<workload::TaskId, std::size_t> index_of_;
   std::unordered_map<workload::TaskId, core::EventId> deadline_event_;
-  std::deque<workload::TaskId> batch_queue_;
+  /// Batch queue over task indices: O(1) membership/removal, arrival order
+  /// preserved (see TaskIndexQueue).
+  TaskIndexQueue batch_queue_;
   std::vector<workload::TaskId> missed_order_;
+
+  // Per-round scheduler scratch, recycled through SchedulingContext's
+  // release_buffers() so run_scheduler() allocates nothing at steady state.
+  std::vector<MachineView> views_scratch_;
+  std::vector<const workload::Task*> queue_view_scratch_;
+  std::vector<double> rates_scratch_;
 
   SimulationCounters counters_;
   std::vector<std::size_t> completed_by_type_;

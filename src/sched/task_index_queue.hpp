@@ -1,0 +1,97 @@
+/// \file task_index_queue.hpp
+/// \brief Order-preserving O(1) membership queue over dense task indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace e2c::sched {
+
+/// The batch queue's backing structure: an intrusive doubly-linked list
+/// threaded through two flat arrays indexed by task index (tasks are dense
+/// 0..n-1). push_back/erase/contains are O(1) and iteration preserves
+/// arrival (insertion) order — replacing the vector + std::find/erase paths
+/// that made every deadline drop, assignment and replica cancel O(queue).
+///
+/// A task index may re-enter the queue after leaving it (fault retries).
+class TaskIndexQueue {
+ public:
+  /// Sizes the structure for task indices [0, count) and empties it.
+  void reset(std::size_t count) {
+    next_.assign(count, kNil);
+    prev_.assign(count, kNil);
+    member_.assign(count, 0);
+    head_ = kNil;
+    tail_ = kNil;
+    size_ = 0;
+  }
+
+  /// Appends \p index. Requires index < capacity and not already enqueued.
+  void push_back(std::size_t index) {
+    require(index < member_.size(), "TaskIndexQueue::push_back: index out of range");
+    require(member_[index] == 0, "TaskIndexQueue::push_back: index already enqueued");
+    const auto node = static_cast<std::int32_t>(index);
+    member_[index] = 1;
+    next_[index] = kNil;
+    prev_[index] = tail_;
+    if (tail_ != kNil) {
+      next_[static_cast<std::size_t>(tail_)] = node;
+    } else {
+      head_ = node;
+    }
+    tail_ = node;
+    ++size_;
+  }
+
+  /// Unlinks \p index; returns false when it is not in the queue.
+  bool erase(std::size_t index) {
+    if (index >= member_.size() || member_[index] == 0) return false;
+    const std::int32_t before = prev_[index];
+    const std::int32_t after = next_[index];
+    if (before != kNil) {
+      next_[static_cast<std::size_t>(before)] = after;
+    } else {
+      head_ = after;
+    }
+    if (after != kNil) {
+      prev_[static_cast<std::size_t>(after)] = before;
+    } else {
+      tail_ = before;
+    }
+    member_[index] = 0;
+    next_[index] = kNil;
+    prev_[index] = kNil;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t index) const noexcept {
+    return index < member_.size() && member_[index] != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Calls \p fn with each enqueued task index, oldest first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::int32_t node = head_; node != kNil;
+         node = next_[static_cast<std::size_t>(node)]) {
+      fn(static_cast<std::size_t>(node));
+    }
+  }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> prev_;
+  std::vector<std::uint8_t> member_;
+  std::int32_t head_ = kNil;
+  std::int32_t tail_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace e2c::sched

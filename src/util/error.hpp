@@ -7,6 +7,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace e2c {
 
@@ -46,13 +48,38 @@ class UnknownPolicyError : public InputError {
 ///
 /// Used for internal consistency checks that must hold in release builds
 /// (unlike assert, which vanishes under NDEBUG).
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvariantError(message);
+}
+
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvariantError(message);
 }
 
+/// Lazy-message form for hot paths: \p message_fn is only invoked — and its
+/// string only built — when the check fails. Checks like schedule_at's
+/// not-in-the-past guard run once per event; eagerly formatting their
+/// messages put string allocation on the simulator's hot path.
+template <typename MessageFn,
+          typename = std::enable_if_t<std::is_invocable_r_v<std::string, MessageFn>>>
+inline void require(bool condition, MessageFn&& message_fn) {
+  if (!condition) throw InvariantError(std::forward<MessageFn>(message_fn)());
+}
+
 /// Throws InputError with \p message if \p condition is false.
+inline void require_input(bool condition, const char* message) {
+  if (!condition) throw InputError(message);
+}
+
 inline void require_input(bool condition, const std::string& message) {
   if (!condition) throw InputError(message);
+}
+
+/// Lazy-message form; see require().
+template <typename MessageFn,
+          typename = std::enable_if_t<std::is_invocable_r_v<std::string, MessageFn>>>
+inline void require_input(bool condition, MessageFn&& message_fn) {
+  if (!condition) throw InputError(std::forward<MessageFn>(message_fn)());
 }
 
 }  // namespace e2c

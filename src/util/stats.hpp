@@ -58,8 +58,16 @@ class RunningStats {
 /// 0 for an empty vector.
 [[nodiscard]] double percentile(std::vector<double> values, double pct) noexcept;
 
-/// Half-width of the ~95% normal-approximation confidence interval of the
-/// mean (1.96 * s / sqrt(n)); 0 with fewer than two values.
+/// Two-sided 95% critical value of Student's t distribution with \p df
+/// degrees of freedom (tabulated for df <= 30, coarser breakpoints to
+/// df = 120, then the normal limit 1.96); 0 when df == 0.
+[[nodiscard]] double student_t95(std::size_t df) noexcept;
+
+/// Half-width of the 95% confidence interval of the mean,
+/// t_{0.975, n-1} * s / sqrt(n); 0 with fewer than two values. Uses the
+/// small-sample Student-t critical value — experiment replication counts are
+/// routinely in the single digits, where the z=1.96 normal approximation
+/// understates the interval.
 [[nodiscard]] double ci95_half_width(const std::vector<double>& values) noexcept;
 
 /// Jain's fairness index over non-negative allocations:

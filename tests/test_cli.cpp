@@ -15,6 +15,9 @@ namespace {
 #ifndef E2C_RUN_BIN
 #error "E2C_RUN_BIN must be defined by the build"
 #endif
+#ifndef E2C_EXPERIMENT_BIN
+#error "E2C_EXPERIMENT_BIN must be defined by the build"
+#endif
 #ifndef E2C_DATA_DIR
 #error "E2C_DATA_DIR must be defined by the build"
 #endif
@@ -24,8 +27,8 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult run_command(const std::string& args) {
-  const std::string command = std::string(E2C_RUN_BIN) + " " + args + " 2>&1";
+CommandResult run_binary(const std::string& binary, const std::string& args) {
+  const std::string command = binary + " " + args + " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return {};
   CommandResult result;
@@ -37,6 +40,14 @@ CommandResult run_command(const std::string& args) {
   const int status = pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+CommandResult run_command(const std::string& args) {
+  return run_binary(E2C_RUN_BIN, args);
+}
+
+CommandResult run_experiment(const std::string& args) {
+  return run_binary(E2C_EXPERIMENT_BIN, args);
 }
 
 std::string data(const std::string& file) { return std::string(E2C_DATA_DIR) + "/" + file; }
@@ -226,6 +237,35 @@ TEST(Cli, RecoveryRunIsBitIdenticalUnderSeed) {
   const auto second = run_command(args);
   ASSERT_EQ(first.exit_code, 0);
   EXPECT_EQ(first.output, second.output);
+}
+
+TEST(ExperimentCli, HelpAndMissingConfig) {
+  EXPECT_EQ(run_experiment("--help").exit_code, 0);
+  // No config at all is invalid input (2), not an internal error (1).
+  EXPECT_EQ(run_experiment("").exit_code, 2);
+}
+
+TEST(ExperimentCli, NonNumericWorkersIsInvalidInput) {
+  // std::stoul used to throw std::invalid_argument here, which surfaced as
+  // exit 1 (internal error) instead of 2 (invalid input).
+  const auto result = run_experiment(data("experiment_example.ini") + " banana");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("workers"), std::string::npos);
+}
+
+TEST(ExperimentCli, NegativeWorkersIsInvalidInput) {
+  // std::stoul used to wrap "-1" to SIZE_MAX and march on.
+  const auto result = run_experiment(data("experiment_example.ini") + " -1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("workers"), std::string::npos);
+}
+
+TEST(ExperimentCli, TrailingJunkInWorkersIsInvalidInput) {
+  EXPECT_EQ(run_experiment(data("experiment_example.ini") + " 2x").exit_code, 2);
+}
+
+TEST(ExperimentCli, MissingConfigFileIsIoError) {
+  EXPECT_EQ(run_experiment("/nonexistent/sweep.ini 1").exit_code, 3);
 }
 
 TEST(Cli, IncompatibleWorkloadRejected) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <tuple>
 #include <vector>
 
@@ -20,9 +21,9 @@ TEST(EventQueue, PopsInTimeOrder) {
   (void)queue.schedule(3.0, EventPriority::kArrival, "c", {});
   (void)queue.schedule(1.0, EventPriority::kArrival, "a", {});
   (void)queue.schedule(2.0, EventPriority::kArrival, "b", {});
-  EXPECT_EQ(queue.pop().record.label, "a");
-  EXPECT_EQ(queue.pop().record.label, "b");
-  EXPECT_EQ(queue.pop().record.label, "c");
+  EXPECT_EQ(queue.pop().label.str(), "a");
+  EXPECT_EQ(queue.pop().label.str(), "b");
+  EXPECT_EQ(queue.pop().label.str(), "c");
 }
 
 TEST(EventQueue, PriorityBreaksTimeTies) {
@@ -32,10 +33,10 @@ TEST(EventQueue, PriorityBreaksTimeTies) {
   (void)queue.schedule(5.0, EventPriority::kDeadline, "deadline", {});
   (void)queue.schedule(5.0, EventPriority::kSchedule, "schedule", {});
   // completion < deadline < arrival < schedule
-  EXPECT_EQ(queue.pop().record.label, "completion");
-  EXPECT_EQ(queue.pop().record.label, "deadline");
-  EXPECT_EQ(queue.pop().record.label, "arrival");
-  EXPECT_EQ(queue.pop().record.label, "schedule");
+  EXPECT_EQ(queue.pop().label.str(), "completion");
+  EXPECT_EQ(queue.pop().label.str(), "deadline");
+  EXPECT_EQ(queue.pop().label.str(), "arrival");
+  EXPECT_EQ(queue.pop().label.str(), "schedule");
 }
 
 TEST(EventQueue, InsertionOrderBreaksFullTies) {
@@ -43,9 +44,9 @@ TEST(EventQueue, InsertionOrderBreaksFullTies) {
   (void)queue.schedule(1.0, EventPriority::kArrival, "first", {});
   (void)queue.schedule(1.0, EventPriority::kArrival, "second", {});
   (void)queue.schedule(1.0, EventPriority::kArrival, "third", {});
-  EXPECT_EQ(queue.pop().record.label, "first");
-  EXPECT_EQ(queue.pop().record.label, "second");
-  EXPECT_EQ(queue.pop().record.label, "third");
+  EXPECT_EQ(queue.pop().label.str(), "first");
+  EXPECT_EQ(queue.pop().label.str(), "second");
+  EXPECT_EQ(queue.pop().label.str(), "third");
 }
 
 TEST(EventQueue, CancelRemovesEvent) {
@@ -54,7 +55,7 @@ TEST(EventQueue, CancelRemovesEvent) {
   (void)queue.schedule(2.0, EventPriority::kArrival, "b", {});
   EXPECT_TRUE(queue.cancel(id));
   EXPECT_EQ(queue.size(), 1u);
-  EXPECT_EQ(queue.pop().record.label, "b");
+  EXPECT_EQ(queue.pop().label.str(), "b");
 }
 
 TEST(EventQueue, CancelUnknownIdReturnsFalse) {
@@ -149,7 +150,7 @@ TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
                            [](const auto& a, const auto& b) { return a.first < b.first; });
       const auto popped = queue.pop();
       ASSERT_NE(expected, reference.end());
-      EXPECT_EQ(popped.record.id, expected->second);
+      EXPECT_EQ(popped.id, expected->second);
       reference.erase(expected);
     }
     EXPECT_EQ(queue.size(), reference.size());
@@ -157,13 +158,105 @@ TEST_P(EventQueueFuzzTest, MatchesReferenceModel) {
   // Drain and verify the final ordering end to end.
   std::sort(reference.begin(), reference.end());
   for (const auto& [key, id] : reference) {
-    EXPECT_EQ(queue.pop().record.id, id);
+    EXPECT_EQ(queue.pop().id, id);
   }
   EXPECT_TRUE(queue.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzzTest,
                          testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// Property test against the calendar's previous implementation: an ordered
+// std::map keyed by (time, priority, sequence) — the exact structure the
+// d-ary heap replaced. The heap must be observationally indistinguishable:
+// same pop order, same size() after every step, same cancel() results.
+class EventQueueMapModelTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueMapModelTest, BehavesLikeOrderedMapCalendar) {
+  using Key = std::tuple<double, int, std::uint64_t>;  // time, priority, seq
+  e2c::util::Rng rng(GetParam());
+  EventQueue queue;
+  std::map<Key, e2c::core::EventId> model;
+  std::map<e2c::core::EventId, Key> key_of;  // live events only
+  std::uint64_t seq = 0;
+  std::vector<e2c::core::EventId> issued;  // every id ever returned
+
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.50 || model.empty()) {
+      // Times drawn from a small lattice force heavy (time, priority) ties,
+      // exercising the sequence tiebreaker rather than luck.
+      const double time = static_cast<double>(rng.uniform_int(0, 19)) * 0.5;
+      const auto priority = static_cast<EventPriority>(rng.uniform_int(0, 4));
+      const auto id = queue.schedule(time, priority, "", {});
+      const Key key{time, static_cast<int>(priority), seq++};
+      model.emplace(key, id);
+      key_of.emplace(id, key);
+      issued.push_back(id);
+    } else if (action < 0.75) {
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(issued.size()) - 1));
+      const e2c::core::EventId id = issued[index];
+      const auto it = key_of.find(id);
+      const bool live = it != key_of.end();
+      EXPECT_EQ(queue.cancel(id), live) << "id=" << id;
+      EXPECT_FALSE(queue.cancel(id)) << "double cancel must fail, id=" << id;
+      if (live) {
+        model.erase(it->second);
+        key_of.erase(it);
+      }
+    } else {
+      const auto expected = model.begin();
+      ASSERT_NE(expected, model.end());
+      const auto popped = queue.pop();
+      EXPECT_EQ(popped.id, expected->second);
+      EXPECT_DOUBLE_EQ(popped.time, std::get<0>(expected->first));
+      EXPECT_EQ(static_cast<int>(popped.priority), std::get<1>(expected->first));
+      key_of.erase(expected->second);
+      model.erase(expected);
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    ASSERT_EQ(queue.empty(), model.empty());
+    if (!model.empty()) {
+      ASSERT_TRUE(queue.next_time().has_value());
+      EXPECT_DOUBLE_EQ(*queue.next_time(), std::get<0>(model.begin()->first));
+    } else {
+      EXPECT_FALSE(queue.next_time().has_value());
+    }
+  }
+  while (!model.empty()) {
+    EXPECT_EQ(queue.pop().id, model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueMapModelTest,
+                         testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+TEST(EventQueue, TombstoneCompactionBoundsHeapGrowth) {
+  // Cancel-heavy workloads (deadline drops, replica cancels, fault drains)
+  // leave tombstones in the heap. Compaction must keep the heap's physical
+  // size proportional to the live count, not to the total cancel volume.
+  EventQueue queue;
+  std::vector<e2c::core::EventId> pinned;
+  for (int i = 0; i < 8; ++i) {
+    pinned.push_back(queue.schedule(1000.0, EventPriority::kControl, "pin", {}));
+  }
+  for (int round = 0; round < 5000; ++round) {
+    const auto id = queue.schedule(static_cast<double>(round % 97), EventPriority::kArrival,
+                                   "", {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_EQ(queue.size(), pinned.size());
+    // live + tombstone slack (64) + the one transiently pushed node.
+    EXPECT_LE(queue.debug_heap_size(), pinned.size() + 64 + 1) << "round=" << round;
+  }
+  // The pinned events survive the churn in exact order.
+  for (const auto id : pinned) {
+    EXPECT_EQ(queue.pop().id, id);
+  }
+  EXPECT_TRUE(queue.empty());
+}
 
 TEST(EventQueue, PriorityNames) {
   EXPECT_STREQ(e2c::core::event_priority_name(EventPriority::kCompletion), "completion");

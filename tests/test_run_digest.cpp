@@ -1,0 +1,199 @@
+// Run-digest guard for the simulation hot path.
+//
+// For every registered policy, three full simulations (plain, fault-injected,
+// autoscaled) are reduced to one 64-bit FNV-1a digest over the complete
+// per-task outcome records plus the summary metrics. The golden values below
+// were captured from the std::map calendar / string-label implementation, so
+// any refactor of the event queue, label machinery or batch-queue structure
+// that changes *anything* observable — task statuses, timestamps (bitwise),
+// counters, energy — fails here. This is the determinism contract: the
+// calendar's (time, priority, insertion sequence) total order must be
+// bit-identical across implementations.
+//
+// Regenerate goldens (only when an intentional semantic change lands):
+//   E2C_PRINT_DIGESTS=1 ./test_run_digest --gtest_filter='*Digest*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using e2c::sched::Simulation;
+using e2c::sched::SystemConfig;
+
+class Fnv1a {
+ public:
+  void add_u64(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFFu;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void add_double(double value) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_opt(const std::optional<double>& value) noexcept {
+    add_u64(value.has_value() ? 1u : 0u);
+    add_double(value.value_or(0.0));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+std::uint64_t run_digest(SystemConfig config, const std::string& policy_name) {
+  const auto machine_types = e2c::exp::machine_types_of(config);
+  const auto generator = e2c::workload::config_for_offered_load(
+      config.eet, machine_types, /*rho=*/1.3, /*duration=*/40.0, /*seed=*/20230607);
+  const auto workload = e2c::workload::generate_workload(config.eet, generator);
+
+  Simulation simulation(std::move(config), e2c::sched::make_policy(policy_name));
+  simulation.load(workload);
+  simulation.run();
+
+  Fnv1a digest;
+  for (const auto& task : simulation.tasks()) {
+    digest.add_u64(task.id);
+    digest.add_u64(task.type);
+    digest.add_u64(static_cast<std::uint64_t>(task.status));
+    digest.add_u64(task.assigned_machine.value_or(~0ull));
+    digest.add_opt(task.assignment_time);
+    digest.add_opt(task.start_time);
+    digest.add_opt(task.completion_time);
+    digest.add_opt(task.missed_time);
+    digest.add_u64(task.retries);
+    digest.add_double(task.useful_seconds);
+    digest.add_double(task.lost_seconds);
+    digest.add_double(task.checkpoint_overhead_seconds);
+    digest.add_double(task.machine_seconds);
+  }
+  const auto& counters = simulation.counters();
+  digest.add_u64(counters.total);
+  digest.add_u64(counters.completed);
+  digest.add_u64(counters.cancelled);
+  digest.add_u64(counters.dropped);
+  digest.add_u64(counters.failed);
+  digest.add_u64(counters.requeued);
+  digest.add_double(simulation.engine().now());
+  digest.add_u64(simulation.engine().processed_count());
+  digest.add_double(simulation.total_energy_joules());
+  return digest.value();
+}
+
+SystemConfig plain_system() { return e2c::exp::heterogeneous_classroom(2); }
+
+SystemConfig faulty_system() {
+  SystemConfig config = e2c::exp::heterogeneous_classroom(2);
+  config.faults.enabled = true;
+  config.faults.mtbf = 25.0;
+  config.faults.mttr = 3.0;
+  config.faults.seed = 99;
+  return config;
+}
+
+SystemConfig autoscaled_system() {
+  SystemConfig config = e2c::exp::heterogeneous_classroom(2);
+  config.autoscaler.enabled = true;
+  config.autoscaler.interval = 4.0;
+  config.autoscaler.queue_high = 4;
+  config.autoscaler.queue_low = 1;
+  config.autoscaler.boot_delay = 1.5;
+  config.autoscaler.min_online = 1;
+  config.autoscaler.initially_offline = {2, 3};
+  return config;
+}
+
+struct Scenario {
+  const char* name;
+  SystemConfig (*make)();
+};
+
+constexpr Scenario kScenarios[] = {
+    {"plain", plain_system},
+    {"faults", faulty_system},
+    {"autoscaled", autoscaled_system},
+};
+
+// Golden digests captured from the seed implementation (std::map calendar,
+// eager string labels, vector batch queue). Keyed "scenario/policy".
+const std::map<std::string, std::uint64_t>& golden_digests() {
+  static const std::map<std::string, std::uint64_t> golden = {
+      // clang-format off
+      {"plain/FCFS", 0xCB3E0F02E1197FCAull},
+      {"plain/MEET", 0xBC8BBF9CDC4AAB12ull},
+      {"plain/MECT", 0x4312A98D3F343548ull},
+      {"plain/FTMIN-EET", 0x4312A98D3F343548ull},
+      {"plain/MM", 0x4312A98D3F343548ull},
+      {"plain/MMU", 0x4312A98D3F343548ull},
+      {"plain/MSD", 0x4312A98D3F343548ull},
+      {"plain/ELARE", 0x94C2DA303CA74898ull},
+      {"plain/FELARE", 0x94C2DA303CA74898ull},
+      {"plain/FairShare", 0x4312A98D3F343548ull},
+      {"plain/PAM", 0x4312A98D3F343548ull},
+      {"faults/FCFS", 0x87592684AF278DEAull},
+      {"faults/MEET", 0x7C2E45C6B1504F0Full},
+      {"faults/MECT", 0x38CA60D80096BB7Dull},
+      {"faults/FTMIN-EET", 0xE12D27033F85E0C2ull},
+      {"faults/MM", 0xC6AA9B47164B9F4Cull},
+      {"faults/MMU", 0x24919A16A3FF2C00ull},
+      {"faults/MSD", 0x24919A16A3FF2C00ull},
+      {"faults/ELARE", 0x68CB9AC2CB2D0E7Eull},
+      {"faults/FELARE", 0x5537C00A222B5B22ull},
+      {"faults/FairShare", 0x1F0F0C8838852B5Eull},
+      {"faults/PAM", 0xC6AA9B47164B9F4Cull},
+      {"autoscaled/FCFS", 0xDC9719691B61D484ull},
+      {"autoscaled/MEET", 0x2C9173D56889CD8Bull},
+      {"autoscaled/MECT", 0x44DB6EDFDA5A4970ull},
+      {"autoscaled/FTMIN-EET", 0x44DB6EDFDA5A4970ull},
+      {"autoscaled/MM", 0xA3F6229C3082FCD4ull},
+      {"autoscaled/MMU", 0xDCCCE1B62C20CD05ull},
+      {"autoscaled/MSD", 0xABD57C1C441CD42Dull},
+      {"autoscaled/ELARE", 0xDDBC735B3A2D5FF0ull},
+      {"autoscaled/FELARE", 0x80A7B50323E5273Full},
+      {"autoscaled/FairShare", 0x1F1C8B34E0A9EFF4ull},
+      {"autoscaled/PAM", 0xA3F6229C3082FCD4ull},
+      // clang-format on
+  };
+  return golden;
+}
+
+TEST(RunDigest, BitIdenticalAcrossAllPoliciesAndScenarios) {
+  const bool print = std::getenv("E2C_PRINT_DIGESTS") != nullptr;
+  const auto& golden = golden_digests();
+  for (const Scenario& scenario : kScenarios) {
+    for (const std::string& policy : e2c::sched::PolicyRegistry::instance().names()) {
+      const std::string key = std::string(scenario.name) + "/" + policy;
+      const std::uint64_t digest = run_digest(scenario.make(), policy);
+      if (print) {
+        printf("      {\"%s\", 0x%016llXull},\n", key.c_str(),
+               static_cast<unsigned long long>(digest));
+        continue;
+      }
+      const auto it = golden.find(key);
+      ASSERT_NE(it, golden.end()) << "no golden digest for " << key;
+      EXPECT_EQ(digest, it->second) << key << " diverged from the seed implementation";
+    }
+  }
+}
+
+// Same-process determinism: repeating a run must reproduce the digest exactly
+// (catches hidden global state, address-dependent ordering, map iteration).
+TEST(RunDigest, RepeatedRunsAreDeterministic) {
+  const std::uint64_t first = run_digest(faulty_system(), "MM");
+  const std::uint64_t second = run_digest(faulty_system(), "MM");
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

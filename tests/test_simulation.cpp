@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sched/registry.hpp"
 #include "util/error.hpp"
 #include "workload/workload.hpp"
@@ -264,6 +266,61 @@ TEST(Simulation, RejectsDuplicateTaskIds) {
 TEST(Simulation, RejectsWorkloadOutsideEet) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("FCFS"));
   EXPECT_THROW(simulation.load(Workload({make_task(0, 7, 0.0, 5.0)})), e2c::InputError);
+}
+
+// Conservative batch policy that maps tasks only onto *idle* machines (a
+// shape students actually write: "wait until the machine is free"). It keeps
+// the rest of the batch queue waiting for the next scheduling trigger, which
+// makes it sensitive to a trigger being lost.
+class IdleOnlyPolicy : public e2c::sched::Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "IdleOnly"; }
+  [[nodiscard]] e2c::sched::PolicyMode mode() const override {
+    return e2c::sched::PolicyMode::kBatch;
+  }
+  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
+      e2c::sched::SchedulingContext& context) override {
+    std::vector<e2c::sched::Assignment> out;
+    for (const Task* task : context.batch_queue()) {
+      for (std::size_t m = 0; m < context.machines().size(); ++m) {
+        const e2c::sched::MachineView& view = context.machines()[m];
+        if (view.free_slots == 0) continue;
+        if (view.ready_time > context.now()) continue;  // busy: defer the task
+        out.push_back(e2c::sched::Assignment{task->id, view.id});
+        context.commit(*task, m);
+        break;
+      }
+    }
+    return out;
+  }
+};
+
+TEST(Simulation, DeadlineDropOfRunningTaskRetriggersScheduler) {
+  // Regression: Machine::remove on the *running* task with an empty local
+  // queue used to skip the on_slot_freed notification (start_next() returns
+  // early before reaching it), so no scheduling round ever followed and
+  // batch-queue tasks waited forever. One machine; A and B arrive at t=0;
+  // the idle-only policy maps A and defers B; A's deadline at t=2 drops it
+  // mid-run with nothing queued locally. B must dispatch at the drop instant.
+  EetMatrix eet({"T1"}, {"m0"}, {{4.0}});
+  SystemConfig system = e2c::sched::make_default_system(std::move(eet), 2);
+  Simulation simulation(std::move(system), std::make_unique<IdleOnlyPolicy>());
+  simulation.load(Workload({make_task(0, 0, 0.0, 2.0),
+                            make_task(1, 0, 0.0, e2c::core::kTimeInfinity)}));
+  simulation.run();
+
+  const Task& dropped = simulation.tasks()[0];
+  EXPECT_EQ(dropped.status, TaskStatus::kDropped);
+  EXPECT_DOUBLE_EQ(dropped.missed_time.value(), 2.0);
+
+  // Pre-fix, B was stuck in the batch queue when the calendar drained.
+  const Task& waiting = simulation.tasks()[1];
+  EXPECT_EQ(waiting.status, TaskStatus::kCompleted);
+  ASSERT_TRUE(waiting.start_time.has_value());
+  EXPECT_DOUBLE_EQ(waiting.start_time.value(), 2.0);  // dispatched at the drop
+  EXPECT_DOUBLE_EQ(waiting.completion_time.value(), 6.0);
+  EXPECT_TRUE(simulation.finished());
+  EXPECT_TRUE(simulation.batch_queue_ids().empty());
 }
 
 TEST(Simulation, BatchQueueVisibleDuringStepping) {

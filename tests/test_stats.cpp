@@ -91,11 +91,32 @@ TEST(Stats, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(e2c::util::percentile(values, 25.0), 17.5);
 }
 
+TEST(Stats, StudentT95CriticalValues) {
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(0), 0.0);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(1), 12.706);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(3), 3.182);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(30), 2.042);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(40), 2.021);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(60), 2.000);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(120), 1.980);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(121), 1.96);
+  EXPECT_DOUBLE_EQ(e2c::util::student_t95(100000), 1.96);
+  // Monotone non-increasing in df.
+  for (std::size_t df = 2; df <= 130; ++df) {
+    EXPECT_LE(e2c::util::student_t95(df), e2c::util::student_t95(df - 1)) << "df=" << df;
+  }
+}
+
 TEST(Stats, Ci95HalfWidth) {
-  // n=4, s=1 -> 1.96 * 1 / 2 = 0.98
+  // n=4 -> df=3 -> t=3.182 (not the normal z=1.96).
   EXPECT_NEAR(e2c::util::ci95_half_width({1.0, 2.0, 3.0, 2.0}),
-              1.96 * e2c::util::stddev({1.0, 2.0, 3.0, 2.0}) / 2.0, 1e-12);
+              3.182 * e2c::util::stddev({1.0, 2.0, 3.0, 2.0}) / 2.0, 1e-12);
   EXPECT_DOUBLE_EQ(e2c::util::ci95_half_width({1.0}), 0.0);
+  // Large samples converge to the normal approximation.
+  std::vector<double> big;
+  for (int i = 0; i < 200; ++i) big.push_back(static_cast<double>(i % 7));
+  EXPECT_NEAR(e2c::util::ci95_half_width(big),
+              1.96 * e2c::util::stddev(big) / std::sqrt(200.0), 1e-12);
 }
 
 TEST(Stats, JainFairnessBounds) {

@@ -3,8 +3,13 @@
 # sanitizer(s) and runs ctest under each. Any sanitizer report fails the run.
 #
 # Usage: tools/ci.sh [suite ...]
-#   suites: asan | ubsan | tsan   (default: all three)
+#   suites: asan | ubsan | tsan | bench   (default: the three sanitizers)
 #   E2C_BUILD_ROOT overrides the build root (default: <repo>/build-san)
+#
+# The bench suite is a smoke test, not a performance gate: it builds Release,
+# runs the core hot-path benchmark at 10k tasks and validates that the JSON
+# artifact contains the expected keys — catching bitrot in the bench harness
+# without making CI timing-sensitive.
 #
 # The tsan suite runs only the threaded tests (thread pool and the parallel
 # substrate-combo sweep) — the rest of the suite is single-threaded by design
@@ -14,6 +19,26 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_ROOT="${E2C_BUILD_ROOT:-${ROOT}/build-san}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_bench_smoke() {
+  local dir="${BUILD_ROOT}/bench"
+  local out="${dir}/BENCH_core_hotpath.json"
+  echo "=== bench: configure (Release) ==="
+  cmake -S "${ROOT}" -B "${dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== bench: build ==="
+  cmake --build "${dir}" --target bench_core_hotpath -j "${JOBS}"
+  echo "=== bench: run (10k tasks) ==="
+  "${dir}/bench/bench_core_hotpath" --sizes 10000 --out "${out}"
+  echo "=== bench: validate JSON keys ==="
+  for key in bench results policy mode tasks_requested tasks events seconds \
+             events_per_sec ns_per_event completion_percent; do
+    grep -q "\"${key}\"" "${out}" || {
+      echo "bench smoke: key '${key}' missing from ${out}" >&2
+      exit 1
+    }
+  done
+  echo "bench smoke passed"
+}
 
 run_suite() {
   local name="$1" sanitize="$2" filter="${3:-}"
@@ -47,7 +72,8 @@ for suite in "${suites[@]}"; do
     asan)  run_suite asan address ;;
     ubsan) run_suite ubsan undefined ;;
     tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos' ;;
-    *) echo "unknown suite '${suite}' (asan | ubsan | tsan)" >&2; exit 2 ;;
+    bench) run_bench_smoke ;;
+    *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench)" >&2; exit 2 ;;
   esac
 done
 
