@@ -9,8 +9,10 @@
 /// config grammar.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "exp/spec_io.hpp"
+#include "sched/policy.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -18,24 +20,43 @@
 
 int main(int argc, char** argv) {
   using namespace e2c;
-  if (argc < 2 || std::string(argv[1]) == "--help") {
-    std::cout << "usage: e2c_experiment CONFIG.ini [workers]\n"
-                 "Runs the experiment sweep described by CONFIG.ini.\n"
-                 "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
-                 "3 I/O error.\n";
-    return argc < 2 ? 2 : 0;
-  }
   try {
+    std::vector<std::string> positional;
+    std::string sched_impl = "fast";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help") {
+        positional.clear();
+        break;
+      }
+      if (arg == "--sched-impl") {
+        require_input(i + 1 < argc, "missing value for --sched-impl");
+        sched_impl = argv[++i];
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.empty()) {
+      std::cout << "usage: e2c_experiment CONFIG.ini [workers] [--sched-impl fast|reference]\n"
+                   "Runs the experiment sweep described by CONFIG.ini.\n"
+                   "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
+                   "3 I/O error.\n";
+      return argc < 2 ? 2 : 0;
+    }
+    // Validated (exit 2 on an unknown name) and installed before the sweep
+    // constructs any policy; workers read it concurrently but only after this
+    // single startup write.
+    sched::set_default_sched_impl(sched::parse_sched_impl(sched_impl));
     std::size_t workers = 0;
-    if (argc > 2) {
+    if (positional.size() > 1) {
       // std::stoul would accept "-1" (wrapping to SIZE_MAX workers) and exit
       // 1 on junk; validate like e2c_run's numeric options instead.
-      const auto value = util::parse_int(argv[2]);
+      const auto value = util::parse_int(positional[1]);
       require_input(value.has_value() && *value >= 0,
                     "workers must be an integer >= 0");
       workers = static_cast<std::size_t>(*value);
     }
-    const util::IniFile ini = util::IniFile::load(argv[1]);
+    const util::IniFile ini = util::IniFile::load(positional[0]);
     const auto outputs = exp::outputs_from_ini(ini);
     const auto result = exp::run_experiment_file(ini, workers);
 

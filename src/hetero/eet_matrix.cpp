@@ -15,20 +15,24 @@ EetMatrix::EetMatrix(std::vector<std::string> task_type_names,
                      std::vector<std::string> machine_type_names,
                      std::vector<std::vector<double>> values)
     : task_names_(std::move(task_type_names)),
-      machine_names_(std::move(machine_type_names)),
-      values_(std::move(values)) {
+      machine_names_(std::move(machine_type_names)) {
+  // Flatten to row-major before validating so validate() sees final storage.
+  require_input(values.size() == task_names_.size(),
+                "EET: row count does not match task type count");
+  values_.reserve(task_names_.size() * machine_names_.size());
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    require_input(values[r].size() == machine_names_.size(),
+                  "EET: row '" + task_names_[r] + "' has wrong column count");
+    values_.insert(values_.end(), values[r].begin(), values[r].end());
+  }
   validate();
 }
 
 void EetMatrix::validate() const {
   require_input(!task_names_.empty(), "EET: at least one task type required");
   require_input(!machine_names_.empty(), "EET: at least one machine type required");
-  require_input(values_.size() == task_names_.size(),
-                "EET: row count does not match task type count");
-  for (std::size_t r = 0; r < values_.size(); ++r) {
-    require_input(values_[r].size() == machine_names_.size(),
-                  "EET: row '" + task_names_[r] + "' has wrong column count");
-    for (double v : values_[r]) {
+  for (std::size_t r = 0; r < task_names_.size(); ++r) {
+    for (double v : row(r)) {
       require_input(std::isfinite(v) && v > 0.0,
                     "EET: entries must be finite and > 0 (row '" + task_names_[r] + "')");
     }
@@ -45,14 +49,14 @@ void EetMatrix::validate() const {
 double EetMatrix::eet(TaskTypeId task_type, MachineTypeId machine_type) const {
   require_input(task_type < task_names_.size(), "EET: task type index out of range");
   require_input(machine_type < machine_names_.size(), "EET: machine type index out of range");
-  return values_[task_type][machine_type];
+  return eet_unchecked(task_type, machine_type);
 }
 
 void EetMatrix::set_eet(TaskTypeId task_type, MachineTypeId machine_type, double value) {
   require_input(task_type < task_names_.size(), "EET: task type index out of range");
   require_input(machine_type < machine_names_.size(), "EET: machine type index out of range");
   require_input(std::isfinite(value) && value > 0.0, "EET: entry must be finite and > 0");
-  values_[task_type][machine_type] = value;
+  values_[task_type * machine_names_.size() + machine_type] = value;
 }
 
 const std::string& EetMatrix::task_type_name(TaskTypeId id) const {
@@ -85,21 +89,21 @@ MachineTypeId EetMatrix::machine_type_index(const std::string& name) const {
 }
 
 double EetMatrix::row_mean(TaskTypeId task_type) const {
-  require_input(task_type < values_.size(), "EET: task type index out of range");
-  const auto& row = values_[task_type];
-  return std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(row.size());
+  require_input(task_type < task_names_.size(), "EET: task type index out of range");
+  const auto r = row(task_type);
+  return std::accumulate(r.begin(), r.end(), 0.0) / static_cast<double>(r.size());
 }
 
 double EetMatrix::row_min(TaskTypeId task_type) const {
-  require_input(task_type < values_.size(), "EET: task type index out of range");
-  const auto& row = values_[task_type];
-  return *std::min_element(row.begin(), row.end());
+  require_input(task_type < task_names_.size(), "EET: task type index out of range");
+  const auto r = row(task_type);
+  return *std::min_element(r.begin(), r.end());
 }
 
 bool EetMatrix::is_homogeneous() const noexcept {
-  for (const auto& row : values_) {
-    for (double v : row) {
-      if (v != row.front()) return false;
+  for (std::size_t r = 0; r < task_names_.size(); ++r) {
+    for (double v : row(r)) {
+      if (v != row(r).front()) return false;
     }
   }
   return true;
@@ -113,8 +117,9 @@ bool EetMatrix::is_consistent() const noexcept {
   for (std::size_t a = 0; a < machine_names_.size(); ++a) {
     for (std::size_t b = a + 1; b < machine_names_.size(); ++b) {
       int sign = 0;  // -1: a faster, +1: b faster
-      for (const auto& row : values_) {
-        int s = row[a] < row[b] ? -1 : (row[a] > row[b] ? 1 : 0);
+      for (std::size_t r = 0; r < task_names_.size(); ++r) {
+        const auto values = row(r);
+        int s = values[a] < values[b] ? -1 : (values[a] > values[b] ? 1 : 0);
         if (s == 0) continue;
         if (sign == 0) sign = s;
         else if (sign != s) return false;
@@ -174,9 +179,9 @@ std::string EetMatrix::to_csv_text() const {
   header.insert(header.end(), machine_names_.begin(), machine_names_.end());
   rows.push_back(std::move(header));
   for (std::size_t r = 0; r < task_names_.size(); ++r) {
-    std::vector<std::string> row{task_names_[r]};
-    for (double v : values_[r]) row.push_back(util::format_fixed(v, 4));
-    rows.push_back(std::move(row));
+    std::vector<std::string> csv_row{task_names_[r]};
+    for (double v : row(r)) csv_row.push_back(util::format_fixed(v, 4));
+    rows.push_back(std::move(csv_row));
   }
   return util::to_csv(rows);
 }

@@ -7,12 +7,20 @@
 /// every row is constant. The matrix is the single source of truth consulted
 /// by every scheduling policy.
 ///
+/// Storage is contiguous row-major (one flat array, row = task type): the
+/// scheduling hot path reads EET cells millions of times per simulated run,
+/// and the policies iterate whole rows per candidate task. eet() keeps the
+/// bounds-checked contract for user-facing code; eet_unchecked()/row() are
+/// the inline fast path for validated indices inside the scheduler.
+///
 /// File format (matches E2C-Sim's CSV):
 ///   task_type,m1,m2,...
 ///   T1,12.0,3.5,...
 ///   T2,...
 #pragma once
 
+#include <cassert>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,7 +52,24 @@ class EetMatrix {
   }
 
   /// Expected execution time of \p task_type on \p machine_type (seconds).
+  /// Bounds-checked; throws e2c::InputError on out-of-range indices.
   [[nodiscard]] double eet(TaskTypeId task_type, MachineTypeId machine_type) const;
+
+  /// Unchecked fast path for indices already validated against the matrix
+  /// shape (machine instances and task records are checked at construction).
+  [[nodiscard]] double eet_unchecked(TaskTypeId task_type,
+                                     MachineTypeId machine_type) const noexcept {
+    assert(task_type < task_names_.size() && machine_type < machine_names_.size());
+    return values_[task_type * machine_names_.size() + machine_type];
+  }
+
+  /// The EET row of a task type (one entry per machine type, column order),
+  /// for policies that scan all machines for one task. Unchecked.
+  [[nodiscard]] std::span<const double> row(TaskTypeId task_type) const noexcept {
+    assert(task_type < task_names_.size());
+    const std::size_t cols = machine_names_.size();
+    return {values_.data() + task_type * cols, cols};
+  }
 
   /// Overwrites one entry (the GUI "Edit" path). Throws e2c::InputError on
   /// out-of-range indices or a non-positive value.
@@ -131,7 +156,8 @@ class EetMatrix {
 
   std::vector<std::string> task_names_;
   std::vector<std::string> machine_names_;
-  std::vector<std::vector<double>> values_;
+  /// Row-major [task_type * machine_type_count + machine_type].
+  std::vector<double> values_;
 };
 
 }  // namespace e2c::hetero

@@ -1,14 +1,15 @@
 #include "sched/batch.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace e2c::sched {
 
 namespace {
 
-/// Iterative batch mapper shared by MM/MMU/MSD. \p key computes the
-/// selection score of a task given its best completion time; the task with
-/// the smallest score is mapped each round (ties break to the earlier
+/// Reference iterative batch mapper shared by MM/MMU/MSD. \p key computes
+/// the selection score of a task given its best completion time; the task
+/// with the smallest score is mapped each round (ties break to the earlier
 /// arrival, which is the batch-queue order).
 ///
 /// Tasks whose best-case completion already misses their deadline are
@@ -18,8 +19,12 @@ namespace {
 /// cancelled by its deadline event anyway. Without this, MMU in particular
 /// inverts at high load — the most-negative-slack (already doomed) tasks
 /// count as "most urgent" and starve the feasible ones.
+///
+/// This is the decision-equivalence oracle for iterative_map_fast below:
+/// O(rounds x pending x machines), kept verbatim and selectable via
+/// SchedImpl::kReference.
 template <typename Key>
-std::vector<Assignment> iterative_map(SchedulingContext& context, Key key) {
+std::vector<Assignment> iterative_map_reference(SchedulingContext& context, Key key) {
   std::vector<Assignment> assignments;
   std::vector<const workload::Task*> pending = context.batch_queue();
 
@@ -52,25 +57,126 @@ std::vector<Assignment> iterative_map(SchedulingContext& context, Key key) {
   return assignments;
 }
 
+/// Sentinel for a stale per-type cache entry (distinct from machines.size(),
+/// which a refresh produces when no machine has a free slot).
+constexpr std::size_t kStale = std::numeric_limits<std::size_t>::max();
+
+/// Incremental mapper, decision-equivalent to iterative_map_reference.
+///
+/// The best (machine, completion) pair of a task is a function of its *type*
+/// alone — every task of a type shares one EET row — so the argmin over
+/// machines is cached per type. After a commit only the committed machine's
+/// projection changed, and it changed for the worse (ready_time grew, a slot
+/// was consumed), so a cached pair on any *other* machine is still the
+/// argmin; only types cached on the committed machine re-scan the machines.
+/// Tasks whose best-case completion misses their deadline are skip-marked
+/// permanently: their best completion is monotone non-decreasing within an
+/// invocation (ready times only grow, the slot set only shrinks), so the
+/// reference would re-reject them every round anyway.
+///
+/// Per invocation: O(types x machines) refreshes amortized over rounds plus
+/// an O(pending) selection scan per round, vs the reference's
+/// O(pending x machines) per round.
+template <typename Key>
+std::vector<Assignment> iterative_map_fast(SchedulingContext& context, Key key,
+                                           BatchMapperScratch& scratch) {
+  std::vector<Assignment> assignments;
+  const auto& queue = context.batch_queue();
+  const auto& machines = context.machines();
+  const std::size_t task_count = queue.size();
+  const std::size_t machine_count = machines.size();
+  const std::size_t type_count = context.eet().task_type_count();
+
+  scratch.state.assign(task_count, MapSlot::kActive);
+  scratch.type_machine.assign(type_count, kStale);
+  scratch.type_completion.assign(type_count, 0.0);
+  std::size_t active = task_count;
+
+  const auto refresh_type = [&](hetero::TaskTypeId type) {
+    const std::span<const double> row = context.eet_row(type);
+    std::size_t best = machine_count;
+    double best_completion = 0.0;
+    for (std::size_t j = 0; j < machine_count; ++j) {
+      if (machines[j].free_slots == 0) continue;
+      const double completion = machines[j].ready_time + row[machines[j].type];
+      if (best == machine_count || completion < best_completion) {
+        best = j;
+        best_completion = completion;
+      }
+    }
+    scratch.type_machine[type] = best;
+    scratch.type_completion[type] = best_completion;
+  };
+
+  while (active > 0) {
+    std::size_t best_task = task_count;
+    std::size_t best_machine = machine_count;
+    double best_key = 0.0;
+
+    for (std::size_t i = 0; i < task_count; ++i) {
+      if (scratch.state[i] != MapSlot::kActive) continue;
+      const workload::Task& task = *queue[i];
+      if (scratch.type_machine[task.type] == kStale) refresh_type(task.type);
+      const std::size_t machine_index = scratch.type_machine[task.type];
+      if (machine_index >= machine_count) continue;  // no slot anywhere
+      const double completion = scratch.type_completion[task.type];
+      if (completion > task.deadline) {  // infeasible: defer (prune)
+        scratch.state[i] = MapSlot::kDeferred;
+        --active;
+        continue;
+      }
+      const double k = key(task, completion);
+      if (best_task == task_count || k < best_key) {
+        best_task = i;
+        best_machine = machine_index;
+        best_key = k;
+      }
+    }
+    if (best_task == task_count) break;  // saturated or only infeasible left
+
+    const workload::Task& task = *queue[best_task];
+    assignments.push_back(Assignment{task.id, machines[best_machine].id});
+    context.commit(task, best_machine);
+    scratch.state[best_task] = MapSlot::kCommitted;
+    --active;
+    // Only the committed machine's projection changed (and only for the
+    // worse), so caches pointing elsewhere stay valid.
+    for (std::size_t t = 0; t < type_count; ++t) {
+      if (scratch.type_machine[t] == best_machine) scratch.type_machine[t] = kStale;
+    }
+  }
+  return assignments;
+}
+
+template <typename Key>
+std::vector<Assignment> iterative_map(SchedulingContext& context, SchedImpl impl,
+                                      BatchMapperScratch& scratch, Key key) {
+  return impl == SchedImpl::kReference ? iterative_map_reference(context, key)
+                                       : iterative_map_fast(context, key, scratch);
+}
+
 }  // namespace
 
 std::vector<Assignment> MinMinPolicy::schedule(SchedulingContext& context) {
-  return iterative_map(context, [](const workload::Task&, core::SimTime completion) {
-    return completion;
-  });
+  return iterative_map(context, impl_, scratch_,
+                       [](const workload::Task&, core::SimTime completion) {
+                         return completion;
+                       });
 }
 
 std::vector<Assignment> MaxUrgencyPolicy::schedule(SchedulingContext& context) {
   // Smallest slack first == max urgency.
-  return iterative_map(context, [](const workload::Task& task, core::SimTime completion) {
-    return task.deadline - completion;
-  });
+  return iterative_map(context, impl_, scratch_,
+                       [](const workload::Task& task, core::SimTime completion) {
+                         return task.deadline - completion;
+                       });
 }
 
 std::vector<Assignment> SoonestDeadlinePolicy::schedule(SchedulingContext& context) {
-  return iterative_map(context, [](const workload::Task& task, core::SimTime) {
-    return task.deadline;
-  });
+  return iterative_map(context, impl_, scratch_,
+                       [](const workload::Task& task, core::SimTime) {
+                         return task.deadline;
+                       });
 }
 
 }  // namespace e2c::sched

@@ -12,8 +12,14 @@
 /// deadline (the E2C authors' task-pruning mechanism [8]/[10]/[14]): doomed
 /// work stays in the batch queue and is cancelled at its deadline instead of
 /// occupying a machine until the drop.
+///
+/// Each policy carries two implementations selected at construction (see
+/// SchedImpl): the incremental fast path and the original full-rescan
+/// reference. They emit identical assignment sequences by construction;
+/// the run-digest goldens and the differential fuzz test enforce it.
 #pragma once
 
+#include "sched/mapper_scratch.hpp"
 #include "sched/policy.hpp"
 
 namespace e2c::sched {
@@ -23,9 +29,14 @@ namespace e2c::sched {
 /// throughput; long tasks can starve under load.
 class MinMinPolicy final : public Policy {
  public:
+  explicit MinMinPolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MM"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
   [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+
+ private:
+  SchedImpl impl_;
+  BatchMapperScratch scratch_;
 };
 
 /// MinCompletion-MaxUrgency: next pick is the task with the smallest slack
@@ -33,9 +44,14 @@ class MinMinPolicy final : public Policy {
 /// completion-time minimizer. Prioritizes tasks about to miss.
 class MaxUrgencyPolicy final : public Policy {
  public:
+  explicit MaxUrgencyPolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MMU"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
   [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+
+ private:
+  SchedImpl impl_;
+  BatchMapperScratch scratch_;
 };
 
 /// MinCompletion-SoonestDeadline: next pick is the task with the earliest
@@ -43,9 +59,14 @@ class MaxUrgencyPolicy final : public Policy {
 /// minimizer.
 class SoonestDeadlinePolicy final : public Policy {
  public:
+  explicit SoonestDeadlinePolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MSD"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
   [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+
+ private:
+  SchedImpl impl_;
+  BatchMapperScratch scratch_;
 };
 
 }  // namespace e2c::sched

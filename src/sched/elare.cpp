@@ -1,12 +1,14 @@
 #include "sched/elare.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace e2c::sched {
 
-ElarePolicy::ElarePolicy(double energy_weight) : energy_weight_(energy_weight) {
+ElarePolicy::ElarePolicy(double energy_weight, SchedImpl impl)
+    : energy_weight_(energy_weight), impl_(impl) {
   require_input(energy_weight >= 0.0 && energy_weight <= 1.0,
                 "ELARE: energy_weight must be in [0, 1]");
 }
@@ -16,6 +18,14 @@ double ElarePolicy::fairness_factor(const SchedulingContext&, const workload::Ta
 }
 
 std::vector<Assignment> ElarePolicy::schedule(SchedulingContext& context) {
+  return impl_ == SchedImpl::kReference ? schedule_reference(context)
+                                        : schedule_fast(context);
+}
+
+/// The original full-rescan mapper, kept verbatim as the decision-
+/// equivalence oracle for schedule_fast: O(rounds x pending x machines)
+/// twice over (normalization rescan plus pair scan) per invocation.
+std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& context) {
   std::vector<Assignment> assignments;
   std::vector<const workload::Task*> pending = context.batch_queue();
 
@@ -64,6 +74,166 @@ std::vector<Assignment> ElarePolicy::schedule(SchedulingContext& context) {
     assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
     context.commit(task, best_machine);
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+  }
+  return assignments;
+}
+
+/// Incremental mapper, decision-equivalent to schedule_reference.
+///
+/// Three observations make the hot path cheap without changing a single
+/// pick:
+///  - The normalization maxima range over (pending task, machine-with-slot)
+///    pairs, but both exec_energy and completion depend on the task only
+///    through its *type*. The maxima are therefore maxima over
+///    (live type, machine) — O(types x machines) per round instead of
+///    O(pending x machines) — where a type is live while any uncommitted
+///    task of it remains (deferred tasks keep normalizing, exactly like the
+///    reference's still-pending infeasible tasks). max is exact over
+///    doubles, so the reduced value set gives the bit-identical base.
+///  - The unfactored pair score is also a pure function of (type, machine),
+///    so it lives in a per-type pair table rebuilt only when a
+///    normalization base or the free-slot set changed; after an ordinary
+///    commit only the committed machine's column is recomputed.
+///  - A task's cached best feasible pair stays the argmin while the pair
+///    tables' epoch is unchanged and its machine is not the committed one:
+///    the committed machine's completion (hence score, energy_weight < 1)
+///    only grew, and infeasibility is monotone within an invocation.
+///
+/// Fairness factors multiply the whole pair score with an
+/// invocation-constant positive per-task value, so they are computed once
+/// per task; the per-pair comparison still uses the factored score so
+/// rounding ties resolve exactly like the reference.
+std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
+  constexpr std::size_t kNoMachine = std::numeric_limits<std::size_t>::max();
+  std::vector<Assignment> assignments;
+  const auto& queue = context.batch_queue();
+  const auto& machines = context.machines();
+  const std::size_t task_count = queue.size();
+  const std::size_t machine_count = machines.size();
+  const std::size_t type_count = context.eet().task_type_count();
+  ElareMapperScratch& s = scratch_;
+
+  s.state.assign(task_count, MapSlot::kActive);
+  s.factor.assign(task_count, -1.0);
+  s.best_machine.assign(task_count, kNoMachine);
+  s.best_score.assign(task_count, 0.0);
+  s.epoch.assign(task_count, 0);
+  s.type_count.assign(type_count, 0);
+  for (const workload::Task* task : queue) ++s.type_count[task->type];
+  s.pair_completion.assign(type_count * machine_count, 0.0);
+  s.pair_score.assign(type_count * machine_count, 0.0);
+
+  std::size_t active = task_count;
+  std::uint32_t table_epoch = 0;  // epoch 0 never matches a cache entry
+  double prev_max_energy = -1.0;
+  double prev_max_completion = -1.0;
+  std::size_t dirty_machine = kNoMachine;  // machine committed last round
+  bool slots_changed = false;              // a machine ran out of slots
+
+  while (active > 0) {
+    // Normalization bases over (live type, machine-with-slot) pairs; the
+    // same value set the reference's pending x machines rescan maximizes.
+    double max_energy = 0.0;
+    core::SimTime max_completion = 0.0;
+    bool any_slot = false;
+    for (std::size_t j = 0; j < machine_count; ++j) {
+      const MachineView& m = machines[j];
+      if (m.free_slots == 0) continue;
+      any_slot = true;
+      for (std::size_t t = 0; t < type_count; ++t) {
+        if (s.type_count[t] == 0) continue;
+        const double exec = context.eet().eet_unchecked(t, m.type);
+        max_energy = std::max(max_energy, exec * m.busy_watts);
+        max_completion = std::max(max_completion, m.ready_time + exec);
+      }
+    }
+    if (!any_slot || max_energy <= 0.0 || max_completion <= 0.0) break;
+
+    // Refresh the pair tables. A changed base (or slot set) re-scores every
+    // pair; otherwise only the committed machine's column moved.
+    const bool full_rebuild = max_energy != prev_max_energy ||
+                              max_completion != prev_max_completion || slots_changed ||
+                              table_epoch == 0;
+    const auto score_pair = [&](std::size_t t, std::size_t j) {
+      const MachineView& m = machines[j];
+      const double exec = context.eet().eet_unchecked(t, m.type);
+      const core::SimTime completion = m.ready_time + exec;
+      s.pair_completion[t * machine_count + j] = completion;
+      // Same expression shape as the reference's score (divisions block
+      // FMA contraction), evaluated on identical operands.
+      s.pair_score[t * machine_count + j] =
+          energy_weight_ * (exec * m.busy_watts) / max_energy +
+          (1.0 - energy_weight_) * completion / max_completion;
+    };
+    if (full_rebuild) {
+      ++table_epoch;
+      for (std::size_t t = 0; t < type_count; ++t) {
+        if (s.type_count[t] == 0) continue;
+        for (std::size_t j = 0; j < machine_count; ++j) {
+          if (machines[j].free_slots == 0) continue;
+          score_pair(t, j);
+        }
+      }
+    } else if (dirty_machine != kNoMachine) {
+      for (std::size_t t = 0; t < type_count; ++t) {
+        if (s.type_count[t] == 0) continue;
+        score_pair(t, dirty_machine);
+      }
+    }
+    prev_max_energy = max_energy;
+    prev_max_completion = max_completion;
+
+    std::size_t best_task = task_count;
+    std::size_t best_machine = machine_count;
+    double best_score = 0.0;
+
+    for (std::size_t i = 0; i < task_count; ++i) {
+      if (s.state[i] != MapSlot::kActive) continue;
+      const workload::Task& task = *queue[i];
+      const bool stale = s.epoch[i] != table_epoch ||
+                         (!full_rebuild && s.best_machine[i] == dirty_machine);
+      if (stale) {
+        if (s.factor[i] < 0.0) s.factor[i] = fairness_factor(context, task);
+        const double factor = s.factor[i];
+        const double* pair_score = &s.pair_score[task.type * machine_count];
+        const double* pair_completion = &s.pair_completion[task.type * machine_count];
+        std::size_t pick = machine_count;
+        double pick_score = 0.0;
+        for (std::size_t j = 0; j < machine_count; ++j) {
+          if (machines[j].free_slots == 0) continue;
+          if (pair_completion[j] > task.deadline) continue;  // infeasible pair
+          const double score = factor * pair_score[j];
+          if (pick == machine_count || score < pick_score) {
+            pick = j;
+            pick_score = score;
+          }
+        }
+        if (pick == machine_count) {  // infeasible everywhere: defer (prune)
+          s.state[i] = MapSlot::kDeferred;
+          --active;
+          continue;
+        }
+        s.best_machine[i] = pick;
+        s.best_score[i] = pick_score;
+        s.epoch[i] = table_epoch;
+      }
+      if (best_task == task_count || s.best_score[i] < best_score) {
+        best_task = i;
+        best_machine = s.best_machine[i];
+        best_score = s.best_score[i];
+      }
+    }
+    if (best_task == task_count) break;  // every remaining task is infeasible
+
+    const workload::Task& task = *queue[best_task];
+    assignments.push_back(Assignment{task.id, machines[best_machine].id});
+    const std::size_t slots_before = machines[best_machine].free_slots;
+    context.commit(task, best_machine);
+    s.state[best_task] = MapSlot::kCommitted;
+    --active;
+    --s.type_count[task.type];
+    dirty_machine = best_machine;
+    slots_changed = slots_before != kUnlimitedSlots && slots_before <= 1;
   }
   return assignments;
 }

@@ -19,8 +19,14 @@
 ///
 /// The structure follows the published description; the exact normalization
 /// constants below are this implementation's (documented) choices.
+///
+/// Two implementations are selectable at construction (see SchedImpl): the
+/// incremental fast path (cached best pairs, incrementally maintained
+/// normalization maxima — DESIGN.md §8) and the original full-rescan
+/// reference, retained as the decision-equivalence oracle.
 #pragma once
 
+#include "sched/mapper_scratch.hpp"
 #include "sched/policy.hpp"
 
 namespace e2c::sched {
@@ -30,7 +36,8 @@ class ElarePolicy : public Policy {
  public:
   /// \param energy_weight weight of the energy term in [0, 1]; the latency
   /// term gets 1 - energy_weight. The published evaluation balances the two.
-  explicit ElarePolicy(double energy_weight = 0.5);
+  explicit ElarePolicy(double energy_weight = 0.5,
+                       SchedImpl impl = default_sched_impl());
 
   [[nodiscard]] std::string name() const override { return "ELARE"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
@@ -38,18 +45,28 @@ class ElarePolicy : public Policy {
 
  protected:
   /// Fairness discount multiplier for a task's score; 1.0 in plain ELARE,
-  /// overridden by FELARE.
+  /// overridden by FELARE. The fast path caches the factor per task for the
+  /// duration of one invocation, so overrides must not depend on the
+  /// machine projections (which change as the mapper commits picks) — both
+  /// built-ins depend only on invocation-constant inputs.
   [[nodiscard]] virtual double fairness_factor(const SchedulingContext& context,
                                                const workload::Task& task) const;
 
  private:
+  [[nodiscard]] std::vector<Assignment> schedule_reference(SchedulingContext& context);
+  [[nodiscard]] std::vector<Assignment> schedule_fast(SchedulingContext& context);
+
   double energy_weight_;
+  SchedImpl impl_;
+  ElareMapperScratch scratch_;
 };
 
 /// Fair ELARE: boosts task types with the worst observed on-time rate.
 class FelarePolicy final : public ElarePolicy {
  public:
-  explicit FelarePolicy(double energy_weight = 0.5) : ElarePolicy(energy_weight) {}
+  explicit FelarePolicy(double energy_weight = 0.5,
+                        SchedImpl impl = default_sched_impl())
+      : ElarePolicy(energy_weight, impl) {}
   [[nodiscard]] std::string name() const override { return "FELARE"; }
 
  protected:

@@ -6,32 +6,38 @@ namespace e2c::sched {
 
 std::vector<Assignment> FairSharePolicy::schedule(SchedulingContext& context) {
   std::vector<Assignment> assignments;
-  std::vector<const workload::Task*> pending = context.batch_queue();
+  const auto& queue = context.batch_queue();
+  // Order-preserving skip marks instead of O(n) mid-vector erases: the scan
+  // walks the arrival-ordered queue, so the arrival tie-break is untouched.
+  std::vector<bool> mapped(queue.size(), false);
+  std::size_t remaining = queue.size();
 
-  while (!pending.empty()) {
+  while (remaining > 0) {
     // Pick the pending task of the most-suffering type; break ties by
     // soonest deadline, then arrival order (stable).
-    std::size_t best_task = pending.size();
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      if (best_task == pending.size()) {
+    std::size_t best_task = queue.size();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (mapped[i]) continue;
+      if (best_task == queue.size()) {
         best_task = i;
         continue;
       }
-      const double rate_i = context.type_ontime_rate(pending[i]->type);
-      const double rate_b = context.type_ontime_rate(pending[best_task]->type);
+      const double rate_i = context.type_ontime_rate(queue[i]->type);
+      const double rate_b = context.type_ontime_rate(queue[best_task]->type);
       if (rate_i < rate_b ||
-          (rate_i == rate_b && pending[i]->deadline < pending[best_task]->deadline)) {
+          (rate_i == rate_b && queue[i]->deadline < queue[best_task]->deadline)) {
         best_task = i;
       }
     }
 
-    const workload::Task& task = *pending[best_task];
+    const workload::Task& task = *queue[best_task];
     const std::size_t machine_index = argmin_completion(context, task);
     if (machine_index >= context.machines().size()) break;  // saturated
 
     assignments.push_back(Assignment{task.id, context.machines()[machine_index].id});
     context.commit(task, machine_index);
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+    mapped[best_task] = true;
+    --remaining;
   }
   return assignments;
 }

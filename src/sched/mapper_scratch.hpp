@@ -1,0 +1,52 @@
+/// \file mapper_scratch.hpp
+/// \brief Per-policy scratch state for the incremental batch mappers.
+///
+/// The fast mappers (DESIGN.md §8) cache per-task / per-type best-pair
+/// picks across the rounds of one schedule() invocation. The backing
+/// vectors live on the policy instance so steady-state invocations reuse
+/// their capacity instead of re-allocating every scheduler round (policies
+/// are per-simulation and single-threaded, like the simulation itself).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace e2c::sched {
+
+/// Lifecycle of a batch-queue entry within one schedule() invocation.
+/// Order-preserving skip marks replace mid-vector erases: the scan walks
+/// the arrival-ordered queue and skips resolved entries, so the FCFS
+/// tie-break (earlier arrival wins on equal keys) is preserved bit-for-bit.
+enum class MapSlot : std::uint8_t {
+  kActive = 0,    ///< still competing for a machine
+  kCommitted = 1, ///< mapped this invocation
+  kDeferred = 2,  ///< infeasible everywhere; monotone within an invocation
+                  ///< (ready times only grow, slots only shrink), so the
+                  ///< mark is permanent until the next invocation
+};
+
+/// Scratch for the MM/MMU/MSD family: the best (machine, completion) pair
+/// is a function of the task *type* alone, so the cache is per type.
+struct BatchMapperScratch {
+  std::vector<MapSlot> state;            ///< per batch-queue entry
+  std::vector<std::size_t> type_machine; ///< cached argmin machine, or sentinels
+  std::vector<double> type_completion;   ///< completion on the cached machine
+};
+
+/// Scratch for ELARE/FELARE: scores mix energy and completion against
+/// per-invocation normalization maxima, and feasibility depends on each
+/// task's deadline, so the cache is per task on top of per-(type, machine)
+/// pair tables.
+struct ElareMapperScratch {
+  std::vector<MapSlot> state;          ///< per batch-queue entry
+  std::vector<double> factor;          ///< fairness factor, lazily cached (<0 = unset)
+  std::vector<std::size_t> best_machine;  ///< cached best feasible pair
+  std::vector<double> best_score;
+  std::vector<std::uint32_t> epoch;    ///< pair-table generation the cache matches
+  std::vector<std::size_t> type_count; ///< uncommitted tasks per type (live types)
+  std::vector<double> pair_completion; ///< [type * machines + machine]
+  std::vector<double> pair_score;      ///< unfactored score of the pair
+};
+
+}  // namespace e2c::sched

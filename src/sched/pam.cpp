@@ -24,15 +24,20 @@ double PamPolicy::success_probability(const SchedulingContext& context,
 
 std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
   std::vector<Assignment> assignments;
-  std::vector<const workload::Task*> pending = context.batch_queue();
+  const auto& queue = context.batch_queue();
+  // Order-preserving skip marks instead of O(n) mid-vector erases: the scan
+  // walks the arrival-ordered queue, so the arrival tie-break is untouched.
+  std::vector<bool> mapped(queue.size(), false);
+  std::size_t remaining = queue.size();
 
-  while (!pending.empty()) {
-    std::size_t best_task = pending.size();
+  while (remaining > 0) {
+    std::size_t best_task = queue.size();
     std::size_t best_machine = context.machines().size();
     core::SimTime best_completion = 0.0;
 
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      const workload::Task& task = *pending[i];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (mapped[i]) continue;
+      const workload::Task& task = *queue[i];
       // The task's best machine by expected completion among those clearing
       // the success threshold.
       for (std::size_t j = 0; j < context.machines().size(); ++j) {
@@ -40,19 +45,20 @@ std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
         if (m.free_slots == 0) continue;
         if (success_probability(context, task, m) < success_threshold_) continue;
         const core::SimTime completion = context.completion_time(task, m);
-        if (best_task == pending.size() || completion < best_completion) {
+        if (best_task == queue.size() || completion < best_completion) {
           best_task = i;
           best_machine = j;
           best_completion = completion;
         }
       }
     }
-    if (best_task == pending.size()) break;  // everything pruned or saturated
+    if (best_task == queue.size()) break;  // everything pruned or saturated
 
-    const workload::Task& task = *pending[best_task];
+    const workload::Task& task = *queue[best_task];
     assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
     context.commit(task, best_machine);
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
+    mapped[best_task] = true;
+    --remaining;
   }
   return assignments;
 }

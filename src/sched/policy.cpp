@@ -1,8 +1,16 @@
 #include "sched/policy.hpp"
 
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
 namespace e2c::sched {
 
 namespace {
+
+// Startup-written, read-only afterwards (parallel experiment workers create
+// policies concurrently, but never while a CLI is still parsing flags).
+SchedImpl g_default_sched_impl = SchedImpl::kFast;
+
 template <typename Score>
 std::size_t argmin_with_space(const SchedulingContext& context, Score score) {
   const auto& machines = context.machines();
@@ -18,12 +26,45 @@ std::size_t argmin_with_space(const SchedulingContext& context, Score score) {
   }
   return best;
 }
+
 }  // namespace
 
+SchedImpl default_sched_impl() noexcept { return g_default_sched_impl; }
+
+void set_default_sched_impl(SchedImpl impl) noexcept { g_default_sched_impl = impl; }
+
+std::vector<std::string> sched_impl_names() { return {"fast", "reference"}; }
+
+const char* sched_impl_name(SchedImpl impl) noexcept {
+  return impl == SchedImpl::kFast ? "fast" : "reference";
+}
+
+SchedImpl parse_sched_impl(const std::string& name) {
+  if (util::iequals(name, "fast")) return SchedImpl::kFast;
+  if (util::iequals(name, "reference")) return SchedImpl::kReference;
+  std::string message = "unknown scheduler implementation: '" + name + "' (registered:";
+  for (const std::string& known : sched_impl_names()) message += " " + known;
+  message += ")";
+  throw InputError(message);
+}
+
 std::size_t argmin_completion(const SchedulingContext& context, const workload::Task& task) {
-  return argmin_with_space(context, [&](const MachineView& m) {
-    return context.completion_time(task, m);
-  });
+  // Hand-rolled over the task's EET row: one contiguous read per machine
+  // instead of a per-cell accessor call. Same strict-< / lower-index
+  // tie-break as argmin_with_space.
+  const auto& machines = context.machines();
+  const std::span<const double> row = context.eet_row(task.type);
+  std::size_t best = machines.size();
+  double best_completion = 0.0;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (machines[i].free_slots == 0) continue;
+    const double completion = machines[i].ready_time + row[machines[i].type];
+    if (best == machines.size() || completion < best_completion) {
+      best = i;
+      best_completion = completion;
+    }
+  }
+  return best;
 }
 
 std::size_t argmin_exec(const SchedulingContext& context, const workload::Task& task) {
@@ -33,6 +74,7 @@ std::size_t argmin_exec(const SchedulingContext& context, const workload::Task& 
   // tie-break MEET degenerates to least-loaded there, and is unchanged on
   // heterogeneous systems where EETs differ.
   const auto& machines = context.machines();
+  const std::span<const double> row = context.eet_row(task.type);
   std::size_t best = machines.size();
   for (std::size_t i = 0; i < machines.size(); ++i) {
     if (machines[i].free_slots == 0) continue;
@@ -40,8 +82,8 @@ std::size_t argmin_exec(const SchedulingContext& context, const workload::Task& 
       best = i;
       continue;
     }
-    const double exec_i = context.exec_time(task, machines[i]);
-    const double exec_b = context.exec_time(task, machines[best]);
+    const double exec_i = row[machines[i].type];
+    const double exec_b = row[machines[best].type];
     if (exec_i < exec_b ||
         (exec_i == exec_b && machines[i].ready_time < machines[best].ready_time)) {
       best = i;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,31 @@ struct Assignment {
   workload::TaskId task = 0;
   hetero::MachineId machine = 0;
 };
+
+/// Which mapper implementation the batch policies run.
+///
+/// kFast is the incremental hot path (cached best-pair selection, see
+/// DESIGN.md §8); kReference is the original full-rescan code retained as
+/// the decision-equivalence oracle. Both emit the identical assignment
+/// sequence — kReference exists so anyone can A/B the two on their own
+/// workload (`--sched-impl`) and so the differential tests have an oracle.
+enum class SchedImpl { kFast, kReference };
+
+/// The process-wide default implementation new batch policies pick up
+/// (kFast unless overridden). Set once at startup (CLI flag), read from
+/// worker threads afterwards.
+[[nodiscard]] SchedImpl default_sched_impl() noexcept;
+void set_default_sched_impl(SchedImpl impl) noexcept;
+
+/// Registered implementation names, selection order: {"fast", "reference"}.
+[[nodiscard]] std::vector<std::string> sched_impl_names();
+
+/// Display name of an implementation ("fast" / "reference").
+[[nodiscard]] const char* sched_impl_name(SchedImpl impl) noexcept;
+
+/// Parses an implementation name (case-insensitive). Throws e2c::InputError
+/// listing the registered names on an unknown value.
+[[nodiscard]] SchedImpl parse_sched_impl(const std::string& name);
 
 /// Snapshot of one machine as the policy sees it. ready_time and free_slots
 /// are *projections*: helper methods update them as the policy commits
@@ -82,9 +108,17 @@ class SchedulingContext {
     return batch_queue_;
   }
 
-  /// Expected execution time of \p task on machine view \p m.
+  /// Expected execution time of \p task on machine view \p m. Machine views
+  /// and task records are validated against the EET shape at construction,
+  /// so this takes the unchecked inline path.
   [[nodiscard]] double exec_time(const workload::Task& task, const MachineView& m) const {
-    return eet_->eet(task.type, m.type);
+    return eet_->eet_unchecked(task.type, m.type);
+  }
+
+  /// The EET row of a task type (indexed by MachineView::type), for mappers
+  /// that scan all machines for one task without per-cell accessor calls.
+  [[nodiscard]] std::span<const double> eet_row(hetero::TaskTypeId type) const noexcept {
+    return eet_->row(type);
   }
 
   /// Projected completion time of \p task on machine view \p m.

@@ -290,6 +290,7 @@ void Simulation::request_schedule() {
 void Simulation::run_scheduler() {
   schedule_pending_ = false;
   if (batch_queue_.empty()) return;
+  ++scheduler_invocations_;
 
   // The three context buffers are scratch members: run_scheduler fires once
   // per batch round, and reusing their capacity avoids three heap
@@ -385,7 +386,7 @@ void Simulation::apply_assignment(const Assignment& assignment) {
   // Actual execution time: sampled under a PET, the EET expectation otherwise.
   const double exec = config_.pet
                           ? config_.pet->sample(task.type, machine.type(), sampling_rng_)
-                          : config_.eet.eet(task.type, machine.type());
+                          : config_.eet.eet_unchecked(task.type, machine.type());
 
   const core::SimTime transfer =
       config_.comm ? config_.comm->transfer_time(task.type, machine.type()) : 0.0;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -174,6 +175,12 @@ class Simulation final : public machines::MachineListener {
   /// Outcome counters so far.
   [[nodiscard]] const SimulationCounters& counters() const noexcept { return counters_; }
 
+  /// Number of scheduler invocations (batch rounds) run so far — the
+  /// denominator for scheduler-throughput measurements.
+  [[nodiscard]] std::uint64_t scheduler_invocations() const noexcept {
+    return scheduler_invocations_;
+  }
+
   /// Tasks that were cancelled or dropped, in the order they missed —
   /// the Missed Tasks panel of Fig. 4.
   [[nodiscard]] std::vector<const workload::Task*> missed_tasks() const;
@@ -260,6 +267,7 @@ class Simulation final : public machines::MachineListener {
   std::vector<double> rates_scratch_;
 
   SimulationCounters counters_;
+  std::uint64_t scheduler_invocations_ = 0;
   std::vector<std::size_t> completed_by_type_;
   std::vector<std::size_t> terminal_by_type_;
 

@@ -176,6 +176,27 @@ TEST(Cli, RetryFlagsWithoutFaultSourceRejected) {
   EXPECT_NE(result.output.find("--mtbf or --fault-trace"), std::string::npos);
 }
 
+TEST(Cli, SchedImplSelectsReferenceMappers) {
+  // Both implementations must produce the identical run; the flag exists so
+  // anyone can A/B them (and so CI can time them against each other).
+  const std::string base = "--eet " + data("eet_heterogeneous.csv") +
+                           " --workload " + data("workload_medium.csv") + " --policy MM";
+  const auto fast = run_command(base + " --sched-impl fast");
+  const auto reference = run_command(base + " --sched-impl reference");
+  ASSERT_EQ(fast.exit_code, 0);
+  ASSERT_EQ(reference.exit_code, 0);
+  EXPECT_EQ(fast.output, reference.output);
+}
+
+TEST(Cli, UnknownSchedImplRejectedWithRoster) {
+  const auto result = run_command("--eet " + data("eet_homogeneous.csv") +
+                                  " --generate low --policy MM --sched-impl bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown scheduler implementation"), std::string::npos);
+  EXPECT_NE(result.output.find("fast"), std::string::npos);
+  EXPECT_NE(result.output.find("reference"), std::string::npos);
+}
+
 TEST(Cli, UnknownPolicySuggestsNearestMatch) {
   const auto result = run_command("--eet " + data("eet_homogeneous.csv") +
                                   " --generate low --policy MEC");
@@ -266,6 +287,25 @@ TEST(ExperimentCli, TrailingJunkInWorkersIsInvalidInput) {
 
 TEST(ExperimentCli, MissingConfigFileIsIoError) {
   EXPECT_EQ(run_experiment("/nonexistent/sweep.ini 1").exit_code, 3);
+}
+
+TEST(ExperimentCli, UnknownSchedImplRejectedWithRoster) {
+  const auto result =
+      run_experiment(data("experiment_example.ini") + " 1 --sched-impl bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown scheduler implementation"), std::string::npos);
+  EXPECT_NE(result.output.find("fast"), std::string::npos);
+  EXPECT_NE(result.output.find("reference"), std::string::npos);
+}
+
+TEST(ExperimentCli, ReferenceSchedImplMatchesFastSweep) {
+  const auto fast =
+      run_experiment(data("experiment_example.ini") + " 1 --sched-impl fast");
+  const auto reference =
+      run_experiment(data("experiment_example.ini") + " 1 --sched-impl reference");
+  ASSERT_EQ(fast.exit_code, 0);
+  ASSERT_EQ(reference.exit_code, 0);
+  EXPECT_EQ(fast.output, reference.output);
 }
 
 TEST(Cli, IncompatibleWorkloadRejected) {

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "exp/scenario.hpp"
@@ -53,13 +54,14 @@ class Fnv1a {
   std::uint64_t hash_ = 0xCBF29CE484222325ULL;
 };
 
-std::uint64_t run_digest(SystemConfig config, const std::string& policy_name) {
+std::uint64_t run_digest(SystemConfig config, std::unique_ptr<e2c::sched::Policy> policy,
+                         double rho = 1.3, double duration = 40.0) {
   const auto machine_types = e2c::exp::machine_types_of(config);
   const auto generator = e2c::workload::config_for_offered_load(
-      config.eet, machine_types, /*rho=*/1.3, /*duration=*/40.0, /*seed=*/20230607);
+      config.eet, machine_types, rho, duration, /*seed=*/20230607);
   const auto workload = e2c::workload::generate_workload(config.eet, generator);
 
-  Simulation simulation(std::move(config), e2c::sched::make_policy(policy_name));
+  Simulation simulation(std::move(config), std::move(policy));
   simulation.load(workload);
   simulation.run();
 
@@ -175,7 +177,7 @@ TEST(RunDigest, BitIdenticalAcrossAllPoliciesAndScenarios) {
   for (const Scenario& scenario : kScenarios) {
     for (const std::string& policy : e2c::sched::PolicyRegistry::instance().names()) {
       const std::string key = std::string(scenario.name) + "/" + policy;
-      const std::uint64_t digest = run_digest(scenario.make(), policy);
+      const std::uint64_t digest = run_digest(scenario.make(), e2c::sched::make_policy(policy));
       if (print) {
         printf("      {\"%s\", 0x%016llXull},\n", key.c_str(),
                static_cast<unsigned long long>(digest));
@@ -191,9 +193,75 @@ TEST(RunDigest, BitIdenticalAcrossAllPoliciesAndScenarios) {
 // Same-process determinism: repeating a run must reproduce the digest exactly
 // (catches hidden global state, address-dependent ordering, map iteration).
 TEST(RunDigest, RepeatedRunsAreDeterministic) {
-  const std::uint64_t first = run_digest(faulty_system(), "MM");
-  const std::uint64_t second = run_digest(faulty_system(), "MM");
+  const std::uint64_t first = run_digest(faulty_system(), e2c::sched::make_policy("MM"));
+  const std::uint64_t second = run_digest(faulty_system(), e2c::sched::make_policy("MM"));
   EXPECT_EQ(first, second);
+}
+
+// Deep-queue goldens: large machine-queue capacities (the upper sizes of the
+// queue-size ablation bench) at overload keep tens of tasks in the batch
+// queue per round — the regime the incremental mappers optimize, and the one
+// the default scenarios' capacity-2 queues barely reach.
+const std::map<std::string, std::uint64_t>& deep_queue_goldens() {
+  static const std::map<std::string, std::uint64_t> golden = {
+      // clang-format off
+      {"deepq1/MM", 0x83C5931A7A6F4ADAull},
+      {"deepq1/MMU", 0x0303A6B38706BF6Dull},
+      {"deepq1/MSD", 0xC513850C855272EFull},
+      {"deepq1/ELARE", 0x884CB2E5F0172456ull},
+      {"deepq1/FELARE", 0x335EDB6D22F1CC20ull},
+      {"deepq1/PAM", 0x83C5931A7A6F4ADAull},
+      {"deepq8/MM", 0x3D59725ABEA95F90ull},
+      {"deepq8/MMU", 0x512A7CC396CD9BEBull},
+      {"deepq8/MSD", 0x1CF7233F24595F0Full},
+      {"deepq8/ELARE", 0x9E0463D97D43E024ull},
+      {"deepq8/FELARE", 0xC99FD891789269D1ull},
+      {"deepq8/PAM", 0x3D59725ABEA95F90ull},
+      // clang-format on
+  };
+  return golden;
+}
+
+TEST(RunDigest, DeepQueueBatchGoldens) {
+  const bool print = std::getenv("E2C_PRINT_DIGESTS") != nullptr;
+  const auto& golden = deep_queue_goldens();
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{8}}) {
+    for (const std::string& policy : e2c::sched::batch_policy_names()) {
+      const std::string key = "deepq" + std::to_string(capacity) + "/" + policy;
+      const std::uint64_t digest =
+          run_digest(e2c::exp::heterogeneous_classroom(capacity),
+                     e2c::sched::make_policy(policy), /*rho=*/4.0, /*duration=*/60.0);
+      if (print) {
+        printf("      {\"%s\", 0x%016llXull},\n", key.c_str(),
+               static_cast<unsigned long long>(digest));
+        continue;
+      }
+      const auto it = golden.find(key);
+      ASSERT_NE(it, golden.end()) << "no golden digest for " << key;
+      EXPECT_EQ(digest, it->second) << key << " diverged from the seed implementation";
+    }
+  }
+}
+
+// End-to-end decision equivalence: a full simulation digested under the fast
+// mappers must match the same simulation under the reference mappers, for
+// every batch policy and both queue regimes.
+TEST(RunDigest, FastImplMatchesReferenceEndToEnd) {
+  using e2c::sched::SchedImpl;
+  for (const std::size_t capacity : {std::size_t{2}, std::size_t{16}}) {
+    for (const std::string& policy : e2c::sched::batch_policy_names()) {
+      e2c::sched::set_default_sched_impl(SchedImpl::kFast);
+      const std::uint64_t fast =
+          run_digest(e2c::exp::heterogeneous_classroom(capacity),
+                     e2c::sched::make_policy(policy), /*rho=*/4.0, /*duration=*/60.0);
+      e2c::sched::set_default_sched_impl(SchedImpl::kReference);
+      const std::uint64_t reference =
+          run_digest(e2c::exp::heterogeneous_classroom(capacity),
+                     e2c::sched::make_policy(policy), /*rho=*/4.0, /*duration=*/60.0);
+      e2c::sched::set_default_sched_impl(SchedImpl::kFast);
+      EXPECT_EQ(fast, reference) << policy << " capacity " << capacity;
+    }
+  }
 }
 
 }  // namespace

@@ -6,10 +6,13 @@
 #   suites: asan | ubsan | tsan | bench   (default: the three sanitizers)
 #   E2C_BUILD_ROOT overrides the build root (default: <repo>/build-san)
 #
-# The bench suite is a smoke test, not a performance gate: it builds Release,
-# runs the core hot-path benchmark at 10k tasks and validates that the JSON
-# artifact contains the expected keys — catching bitrot in the bench harness
-# without making CI timing-sensitive.
+# The bench suite is a smoke test plus one relative gate: it builds Release,
+# runs the core hot-path benchmark at 10k tasks and the scheduler hot-path
+# benchmark at reduced depths, validates that the JSON artifacts contain the
+# expected keys, and fails if the fresh fast/reference scheduler speedup drops
+# below 70% of the committed BENCH_sched_hotpath.json baseline for MM or
+# ELARE. Speedup ratios compare two implementations on the *same* machine, so
+# the gate is meaningful on any runner; absolute rounds/s are never compared.
 #
 # The tsan suite runs only the threaded tests (thread pool and the parallel
 # substrate-combo sweep) — the rest of the suite is single-threaded by design
@@ -36,6 +39,42 @@ run_bench_smoke() {
       echo "bench smoke: key '${key}' missing from ${out}" >&2
       exit 1
     }
+  done
+
+  local sched_out="${dir}/BENCH_sched_hotpath.json"
+  local baseline="${ROOT}/BENCH_sched_hotpath.json"
+  echo "=== bench: build scheduler hot path ==="
+  cmake --build "${dir}" --target bench_sched_hotpath -j "${JOBS}"
+  echo "=== bench: run scheduler hot path (depth 1000) ==="
+  "${dir}/bench/bench_sched_hotpath" --depths 1000 --out "${sched_out}"
+  echo "=== bench: validate scheduler JSON keys ==="
+  for key in bench schedule_results impl depth invocations rounds assignments \
+             rounds_per_sec invocations_per_sec speedups speedup end_to_end \
+             scheduler_invocations; do
+    grep -q "\"${key}\"" "${sched_out}" || {
+      echo "bench smoke: key '${key}' missing from ${sched_out}" >&2
+      exit 1
+    }
+  done
+  echo "=== bench: fast/reference speedup regression gate ==="
+  # The committed baseline records the speedup at each depth; a fresh run on
+  # this machine must stay within 70% of the baseline ratio for the two
+  # policies the PR acceptance pinned (MM and ELARE).
+  speedup_of() {  # file policy depth
+    sed -n "s/.*{\"policy\": \"$2\", \"depth\": $3, \"speedup\": \([0-9.eE+-]*\)}.*/\1/p" "$1"
+  }
+  for policy in MM ELARE; do
+    fresh="$(speedup_of "${sched_out}" "${policy}" 1000)"
+    base="$(speedup_of "${baseline}" "${policy}" 1000)"
+    if [ -z "${fresh}" ] || [ -z "${base}" ]; then
+      echo "bench smoke: missing ${policy} depth-1000 speedup (fresh='${fresh}' baseline='${base}')" >&2
+      exit 1
+    fi
+    awk -v fresh="${fresh}" -v base="${base}" 'BEGIN { exit !(fresh >= 0.7 * base) }' || {
+      echo "bench smoke: ${policy} speedup regressed: ${fresh}x vs baseline ${base}x (floor 70%)" >&2
+      exit 1
+    }
+    echo "${policy}: speedup ${fresh}x (baseline ${base}x) ok"
   done
   echo "bench smoke passed"
 }
