@@ -1,0 +1,266 @@
+// Experiment-throughput benchmark: shared vs per-run sweep data plane.
+//
+// Runs the same 4-policy x 3-intensity x 10-replication sweep (the shape of
+// the paper's figure experiments, on a wide-catalog EET rather than the
+// 5x4 classroom) through both DataPlanes:
+//
+//  - shared: each paired trace generated once per (intensity, replication)
+//    and aliased read-only by every policy cell; one Simulation per cell,
+//    reset between replications (this PR's default);
+//  - per_run: every replication regenerates its trace and constructs a
+//    fresh Simulation — the pre-sharing data plane, kept in-tree purely as
+//    this benchmark's baseline.
+//
+// Before timing, the harness asserts both planes emit the bit-identical
+// result CSV — a speedup over a plane that computes different numbers would
+// be meaningless. The headline metric is sweep replications/second and the
+// shared/per_run ratio ("plane_speedup"), which is machine-independent and
+// gated by CI against the committed BENCH_experiment_throughput.json.
+// Worker scaling (1/2/4/8) and peak RSS are recorded for the record but not
+// gated: both depend on the host.
+//
+//   bench_experiment_throughput [--reps N] [--out FILE.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "hetero/eet_matrix.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The sweep under test: a wide heterogeneous task catalog (1024 task types,
+/// the comparative-study regime, vs the classroom's 5) on a small
+/// accelerator fleet, with a short arrival window per run. That is the
+/// sweep-scale shape the shared plane exists for — many short replications
+/// where per-run setup (trace regeneration per policy, SystemConfig copies,
+/// eager task-vector loads) dominates the wall-clock rather than the event
+/// loop. Deadlines are tight (factor 1.0-1.5x mean EET) so runs terminate
+/// fast and the in-system population stays small.
+e2c::exp::ExperimentSpec sweep_spec(std::size_t replications) {
+  e2c::util::Rng rng(0xE2CBE4C11);
+  std::vector<std::string> task_names;
+  std::vector<std::string> machine_names;
+  for (int t = 0; t < 1024; ++t)
+    task_names.push_back("heterogeneous-workload-task-type-" + std::to_string(t));
+  for (int m = 0; m < 4; ++m)
+    machine_names.push_back("edge-accelerator-machine-type-" + std::to_string(m));
+
+  e2c::exp::ExperimentSpec spec;
+  spec.system = e2c::sched::make_default_system(
+      e2c::hetero::EetMatrix::random(std::move(task_names), std::move(machine_names),
+                                     /*base=*/2.0, /*task_range=*/4.0,
+                                     /*machine_range=*/4.0, /*inconsistent=*/true, rng),
+      /*machine_queue_capacity=*/2);
+  spec.policies = {"FCFS", "MEET", "MECT", "FTMIN-EET"};
+  spec.intensities = {e2c::workload::Intensity::kLow, e2c::workload::Intensity::kMedium,
+                      e2c::workload::Intensity::kHigh};
+  spec.replications = replications;
+  spec.duration = 250.0;
+  spec.base_seed = 20230607;
+  spec.deadline_factor_lo = 1.0;
+  spec.deadline_factor_hi = 1.5;
+  return spec;
+}
+
+struct PlaneResult {
+  const char* plane;
+  std::size_t workers;
+  double seconds;
+  double replications_per_sec;
+};
+
+std::size_t total_replications(const e2c::exp::ExperimentSpec& spec) {
+  return spec.policies.size() * spec.intensities.size() * spec.replications;
+}
+
+/// Wall-times one full sweep; best-of-\p passes to shave scheduler noise.
+PlaneResult time_sweep(const e2c::exp::ExperimentSpec& spec, std::size_t workers,
+                       e2c::exp::DataPlane plane, const char* name, int passes) {
+  double best = 1e300;
+  for (int pass = 0; pass < passes; ++pass) {
+    const auto start = Clock::now();
+    const auto result = e2c::exp::run_experiment(spec, workers, plane);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    e2c::require(result.cells.size() == spec.policies.size() * spec.intensities.size(),
+                 "bench: sweep produced the wrong cell count");
+    best = std::min(best, seconds);
+  }
+  return {name, workers, best,
+          static_cast<double>(total_replications(spec)) / best};
+}
+
+/// Peak resident set size (VmHWM) in kB; 0 where /proc is unavailable.
+long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) return kb;
+  }
+  return 0;
+}
+
+std::string csv_text(const e2c::exp::ExperimentResult& result) {
+  return e2c::util::to_csv(e2c::exp::result_csv(result));
+}
+
+/// Per-replication cost breakdown at high intensity — where a per-run
+/// replication spends its time vs a shared-plane one. Diagnostic only
+/// (not part of the JSON): run with --profile when retuning the sweep.
+void profile_components(const e2c::exp::ExperimentSpec& spec) {
+  using e2c::exp::workload_seed;
+  const auto machine_types = e2c::exp::machine_types_of(spec.system);
+  const int iters = 200;
+  const auto intensity = e2c::workload::Intensity::kHigh;
+
+  auto time_of = [&](const char* label, auto&& body) {
+    const auto start = Clock::now();
+    for (int i = 0; i < iters; ++i) body(i);
+    const double us =
+        std::chrono::duration<double>(Clock::now() - start).count() * 1e6 / iters;
+    std::printf("  %-28s %8.1f us\n", label, us);
+  };
+
+  e2c::workload::GeneratorConfig generator = e2c::workload::config_for_intensity(
+      spec.system.eet, machine_types, intensity, spec.duration,
+      workload_seed(spec.base_seed, intensity, 0));
+  generator.arrival = spec.arrival;
+  generator.deadline_factor_lo = spec.deadline_factor_lo;
+  generator.deadline_factor_hi = spec.deadline_factor_hi;
+  const auto trace = std::make_shared<const e2c::workload::Workload>(
+      e2c::workload::generate_workload(spec.system.eet, generator));
+  std::printf("profile (high intensity, %zu tasks, %d iters):\n", trace->size(), iters);
+
+  time_of("generate_workload", [&](int) {
+    const auto w = e2c::workload::generate_workload(spec.system.eet, generator);
+    e2c::require(w.size() == trace->size(), "profile: trace size changed");
+  });
+  time_of("simulation ctor (copy)", [&](int) {
+    e2c::sched::Simulation sim(spec.system, e2c::sched::make_policy("MECT"));
+  });
+  const auto system = std::make_shared<const e2c::sched::SystemConfig>(spec.system);
+  e2c::sched::Simulation sim(system, e2c::sched::make_policy("MECT"));
+  time_of("reset + eager load", [&](int) {
+    sim.reset(e2c::sched::make_policy("MECT"));
+    sim.load(*trace);
+  });
+  time_of("reset + shared load", [&](int) {
+    sim.reset(e2c::sched::make_policy("MECT"));
+    sim.load(trace);
+  });
+  time_of("reset + eager load + run", [&](int) {
+    sim.reset(e2c::sched::make_policy("MECT"));
+    sim.load(*trace);
+    sim.run();
+  });
+  time_of("reset + shared load + run", [&](int) {
+    sim.reset(e2c::sched::make_policy("MECT"));
+    sim.load(trace);
+    sim.run();
+  });
+  time_of("compute_metrics", [&](int) {
+    const auto metrics = e2c::reports::compute_metrics(sim);
+    e2c::require(metrics.total_tasks == trace->size(), "profile: metrics mismatch");
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replications = 10;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      replications = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--profile") {
+      profile_components(sweep_spec(replications));
+      return 0;
+    } else {
+      std::cerr << "usage: bench_experiment_throughput [--reps N] [--out FILE.json]\n";
+      return 2;
+    }
+  }
+
+  const e2c::exp::ExperimentSpec spec = sweep_spec(replications);
+
+  // Correctness first: both planes must produce the bit-identical CSV.
+  {
+    const std::string shared_csv =
+        csv_text(e2c::exp::run_experiment(spec, 1, e2c::exp::DataPlane::kShared));
+    const std::string per_run_csv =
+        csv_text(e2c::exp::run_experiment(spec, 1, e2c::exp::DataPlane::kPerRun));
+    e2c::require(shared_csv == per_run_csv,
+                 "bench: shared and per-run planes disagree on the result CSV");
+    std::cout << "planes agree: " << total_replications(spec)
+              << " replications, identical result CSV\n";
+  }
+
+  // Headline: single-worker throughput of each plane (the ratio is the
+  // machine-independent number CI gates).
+  const int kPasses = 3;
+  std::vector<PlaneResult> planes;
+  planes.push_back(
+      time_sweep(spec, 1, e2c::exp::DataPlane::kShared, "shared", kPasses));
+  planes.push_back(
+      time_sweep(spec, 1, e2c::exp::DataPlane::kPerRun, "per_run", kPasses));
+  const double plane_speedup =
+      planes[1].seconds > 0.0 ? planes[1].seconds / planes[0].seconds : 0.0;
+
+  // Worker scaling on the shared plane (recorded, host-dependent).
+  std::vector<PlaneResult> scaling;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    scaling.push_back(
+        time_sweep(spec, workers, e2c::exp::DataPlane::kShared, "shared", 1));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"experiment_throughput\",\n"
+       << "  \"sweep\": {\"policies\": " << spec.policies.size()
+       << ", \"intensities\": " << spec.intensities.size()
+       << ", \"replications\": " << spec.replications
+       << ", \"total_replications\": " << total_replications(spec) << "},\n"
+       << "  \"plane_results\": [\n";
+  for (std::size_t i = 0; i < planes.size(); ++i) {
+    json << "    {\"plane\": \"" << planes[i].plane << "\", \"workers\": "
+         << planes[i].workers << ", \"seconds\": " << planes[i].seconds
+         << ", \"replications_per_sec\": " << planes[i].replications_per_sec << "}"
+         << (i + 1 < planes.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"plane_speedup\": " << plane_speedup << ",\n"
+       << "  \"worker_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    json << "    {\"plane\": \"shared\", \"workers\": " << scaling[i].workers
+         << ", \"seconds\": " << scaling[i].seconds
+         << ", \"replications_per_sec\": " << scaling[i].replications_per_sec << "}"
+         << (i + 1 < scaling.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"peak_rss_kb\": " << peak_rss_kb() << "\n}\n";
+
+  std::cout << json.str();
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    e2c::require(static_cast<bool>(out), "bench: cannot open " + out_path);
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

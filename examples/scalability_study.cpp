@@ -62,9 +62,8 @@ int main() {
     // The same trace must be replayable on every fleet: generate it against
     // the reference EET (task types are shared; machine columns differ).
     const auto trace = workload::generate_workload(reference.eet, generator);
-    std::vector<workload::Task> tasks = trace.tasks();
     sched::Simulation simulation(config, sched::make_policy("MM"));
-    simulation.load(workload::Workload(std::move(tasks)));
+    simulation.load(trace);
     simulation.run();
     std::cout << gpus << ","
               << util::format_fixed(simulation.counters().completion_percent(), 2) << ","

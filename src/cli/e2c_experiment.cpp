@@ -7,6 +7,8 @@
 /// grouped bar chart and the result CSV to stdout, and writes any outputs
 /// ([output] csv / chart_svg) the file requests. See exp/spec_io.hpp for the
 /// config grammar.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> positional;
     std::string sched_impl = "fast";
+    bool progress = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help") {
@@ -32,13 +35,17 @@ int main(int argc, char** argv) {
       if (arg == "--sched-impl") {
         require_input(i + 1 < argc, "missing value for --sched-impl");
         sched_impl = argv[++i];
+      } else if (arg == "--progress") {
+        progress = true;
       } else {
         positional.push_back(arg);
       }
     }
     if (positional.empty()) {
-      std::cout << "usage: e2c_experiment CONFIG.ini [workers] [--sched-impl fast|reference]\n"
+      std::cout << "usage: e2c_experiment CONFIG.ini [workers] [--sched-impl fast|reference]"
+                   " [--progress]\n"
                    "Runs the experiment sweep described by CONFIG.ini.\n"
+                   "  --progress   print a per-cell progress line to stderr\n"
                    "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
                    "3 I/O error.\n";
       return argc < 2 ? 2 : 0;
@@ -58,7 +65,25 @@ int main(int argc, char** argv) {
     }
     const util::IniFile ini = util::IniFile::load(positional[0]);
     const auto outputs = exp::outputs_from_ini(ini);
-    const auto result = exp::run_experiment_file(ini, workers);
+    exp::ProgressFn on_progress;
+    const auto started = std::chrono::steady_clock::now();
+    if (progress) {
+      // stderr so piping/redirecting the report (stdout) stays clean.
+      on_progress = [started](std::size_t done, std::size_t total,
+                              const exp::CellResult& cell) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count();
+        const double reps = static_cast<double>(done) *
+                            static_cast<double>(cell.runs.size());
+        std::fprintf(stderr,
+                     "[e2c_experiment] cell %zu/%zu (%s/%s) done  elapsed %.1fs  %.1f reps/s\n",
+                     done, total, cell.policy.c_str(),
+                     workload::intensity_name(cell.intensity), elapsed,
+                     elapsed > 0.0 ? reps / elapsed : 0.0);
+      };
+    }
+    const auto result = exp::run_experiment_file(ini, workers, on_progress);
 
     std::cout << viz::render_bar_chart(exp::completion_chart(result, outputs.title))
               << "\n"

@@ -1,6 +1,7 @@
 #include "exp/experiment.hpp"
 
 #include <future>
+#include <memory>
 
 #include "exp/scenario.hpp"
 #include "sched/registry.hpp"
@@ -58,16 +59,25 @@ std::uint64_t workload_seed(std::uint64_t base_seed, workload::Intensity intensi
 
 namespace {
 
-reports::Metrics run_single(const ExperimentSpec& spec, const std::string& policy_name,
-                            workload::Intensity intensity, std::size_t replication) {
-  const auto machine_types = machine_types_of(spec.system);
+/// Generator config of the paired trace for one (intensity, replication) —
+/// identical for every policy, and identical across data planes.
+workload::GeneratorConfig generator_for(
+    const ExperimentSpec& spec, const std::vector<hetero::MachineTypeId>& machine_types,
+    workload::Intensity intensity, std::size_t replication) {
   workload::GeneratorConfig generator = workload::config_for_intensity(
       spec.system.eet, machine_types, intensity, spec.duration,
       workload_seed(spec.base_seed, intensity, replication));
   generator.arrival = spec.arrival;
   generator.deadline_factor_lo = spec.deadline_factor_lo;
   generator.deadline_factor_hi = spec.deadline_factor_hi;
-  const workload::Workload trace = workload::generate_workload(spec.system.eet, generator);
+  return generator;
+}
+
+reports::Metrics run_single(const ExperimentSpec& spec, const std::string& policy_name,
+                            workload::Intensity intensity, std::size_t replication) {
+  const auto machine_types = machine_types_of(spec.system);
+  const workload::Workload trace = workload::generate_workload(
+      spec.system.eet, generator_for(spec, machine_types, intensity, replication));
 
   sched::Simulation simulation(spec.system, sched::make_policy(policy_name));
   simulation.load(trace);
@@ -75,26 +85,94 @@ reports::Metrics run_single(const ExperimentSpec& spec, const std::string& polic
   return reports::compute_metrics(simulation);
 }
 
+/// One cell on the shared data plane: a single Simulation, reset between
+/// replications, loading traces that are shared read-only across cells.
+CellResult run_cell_shared(
+    const std::shared_ptr<const sched::SystemConfig>& system,
+    const std::string& policy_name, workload::Intensity intensity,
+    const std::vector<std::shared_ptr<const workload::Workload>>& traces) {
+  CellResult cell;
+  cell.policy = policy_name;
+  cell.intensity = intensity;
+  cell.runs.reserve(traces.size());
+  std::unique_ptr<sched::Simulation> simulation;
+  for (const auto& trace : traces) {
+    // A fresh policy instance per replication: policies may carry state.
+    std::unique_ptr<sched::Policy> policy = sched::make_policy(policy_name);
+    if (!simulation) {
+      simulation = std::make_unique<sched::Simulation>(system, std::move(policy));
+    } else {
+      simulation->reset(std::move(policy));
+    }
+    simulation->load(trace);
+    simulation->run();
+    cell.runs.push_back(reports::compute_metrics(*simulation));
+  }
+  return cell;
+}
+
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers) {
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
+                                DataPlane plane, const ProgressFn& progress) {
   require_input(!spec.policies.empty(), "experiment: no policies");
   require_input(!spec.intensities.empty(), "experiment: no intensities");
   require_input(spec.replications > 0, "experiment: replications must be > 0");
+  for (const std::string& policy : spec.policies) {
+    require_input(sched::PolicyRegistry::instance().contains(policy),
+                  "experiment: unknown policy '" + policy + "'");
+  }
 
   ExperimentResult result;
   result.spec = spec;
+  const std::size_t cells_total = spec.policies.size() * spec.intensities.size();
 
   util::ThreadPool pool(workers);
+
+  if (plane == DataPlane::kShared) {
+    // Build the immutable inputs once: one SystemConfig for every
+    // Simulation, one trace per (intensity, replication) for every policy.
+    const auto system = std::make_shared<const sched::SystemConfig>(spec.system);
+    const auto machine_types = machine_types_of(spec.system);
+    std::vector<std::vector<std::shared_ptr<const workload::Workload>>> traces;
+    traces.reserve(spec.intensities.size());
+    for (workload::Intensity intensity : spec.intensities) {
+      std::vector<std::shared_ptr<const workload::Workload>> per_rep;
+      per_rep.reserve(spec.replications);
+      for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+        per_rep.push_back(std::make_shared<const workload::Workload>(
+            workload::generate_workload(spec.system.eet,
+                                        generator_for(spec, machine_types, intensity, rep))));
+      }
+      traces.push_back(std::move(per_rep));
+    }
+
+    std::vector<std::future<CellResult>> futures;
+    futures.reserve(cells_total);
+    for (const std::string& policy : spec.policies) {
+      for (std::size_t i = 0; i < spec.intensities.size(); ++i) {
+        const workload::Intensity intensity = spec.intensities[i];
+        futures.push_back(pool.submit([system, policy, intensity, &traces, i] {
+          return run_cell_shared(system, policy, intensity, traces[i]);
+        }));
+      }
+    }
+    result.cells.reserve(futures.size());
+    for (auto& future : futures) {
+      result.cells.push_back(future.get());
+      if (progress) progress(result.cells.size(), cells_total, result.cells.back());
+    }
+    return result;
+  }
+
   struct PendingCell {
     CellResult cell;
     std::vector<std::future<reports::Metrics>> futures;
   };
   std::vector<PendingCell> pending;
+  pending.reserve(cells_total);
 
   for (const std::string& policy : spec.policies) {
-    require_input(sched::PolicyRegistry::instance().contains(policy),
-                  "experiment: unknown policy '" + policy + "'");
     for (workload::Intensity intensity : spec.intensities) {
       PendingCell cell;
       cell.cell.policy = policy;
@@ -113,6 +191,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers)
     cell.cell.runs.reserve(cell.futures.size());
     for (auto& future : cell.futures) cell.cell.runs.push_back(future.get());
     result.cells.push_back(std::move(cell.cell));
+    if (progress) progress(result.cells.size(), cells_total, result.cells.back());
   }
   return result;
 }

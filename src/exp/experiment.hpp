@@ -8,7 +8,9 @@
 /// the reported completion percentages carry confidence intervals.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,11 +72,34 @@ struct ExperimentResult {
                                           workload::Intensity intensity,
                                           std::size_t replication) noexcept;
 
+/// How the sweep provisions workloads and simulations.
+enum class DataPlane {
+  /// Each paired trace is generated once per (intensity, replication) and
+  /// shared read-only by every policy cell; each cell runs on one Simulation
+  /// that is reset between replications. This is the default: same results,
+  /// a fraction of the setup cost.
+  kShared,
+  /// Every replication regenerates its trace and builds a fresh Simulation —
+  /// the pre-sharing data plane, kept as the honest baseline for the
+  /// experiment-throughput bench and for A/B validation.
+  kPerRun,
+};
+
+/// Invoked after each (policy, intensity) cell finishes, from the thread
+/// collecting results (never concurrently): cells done so far, total cells,
+/// and the cell just completed.
+using ProgressFn = std::function<void(
+    std::size_t cells_done, std::size_t cells_total, const CellResult& cell)>;
+
 /// Runs the sweep. \p workers selects thread-pool size (0 = hardware
-/// concurrency). Each replication builds its own Simulation; no state is
-/// shared across threads.
+/// concurrency). No mutable state is shared across threads: under kShared
+/// each worker owns one Simulation per cell and only aliases immutable
+/// traces/config; under kPerRun each replication builds everything afresh.
+/// Cell results arrive in (policy-major, intensity-minor) order either way.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                              std::size_t workers = 0);
+                                              std::size_t workers = 0,
+                                              DataPlane plane = DataPlane::kShared,
+                                              const ProgressFn& progress = {});
 
 /// Builds the grouped bar chart of completion % — the layout of Figs. 5-7
 /// (groups = intensities, series = policies).

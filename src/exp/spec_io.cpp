@@ -190,14 +190,16 @@ ExperimentOutputs outputs_from_ini(const util::IniFile& ini) {
   return outputs;
 }
 
-ExperimentResult run_experiment_file(const std::string& path, std::size_t workers) {
-  return run_experiment_file(util::IniFile::load(path), workers);
+ExperimentResult run_experiment_file(const std::string& path, std::size_t workers,
+                                     const ProgressFn& progress) {
+  return run_experiment_file(util::IniFile::load(path), workers, progress);
 }
 
-ExperimentResult run_experiment_file(const util::IniFile& ini, std::size_t workers) {
+ExperimentResult run_experiment_file(const util::IniFile& ini, std::size_t workers,
+                                     const ProgressFn& progress) {
   const ExperimentSpec spec = spec_from_ini(ini);
   const ExperimentOutputs outputs = outputs_from_ini(ini);
-  ExperimentResult result = run_experiment(spec, workers);
+  ExperimentResult result = run_experiment(spec, workers, DataPlane::kShared, progress);
   if (outputs.csv_path) {
     util::write_csv_file(*outputs.csv_path, result_csv(result));
   }

@@ -68,12 +68,15 @@ struct ExperimentOutputs {
 /// Runs an already-parsed config end to end — runs the sweep, writes the
 /// configured outputs, and returns the result. Callers that need the
 /// [output] section for their own reporting (e2c_experiment) parse the INI
-/// once and pass it here instead of having the file re-read.
+/// once and pass it here instead of having the file re-read. \p progress
+/// (optional) fires after each cell (see exp::ProgressFn).
 [[nodiscard]] ExperimentResult run_experiment_file(const util::IniFile& ini,
-                                                   std::size_t workers = 0);
+                                                   std::size_t workers = 0,
+                                                   const ProgressFn& progress = {});
 
 /// Convenience: load a config file and run it end to end.
 [[nodiscard]] ExperimentResult run_experiment_file(const std::string& path,
-                                                   std::size_t workers = 0);
+                                                   std::size_t workers = 0,
+                                                   const ProgressFn& progress = {});
 
 }  // namespace e2c::exp

@@ -69,11 +69,11 @@ const std::string& EetMatrix::machine_type_name(MachineTypeId id) const {
   return machine_names_[id];
 }
 
-TaskTypeId EetMatrix::task_type_index(const std::string& name) const {
+TaskTypeId EetMatrix::task_type_index(std::string_view name) const {
   for (std::size_t i = 0; i < task_names_.size(); ++i) {
     if (task_names_[i] == name) return i;
   }
-  throw InputError("EET: unknown task type '" + name +
+  throw InputError("EET: unknown task type '" + std::string(name) +
                    "' (workload must conform to the EET matrix)");
 }
 
@@ -131,11 +131,11 @@ bool EetMatrix::is_consistent() const noexcept {
 
 namespace {
 
-EetMatrix eet_from_table(const util::CsvTable& table) {
-  require_input(table.row_count() >= 2, "EET CSV: need a header row and at least one task row");
-  const auto& header = table.rows.front();
+EetMatrix eet_from_doc(const util::CsvDoc& doc) {
+  require_input(doc.row_count() >= 2, "EET CSV: need a header row and at least one task row");
+  const auto header = doc.row(0);
   require_input(header.size() >= 2, "EET CSV: header needs task_type plus machine columns (" +
-                                        table.where(0) + ")");
+                                        doc.where(0) + ")");
 
   std::vector<std::string> machine_names;
   machine_names.reserve(header.size() - 1);
@@ -145,17 +145,17 @@ EetMatrix eet_from_table(const util::CsvTable& table) {
 
   std::vector<std::string> task_names;
   std::vector<std::vector<double>> values;
-  for (std::size_t r = 1; r < table.row_count(); ++r) {
-    const auto& row = table.rows[r];
+  for (std::size_t r = 1; r < doc.row_count(); ++r) {
+    const auto row = doc.row(r);
     require_input(row.size() == header.size(),
-                  "EET CSV: wrong field count at " + table.where(r));
+                  "EET CSV: wrong field count at " + doc.where(r));
     task_names.emplace_back(util::trim(row[0]));
     std::vector<double> row_values;
     row_values.reserve(row.size() - 1);
     for (std::size_t c = 1; c < row.size(); ++c) {
       const auto value = util::parse_double(row[c]);
-      require_input(value.has_value(), "EET CSV: non-numeric entry '" + row[c] + "' at " +
-                                           table.where(r));
+      require_input(value.has_value(), "EET CSV: non-numeric entry '" + std::string(row[c]) +
+                                           "' at " + doc.where(r));
       row_values.push_back(*value);
     }
     values.push_back(std::move(row_values));
@@ -166,11 +166,11 @@ EetMatrix eet_from_table(const util::CsvTable& table) {
 }  // namespace
 
 EetMatrix EetMatrix::from_csv_text(const std::string& text) {
-  return eet_from_table(util::parse_csv(text));
+  return eet_from_doc(util::parse_csv_doc(text));
 }
 
 EetMatrix EetMatrix::load_csv(const std::string& path) {
-  return eet_from_table(util::read_csv_file(path));
+  return eet_from_doc(util::read_csv_doc(path));
 }
 
 std::string EetMatrix::to_csv_text() const {

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hetero/types.hpp"
@@ -94,7 +95,8 @@ class EetMatrix {
   /// Index of the task type named \p name; throws e2c::InputError if absent.
   /// The workload loader uses this to enforce the paper's compatibility rule
   /// ("no task type within the workload that is not defined within the EET").
-  [[nodiscard]] TaskTypeId task_type_index(const std::string& name) const;
+  /// Accepts a view so zero-copy CSV ingest resolves names without copying.
+  [[nodiscard]] TaskTypeId task_type_index(std::string_view name) const;
 
   /// True if the named task type exists.
   [[nodiscard]] bool has_task_type(const std::string& name) const noexcept;

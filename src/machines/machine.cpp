@@ -340,4 +340,18 @@ double Machine::dynamic_energy_joules(core::SimTime horizon) const {
   return std::min(stats.busy_seconds, horizon) * power_.busy_watts;
 }
 
+void Machine::reset() {
+  queue_.clear();
+  running_.reset();
+  checkpoint_marks_.clear();
+  state_ = MachineState::kOnline;
+  online_since_ = 0.0;
+  accumulated_online_ = 0.0;
+  failure_spans_.clear();
+  busy_seconds_ = 0.0;
+  completed_ = 0;
+  dropped_ = 0;
+  aborted_ = 0;
+}
+
 }  // namespace e2c::machines

@@ -240,6 +240,13 @@ class Machine {
   /// idle draw, which accrues with wall time regardless of mapping.
   [[nodiscard]] double dynamic_energy_joules(core::SimTime horizon) const;
 
+  /// Returns the machine to its initial idle/online state (empty queue, no
+  /// running task, zeroed accounting), keeping its identity, power model,
+  /// queue capacity and attached listener/cache/checkpoint pointers. Requires
+  /// the owning engine to have been rewound to time 0 first; any pending
+  /// completion events must already be gone with it.
+  void reset();
+
  private:
   struct QueueEntry {
     workload::Task* task;

@@ -80,6 +80,14 @@ double ModelCache::hit_rate() const noexcept {
   return total == 0 ? 1.0 : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
+void ModelCache::reset() {
+  order_.clear();
+  std::fill(warm_.begin(), warm_.end(), false);
+  used_mb_ = 0.0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
 void ModelCache::evict_until_fits(double needed_mb) {
   while (used_mb_ + needed_mb > capacity_mb_ && !order_.empty()) {
     const hetero::TaskTypeId victim = order_.front();

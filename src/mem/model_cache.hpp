@@ -80,6 +80,11 @@ class ModelCache {
   /// hits / (hits + misses); 1.0 before any execution.
   [[nodiscard]] double hit_rate() const noexcept;
 
+  /// Returns the cache to its cold initial state (no warm models, zeroed
+  /// counters), keeping the configured capacities and footprints. Used when
+  /// a Simulation is reset for reuse across replications.
+  void reset();
+
  private:
   void evict_until_fits(double needed_mb);
   void touch(hetero::TaskTypeId type);

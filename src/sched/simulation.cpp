@@ -21,20 +21,26 @@ SystemConfig make_default_system(hetero::EetMatrix eet, std::size_t machine_queu
 }
 
 Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
+    : Simulation(std::make_shared<const SystemConfig>(std::move(config)),
+                 std::move(policy)) {}
+
+Simulation::Simulation(std::shared_ptr<const SystemConfig> config,
+                       std::unique_ptr<Policy> policy)
     : config_(std::move(config)),
       policy_(std::move(policy)),
-      sampling_rng_(config_.sampling_seed) {
+      sampling_rng_(config_ ? config_->sampling_seed : 0) {
+  require_input(config_ != nullptr, "Simulation: config must not be null");
   require_input(policy_ != nullptr, "Simulation: policy must not be null");
   policy_name_ = policy_->name();
-  require_input(!config_.machines.empty(), "Simulation: at least one machine required");
-  if (config_.pet) {
-    require_input(config_.pet->task_type_count() == config_.eet.task_type_count() &&
-                      config_.pet->machine_type_count() == config_.eet.machine_type_count(),
+  require_input(!cfg().machines.empty(), "Simulation: at least one machine required");
+  if (cfg().pet) {
+    require_input(cfg().pet->task_type_count() == cfg().eet.task_type_count() &&
+                      cfg().pet->machine_type_count() == cfg().eet.machine_type_count(),
                   "Simulation: PET shape must match the EET matrix");
   }
-  if (config_.comm) {
-    require_input(config_.comm->task_type_count() >= config_.eet.task_type_count() &&
-                      config_.comm->machine_type_count() >= config_.eet.machine_type_count(),
+  if (cfg().comm) {
+    require_input(cfg().comm->task_type_count() >= cfg().eet.task_type_count() &&
+                      cfg().comm->machine_type_count() >= cfg().eet.machine_type_count(),
                   "Simulation: comm model must cover the EET's task/machine types");
   }
 
@@ -42,12 +48,12 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
   // "machine queue size is limited to infinite for immediate policies").
   const std::size_t capacity = policy_->mode() == PolicyMode::kImmediate
                                    ? machines::kUnboundedQueue
-                                   : config_.machine_queue_capacity;
+                                   : cfg().machine_queue_capacity;
 
-  machines_.reserve(config_.machines.size());
-  for (std::size_t i = 0; i < config_.machines.size(); ++i) {
-    const MachineInstance& instance = config_.machines[i];
-    require_input(instance.type < config_.eet.machine_type_count(),
+  machines_.reserve(cfg().machines.size());
+  for (std::size_t i = 0; i < cfg().machines.size(); ++i) {
+    const MachineInstance& instance = cfg().machines[i];
+    require_input(instance.type < cfg().eet.machine_type_count(),
                   "Simulation: machine '" + instance.name +
                       "' references a type outside the EET matrix");
     machines_.push_back(std::make_unique<machines::Machine>(
@@ -55,12 +61,12 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
     machines_.back()->set_listener(this);
   }
 
-  if (config_.memory) {
-    const mem::MemoryModel& memory = *config_.memory;
-    require_input(memory.model_mb.size() == config_.eet.task_type_count() &&
-                      memory.load_seconds.size() == config_.eet.task_type_count(),
+  if (cfg().memory) {
+    const mem::MemoryModel& memory = *cfg().memory;
+    require_input(memory.model_mb.size() == cfg().eet.task_type_count() &&
+                      memory.load_seconds.size() == cfg().eet.task_type_count(),
                   "Simulation: memory model needs one entry per task type");
-    require_input(memory.machine_memory_mb.size() == config_.eet.machine_type_count(),
+    require_input(memory.machine_memory_mb.size() == cfg().eet.machine_type_count(),
                   "Simulation: memory model needs one capacity per machine type");
     model_caches_.reserve(machines_.size());
     for (const auto& machine : machines_) {
@@ -71,28 +77,29 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
     }
   }
 
-  completed_by_type_.assign(config_.eet.task_type_count(), 0);
-  terminal_by_type_.assign(config_.eet.task_type_count(), 0);
+  completed_by_type_.assign(cfg().eet.task_type_count(), 0);
+  terminal_by_type_.assign(cfg().eet.task_type_count(), 0);
+  rates_scratch_.assign(cfg().eet.task_type_count(), 1.0);
   in_flight_count_.assign(machines_.size(), 0);
   in_flight_exec_.assign(machines_.size(), 0.0);
   booting_.assign(machines_.size(), false);
   pending_fault_event_.assign(machines_.size(), core::kNoEvent);
-  if (config_.faults.enabled) {
-    injector_ = std::make_unique<fault::FaultInjector>(config_.faults, machines_.size());
-    if (config_.faults.recovery.strategy == fault::RecoveryStrategy::kCheckpoint) {
+  if (cfg().faults.enabled) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg().faults, machines_.size());
+    if (cfg().faults.recovery.strategy == fault::RecoveryStrategy::kCheckpoint) {
       // The spec lives in the simulation (non-movable, stable address); all
       // machines of one run share the same τ/C/R.
       checkpoint_spec_ = machines::CheckpointSpec{
-          config_.faults.effective_checkpoint_interval(),
-          config_.faults.recovery.checkpoint_cost,
-          config_.faults.recovery.restart_cost};
+          cfg().faults.effective_checkpoint_interval(),
+          cfg().faults.recovery.checkpoint_cost,
+          cfg().faults.recovery.restart_cost};
       for (const auto& machine : machines_) {
         machine->set_checkpoint_spec(&*checkpoint_spec_);
       }
     }
   }
 
-  const AutoscalerConfig& scaler = config_.autoscaler;
+  const AutoscalerConfig& scaler = cfg().autoscaler;
   if (scaler.enabled) {
     require_input(scaler.interval > 0.0, "autoscaler: interval must be > 0");
     require_input(scaler.boot_delay >= 0.0, "autoscaler: boot_delay must be >= 0");
@@ -116,39 +123,111 @@ Simulation::Simulation(SystemConfig config, std::unique_ptr<Policy> policy)
 
 Simulation::~Simulation() = default;
 
-void Simulation::load(const workload::Workload& workload) {
-  require_input(!loaded_, "Simulation: load() may only be called once");
-  workload.validate_against(config_.eet);
-  loaded_ = true;
-
-  tasks_ = workload.tasks();  // copy; the simulation owns the mutable records
+void Simulation::init_tasks(const workload::Workload& workload) {
+  const std::vector<workload::TaskDef>& defs = workload.tasks();
+  tasks_.clear();
+  tasks_.reserve(defs.size());
+  for (const workload::TaskDef& def : defs) {
+    workload::Task task;
+    task.id = def.id;
+    task.type = def.type;
+    task.arrival = def.arrival;
+    task.deadline = def.deadline;
+    tasks_.push_back(std::move(task));
+  }
   // One outcome per *submitted* task: replica clones never add to the total.
   counters_.total = tasks_.size();
-  const fault::RecoveryConfig& recovery = config_.faults.recovery;
-  if (config_.faults.enabled &&
+  const fault::RecoveryConfig& recovery = cfg().faults.recovery;
+  if (cfg().faults.enabled &&
       recovery.strategy == fault::RecoveryStrategy::kReplicate &&
       recovery.replicas > 1) {
     replicate_workload(recovery.replicas);
   }
-  index_of_.reserve(tasks_.size());
+  init_task_state();
+}
+
+void Simulation::init_task_state() {
+  // Generated traces carry ids 0..n-1 in arrival order, so index == id and
+  // task_index() degenerates to a bounds check; arbitrary ids (hand-written
+  // CSVs, replica clones) fall back to the hash map.
+  dense_ids_ = true;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    require_input(index_of_.emplace(tasks_[i].id, i).second,
-                  "Simulation: duplicate task id " + std::to_string(tasks_[i].id));
+    if (tasks_[i].id != i) {
+      dense_ids_ = false;
+      break;
+    }
+  }
+  index_map_.clear();
+  if (!dense_ids_) {
+    index_map_.reserve(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      require_input(index_map_.emplace(tasks_[i].id, i).second,
+                    "Simulation: duplicate task id " + std::to_string(tasks_[i].id));
+    }
+  }
+  deadline_event_.assign(tasks_.size(), core::kNoEvent);
+  retry_event_.assign(tasks_.size(), core::kNoEvent);
+  in_flight_.assign(tasks_.size(), InFlight{});
+  group_of_.assign(tasks_.size(), kNoGroup);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t member : groups_[g].members) {
+      group_of_[member] = static_cast<std::uint32_t>(g);
+    }
   }
   batch_queue_.reset(tasks_.size());
+}
+
+void Simulation::schedule_control_events() {
+  if (cfg().autoscaler.enabled && !tasks_.empty()) {
+    engine_.schedule_at(cfg().autoscaler.interval, core::EventPriority::kControl,
+                        "autoscaler tick", [this] { autoscaler_tick(); });
+  }
+  if (injector_ && !tasks_.empty()) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) schedule_next_failure(m, 0.0);
+  }
+}
+
+void Simulation::load(const workload::Workload& workload) {
+  require_input(!loaded_, "Simulation: load() may only be called once");
+  workload.validate_against(cfg().eet);
+  loaded_ = true;
+  init_tasks(workload);
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     const workload::Task& task = tasks_[i];
     engine_.schedule_at(task.arrival, core::EventPriority::kArrival,
                         core::EventLabel("arrival task=", task.id),
                         [this, i] { on_arrival(i); });
   }
-  if (config_.autoscaler.enabled && !tasks_.empty()) {
-    engine_.schedule_at(config_.autoscaler.interval, core::EventPriority::kControl,
-                        "autoscaler tick", [this] { autoscaler_tick(); });
-  }
-  if (injector_ && !tasks_.empty()) {
-    for (std::size_t m = 0; m < machines_.size(); ++m) schedule_next_failure(m, 0.0);
-  }
+  schedule_control_events();
+}
+
+void Simulation::load(std::shared_ptr<const workload::Workload> workload) {
+  require_input(!loaded_, "Simulation: load() may only be called once");
+  require_input(workload != nullptr, "Simulation: workload must not be null");
+  workload->validate_against(cfg().eet);
+  loaded_ = true;
+  shared_trace_ = std::move(workload);
+  init_tasks(*shared_trace_);
+  arrival_cursor_ = 0;
+  schedule_next_arrival();
+  schedule_control_events();
+}
+
+void Simulation::schedule_next_arrival() {
+  // tasks_ is sorted by arrival (Workload guarantees it; replicate_workload
+  // preserves it), so arming one arrival at a time keeps the calendar at
+  // in-system size while popping events in exactly the order the eager
+  // overload would: ties at one instant resolve by priority first, and the
+  // next arrival's later insertion sequence only competes with other
+  // arrivals — of which the cursor keeps exactly one pending.
+  if (arrival_cursor_ >= tasks_.size()) return;
+  const std::size_t i = arrival_cursor_;
+  engine_.schedule_at(tasks_[i].arrival, core::EventPriority::kArrival,
+                      core::EventLabel("arrival task=", tasks_[i].id), [this, i] {
+                        ++arrival_cursor_;
+                        schedule_next_arrival();
+                        on_arrival(i);
+                      });
 }
 
 void Simulation::run() {
@@ -159,6 +238,52 @@ void Simulation::run() {
 bool Simulation::step() {
   require_input(loaded_, "Simulation: call load() before step()");
   return engine_.step();
+}
+
+void Simulation::reset(std::unique_ptr<Policy> policy) {
+  require_input(policy != nullptr, "Simulation: policy must not be null");
+  require_input(policy->mode() == policy_->mode(),
+                "Simulation: reset() needs a policy of the same mode (the machine "
+                "queue capacity is fixed at construction)");
+  policy_ = std::move(policy);
+  policy_name_ = policy_->name();
+
+  engine_.reset();
+  for (const auto& machine : machines_) machine->reset();
+  for (std::size_t index : cfg().autoscaler.initially_offline) {
+    machines_[index]->set_online(false, 0.0);
+  }
+  for (const auto& cache : model_caches_) cache->reset();
+
+  tasks_.clear();
+  dense_ids_ = false;
+  index_map_.clear();
+  deadline_event_.clear();
+  retry_event_.clear();
+  in_flight_.clear();
+  group_of_.clear();
+  groups_.clear();
+  batch_queue_.reset(0);
+  missed_order_.clear();
+  counters_ = SimulationCounters{};
+  scheduler_invocations_ = 0;
+  std::fill(completed_by_type_.begin(), completed_by_type_.end(), 0);
+  std::fill(terminal_by_type_.begin(), terminal_by_type_.end(), 0);
+  std::fill(rates_scratch_.begin(), rates_scratch_.end(), 1.0);
+  sampling_rng_ = util::Rng(cfg().sampling_seed);
+  std::fill(in_flight_count_.begin(), in_flight_count_.end(), 0);
+  std::fill(in_flight_exec_.begin(), in_flight_exec_.end(), 0.0);
+  std::fill(booting_.begin(), booting_.end(), false);
+  std::fill(pending_fault_event_.begin(), pending_fault_event_.end(), core::kNoEvent);
+  if (cfg().faults.enabled) {
+    // The injector owns per-machine RNG streams; a fresh replication needs
+    // the same schedule a fresh Simulation would draw.
+    injector_ = std::make_unique<fault::FaultInjector>(cfg().faults, machines_.size());
+  }
+  shared_trace_.reset();
+  arrival_cursor_ = 0;
+  loaded_ = false;
+  schedule_pending_ = false;
 }
 
 bool Simulation::finished() const noexcept {
@@ -209,7 +334,7 @@ void Simulation::on_arrival(std::size_t index) {
   batch_queue_.push_back(index);
   if (task.deadline < core::kTimeInfinity) {
     const core::SimTime when = std::max(task.deadline, engine_.now());
-    deadline_event_[task.id] = engine_.schedule_at(
+    deadline_event_[index] = engine_.schedule_at(
         when, core::EventPriority::kDeadline, core::EventLabel("deadline task=", task.id),
         [this, index] { on_deadline(index); });
   }
@@ -218,7 +343,7 @@ void Simulation::on_arrival(std::size_t index) {
 
 void Simulation::on_deadline(std::size_t index) {
   workload::Task& task = tasks_[index];
-  deadline_event_.erase(task.id);
+  deadline_event_[index] = core::kNoEvent;
   switch (task.status) {
     case workload::TaskStatus::kCompleted:
     case workload::TaskStatus::kCancelled:
@@ -229,10 +354,10 @@ void Simulation::on_deadline(std::size_t index) {
     case workload::TaskStatus::kRetryWait: {
       // Deadline passed while the task waited out a retry backoff: the
       // machine failure ultimately cost the task, so it counts as failed.
-      const auto rit = retry_event_.find(task.id);
-      require(rit != retry_event_.end(), "deadline: retry-wait task has no retry event");
-      engine_.cancel(rit->second);
-      retry_event_.erase(rit);
+      require(retry_event_[index] != core::kNoEvent,
+              "deadline: retry-wait task has no retry event");
+      engine_.cancel(retry_event_[index]);
+      retry_event_[index] = core::kNoEvent;
       task.status = workload::TaskStatus::kFailed;
       task.missed_time = engine_.now();
       mark_terminal(task);
@@ -249,12 +374,13 @@ void Simulation::on_deadline(std::size_t index) {
     case workload::TaskStatus::kTransferring: {
       // Deadline while the payload was still in flight: the task was mapped,
       // so this counts as dropped; release the reserved queue slot.
-      const auto it = in_flight_.find(task.id);
-      require(it != in_flight_.end(), "deadline: transferring task has no reservation");
-      engine_.cancel(it->second.event);
-      --in_flight_count_[it->second.machine];
-      in_flight_exec_[it->second.machine] -= it->second.exec_seconds;
-      in_flight_.erase(it);
+      InFlight& reservation = in_flight_[index];
+      require(reservation.event != core::kNoEvent,
+              "deadline: transferring task has no reservation");
+      engine_.cancel(reservation.event);
+      --in_flight_count_[reservation.machine];
+      in_flight_exec_[reservation.machine] -= reservation.exec_seconds;
+      reservation = InFlight{};
       task.status = workload::TaskStatus::kDropped;
       task.missed_time = engine_.now();
       mark_terminal(task);
@@ -299,7 +425,7 @@ void Simulation::run_scheduler() {
   views.clear();
   views.reserve(machines_.size());
   const bool unbounded = policy_->mode() == PolicyMode::kImmediate ||
-                         config_.machine_queue_capacity == machines::kUnboundedQueue;
+                         cfg().machine_queue_capacity == machines::kUnboundedQueue;
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     const machines::Machine& machine = *machines_[m];
     MachineView view;
@@ -308,11 +434,11 @@ void Simulation::run_scheduler() {
     // Projected ready time includes work whose payload is still in flight.
     view.ready_time = machine.ready_time() + in_flight_exec_[m];
     const std::size_t used = machine.queue_length() + in_flight_count_[m];
-    if (!machine.online() || (!unbounded && used >= config_.machine_queue_capacity)) {
+    if (!machine.online() || (!unbounded && used >= cfg().machine_queue_capacity)) {
       view.free_slots = 0;
     } else {
       view.free_slots =
-          unbounded ? kUnlimitedSlots : config_.machine_queue_capacity - used;
+          unbounded ? kUnlimitedSlots : cfg().machine_queue_capacity - used;
     }
     view.idle_watts = machine.power().idle_watts;
     view.busy_watts = machine.power().busy_watts;
@@ -325,13 +451,13 @@ void Simulation::run_scheduler() {
   queue_view.reserve(batch_queue_.size());
   batch_queue_.for_each([&](std::size_t index) { queue_view.push_back(&tasks_[index]); });
 
+  // Maintained incrementally by record_outcome(); identical to recomputing
+  // type_ontime_rate(t) for every type here, without the O(types) sweep.
   std::vector<double>& rates = rates_scratch_;
-  rates.assign(config_.eet.task_type_count(), 1.0);
-  for (std::size_t t = 0; t < rates.size(); ++t) rates[t] = type_ontime_rate(t);
 
-  SchedulingContext context(engine_.now(), config_.eet, std::move(views),
+  SchedulingContext context(engine_.now(), cfg().eet, std::move(views),
                             std::move(queue_view), std::move(rates),
-                            config_.pet ? &*config_.pet : nullptr);
+                            cfg().pet ? &*cfg().pet : nullptr);
   const std::vector<Assignment> assignments = policy_->schedule(context);
   context.release_buffers(views_scratch_, queue_view_scratch_, rates_scratch_);
   for (const Assignment& assignment : assignments) apply_assignment(assignment);
@@ -353,9 +479,9 @@ void Simulation::apply_assignment(const Assignment& assignment) {
            machine.name() + "'";
   });
   const bool bounded = policy_->mode() != PolicyMode::kImmediate &&
-                       config_.machine_queue_capacity != machines::kUnboundedQueue;
+                       cfg().machine_queue_capacity != machines::kUnboundedQueue;
   require_input(!bounded || machine.queue_length() + in_flight_count_[assignment.machine] <
-                                config_.machine_queue_capacity,
+                                cfg().machine_queue_capacity,
                 [&] {
                   return "policy '" + policy_name_ +
                          "' overflowed reserved (in-flight) capacity of machine '" +
@@ -366,9 +492,9 @@ void Simulation::apply_assignment(const Assignment& assignment) {
   // co-locate two live copies of the same task. The task simply stays in the
   // batch queue and is re-offered on the next scheduling round (triggered by
   // the next slot-free/repair/completion event), so no deadlock arises.
-  const auto git = group_of_.find(task.id);
-  if (git != group_of_.end()) {
-    for (std::size_t member : groups_[git->second].members) {
+  const std::uint32_t group_index = group_of_.empty() ? kNoGroup : group_of_[index];
+  if (group_index != kNoGroup) {
+    for (std::size_t member : groups_[group_index].members) {
       const workload::Task& sibling = tasks_[member];
       if (sibling.id == task.id || sibling.finished()) continue;
       const bool mapped = sibling.status == workload::TaskStatus::kTransferring ||
@@ -384,12 +510,12 @@ void Simulation::apply_assignment(const Assignment& assignment) {
   require(batch_queue_.erase(index), "assignment: task missing from batch queue");
 
   // Actual execution time: sampled under a PET, the EET expectation otherwise.
-  const double exec = config_.pet
-                          ? config_.pet->sample(task.type, machine.type(), sampling_rng_)
-                          : config_.eet.eet_unchecked(task.type, machine.type());
+  const double exec = cfg().pet
+                          ? cfg().pet->sample(task.type, machine.type(), sampling_rng_)
+                          : cfg().eet.eet_unchecked(task.type, machine.type());
 
   const core::SimTime transfer =
-      config_.comm ? config_.comm->transfer_time(task.type, machine.type()) : 0.0;
+      cfg().comm ? cfg().comm->transfer_time(task.type, machine.type()) : 0.0;
   if (transfer > 0.0) {
     task.status = workload::TaskStatus::kTransferring;
     task.assigned_machine = machine.id();
@@ -399,7 +525,7 @@ void Simulation::apply_assignment(const Assignment& assignment) {
         core::EventLabel("transfer done task=", task.id, " machine=",
                          machine.name().c_str()),
         [this, index] { on_transfer_complete(index); });
-    in_flight_.emplace(task.id, InFlight{machine.id(), exec, event});
+    in_flight_[index] = InFlight{machine.id(), exec, event};
     ++in_flight_count_[machine.id()];
     in_flight_exec_[machine.id()] += exec;
   } else {
@@ -413,10 +539,9 @@ void Simulation::on_transfer_complete(std::size_t index) {
   // firing event always finds its reservation intact.
   require(task.status == workload::TaskStatus::kTransferring,
           "transfer completed for a task no longer transferring");
-  const auto it = in_flight_.find(task.id);
-  require(it != in_flight_.end(), "transfer: missing reservation");
-  const InFlight in_flight = it->second;
-  in_flight_.erase(it);
+  require(in_flight_[index].event != core::kNoEvent, "transfer: missing reservation");
+  const InFlight in_flight = in_flight_[index];
+  in_flight_[index] = InFlight{};
   --in_flight_count_[in_flight.machine];
   in_flight_exec_[in_flight.machine] -= in_flight.exec_seconds;
   machines_[in_flight.machine]->enqueue(task, in_flight.exec_seconds);
@@ -447,20 +572,22 @@ void Simulation::on_machine_failure(std::size_t m, double repair_time) {
 
   // Abort the committed work: running task first, then local queue, then
   // payloads still in flight toward the crashed machine (sorted by id so the
-  // retry order never depends on hash-map iteration).
+  // retry order is stable regardless of how reservations are stored).
   std::vector<workload::Task*> evicted = machine.fail(engine_.now());
-  std::vector<workload::TaskId> transferring;
-  for (const auto& [id, reservation] : in_flight_) {
-    if (reservation.machine == m) transferring.push_back(id);
+  std::vector<std::size_t> transferring;
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].event != core::kNoEvent && in_flight_[i].machine == m) {
+      transferring.push_back(i);
+    }
   }
-  std::sort(transferring.begin(), transferring.end());
-  for (workload::TaskId id : transferring) {
-    const auto it = in_flight_.find(id);
-    engine_.cancel(it->second.event);
+  std::sort(transferring.begin(), transferring.end(),
+            [this](std::size_t a, std::size_t b) { return tasks_[a].id < tasks_[b].id; });
+  for (std::size_t i : transferring) {
+    engine_.cancel(in_flight_[i].event);
     --in_flight_count_[m];
-    in_flight_exec_[m] -= it->second.exec_seconds;
-    in_flight_.erase(it);
-    evicted.push_back(&tasks_[task_index(id)]);
+    in_flight_exec_[m] -= in_flight_[i].exec_seconds;
+    in_flight_[i] = InFlight{};
+    evicted.push_back(&tasks_[i]);
   }
   // Schedule the repair before aborting tasks: if an abort ends the last
   // live task, mark_terminal drains this event so run() ends promptly.
@@ -481,19 +608,19 @@ void Simulation::on_machine_repair(std::size_t m) {
 }
 
 void Simulation::handle_fault_abort(workload::Task& task) {
+  const std::size_t index = index_of(task);
   // The mapping is void; a retry starts from a clean record.
   task.assigned_machine.reset();
   task.assignment_time.reset();
   task.start_time.reset();
 
-  const fault::RetryPolicy& retry = config_.faults.retry;
+  const fault::RetryPolicy& retry = cfg().faults.retry;
   if (task.retries >= retry.max_retries) {
     task.status = workload::TaskStatus::kFailed;
     task.missed_time = engine_.now();
-    const auto it = deadline_event_.find(task.id);
-    if (it != deadline_event_.end()) {
-      engine_.cancel(it->second);
-      deadline_event_.erase(it);
+    if (deadline_event_[index] != core::kNoEvent) {
+      engine_.cancel(deadline_event_[index]);
+      deadline_event_[index] = core::kNoEvent;
     }
     mark_terminal(task);
     return;
@@ -501,15 +628,14 @@ void Simulation::handle_fault_abort(workload::Task& task) {
   ++task.retries;
   ++counters_.requeued;
   task.status = workload::TaskStatus::kRetryWait;
-  const std::size_t index = task_index(task.id);
-  retry_event_[task.id] = engine_.schedule_in(
+  retry_event_[index] = engine_.schedule_in(
       retry.delay(task.retries), core::EventPriority::kControl,
       core::EventLabel("retry task=", task.id), [this, index] { on_retry_ready(index); });
 }
 
 void Simulation::on_retry_ready(std::size_t index) {
   workload::Task& task = tasks_[index];
-  retry_event_.erase(task.id);
+  retry_event_[index] = core::kNoEvent;
   require(task.status == workload::TaskStatus::kRetryWait,
           "retry fired for a task not waiting on retry");
   task.status = workload::TaskStatus::kInBatchQueue;
@@ -542,7 +668,7 @@ const mem::ModelCache* Simulation::model_cache(hetero::MachineId machine) const 
 }
 
 void Simulation::autoscaler_tick() {
-  const AutoscalerConfig& scaler = config_.autoscaler;
+  const AutoscalerConfig& scaler = cfg().autoscaler;
   if (batch_queue_.size() >= scaler.queue_high) {
     scale_out();
   } else if (batch_queue_.size() <= scaler.queue_low) {
@@ -562,7 +688,7 @@ void Simulation::scale_out() {
     // A failed machine cannot be booted; only repair brings it back.
     if (machines_[m]->online() || machines_[m]->failed() || booting_[m]) continue;
     booting_[m] = true;
-    engine_.schedule_in(config_.autoscaler.boot_delay, core::EventPriority::kControl,
+    engine_.schedule_in(cfg().autoscaler.boot_delay, core::EventPriority::kControl,
                         core::EventLabel::join("machine online ",
                                                machines_[m]->name().c_str()),
                         [this, m] {
@@ -579,7 +705,7 @@ void Simulation::scale_in() {
   for (std::size_t b = 0; b < booting_.size(); ++b) {
     if (booting_[b]) ++online;  // about to join; counts against min_online
   }
-  if (online <= config_.autoscaler.min_online) return;
+  if (online <= cfg().autoscaler.min_online) return;
   // Candidates: fully idle machines (nothing running, queued or in flight).
   // Keep one idle machine as headroom — powering off the only idle machine
   // while its peers are saturated causes boot-lag thrash on the next burst.
@@ -596,8 +722,12 @@ void Simulation::scale_in() {
 }
 
 std::size_t Simulation::task_index(workload::TaskId id) const {
-  const auto it = index_of_.find(id);
-  require(it != index_of_.end(),
+  if (dense_ids_) {
+    require(id < tasks_.size(), [id] { return "unknown task id " + std::to_string(id); });
+    return static_cast<std::size_t>(id);
+  }
+  const auto it = index_map_.find(id);
+  require(it != index_map_.end(),
           [id] { return "unknown task id " + std::to_string(id); });
   return it->second;
 }
@@ -625,6 +755,11 @@ void Simulation::record_outcome(const workload::Task& task, workload::TaskId dis
       throw InvariantError("record_outcome: task " + std::to_string(task.id) +
                            " has no countable terminal status");
   }
+  // Keep the scheduler's ontime-rate view current incrementally: a type's
+  // rate only moves at terminal transitions, so run_scheduler() can hand the
+  // cached vector to the SchedulingContext instead of recomputing all
+  // task_type_count() rates on every invocation.
+  rates_scratch_[task.type] = type_ontime_rate(task.type);
 }
 
 void Simulation::resolve_replica_group(ReplicaGroup& group, const workload::Task& task) {
@@ -650,10 +785,9 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
   for (std::size_t member : group.members) {
     workload::Task& sibling = tasks_[member];
     if (sibling.id == winner_id || sibling.finished()) continue;
-    const auto dit = deadline_event_.find(sibling.id);
-    if (dit != deadline_event_.end()) {
-      engine_.cancel(dit->second);
-      deadline_event_.erase(dit);
+    if (deadline_event_[member] != core::kNoEvent) {
+      engine_.cancel(deadline_event_[member]);
+      deadline_event_[member] = core::kNoEvent;
     }
     switch (sibling.status) {
       case workload::TaskStatus::kInBatchQueue: {
@@ -661,12 +795,13 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
         break;
       }
       case workload::TaskStatus::kTransferring: {
-        const auto it = in_flight_.find(sibling.id);
-        require(it != in_flight_.end(), "replica cancel: missing transfer reservation");
-        engine_.cancel(it->second.event);
-        --in_flight_count_[it->second.machine];
-        in_flight_exec_[it->second.machine] -= it->second.exec_seconds;
-        in_flight_.erase(it);
+        InFlight& reservation = in_flight_[member];
+        require(reservation.event != core::kNoEvent,
+                "replica cancel: missing transfer reservation");
+        engine_.cancel(reservation.event);
+        --in_flight_count_[reservation.machine];
+        in_flight_exec_[reservation.machine] -= reservation.exec_seconds;
+        reservation = InFlight{};
         break;
       }
       case workload::TaskStatus::kInMachineQueue:
@@ -681,10 +816,10 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
         break;
       }
       case workload::TaskStatus::kRetryWait: {
-        const auto rit = retry_event_.find(sibling.id);
-        require(rit != retry_event_.end(), "replica cancel: missing retry event");
-        engine_.cancel(rit->second);
-        retry_event_.erase(rit);
+        require(retry_event_[member] != core::kNoEvent,
+                "replica cancel: missing retry event");
+        engine_.cancel(retry_event_[member]);
+        retry_event_[member] = core::kNoEvent;
         break;
       }
       default:
@@ -699,11 +834,12 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
 }
 
 void Simulation::mark_terminal(const workload::Task& task) {
-  const auto git = group_of_.find(task.id);
-  if (git == group_of_.end()) {
+  const std::uint32_t group_index =
+      group_of_.empty() ? kNoGroup : group_of_[index_of(task)];
+  if (group_index == kNoGroup) {
     record_outcome(task, task.id);
   } else {
-    resolve_replica_group(groups_[git->second], task);
+    resolve_replica_group(groups_[group_index], task);
   }
   if (injector_ && all_terminal()) {
     // Nothing left to disturb: drain pending failure/repair events so the
@@ -725,16 +861,13 @@ void Simulation::replicate_workload(std::size_t replicas) {
   groups_.reserve(tasks_.size());
   for (const workload::Task& primary : tasks_) {
     ReplicaGroup group;
-    const std::size_t group_index = groups_.size();
     group.members.push_back(expanded.size());
-    group_of_.emplace(primary.id, group_index);
     expanded.push_back(primary);
     for (std::size_t k = 1; k < replicas; ++k) {
       workload::Task clone = primary;
       clone.id = next_id++;
       clone.replica_of = primary.id;
       group.members.push_back(expanded.size());
-      group_of_.emplace(clone.id, group_index);
       expanded.push_back(clone);
     }
     groups_.push_back(std::move(group));
@@ -762,10 +895,10 @@ std::size_t Simulation::checkpoints_taken() const {
 
 void Simulation::on_task_completed(workload::Task& task, hetero::MachineId) {
   // The deadline check is no longer needed; keep the calendar lean.
-  const auto it = deadline_event_.find(task.id);
-  if (it != deadline_event_.end()) {
-    engine_.cancel(it->second);
-    deadline_event_.erase(it);
+  const std::size_t index = index_of(task);
+  if (deadline_event_[index] != core::kNoEvent) {
+    engine_.cancel(deadline_event_[index]);
+    deadline_event_[index] = core::kNoEvent;
   }
   mark_terminal(task);
 }

@@ -9,7 +9,8 @@
 ///
 /// The simulation is the single writer of task records; policies only see
 /// const views. One Simulation per thread (engines are not thread-safe);
-/// parallel experiments build one Simulation per replication.
+/// parallel experiments build one Simulation per worker and reset() it
+/// between replications.
 #pragma once
 
 #include <cstddef>
@@ -127,14 +128,26 @@ class Simulation final : public machines::MachineListener {
   /// Builds the system. Throws e2c::InputError on an empty machine list or a
   /// machine referencing a type outside the EET matrix.
   Simulation(SystemConfig config, std::unique_ptr<Policy> policy);
+
+  /// Same, but shares one immutable SystemConfig across many simulations —
+  /// the experiment data plane builds the config once per sweep and every
+  /// cell/worker aliases it instead of copying EET/PET/comm tables.
+  Simulation(std::shared_ptr<const SystemConfig> config, std::unique_ptr<Policy> policy);
+
   ~Simulation() override;
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Loads the workload (validated against the EET matrix) and schedules all
-  /// arrival events. Call exactly once before run()/stepping.
+  /// arrival events up front. Call exactly once before run()/stepping.
   void load(const workload::Workload& workload);
+
+  /// Shared-trace load: aliases an immutable workload instead of copying it
+  /// and keeps only one arrival event in the calendar at a time (a cursor
+  /// that re-arms itself), so the event heap stays at in-system size instead
+  /// of trace size. Event pop order is identical to the copying overload.
+  void load(std::shared_ptr<const workload::Workload> workload);
 
   /// Runs to completion (every task reaches a terminal state).
   void run();
@@ -142,6 +155,13 @@ class Simulation final : public machines::MachineListener {
   /// Processes a single event — the GUI "Increment" button. Returns false
   /// when nothing is pending (simulation finished).
   bool step();
+
+  /// Returns the simulation to its just-constructed state so the next load()
+  /// can run a fresh replication without rebuilding machines/caches. The new
+  /// policy must have the same mode (batch/immediate) as the old one because
+  /// the machine-queue capacity is baked in at construction; throws
+  /// e2c::InputError otherwise.
+  void reset(std::unique_ptr<Policy> policy);
 
   /// True once every loaded task is terminal.
   [[nodiscard]] bool finished() const noexcept;
@@ -153,7 +173,7 @@ class Simulation final : public machines::MachineListener {
   [[nodiscard]] const core::Engine& engine() const noexcept { return engine_; }
 
   /// The EET matrix in use.
-  [[nodiscard]] const hetero::EetMatrix& eet() const noexcept { return config_.eet; }
+  [[nodiscard]] const hetero::EetMatrix& eet() const noexcept { return config_->eet; }
 
   /// The policy in use.
   [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
@@ -209,7 +229,7 @@ class Simulation final : public machines::MachineListener {
 
   /// The fault configuration in effect (recovery strategy, retry policy).
   [[nodiscard]] const fault::FaultConfig& fault_config() const noexcept {
-    return config_.faults;
+    return config_->faults;
   }
 
   /// Executed work discarded by crashes/aborts, summed over all tasks (s).
@@ -226,6 +246,19 @@ class Simulation final : public machines::MachineListener {
   void on_slot_freed(hetero::MachineId machine) override;
 
  private:
+  /// "Not part of any replica group" marker for group_of_.
+  static constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
+
+  [[nodiscard]] const SystemConfig& cfg() const noexcept { return *config_; }
+  /// Index of a task record owned by this simulation (tasks_ is contiguous
+  /// and stable between load() and reset()).
+  [[nodiscard]] std::size_t index_of(const workload::Task& task) const noexcept {
+    return static_cast<std::size_t>(&task - tasks_.data());
+  }
+  void init_tasks(const workload::Workload& workload);
+  void init_task_state();
+  void schedule_control_events();
+  void schedule_next_arrival();
   void on_arrival(std::size_t task_index);
   void on_deadline(std::size_t task_index);
   void on_transfer_complete(std::size_t task_index);
@@ -246,15 +279,20 @@ class Simulation final : public machines::MachineListener {
   void record_outcome(const workload::Task& task, workload::TaskId display_id);
   void replicate_workload(std::size_t replicas);
 
-  SystemConfig config_;
+  std::shared_ptr<const SystemConfig> config_;
   std::unique_ptr<Policy> policy_;
   std::string policy_name_;  ///< cached: stable storage for lazy event labels
   core::Engine engine_;
   std::vector<std::unique_ptr<machines::Machine>> machines_;
 
   std::vector<workload::Task> tasks_;
-  std::unordered_map<workload::TaskId, std::size_t> index_of_;
-  std::unordered_map<workload::TaskId, core::EventId> deadline_event_;
+  /// Generated traces carry ids 0..n-1 in arrival order; then index == id and
+  /// task_index() is a bounds check. index_map_ is the fallback for traces
+  /// with arbitrary ids (hand-written CSVs, replica clones).
+  bool dense_ids_ = false;
+  std::unordered_map<workload::TaskId, std::size_t> index_map_;
+  /// Pending deadline-check event per task index (kNoEvent when none).
+  std::vector<core::EventId> deadline_event_;
   /// Batch queue over task indices: O(1) membership/removal, arrival order
   /// preserved (see TaskIndexQueue).
   TaskIndexQueue batch_queue_;
@@ -274,15 +312,16 @@ class Simulation final : public machines::MachineListener {
   // Stochastic execution sampling stream (unused without a PET).
   util::Rng sampling_rng_;
 
-  // Per-machine in-flight transfer reservations (comm model only). The
-  // transfer-complete event id lets a machine failure (or deadline) cancel
-  // the arrival so a later re-assignment cannot race a stale event.
+  // Per-task in-flight transfer reservations (comm model only), indexed like
+  // tasks_; event == kNoEvent means no reservation. The transfer-complete
+  // event id lets a machine failure (or deadline) cancel the arrival so a
+  // later re-assignment cannot race a stale event.
   struct InFlight {
-    hetero::MachineId machine;
-    double exec_seconds;
-    core::EventId event;
+    hetero::MachineId machine = 0;
+    double exec_seconds = 0.0;
+    core::EventId event = core::kNoEvent;
   };
-  std::unordered_map<workload::TaskId, InFlight> in_flight_;
+  std::vector<InFlight> in_flight_;
   std::vector<std::size_t> in_flight_count_;
   std::vector<double> in_flight_exec_;
 
@@ -294,7 +333,8 @@ class Simulation final : public machines::MachineListener {
   // so the calendar can be drained once every task is terminal.
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<core::EventId> pending_fault_event_;
-  std::unordered_map<workload::TaskId, core::EventId> retry_event_;
+  /// Pending retry-ready event per task index (kNoEvent when none).
+  std::vector<core::EventId> retry_event_;
 
   // Recovery-strategy state. The checkpoint spec lives here (Simulation is
   // non-movable, so its address is stable for the machines). Each replica
@@ -307,12 +347,17 @@ class Simulation final : public machines::MachineListener {
     bool resolved = false;             ///< outcome already counted
   };
   std::vector<ReplicaGroup> groups_;
-  std::unordered_map<workload::TaskId, std::size_t> group_of_;
+  /// Replica-group index per task index (kNoGroup when unreplicated).
+  std::vector<std::uint32_t> group_of_;
   void resolve_replica_group(ReplicaGroup& group, const workload::Task& task);
   void cancel_replica_siblings(ReplicaGroup& group, workload::TaskId winner_id);
 
   // Per-machine warm-model caches (memory model only).
   std::vector<std::unique_ptr<mem::ModelCache>> model_caches_;
+
+  // Shared-trace load state: the aliased workload and the next arrival to arm.
+  std::shared_ptr<const workload::Workload> shared_trace_;
+  std::size_t arrival_cursor_ = 0;
 
   bool loaded_ = false;
   bool schedule_pending_ = false;

@@ -7,7 +7,11 @@
 /// newlines, and both LF and CRLF line endings.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +48,63 @@ struct CsvTable {
 /// Reads and parses a CSV file. Throws e2c::IoError if unreadable and
 /// e2c::InputError on malformed content. The result's locators carry \p path.
 [[nodiscard]] CsvTable read_csv_file(const std::string& path);
+
+/// A zero-copy CSV document: the raw text is read once into an owned
+/// contiguous buffer and every field is a std::string_view into it. Only
+/// fields that need unescaping (embedded "" quotes, swallowed '\r') are
+/// materialized, into a stable side arena. Grammar, blank-line skipping,
+/// line counting and error locators are identical to parse_csv()/CsvTable —
+/// the loaders' `path:line` InputError contract is unchanged.
+///
+/// Views stay valid for the lifetime of the document (moves included: the
+/// buffer and arena live behind stable allocations).
+class CsvDoc {
+ public:
+  CsvDoc() = default;
+
+  /// Number of (non-blank) rows.
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
+  }
+
+  /// True when no rows were parsed.
+  [[nodiscard]] bool empty() const noexcept { return row_count() == 0; }
+
+  /// Fields of row \p r, in column order.
+  [[nodiscard]] std::span<const std::string_view> row(std::size_t r) const noexcept {
+    return {fields_.data() + row_offsets_[r], row_offsets_[r + 1] - row_offsets_[r]};
+  }
+
+  /// File path when read from disk; empty for in-memory text.
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// Locator for error messages: "path:line" when the document came from a
+  /// file, "line N" for in-memory text. Same format as CsvTable::where().
+  [[nodiscard]] std::string where(std::size_t row_index) const;
+
+ private:
+  friend CsvDoc parse_csv_doc(std::string text, std::string source);
+
+  std::unique_ptr<std::string> text_;  ///< stable storage the views point into
+  /// Escaped fields materialized out of line; deque keeps element addresses
+  /// stable as it grows.
+  std::unique_ptr<std::deque<std::string>> arena_;
+  std::vector<std::string_view> fields_;
+  /// Prefix offsets into fields_: row r spans [row_offsets_[r], row_offsets_[r+1]).
+  std::vector<std::uint32_t> row_offsets_;
+  /// 1-based source line each row starts on.
+  std::vector<std::size_t> row_lines_;
+  std::string source_;
+};
+
+/// Parses CSV text into a zero-copy document (takes ownership of the text).
+/// Throws e2c::InputError on unterminated quotes, with the same message and
+/// locator as parse_csv().
+[[nodiscard]] CsvDoc parse_csv_doc(std::string text, std::string source = {});
+
+/// Reads a CSV file once into a contiguous buffer and parses it zero-copy.
+/// Throws e2c::IoError if unreadable, e2c::InputError on malformed content.
+[[nodiscard]] CsvDoc read_csv_doc(const std::string& path);
 
 /// Quotes a field if it contains a comma, quote, or newline.
 [[nodiscard]] std::string csv_escape(std::string_view field);

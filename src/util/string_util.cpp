@@ -51,17 +51,49 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
-std::optional<double> parse_double(std::string_view text) noexcept {
-  text = trim(text);
-  if (text.empty()) return std::nullopt;
-  // std::from_chars for double is incomplete on some toolchains; strtod on a
-  // bounded copy is portable and locale issues are avoided by rejecting ','.
+namespace {
+
+// strtod on a bounded copy: the slow path for inputs std::from_chars does not
+// cover (hex floats, out-of-range magnitudes) and for toolchains without
+// floating-point from_chars. Locale issues are avoided by rejecting ','.
+std::optional<double> parse_double_strtod(std::string_view text) noexcept {
   std::string buffer(text);
   const char* begin = buffer.c_str();
   char* end = nullptr;
   const double value = std::strtod(begin, &end);
   if (end != begin + buffer.size()) return std::nullopt;
   return value;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+#if defined(__cpp_lib_to_chars)
+  // Hot path: std::from_chars parses in place — no copy, no locale. strtod
+  // accepts a few forms from_chars does not, which are routed to the slow
+  // path to keep the accepted grammar identical: a single leading '+', hex
+  // floats ("0x1p3"), and out-of-range magnitudes (strtod saturates to ±inf
+  // or 0 instead of failing).
+  std::string_view body = text;
+  if (body.front() == '+') {
+    body.remove_prefix(1);
+    if (body.empty() || body.front() == '+' || body.front() == '-') return std::nullopt;
+  }
+  std::string_view digits = body;
+  if (!digits.empty() && digits.front() == '-') digits.remove_prefix(1);
+  if (digits.size() > 1 && digits[0] == '0' && (digits[1] == 'x' || digits[1] == 'X')) {
+    return parse_double_strtod(body);
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec == std::errc::result_out_of_range) return parse_double_strtod(body);
+  if (ec != std::errc{} || ptr != body.data() + body.size()) return std::nullopt;
+  return value;
+#else
+  return parse_double_strtod(text);
+#endif
 }
 
 std::optional<long long> parse_int(std::string_view text) noexcept {

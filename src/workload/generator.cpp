@@ -121,10 +121,10 @@ Workload generate_workload(const hetero::EetMatrix& eet, const GeneratorConfig& 
                                                    : per_type_arrivals(eet, config, rng);
   util::Rng deadlines_rng = rng.split();
 
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   tasks.reserve(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
-    Task task;
+    TaskDef task;
     task.id = static_cast<TaskId>(i);
     task.type = arrivals[i].type;
     task.arrival = arrivals[i].time;

@@ -50,11 +50,23 @@ enum class TaskStatus : std::uint8_t {
 /// replica-cancelled).
 [[nodiscard]] bool is_terminal(TaskStatus status) noexcept;
 
+/// The immutable definition of one task, as it appears in the workload trace:
+/// identity, application (task type — the EET row it executes at, and the key
+/// the comm/memory models derive payload sizes and footprints from), arrival
+/// and deadline. A Workload is a vector of these; it carries no per-run
+/// state, so one trace can be shared read-only across concurrent runs.
+struct TaskDef {
+  TaskId id = 0;
+  hetero::TaskTypeId type = 0;
+  core::SimTime arrival = 0.0;
+  core::SimTime deadline = core::kTimeInfinity;
+};
+
 /// One task: identity, requirements and (mutable) execution record.
 ///
-/// The immutable part (id, type, arrival, deadline) comes from the workload
-/// trace; the mutable part is filled in by the simulation and is what the
-/// Task Report exports.
+/// The immutable head (id, type, arrival, deadline) mirrors a TaskDef from
+/// the workload trace; the rest is the per-run record filled in by the
+/// simulation (which owns these), and is what the Task Report exports.
 struct Task {
   TaskId id = 0;
   hetero::TaskTypeId type = 0;

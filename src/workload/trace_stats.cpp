@@ -36,7 +36,7 @@ TraceStats compute_trace_stats(const Workload& workload, const hetero::EetMatrix
   }
 
   util::RunningStats factors;
-  for (const Task& task : tasks) {
+  for (const TaskDef& task : tasks) {
     if (task.deadline == core::kTimeInfinity) {
       ++stats.infinite_deadlines;
       continue;

@@ -1,6 +1,8 @@
 #include "workload/workload.hpp"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -8,26 +10,45 @@
 
 namespace e2c::workload {
 
-Workload::Workload(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
-  std::stable_sort(tasks_.begin(), tasks_.end(), [](const Task& a, const Task& b) {
+Workload::Workload(std::vector<TaskDef> defs) : defs_(std::move(defs)) {
+  std::stable_sort(defs_.begin(), defs_.end(), [](const TaskDef& a, const TaskDef& b) {
     if (a.arrival != b.arrival) return a.arrival < b.arrival;
     return a.id < b.id;
   });
-  for (const Task& task : tasks_) {
+  for (const TaskDef& task : defs_) {
     require_input(task.deadline >= task.arrival,
                   "workload: task " + std::to_string(task.id) +
                       " has a deadline before its arrival");
     require_input(task.arrival >= 0.0, "workload: task " + std::to_string(task.id) +
                                            " has a negative arrival time");
+    max_type_ = std::max(max_type_, task.type);
   }
 }
 
+namespace {
+
+std::vector<TaskDef> defs_of(const std::vector<Task>& tasks) {
+  std::vector<TaskDef> defs;
+  defs.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    defs.push_back(TaskDef{task.id, task.type, task.arrival, task.deadline});
+  }
+  return defs;
+}
+
+}  // namespace
+
+Workload::Workload(const std::vector<Task>& tasks) : Workload(defs_of(tasks)) {}
+
 core::SimTime Workload::last_arrival() const noexcept {
-  return tasks_.empty() ? 0.0 : tasks_.back().arrival;
+  return defs_.empty() ? 0.0 : defs_.back().arrival;
 }
 
 void Workload::validate_against(const hetero::EetMatrix& eet) const {
-  for (const Task& task : tasks_) {
+  if (defs_.empty() || max_type_ < eet.task_type_count()) return;
+  // Out of range: find the first offender (arrival order) so the message
+  // points at the same task the per-record scan used to.
+  for (const TaskDef& task : defs_) {
     require_input(task.type < eet.task_type_count(),
                   "workload: task " + std::to_string(task.id) +
                       " references task type id " + std::to_string(task.type) +
@@ -37,7 +58,7 @@ void Workload::validate_against(const hetero::EetMatrix& eet) const {
 
 std::vector<std::size_t> Workload::type_histogram(std::size_t type_count) const {
   std::vector<std::size_t> histogram(type_count, 0);
-  for (const Task& task : tasks_) {
+  for (const TaskDef& task : defs_) {
     if (task.type < type_count) ++histogram[task.type];
   }
   return histogram;
@@ -45,59 +66,68 @@ std::vector<std::size_t> Workload::type_histogram(std::size_t type_count) const 
 
 namespace {
 
-Workload workload_from_table(const util::CsvTable& table, const hetero::EetMatrix& eet) {
-  require_input(!table.empty(), "workload CSV: file is empty" +
-                                    (table.source.empty() ? "" : " (" + table.source + ")"));
-  const auto& header = table.rows.front();
+Workload workload_from_doc(const util::CsvDoc& doc, const hetero::EetMatrix& eet) {
+  require_input(!doc.empty(), "workload CSV: file is empty" +
+                                  (doc.source().empty() ? "" : " (" + doc.source() + ")"));
+  const auto header = doc.row(0);
   require_input(header.size() >= 3,
                 "workload CSV: expected header task_id,task_type,arrival_time[,deadline] (" +
-                    table.where(0) + ")");
+                    doc.where(0) + ")");
   const bool has_deadline = header.size() >= 4;
 
-  std::vector<Task> tasks;
-  tasks.reserve(table.row_count() - 1);
-  for (std::size_t r = 1; r < table.row_count(); ++r) {
-    const auto& row = table.rows[r];
-    require_input(row.size() >= 3,
-                  "workload CSV: too few fields at " + table.where(r));
+  // Intern task-type names once at the ingest boundary: repeated names skip
+  // the EET's linear name scan.
+  std::unordered_map<std::string_view, hetero::TaskTypeId> type_ids;
+
+  std::vector<TaskDef> defs;
+  defs.reserve(doc.row_count() - 1);
+  for (std::size_t r = 1; r < doc.row_count(); ++r) {
+    const auto row = doc.row(r);
+    require_input(row.size() >= 3, "workload CSV: too few fields at " + doc.where(r));
     const auto id = util::parse_int(row[0]);
     require_input(id.has_value() && *id >= 0,
-                  "workload CSV: bad task_id '" + row[0] + "' at " + table.where(r));
-    const std::string type_name{util::trim(row[1])};
+                  "workload CSV: bad task_id '" + std::string(row[0]) + "' at " + doc.where(r));
+    const std::string_view type_name = util::trim(row[1]);
     const auto arrival = util::parse_double(row[2]);
-    require_input(arrival.has_value(),
-                  "workload CSV: bad arrival_time '" + row[2] + "' at " + table.where(r));
+    require_input(arrival.has_value(), "workload CSV: bad arrival_time '" +
+                                           std::string(row[2]) + "' at " + doc.where(r));
 
-    Task task;
+    TaskDef task;
     task.id = static_cast<TaskId>(*id);
-    task.type = eet.task_type_index(type_name);  // throws if unknown (paper rule)
+    const auto interned = type_ids.find(type_name);
+    if (interned != type_ids.end()) {
+      task.type = interned->second;
+    } else {
+      task.type = eet.task_type_index(type_name);  // throws if unknown (paper rule)
+      type_ids.emplace(type_name, task.type);
+    }
     task.arrival = *arrival;
     if (has_deadline && row.size() >= 4 && !util::trim(row[3]).empty()) {
       const auto deadline = util::parse_double(row[3]);
-      require_input(deadline.has_value(),
-                    "workload CSV: bad deadline '" + row[3] + "' at " + table.where(r));
+      require_input(deadline.has_value(), "workload CSV: bad deadline '" +
+                                              std::string(row[3]) + "' at " + doc.where(r));
       task.deadline = *deadline;
     }
-    tasks.push_back(task);
+    defs.push_back(task);
   }
-  return Workload(std::move(tasks));
+  return Workload(std::move(defs));
 }
 
 }  // namespace
 
 Workload Workload::from_csv_text(const std::string& text, const hetero::EetMatrix& eet) {
-  return workload_from_table(util::parse_csv(text), eet);
+  return workload_from_doc(util::parse_csv_doc(text), eet);
 }
 
 Workload Workload::load_csv(const std::string& path, const hetero::EetMatrix& eet) {
-  return workload_from_table(util::read_csv_file(path), eet);
+  return workload_from_doc(util::read_csv_doc(path), eet);
 }
 
 std::string Workload::to_csv_text(const hetero::EetMatrix& eet) const {
   std::vector<std::vector<std::string>> rows;
-  rows.reserve(tasks_.size() + 1);
+  rows.reserve(defs_.size() + 1);
   rows.push_back({"task_id", "task_type", "arrival_time", "deadline"});
-  for (const Task& task : tasks_) {
+  for (const TaskDef& task : defs_) {
     rows.push_back({std::to_string(task.id), eet.task_type_name(task.type),
                     util::format_fixed(task.arrival, 4),
                     task.deadline == core::kTimeInfinity

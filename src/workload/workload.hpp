@@ -1,5 +1,6 @@
 /// \file workload.hpp
-/// \brief The workload trace: an ordered collection of tasks plus CSV IO.
+/// \brief The workload trace: an ordered collection of task definitions plus
+/// CSV IO.
 ///
 /// File format (matches E2C-Sim's workload CSV):
 ///   task_id,task_type,arrival_time,deadline
@@ -7,6 +8,12 @@
 ///   ...
 /// Task type names must exist in the EET matrix the workload is used with —
 /// the paper's compatibility rule. Validation happens at load/bind time.
+///
+/// A Workload holds only immutable TaskDef records (no per-run state), so a
+/// single trace can be validated once and then shared read-only — e.g. via
+/// std::shared_ptr<const Workload> — across every policy cell of a sweep and
+/// across thread-pool workers. Simulations copy the definitions into their
+/// own mutable Task records at load time.
 #pragma once
 
 #include <string>
@@ -17,30 +24,35 @@
 
 namespace e2c::workload {
 
-/// An immutable-by-convention trace of tasks sorted by arrival time.
+/// An immutable trace of task definitions sorted by arrival time.
 class Workload {
  public:
   Workload() = default;
 
-  /// Takes ownership of tasks; sorts them by (arrival, id) and validates
-  /// that deadlines are not before arrivals.
-  explicit Workload(std::vector<Task> tasks);
+  /// Takes ownership of the definitions; sorts them by (arrival, id) and
+  /// validates that deadlines are not before arrivals.
+  explicit Workload(std::vector<TaskDef> defs);
+
+  /// Convenience: builds a trace from full Task records, keeping only their
+  /// immutable head (id, type, arrival, deadline).
+  explicit Workload(const std::vector<Task>& tasks);
 
   /// Number of tasks.
-  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return defs_.size(); }
 
   /// True when there are no tasks.
-  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return defs_.empty(); }
 
-  /// Tasks in arrival order.
-  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  /// Task definitions in arrival order.
+  [[nodiscard]] const std::vector<TaskDef>& tasks() const noexcept { return defs_; }
 
   /// Arrival time of the last task (0 for an empty workload).
   [[nodiscard]] core::SimTime last_arrival() const noexcept;
 
   /// Throws e2c::InputError if any task references a type id outside the
   /// matrix, enforcing "there can be no task type within the workload that
-  /// is not defined within the EET".
+  /// is not defined within the EET". O(1) on the success path (the maximum
+  /// referenced type id is cached at construction).
   void validate_against(const hetero::EetMatrix& eet) const;
 
   /// Tally of tasks per task type id (index = type id; sized to \p type_count).
@@ -64,7 +76,10 @@ class Workload {
   void save_csv(const std::string& path, const hetero::EetMatrix& eet) const;
 
  private:
-  std::vector<Task> tasks_;
+  std::vector<TaskDef> defs_;
+  /// Largest type id referenced (0 for an empty trace): validate_against is
+  /// one comparison instead of a per-task scan.
+  hetero::TaskTypeId max_type_ = 0;
 };
 
 }  // namespace e2c::workload

@@ -1,0 +1,76 @@
+// Golden digests of generated workloads: generate_workload is a pure
+// function of (EET, GeneratorConfig), and the experiment data plane relies
+// on that — a trace generated once per (intensity, replication) is shared by
+// every policy cell. These FNV-1a digests pin the exact traces for fixed
+// seeds across intensities, so the share-once refactor (and any future
+// generator edit) cannot silently change what experiments run. An
+// intentional generator change must update the constants below.
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+namespace exp = e2c::exp;
+namespace workload = e2c::workload;
+using workload::Intensity;
+
+void fnv1a(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFu;
+    hash *= 1099511628211ULL;
+  }
+}
+
+std::uint64_t trace_digest(Intensity intensity, std::size_t replication) {
+  const auto system = exp::heterogeneous_classroom();
+  const auto machine_types = exp::machine_types_of(system);
+  const workload::GeneratorConfig config = workload::config_for_intensity(
+      system.eet, machine_types, intensity, /*duration=*/60.0,
+      exp::workload_seed(/*base_seed=*/42, intensity, replication));
+  const workload::Workload trace = workload::generate_workload(system.eet, config);
+
+  std::uint64_t hash = 14695981039346656037ULL;
+  fnv1a(hash, trace.size());
+  for (const workload::TaskDef& def : trace.tasks()) {
+    fnv1a(hash, def.id);
+    fnv1a(hash, static_cast<std::uint64_t>(def.type));
+    fnv1a(hash, std::bit_cast<std::uint64_t>(def.arrival));
+    fnv1a(hash, std::bit_cast<std::uint64_t>(def.deadline));
+  }
+  return hash;
+}
+
+struct Golden {
+  Intensity intensity;
+  std::size_t replication;
+  std::uint64_t digest;
+};
+
+TEST(WorkloadDigest, GeneratedTracesMatchGoldens) {
+  const Golden goldens[] = {
+      {Intensity::kLow, 0, 0x74b48b0f0db827ddULL},
+      {Intensity::kLow, 1, 0xb9135e15140c8e8cULL},
+      {Intensity::kMedium, 0, 0xff19a68aa9f21dfbULL},
+      {Intensity::kMedium, 1, 0x4d7c0a7121aba1a5ULL},
+      {Intensity::kHigh, 0, 0x3578c167a3e85554ULL},
+      {Intensity::kHigh, 1, 0xec5183870d6fa8e5ULL},
+  };
+  for (const Golden& golden : goldens) {
+    EXPECT_EQ(trace_digest(golden.intensity, golden.replication), golden.digest)
+        << "intensity " << workload::intensity_name(golden.intensity)
+        << " replication " << golden.replication << " digest 0x" << std::hex
+        << trace_digest(golden.intensity, golden.replication);
+  }
+}
+
+TEST(WorkloadDigest, DigestIsReproducibleWithinProcess) {
+  EXPECT_EQ(trace_digest(Intensity::kHigh, 0), trace_digest(Intensity::kHigh, 0));
+}
+
+}  // namespace

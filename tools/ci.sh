@@ -76,6 +76,38 @@ run_bench_smoke() {
     }
     echo "${policy}: speedup ${fresh}x (baseline ${base}x) ok"
   done
+
+  local exp_out="${dir}/BENCH_experiment_throughput.json"
+  local exp_baseline="${ROOT}/BENCH_experiment_throughput.json"
+  echo "=== bench: build experiment throughput ==="
+  cmake --build "${dir}" --target bench_experiment_throughput -j "${JOBS}"
+  echo "=== bench: run experiment throughput (3 replications) ==="
+  "${dir}/bench/bench_experiment_throughput" --reps 3 --out "${exp_out}"
+  echo "=== bench: validate experiment JSON keys ==="
+  for key in bench sweep plane_results plane workers seconds \
+             replications_per_sec plane_speedup worker_scaling peak_rss_kb; do
+    grep -q "\"${key}\"" "${exp_out}" || {
+      echo "bench smoke: key '${key}' missing from ${exp_out}" >&2
+      exit 1
+    }
+  done
+  echo "=== bench: shared/per-run plane speedup regression gate ==="
+  # The shared-vs-per-run ratio is machine-independent (both planes run on
+  # this host); a fresh run must stay within 70% of the committed baseline.
+  plane_speedup_of() {  # file
+    sed -n 's/.*"plane_speedup": \([0-9.eE+-]*\).*/\1/p' "$1"
+  }
+  fresh="$(plane_speedup_of "${exp_out}")"
+  base="$(plane_speedup_of "${exp_baseline}")"
+  if [ -z "${fresh}" ] || [ -z "${base}" ]; then
+    echo "bench smoke: missing plane_speedup (fresh='${fresh}' baseline='${base}')" >&2
+    exit 1
+  fi
+  awk -v fresh="${fresh}" -v base="${base}" 'BEGIN { exit !(fresh >= 0.7 * base) }' || {
+    echo "bench smoke: plane speedup regressed: ${fresh}x vs baseline ${base}x (floor 70%)" >&2
+    exit 1
+  }
+  echo "experiment data plane: speedup ${fresh}x (baseline ${base}x) ok"
   echo "bench smoke passed"
 }
 
@@ -110,7 +142,7 @@ for suite in "${suites[@]}"; do
   case "${suite}" in
     asan)  run_suite asan address ;;
     ubsan) run_suite ubsan undefined ;;
-    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos' ;;
+    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane' ;;
     bench) run_bench_smoke ;;
     *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench)" >&2; exit 2 ;;
   esac
