@@ -15,7 +15,20 @@
 // copy rides out the crash) — both paid for in overhead the table makes
 // visible. MTBF = 0 encodes "faults disabled": every strategy must then
 // produce zero waste of any kind.
+//
+// The interference sweep (tenants x bandwidth) then routes every checkpoint
+// write and restart read through the shared I/O channel and compares selfish
+// fair-sharing against cooperative single-writer admission. Its JSON lands in
+// BENCH_recovery_waste.json (--out FILE); the committed copy is the CI
+// baseline. The headline metric, waste_ratio = selfish waste / cooperative
+// waste, compares two runs of the same deterministic simulation on the same
+// host, so it is machine-independent and safe to gate on any runner.
+//
+//   bench_recovery_waste [--out FILE.json]
+#include <fstream>
+
 #include "bench_common.hpp"
+#include "exp/tenants.hpp"
 #include "fault/fault_model.hpp"
 #include "sched/registry.hpp"
 #include "workload/generator.hpp"
@@ -68,11 +81,85 @@ CellOutcome run_cell(const e2c::sched::SystemConfig& base, const std::string& po
   return outcome;
 }
 
+struct InterferenceCell {
+  std::size_t tenants = 1;
+  double bandwidth = 0.0;
+  const char* strategy = "selfish";
+  double completion = 0.0;
+  double lost = 0.0;
+  double overhead = 0.0;
+  [[nodiscard]] double waste() const { return lost + overhead; }
+};
+
+InterferenceCell run_interference_cell(const e2c::sched::SystemConfig& base,
+                                       std::size_t tenants, double bandwidth,
+                                       e2c::fault::IoStrategy strategy,
+                                       std::size_t replications) {
+  using namespace e2c;
+  InterferenceCell cell;
+  cell.tenants = tenants;
+  cell.bandwidth = bandwidth;
+  cell.strategy = fault::io_strategy_name(strategy);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    auto config = base;
+    config.faults.enabled = true;
+    config.faults.mtbf = 30.0;
+    config.faults.mttr = 3.0;
+    config.faults.seed = 0x10C0 + rep;  // same failures for both strategies
+    config.faults.recovery.strategy = fault::RecoveryStrategy::kCheckpoint;
+    config.faults.recovery.checkpoint_interval = 1.0;
+    config.faults.recovery.checkpoint_cost = 0.1;
+    config.faults.recovery.restart_cost = 0.2;
+    config.faults.io.enabled = true;
+    config.faults.io.bandwidth = bandwidth;
+    // Explicit byte sizes so the bandwidth axis actually changes transfer
+    // durations (derived sizes would keep every write at checkpoint_cost).
+    config.faults.io.checkpoint_bytes = 0.8;
+    config.faults.io.restart_bytes = 1.6;
+    config.faults.io.strategy = strategy;
+    config.faults.io.max_writers = 1;
+
+    std::vector<exp::TenantSpec> specs;
+    for (std::size_t i = 0; i < tenants; ++i) {
+      exp::TenantSpec spec;
+      spec.name = "tenant" + std::to_string(i);
+      spec.rho = 0.8 / static_cast<double>(tenants);  // constant aggregate load
+      spec.duration = 100.0;
+      spec.seed = 7000 + 16 * rep + i;
+      specs.push_back(std::move(spec));
+    }
+    const auto trace = exp::make_multi_tenant_workload(config, specs);
+    sched::Simulation simulation(config, sched::make_policy("MECT"));
+    simulation.load(trace);
+    simulation.set_tenant_names(exp::tenant_names(specs));
+    simulation.run();
+    cell.completion += simulation.counters().completion_percent();
+    cell.lost += simulation.lost_work_seconds();
+    cell.overhead += simulation.checkpoint_overhead_seconds();
+  }
+  const auto reps = static_cast<double>(replications);
+  cell.completion /= reps;
+  cell.lost /= reps;
+  cell.overhead /= reps;
+  return cell;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace e2c;
   using fault::RecoveryStrategy;
+
+  std::string out_path = "BENCH_recovery_waste.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cout << "usage: bench_recovery_waste [--out FILE.json]\n";
+      return 2;
+    }
+  }
 
   const auto base = exp::heterogeneous_classroom(2);
   const std::vector<std::string> policies = {"MECT", "MM"};
@@ -147,5 +234,87 @@ int main() {
                        std::string("determinism: ") + strategies[s].second +
                            " reruns bit-identically under the same seed");
   }
+
+  // ---- interference sweep: tenants x bandwidth, selfish vs cooperative ----
+  std::cout << "\n==== checkpoint I/O interference — tenants x bandwidth ====\n\n";
+  const std::vector<std::size_t> tenant_counts = {1, 2, 4};
+  const std::vector<double> bandwidths = {8.0, 2.0};  // write 0.1 s vs 0.4 s solo
+  constexpr std::size_t kIoReps = 3;
+  std::vector<InterferenceCell> cells;
+  struct Ratio {
+    std::size_t tenants;
+    double bandwidth;
+    double waste_ratio;  ///< selfish waste / cooperative waste (> 1: coop wins)
+  };
+  std::vector<Ratio> ratios;
+  for (const std::size_t tenants : tenant_counts) {
+    for (const double bandwidth : bandwidths) {
+      const InterferenceCell selfish = run_interference_cell(
+          base, tenants, bandwidth, fault::IoStrategy::kSelfish, kIoReps);
+      const InterferenceCell cooperative = run_interference_cell(
+          base, tenants, bandwidth, fault::IoStrategy::kCooperative, kIoReps);
+      cells.push_back(selfish);
+      cells.push_back(cooperative);
+      const double ratio =
+          cooperative.waste() > 0.0 ? selfish.waste() / cooperative.waste() : 0.0;
+      ratios.push_back({tenants, bandwidth, ratio});
+      std::cout << "tenants=" << tenants << " bandwidth=" << bandwidth
+                << "  selfish waste=" << util::format_fixed(selfish.waste(), 2)
+                << "s  cooperative waste="
+                << util::format_fixed(cooperative.waste(), 2)
+                << "s  waste_ratio=" << util::format_fixed(ratio, 3) << "\n";
+    }
+  }
+
+  // At the saturating corner (most tenants, skinniest channel) cooperative
+  // admission must strictly reduce total waste versus selfish fair-sharing.
+  const Ratio& saturated = ratios.back();
+  ok &= bench::check(saturated.waste_ratio > 1.0,
+                     "cooperative strictly reduces total waste vs selfish at "
+                     "saturating bandwidth (tenants=" +
+                         std::to_string(saturated.tenants) + ")");
+  {  // determinism of the headline ratio
+    const InterferenceCell a = run_interference_cell(
+        base, 2, 2.0, fault::IoStrategy::kSelfish, 1);
+    const InterferenceCell b = run_interference_cell(
+        base, 2, 2.0, fault::IoStrategy::kSelfish, 1);
+    ok &= bench::check(a.lost == b.lost && a.overhead == b.overhead,
+                       "determinism: interference cells rerun bit-identically");
+  }
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"recovery_waste\",\n";
+  out << "  \"interference\": {\n"
+      << "    \"mtbf\": 30.0, \"mttr\": 3.0, \"aggregate_rho\": 0.8,\n"
+      << "    \"checkpoint\": {\"interval\": 1.0, \"cost\": 0.1, \"restart\": 0.2},\n"
+      << "    \"io\": {\"checkpoint_bytes\": 0.8, \"restart_bytes\": 1.6, "
+         "\"max_writers\": 1},\n"
+      << "    \"replications\": " << kIoReps << ",\n    \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const InterferenceCell& cell = cells[i];
+    out << "      {\"tenants\": " << cell.tenants << ", \"bandwidth\": "
+        << util::format_fixed(cell.bandwidth, 1) << ", \"strategy\": \""
+        << cell.strategy << "\", \"completion_percent\": "
+        << util::format_fixed(cell.completion, 2) << ", \"lost_s\": "
+        << util::format_fixed(cell.lost, 3) << ", \"overhead_s\": "
+        << util::format_fixed(cell.overhead, 3) << ", \"waste_s\": "
+        << util::format_fixed(cell.waste(), 3) << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "    ],\n    \"waste_ratios\": [\n";
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    out << "      {\"tenants\": " << ratios[i].tenants << ", \"bandwidth\": "
+        << util::format_fixed(ratios[i].bandwidth, 1) << ", \"waste_ratio\": "
+        << util::format_fixed(ratios[i].waste_ratio, 4) << "}"
+        << (i + 1 < ratios.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  }\n}\n";
+  out.close();
+  std::cout << "\nwrote " << out_path << "\n";
+
   return ok ? 0 : 1;
 }

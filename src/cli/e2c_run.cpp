@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "exp/tenants.hpp"
 #include "fault/fault_model.hpp"
 #include "hetero/machine_catalog.hpp"
 #include "hetero/pet_matrix.hpp"
@@ -51,6 +52,7 @@ struct Options {
   std::optional<std::string> summary_out;
   std::optional<std::string> task_out;
   std::optional<std::string> machine_out;
+  std::optional<std::string> tenant_out;
   std::optional<std::string> full_out;
   std::optional<std::string> missed_out;
   std::optional<std::string> trace_stats_out;
@@ -83,6 +85,15 @@ struct Options {
   double checkpoint_cost = 0.5;
   double restart_cost = 0.5;
   std::size_t replicas = 2;
+  // shared checkpoint-I/O channel (defaults must match fault::IoConfig for
+  // the flags-without-channel guard below)
+  std::optional<double> io_bandwidth;
+  std::string io_strategy = "selfish";
+  double io_checkpoint_bytes = 0.0;
+  double io_restart_bytes = 0.0;
+  std::size_t io_writers = 1;
+  // multi-tenant workloads
+  std::size_t tenants = 1;
 };
 
 void print_usage() {
@@ -138,10 +149,29 @@ Recovery strategy (optional, needs --mtbf or --fault-trace):
   --restart-cost X      R: seconds to reload the last checkpoint (default 0.5)
   --replicas K          copies per task for --recovery replicate (default 2)
 
+Shared checkpoint I/O (optional, needs --recovery checkpoint):
+  --io-bandwidth B      enable the shared checkpoint channel with aggregate
+                        bandwidth B bytes/s; concurrent checkpoint writes and
+                        restart reads fair-share it and stretch each other
+  --io-strategy NAME    selfish | cooperative (default selfish); cooperative
+                        admits at most --io-writers concurrent checkpoint
+                        writes and defers the rest
+  --io-ckpt-bytes X     checkpoint image size in bytes; 0 (default) derives
+                        checkpoint-cost * bandwidth
+  --io-restart-bytes X  restart image size in bytes; 0 (default) derives
+                        restart-cost * bandwidth
+  --io-writers K        concurrent-writer cap for cooperative (default 1)
+
+Multi-tenant workloads (optional, needs --generate):
+  --tenants N           split the generated load across N independent tenants
+                        sharing the machine set (and the I/O channel); the
+                        run prints a per-tenant waste decomposition
+
 Reports (PATH or '-' for stdout):
   --summary PATH        Summary Report CSV
   --task-report PATH    Task Report CSV
   --machine-report PATH Machine Report CSV
+  --tenant-report PATH  per-tenant waste decomposition CSV (multi-tenant runs)
   --full-report PATH    Full Report CSV
   --missed-report PATH  Missed Tasks CSV (Fig. 4 panel)
   --trace-stats PATH    workload analysis CSV (rates, mix, offered load)
@@ -179,6 +209,7 @@ Options parse_args(const std::vector<std::string>& args) {
     else if (arg == "--summary") options.summary_out = need_value(i++, arg);
     else if (arg == "--task-report") options.task_out = need_value(i++, arg);
     else if (arg == "--machine-report") options.machine_out = need_value(i++, arg);
+    else if (arg == "--tenant-report") options.tenant_out = need_value(i++, arg);
     else if (arg == "--full-report") options.full_out = need_value(i++, arg);
     else if (arg == "--missed-report") options.missed_out = need_value(i++, arg);
     else if (arg == "--trace-stats") options.trace_stats_out = need_value(i++, arg);
@@ -274,6 +305,33 @@ Options parse_args(const std::vector<std::string>& args) {
       e2c::require_input(value.has_value() && *value >= 1,
                          "--replicas needs an integer >= 1");
       options.replicas = static_cast<std::size_t>(*value);
+    } else if (arg == "--io-bandwidth") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value > 0,
+                         "--io-bandwidth needs a number > 0");
+      options.io_bandwidth = *value;
+    } else if (arg == "--io-strategy") {
+      options.io_strategy = need_value(i++, arg);
+    } else if (arg == "--io-ckpt-bytes") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--io-ckpt-bytes needs a number >= 0");
+      options.io_checkpoint_bytes = *value;
+    } else if (arg == "--io-restart-bytes") {
+      const auto value = e2c::util::parse_double(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 0,
+                         "--io-restart-bytes needs a number >= 0");
+      options.io_restart_bytes = *value;
+    } else if (arg == "--io-writers") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 1,
+                         "--io-writers needs an integer >= 1");
+      options.io_writers = static_cast<std::size_t>(*value);
+    } else if (arg == "--tenants") {
+      const auto value = e2c::util::parse_int(need_value(i++, arg));
+      e2c::require_input(value.has_value() && *value >= 1,
+                         "--tenants needs an integer >= 1");
+      options.tenants = static_cast<std::size_t>(*value);
     } else {
       throw e2c::InputError("unknown argument: " + arg + " (see --help)");
     }
@@ -364,9 +422,35 @@ int run(const Options& options) {
     recovery.checkpoint_cost = options.checkpoint_cost;
     recovery.restart_cost = options.restart_cost;
     recovery.replicas = options.replicas;
+    if (options.io_bandwidth) {
+      fault::IoConfig& io = system.faults.io;
+      io.enabled = true;
+      io.bandwidth = *options.io_bandwidth;
+      io.checkpoint_bytes = options.io_checkpoint_bytes;
+      io.restart_bytes = options.io_restart_bytes;
+      io.strategy = fault::parse_io_strategy(options.io_strategy);
+      io.max_writers = options.io_writers;
+    } else {
+      require_input(options.io_strategy == "selfish" &&
+                        options.io_checkpoint_bytes == 0.0 &&
+                        options.io_restart_bytes == 0.0 && options.io_writers == 1,
+                    "--io-strategy/--io-ckpt-bytes/--io-restart-bytes/--io-writers "
+                    "need --io-bandwidth");
+    }
     // Fail fast (exit 2) on an inconsistent combination — e.g. auto-τ with a
     // fault trace, or more replicas than machines — before building anything.
     system.faults.validate(system.machines.size());
+    if (system.faults.io.enabled) {
+      const fault::IoConfig& io = system.faults.io;
+      std::cout << "io channel: bandwidth=" << io.bandwidth << " B/s strategy="
+                << fault::io_strategy_name(io.strategy);
+      if (io.strategy == fault::IoStrategy::kCooperative) {
+        std::cout << " max_writers=" << io.max_writers;
+      }
+      std::cout << " write=" << io.effective_checkpoint_bytes(recovery.checkpoint_cost)
+                << " B read=" << io.effective_restart_bytes(recovery.restart_cost)
+                << " B\n";
+    }
     if (recovery.strategy == fault::RecoveryStrategy::kCheckpoint) {
       std::cout << "recovery: checkpoint interval=";
       if (options.checkpoint_interval > 0.0) {
@@ -388,8 +472,11 @@ int run(const Options& options) {
                       options.recovery == "resubmit" &&
                       options.checkpoint_interval == 0.0 &&
                       options.checkpoint_cost == 0.5 && options.restart_cost == 0.5 &&
-                      options.replicas == 2,
-                  "retry/fault/recovery flags need --mtbf or --fault-trace");
+                      options.replicas == 2 && !options.io_bandwidth &&
+                      options.io_strategy == "selfish" &&
+                      options.io_checkpoint_bytes == 0.0 &&
+                      options.io_restart_bytes == 0.0 && options.io_writers == 1,
+                  "retry/fault/recovery/io flags need --mtbf or --fault-trace");
   }
   if (options.autoscale) {
     system.autoscaler.enabled = true;
@@ -405,7 +492,30 @@ int run(const Options& options) {
   }
 
   workload::Workload trace;
-  if (options.generate_intensity) {
+  std::vector<std::string> tenant_names;
+  if (options.tenants > 1) {
+    require_input(options.generate_intensity.has_value(),
+                  "--tenants needs --generate (tenant traces are synthesized "
+                  "per tenant; a workload CSV is single-tenant)");
+    std::vector<hetero::MachineTypeId> machine_types;
+    for (const auto& machine : system.machines) machine_types.push_back(machine.type);
+    const double total_rho =
+        workload::intensity_offered_load(parse_intensity(*options.generate_intensity));
+    std::vector<e2c::exp::TenantSpec> tenants;
+    for (std::size_t i = 0; i < options.tenants; ++i) {
+      e2c::exp::TenantSpec spec;
+      spec.name = "tenant" + std::to_string(i);
+      spec.rho = total_rho / static_cast<double>(options.tenants);
+      spec.duration = options.duration;
+      spec.seed = options.seed + i;
+      tenants.push_back(std::move(spec));
+    }
+    trace = e2c::exp::make_multi_tenant_workload(system, tenants);
+    tenant_names = e2c::exp::tenant_names(tenants);
+    std::cout << "generated " << trace.size() << " tasks across " << options.tenants
+              << " tenants at aggregate intensity '" << *options.generate_intensity
+              << "'\n";
+  } else if (options.generate_intensity) {
     std::vector<hetero::MachineTypeId> machine_types;
     for (const auto& machine : system.machines) machine_types.push_back(machine.type);
     workload::GeneratorConfig generator = workload::config_for_intensity(
@@ -424,6 +534,7 @@ int run(const Options& options) {
     auto simulation =
         std::make_unique<sched::Simulation>(system, sched::make_policy(options.policy));
     simulation->load(trace);
+    if (!tenant_names.empty()) simulation->set_tenant_names(tenant_names);
     return simulation;
   });
 
@@ -453,9 +564,21 @@ int run(const Options& options) {
             << "%\n";
   std::cout << viz::render_missed_panel(simulation);
 
+  if (simulation.tenant_names().size() > 1) {
+    for (const exp::TenantOutcome& tenant : exp::tenant_outcomes(simulation)) {
+      std::cout << "  " << tenant.name << ": tasks=" << tenant.tasks
+                << " completed=" << tenant.completed
+                << " useful=" << util::format_fixed(tenant.useful_seconds, 2)
+                << "s lost=" << util::format_fixed(tenant.lost_seconds, 2)
+                << "s ckpt=" << util::format_fixed(tenant.checkpoint_overhead_seconds, 2)
+                << "s waste=" << util::format_fixed(tenant.waste_seconds(), 2) << "s\n";
+    }
+  }
+
   write_rows(options.summary_out, reports::summary_report(simulation));
   write_rows(options.task_out, reports::task_report(simulation));
   write_rows(options.machine_out, reports::machine_report(simulation));
+  write_rows(options.tenant_out, exp::tenant_report_rows(simulation));
   write_rows(options.full_out, reports::full_report(simulation));
   write_rows(options.missed_out, reports::missed_report(simulation));
   if (options.trace_stats_out) {

@@ -121,6 +121,45 @@ void recovery_from_ini(const util::IniFile& ini, fault::FaultConfig& faults,
   }
 }
 
+void io_from_ini(const util::IniFile& ini, fault::FaultConfig& faults) {
+  if (!ini.has_section("io")) return;
+  require_input(ini.has_section("recovery"),
+                "experiment config: [io] needs a [recovery] section with the "
+                "checkpoint strategy — the channel carries checkpoint/restart "
+                "traffic only");
+  fault::IoConfig& io = faults.io;
+  io.enabled = true;
+  const auto bandwidth = ini.get_double("io", "bandwidth");
+  require_input(bandwidth.has_value(),
+                "experiment config: io.bandwidth is required (bytes/second of the "
+                "shared checkpoint channel)");
+  require_input(*bandwidth > 0.0, "experiment config: io.bandwidth must be > 0 (" +
+                                      ini.where("io", "bandwidth") + ")");
+  io.bandwidth = *bandwidth;
+  if (const auto bytes = ini.get_double("io", "checkpoint_bytes")) {
+    require_input(*bytes >= 0.0,
+                  "experiment config: io.checkpoint_bytes must be >= 0, 0 derives "
+                  "checkpoint_cost x bandwidth (" +
+                      ini.where("io", "checkpoint_bytes") + ")");
+    io.checkpoint_bytes = *bytes;
+  }
+  if (const auto bytes = ini.get_double("io", "restart_bytes")) {
+    require_input(*bytes >= 0.0,
+                  "experiment config: io.restart_bytes must be >= 0, 0 derives "
+                  "restart_cost x bandwidth (" +
+                      ini.where("io", "restart_bytes") + ")");
+    io.restart_bytes = *bytes;
+  }
+  if (const auto strategy = ini.get("io", "strategy")) {
+    io.strategy = fault::parse_io_strategy(*strategy);
+  }
+  if (const auto writers = ini.get_int("io", "max_writers")) {
+    require_input(*writers >= 1, "experiment config: io.max_writers must be >= 1 (" +
+                                     ini.where("io", "max_writers") + ")");
+    io.max_writers = static_cast<std::size_t>(*writers);
+  }
+}
+
 }  // namespace
 
 ExperimentSpec spec_from_ini(const util::IniFile& ini) {
@@ -149,6 +188,9 @@ ExperimentSpec spec_from_ini(const util::IniFile& ini) {
   faults_from_ini(ini, spec.system.faults);
   // [recovery] — checkpoint/replicate parameters; needs [faults] to matter.
   recovery_from_ini(ini, spec.system.faults, spec.system.machines.size());
+  // [io] — shared checkpoint-I/O channel; needs [recovery]'s checkpoint
+  // strategy (FaultConfig::validate enforces the combination).
+  io_from_ini(ini, spec.system.faults);
   spec.system.faults.validate(spec.system.machines.size());
 
   // [sweep]

@@ -26,6 +26,13 @@
 ///   restart_cost = 0.5            ; R (s) to reload the last checkpoint
 ///   replicas = 2                  ; k copies for strategy = replicate
 ///
+///   [io]                          ; optional; needs [recovery] strategy = checkpoint
+///   bandwidth = 100e6             ; bytes/s of the shared checkpoint channel (required)
+///   checkpoint_bytes = 0          ; image size per write; 0 = checkpoint_cost·bandwidth
+///   restart_bytes = 0             ; image size per read; 0 = restart_cost·bandwidth
+///   strategy = selfish            ; selfish | cooperative
+///   max_writers = 1               ; concurrent-writer cap for cooperative
+///
 ///   [sweep]
 ///   policies = FCFS, MECT, MM
 ///   intensities = low, medium, high

@@ -1,0 +1,75 @@
+/// \file tenants.hpp
+/// \brief Multi-tenant workloads: several independent tenants sharing one
+/// machine set (and, with [io], one checkpoint-I/O channel).
+///
+/// The interference study (ROADMAP open item 4) needs several *tenants* —
+/// independently generated workload streams — submitted to a single system so
+/// their recovery traffic collides on the shared I/O channel. A tenant is a
+/// (name, offered load, duration, seed) tuple; each generates its own trace,
+/// every task is stamped with its tenant index, and the traces are merged
+/// into one arrival-ordered workload with dense task ids. After the run the
+/// waste decomposition (useful / lost / checkpoint overhead / machine
+/// seconds) is re-aggregated per tenant, which is what the interference sweep
+/// and the per-tenant report rows consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/simulation.hpp"
+#include "workload/workload.hpp"
+
+namespace e2c::exp {
+
+/// One tenant: an independent workload stream against the shared system.
+struct TenantSpec {
+  std::string name;            ///< display name ("tenantA", a team, a lab)
+  double rho = 1.0;            ///< offered load vs. the *whole* system's capacity
+  core::SimTime duration = 100.0;  ///< arrival window [0, duration)
+  std::uint64_t seed = 1;      ///< workload generator seed
+};
+
+/// Generates every tenant's trace and merges them into one workload: tasks
+/// are stamped with their tenant index (position in \p tenants), sorted by
+/// arrival and renumbered with dense ids 0..n-1. Throws e2c::InputError when
+/// \p tenants is empty or a tenant's parameters are invalid.
+[[nodiscard]] workload::Workload make_multi_tenant_workload(
+    const sched::SystemConfig& system, const std::vector<TenantSpec>& tenants);
+
+/// Display names of \p tenants, for Simulation::set_tenant_names.
+[[nodiscard]] std::vector<std::string> tenant_names(
+    const std::vector<TenantSpec>& tenants);
+
+/// Per-tenant outcome aggregation — the waste invariant holds per tenant:
+/// useful + lost + checkpoint_overhead == machine_seconds.
+struct TenantOutcome {
+  std::string name;
+  std::size_t tasks = 0;      ///< submitted tasks (replica clones excluded)
+  std::size_t completed = 0;  ///< finished on time
+  double useful_seconds = 0.0;
+  double lost_seconds = 0.0;
+  double checkpoint_overhead_seconds = 0.0;
+  double machine_seconds = 0.0;
+  std::size_t checkpoints = 0;  ///< commits across the tenant's tasks
+
+  /// Machine-seconds that bought nothing: lost work + checkpoint overhead.
+  [[nodiscard]] double waste_seconds() const noexcept {
+    return lost_seconds + checkpoint_overhead_seconds;
+  }
+};
+
+/// Aggregates the finished simulation's task records by tenant index. Names
+/// come from simulation.tenant_names(); tenants beyond the roster (or the
+/// whole list, when no names were set) fall back to "tenant<i>". The result
+/// always covers indices 0..max-tenant-seen.
+[[nodiscard]] std::vector<TenantOutcome> tenant_outcomes(
+    const sched::Simulation& simulation);
+
+/// Tenant Report rows (header first): one row per tenant with the waste
+/// decomposition — companion to the four report kinds in reports/report.hpp
+/// for multi-tenant runs (e2c_run --tenant-report).
+[[nodiscard]] std::vector<std::vector<std::string>> tenant_report_rows(
+    const sched::Simulation& simulation);
+
+}  // namespace e2c::exp

@@ -41,6 +41,25 @@ RecoveryStrategy parse_recovery_strategy(const std::string& name) {
   throw InputError(message);
 }
 
+const char* io_strategy_name(IoStrategy strategy) noexcept {
+  switch (strategy) {
+    case IoStrategy::kSelfish: return "selfish";
+    case IoStrategy::kCooperative: return "cooperative";
+  }
+  return "unknown";
+}
+
+IoStrategy parse_io_strategy(const std::string& name) {
+  if (util::iequals(name, "selfish")) return IoStrategy::kSelfish;
+  if (util::iequals(name, "cooperative")) return IoStrategy::kCooperative;
+  std::string message = "unknown io strategy: '" + name + "'";
+  if (const auto suggestion = util::nearest_match(name, {"selfish", "cooperative"})) {
+    message += " — did you mean '" + *suggestion + "'?";
+  }
+  message += " (valid: selfish | cooperative)";
+  throw InputError(message);
+}
+
 double young_daly_interval(double checkpoint_cost, double mtbf) {
   require_input(checkpoint_cost > 0.0 && mtbf > 0.0,
                 "young_daly_interval: checkpoint cost and MTBF must be > 0");
@@ -53,11 +72,42 @@ void FaultConfig::validate(std::size_t machine_count) const {
     require_input(mtbf > 0.0, "fault config: mtbf must be > 0");
     require_input(mttr > 0.0, "fault config: mttr must be > 0");
   } else {
-    for (const FaultTraceEntry& entry : trace) {
+    const auto locate = [this](std::size_t index) {
+      const FaultTraceEntry& entry = trace[index];
+      return entry.where.empty() ? "trace entry #" + std::to_string(index)
+                                 : entry.where;
+    };
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const FaultTraceEntry& entry = trace[i];
       require_input(entry.machine < machine_count,
                     "fault trace: machine index " + std::to_string(entry.machine) +
                         " out of range (system has " +
-                        std::to_string(machine_count) + " machines)");
+                        std::to_string(machine_count) + " machines) at " + locate(i));
+      require_input(entry.fail_time >= 0.0,
+                    "fault trace: fail_time must be >= 0 at " + locate(i));
+      require_input(entry.repair_time > entry.fail_time,
+                    "fault trace: repair_time must be after fail_time at " + locate(i));
+    }
+    // Overlapping spans on one machine would mean failing an already-failed
+    // machine; the injector would silently skip the second span, so reject
+    // the trace up front. Back-to-back spans (fail == previous repair) are
+    // fine: the machine crashes again the instant it comes back.
+    std::vector<std::size_t> order(trace.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      if (trace[a].machine != trace[b].machine) return trace[a].machine < trace[b].machine;
+      return trace[a].fail_time < trace[b].fail_time;
+    });
+    for (std::size_t k = 1; k < order.size(); ++k) {
+      const FaultTraceEntry& prev = trace[order[k - 1]];
+      const FaultTraceEntry& curr = trace[order[k]];
+      if (prev.machine != curr.machine) continue;
+      require_input(curr.fail_time >= prev.repair_time,
+                    "fault trace: overlapping spans on machine " +
+                        std::to_string(curr.machine) + ": span at " + locate(order[k]) +
+                        " fails at " + std::to_string(curr.fail_time) +
+                        " before the span at " + locate(order[k - 1]) +
+                        " repairs at " + std::to_string(prev.repair_time));
     }
   }
   require_input(retry.backoff_base >= 0.0,
@@ -88,6 +138,24 @@ void FaultConfig::validate(std::size_t machine_count) const {
                   "fault config: replicas (" + std::to_string(recovery.replicas) +
                       ") exceed the machine count (" + std::to_string(machine_count) +
                       "); replicas must run on distinct machines");
+  }
+  if (io.enabled) {
+    require_input(recovery.strategy == RecoveryStrategy::kCheckpoint,
+                  "fault config: the io channel models checkpoint/restart traffic; "
+                  "it requires recovery strategy 'checkpoint'");
+    require_input(io.bandwidth > 0.0, "fault config: io bandwidth must be > 0");
+    require_input(io.checkpoint_bytes >= 0.0,
+                  "fault config: io checkpoint_bytes must be >= 0");
+    require_input(io.restart_bytes >= 0.0,
+                  "fault config: io restart_bytes must be >= 0");
+    require_input(io.effective_checkpoint_bytes(recovery.checkpoint_cost) > 0.0,
+                  "fault config: io checkpoint transfer size is 0; set "
+                  "checkpoint_bytes or a checkpoint cost > 0");
+    if (io.strategy == IoStrategy::kCooperative) {
+      require_input(io.max_writers >= 1,
+                    "fault config: io max_writers must be >= 1 for the "
+                    "cooperative strategy");
+    }
   }
 }
 
@@ -166,7 +234,8 @@ std::vector<FaultTraceEntry> trace_from_table(const util::CsvTable& table) {
     require_input(*repair > *fail,
                   "fault trace CSV: repair_time must be after fail_time at " +
                       table.where(r));
-    entries.push_back(FaultTraceEntry{static_cast<std::size_t>(*machine), *fail, *repair});
+    entries.push_back(FaultTraceEntry{static_cast<std::size_t>(*machine), *fail, *repair,
+                                      table.where(r)});
   }
   return entries;
 }

@@ -42,6 +42,18 @@ struct FaultTraceEntry {
   std::size_t machine = 0;  ///< 0-based machine index
   double fail_time = 0.0;
   double repair_time = 0.0;
+  /// Source locator ("path:line") filled by the CSV loader; empty for entries
+  /// built in code. validate() cites it so a bad row in a 10k-line trace is
+  /// findable without bisection.
+  std::string where;
+
+  FaultTraceEntry() = default;
+  FaultTraceEntry(std::size_t machine_index, double fail, double repair,
+                  std::string locator = {})
+      : machine(machine_index),
+        fail_time(fail),
+        repair_time(repair),
+        where(std::move(locator)) {}
 };
 
 /// Retry semantics for tasks aborted by a machine failure.
@@ -95,6 +107,45 @@ struct RecoveryConfig {
   std::size_t replicas = 2;      ///< k: copies per task for kReplicate
 };
 
+/// How checkpoint writers behave on a contended I/O channel.
+enum class IoStrategy : std::uint8_t {
+  kSelfish,      ///< write the moment τ elapses; fair-share with everyone else
+  kCooperative,  ///< at most max_writers concurrent writes; defer the rest
+};
+
+/// Display name of an I/O strategy ("selfish", "cooperative").
+[[nodiscard]] const char* io_strategy_name(IoStrategy strategy) noexcept;
+
+/// Parses an I/O strategy name (case-insensitive). Throws e2c::InputError
+/// listing the valid names, with a nearest-match suggestion for typos.
+[[nodiscard]] IoStrategy parse_io_strategy(const std::string& name);
+
+/// Shared checkpoint-I/O channel configuration, carried inside FaultConfig.
+///
+/// When enabled, checkpoint writes and restart reads stop costing fixed
+/// seconds and become transfers of checkpoint_bytes / restart_bytes over one
+/// shared channel of `bandwidth` bytes/s, fair-shared across everything in
+/// flight. Disabled (the default) preserves the PR-2 fixed-cost path
+/// bit-identically.
+struct IoConfig {
+  bool enabled = false;
+  double bandwidth = 0.0;         ///< aggregate channel bandwidth, bytes/s (> 0)
+  double checkpoint_bytes = 0.0;  ///< image size per write; 0 derives C·bandwidth
+  double restart_bytes = 0.0;     ///< image size per read; 0 derives R·bandwidth
+  IoStrategy strategy = IoStrategy::kSelfish;
+  std::size_t max_writers = 1;  ///< k: concurrent writer cap for kCooperative
+
+  /// Bytes per checkpoint write: the explicit size, or checkpoint_cost ·
+  /// bandwidth so an uncontended write takes exactly C seconds.
+  [[nodiscard]] double effective_checkpoint_bytes(double checkpoint_cost) const noexcept {
+    return checkpoint_bytes > 0.0 ? checkpoint_bytes : checkpoint_cost * bandwidth;
+  }
+  /// Bytes per restart read, derived from restart_cost the same way.
+  [[nodiscard]] double effective_restart_bytes(double restart_cost) const noexcept {
+    return restart_bytes > 0.0 ? restart_bytes : restart_cost * bandwidth;
+  }
+};
+
 /// Full fault-injection configuration, carried inside SystemConfig.
 struct FaultConfig {
   bool enabled = false;
@@ -105,11 +156,15 @@ struct FaultConfig {
   std::vector<FaultTraceEntry> trace;  ///< used when mode == kTrace
   RetryPolicy retry;
   RecoveryConfig recovery;
+  IoConfig io;
 
   /// Validates parameters against the system's machine count.
-  /// Throws e2c::InputError on bad values, out-of-range trace machines, or
-  /// an inconsistent recovery configuration (negative τ/C/R, k < 1,
-  /// k > machine count, Young/Daly auto-τ without a stochastic MTBF).
+  /// Throws e2c::InputError on bad values, malformed trace spans (negative
+  /// fail_time, repair <= fail, out-of-range machine, overlapping spans on
+  /// one machine — each cited with its path:line locator when known), an
+  /// inconsistent recovery configuration (negative τ/C/R, k < 1, k > machine
+  /// count, Young/Daly auto-τ without a stochastic MTBF), or an I/O channel
+  /// without bandwidth / outside the checkpoint strategy.
   void validate(std::size_t machine_count) const;
 
   /// The checkpoint interval the simulation will actually use: the fixed

@@ -1,0 +1,172 @@
+#include "fault/io_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace e2c::fault {
+
+IoChannel::IoChannel(core::Engine& engine, const IoConfig& config,
+                     double checkpoint_cost, double restart_cost)
+    : engine_(engine),
+      config_(config),
+      checkpoint_bytes_(config.effective_checkpoint_bytes(checkpoint_cost)),
+      restart_bytes_(config.effective_restart_bytes(restart_cost)) {
+  require(config_.enabled, "IoChannel: config must be enabled");
+  require(config_.bandwidth > 0.0, "IoChannel: bandwidth must be > 0");
+  require(checkpoint_bytes_ > 0.0, "IoChannel: checkpoint transfer size must be > 0");
+}
+
+TransferId IoChannel::begin_checkpoint_write(std::uint64_t task,
+                                             const char* machine_name,
+                                             std::function<void()> on_complete) {
+  return begin(TransferKind::kCheckpointWrite, task, machine_name,
+               std::move(on_complete));
+}
+
+TransferId IoChannel::begin_restart_read(std::uint64_t task, const char* machine_name,
+                                         std::function<void()> on_complete) {
+  return begin(TransferKind::kRestartRead, task, machine_name, std::move(on_complete));
+}
+
+std::size_t IoChannel::active_writers() const noexcept {
+  std::size_t writers = 0;
+  for (const Transfer& transfer : active_) {
+    if (transfer.kind == TransferKind::kCheckpointWrite) ++writers;
+  }
+  return writers;
+}
+
+TransferId IoChannel::begin(TransferKind kind, std::uint64_t task,
+                            const char* machine_name,
+                            std::function<void()> on_complete) {
+  const core::SimTime now = engine_.now();
+  settle(now);
+
+  Transfer transfer;
+  transfer.id = next_id_++;
+  transfer.kind = kind;
+  transfer.task = task;
+  transfer.machine = machine_name;
+  transfer.remaining_bytes =
+      kind == TransferKind::kCheckpointWrite ? checkpoint_bytes_ : restart_bytes_;
+  transfer.on_complete = std::move(on_complete);
+  const TransferId id = transfer.id;
+
+  // Cooperative admission defers checkpoint *writes* beyond the writer cap;
+  // restart reads always go through — deferring a restart only lengthens the
+  // outage it is recovering from.
+  const bool defer = kind == TransferKind::kCheckpointWrite &&
+                     config_.strategy == IoStrategy::kCooperative &&
+                     active_writers() >= config_.max_writers;
+  if (defer) {
+    waiting_.push_back(std::move(transfer));
+    return id;
+  }
+
+  // A zero-byte transfer (restart_bytes resolved to 0) completes instantly —
+  // mirror the fixed path's synchronous cost==0 shortcut, but only when the
+  // channel is otherwise untouched so no restamp is owed.
+  if (transfer.remaining_bytes <= 0.0 && active_.empty()) {
+    std::function<void()> callback = std::move(transfer.on_complete);
+    ++reads_done_;
+    if (callback) callback();
+    return id;
+  }
+
+  active_.push_back(std::move(transfer));
+  peak_active_ = std::max(peak_active_, active_.size());
+  restamp(now);
+  return id;
+}
+
+void IoChannel::settle(core::SimTime now) {
+  if (!active_.empty()) {
+    const double elapsed = std::max(0.0, now - last_settle_);
+    if (elapsed > 0.0) {
+      const double rate = config_.bandwidth / static_cast<double>(active_.size());
+      for (Transfer& transfer : active_) {
+        transfer.remaining_bytes =
+            std::max(0.0, transfer.remaining_bytes - rate * elapsed);
+      }
+    }
+  }
+  last_settle_ = now;
+}
+
+void IoChannel::admit_waiting() {
+  while (!waiting_.empty() && active_writers() < config_.max_writers) {
+    active_.push_back(std::move(waiting_.front()));
+    waiting_.erase(waiting_.begin());
+  }
+  peak_active_ = std::max(peak_active_, active_.size());
+}
+
+void IoChannel::restamp(core::SimTime now) {
+  if (active_.empty()) return;
+  const double rate = config_.bandwidth / static_cast<double>(active_.size());
+  for (Transfer& transfer : active_) {
+    if (transfer.event != core::kNoEvent) engine_.cancel(transfer.event);
+    const char* verb = transfer.kind == TransferKind::kCheckpointWrite
+                           ? "io write task="
+                           : "io read task=";
+    transfer.event = engine_.schedule_at(
+        now + transfer.remaining_bytes / rate, core::EventPriority::kCompletion,
+        core::EventLabel(verb, transfer.task, " machine=", transfer.machine),
+        [this, id = transfer.id] { on_transfer_done(id); });
+  }
+}
+
+void IoChannel::on_transfer_done(TransferId id) {
+  const core::SimTime now = engine_.now();
+  settle(now);
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [id](const Transfer& t) { return t.id == id; });
+  require(it != active_.end(), "IoChannel: completion for unknown transfer");
+  Transfer done = std::move(*it);
+  active_.erase(it);
+  if (done.kind == TransferKind::kCheckpointWrite) {
+    ++writes_done_;
+  } else {
+    ++reads_done_;
+  }
+  admit_waiting();
+  restamp(now);
+  // The callback runs after the channel is consistent: it may immediately
+  // begin the machine's next transfer (restart → work → checkpoint).
+  if (done.on_complete) done.on_complete();
+}
+
+bool IoChannel::cancel(TransferId id) {
+  const auto active_it = std::find_if(active_.begin(), active_.end(),
+                                      [id](const Transfer& t) { return t.id == id; });
+  if (active_it != active_.end()) {
+    const core::SimTime now = engine_.now();
+    settle(now);
+    engine_.cancel(active_it->event);
+    active_.erase(active_it);
+    admit_waiting();
+    restamp(now);
+    return true;
+  }
+  const auto waiting_it = std::find_if(waiting_.begin(), waiting_.end(),
+                                       [id](const Transfer& t) { return t.id == id; });
+  if (waiting_it != waiting_.end()) {
+    waiting_.erase(waiting_it);
+    return true;
+  }
+  return false;
+}
+
+void IoChannel::reset() {
+  active_.clear();
+  waiting_.clear();
+  last_settle_ = 0.0;
+  next_id_ = 1;
+  writes_done_ = 0;
+  reads_done_ = 0;
+  peak_active_ = 0;
+}
+
+}  // namespace e2c::fault

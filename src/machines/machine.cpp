@@ -53,6 +53,11 @@ std::vector<workload::Task*> Machine::fail(core::SimTime now) {
     RunningEntry run = *running_;
     running_.reset();
     engine_.cancel(run.pending_event);
+    if (io_channel_ && run.io_transfer != fault::kNoTransfer) {
+      // The crash tears down the in-flight transfer; freed bandwidth
+      // re-shares across the survivors immediately.
+      io_channel_->cancel(run.io_transfer);
+    }
     // The partial execution still burned time and energy; the task record
     // keeps the loss decomposition (lost vs checkpointed-and-kept).
     busy_seconds_ += settle_aborted_run(run, now);
@@ -116,18 +121,28 @@ void Machine::enqueue(workload::Task& task, double exec_seconds) {
   if (!running_) start_next();
 }
 
+double Machine::checkpoint_write_estimate() const {
+  return io_channel_ ? io_channel_->uncontended_write_seconds() : checkpoint_->cost;
+}
+
+double Machine::restart_read_estimate() const {
+  return io_channel_ ? io_channel_->uncontended_read_seconds()
+                     : checkpoint_->restart_cost;
+}
+
 double Machine::projected_run_seconds(const RunningEntry& run) const {
   double total = run.work_total;
-  if (run.base_fraction > 0.0 && checkpoint_ && checkpoint_->restart_cost > 0.0) {
-    total += checkpoint_->restart_cost;
+  if (run.base_fraction > 0.0 && checkpoint_ && restart_read_estimate() > 0.0) {
+    total += restart_read_estimate();
   }
   if (checkpoint_ && checkpoint_->interval > 0.0 &&
       run.work_total > checkpoint_->interval) {
     // One write per full interval; the final partial segment runs straight
-    // to completion without a trailing checkpoint.
+    // to completion without a trailing checkpoint. Under a contended channel
+    // this is the uncontended lower bound — ready_time is an estimate anyway.
     const double writes =
         std::ceil(run.work_total / checkpoint_->interval) - 1.0;
-    total += writes * checkpoint_->cost;
+    total += writes * checkpoint_write_estimate();
   }
   return total;
 }
@@ -158,13 +173,19 @@ void Machine::start_next() {
   entry.task->start_time = now;
   running_ = run;
 
-  if (checkpoint_ && run.base_fraction > 0.0 && checkpoint_->restart_cost > 0.0) {
+  if (checkpoint_ && run.base_fraction > 0.0 && restart_read_estimate() > 0.0) {
     running_->phase = RunPhase::kRestart;
     running_->phase_started_at = now;
-    running_->pending_event = engine_.schedule_at(
-        now + checkpoint_->restart_cost, core::EventPriority::kCompletion,
-        core::EventLabel("restart task=", run.task->id, " machine=", name_.c_str()),
-        [this] { on_restart_loaded(); });
+    if (io_channel_) {
+      running_->pending_event = core::kNoEvent;
+      running_->io_transfer = io_channel_->begin_restart_read(
+          run.task->id, name_.c_str(), [this] { on_restart_loaded(); });
+    } else {
+      running_->pending_event = engine_.schedule_at(
+          now + checkpoint_->restart_cost, core::EventPriority::kCompletion,
+          core::EventLabel("restart task=", run.task->id, " machine=", name_.c_str()),
+          [this] { on_restart_loaded(); });
+    }
   } else {
     begin_work_segment();
   }
@@ -198,7 +219,13 @@ void Machine::on_checkpoint_write() {
   run.work_done += checkpoint_->interval;
   run.phase = RunPhase::kCheckpoint;
   run.phase_started_at = engine_.now();
-  if (checkpoint_->cost > 0.0) {
+  if (io_channel_) {
+    // The write's wallclock is decided by the channel: it stretches with
+    // concurrent transfers and, under kCooperative, includes admission wait.
+    run.pending_event = core::kNoEvent;
+    run.io_transfer = io_channel_->begin_checkpoint_write(
+        run.task->id, name_.c_str(), [this] { on_checkpoint_commit(); });
+  } else if (checkpoint_->cost > 0.0) {
     run.pending_event = engine_.schedule_at(
         engine_.now() + checkpoint_->cost, core::EventPriority::kCompletion,
         core::EventLabel("commit task=", run.task->id, " machine=", name_.c_str()),
@@ -216,7 +243,12 @@ void Machine::on_checkpoint_commit() {
   run.work_committed = run.work_done;
   workload::Task& task = *run.task;
   task.useful_seconds += segment;
-  task.checkpoint_overhead_seconds += checkpoint_->cost;
+  // Fixed path: charge exactly the configured cost (bit-identity with PR 2 —
+  // `(a+c)-a` is not `c` in floats). Channel path: charge the elapsed
+  // transfer time, which is what contention actually stretched.
+  task.checkpoint_overhead_seconds +=
+      io_channel_ ? std::max(0.0, now - run.phase_started_at) : checkpoint_->cost;
+  run.io_transfer = fault::kNoTransfer;
   task.completed_fraction =
       std::min(1.0, run.base_fraction + run.work_committed / run.exec_seconds);
   task.checkpoint_times.push_back(now);
@@ -226,7 +258,10 @@ void Machine::on_checkpoint_commit() {
 
 void Machine::on_restart_loaded() {
   require(running_.has_value(), "Machine::on_restart_loaded with no running task");
-  running_->task->checkpoint_overhead_seconds += checkpoint_->restart_cost;
+  running_->task->checkpoint_overhead_seconds +=
+      io_channel_ ? std::max(0.0, engine_.now() - running_->phase_started_at)
+                  : checkpoint_->restart_cost;
+  running_->io_transfer = fault::kNoTransfer;
   begin_work_segment();
 }
 
@@ -275,6 +310,9 @@ bool Machine::remove(workload::TaskId task_id) {
     RunningEntry run = *running_;
     running_.reset();
     engine_.cancel(run.pending_event);
+    if (io_channel_ && run.io_transfer != fault::kNoTransfer) {
+      io_channel_->cancel(run.io_transfer);
+    }
     // Partial execution still consumed energy/time; the same waste settlement
     // as a crash keeps useful+lost+overhead == machine wallclock for deadline
     // drops and replica cancels too.

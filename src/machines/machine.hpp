@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "fault/io_channel.hpp"
 #include "hetero/types.hpp"
 #include "mem/model_cache.hpp"
 #include "workload/task.hpp"
@@ -123,6 +124,15 @@ class Machine {
   /// run resumes instead of restarting from zero. Not owned; must outlive the
   /// machine's activity. Pass nullptr to disable (resubmit semantics).
   void set_checkpoint_spec(const CheckpointSpec* spec) noexcept { checkpoint_ = spec; }
+
+  /// Attaches the shared checkpoint-I/O channel. When set (alongside a
+  /// checkpoint spec), checkpoint writes and restart reads become bandwidth-
+  /// arbitrated transfers on the channel instead of fixed-cost events, so
+  /// their wallclock stretches with contention. The overhead charged to the
+  /// task is then the *elapsed* transfer time (including any cooperative
+  /// admission wait), keeping the waste invariant exact. Not owned; must
+  /// outlive the machine's activity. Pass nullptr to restore fixed costs.
+  void set_io_channel(fault::IoChannel* channel) noexcept { io_channel_ = channel; }
 
   /// Committed checkpoints in commit order, for visualization.
   [[nodiscard]] const std::vector<CheckpointMark>& checkpoint_marks() const noexcept {
@@ -270,6 +280,7 @@ class Machine {
     core::SimTime started_at = 0.0;
     core::SimTime finish_at = 0.0;  ///< projected completion incl. overheads
     core::EventId pending_event = 0;
+    fault::TransferId io_transfer = fault::kNoTransfer;  ///< in-flight channel transfer
   };
 
   void start_next();
@@ -280,6 +291,10 @@ class Machine {
   void on_completion();
   /// Projected wallclock for the whole run: restart + work + checkpoint writes.
   [[nodiscard]] double projected_run_seconds(const RunningEntry& run) const;
+  /// Per-write / per-restart wallclock estimate: the fixed cost, or the
+  /// channel's uncontended transfer time. Require a checkpoint spec.
+  [[nodiscard]] double checkpoint_write_estimate() const;
+  [[nodiscard]] double restart_read_estimate() const;
   /// Charges an interrupted run's waste (lost work, partial-phase overhead,
   /// machine wallclock) to the task record; returns the elapsed wallclock.
   double settle_aborted_run(const RunningEntry& run, core::SimTime now) const;
@@ -293,6 +308,7 @@ class Machine {
   MachineListener* listener_ = nullptr;
   mem::ModelCache* model_cache_ = nullptr;
   const CheckpointSpec* checkpoint_ = nullptr;
+  fault::IoChannel* io_channel_ = nullptr;
   std::vector<CheckpointMark> checkpoint_marks_;
 
   MachineState state_ = MachineState::kOnline;

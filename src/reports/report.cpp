@@ -108,6 +108,16 @@ std::vector<std::vector<std::string>> summary_report(const sched::Simulation& si
   rows.push_back({"cancelled_replica_seconds",
                   util::format_fixed(metrics.cancelled_replica_seconds, 2)});
   rows.push_back({"checkpoints_taken", std::to_string(metrics.checkpoints_taken)});
+  // Shared-channel rows only when the [io] channel is configured, so every
+  // pre-existing summary (and its golden expectations) is unchanged.
+  if (const fault::IoChannel* channel = simulation.io_channel()) {
+    rows.push_back({"io_bandwidth_bytes_per_s",
+                    util::format_fixed(channel->config().bandwidth, 2)});
+    rows.push_back({"io_strategy", fault::io_strategy_name(channel->config().strategy)});
+    rows.push_back({"io_writes_completed", std::to_string(channel->writes_completed())});
+    rows.push_back({"io_reads_completed", std::to_string(channel->reads_completed())});
+    rows.push_back({"io_peak_concurrent", std::to_string(channel->peak_concurrent())});
+  }
   rows.push_back({"replicas_cancelled", std::to_string(metrics.replicas_cancelled)});
   rows.push_back({"completion_percent", util::format_fixed(metrics.completion_percent, 2)});
   rows.push_back({"cancelled_percent", util::format_fixed(metrics.cancelled_percent, 2)});

@@ -96,6 +96,16 @@ Simulation::Simulation(std::shared_ptr<const SystemConfig> config,
       for (const auto& machine : machines_) {
         machine->set_checkpoint_spec(&*checkpoint_spec_);
       }
+      if (cfg().faults.io.enabled) {
+        // Finite shared bandwidth: checkpoint writes and restart reads become
+        // transfers on one channel, stretching with contention.
+        io_channel_ = std::make_unique<fault::IoChannel>(
+            engine_, cfg().faults.io, cfg().faults.recovery.checkpoint_cost,
+            cfg().faults.recovery.restart_cost);
+        for (const auto& machine : machines_) {
+          machine->set_io_channel(io_channel_.get());
+        }
+      }
     }
   }
 
@@ -133,6 +143,7 @@ void Simulation::init_tasks(const workload::Workload& workload) {
     task.type = def.type;
     task.arrival = def.arrival;
     task.deadline = def.deadline;
+    task.tenant = def.tenant;
     tasks_.push_back(std::move(task));
   }
   // One outcome per *submitted* task: replica clones never add to the total.
@@ -249,6 +260,7 @@ void Simulation::reset(std::unique_ptr<Policy> policy) {
   policy_name_ = policy_->name();
 
   engine_.reset();
+  if (io_channel_) io_channel_->reset();
   for (const auto& machine : machines_) machine->reset();
   for (std::size_t index : cfg().autoscaler.initially_offline) {
     machines_[index]->set_online(false, 0.0);

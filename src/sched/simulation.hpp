@@ -24,6 +24,7 @@
 
 #include "core/engine.hpp"
 #include "fault/fault_model.hpp"
+#include "fault/io_channel.hpp"
 #include "hetero/eet_matrix.hpp"
 #include "hetero/pet_matrix.hpp"
 #include "machines/machine.hpp"
@@ -232,6 +233,23 @@ class Simulation final : public machines::MachineListener {
     return config_->faults;
   }
 
+  /// The shared checkpoint-I/O channel, or nullptr when the run has no
+  /// bandwidth-arbitrated I/O ([io] unconfigured, or recovery != checkpoint).
+  [[nodiscard]] const fault::IoChannel* io_channel() const noexcept {
+    return io_channel_.get();
+  }
+
+  /// Tenant display names for multi-tenant runs; empty for single-tenant
+  /// workloads (every task carries tenant 0). Set by the experiment layer
+  /// right after construction; reports/viz use it to label the per-tenant
+  /// waste decomposition.
+  void set_tenant_names(std::vector<std::string> names) {
+    tenant_names_ = std::move(names);
+  }
+  [[nodiscard]] const std::vector<std::string>& tenant_names() const noexcept {
+    return tenant_names_;
+  }
+
   /// Executed work discarded by crashes/aborts, summed over all tasks (s).
   [[nodiscard]] double lost_work_seconds() const;
 
@@ -342,6 +360,10 @@ class Simulation final : public machines::MachineListener {
   // yields exactly one outcome — the first completion wins and cancels the
   // siblings, or the group fails once every member is terminal.
   std::optional<machines::CheckpointSpec> checkpoint_spec_;
+  /// Shared checkpoint-I/O channel (checkpoint strategy + [io] enabled only).
+  std::unique_ptr<fault::IoChannel> io_channel_;
+  /// Tenant roster for multi-tenant runs (empty when single-tenant).
+  std::vector<std::string> tenant_names_;
   struct ReplicaGroup {
     std::vector<std::size_t> members;  ///< indices into tasks_, primary first
     bool resolved = false;             ///< outcome already counted

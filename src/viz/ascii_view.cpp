@@ -84,6 +84,29 @@ std::string render_frame(const sched::Simulation& simulation,
         << "s ckpt=" << util::format_fixed(simulation.checkpoint_overhead_seconds(), 1)
         << "s replicas="
         << util::format_fixed(counters.cancelled_replica_seconds, 1) << "s\n";
+    if (const fault::IoChannel* channel = simulation.io_channel()) {
+      out << "  io: active=" << channel->active_count()
+          << " waiting=" << channel->waiting_count()
+          << " writes=" << channel->writes_completed()
+          << " reads=" << channel->reads_completed()
+          << " peak=" << channel->peak_concurrent() << "\n";
+    }
+  }
+  // Per-tenant waste lines only on multi-tenant runs, so single-tenant
+  // frames (and their golden expectations) are untouched.
+  if (simulation.tenant_names().size() > 1) {
+    std::vector<double> lost(simulation.tenant_names().size(), 0.0);
+    std::vector<double> ckpt(lost.size(), 0.0);
+    for (const workload::Task& task : simulation.tasks()) {
+      if (task.tenant >= lost.size()) continue;
+      lost[task.tenant] += task.lost_seconds;
+      ckpt[task.tenant] += task.checkpoint_overhead_seconds;
+    }
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+      out << "  " << simulation.tenant_names()[i]
+          << ": lost=" << util::format_fixed(lost[i], 1)
+          << "s ckpt=" << util::format_fixed(ckpt[i], 1) << "s\n";
+    }
   }
   return out.str();
 }

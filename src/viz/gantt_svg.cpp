@@ -103,8 +103,14 @@ std::string render_gantt_svg(const sched::Simulation& simulation,
         << (dropped_midrun ? "0.45" : (replica_cancelled ? "0.3" : "0.9")) << "\"";
     if (replica_cancelled) svg << " stroke=\"#888\" stroke-dasharray=\"4,2\"";
     svg << "><title>task " << task.id << " ("
-        << simulation.eet().task_type_name(task.type) << ") "
-        << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
+        << simulation.eet().task_type_name(task.type) << ") ";
+    // Tenant label only on multi-tenant runs, so single-tenant SVGs (and any
+    // golden expectations over them) stay byte-identical.
+    if (task.tenant < simulation.tenant_names().size() &&
+        simulation.tenant_names().size() > 1) {
+      svg << simulation.tenant_names()[task.tenant] << " ";
+    }
+    svg << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
         << (dropped_midrun ? " DROPPED" : "");
     if (replica_cancelled && task.replica_of) {
       svg << " replica of " << *task.replica_of << " REPLICA-CANCELLED";

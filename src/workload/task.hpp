@@ -60,6 +60,10 @@ struct TaskDef {
   hetero::TaskTypeId type = 0;
   core::SimTime arrival = 0.0;
   core::SimTime deadline = core::kTimeInfinity;
+  /// Owning tenant for multi-tenant runs (index into the experiment's tenant
+  /// roster); 0 for single-tenant workloads. Carried through to the task
+  /// record so waste decomposes per tenant.
+  std::uint32_t tenant = 0;
 };
 
 /// One task: identity, requirements and (mutable) execution record.
@@ -72,6 +76,7 @@ struct Task {
   hetero::TaskTypeId type = 0;
   core::SimTime arrival = 0.0;
   core::SimTime deadline = core::kTimeInfinity;
+  std::uint32_t tenant = 0;  ///< owning tenant (0 for single-tenant runs)
 
   // --- simulation record ---
   TaskStatus status = TaskStatus::kPending;

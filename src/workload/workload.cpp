@@ -31,7 +31,7 @@ std::vector<TaskDef> defs_of(const std::vector<Task>& tasks) {
   std::vector<TaskDef> defs;
   defs.reserve(tasks.size());
   for (const Task& task : tasks) {
-    defs.push_back(TaskDef{task.id, task.type, task.arrival, task.deadline});
+    defs.push_back(TaskDef{task.id, task.type, task.arrival, task.deadline, task.tenant});
   }
   return defs;
 }

@@ -260,6 +260,59 @@ TEST(Cli, RecoveryRunIsBitIdenticalUnderSeed) {
   EXPECT_EQ(first.output, second.output);
 }
 
+TEST(Cli, UnknownIoStrategySuggestsNearestMatch) {
+  const auto result = run_command(
+      "--eet " + data("eet_homogeneous.csv") +
+      " --generate low --policy FCFS --mtbf 50 --recovery checkpoint"
+      " --io-bandwidth 100 --io-strategy cooperativ");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown io strategy"), std::string::npos);
+  EXPECT_NE(result.output.find("did you mean 'cooperative'"), std::string::npos);
+  // The full roster rides along so the user can pick without the docs.
+  EXPECT_NE(result.output.find("selfish | cooperative"), std::string::npos);
+}
+
+TEST(Cli, IoFlagsWithoutFaultSourceRejected) {
+  const auto result =
+      run_command("--eet " + data("eet_homogeneous.csv") +
+                  " --generate low --policy FCFS --io-bandwidth 100");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--mtbf or --fault-trace"), std::string::npos);
+}
+
+TEST(Cli, IoFlagsWithoutBandwidthRejected) {
+  const auto result = run_command(
+      "--eet " + data("eet_homogeneous.csv") +
+      " --generate low --policy FCFS --mtbf 50 --recovery checkpoint"
+      " --io-strategy cooperative");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--io-bandwidth"), std::string::npos);
+}
+
+TEST(Cli, MultiTenantRunPrintsPerTenantWaste) {
+  const auto result = run_command(
+      "--eet " + data("eet_heterogeneous.csv") +
+      " --generate medium --seed 5 --policy MECT --mtbf 40 --mttr 5"
+      " --fault-seed 7 --recovery checkpoint --io-bandwidth 100"
+      " --io-strategy cooperative --tenants 3 --tenant-report -");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("io channel: bandwidth=100"), std::string::npos);
+  EXPECT_NE(result.output.find("3 tenants"), std::string::npos);
+  EXPECT_NE(result.output.find("tenant0:"), std::string::npos);
+  EXPECT_NE(result.output.find("tenant2:"), std::string::npos);
+  // Tenant Report CSV header and one row per tenant.
+  EXPECT_NE(result.output.find("tenant,tasks,completed,useful_s"), std::string::npos);
+  EXPECT_NE(result.output.find("tenant1,"), std::string::npos);
+}
+
+TEST(Cli, TenantsWithoutGenerateRejected) {
+  const auto result = run_command("--eet " + data("eet_heterogeneous.csv") +
+                                  " --workload " + data("workload_low.csv") +
+                                  " --policy FCFS --tenants 2");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--tenants needs --generate"), std::string::npos);
+}
+
 TEST(ExperimentCli, HelpAndMissingConfig) {
   EXPECT_EQ(run_experiment("--help").exit_code, 0);
   // No config at all is invalid input (2), not an internal error (1).

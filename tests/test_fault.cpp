@@ -262,6 +262,97 @@ TEST(FaultConfigValidation, AutoCheckpointIntervalNeedsStochasticMtbf) {
   config.validate(2);
 }
 
+TEST(FaultConfigValidation, TraceRejectsNegativeFailTime) {
+  FaultConfig config = trace_faults({{0, -1.0, 2.0}});
+  try {
+    config.validate(2);
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("fail_time must be >= 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace entry #0"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultConfigValidation, TraceRejectsRepairAtOrBeforeFail) {
+  EXPECT_THROW(trace_faults({{0, 5.0, 5.0}}).validate(2), InputError);
+  EXPECT_THROW(trace_faults({{0, 5.0, 4.0}}).validate(2), InputError);
+  trace_faults({{0, 5.0, 5.5}}).validate(2);
+}
+
+TEST(FaultConfigValidation, TraceRejectsOverlappingSpansOnOneMachine) {
+  // Machine 0's second span starts while the first is still down; the
+  // injector would silently skip it, so validate rejects the trace.
+  FaultConfig config = trace_faults({{0, 1.0, 10.0}, {1, 2.0, 3.0}, {0, 4.0, 12.0}});
+  try {
+    config.validate(2);
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("overlapping spans on machine 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace entry #2"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultConfigValidation, TraceAllowsBackToBackSpans) {
+  // fail == previous repair is fine: the machine crashes again the instant
+  // it comes back. Spans on different machines never conflict.
+  trace_faults({{0, 1.0, 2.0}, {0, 2.0, 3.0}, {1, 1.5, 2.5}}).validate(2);
+}
+
+TEST(FaultConfigValidation, TraceErrorsCarryCsvLineLocators) {
+  // Entries loaded from CSV report the defining file line, not an index.
+  FaultConfig config = trace_faults(e2c::fault::fault_trace_from_csv_text(
+      "machine,fail_time,repair_time\n0,1,10\n0,4,12\n"));
+  try {
+    config.validate(2);
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultConfigValidation, IoChannelNeedsCheckpointStrategy) {
+  FaultConfig config;
+  config.enabled = true;
+  config.io.enabled = true;
+  config.io.bandwidth = 100.0;
+  EXPECT_THROW(config.validate(2), InputError);  // strategy is resubmit
+  config.recovery.strategy = e2c::fault::RecoveryStrategy::kCheckpoint;
+  config.validate(2);
+  config.io.bandwidth = 0.0;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.io.bandwidth = 100.0;
+  // Zero-cost checkpoints with no explicit byte size would make every write
+  // a zero-byte transfer.
+  config.recovery.checkpoint_cost = 0.0;
+  config.recovery.checkpoint_interval = 5.0;
+  EXPECT_THROW(config.validate(2), InputError);
+  config.io.checkpoint_bytes = 64.0;
+  config.validate(2);
+  config.io.strategy = e2c::fault::IoStrategy::kCooperative;
+  config.io.max_writers = 0;
+  EXPECT_THROW(config.validate(2), InputError);
+}
+
+TEST(IoStrategyParse, NamesRoundTripAndTyposGetSuggestions) {
+  using e2c::fault::IoStrategy;
+  using e2c::fault::parse_io_strategy;
+  EXPECT_EQ(parse_io_strategy("selfish"), IoStrategy::kSelfish);
+  EXPECT_EQ(parse_io_strategy("COOPERATIVE"), IoStrategy::kCooperative);
+  EXPECT_STREQ(e2c::fault::io_strategy_name(IoStrategy::kSelfish), "selfish");
+  EXPECT_STREQ(e2c::fault::io_strategy_name(IoStrategy::kCooperative), "cooperative");
+  try {
+    (void)parse_io_strategy("cooperativ");
+    FAIL() << "expected InputError";
+  } catch (const InputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("did you mean 'cooperative'"), std::string::npos) << what;
+    EXPECT_NE(what.find("selfish | cooperative"), std::string::npos) << what;
+  }
+}
+
 TEST(RecoveryStrategyParse, NamesRoundTripAndTyposGetSuggestions) {
   using e2c::fault::parse_recovery_strategy;
   using e2c::fault::RecoveryStrategy;

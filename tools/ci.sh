@@ -15,8 +15,10 @@
 # the gate is meaningful on any runner; absolute rounds/s are never compared.
 #
 # The tsan suite runs only the threaded tests (thread pool and the parallel
-# substrate-combo sweep) — the rest of the suite is single-threaded by design
-# and would only slow the job down.
+# substrate-combo sweep) plus the I/O-contention suite, whose event
+# re-stamping is the kind of shared-state churn tsan instruments well — the
+# rest of the suite is single-threaded by design and would only slow the job
+# down.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -108,6 +110,40 @@ run_bench_smoke() {
     exit 1
   }
   echo "experiment data plane: speedup ${fresh}x (baseline ${base}x) ok"
+
+  local waste_out="${dir}/BENCH_recovery_waste.json"
+  local waste_baseline="${ROOT}/BENCH_recovery_waste.json"
+  echo "=== bench: build recovery waste ==="
+  cmake --build "${dir}" --target bench_recovery_waste -j "${JOBS}"
+  echo "=== bench: run recovery waste + interference sweep ==="
+  "${dir}/bench/bench_recovery_waste" --out "${waste_out}"
+  echo "=== bench: validate recovery-waste JSON keys ==="
+  for key in bench interference cells waste_ratios tenants bandwidth strategy \
+             lost_s overhead_s waste_s waste_ratio; do
+    grep -q "\"${key}\"" "${waste_out}" || {
+      echo "bench smoke: key '${key}' missing from ${waste_out}" >&2
+      exit 1
+    }
+  done
+  echo "=== bench: cooperative/selfish waste-ratio regression gate ==="
+  # waste_ratio = selfish waste / cooperative waste at the saturating corner
+  # (tenants=4, bandwidth=2). Both runs happen on this host within one
+  # deterministic simulation, so the ratio is machine-independent; a fresh
+  # run must stay within 70% of the committed baseline.
+  waste_ratio_of() {  # file tenants bandwidth
+    sed -n "s/.*{\"tenants\": $2, \"bandwidth\": $3, \"waste_ratio\": \([0-9.eE+-]*\)}.*/\1/p" "$1"
+  }
+  fresh="$(waste_ratio_of "${waste_out}" 4 2.0)"
+  base="$(waste_ratio_of "${waste_baseline}" 4 2.0)"
+  if [ -z "${fresh}" ] || [ -z "${base}" ]; then
+    echo "bench smoke: missing tenants=4 bandwidth=2.0 waste_ratio (fresh='${fresh}' baseline='${base}')" >&2
+    exit 1
+  fi
+  awk -v fresh="${fresh}" -v base="${base}" 'BEGIN { exit !(fresh >= 0.7 * base) }' || {
+    echo "bench smoke: cooperative waste advantage regressed: ${fresh} vs baseline ${base} (floor 70%)" >&2
+    exit 1
+  }
+  echo "io interference: waste_ratio ${fresh} (baseline ${base}) ok"
   echo "bench smoke passed"
 }
 
@@ -142,7 +178,7 @@ for suite in "${suites[@]}"; do
   case "${suite}" in
     asan)  run_suite asan address ;;
     ubsan) run_suite ubsan undefined ;;
-    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane' ;;
+    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention' ;;
     bench) run_bench_smoke ;;
     *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench)" >&2; exit 2 ;;
   esac
