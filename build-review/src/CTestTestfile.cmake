@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("fault")
+subdirs("hetero")
+subdirs("workload")
+subdirs("mem")
+subdirs("machines")
+subdirs("net")
+subdirs("sched")
+subdirs("reports")
+subdirs("viz")
+subdirs("exp")
+subdirs("edu")
+subdirs("cli")
