@@ -7,9 +7,17 @@
 /// grouped bar chart and the result CSV to stdout, and writes any outputs
 /// ([output] csv / chart_svg) the file requests. See exp/spec_io.hpp for the
 /// config grammar.
+///
+/// `--backend procs` runs the sweep on crash-isolated worker processes with
+/// per-cell timeouts, retry, a resumable journal (`--journal` / `--resume`)
+/// and SIGINT/SIGTERM graceful drain — see exp/process_pool.hpp.
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +34,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> positional;
     std::string sched_impl = "fast";
     bool progress = false;
+    exp::RunOptions options;
+    bool timeout_given = false;
+    bool retries_given = false;
+    const auto flag_value = [&](int& i, const std::string& flag) {
+      require_input(i + 1 < argc, "missing value for " + flag);
+      return std::string(argv[++i]);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help") {
@@ -33,61 +48,128 @@ int main(int argc, char** argv) {
         break;
       }
       if (arg == "--sched-impl") {
-        require_input(i + 1 < argc, "missing value for --sched-impl");
-        sched_impl = argv[++i];
+        sched_impl = flag_value(i, arg);
       } else if (arg == "--progress") {
         progress = true;
+      } else if (arg == "--backend") {
+        options.backend = exp::parse_backend(flag_value(i, arg));
+      } else if (arg == "--cell-timeout") {
+        const std::string value = flag_value(i, arg);
+        const auto seconds = util::parse_double(value);
+        require_input(seconds.has_value() && *seconds > 0.0,
+                      "--cell-timeout must be a number of seconds > 0, got '" +
+                          value + "' (--cell-timeout)");
+        options.cell_timeout = *seconds;
+        timeout_given = true;
+      } else if (arg == "--max-retries") {
+        const std::string value = flag_value(i, arg);
+        const auto count = util::parse_int(value);
+        require_input(count.has_value() && *count > 0,
+                      "--max-retries must be an integer > 0, got '" + value +
+                          "' (--max-retries)");
+        options.max_retries = static_cast<std::size_t>(*count);
+        retries_given = true;
+      } else if (arg == "--journal") {
+        options.journal_path = flag_value(i, arg);
+      } else if (arg == "--resume") {
+        options.resume = true;
       } else {
         positional.push_back(arg);
       }
     }
     if (positional.empty()) {
-      std::cout << "usage: e2c_experiment CONFIG.ini [workers] [--sched-impl fast|reference]"
-                   " [--progress]\n"
-                   "Runs the experiment sweep described by CONFIG.ini.\n"
-                   "  --progress   print a per-cell progress line to stderr\n"
-                   "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
-                   "3 I/O error.\n";
+      std::cout
+          << "usage: e2c_experiment CONFIG.ini [workers] [--sched-impl fast|reference]\n"
+             "         [--backend threads|procs] [--cell-timeout S] [--max-retries N]\n"
+             "         [--journal PATH] [--resume] [--progress]\n"
+             "Runs the experiment sweep described by CONFIG.ini.\n"
+             "  --backend procs   crash-isolated worker processes: per-cell timeouts,\n"
+             "                    crash retry, graceful degradation (status column)\n"
+             "  --cell-timeout S  SIGKILL + requeue a cell after S seconds (procs)\n"
+             "  --max-retries N   requeues per cell before it is recorded failed (procs)\n"
+             "  --journal PATH    append-only fsync'd per-cell journal\n"
+             "  --resume          skip cells the journal already records as completed\n"
+             "  --progress        print a per-cell progress line to stderr\n"
+             "Exit codes: 0 success, 1 internal error, 2 invalid input,\n"
+             "3 I/O error.\n";
       return argc < 2 ? 2 : 0;
     }
+    // Supervision knobs only mean something on the process backend; reject
+    // silently-ignored flags the same way e2c_run rejects recovery flags
+    // without a fault source.
+    if (options.backend != exp::Backend::kProcs) {
+      require_input(!timeout_given,
+                    "--cell-timeout needs --backend procs (the threads backend "
+                    "cannot interrupt a cell)");
+      require_input(!retries_given,
+                    "--max-retries needs --backend procs (the threads backend "
+                    "cannot retry a crashed cell)");
+    }
+    require_input(!options.resume || !options.journal_path.empty(),
+                  "--resume needs --journal PATH (the journal holds the completed "
+                  "cells to skip)");
     // Validated (exit 2 on an unknown name) and installed before the sweep
     // constructs any policy; workers read it concurrently but only after this
     // single startup write.
     sched::set_default_sched_impl(sched::parse_sched_impl(sched_impl));
-    std::size_t workers = 0;
     if (positional.size() > 1) {
       // std::stoul would accept "-1" (wrapping to SIZE_MAX workers) and exit
       // 1 on junk; validate like e2c_run's numeric options instead.
       const auto value = util::parse_int(positional[1]);
       require_input(value.has_value() && *value >= 0,
                     "workers must be an integer >= 0");
-      workers = static_cast<std::size_t>(*value);
+      options.workers = static_cast<std::size_t>(*value);
     }
     const util::IniFile ini = util::IniFile::load(positional[0]);
     const auto outputs = exp::outputs_from_ini(ini);
-    exp::ProgressFn on_progress;
     const auto started = std::chrono::steady_clock::now();
     if (progress) {
-      // stderr so piping/redirecting the report (stdout) stays clean.
-      on_progress = [started](std::size_t done, std::size_t total,
-                              const exp::CellResult& cell) {
+      // stderr so piping/redirecting the report (stdout) stays clean. The
+      // line is built first and emitted as ONE write() behind a mutex, so
+      // per-cell lines from concurrent workers never interleave.
+      options.progress = [started](std::size_t done, std::size_t total,
+                                   const exp::CellResult& cell) {
+        static std::mutex progress_mutex;
         const double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
                 .count();
         const double reps = static_cast<double>(done) *
                             static_cast<double>(cell.runs.size());
-        std::fprintf(stderr,
-                     "[e2c_experiment] cell %zu/%zu (%s/%s) done  elapsed %.1fs  %.1f reps/s\n",
-                     done, total, cell.policy.c_str(),
-                     workload::intensity_name(cell.intensity), elapsed,
-                     elapsed > 0.0 ? reps / elapsed : 0.0);
+        char line[256];
+        const int length = std::snprintf(
+            line, sizeof line,
+            "[e2c_experiment] cell %zu/%zu (%s/%s) %s  elapsed %.1fs  %.1f reps/s\n",
+            done, total, cell.policy.c_str(),
+            workload::intensity_name(cell.intensity),
+            exp::cell_status_name(cell.status), elapsed,
+            elapsed > 0.0 ? reps / elapsed : 0.0);
+        if (length > 0) {
+          const std::scoped_lock lock(progress_mutex);
+          (void)!::write(STDERR_FILENO, line,
+                         std::min(static_cast<std::size_t>(length), sizeof line));
+        }
       };
     }
-    const auto result = exp::run_experiment_file(ini, workers, on_progress);
+    options.drain_on_signals = options.backend == exp::Backend::kProcs;
+    const auto result = exp::run_experiment_file(ini, options);
 
-    std::cout << viz::render_bar_chart(exp::completion_chart(result, outputs.title))
-              << "\n"
-              << util::to_csv(exp::result_csv(result));
+    // A drained sweep has holes, and completion_chart requires every cell;
+    // print what completed plus the health line so the run is still useful.
+    if (!result.health.drained) {
+      std::cout << viz::render_bar_chart(exp::completion_chart(result, outputs.title))
+                << "\n";
+    }
+    std::cout << util::to_csv(exp::result_csv(result));
+    const auto& health = result.health;
+    std::cout << "sweep: " << result.cells.size() << "/"
+              << result.spec.policies.size() * result.spec.intensities.size()
+              << " cells (" << health.completed_cells << " completed, "
+              << health.failed_cells << " failed, " << health.retries
+              << " retries, " << health.resumed_cells << " resumed)\n";
+    if (health.drained) {
+      std::cout << "sweep drained after signal: in-flight cells finished, journal "
+                   "flushed; re-run with --resume to continue\n";
+    }
     if (outputs.csv_path) std::cout << "wrote " << *outputs.csv_path << "\n";
     if (outputs.chart_svg_path) std::cout << "wrote " << *outputs.chart_svg_path << "\n";
     return 0;

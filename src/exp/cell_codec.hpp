@@ -1,0 +1,26 @@
+/// \file cell_codec.hpp
+/// \brief Binary serialization of CellResult for pipes and the sweep journal.
+///
+/// Worker processes ship each finished cell to the supervising parent as one
+/// frame, and the journal persists the identical payload (hex-armored) so a
+/// resumed sweep restores bit-exact metrics — every double travels as its
+/// raw 8 bytes, never through a decimal print, which is what keeps resumed
+/// and uninterrupted runs byte-identical in the result CSV.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "exp/experiment.hpp"
+
+namespace e2c::exp {
+
+/// Encodes a cell (policy, intensity, status, attempts, every Metrics field
+/// of every replication) into a self-contained byte payload.
+[[nodiscard]] std::string encode_cell(const CellResult& cell);
+
+/// Inverse of encode_cell. Throws e2c::InputError on a truncated, overlong,
+/// or wrong-version payload.
+[[nodiscard]] CellResult decode_cell(std::string_view payload);
+
+}  // namespace e2c::exp

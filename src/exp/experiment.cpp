@@ -1,16 +1,41 @@
 #include "exp/experiment.hpp"
 
+#include <cstring>
 #include <future>
+#include <map>
 #include <memory>
+#include <optional>
 
+#include "exp/journal.hpp"
+#include "exp/process_pool.hpp"
 #include "exp/scenario.hpp"
 #include "sched/registry.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 
 namespace e2c::exp {
+
+const char* cell_status_name(CellStatus status) noexcept {
+  return status == CellStatus::kOk ? "ok" : "failed";
+}
+
+const char* backend_name(Backend backend) noexcept {
+  return backend == Backend::kThreads ? "threads" : "procs";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (util::iequals(name, "threads")) return Backend::kThreads;
+  if (util::iequals(name, "procs")) return Backend::kProcs;
+  std::string message = "unknown experiment backend: '" + name + "'";
+  if (const auto suggestion = util::nearest_match(name, {"threads", "procs"})) {
+    message += " — did you mean '" + *suggestion + "'?";
+  }
+  message += " (valid: threads | procs)";
+  throw InputError(message);
+}
 
 double CellResult::mean_of(double (*field)(const reports::Metrics&)) const {
   if (runs.empty()) return 0.0;
@@ -111,10 +136,7 @@ CellResult run_cell_shared(
   return cell;
 }
 
-}  // namespace
-
-ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
-                                DataPlane plane, const ProgressFn& progress) {
+void validate_spec(const ExperimentSpec& spec) {
   require_input(!spec.policies.empty(), "experiment: no policies");
   require_input(!spec.intensities.empty(), "experiment: no intensities");
   require_input(spec.replications > 0, "experiment: replications must be > 0");
@@ -122,14 +144,59 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
     require_input(sched::PolicyRegistry::instance().contains(policy),
                   "experiment: unknown policy '" + policy + "'");
   }
+}
 
+void fnv1a(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xFF;
+    hash *= 0x100000001B3ULL;
+  }
+}
+
+void fnv1a_str(std::uint64_t& hash, const std::string& text) noexcept {
+  fnv1a(hash, text.size());
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+}
+
+std::uint64_t double_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+/// Runs the sweep on the in-process thread pool, skipping cells already in
+/// \p resumed and journaling each freshly computed cell.
+ExperimentResult run_experiment_threads(const ExperimentSpec& spec,
+                                        const RunOptions& options,
+                                        std::map<std::size_t, CellResult> resumed,
+                                        SweepJournal* journal) {
   ExperimentResult result;
   result.spec = spec;
+  result.health.resumed_cells = resumed.size();
   const std::size_t cells_total = spec.policies.size() * spec.intensities.size();
+  const std::size_t fresh_total = cells_total - resumed.size();
 
-  util::ThreadPool pool(workers);
+  std::size_t fresh_done = 0;
+  const auto record = [&](std::size_t slot, CellResult cell, bool fresh) {
+    if (cell.status == CellStatus::kOk) {
+      ++result.health.completed_cells;
+    } else {
+      ++result.health.failed_cells;
+    }
+    if (fresh && journal != nullptr) journal->append(slot, cell);
+    result.cells.push_back(std::move(cell));
+    if (fresh && options.progress) {
+      options.progress(++fresh_done, fresh_total, result.cells.back());
+    }
+  };
 
-  if (plane == DataPlane::kShared) {
+  util::ThreadPool pool(options.workers);
+
+  if (options.plane == DataPlane::kShared) {
     // Build the immutable inputs once: one SystemConfig for every
     // Simulation, one trace per (intensity, replication) for every policy.
     const auto system = std::make_shared<const sched::SystemConfig>(spec.system);
@@ -147,20 +214,24 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
       traces.push_back(std::move(per_rep));
     }
 
-    std::vector<std::future<CellResult>> futures;
-    futures.reserve(cells_total);
+    std::vector<std::optional<std::future<CellResult>>> futures(cells_total);
+    std::size_t slot = 0;
     for (const std::string& policy : spec.policies) {
-      for (std::size_t i = 0; i < spec.intensities.size(); ++i) {
+      for (std::size_t i = 0; i < spec.intensities.size(); ++i, ++slot) {
+        if (resumed.count(slot) != 0) continue;
         const workload::Intensity intensity = spec.intensities[i];
-        futures.push_back(pool.submit([system, policy, intensity, &traces, i] {
+        futures[slot] = pool.submit([system, policy, intensity, &traces, i] {
           return run_cell_shared(system, policy, intensity, traces[i]);
-        }));
+        });
       }
     }
-    result.cells.reserve(futures.size());
-    for (auto& future : futures) {
-      result.cells.push_back(future.get());
-      if (progress) progress(result.cells.size(), cells_total, result.cells.back());
+    result.cells.reserve(cells_total);
+    for (slot = 0; slot < cells_total; ++slot) {
+      if (auto found = resumed.find(slot); found != resumed.end()) {
+        record(slot, std::move(found->second), /*fresh=*/false);
+      } else {
+        record(slot, futures[slot]->get(), /*fresh=*/true);
+      }
     }
     return result;
   }
@@ -169,11 +240,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
     CellResult cell;
     std::vector<std::future<reports::Metrics>> futures;
   };
-  std::vector<PendingCell> pending;
-  pending.reserve(cells_total);
+  std::vector<std::optional<PendingCell>> pending(cells_total);
 
+  std::size_t slot = 0;
   for (const std::string& policy : spec.policies) {
     for (workload::Intensity intensity : spec.intensities) {
+      if (resumed.count(slot) != 0) {
+        ++slot;
+        continue;
+      }
       PendingCell cell;
       cell.cell.policy = policy;
       cell.cell.intensity = intensity;
@@ -182,18 +257,121 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
           return run_single(spec, policy, intensity, rep);
         }));
       }
-      pending.push_back(std::move(cell));
+      pending[slot++] = std::move(cell);
     }
   }
 
-  result.cells.reserve(pending.size());
-  for (PendingCell& cell : pending) {
+  result.cells.reserve(cells_total);
+  for (slot = 0; slot < cells_total; ++slot) {
+    if (auto found = resumed.find(slot); found != resumed.end()) {
+      record(slot, std::move(found->second), /*fresh=*/false);
+      continue;
+    }
+    PendingCell& cell = *pending[slot];
     cell.cell.runs.reserve(cell.futures.size());
     for (auto& future : cell.futures) cell.cell.runs.push_back(future.get());
-    result.cells.push_back(std::move(cell.cell));
-    if (progress) progress(result.cells.size(), cells_total, result.cells.back());
+    record(slot, std::move(cell.cell), /*fresh=*/true);
   }
   return result;
+}
+
+}  // namespace
+
+std::uint64_t spec_digest(const ExperimentSpec& spec) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  fnv1a(hash, spec.policies.size());
+  for (const std::string& policy : spec.policies) fnv1a_str(hash, policy);
+  fnv1a(hash, spec.intensities.size());
+  for (const workload::Intensity intensity : spec.intensities) {
+    fnv1a(hash, static_cast<std::uint64_t>(intensity));
+  }
+  fnv1a(hash, spec.replications);
+  fnv1a(hash, double_bits(spec.duration));
+  fnv1a(hash, spec.base_seed);
+  fnv1a(hash, static_cast<std::uint64_t>(spec.arrival));
+  fnv1a(hash, double_bits(spec.deadline_factor_lo));
+  fnv1a(hash, double_bits(spec.deadline_factor_hi));
+  // System shape and the fault/recovery knobs that change results; not a
+  // full config fingerprint, but enough to reject resuming a different
+  // sweep by accident.
+  fnv1a(hash, spec.system.machines.size());
+  fnv1a(hash, spec.system.machine_queue_capacity);
+  fnv1a(hash, spec.system.faults.enabled ? 1 : 0);
+  if (spec.system.faults.enabled) {
+    fnv1a(hash, double_bits(spec.system.faults.mtbf));
+    fnv1a(hash, double_bits(spec.system.faults.mttr));
+    fnv1a(hash, spec.system.faults.seed);
+  }
+  return hash;
+}
+
+namespace detail {
+
+CellResult compute_cell(const ExperimentSpec& spec, const std::string& policy,
+                        workload::Intensity intensity) {
+  const auto system = std::make_shared<const sched::SystemConfig>(spec.system);
+  const auto machine_types = machine_types_of(spec.system);
+  std::vector<std::shared_ptr<const workload::Workload>> traces;
+  traces.reserve(spec.replications);
+  for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+    traces.push_back(std::make_shared<const workload::Workload>(
+        workload::generate_workload(spec.system.eet,
+                                    generator_for(spec, machine_types, intensity, rep))));
+  }
+  return run_cell_shared(system, policy, intensity, traces);
+}
+
+}  // namespace detail
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  validate_spec(spec);
+  require_input(options.cell_timeout >= 0.0, "experiment: cell_timeout must be >= 0");
+  require_input(!options.resume || !options.journal_path.empty(),
+                "experiment: resume needs a journal path");
+
+  const std::size_t cells_total = spec.policies.size() * spec.intensities.size();
+  const std::uint64_t digest = spec_digest(spec);
+
+  std::map<std::size_t, CellResult> resumed;
+  std::optional<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      JournalContents contents = read_journal(options.journal_path);
+      require_input(contents.digest == digest,
+                    "experiment: journal '" + options.journal_path +
+                        "' records a different sweep (spec digest mismatch); "
+                        "refusing to merge its results");
+      require_input(contents.cells_total == cells_total,
+                    "experiment: journal '" + options.journal_path +
+                        "' records a different cell count");
+      for (auto& [slot, cell] : contents.cells) {
+        // Failed cells get another chance on resume; only completed cells
+        // are skipped.
+        if (cell.status == CellStatus::kOk && slot < cells_total) {
+          resumed.emplace(slot, std::move(cell));
+        }
+      }
+      journal.emplace(SweepJournal::append_to(options.journal_path, digest, cells_total));
+    } else {
+      journal.emplace(SweepJournal::create(options.journal_path, digest, cells_total));
+    }
+  }
+
+  if (options.backend == Backend::kProcs) {
+    return run_experiment_procs(spec, options, std::move(resumed),
+                                journal ? &*journal : nullptr);
+  }
+  return run_experiment_threads(spec, options, std::move(resumed),
+                                journal ? &*journal : nullptr);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, std::size_t workers,
+                                DataPlane plane, const ProgressFn& progress) {
+  RunOptions options;
+  options.workers = workers;
+  options.plane = plane;
+  options.progress = progress;
+  return run_experiment(spec, options);
 }
 
 viz::BarChart completion_chart(const ExperimentResult& result, std::string title) {
@@ -217,14 +395,15 @@ std::vector<std::vector<std::string>> result_csv(const ExperimentResult& result)
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"policy", "intensity", "completion_percent_mean",
                   "completion_percent_ci95", "energy_joules_mean", "type_fairness_mean",
-                  "replications"});
+                  "replications", "status"});
   for (const CellResult& cell : result.cells) {
     rows.push_back({cell.policy, workload::intensity_name(cell.intensity),
                     util::format_fixed(cell.mean_completion_percent(), 2),
                     util::format_fixed(cell.ci95_completion_percent(), 2),
                     util::format_fixed(cell.mean_energy_joules(), 1),
                     util::format_fixed(cell.mean_type_fairness(), 4),
-                    std::to_string(cell.runs.size())});
+                    std::to_string(cell.runs.size()),
+                    cell_status_name(cell.status)});
   }
   return rows;
 }

@@ -34,11 +34,24 @@ struct ExperimentSpec {
   double deadline_factor_hi = 4.0;
 };
 
+/// Terminal state of one sweep cell. A cell is `failed` only on the process
+/// backend, after its worker crashed or timed out more than `max_retries`
+/// times — the sweep then degrades gracefully: the cell is recorded with
+/// empty runs and the rest of the sweep completes.
+enum class CellStatus { kOk, kFailed };
+
+/// Display name ("ok" / "failed") — the `status` column of the result CSV.
+[[nodiscard]] const char* cell_status_name(CellStatus status) noexcept;
+
 /// Results of one (policy, intensity) cell across replications.
 struct CellResult {
   std::string policy;
   workload::Intensity intensity = workload::Intensity::kLow;
   std::vector<reports::Metrics> runs;  ///< one Metrics per replication
+  CellStatus status = CellStatus::kOk;
+  /// Dispatch attempts this cell consumed (1 on a clean first run; the
+  /// process backend increments it per crash/timeout requeue).
+  std::uint32_t attempts = 1;
 
   /// Mean across replications of a metric extracted by \p field.
   [[nodiscard]] double mean_of(double (*field)(const reports::Metrics&)) const;
@@ -56,10 +69,23 @@ struct CellResult {
   [[nodiscard]] double mean_type_fairness() const;
 };
 
+/// Supervision counters of a finished (or drained) sweep — how many cells
+/// completed, how many were given up on, and how much retrying it took.
+struct SweepHealth {
+  std::size_t completed_cells = 0;  ///< cells with CellStatus::kOk
+  std::size_t failed_cells = 0;     ///< cells recorded failed after max_retries
+  std::size_t retries = 0;          ///< total crash/timeout re-dispatches
+  std::size_t resumed_cells = 0;    ///< taken from the journal, not recomputed
+  /// True when SIGINT/SIGTERM cut the sweep short: in-flight cells were
+  /// finished and journaled, undispatched cells are absent from `cells`.
+  bool drained = false;
+};
+
 /// All cells of a sweep, in (policy-major, intensity-minor) order.
 struct ExperimentResult {
   ExperimentSpec spec;
   std::vector<CellResult> cells;
+  SweepHealth health;
 
   /// The cell for (policy, intensity); throws e2c::InputError if absent.
   [[nodiscard]] const CellResult& cell(const std::string& policy,
@@ -87,9 +113,65 @@ enum class DataPlane {
 
 /// Invoked after each (policy, intensity) cell finishes, from the thread
 /// collecting results (never concurrently): cells done so far, total cells,
-/// and the cell just completed.
+/// and the cell just completed. On the threads backend cells report in
+/// (policy-major, intensity-minor) order; on the process backend they report
+/// in completion order. Cells restored from a resume journal do not fire.
 using ProgressFn = std::function<void(
     std::size_t cells_done, std::size_t cells_total, const CellResult& cell)>;
+
+/// Execution backend of the sweep.
+enum class Backend {
+  /// In-process thread pool (the PR-5 data plane). Fastest setup; one
+  /// wedged or crashing cell takes the whole invocation down.
+  kThreads,
+  /// One worker OS process per slot, cells sharded over a work queue,
+  /// results serialized back over pipes. The parent supervises: per-cell
+  /// wall-clock timeouts, crash detection, retry with backoff, graceful
+  /// degradation to CellStatus::kFailed. Fault-free sweeps produce
+  /// byte-identical result CSVs to kThreads.
+  kProcs,
+};
+
+/// Display name ("threads" / "procs").
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Parses a backend name; throws e2c::InputError listing the registered
+/// roster with a nearest-match suggestion (the --policy/--recovery
+/// convention).
+[[nodiscard]] Backend parse_backend(const std::string& name);
+
+/// Everything run_experiment needs beyond the spec. The defaults reproduce
+/// the plain threads sweep.
+struct RunOptions {
+  std::size_t workers = 0;              ///< 0 = hardware concurrency
+  DataPlane plane = DataPlane::kShared; ///< threads backend only
+  Backend backend = Backend::kThreads;
+  /// Process backend: wall-clock budget (s) per cell attempt; the worker is
+  /// SIGKILL'd and the cell requeued when exceeded. 0 disables the timeout.
+  double cell_timeout = 0.0;
+  /// Process backend: crash/timeout re-dispatches per cell before it is
+  /// recorded as failed and the sweep moves on.
+  std::size_t max_retries = 2;
+  double backoff_base = 0.05;   ///< delay (s) before the first requeue
+  double backoff_factor = 2.0;  ///< multiplier per further requeue
+  double max_backoff = 1.0;     ///< ceiling (s) for any single backoff
+  /// Crash-safe sweep journal: append-only per-cell records, fsync'd after
+  /// each cell. Empty disables journaling.
+  std::string journal_path;
+  /// Skip cells already recorded ok in the journal (which must exist and
+  /// match this spec's digest); their results merge into the output.
+  bool resume = false;
+  /// Process backend: install SIGINT/SIGTERM handlers that drain the sweep
+  /// (finish in-flight cells, flush the journal, return partial results)
+  /// instead of killing the invocation. CLI-facing; library callers that
+  /// own their signal handling leave this off.
+  bool drain_on_signals = false;
+  ProgressFn progress;
+};
+
+/// Runs the sweep with full supervision options.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                              const RunOptions& options);
 
 /// Runs the sweep. \p workers selects thread-pool size (0 = hardware
 /// concurrency). No mutable state is shared across threads: under kShared
@@ -100,6 +182,22 @@ using ProgressFn = std::function<void(
                                               std::size_t workers = 0,
                                               DataPlane plane = DataPlane::kShared,
                                               const ProgressFn& progress = {});
+
+/// Stable digest of the sweep-shaping fields of a spec (policies,
+/// intensities, replications, duration, seed, arrival, deadline factors,
+/// machine count). The journal header records it so `--resume` refuses to
+/// merge results produced by a different sweep.
+[[nodiscard]] std::uint64_t spec_digest(const ExperimentSpec& spec) noexcept;
+
+namespace detail {
+/// Computes one (policy, intensity) cell from scratch: regenerates the
+/// paired traces (a pure function of the spec) and runs every replication
+/// on one reused Simulation — the shared-plane semantics, so results are
+/// byte-identical to the threads backend. Worker processes call this.
+[[nodiscard]] CellResult compute_cell(const ExperimentSpec& spec,
+                                      const std::string& policy,
+                                      workload::Intensity intensity);
+}  // namespace detail
 
 /// Builds the grouped bar chart of completion % — the layout of Figs. 5-7
 /// (groups = intensities, series = policies).

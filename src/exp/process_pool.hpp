@@ -1,0 +1,35 @@
+/// \file process_pool.hpp
+/// \brief Crash-isolated multi-process execution backend for sweeps.
+///
+/// One worker OS process per slot; (policy, intensity) cells are sharded
+/// over a work queue and each finished cell travels back to the supervising
+/// parent as one serialized frame. The parent is a single-threaded
+/// supervisor: it dispatches cells, enforces per-cell wall-clock timeouts
+/// (SIGKILL + requeue), detects crashes via pipe hangup + waitpid, retries
+/// with exponential backoff up to `max_retries`, then records the cell as
+/// failed and lets the rest of the sweep complete (graceful degradation).
+/// SIGINT/SIGTERM (when `drain_on_signals` is set) stop dispatching, let
+/// in-flight cells finish, flush the journal, and return partial results.
+///
+/// Cell computation inside a worker regenerates its traces from the spec (a
+/// pure function of the seed), so fault-free sweeps are byte-identical to
+/// the threads backend.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "exp/experiment.hpp"
+#include "exp/journal.hpp"
+
+namespace e2c::exp {
+
+/// Runs the sweep on forked worker processes. \p resumed maps slot index →
+/// cell restored from the journal (merged into the result, not recomputed);
+/// \p journal (may be null) receives each freshly completed or failed cell.
+/// Called by run_experiment when options.backend == Backend::kProcs.
+[[nodiscard]] ExperimentResult run_experiment_procs(
+    const ExperimentSpec& spec, const RunOptions& options,
+    std::map<std::size_t, CellResult> resumed, SweepJournal* journal);
+
+}  // namespace e2c::exp

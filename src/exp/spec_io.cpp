@@ -239,9 +239,17 @@ ExperimentResult run_experiment_file(const std::string& path, std::size_t worker
 
 ExperimentResult run_experiment_file(const util::IniFile& ini, std::size_t workers,
                                      const ProgressFn& progress) {
+  RunOptions options;
+  options.workers = workers;
+  options.progress = progress;
+  return run_experiment_file(ini, options);
+}
+
+ExperimentResult run_experiment_file(const util::IniFile& ini,
+                                     const RunOptions& options) {
   const ExperimentSpec spec = spec_from_ini(ini);
   const ExperimentOutputs outputs = outputs_from_ini(ini);
-  ExperimentResult result = run_experiment(spec, workers, DataPlane::kShared, progress);
+  ExperimentResult result = run_experiment(spec, options);
   if (outputs.csv_path) {
     util::write_csv_file(*outputs.csv_path, result_csv(result));
   }

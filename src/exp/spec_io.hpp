@@ -81,6 +81,11 @@ struct ExperimentOutputs {
                                                    std::size_t workers = 0,
                                                    const ProgressFn& progress = {});
 
+/// Full-options variant: backend selection, per-cell timeouts, journal and
+/// resume all come from \p options (e2c_experiment's flag surface).
+[[nodiscard]] ExperimentResult run_experiment_file(const util::IniFile& ini,
+                                                   const RunOptions& options);
+
 /// Convenience: load a config file and run it end to end.
 [[nodiscard]] ExperimentResult run_experiment_file(const std::string& path,
                                                    std::size_t workers = 0,

@@ -1,0 +1,81 @@
+/// \file framing.hpp
+/// \brief Binary payload encoding and length-prefixed frame I/O over fds.
+///
+/// The process-backend experiment runner ships `CellResult` payloads from
+/// worker processes to the supervising parent over pipes, and persists the
+/// same payloads (hex-armored) in the crash-safe sweep journal. Both sides
+/// of a pipe are forks of one binary on one machine, so the encoding is the
+/// native byte order with fixed-width fields — simple, and bit-exact for
+/// doubles, which is what the byte-identical-results guarantee needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace e2c::util {
+
+/// Appends fixed-width fields to a byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+  void u32(std::uint32_t value) { raw(&value, sizeof value); }
+  void u64(std::uint64_t value) { raw(&value, sizeof value); }
+  /// Doubles round-trip bit-exactly: the raw 8 bytes, not a decimal print.
+  void f64(double value) { raw(&value, sizeof value); }
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view value);
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+
+ private:
+  void raw(const void* data, std::size_t size);
+
+  std::string buffer_;
+};
+
+/// Bounds-checked reads over a byte buffer; throws e2c::InputError on any
+/// truncated or overlong payload so corrupt frames surface as input errors,
+/// never as out-of-bounds reads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  /// True when every byte has been consumed — decoders check this so a
+  /// frame with trailing garbage is rejected, not silently accepted.
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
+
+ private:
+  void raw(void* out, std::size_t size);
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+/// Writes one length-prefixed frame (u32 payload size + payload bytes) to
+/// \p fd, looping over partial writes and EINTR. Throws e2c::IoError on any
+/// write failure (including EPIPE — callers supervising subprocesses treat
+/// that as the peer having died).
+void write_frame(int fd, std::string_view payload);
+
+/// Reads one length-prefixed frame from \p fd (blocking). Returns nullopt on
+/// clean EOF before any byte of the frame; throws e2c::IoError when the peer
+/// hangs up mid-frame (a truncated frame is how a crashed writer looks).
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+/// Lowercase hex armor for embedding binary payloads in line-oriented files.
+[[nodiscard]] std::string hex_encode(std::string_view bytes);
+
+/// Inverse of hex_encode; throws e2c::InputError on odd length or non-hex
+/// characters.
+[[nodiscard]] std::string hex_decode(std::string_view text);
+
+}  // namespace e2c::util

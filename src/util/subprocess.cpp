@@ -1,0 +1,64 @@
+#include "util/subprocess.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace e2c::util {
+
+Pipe::Pipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    throw IoError(std::string("pipe() failed: ") + std::strerror(errno));
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+Pipe::~Pipe() {
+  close_read();
+  close_write();
+}
+
+void Pipe::close_read() noexcept {
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+void Pipe::close_write() noexcept {
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+ExitStatus wait_for_exit(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno == EINTR) continue;
+    throw IoError(std::string("waitpid failed: ") + std::strerror(errno));
+  }
+  ExitStatus result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signalled = true;
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+SigpipeGuard::SigpipeGuard() : previous_(::signal(SIGPIPE, SIG_IGN)) {}
+
+SigpipeGuard::~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
+
+}  // namespace e2c::util

@@ -1,0 +1,68 @@
+/// \file subprocess.hpp
+/// \brief Thin RAII helpers over fork/pipe/waitpid for process supervision.
+///
+/// The experiment process pool forks one worker per slot and talks to each
+/// over a pair of pipes. These helpers keep the raw POSIX plumbing (fd
+/// lifetimes, EINTR loops, zombie reaping) out of the supervision logic.
+#pragma once
+
+#include <sys/types.h>
+
+#include <utility>
+
+namespace e2c::util {
+
+/// A unidirectional pipe; both ends close automatically on destruction.
+/// Ends can be released individually (the fork pattern: parent closes the
+/// child's end and vice versa).
+class Pipe {
+ public:
+  /// Creates the pipe; throws e2c::IoError on failure.
+  Pipe();
+  ~Pipe();
+
+  Pipe(Pipe&& other) noexcept
+      : read_fd_(std::exchange(other.read_fd_, -1)),
+        write_fd_(std::exchange(other.write_fd_, -1)) {}
+  Pipe& operator=(Pipe&&) = delete;
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  [[nodiscard]] int read_fd() const noexcept { return read_fd_; }
+  [[nodiscard]] int write_fd() const noexcept { return write_fd_; }
+
+  void close_read() noexcept;
+  void close_write() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+/// How a reaped child process ended.
+struct ExitStatus {
+  bool exited = false;    ///< normal _exit/return
+  int exit_code = 0;      ///< valid when exited
+  bool signalled = false; ///< killed by a signal
+  int term_signal = 0;    ///< valid when signalled
+};
+
+/// Blocking waitpid on \p pid, looping over EINTR; throws e2c::IoError if
+/// the child cannot be reaped.
+[[nodiscard]] ExitStatus wait_for_exit(pid_t pid);
+
+/// Scoped SIGPIPE suppression: a supervisor writing to a pipe whose worker
+/// just died must see EPIPE from write(), not a fatal signal. Restores the
+/// previous disposition on destruction.
+class SigpipeGuard {
+ public:
+  SigpipeGuard();
+  ~SigpipeGuard();
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  void (*previous_)(int);
+};
+
+}  // namespace e2c::util

@@ -351,6 +351,53 @@ TEST(ExperimentCli, UnknownSchedImplRejectedWithRoster) {
   EXPECT_NE(result.output.find("reference"), std::string::npos);
 }
 
+TEST(ExperimentCli, UnknownBackendRejectedWithRosterAndSuggestion) {
+  const auto result =
+      run_experiment(data("experiment_example.ini") + " 1 --backend porcs");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown experiment backend"), std::string::npos);
+  EXPECT_NE(result.output.find("did you mean 'procs'"), std::string::npos);
+  EXPECT_NE(result.output.find("threads | procs"), std::string::npos);
+}
+
+TEST(ExperimentCli, NonPositiveCellTimeoutRejectedWithLocator) {
+  for (const char* bad : {"0", "-1", "nope"}) {
+    const auto result = run_experiment(data("experiment_example.ini") +
+                                       " 1 --backend procs --cell-timeout " + bad);
+    EXPECT_EQ(result.exit_code, 2) << bad;
+    EXPECT_NE(result.output.find("--cell-timeout must be"), std::string::npos) << bad;
+    EXPECT_NE(result.output.find(bad), std::string::npos) << bad;
+  }
+}
+
+TEST(ExperimentCli, NonPositiveMaxRetriesRejectedWithLocator) {
+  for (const char* bad : {"0", "-2", "many"}) {
+    const auto result = run_experiment(data("experiment_example.ini") +
+                                       " 1 --backend procs --max-retries " + bad);
+    EXPECT_EQ(result.exit_code, 2) << bad;
+    EXPECT_NE(result.output.find("--max-retries must be"), std::string::npos) << bad;
+  }
+}
+
+TEST(ExperimentCli, SupervisionFlagsNeedProcsBackend) {
+  const auto timeout =
+      run_experiment(data("experiment_example.ini") + " 1 --cell-timeout 5");
+  EXPECT_EQ(timeout.exit_code, 2);
+  EXPECT_NE(timeout.output.find("--cell-timeout needs --backend procs"),
+            std::string::npos);
+  const auto retries =
+      run_experiment(data("experiment_example.ini") + " 1 --max-retries 3");
+  EXPECT_EQ(retries.exit_code, 2);
+  EXPECT_NE(retries.output.find("--max-retries needs --backend procs"),
+            std::string::npos);
+}
+
+TEST(ExperimentCli, ResumeNeedsJournal) {
+  const auto result = run_experiment(data("experiment_example.ini") + " 1 --resume");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--resume needs --journal"), std::string::npos);
+}
+
 TEST(ExperimentCli, ReferenceSchedImplMatchesFastSweep) {
   const auto fast =
       run_experiment(data("experiment_example.ini") + " 1 --sched-impl fast");

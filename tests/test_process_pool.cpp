@@ -1,0 +1,299 @@
+// Tests for the crash-isolated process backend (exp/process_pool.hpp), the
+// cell codec, and the resumable sweep journal. Fault injection uses the
+// worker-side E2C_EXP_TEST_* env hooks (see process_pool.cpp) so crashes,
+// hangs and slow cells are deterministic — no real faults needed.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cell_codec.hpp"
+#include "exp/experiment.hpp"
+#include "exp/journal.hpp"
+#include "exp/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/framing.hpp"
+
+namespace {
+
+namespace exp = e2c::exp;
+using e2c::workload::Intensity;
+
+#ifndef E2C_EXPERIMENT_BIN
+#error "E2C_EXPERIMENT_BIN must be defined by the build"
+#endif
+
+exp::ExperimentSpec small_spec() {
+  exp::ExperimentSpec spec;
+  spec.system = exp::heterogeneous_classroom();
+  spec.policies = {"FCFS", "MECT"};
+  spec.intensities = {Intensity::kLow, Intensity::kHigh};
+  spec.replications = 2;
+  spec.duration = 60.0;
+  spec.base_seed = 7;
+  return spec;
+}
+
+std::string csv_of(const exp::ExperimentResult& result) {
+  return e2c::util::to_csv(exp::result_csv(result));
+}
+
+/// Sets an environment variable for the lifetime of a scope; the worker
+/// processes fork from this test binary, so they inherit it.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+TEST(CellCodec, RoundTripsBitExactly) {
+  const auto source = exp::run_experiment(small_spec(), 2);
+  for (const auto& cell : source.cells) {
+    const auto decoded = exp::decode_cell(exp::encode_cell(cell));
+    EXPECT_EQ(decoded.policy, cell.policy);
+    EXPECT_EQ(decoded.intensity, cell.intensity);
+    EXPECT_EQ(decoded.status, cell.status);
+    EXPECT_EQ(decoded.attempts, cell.attempts);
+    ASSERT_EQ(decoded.runs.size(), cell.runs.size());
+    for (std::size_t i = 0; i < cell.runs.size(); ++i) {
+      // Bit-exact doubles are the point of the codec: mean aggregation over
+      // the decoded runs must match the original exactly, not approximately.
+      EXPECT_EQ(decoded.runs[i].total_tasks, cell.runs[i].total_tasks);
+      EXPECT_EQ(decoded.runs[i].completion_percent, cell.runs[i].completion_percent);
+      EXPECT_EQ(decoded.runs[i].total_energy_joules, cell.runs[i].total_energy_joules);
+    }
+  }
+}
+
+TEST(CellCodec, RejectsCorruptPayloads) {
+  exp::CellResult cell;
+  cell.policy = "FCFS";
+  cell.intensity = Intensity::kLow;
+  const std::string payload = exp::encode_cell(cell);
+  EXPECT_THROW((void)exp::decode_cell(payload.substr(0, payload.size() / 2)),
+               e2c::InputError);
+  EXPECT_THROW((void)exp::decode_cell(payload + "x"), e2c::InputError);
+  EXPECT_THROW((void)exp::decode_cell(""), e2c::InputError);
+}
+
+TEST(Framing, HexArmorRoundTripsAndRejectsJunk) {
+  const std::string bytes("\x00\xff binary\n", 9);
+  EXPECT_EQ(e2c::util::hex_decode(e2c::util::hex_encode(bytes)), bytes);
+  EXPECT_THROW((void)e2c::util::hex_decode("abc"), e2c::InputError);   // odd length
+  EXPECT_THROW((void)e2c::util::hex_decode("zz"), e2c::InputError);    // non-hex
+}
+
+TEST(ProcessPool, MatchesThreadsBackendByteForByte) {
+  exp::RunOptions threads;
+  threads.workers = 2;
+  const auto baseline = exp::run_experiment(small_spec(), threads);
+
+  exp::RunOptions procs;
+  procs.workers = 2;
+  procs.backend = exp::Backend::kProcs;
+  const auto isolated = exp::run_experiment(small_spec(), procs);
+
+  EXPECT_EQ(csv_of(isolated), csv_of(baseline));
+  EXPECT_EQ(isolated.health.completed_cells, 4u);
+  EXPECT_EQ(isolated.health.failed_cells, 0u);
+  EXPECT_EQ(isolated.health.retries, 0u);
+}
+
+TEST(ProcessPool, CrashedWorkerIsRetriedAndSweepCompletes) {
+  exp::RunOptions options;
+  options.workers = 2;
+  const auto baseline = exp::run_experiment(small_spec(), options);
+
+  const ScopedEnv crash("E2C_EXP_TEST_CRASH_CELL", "MECT/low");
+  options.backend = exp::Backend::kProcs;
+  options.backoff_base = 0.01;
+  const auto result = exp::run_experiment(small_spec(), options);
+
+  // The SIGKILL'd cell is requeued and recomputed; results stay identical.
+  EXPECT_EQ(csv_of(result), csv_of(baseline));
+  EXPECT_GE(result.health.retries, 1u);
+  EXPECT_EQ(result.health.completed_cells, 4u);
+  EXPECT_EQ(result.health.failed_cells, 0u);
+  EXPECT_GE(result.cell("MECT", Intensity::kLow).attempts, 2u);
+}
+
+TEST(ProcessPool, HangingCellFailsAfterMaxRetriesAndSweepContinues) {
+  const ScopedEnv hang("E2C_EXP_TEST_HANG_CELL", "FCFS/high");
+  exp::RunOptions options;
+  options.workers = 2;
+  options.backend = exp::Backend::kProcs;
+  options.cell_timeout = 0.3;
+  options.max_retries = 1;
+  options.backoff_base = 0.01;
+  const auto result = exp::run_experiment(small_spec(), options);
+
+  const auto& failed = result.cell("FCFS", Intensity::kHigh);
+  EXPECT_EQ(failed.status, exp::CellStatus::kFailed);
+  EXPECT_TRUE(failed.runs.empty());
+  EXPECT_EQ(failed.attempts, 2u);  // initial dispatch + one retry
+  EXPECT_EQ(result.health.failed_cells, 1u);
+  EXPECT_EQ(result.health.completed_cells, 3u);
+  EXPECT_EQ(result.health.retries, 1u);
+  // Graceful degradation: the other cells completed with ok status.
+  for (const auto& cell : result.cells) {
+    if (&cell != &failed) {
+      EXPECT_EQ(cell.status, exp::CellStatus::kOk);
+    }
+  }
+}
+
+TEST(ProcessPool, JournalResumeSkipsCompletedCells) {
+  const std::string journal_path = temp_path("resume_journal.txt");
+  exp::RunOptions options;
+  options.workers = 2;
+  options.backend = exp::Backend::kProcs;
+  options.journal_path = journal_path;
+  const auto full = exp::run_experiment(small_spec(), options);
+
+  // Simulate an interrupted run: keep the header and the first two cell
+  // records, as if the supervisor died mid-sweep.
+  std::ifstream in(journal_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GE(lines.size(), 5u);  // header + 4 cells
+  std::ofstream out(journal_path, std::ios::trunc);
+  for (std::size_t i = 0; i < 3; ++i) out << lines[i] << "\n";
+  out.close();
+
+  std::size_t progress_calls = 0;
+  options.resume = true;
+  options.progress = [&progress_calls](std::size_t, std::size_t,
+                                       const exp::CellResult&) { ++progress_calls; };
+  const auto resumed = exp::run_experiment(small_spec(), options);
+
+  EXPECT_EQ(csv_of(resumed), csv_of(full));
+  EXPECT_EQ(resumed.health.resumed_cells, 2u);
+  EXPECT_EQ(resumed.health.completed_cells, 4u);
+  EXPECT_EQ(progress_calls, 2u);  // only the fresh cells fire progress
+}
+
+TEST(ProcessPool, ResumeRejectsJournalFromDifferentSweep) {
+  const std::string journal_path = temp_path("mismatch_journal.txt");
+  exp::RunOptions options;
+  options.backend = exp::Backend::kProcs;
+  options.journal_path = journal_path;
+  (void)exp::run_experiment(small_spec(), options);
+
+  auto other = small_spec();
+  other.base_seed = 8;  // different sweep => different spec digest
+  options.resume = true;
+  EXPECT_THROW((void)exp::run_experiment(other, options), e2c::InputError);
+}
+
+TEST(Journal, DropsTornFinalLineKeepsRest) {
+  const std::string journal_path = temp_path("torn_journal.txt");
+  exp::RunOptions options;
+  options.backend = exp::Backend::kProcs;
+  options.journal_path = journal_path;
+  (void)exp::run_experiment(small_spec(), options);
+
+  // Chop the file mid-way through its final record — the SIGKILL case.
+  std::ifstream in(journal_path);
+  std::stringstream whole;
+  whole << in.rdbuf();
+  in.close();
+  const std::string text = whole.str();
+  std::ofstream out(journal_path, std::ios::trunc);
+  out << text.substr(0, text.size() - 20);
+  out.close();
+
+  const auto contents = exp::read_journal(journal_path);
+  EXPECT_EQ(contents.cells_total, 4u);
+  EXPECT_EQ(contents.cells.size(), 3u);  // torn record dropped, rest intact
+}
+
+TEST(Backend, ParseRejectsUnknownWithSuggestion) {
+  EXPECT_EQ(exp::parse_backend("threads"), exp::Backend::kThreads);
+  EXPECT_EQ(exp::parse_backend("procs"), exp::Backend::kProcs);
+  try {
+    (void)exp::parse_backend("porcs");
+    FAIL() << "expected InputError";
+  } catch (const e2c::InputError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("procs"), std::string::npos) << message;
+    EXPECT_NE(message.find("threads"), std::string::npos) << message;
+  }
+}
+
+// --- CLI-level: SIGTERM graceful drain against the real binary. ------------
+
+TEST(ProcessPool, SigtermDrainExitsCleanlyWithValidPartialJournal) {
+  const std::string journal_path = temp_path("drain_journal.txt");
+  const std::string ini_path = temp_path("drain_spec.ini");
+  const std::string out_path = temp_path("drain_stdout.txt");
+  {
+    std::ofstream ini(ini_path, std::ios::trunc);
+    ini << "[sweep]\n"
+           "policies = FCFS, MECT\n"
+           "intensities = low, high\n"
+           "replications = 2\n"
+           "duration = 30\n"
+           "seed = 7\n";
+  }
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    FILE* out = std::freopen(out_path.c_str(), "w", stdout);
+    if (out == nullptr) _exit(97);
+    ::setenv("E2C_EXP_TEST_CELL_DELAY_MS", "400", 1);
+    // One worker so the drain provably leaves holes: queued cells are
+    // dropped, only the single in-flight cell finishes.
+    ::execl(E2C_EXPERIMENT_BIN, E2C_EXPERIMENT_BIN, ini_path.c_str(), "1",
+            "--backend", "procs", "--journal", journal_path.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(98);  // exec failed
+  }
+  // Let the first wave of cells get in flight, then request a drain.
+  ::usleep(600 * 1000);
+  ASSERT_EQ(::kill(child, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);  // drain is a success, not a crash
+
+  std::ifstream out(out_path);
+  std::stringstream captured;
+  captured << out.rdbuf();
+  EXPECT_NE(captured.str().find("drained"), std::string::npos) << captured.str();
+  EXPECT_NE(captured.str().find("--resume"), std::string::npos);
+
+  // The partial journal parses and holds only finished cells.
+  const auto contents = exp::read_journal(journal_path);
+  EXPECT_EQ(contents.cells_total, 4u);
+  EXPECT_LT(contents.cells.size(), 4u);  // drained before the sweep finished
+  for (const auto& [slot, cell] : contents.cells) {
+    EXPECT_LT(slot, 4u);
+    EXPECT_EQ(cell.status, exp::CellStatus::kOk);
+    EXPECT_EQ(cell.runs.size(), 2u);
+  }
+}
+
+}  // namespace

@@ -3,7 +3,7 @@
 # sanitizer(s) and runs ctest under each. Any sanitizer report fails the run.
 #
 # Usage: tools/ci.sh [suite ...]
-#   suites: asan | ubsan | tsan | bench   (default: the three sanitizers)
+#   suites: asan | ubsan | tsan | bench | crash   (default: the three sanitizers)
 #   E2C_BUILD_ROOT overrides the build root (default: <repo>/build-san)
 #
 # The bench suite is a smoke test plus one relative gate: it builds Release,
@@ -13,6 +13,12 @@
 # below 70% of the committed BENCH_sched_hotpath.json baseline for MM or
 # ELARE. Speedup ratios compare two implementations on the *same* machine, so
 # the gate is meaningful on any runner; absolute rounds/s are never compared.
+#
+# The crash suite is a fault-injection smoke test of the process backend: it
+# runs the same sweep on the threads backend (golden) and on --backend procs
+# while kill -9'ing one worker process mid-cell, then asserts the result CSV
+# is byte-identical to the golden run and the sweep journal is valid — the
+# supervisor must detect the crash, requeue the cell, and keep going.
 #
 # The tsan suite runs only the threaded tests (thread pool and the parallel
 # substrate-combo sweep) plus the I/O-contention suite, whose event
@@ -147,6 +153,78 @@ run_bench_smoke() {
   echo "bench smoke passed"
 }
 
+run_crash_smoke() {
+  local dir="${BUILD_ROOT}/crash"
+  local work="${dir}/smoke"
+  echo "=== crash: configure (Release) ==="
+  cmake -S "${ROOT}" -B "${dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== crash: build e2c_experiment ==="
+  cmake --build "${dir}" --target e2c_experiment -j "${JOBS}"
+  mkdir -p "${work}"
+  cat > "${work}/sweep.ini" <<INI
+[sweep]
+policies = FCFS, MECT
+intensities = low, high
+replications = 3
+duration = 60
+seed = 7
+
+[output]
+csv = ${work}/RESULTS.csv
+INI
+
+  echo "=== crash: golden run (threads backend) ==="
+  "${dir}/src/cli/e2c_experiment" "${work}/sweep.ini" 2 > "${work}/golden.out"
+  mv "${work}/RESULTS.csv" "${work}/golden.csv"
+
+  echo "=== crash: procs run, kill -9 one worker mid-cell ==="
+  # The per-cell delay keeps workers inside a cell long enough to be shot.
+  E2C_EXP_TEST_CELL_DELAY_MS=300 \
+    "${dir}/src/cli/e2c_experiment" "${work}/sweep.ini" 2 --backend procs \
+    --journal "${work}/journal.txt" > "${work}/procs.out" &
+  local runner=$!
+  local victim=""
+  for _ in $(seq 1 100); do
+    victim="$(pgrep -P "${runner}" | head -n1 || true)"
+    [ -n "${victim}" ] && break
+    sleep 0.05
+  done
+  if [ -z "${victim}" ]; then
+    echo "crash smoke: runner spawned no worker to kill" >&2
+    kill "${runner}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -9 "${victim}"
+  echo "killed worker pid ${victim}"
+  wait "${runner}" || {
+    echo "crash smoke: procs run exited nonzero after worker kill" >&2
+    exit 1
+  }
+
+  echo "=== crash: golden CSV must survive the crash byte-for-byte ==="
+  diff "${work}/golden.csv" "${work}/RESULTS.csv" || {
+    echo "crash smoke: procs CSV diverged from the threads golden" >&2
+    exit 1
+  }
+  grep -q "0 failed" "${work}/procs.out" || {
+    echo "crash smoke: sweep reported failed cells:" >&2
+    cat "${work}/procs.out" >&2
+    exit 1
+  }
+  echo "=== crash: journal must be valid and complete ==="
+  head -n1 "${work}/journal.txt" | grep -q '^e2c-sweep-journal v1 ' || {
+    echo "crash smoke: bad journal header" >&2
+    exit 1
+  }
+  local cells
+  cells="$(grep -c '^cell ' "${work}/journal.txt")"
+  if [ "${cells}" -ne 4 ]; then
+    echo "crash smoke: journal records ${cells}/4 cells" >&2
+    exit 1
+  fi
+  echo "crash smoke passed"
+}
+
 run_suite() {
   local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
@@ -180,7 +258,8 @@ for suite in "${suites[@]}"; do
     ubsan) run_suite ubsan undefined ;;
     tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention' ;;
     bench) run_bench_smoke ;;
-    *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench)" >&2; exit 2 ;;
+    crash) run_crash_smoke ;;
+    *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench | crash)" >&2; exit 2 ;;
   esac
 done
 
