@@ -13,11 +13,21 @@
 //
 // Before timing, the harness asserts both planes emit the bit-identical
 // result CSV — a speedup over a plane that computes different numbers would
-// be meaningless. The headline metric is sweep replications/second and the
-// shared/per_run ratio ("plane_speedup"), which is machine-independent and
-// gated by CI against the committed BENCH_experiment_throughput.json.
-// Worker scaling (1/2/4/8) and peak RSS are recorded for the record but not
-// gated: both depend on the host.
+// be meaningless. Two machine-independent ratios are gated by CI against
+// the committed BENCH_experiment_throughput.json:
+//
+//  - plane_speedup: shared vs per_run replications/s at 1 worker;
+//  - parallel_efficiency_4w: the 4-worker/1-worker replications/s ratio of
+//    the shared plane, normalized by min(4, hardware cpus) so the number
+//    means "fraction of the parallelism this host can physically offer"
+//    (a 1-cpu container tops out at speedup 1.0 = efficiency 1.0; a 4-core
+//    runner must deliver >= 2.8x to reach 0.7).
+//
+// Every timed point runs one untimed warmup pass then keeps the best of 3,
+// and the default sweep is sized so the 1-worker shared run takes hundreds
+// of milliseconds — a single ~14 ms run (the old shape) was noise-dominated
+// enough to show 8 workers "faster" than 4 by luck. Peak RSS is recorded
+// but not gated.
 //
 //   bench_experiment_throughput [--reps N] [--out FILE.json]
 #include <algorithm>
@@ -28,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/experiment.hpp"
@@ -70,7 +81,7 @@ e2c::exp::ExperimentSpec sweep_spec(std::size_t replications) {
   spec.intensities = {e2c::workload::Intensity::kLow, e2c::workload::Intensity::kMedium,
                       e2c::workload::Intensity::kHigh};
   spec.replications = replications;
-  spec.duration = 250.0;
+  spec.duration = 1000.0;
   spec.base_seed = 20230607;
   spec.deadline_factor_lo = 1.0;
   spec.deadline_factor_hi = 1.5;
@@ -88,9 +99,15 @@ std::size_t total_replications(const e2c::exp::ExperimentSpec& spec) {
   return spec.policies.size() * spec.intensities.size() * spec.replications;
 }
 
-/// Wall-times one full sweep; best-of-\p passes to shave scheduler noise.
+/// Wall-times one full sweep: one untimed warmup pass (page-cache, malloc
+/// arenas, thread spin-up), then best-of-\p passes to shave scheduler noise.
 PlaneResult time_sweep(const e2c::exp::ExperimentSpec& spec, std::size_t workers,
                        e2c::exp::DataPlane plane, const char* name, int passes) {
+  {
+    const auto warmup = e2c::exp::run_experiment(spec, workers, plane);
+    e2c::require(warmup.cells.size() == spec.policies.size() * spec.intensities.size(),
+                 "bench: warmup sweep produced the wrong cell count");
+  }
   double best = 1e300;
   for (int pass = 0; pass < passes; ++pass) {
     const auto start = Clock::now();
@@ -182,7 +199,7 @@ void profile_components(const e2c::exp::ExperimentSpec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t replications = 10;
+  std::size_t replications = 50;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -224,13 +241,24 @@ int main(int argc, char** argv) {
   const double plane_speedup =
       planes[1].seconds > 0.0 ? planes[1].seconds / planes[0].seconds : 0.0;
 
-  // Worker scaling on the shared plane (recorded, host-dependent).
+  // Worker scaling on the shared plane, warmup + best-of-3 like every other
+  // point. The raw curve is host-dependent; the gated number is the 4-worker
+  // efficiency normalized by the parallelism this host can physically offer.
   std::vector<PlaneResult> scaling;
   for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                               std::size_t{8}}) {
     scaling.push_back(
-        time_sweep(spec, workers, e2c::exp::DataPlane::kShared, "shared", 1));
+        time_sweep(spec, workers, e2c::exp::DataPlane::kShared, "shared", kPasses));
   }
+  const std::size_t cpus =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const double base_rate = scaling[0].replications_per_sec;
+  const auto speedup_vs_1w = [&](const PlaneResult& point) {
+    return base_rate > 0.0 ? point.replications_per_sec / base_rate : 0.0;
+  };
+  const double scaling_speedup_4w = speedup_vs_1w(scaling[2]);
+  const double parallel_efficiency_4w =
+      scaling_speedup_4w / static_cast<double>(std::min<std::size_t>(4, cpus));
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"experiment_throughput\",\n"
@@ -246,14 +274,18 @@ int main(int argc, char** argv) {
          << (i + 1 < planes.size() ? ",\n" : "\n");
   }
   json << "  ],\n  \"plane_speedup\": " << plane_speedup << ",\n"
+       << "  \"cpus\": " << cpus << ",\n"
        << "  \"worker_scaling\": [\n";
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     json << "    {\"plane\": \"shared\", \"workers\": " << scaling[i].workers
          << ", \"seconds\": " << scaling[i].seconds
-         << ", \"replications_per_sec\": " << scaling[i].replications_per_sec << "}"
+         << ", \"replications_per_sec\": " << scaling[i].replications_per_sec
+         << ", \"speedup\": " << speedup_vs_1w(scaling[i]) << "}"
          << (i + 1 < scaling.size() ? ",\n" : "\n");
   }
-  json << "  ],\n  \"peak_rss_kb\": " << peak_rss_kb() << "\n}\n";
+  json << "  ],\n  \"scaling_speedup_4w\": " << scaling_speedup_4w << ",\n"
+       << "  \"parallel_efficiency_4w\": " << parallel_efficiency_4w << ",\n"
+       << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n}\n";
 
   std::cout << json.str();
   if (!out_path.empty()) {

@@ -83,6 +83,9 @@ int main(int argc, char** argv) {
              "         [--backend threads|procs] [--cell-timeout S] [--max-retries N]\n"
              "         [--journal PATH] [--resume] [--progress]\n"
              "Runs the experiment sweep described by CONFIG.ini.\n"
+             "  workers           worker threads (or --backend procs process slots);\n"
+             "                    0 = hardware concurrency (default); the resolved\n"
+             "                    count is reported in the sweep summary\n"
              "  --backend procs   crash-isolated worker processes: per-cell timeouts,\n"
              "                    crash retry, graceful degradation (status column)\n"
              "  --cell-timeout S  SIGKILL + requeue a cell after S seconds (procs)\n"
@@ -117,7 +120,8 @@ int main(int argc, char** argv) {
       // 1 on junk; validate like e2c_run's numeric options instead.
       const auto value = util::parse_int(positional[1]);
       require_input(value.has_value() && *value >= 0,
-                    "workers must be an integer >= 0");
+                    "workers must be an integer >= 0 (0 = hardware concurrency), got '" +
+                        positional[1] + "' (workers)");
       options.workers = static_cast<std::size_t>(*value);
     }
     const util::IniFile ini = util::IniFile::load(positional[0]);
@@ -165,7 +169,8 @@ int main(int argc, char** argv) {
               << result.spec.policies.size() * result.spec.intensities.size()
               << " cells (" << health.completed_cells << " completed, "
               << health.failed_cells << " failed, " << health.retries
-              << " retries, " << health.resumed_cells << " resumed)\n";
+              << " retries, " << health.resumed_cells << " resumed) on "
+              << health.workers << (health.workers == 1 ? " worker\n" : " workers\n");
     if (health.drained) {
       std::cout << "sweep drained after signal: in-flight cells finished, journal "
                    "flushed; re-run with --resume to continue\n";

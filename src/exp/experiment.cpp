@@ -9,6 +9,7 @@
 #include "exp/journal.hpp"
 #include "exp/process_pool.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sim_pool.hpp"
 #include "sched/registry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -170,6 +171,13 @@ std::uint64_t double_bits(double value) noexcept {
 
 /// Runs the sweep on the in-process thread pool, skipping cells already in
 /// \p resumed and journaling each freshly computed cell.
+///
+/// Work is sharded per (cell, replication): a 4x3 sweep is 120 independent
+/// replication tasks rather than 12 coarse cell tasks, so the pool stays fed
+/// at any worker count. Tasks are bulk-submitted (one lock per worker queue,
+/// one wake) and their futures merge back into cells in deterministic
+/// slot-major, replication-minor order — the result CSV is byte-identical
+/// across worker counts and to the process backend.
 ExperimentResult run_experiment_threads(const ExperimentSpec& spec,
                                         const RunOptions& options,
                                         std::map<std::size_t, CellResult> resumed,
@@ -177,8 +185,10 @@ ExperimentResult run_experiment_threads(const ExperimentSpec& spec,
   ExperimentResult result;
   result.spec = spec;
   result.health.resumed_cells = resumed.size();
-  const std::size_t cells_total = spec.policies.size() * spec.intensities.size();
+  const std::size_t intensity_count = spec.intensities.size();
+  const std::size_t cells_total = spec.policies.size() * intensity_count;
   const std::size_t fresh_total = cells_total - resumed.size();
+  const std::size_t reps = spec.replications;
 
   std::size_t fresh_done = 0;
   const auto record = [&](std::size_t slot, CellResult cell, bool fresh) {
@@ -195,82 +205,94 @@ ExperimentResult run_experiment_threads(const ExperimentSpec& spec,
   };
 
   util::ThreadPool pool(options.workers);
+  result.health.workers = pool.worker_count();
 
+  // Build one replication task per fresh (slot, rep), slot-major. Both data
+  // planes produce the same task shape; they differ only in how a task
+  // provisions its trace and Simulation.
+  using RepTask = std::function<reports::Metrics()>;
+  std::vector<RepTask> tasks;
+  tasks.reserve(fresh_total * reps);
+
+  // kShared inputs, built once and aliased read-only by every task: one
+  // SystemConfig for every leased Simulation, one trace per (intensity,
+  // replication) for every policy. Declared at this scope so they outlive
+  // the futures.
+  std::shared_ptr<const sched::SystemConfig> system;
+  std::vector<std::vector<std::shared_ptr<const workload::Workload>>> traces;
   if (options.plane == DataPlane::kShared) {
-    // Build the immutable inputs once: one SystemConfig for every
-    // Simulation, one trace per (intensity, replication) for every policy.
-    const auto system = std::make_shared<const sched::SystemConfig>(spec.system);
+    system = std::make_shared<const sched::SystemConfig>(spec.system);
     const auto machine_types = machine_types_of(spec.system);
-    std::vector<std::vector<std::shared_ptr<const workload::Workload>>> traces;
-    traces.reserve(spec.intensities.size());
+    traces.reserve(intensity_count);
     for (workload::Intensity intensity : spec.intensities) {
       std::vector<std::shared_ptr<const workload::Workload>> per_rep;
-      per_rep.reserve(spec.replications);
-      for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+      per_rep.reserve(reps);
+      for (std::size_t rep = 0; rep < reps; ++rep) {
         per_rep.push_back(std::make_shared<const workload::Workload>(
             workload::generate_workload(spec.system.eet,
                                         generator_for(spec, machine_types, intensity, rep))));
       }
       traces.push_back(std::move(per_rep));
     }
-
-    std::vector<std::optional<std::future<CellResult>>> futures(cells_total);
-    std::size_t slot = 0;
-    for (const std::string& policy : spec.policies) {
-      for (std::size_t i = 0; i < spec.intensities.size(); ++i, ++slot) {
-        if (resumed.count(slot) != 0) continue;
-        const workload::Intensity intensity = spec.intensities[i];
-        futures[slot] = pool.submit([system, policy, intensity, &traces, i] {
-          return run_cell_shared(system, policy, intensity, traces[i]);
-        });
-      }
-    }
-    result.cells.reserve(cells_total);
-    for (slot = 0; slot < cells_total; ++slot) {
-      if (auto found = resumed.find(slot); found != resumed.end()) {
-        record(slot, std::move(found->second), /*fresh=*/false);
-      } else {
-        record(slot, futures[slot]->get(), /*fresh=*/true);
-      }
-    }
-    return result;
   }
-
-  struct PendingCell {
-    CellResult cell;
-    std::vector<std::future<reports::Metrics>> futures;
-  };
-  std::vector<std::optional<PendingCell>> pending(cells_total);
 
   std::size_t slot = 0;
   for (const std::string& policy : spec.policies) {
-    for (workload::Intensity intensity : spec.intensities) {
-      if (resumed.count(slot) != 0) {
-        ++slot;
-        continue;
+    for (std::size_t i = 0; i < intensity_count; ++i, ++slot) {
+      if (resumed.count(slot) != 0) continue;
+      const workload::Intensity intensity = spec.intensities[i];
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        if (options.plane == DataPlane::kShared) {
+          tasks.push_back([system, policy, trace = traces[i][rep]] {
+            sched::Simulation& simulation =
+                lease_simulation(system, sched::make_policy(policy));
+            simulation.load(trace);
+            simulation.run();
+            return reports::compute_metrics(simulation);
+          });
+        } else {
+          tasks.push_back([&spec, policy, intensity, rep] {
+            return run_single(spec, policy, intensity, rep);
+          });
+        }
       }
-      PendingCell cell;
-      cell.cell.policy = policy;
-      cell.cell.intensity = intensity;
-      for (std::size_t rep = 0; rep < spec.replications; ++rep) {
-        cell.futures.push_back(pool.submit([&spec, policy, intensity, rep] {
-          return run_single(spec, policy, intensity, rep);
-        }));
-      }
-      pending[slot++] = std::move(cell);
     }
   }
+  std::vector<std::future<reports::Metrics>> futures = pool.submit_bulk(std::move(tasks));
 
+  // Merge replications back into cells in slot order. A replication that
+  // threw marks its cell failed (empty runs, status row) and the sweep keeps
+  // going — the threads backend degrades exactly like the procs backend
+  // instead of aborting the whole sweep out of future::get().
   result.cells.reserve(cells_total);
-  for (slot = 0; slot < cells_total; ++slot) {
-    if (auto found = resumed.find(slot); found != resumed.end()) {
-      record(slot, std::move(found->second), /*fresh=*/false);
-      continue;
+  std::size_t next_future = 0;
+  slot = 0;
+  for (const std::string& policy : spec.policies) {
+    for (std::size_t i = 0; i < intensity_count; ++i, ++slot) {
+      if (auto found = resumed.find(slot); found != resumed.end()) {
+        record(slot, std::move(found->second), /*fresh=*/false);
+        continue;
+      }
+      CellResult cell;
+      cell.policy = policy;
+      cell.intensity = spec.intensities[i];
+      cell.runs.reserve(reps);
+      bool threw = false;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        try {
+          reports::Metrics metrics = futures[next_future + rep].get();
+          if (!threw) cell.runs.push_back(std::move(metrics));
+        } catch (...) {
+          threw = true;
+        }
+      }
+      next_future += reps;
+      if (threw) {
+        cell.runs.clear();
+        cell.status = CellStatus::kFailed;
+      }
+      record(slot, std::move(cell), /*fresh=*/true);
     }
-    PendingCell& cell = *pending[slot];
-    cell.cell.runs.reserve(cell.futures.size());
-    for (auto& future : cell.futures) cell.cell.runs.push_back(future.get());
-    record(slot, std::move(cell.cell), /*fresh=*/true);
   }
   return result;
 }

@@ -34,10 +34,11 @@ struct ExperimentSpec {
   double deadline_factor_hi = 4.0;
 };
 
-/// Terminal state of one sweep cell. A cell is `failed` only on the process
-/// backend, after its worker crashed or timed out more than `max_retries`
-/// times — the sweep then degrades gracefully: the cell is recorded with
-/// empty runs and the rest of the sweep completes.
+/// Terminal state of one sweep cell. A cell fails on the process backend
+/// after its worker crashed or timed out more than `max_retries` times, and
+/// on the threads backend when a replication throws — either way the sweep
+/// degrades gracefully: the cell is recorded with empty runs and the rest
+/// of the sweep completes.
 enum class CellStatus { kOk, kFailed };
 
 /// Display name ("ok" / "failed") — the `status` column of the result CSV.
@@ -76,6 +77,11 @@ struct SweepHealth {
   std::size_t failed_cells = 0;     ///< cells recorded failed after max_retries
   std::size_t retries = 0;          ///< total crash/timeout re-dispatches
   std::size_t resumed_cells = 0;    ///< taken from the journal, not recomputed
+  /// Resolved worker count the sweep actually ran with (thread-pool size on
+  /// the threads backend, process-slot count on procs). A requested 0 is
+  /// normalized once through util::ThreadPool::resolve_worker_count, so the
+  /// CLI summary and the pools always agree on what 0 means.
+  std::size_t workers = 0;
   /// True when SIGINT/SIGTERM cut the sweep short: in-flight cells were
   /// finished and journaled, undispatched cells are absent from `cells`.
   bool drained = false;
@@ -174,10 +180,14 @@ struct RunOptions {
                                               const RunOptions& options);
 
 /// Runs the sweep. \p workers selects thread-pool size (0 = hardware
-/// concurrency). No mutable state is shared across threads: under kShared
-/// each worker owns one Simulation per cell and only aliases immutable
-/// traces/config; under kPerRun each replication builds everything afresh.
-/// Cell results arrive in (policy-major, intensity-minor) order either way.
+/// concurrency). Work is sharded per (cell, replication) — not per cell —
+/// so a handful of cells still feeds every worker. No mutable state is
+/// shared across threads: under kShared each worker leases its own
+/// thread-local Simulation (reset between replications) and only aliases
+/// immutable traces/config; under kPerRun each replication builds
+/// everything afresh. Replications merge back into cells in deterministic
+/// (policy-major, intensity-minor, replication) order, so the result CSV is
+/// byte-identical across worker counts.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
                                               std::size_t workers = 0,
                                               DataPlane plane = DataPlane::kShared,

@@ -22,6 +22,7 @@
 #include "util/framing.hpp"
 #include "util/string_util.hpp"
 #include "util/subprocess.hpp"
+#include "util/thread_pool.hpp"
 
 namespace e2c::exp {
 
@@ -223,9 +224,10 @@ ExperimentResult run_experiment_procs(const ExperimentSpec& spec,
   ScopedDrainHandlers drain_handlers(options.drain_on_signals);
   util::SigpipeGuard sigpipe_guard;
 
-  std::size_t pool_size = options.workers != 0
-                              ? options.workers
-                              : std::max(1u, std::thread::hardware_concurrency());
+  // Same normalization as the threads backend: 0 means hardware concurrency,
+  // resolved in exactly one place so the reported count cannot disagree.
+  std::size_t pool_size = util::ThreadPool::resolve_worker_count(options.workers);
+  health.workers = pool_size;
   pool_size = std::min(pool_size, std::max<std::size_t>(fresh_total, 1));
 
   std::vector<Worker> workers(fresh_total == 0 ? 0 : pool_size);

@@ -1,0 +1,36 @@
+#include "exp/sim_pool.hpp"
+
+#include <vector>
+
+namespace e2c::exp {
+
+namespace {
+
+struct LeaseEntry {
+  std::shared_ptr<const sched::SystemConfig> config;  ///< keeps the key alive
+  sched::PolicyMode mode;
+  std::unique_ptr<sched::Simulation> simulation;
+};
+
+}  // namespace
+
+sched::Simulation& lease_simulation(
+    const std::shared_ptr<const sched::SystemConfig>& config,
+    std::unique_ptr<sched::Policy> policy) {
+  // A sweep uses one SystemConfig and at most two modes, so the cache is a
+  // tiny linear-scanned vector, never a map. Thread-local: no locks, no
+  // sharing; the worker owns its engines outright (CP.2).
+  thread_local std::vector<LeaseEntry> cache;
+  const sched::PolicyMode mode = policy->mode();
+  for (LeaseEntry& entry : cache) {
+    if (entry.config.get() == config.get() && entry.mode == mode) {
+      entry.simulation->reset(std::move(policy));
+      return *entry.simulation;
+    }
+  }
+  cache.push_back(
+      {config, mode, std::make_unique<sched::Simulation>(config, std::move(policy))});
+  return *cache.back().simulation;
+}
+
+}  // namespace e2c::exp

@@ -1,0 +1,36 @@
+/// \file sim_pool.hpp
+/// \brief Worker-local Simulation leases for the sharded experiment plane.
+///
+/// The sharded sweep runs one task per (cell, replication). Building a
+/// Simulation per replication would put an engine + machines + dense task
+/// vectors allocation on every task and turn the sweep into cross-thread
+/// malloc traffic; instead each pool worker keeps a thread-local cache of
+/// Simulations keyed by (SystemConfig, policy mode) and leases one per
+/// replication, reset(policy) between leases. reset() returns the engine to
+/// its just-constructed state (PR 5's guarantee, proven by the plane
+/// equivalence tests), so a leased engine is observationally identical to a
+/// fresh one and results stay byte-identical across worker counts and
+/// lease interleavings.
+///
+/// The cache key includes the policy mode because the machine-queue
+/// capacity is baked in at construction (batch policies bounded, immediate
+/// unbounded) and reset() refuses a mode change. Each entry keeps its
+/// SystemConfig alive via shared_ptr; entries die with their worker thread
+/// when the pool joins at the end of the sweep.
+#pragma once
+
+#include <memory>
+
+#include "sched/simulation.hpp"
+
+namespace e2c::exp {
+
+/// Leases this thread's Simulation for \p config and the mode of \p policy:
+/// an existing engine is reset(policy) in place, otherwise a new one is
+/// constructed and cached. The reference stays valid for the current
+/// replication only (the next lease on this thread may reset it).
+[[nodiscard]] sched::Simulation& lease_simulation(
+    const std::shared_ptr<const sched::SystemConfig>& config,
+    std::unique_ptr<sched::Policy> policy);
+
+}  // namespace e2c::exp

@@ -281,7 +281,9 @@ void Simulation::reset(std::unique_ptr<Policy> policy) {
   scheduler_invocations_ = 0;
   std::fill(completed_by_type_.begin(), completed_by_type_.end(), 0);
   std::fill(terminal_by_type_.begin(), terminal_by_type_.end(), 0);
-  std::fill(rates_scratch_.begin(), rates_scratch_.end(), 1.0);
+  // assign, not fill: a run abandoned by an exception can leave the lent
+  // scratch buffer moved-out, and reset() promises just-constructed state.
+  rates_scratch_.assign(cfg().eet.task_type_count(), 1.0);
   sampling_rng_ = util::Rng(cfg().sampling_seed);
   std::fill(in_flight_count_.begin(), in_flight_count_.end(), 0);
   std::fill(in_flight_exec_.begin(), in_flight_exec_.end(), 0.0);
@@ -470,7 +472,17 @@ void Simulation::run_scheduler() {
   SchedulingContext context(engine_.now(), cfg().eet, std::move(views),
                             std::move(queue_view), std::move(rates),
                             cfg().pet ? &*cfg().pet : nullptr);
-  const std::vector<Assignment> assignments = policy_->schedule(context);
+  std::vector<Assignment> assignments;
+  try {
+    assignments = policy_->schedule(context);
+  } catch (...) {
+    // The scratch buffers were lent to the context by move; a throwing
+    // policy must not leave them moved-out-empty, or the next
+    // record_outcome() writes rates_scratch_[type] past a zero-size
+    // vector (reset() only re-fills, it does not re-size).
+    context.release_buffers(views_scratch_, queue_view_scratch_, rates_scratch_);
+    throw;
+  }
   context.release_buffers(views_scratch_, queue_view_scratch_, rates_scratch_);
   for (const Assignment& assignment : assignments) apply_assignment(assignment);
 }

@@ -1,42 +1,110 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace e2c::util {
 
+std::size_t ThreadPool::resolve_worker_count(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t worker_count) {
-  if (worker_count == 0) {
-    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_count = resolve_worker_count(worker_count);
+  queues_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
   }
   workers_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true);
   {
-    std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    // Empty critical section: a worker between its predicate check and its
+    // sleep still holds sleep_mutex_, so acquiring it here orders the
+    // stopping_ store before the notify that worker must not miss.
+    std::scoped_lock lock(sleep_mutex_);
   }
   wakeup_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      wakeup_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+void ThreadPool::enqueue_one(std::function<void()> task) {
+  if (stopping_.load()) throw std::runtime_error("ThreadPool: submit after shutdown");
+  const std::size_t index =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1);
+  {
+    std::scoped_lock lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  {
+    std::scoped_lock lock(sleep_mutex_);
+  }
+  wakeup_.notify_one();
+}
+
+void ThreadPool::enqueue_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (stopping_.load()) throw std::runtime_error("ThreadPool: submit after shutdown");
+  const std::size_t queue_count = queues_.size();
+  const std::size_t chunk = (tasks.size() + queue_count - 1) / queue_count;
+  pending_.fetch_add(tasks.size());
+  const std::size_t base =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queue_count;
+  std::size_t begin = 0;
+  for (std::size_t q = 0; q < queue_count && begin < tasks.size(); ++q) {
+    const std::size_t end = std::min(tasks.size(), begin + chunk);
+    WorkerQueue& queue = *queues_[(base + q) % queue_count];
+    std::scoped_lock lock(queue.mutex);
+    for (std::size_t i = begin; i < end; ++i) {
+      queue.tasks.push_back(std::move(tasks[i]));
     }
-    task();
+    begin = end;
+  }
+  {
+    std::scoped_lock lock(sleep_mutex_);
+  }
+  wakeup_.notify_all();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  const std::size_t queue_count = queues_.size();
+  for (std::size_t offset = 0; offset < queue_count; ++offset) {
+    WorkerQueue& queue = *queues_[(self + offset) % queue_count];
+    std::scoped_lock lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (offset == 0) {
+      out = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    } else {
+      // Steal from the victim's tail: the owner keeps its cache-warm front,
+      // the thief takes the coldest task.
+      out = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+    pending_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    wakeup_.wait(lock, [this] { return stopping_.load() || pending_.load() > 0; });
+    if (pending_.load() == 0 && stopping_.load()) return;
   }
 }
 

@@ -7,13 +7,23 @@
 /// independent simulation replications concurrently (each replication owns
 /// its engine and split RNG stream, so there is no shared mutable state —
 /// CP.2/CP.3).
+///
+/// Internally the pool keeps one task queue per worker with work stealing:
+/// the owner pops from its queue's front, an idle worker steals from another
+/// queue's back, so a queue's mutex is contended only when stealing actually
+/// happens. The previous design — one std::queue behind one mutex, with a
+/// notify per submit — serialized every push *and* every pop through the
+/// same lock and showed up as flat worker scaling in the sweep bench.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -34,6 +44,12 @@ class ThreadPool {
   /// Drains outstanding tasks and joins all workers.
   ~ThreadPool();
 
+  /// What a requested worker count of 0 means: hardware concurrency, at
+  /// least 1. The single normalization point — the pool constructor, the
+  /// process backend's slot count, and the CLI summary all resolve through
+  /// here so "0 workers" cannot mean different things in different layers.
+  [[nodiscard]] static std::size_t resolve_worker_count(std::size_t requested) noexcept;
+
   /// Submits a callable; the returned future yields its result.
   /// Tasks must not block on other tasks submitted to the same pool.
   template <typename F>
@@ -41,26 +57,60 @@ class ThreadPool {
     using Result = std::invoke_result_t<F>;
     auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
     std::future<Result> result = packaged->get_future();
-    {
-      std::scoped_lock lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      tasks_.emplace([packaged] { (*packaged)(); });
-    }
-    wakeup_.notify_one();
+    enqueue_one([packaged] { (*packaged)(); });
     return result;
+  }
+
+  /// Submits a homogeneous batch in one synchronization episode: tasks are
+  /// spread over the per-worker queues in contiguous chunks (one lock
+  /// acquisition per queue, not per task) and the workers are woken by a
+  /// single notify. Futures are returned in task order regardless of which
+  /// worker executes what.
+  template <typename F>
+  [[nodiscard]] auto submit_bulk(std::vector<F> tasks)
+      -> std::vector<std::future<std::invoke_result_t<F&>>> {
+    using Result = std::invoke_result_t<F&>;
+    std::vector<std::future<Result>> futures;
+    futures.reserve(tasks.size());
+    std::vector<std::function<void()>> wrapped;
+    wrapped.reserve(tasks.size());
+    for (F& task : tasks) {
+      auto packaged = std::make_shared<std::packaged_task<Result()>>(std::move(task));
+      futures.push_back(packaged->get_future());
+      wrapped.emplace_back([packaged] { (*packaged)(); });
+    }
+    enqueue_batch(std::move(wrapped));
+    return futures;
   }
 
   /// Number of worker threads.
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  /// One queue per worker. The owner pops the front; thieves take the back.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
 
+  void enqueue_one(std::function<void()> task);
+  void enqueue_batch(std::vector<std::function<void()>> tasks);
+  /// Pops from the own queue, then tries to steal; decrements pending_ on
+  /// success. Returns false when every queue came up empty.
+  [[nodiscard]] bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  /// Guards only the sleep/wake protocol; never held while queuing or
+  /// running tasks. pending_ is incremented *before* the task is pushed
+  /// (so it can never undercount and strand a sleeper) and decremented
+  /// after a successful pop.
+  std::mutex sleep_mutex_;
   std::condition_variable wakeup_;
-  bool stopping_ = false;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit cursor
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace e2c::util

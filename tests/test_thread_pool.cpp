@@ -1,10 +1,16 @@
-// Unit tests for the task-based thread pool (util/thread_pool.hpp).
+// Unit tests for the task-based thread pool (util/thread_pool.hpp):
+// submit/future plumbing, the bulk-submit path, and the work-stealing
+// property that no queue's backlog can be stranded behind a busy worker.
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
 #include <numeric>
+#include <random>
 #include <vector>
 
 namespace {
@@ -46,6 +52,94 @@ TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
 TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ResolveWorkerCountIsTheSingleNormalizationPoint) {
+  // The experiment backends and the CLI summary all report what "0 workers"
+  // meant through this resolver; it must agree with the pool itself.
+  EXPECT_GE(ThreadPool::resolve_worker_count(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_worker_count(0), ThreadPool(0).worker_count());
+  EXPECT_EQ(ThreadPool::resolve_worker_count(3), 3u);
+  EXPECT_EQ(ThreadPool(3).worker_count(), 3u);
+}
+
+TEST(ThreadPool, BulkSubmitRunsAllInFutureOrder) {
+  ThreadPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 257; ++i) tasks.push_back([i] { return i * 3; });
+  auto futures = pool.submit_bulk(std::move(tasks));
+  ASSERT_EQ(futures.size(), 257u);
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * 3);
+}
+
+TEST(ThreadPool, BulkSubmitEmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  auto futures = pool.submit_bulk(std::vector<std::function<void()>>{});
+  EXPECT_TRUE(futures.empty());
+}
+
+TEST(ThreadPool, BulkSubmitPropagatesPerTaskExceptions) {
+  ThreadPool pool(2);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i]() -> int {
+      if (i == 7) throw std::runtime_error("boom");
+      return i;
+    });
+  }
+  auto futures = pool.submit_bulk(std::move(tasks));
+  for (int i = 0; i < 16; ++i) {
+    if (i == 7) {
+      EXPECT_THROW((void)futures[7].get(), std::runtime_error);
+    } else {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    }
+  }
+}
+
+TEST(ThreadPool, StealsFromABlockedWorkersQueue) {
+  // One of two workers parks on a gate. A bulk submit spreads tasks over
+  // both per-worker queues, so roughly half land behind the parked worker —
+  // without work stealing those tasks could not run until the gate opens,
+  // and the waits below would time out.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([gate] { gate.wait(); });
+
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  auto futures = pool.submit_bulk(std::move(tasks));
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "task stranded behind the blocked worker: stealing is broken";
+  }
+  EXPECT_EQ(ran.load(), 64);
+
+  release.set_value();
+  blocker.get();
+}
+
+TEST(ThreadPool, BulkSubmitPropertyRandomizedShapes) {
+  // Property over random (worker count, batch size, mixed singles) shapes:
+  // every future completes with its task's value, in future order.
+  std::mt19937 rng(20230807);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t workers = 1 + rng() % 8;
+    const std::size_t batch = rng() % 120;
+    ThreadPool pool(workers);
+    std::vector<std::function<std::size_t()>> tasks;
+    for (std::size_t i = 0; i < batch; ++i) tasks.push_back([i] { return i * i; });
+    auto futures = pool.submit_bulk(std::move(tasks));
+    // Interleave a few singles so both submit paths share the queues.
+    std::vector<std::future<std::size_t>> singles;
+    for (std::size_t i = 0; i < 5; ++i) {
+      singles.push_back(pool.submit([i] { return 1000 + i; }));
+    }
+    for (std::size_t i = 0; i < batch; ++i) EXPECT_EQ(futures[i].get(), i * i);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(singles[i].get(), 1000 + i);
+  }
 }
 
 TEST(ThreadPool, DestructorDrainsPendingWork) {
