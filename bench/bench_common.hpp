@@ -2,6 +2,9 @@
 // defaults, chart + CSV printing, and shape-check reporting.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -41,6 +44,24 @@ inline void print_figure(const exp::ExperimentResult& result, const std::string&
 inline bool check(bool condition, const std::string& what) {
   std::cout << (condition ? "[shape OK]   " : "[shape FAIL] ") << what << "\n";
   return condition;
+}
+
+/// Peak resident set size (VmHWM) of this process in kB; 0 where /proc is
+/// unavailable (non-Linux). Megarun-class benches report it so CI can catch
+/// a layout change that silently doubles the per-task footprint.
+inline long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  long kb = 0;
+  while (std::getline(status, line)) {
+    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) return kb;
+  }
+  return 0;
+}
+
+/// Nanoseconds of wallclock per processed event; 0 for an empty run.
+inline double ns_per_event(double seconds, std::uint64_t events) {
+  return events == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(events);
 }
 
 }  // namespace e2c::bench

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "exp/experiment.hpp"
 #include "exp/scenario.hpp"
 #include "hetero/eet_matrix.hpp"
@@ -119,17 +120,6 @@ PlaneResult time_sweep(const e2c::exp::ExperimentSpec& spec, std::size_t workers
   }
   return {name, workers, best,
           static_cast<double>(total_replications(spec)) / best};
-}
-
-/// Peak resident set size (VmHWM) in kB; 0 where /proc is unavailable.
-long peak_rss_kb() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    long kb = 0;
-    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) return kb;
-  }
-  return 0;
 }
 
 std::string csv_text(const e2c::exp::ExperimentResult& result) {
@@ -285,7 +275,7 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n  \"scaling_speedup_4w\": " << scaling_speedup_4w << ",\n"
        << "  \"parallel_efficiency_4w\": " << parallel_efficiency_4w << ",\n"
-       << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n}\n";
+       << "  \"peak_rss_kb\": " << e2c::bench::peak_rss_kb() << "\n}\n";
 
   std::cout << json.str();
   if (!out_path.empty()) {

@@ -53,17 +53,16 @@ void BM_PolicyDecision(benchmark::State& state, const char* policy_name) {
   auto system = exp::heterogeneous_classroom();
   const auto policy = sched::make_policy(policy_name);
   // A loaded batch queue of 32 tasks against 4 machines.
-  std::vector<workload::Task> tasks;
+  std::vector<workload::TaskDef> tasks;
   for (std::uint64_t i = 0; i < 32; ++i) {
-    workload::Task task;
+    workload::TaskDef task;
     task.id = i;
     task.type = i % system.eet.task_type_count();
     task.arrival = 0.0;
     task.deadline = 60.0 + static_cast<double>(i);
-    task.status = workload::TaskStatus::kInBatchQueue;
     tasks.push_back(task);
   }
-  std::vector<const workload::Task*> queue;
+  std::vector<const workload::TaskDef*> queue;
   for (const auto& task : tasks) queue.push_back(&task);
   std::vector<sched::MachineView> machines;
   for (std::size_t m = 0; m < 4; ++m) {

@@ -1,0 +1,222 @@
+// Megarun: one 10M-task single simulation per policy (MM + ELARE), the
+// stress lane for the SoA task table + arena calendar. Unlike the overload
+// regime of bench_core_hotpath (rho = 1.3, scheduler-bound), the megarun
+// holds offered load just under capacity (rho = 0.9) so the discrete-event
+// core — calendar pushes/pops, SoA column writes, terminal bookkeeping —
+// dominates, and uses the shared-trace load path so the calendar stays at
+// in-system size instead of trace size.
+//
+// Each policy also gets a short calibration run (tasks/100) on the same
+// host; the mega/calibration events-per-second ratio is machine-independent
+// and is what tools/ci.sh gates: the SoA core must not fall off a cliff
+// when the table is 100x larger than cache. Every lane reports the best of
+// kRepeats runs so the ratio reflects the code, not scheduler noise.
+//
+//   bench_megarun [--tasks N] [--duration SECONDS] [--out FILE.json]
+//
+// Exit codes: 0 success, 1 internal error, 2 invalid input.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/scenario.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+struct Row {
+  std::string policy;
+  std::string lane;  // "calibration" | "mega"
+  std::size_t tasks_requested = 0;
+  std::size_t tasks = 0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double ns_per_event = 0.0;
+  double completion_percent = 0.0;
+  long peak_rss_kb = 0;
+};
+
+/// Offered load just under capacity: the batch queue drains every round, so
+/// throughput measures the DES core, not the mapper's backlog behavior.
+constexpr double kRho = 0.9;
+
+/// Each lane runs this many times and reports its fastest repetition. The
+/// calibration lane in particular finishes in milliseconds, where one
+/// scheduler hiccup on a shared host can halve the measured events/s — and
+/// with it the scaling ratio the CI gate compares. Best-of-N measures the
+/// code, not the host's worst moment.
+constexpr int kRepeats = 3;
+
+Row run_once(const std::string& policy_name, const char* lane, std::size_t task_count,
+             double duration_override) {
+  e2c::sched::SystemConfig config = e2c::exp::heterogeneous_classroom(2);
+  const auto machine_types = e2c::exp::machine_types_of(config);
+
+  auto generator = e2c::workload::config_for_offered_load(
+      config.eet, machine_types, kRho, /*duration=*/1.0, /*seed=*/7);
+  if (duration_override > 0.0) {
+    generator.rate = static_cast<double>(task_count) / duration_override;
+    generator.duration = duration_override;
+  } else {
+    generator.duration = static_cast<double>(task_count) / generator.rate;
+  }
+  auto workload = std::make_shared<const e2c::workload::Workload>(
+      e2c::workload::generate_workload(config.eet, generator));
+
+  Row row;
+  row.policy = policy_name;
+  row.lane = lane;
+  row.tasks_requested = task_count;
+  row.tasks = workload->size();
+
+  e2c::sched::Simulation simulation(std::move(config),
+                                    e2c::sched::make_policy(policy_name));
+  simulation.load(std::move(workload));
+
+  const auto start = std::chrono::steady_clock::now();
+  simulation.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.events = simulation.engine().processed_count();
+  if (row.seconds > 0.0) {
+    row.events_per_sec = static_cast<double>(row.events) / row.seconds;
+  }
+  row.ns_per_event = e2c::bench::ns_per_event(row.seconds, row.events);
+  row.completion_percent = simulation.counters().completion_percent();
+  row.peak_rss_kb = e2c::bench::peak_rss_kb();
+  return row;
+}
+
+/// Best (highest events/s) of kRepeats identical runs.
+Row run_one(const std::string& policy_name, const char* lane, std::size_t task_count,
+            double duration_override) {
+  Row best = run_once(policy_name, lane, task_count, duration_override);
+  for (int rep = 1; rep < kRepeats; ++rep) {
+    const Row row = run_once(policy_name, lane, task_count, duration_override);
+    if (row.events_per_sec > best.events_per_sec) best = row;
+  }
+  return best;
+}
+
+struct Scaling {
+  std::string policy;
+  double scaling_ratio = 0.0;  ///< mega events/s over calibration events/s
+};
+
+void write_json(const std::string& path, std::size_t tasks, double duration,
+                const std::vector<Row>& rows, const std::vector<Scaling>& scalings) {
+  std::ofstream out(path);
+  if (!out.good()) throw e2c::IoError("cannot write " + path);
+  out << "{\n  \"bench\": \"megarun\",\n  \"tasks\": " << tasks
+      << ",\n  \"duration\": " << duration << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"policy\": \"" << row.policy << "\", \"lane\": \"" << row.lane
+        << "\", \"tasks_requested\": " << row.tasks_requested
+        << ", \"tasks\": " << row.tasks << ", \"events\": " << row.events
+        << ", \"seconds\": " << row.seconds
+        << ", \"events_per_sec\": " << row.events_per_sec
+        << ", \"ns_per_event\": " << row.ns_per_event
+        << ", \"completion_percent\": " << row.completion_percent
+        << ", \"peak_rss_kb\": " << row.peak_rss_kb << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scalings.size(); ++i) {
+    out << "    {\"policy\": \"" << scalings[i].policy
+        << "\", \"scaling_ratio\": " << scalings[i].scaling_ratio << "}"
+        << (i + 1 < scalings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"peak_rss_kb\": " << e2c::bench::peak_rss_kb() << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t tasks = 10'000'000;
+  double duration = 0.0;  // 0 = derive from rho
+  std::string out_path = "BENCH_megarun.json";
+  try {
+    const auto flag_value = [&](int& i, const std::string& flag) {
+      e2c::require_input(i + 1 < argc, "missing value for " + flag);
+      return std::string(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--tasks") {
+        const std::string value = flag_value(i, arg);
+        const auto count = e2c::util::parse_int(value);
+        e2c::require_input(count.has_value() && *count > 0,
+                           "--tasks must be an integer > 0, got '" + value +
+                               "' (--tasks)");
+        tasks = static_cast<std::size_t>(*count);
+      } else if (arg == "--duration") {
+        const std::string value = flag_value(i, arg);
+        const auto seconds = e2c::util::parse_double(value);
+        e2c::require_input(seconds.has_value() && *seconds > 0.0,
+                           "--duration must be a number of seconds > 0, got '" +
+                               value + "' (--duration)");
+        duration = *seconds;
+      } else if (arg == "--out") {
+        out_path = flag_value(i, arg);
+      } else if (arg == "--help") {
+        std::cout << "usage: bench_megarun [--tasks N] [--duration SECONDS] "
+                     "[--out FILE.json]\n";
+        return 0;
+      } else {
+        std::cerr << "bench_megarun: unknown argument '" << arg << "'\n";
+        return 2;
+      }
+    }
+
+    const std::size_t calibration_tasks = std::max<std::size_t>(tasks / 100, 1000);
+    std::vector<Row> rows;
+    std::vector<Scaling> scalings;
+    std::cout << "==== megarun: " << tasks << " tasks per policy ====\n";
+    for (const char* policy : {"MM", "ELARE"}) {
+      const Row calibration =
+          run_one(policy, "calibration", calibration_tasks,
+                  duration > 0.0 ? duration * static_cast<double>(calibration_tasks) /
+                                       static_cast<double>(tasks)
+                                 : 0.0);
+      const Row mega = run_one(policy, "mega", tasks, duration);
+      for (const Row& row : {calibration, mega}) {
+        std::cout << row.policy << " (" << row.lane << ") tasks=" << row.tasks
+                  << " events=" << row.events << " seconds=" << row.seconds
+                  << " events/sec=" << static_cast<std::uint64_t>(row.events_per_sec)
+                  << " ns/event=" << row.ns_per_event
+                  << " completion=" << row.completion_percent << "%"
+                  << " peak_rss_kb=" << row.peak_rss_kb << "\n";
+        rows.push_back(row);
+      }
+      Scaling scaling;
+      scaling.policy = policy;
+      if (calibration.events_per_sec > 0.0) {
+        scaling.scaling_ratio = mega.events_per_sec / calibration.events_per_sec;
+      }
+      std::cout << policy << " scaling ratio (mega/calibration) = "
+                << scaling.scaling_ratio << "\n";
+      scalings.push_back(scaling);
+    }
+    write_json(out_path, tasks, duration, rows, scalings);
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const e2c::InputError& error) {
+    std::cerr << "bench_megarun: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_megarun: " << error.what() << "\n";
+    return 1;
+  }
+}

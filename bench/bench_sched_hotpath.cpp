@@ -55,11 +55,11 @@ constexpr std::size_t kSlotsPerMachine = 4;
 struct BenchScenario {
   e2c::hetero::EetMatrix eet;
   std::vector<MachineView> machines;
-  std::vector<e2c::workload::Task> tasks;
+  std::vector<e2c::workload::TaskDef> tasks;
   std::vector<double> ontime_rates;
 
   [[nodiscard]] SchedulingContext make_context() const {
-    std::vector<const e2c::workload::Task*> queue;
+    std::vector<const e2c::workload::TaskDef*> queue;
     queue.reserve(tasks.size());
     for (const auto& task : tasks) queue.push_back(&task);
     return SchedulingContext(0.0, eet, machines, std::move(queue), ontime_rates);
@@ -100,13 +100,12 @@ BenchScenario make_scenario(std::size_t depth) {
   // Half the deadlines are tight enough that commits push them infeasible
   // mid-invocation — the deferral path a deep queue at overload exercises.
   for (std::size_t i = 0; i < depth; ++i) {
-    e2c::workload::Task task;
+    e2c::workload::TaskDef task;
     task.id = i + 1;
     task.type = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(scenario.eet.task_type_count()) - 1));
     task.arrival = static_cast<double>(i) * 0.01;
     task.deadline = rng.bernoulli(0.5) ? rng.uniform(20.0, 80.0) : 1e9;
-    task.status = e2c::workload::TaskStatus::kInBatchQueue;
     scenario.tasks.push_back(task);
   }
 

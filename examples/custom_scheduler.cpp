@@ -24,9 +24,9 @@ class LeastLoadedFairPolicy final : public e2c::sched::Policy {
     return e2c::sched::PolicyMode::kBatch;
   }
 
-  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
-      e2c::sched::SchedulingContext& context) override {
-    std::vector<e2c::sched::Assignment> assignments;
+  void schedule_into(e2c::sched::SchedulingContext& context,
+                     std::vector<e2c::sched::Assignment>& assignments) override {
+    assignments.clear();
     auto pending = context.batch_queue();
     while (!pending.empty()) {
       // Fairness: most-suffering task type first.
@@ -52,7 +52,6 @@ class LeastLoadedFairPolicy final : public e2c::sched::Policy {
       context.commit(*task, best);
       pending.erase(chosen);
     }
-    return assignments;
   }
 };
 

@@ -46,12 +46,29 @@ bool Engine::step() {
 }
 
 void Engine::run_until(SimTime horizon) {
+  // Fast lane while no observers are attached: inline pop → clock → call with
+  // no label materialization and no per-event observer check beyond the loop
+  // condition. Falls through to dispatch_one() the moment a callback attaches
+  // an observer mid-run (the step-mode UI does exactly that).
+  while (observers_.empty() && !queue_.empty() && *queue_.next_time() <= horizon) {
+    auto popped = queue_.pop_lean();
+    now_ = popped.time;
+    ++processed_;
+    if (popped.fn) popped.fn();
+  }
   while (!queue_.empty() && *queue_.next_time() <= horizon) dispatch_one();
   if (now_ < horizon && horizon < kTimeInfinity) now_ = horizon;
   for (EngineObserver* observer : observers_) observer->on_idle(now_);
 }
 
 void Engine::run() {
+  // Same fast-lane split as run_until (see comment there).
+  while (observers_.empty() && !queue_.empty()) {
+    auto popped = queue_.pop_lean();
+    now_ = popped.time;
+    ++processed_;
+    if (popped.fn) popped.fn();
+  }
   while (!queue_.empty()) dispatch_one();
   for (EngineObserver* observer : observers_) observer->on_idle(now_);
 }

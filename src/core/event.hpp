@@ -2,9 +2,12 @@
 /// \brief Event identity, ordering and metadata for the discrete-event core.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "core/sim_time.hpp"
 
@@ -36,7 +39,53 @@ inline constexpr EventId kNoEvent = 0;
 
 /// Callback executed when an event fires. Runs with the engine clock already
 /// advanced to the event's time.
-using EventFn = std::function<void()>;
+///
+/// A fixed-capacity inline closure instead of std::function: event callbacks
+/// are small captures (a `this` pointer plus a couple of scalars), and the
+/// calendar schedules millions of them per large run. Storing the closure
+/// in-place inside the event slot removes the per-event heap allocation and
+/// makes the whole slot trivially copyable, so the slab allocator can recycle
+/// slots with plain byte copies. Closures must be trivially copyable and
+/// destructible and fit kInlineSize — violations fail at compile time, which
+/// is the contract: an event callback that wants to own heap state should
+/// capture a pointer into model-layer storage instead.
+class EventFn {
+ public:
+  /// Maximum closure size: a vtable-free `this` + several scalars with room
+  /// to spare (the largest closure in the tree captures this + 2 doubles).
+  static constexpr std::size_t kInlineSize = 48;
+
+  constexpr EventFn() noexcept = default;
+  constexpr EventFn(std::nullptr_t) noexcept {}  // NOLINT: mirrors std::function
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  EventFn(F&& f) {  // NOLINT: implicit, like std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineSize,
+                  "EventFn closure too large: capture a pointer to model-layer "
+                  "state instead of copying it into the event");
+    static_assert(std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>,
+                  "EventFn closures must be trivially copyable/destructible so "
+                  "event slots can be recycled with byte copies");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* storage) { (*static_cast<Fn*>(storage))(); };
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    invoke_ = nullptr;
+    return *this;
+  }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void (*invoke_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize] = {};
+};
 
 /// Lazy event label: a small POD of string-literal pieces plus an optional
 /// number, materialized into a std::string only when someone (a trace

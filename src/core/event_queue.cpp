@@ -1,5 +1,6 @@
 #include "core/event_queue.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "util/error.hpp"
@@ -27,9 +28,22 @@ std::string EventLabel::str() const {
   return text;
 }
 
+EventQueue::OrderKey EventQueue::make_key(SimTime time, EventPriority priority,
+                                          std::uint64_t sequence) noexcept {
+  // Monotone map from double to uint64: flip all bits of negatives, set the
+  // sign bit of non-negatives. `time + 0.0` folds -0.0 into +0.0 first so
+  // the two zeros (numerically equal, so ordered by priority/sequence under
+  // the old compare) cannot order by sign bit here.
+  const auto bits = std::bit_cast<std::uint64_t>(time + 0.0);
+  const std::uint64_t ordered =
+      (bits & 0x8000000000000000ull) != 0 ? ~bits : bits | 0x8000000000000000ull;
+  return (static_cast<OrderKey>(ordered) << 64) |
+         (static_cast<std::uint64_t>(priority) << kPriorityShift) | sequence;
+}
+
 EventId EventQueue::schedule(SimTime time, EventPriority priority, EventLabel label,
                              EventFn fn) {
-  const EventId id = next_id_++;
+  e2c::require(next_sequence_ < kMaxSequence, "EventQueue sequence space exhausted");
   std::uint32_t slot_index;
   if (free_slots_.empty()) {
     slot_index = static_cast<std::uint32_t>(slots_.size());
@@ -39,30 +53,37 @@ EventId EventQueue::schedule(SimTime time, EventPriority priority, EventLabel la
     free_slots_.pop_back();
   }
   Slot& slot = slots_[slot_index];
+  // The id carries its own slot reference: (generation << 32) | (slot + 1).
+  // The +1 keeps the id from ever being kNoEvent (slot 0, generation 0);
+  // the generation half makes ids from a recycled slot distinct, so cancel()
+  // can validate a stale id in O(1) without any id→slot lookup table.
+  const EventId id =
+      (static_cast<EventId>(slot.generation) << 32) | (slot_index + 1);
   slot.id = id;
   slot.live = true;
   slot.label = label;
-  slot.fn = std::move(fn);
+  slot.fn = fn;
 
-  heap_.push_back(HeapNode{time, next_sequence_++, slot_index, slot.generation, priority});
+  heap_.push_back(
+      HeapNode{make_key(time, priority, next_sequence_++), time, slot_index, slot.generation});
   sift_up(heap_.size() - 1);
-  slot_of_.emplace(id, slot_index);
   ++live_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = slot_of_.find(id);
-  if (it == slot_of_.end()) return false;
-  Slot& slot = slots_[it->second];
-  // Free the slot now: the payload dies, the generation bump turns the slot's
-  // heap node into a tombstone, and the slot can be reused immediately.
+  if (id == kNoEvent) return false;
+  const std::uint32_t slot_index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  if (slot_index >= slots_.size()) return false;
+  Slot& slot = slots_[slot_index];
+  if (!slot.live || slot.id != id) return false;
+  // Free the slot now: the generation bump turns the slot's heap node into a
+  // tombstone and the slot can be reused immediately. The payload is left in
+  // place — it is trivially destructible by construction, and the next
+  // schedule() into this slot overwrites it wholesale.
   slot.live = false;
   ++slot.generation;
-  slot.fn = nullptr;
-  slot.label = EventLabel{};
-  free_slots_.push_back(it->second);
-  slot_of_.erase(it);
+  free_slots_.push_back(slot_index);
   --live_;
   ++tombstones_;
   prune_top();
@@ -79,19 +100,30 @@ std::optional<EventRecord> EventQueue::peek() const {
   if (live_ == 0) return std::nullopt;
   const HeapNode& top = heap_.front();
   const Slot& slot = slots_[top.slot];
-  return EventRecord{slot.id, top.time, top.priority, slot.label.str()};
+  return EventRecord{slot.id, top.time, top.priority(), slot.label.str()};
 }
 
 EventQueue::PoppedEvent EventQueue::pop() {
   e2c::require(live_ != 0, "EventQueue::pop on empty queue");
   const HeapNode top = heap_.front();
   Slot& slot = slots_[top.slot];
-  PoppedEvent popped{slot.id, top.time, top.priority, slot.label, std::move(slot.fn)};
-  slot_of_.erase(slot.id);
+  PoppedEvent popped{slot.id, top.time, top.priority(), slot.label, slot.fn};
   slot.live = false;
   ++slot.generation;
-  slot.fn = nullptr;
-  slot.label = EventLabel{};
+  free_slots_.push_back(top.slot);
+  --live_;
+  remove_root();
+  prune_top();
+  return popped;
+}
+
+EventQueue::LeanEvent EventQueue::pop_lean() {
+  e2c::require(live_ != 0, "EventQueue::pop on empty queue");
+  const HeapNode top = heap_.front();
+  Slot& slot = slots_[top.slot];
+  LeanEvent popped{top.time, slot.fn};
+  slot.live = false;
+  ++slot.generation;
   free_slots_.push_back(top.slot);
   --live_;
   remove_root();
@@ -101,9 +133,18 @@ EventQueue::PoppedEvent EventQueue::pop() {
 
 void EventQueue::clear() noexcept {
   heap_.clear();
-  slots_.clear();
   free_slots_.clear();
-  slot_of_.clear();
+  // Keep the slots (the slab is the arena — reuse it across resets) but bump
+  // the generation of every live one so ids handed out before the clear can
+  // never alias an event scheduled after it.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.live) {
+      slot.live = false;
+      ++slot.generation;
+    }
+    free_slots_.push_back(i);
+  }
   live_ = 0;
   tombstones_ = 0;
 }
@@ -115,6 +156,9 @@ void EventQueue::remove_root() noexcept {
 }
 
 void EventQueue::prune_top() noexcept {
+  // With no tombstones anywhere every node is live; skip the slot lookup
+  // that node_live would do on each pop.
+  if (tombstones_ == 0) return;
   while (!heap_.empty() && !node_live(heap_.front())) {
     remove_root();
     --tombstones_;

@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/event.hpp"
@@ -21,15 +20,22 @@ namespace e2c::core {
 /// internal layout: any correct heap produces the bit-identical event order
 /// the run-digest tests pin down.
 ///
-/// Implementation: a 4-ary min-heap of small key nodes over a slot pool that
-/// owns the payloads (label + callback). cancel() is O(1) lazy: the slot is
-/// freed immediately (payload destroyed, generation bumped) and the heap
-/// node becomes a tombstone that pop() discards when it surfaces. The heap
-/// top is always live, so peek()/next_time() stay const and exact; size()
-/// counts live events only (the GUI's pending-event panel). When tombstones
-/// outnumber live entries the heap is compacted in place, so cancel-heavy
-/// workloads (deadline drops, replica cancels, fault drains) cannot grow the
-/// heap without bound.
+/// Implementation: a 4-ary min-heap of small key nodes over a slab of
+/// fixed-size slots that own the payloads (label + inline callback). Slots
+/// are recycled through a free list — no per-event allocation once the slab
+/// reached the run's in-system high-water mark. cancel() is O(1) lazy: the
+/// slot is freed immediately (payload cleared, generation bumped) and the
+/// heap node becomes a tombstone that pop() discards when it surfaces. The
+/// heap top is always live, so peek()/next_time() stay const and exact;
+/// size() counts live events only (the GUI's pending-event panel). When
+/// tombstones outnumber live entries the heap is compacted in place, so
+/// cancel-heavy workloads (deadline drops, replica cancels, fault drains)
+/// cannot grow the heap without bound.
+///
+/// Event ids encode their own slot reference — (generation << 32) |
+/// (slot + 1), never kNoEvent — so cancel() decodes and validates in O(1)
+/// with zero auxiliary lookup structure (the id→slot hash map this replaced
+/// cost an allocation-heavy insert+erase per event).
 class EventQueue {
  public:
   /// Inserts an event; returns its unique id (never kNoEvent).
@@ -57,6 +63,14 @@ class EventQueue {
   };
   [[nodiscard]] PoppedEvent pop();
 
+  /// pop() for the headless fast lane: only what the engine's observer-free
+  /// loop consumes (clock + callback), skipping the id/label copy.
+  struct LeanEvent {
+    SimTime time = 0.0;
+    EventFn fn;
+  };
+  [[nodiscard]] LeanEvent pop_lean();
+
   /// Number of pending (live) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
@@ -77,19 +91,40 @@ class EventQueue {
   /// One heap element: the full ordering key plus a generation-stamped
   /// reference into the slot pool. Keys live in the node so sift compares
   /// never touch the (colder, payload-bearing) slots.
+  ///
+  /// The (time, priority, sequence) order is packed into one 128-bit
+  /// integer — monotone-transformed time bits in the high half, priority
+  /// then sequence in the low half — so precedes() is a single integer
+  /// compare instead of a three-branch cascade. sift_down runs ~5 compares
+  /// per level and dominates the pop path of large runs; the packed key is
+  /// what keeps it branch-lean. The transform preserves IEEE ordering
+  /// exactly (and normalizes -0.0 to +0.0, which compare equal anyway), so
+  /// the pop order — and with it the run digests — is bit-identical to the
+  /// field-by-field compare.
+  __extension__ typedef unsigned __int128 OrderKey;  // GCC/Clang extension
+
   struct HeapNode {
-    SimTime time;
-    std::uint64_t sequence;
+    OrderKey key;
+    SimTime time;  ///< kept unpacked: next_time()/pop() read it verbatim
     std::uint32_t slot;
     std::uint32_t generation;
-    EventPriority priority;
 
     [[nodiscard]] bool precedes(const HeapNode& other) const noexcept {
-      if (time != other.time) return time < other.time;
-      if (priority != other.priority) return priority < other.priority;
-      return sequence < other.sequence;
+      return key < other.key;
+    }
+    [[nodiscard]] EventPriority priority() const noexcept {
+      return static_cast<EventPriority>(
+          static_cast<std::uint64_t>(key) >> kPriorityShift);
     }
   };
+
+  /// Sequence bits below the priority byte; 2^56 events is centuries of
+  /// simulated work, and schedule() checks the bound anyway.
+  static constexpr unsigned kPriorityShift = 56;
+  static constexpr std::uint64_t kMaxSequence = std::uint64_t{1} << kPriorityShift;
+
+  [[nodiscard]] static OrderKey make_key(SimTime time, EventPriority priority,
+                                         std::uint64_t sequence) noexcept;
 
   /// Payload storage; generation detects stale heap nodes after slot reuse.
   struct Slot {
@@ -115,11 +150,9 @@ class EventQueue {
   std::vector<HeapNode> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<EventId, std::uint32_t> slot_of_;
   std::size_t live_ = 0;
   std::size_t tombstones_ = 0;  ///< dead nodes still inside heap_
   std::uint64_t next_sequence_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace e2c::core

@@ -17,6 +17,16 @@ using SimTime = double;
 /// Sentinel meaning "never" / unbounded horizon.
 inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
 
+/// Sentinel meaning "not recorded yet" for per-task timestamps (assignment,
+/// start, completion, missed). Simulated time is always >= 0, so -inf can
+/// never collide with a real instant; the SoA task-state columns store this
+/// instead of a std::optional engaged flag (one double per timestamp, no
+/// padding byte). Compare with `t == kTimeUnset` / `t != kTimeUnset`.
+inline constexpr SimTime kTimeUnset = -std::numeric_limits<SimTime>::infinity();
+
+/// True when a timestamp has been recorded (is not kTimeUnset).
+[[nodiscard]] constexpr bool time_set(SimTime t) noexcept { return t != kTimeUnset; }
+
 /// Tolerance used when comparing computed simulation times that should be
 /// mathematically equal (guards against floating-point drift in tests and
 /// deadline comparisons are done with <= so an exact tie counts as on-time).

@@ -21,17 +21,17 @@ QuizScenario default_quiz() {
           {6.0, 5.0, 8.0, 2.0},   // T3: fastest on m4 too (contention)
       });
 
-  workload::Task t1;
+  workload::TaskDef t1;
   t1.id = 1;
   t1.type = 0;
   t1.arrival = 0.0;
   t1.deadline = 12.0;
-  workload::Task t2;
+  workload::TaskDef t2;
   t2.id = 2;
   t2.type = 1;
   t2.arrival = 0.0;
   t2.deadline = 6.0;  // soonest deadline: MSD maps it first
-  workload::Task t3;
+  workload::TaskDef t3;
   t3.id = 3;
   t3.type = 2;
   t3.arrival = 0.0;
@@ -60,9 +60,9 @@ MethodAnswer solve_method(const QuizScenario& scenario, const std::string& metho
     view.free_slots = scenario.tasks.size();
     machines.push_back(view);
   }
-  std::vector<const workload::Task*> queue;
+  std::vector<const workload::TaskDef*> queue;
   queue.reserve(scenario.tasks.size());
-  for (const workload::Task& task : scenario.tasks) queue.push_back(&task);
+  for (const workload::TaskDef& task : scenario.tasks) queue.push_back(&task);
 
   sched::SchedulingContext context(0.0, scenario.eet, std::move(machines),
                                    std::move(queue), {});

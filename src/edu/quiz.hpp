@@ -20,8 +20,8 @@ namespace e2c::edu {
 
 /// The quiz's static situation: tasks present at time zero, idle machines.
 struct QuizScenario {
-  hetero::EetMatrix eet;             ///< 3 task types x 4 machines
-  std::vector<workload::Task> tasks; ///< the three arriving tasks (with deadlines)
+  hetero::EetMatrix eet;                ///< 3 task types x 4 machines
+  std::vector<workload::TaskDef> tasks; ///< the three arriving tasks (with deadlines)
 };
 
 /// The default quiz used in the course: three tasks, four machines with an

@@ -53,24 +53,27 @@ std::vector<std::string> tenant_names(const std::vector<TenantSpec>& tenants) {
 
 std::vector<TenantOutcome> tenant_outcomes(const sched::Simulation& simulation) {
   const std::vector<std::string>& names = simulation.tenant_names();
+  const workload::TaskStateSoA& state = simulation.task_state();
   std::size_t count = names.size();
-  for (const workload::Task& task : simulation.tasks()) {
-    count = std::max(count, static_cast<std::size_t>(task.tenant) + 1);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    count = std::max(count, static_cast<std::size_t>(state.tenant(i)) + 1);
   }
   std::vector<TenantOutcome> outcomes(std::max<std::size_t>(count, 1));
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     outcomes[i].name = i < names.size() ? names[i] : "tenant" + std::to_string(i);
   }
-  for (const workload::Task& task : simulation.tasks()) {
-    TenantOutcome& outcome = outcomes[task.tenant];
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    TenantOutcome& outcome = outcomes[state.tenant(i)];
     // Replica clones fold into their tenant's waste but are not submissions.
-    if (!task.replica_of) ++outcome.tasks;
-    if (task.completed()) ++outcome.completed;
-    outcome.useful_seconds += task.useful_seconds;
-    outcome.lost_seconds += task.lost_seconds;
-    outcome.checkpoint_overhead_seconds += task.checkpoint_overhead_seconds;
-    outcome.machine_seconds += task.machine_seconds;
-    outcome.checkpoints += task.checkpoint_times.size();
+    const bool is_clone =
+        state.has_replica_column() && state.replica_of[i] != workload::kNoTaskId;
+    if (!is_clone) ++outcome.tasks;
+    if (state.completed(i)) ++outcome.completed;
+    outcome.useful_seconds += state.useful_seconds[i];
+    outcome.lost_seconds += state.lost_seconds[i];
+    outcome.checkpoint_overhead_seconds += state.checkpoint_overhead_seconds[i];
+    outcome.machine_seconds += state.machine_seconds[i];
+    if (state.has_checkpoint_column()) outcome.checkpoints += state.checkpoint_times[i].size();
   }
   return outcomes;
 }

@@ -44,10 +44,10 @@ void Machine::set_online(bool online, core::SimTime now) {
   state_ = online ? MachineState::kOnline : MachineState::kOffline;
 }
 
-std::vector<workload::Task*> Machine::fail(core::SimTime now) {
+std::vector<std::size_t> Machine::fail(core::SimTime now) {
   require(state_ == MachineState::kOnline, "Machine::fail: machine '" + name_ +
                                                "' is not online");
-  std::vector<workload::Task*> evicted;
+  std::vector<std::size_t> evicted;
   evicted.reserve(queue_.size() + 1);
   if (running_) {
     RunningEntry run = *running_;
@@ -109,15 +109,17 @@ core::SimTime Machine::ready_time() const {
   return ready;
 }
 
-void Machine::enqueue(workload::Task& task, double exec_seconds) {
+void Machine::enqueue(std::size_t task, double exec_seconds) {
   require(exec_seconds > 0.0, "Machine::enqueue: execution time must be > 0");
   require(has_queue_space(),
           [this] { return "Machine::enqueue: machine queue '" + name_ + "' saturated"; });
-  task.status = workload::TaskStatus::kInMachineQueue;
-  task.assigned_machine = id_;
+  task_state_->status[task] = workload::TaskStatus::kInMachineQueue;
+  task_state_->machine[task] = static_cast<std::uint32_t>(id_);
   // A task that transferred first was assigned earlier; keep that timestamp.
-  if (!task.assignment_time) task.assignment_time = engine_.now();
-  queue_.push_back(QueueEntry{&task, exec_seconds});
+  if (!core::time_set(task_state_->assignment_time[task])) {
+    task_state_->assignment_time[task] = engine_.now();
+  }
+  queue_.push_back(QueueEntry{task, exec_seconds});
   if (!running_) start_next();
 }
 
@@ -158,19 +160,19 @@ void Machine::start_next() {
   // plan on the warm EET, so the penalty is exactly the mis-estimation the
   // memory-allocation studies investigate.
   const double cold_penalty =
-      model_cache_ ? model_cache_->on_execute(entry.task->type) : 0.0;
+      model_cache_ ? model_cache_->on_execute(task_state_->type(entry.task)) : 0.0;
   RunningEntry run;
   run.task = entry.task;
   run.exec_seconds = entry.exec_seconds + cold_penalty;
   // Committed checkpoints travel with the task as a work fraction, so a
   // restart on a *different* machine resumes the remaining fraction at that
   // machine's own speed.
-  run.base_fraction = std::clamp(entry.task->completed_fraction, 0.0, 1.0);
+  run.base_fraction = std::clamp(task_state_->completed_fraction[entry.task], 0.0, 1.0);
   run.work_total = (1.0 - run.base_fraction) * run.exec_seconds;
   run.started_at = now;
   run.finish_at = now + projected_run_seconds(run);
-  entry.task->status = workload::TaskStatus::kRunning;
-  entry.task->start_time = now;
+  task_state_->status[entry.task] = workload::TaskStatus::kRunning;
+  task_state_->start_time[entry.task] = now;
   running_ = run;
 
   if (checkpoint_ && run.base_fraction > 0.0 && restart_read_estimate() > 0.0) {
@@ -179,11 +181,12 @@ void Machine::start_next() {
     if (io_channel_) {
       running_->pending_event = core::kNoEvent;
       running_->io_transfer = io_channel_->begin_restart_read(
-          run.task->id, name_.c_str(), [this] { on_restart_loaded(); });
+          task_state_->id(run.task), name_.c_str(), [this] { on_restart_loaded(); });
     } else {
       running_->pending_event = engine_.schedule_at(
           now + checkpoint_->restart_cost, core::EventPriority::kCompletion,
-          core::EventLabel("restart task=", run.task->id, " machine=", name_.c_str()),
+          core::EventLabel("restart task=", task_state_->id(run.task), " machine=",
+                           name_.c_str()),
           [this] { on_restart_loaded(); });
     }
   } else {
@@ -203,12 +206,14 @@ void Machine::begin_work_segment() {
   if (checkpoint_ && checkpoint_->interval > 0.0 && remaining > checkpoint_->interval) {
     run.pending_event = engine_.schedule_at(
         now + checkpoint_->interval, core::EventPriority::kCompletion,
-        core::EventLabel("checkpoint task=", run.task->id, " machine=", name_.c_str()),
+        core::EventLabel("checkpoint task=", task_state_->id(run.task), " machine=",
+                         name_.c_str()),
         [this] { on_checkpoint_write(); });
   } else {
     run.pending_event = engine_.schedule_at(
         now + remaining, core::EventPriority::kCompletion,
-        core::EventLabel("complete task=", run.task->id, " machine=", name_.c_str()),
+        core::EventLabel("complete task=", task_state_->id(run.task), " machine=",
+                         name_.c_str()),
         [this] { on_completion(); });
   }
 }
@@ -224,11 +229,12 @@ void Machine::on_checkpoint_write() {
     // concurrent transfers and, under kCooperative, includes admission wait.
     run.pending_event = core::kNoEvent;
     run.io_transfer = io_channel_->begin_checkpoint_write(
-        run.task->id, name_.c_str(), [this] { on_checkpoint_commit(); });
+        task_state_->id(run.task), name_.c_str(), [this] { on_checkpoint_commit(); });
   } else if (checkpoint_->cost > 0.0) {
     run.pending_event = engine_.schedule_at(
         engine_.now() + checkpoint_->cost, core::EventPriority::kCompletion,
-        core::EventLabel("commit task=", run.task->id, " machine=", name_.c_str()),
+        core::EventLabel("commit task=", task_state_->id(run.task), " machine=",
+                         name_.c_str()),
         [this] { on_checkpoint_commit(); });
   } else {
     on_checkpoint_commit();
@@ -241,24 +247,24 @@ void Machine::on_checkpoint_commit() {
   const core::SimTime now = engine_.now();
   const double segment = run.work_done - run.work_committed;
   run.work_committed = run.work_done;
-  workload::Task& task = *run.task;
-  task.useful_seconds += segment;
+  const std::size_t task = run.task;
+  task_state_->useful_seconds[task] += segment;
   // Fixed path: charge exactly the configured cost (bit-identity with PR 2 —
   // `(a+c)-a` is not `c` in floats). Channel path: charge the elapsed
   // transfer time, which is what contention actually stretched.
-  task.checkpoint_overhead_seconds +=
+  task_state_->checkpoint_overhead_seconds[task] +=
       io_channel_ ? std::max(0.0, now - run.phase_started_at) : checkpoint_->cost;
   run.io_transfer = fault::kNoTransfer;
-  task.completed_fraction =
+  task_state_->completed_fraction[task] =
       std::min(1.0, run.base_fraction + run.work_committed / run.exec_seconds);
-  task.checkpoint_times.push_back(now);
-  checkpoint_marks_.push_back(CheckpointMark{task.id, now});
+  if (task_state_->has_checkpoint_column()) task_state_->checkpoint_times[task].push_back(now);
+  checkpoint_marks_.push_back(CheckpointMark{task_state_->id(task), now});
   begin_work_segment();
 }
 
 void Machine::on_restart_loaded() {
   require(running_.has_value(), "Machine::on_restart_loaded with no running task");
-  running_->task->checkpoint_overhead_seconds +=
+  task_state_->checkpoint_overhead_seconds[running_->task] +=
       io_channel_ ? std::max(0.0, engine_.now() - running_->phase_started_at)
                   : checkpoint_->restart_cost;
   running_->io_transfer = fault::kNoTransfer;
@@ -274,13 +280,13 @@ void Machine::on_completion() {
   const double elapsed = std::max(0.0, now - run.started_at);
   busy_seconds_ += elapsed;
   ++completed_;
-  workload::Task& task = *run.task;
+  const std::size_t task = run.task;
   // The final (uncheckpointed) work segment is useful too: it completed.
-  task.useful_seconds += std::max(0.0, run.work_total - run.work_committed);
-  task.machine_seconds += elapsed;
-  task.completed_fraction = 1.0;
-  task.status = workload::TaskStatus::kCompleted;
-  task.completion_time = now;
+  task_state_->useful_seconds[task] += std::max(0.0, run.work_total - run.work_committed);
+  task_state_->machine_seconds[task] += elapsed;
+  task_state_->completed_fraction[task] = 1.0;
+  task_state_->status[task] = workload::TaskStatus::kCompleted;
+  task_state_->completion_time[task] = now;
 
   if (listener_) listener_->on_task_completed(task, id_);
   start_next();
@@ -293,20 +299,20 @@ double Machine::settle_aborted_run(const RunningEntry& run, core::SimTime now) c
     work_executed += std::max(0.0, now - run.phase_started_at);
   }
   work_executed = std::min(work_executed, run.work_total);
-  workload::Task& task = *run.task;
+  const std::size_t task = run.task;
   // Useful (committed) work was already credited at each commit; only the
   // un-committed tail is lost. A partially written checkpoint or restart
   // phase is overhead that bought nothing, but it still occupied the machine.
-  task.lost_seconds += std::max(0.0, work_executed - run.work_committed);
+  task_state_->lost_seconds[task] += std::max(0.0, work_executed - run.work_committed);
   if (run.phase != RunPhase::kWork) {
-    task.checkpoint_overhead_seconds += std::max(0.0, now - run.phase_started_at);
+    task_state_->checkpoint_overhead_seconds[task] += std::max(0.0, now - run.phase_started_at);
   }
-  task.machine_seconds += elapsed;
+  task_state_->machine_seconds[task] += elapsed;
   return elapsed;
 }
 
-bool Machine::remove(workload::TaskId task_id) {
-  if (running_ && running_->task->id == task_id) {
+bool Machine::remove(std::size_t task) {
+  if (running_ && running_->task == task) {
     RunningEntry run = *running_;
     running_.reset();
     engine_.cancel(run.pending_event);
@@ -326,8 +332,8 @@ bool Machine::remove(workload::TaskId task_id) {
     if (!running_ && listener_) listener_->on_slot_freed(id_);
     return true;
   }
-  const auto it = std::find_if(queue_.begin(), queue_.end(), [task_id](const QueueEntry& e) {
-    return e.task->id == task_id;
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [task](const QueueEntry& e) {
+    return e.task == task;
   });
   if (it == queue_.end()) return false;
   queue_.erase(it);
@@ -339,13 +345,13 @@ bool Machine::remove(workload::TaskId task_id) {
 std::vector<workload::TaskId> Machine::queued_task_ids() const {
   std::vector<workload::TaskId> ids;
   ids.reserve(queue_.size());
-  for (const QueueEntry& entry : queue_) ids.push_back(entry.task->id);
+  for (const QueueEntry& entry : queue_) ids.push_back(task_state_->id(entry.task));
   return ids;
 }
 
 std::optional<workload::TaskId> Machine::running_task_id() const noexcept {
   if (!running_) return std::nullopt;
-  return running_->task->id;
+  return task_state_->id(running_->task);
 }
 
 MachineStats Machine::finalize_stats(core::SimTime horizon) const {

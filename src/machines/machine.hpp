@@ -18,7 +18,7 @@
 #include "fault/io_channel.hpp"
 #include "hetero/types.hpp"
 #include "mem/model_cache.hpp"
-#include "workload/task.hpp"
+#include "workload/task_state.hpp"
 
 namespace e2c::machines {
 
@@ -35,8 +35,9 @@ class MachineListener {
   virtual ~MachineListener() = default;
 
   /// A task finished executing (always before its deadline; the simulation
-  /// drops tasks whose deadline fires first).
-  virtual void on_task_completed(workload::Task& task, hetero::MachineId machine) = 0;
+  /// drops tasks whose deadline fires first). \p task is the row index into
+  /// the run's TaskStateSoA.
+  virtual void on_task_completed(std::size_t task, hetero::MachineId machine) = 0;
 
   /// A task left the machine (completed or removed), freeing queue capacity.
   virtual void on_slot_freed(hetero::MachineId machine) = 0;
@@ -107,6 +108,12 @@ class Machine {
   /// Registers the listener invoked on completions/slot releases.
   void set_listener(MachineListener* listener) noexcept { listener_ = listener; }
 
+  /// Attaches the run's SoA task state. The machine reads/writes task rows
+  /// (status, timestamps, waste accumulators) through this; enqueue()/
+  /// remove()/fail() speak row indices into it. Not owned; must outlive the
+  /// machine's activity.
+  void set_task_state(workload::TaskStateSoA* state) noexcept { task_state_ = state; }
+
   /// Attaches a warm-model cache (Edge-MultiAI memory substrate). When set,
   /// each execution start consults the cache and a cold start extends the
   /// task's execution by the model-load penalty. Not owned; must outlive
@@ -175,10 +182,10 @@ class Machine {
 
   /// Crashes the machine at \p now: the running task is aborted (its partial
   /// execution is charged to busy time/energy) and the local queue is
-  /// flushed. Returns the evicted tasks, running task first, then queue
+  /// flushed. Returns the evicted task rows, running task first, then queue
   /// order — the simulation layer decides whether each is retried. The
   /// machine draws no power until repair(). Requires the machine online.
-  [[nodiscard]] std::vector<workload::Task*> fail(core::SimTime now);
+  [[nodiscard]] std::vector<std::size_t> fail(core::SimTime now);
 
   /// Repairs a failed machine at \p now: it re-enters the online pool with
   /// an empty queue. Requires the machine failed.
@@ -219,15 +226,16 @@ class Machine {
     return ready_time() + exec_seconds;
   }
 
-  /// Assigns a task (paper: appends to the local machine queue). Starts it
-  /// immediately when the machine is idle. Requires queue space and
-  /// exec_seconds > 0. Updates the task record (status, machine, times).
-  void enqueue(workload::Task& task, double exec_seconds);
+  /// Assigns a task by row index (paper: appends to the local machine
+  /// queue). Starts it immediately when the machine is idle. Requires queue
+  /// space and exec_seconds > 0. Updates the task row (status, machine,
+  /// times).
+  void enqueue(std::size_t task, double exec_seconds);
 
-  /// Removes a task before it finishes (deadline drop). Cancels the pending
-  /// completion if the task was running and pulls the next queued task in.
-  /// Returns false when the task is not on this machine.
-  bool remove(workload::TaskId task_id);
+  /// Removes a task (by row index) before it finishes (deadline drop).
+  /// Cancels the pending completion if the task was running and pulls the
+  /// next queued task in. Returns false when the task is not on this machine.
+  bool remove(std::size_t task);
 
   /// Ids of queued tasks, front (next to run) first.
   [[nodiscard]] std::vector<workload::TaskId> queued_task_ids() const;
@@ -259,7 +267,7 @@ class Machine {
 
  private:
   struct QueueEntry {
-    workload::Task* task;
+    std::size_t task;  ///< row index into the SoA task state
     double exec_seconds;
   };
   /// What the machine is doing within one task's occupancy of the executor.
@@ -269,7 +277,7 @@ class Machine {
     kCheckpoint,  ///< writing a checkpoint (cost); commits on completion
   };
   struct RunningEntry {
-    workload::Task* task = nullptr;
+    std::size_t task = 0;         ///< row index into the SoA task state
     double exec_seconds = 0.0;    ///< full from-scratch execution on this machine
     double work_total = 0.0;      ///< work remaining at start: (1-base)·exec
     double work_done = 0.0;       ///< work executed in closed work segments
@@ -306,6 +314,7 @@ class Machine {
   hetero::MachineTypeSpec power_;
   std::size_t queue_capacity_;
   MachineListener* listener_ = nullptr;
+  workload::TaskStateSoA* task_state_ = nullptr;
   mem::ModelCache* model_cache_ = nullptr;
   const CheckpointSpec* checkpoint_ = nullptr;
   fault::IoChannel* io_channel_ = nullptr;

@@ -28,11 +28,14 @@ Metrics compute_metrics(const sched::Simulation& simulation) {
 
   util::RunningStats waits;
   util::RunningStats responses;
-  for (const workload::Task& task : simulation.tasks()) {
-    if (const auto wait = task.wait_time()) waits.add(*wait);
-    if (const auto response = task.response_time()) responses.add(*response);
-    if (task.completion_time) {
-      metrics.makespan = std::max(metrics.makespan, *task.completion_time);
+  const workload::TaskStateSoA& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (const core::SimTime wait = state.wait_time(i); core::time_set(wait)) waits.add(wait);
+    if (const core::SimTime response = state.response_time(i); core::time_set(response)) {
+      responses.add(response);
+    }
+    if (core::time_set(state.completion_time[i])) {
+      metrics.makespan = std::max(metrics.makespan, state.completion_time[i]);
     }
   }
   metrics.mean_wait = waits.mean();

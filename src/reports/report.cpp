@@ -8,14 +8,13 @@ namespace e2c::reports {
 
 namespace {
 
-std::string opt_time(const std::optional<core::SimTime>& value) {
-  return value ? util::format_fixed(*value, 2) : std::string{};
+std::string opt_time(core::SimTime value) {
+  return core::time_set(value) ? util::format_fixed(value, 2) : std::string{};
 }
 
-std::string machine_name_of(const sched::Simulation& simulation,
-                            const workload::Task& task) {
-  if (!task.assigned_machine) return {};
-  return simulation.machine(*task.assigned_machine).name();
+std::string machine_name_of(const sched::Simulation& simulation, std::uint32_t machine) {
+  if (machine == workload::kNoMachine) return {};
+  return simulation.machine(machine).name();
 }
 
 }  // namespace
@@ -32,32 +31,35 @@ const char* report_kind_name(ReportKind kind) noexcept {
 }
 
 std::vector<std::vector<std::string>> task_report(const sched::Simulation& simulation) {
+  const workload::TaskStateSoA& state = simulation.task_state();
   std::vector<std::vector<std::string>> rows;
-  rows.reserve(simulation.tasks().size() + 1);
+  rows.reserve(state.size() + 1);
   rows.push_back({"task_id", "task_type", "status", "assigned_machine", "arrival_time",
                   "deadline", "start_time", "completion_time", "missed_time",
                   "wait_time", "response_time", "retries", "useful_s", "lost_s",
                   "ckpt_overhead_s", "replica_of"});
-  for (const workload::Task& task : simulation.tasks()) {
-    rows.push_back({std::to_string(task.id),
-                    simulation.eet().task_type_name(task.type),
-                    workload::task_status_name(task.status),
-                    machine_name_of(simulation, task),
-                    util::format_fixed(task.arrival, 2),
-                    task.deadline == core::kTimeInfinity
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const workload::TaskDef& def = state.def(i);
+    const workload::TaskId primary =
+        state.has_replica_column() ? state.replica_of[i] : workload::kNoTaskId;
+    rows.push_back({std::to_string(def.id),
+                    simulation.eet().task_type_name(def.type),
+                    workload::task_status_name(state.status[i]),
+                    machine_name_of(simulation, state.machine[i]),
+                    util::format_fixed(def.arrival, 2),
+                    def.deadline == core::kTimeInfinity
                         ? std::string{}
-                        : util::format_fixed(task.deadline, 2),
-                    opt_time(task.start_time), opt_time(task.completion_time),
-                    opt_time(task.missed_time),
-                    task.wait_time() ? util::format_fixed(*task.wait_time(), 2)
-                                     : std::string{},
-                    task.response_time() ? util::format_fixed(*task.response_time(), 2)
-                                         : std::string{},
-                    std::to_string(task.retries),
-                    util::format_fixed(task.useful_seconds, 2),
-                    util::format_fixed(task.lost_seconds, 2),
-                    util::format_fixed(task.checkpoint_overhead_seconds, 2),
-                    task.replica_of ? std::to_string(*task.replica_of) : std::string{}});
+                        : util::format_fixed(def.deadline, 2),
+                    opt_time(state.start_time[i]), opt_time(state.completion_time[i]),
+                    opt_time(state.missed_time[i]),
+                    opt_time(state.wait_time(i)),
+                    opt_time(state.response_time(i)),
+                    std::to_string(state.retries[i]),
+                    util::format_fixed(state.useful_seconds[i], 2),
+                    util::format_fixed(state.lost_seconds[i], 2),
+                    util::format_fixed(state.checkpoint_overhead_seconds[i], 2),
+                    primary == workload::kNoTaskId ? std::string{}
+                                                   : std::to_string(primary)});
   }
   return rows;
 }
@@ -154,9 +156,9 @@ std::vector<std::vector<std::string>> full_report(const sched::Simulation& simul
     rows[0].push_back("eet_" + machine_type);
   }
   for (std::size_t r = 1; r < rows.size(); ++r) {
-    const workload::Task& task = simulation.tasks()[r - 1];
+    const hetero::TaskTypeId type = simulation.task_state().type(r - 1);
     for (std::size_t c = 0; c < eet.machine_type_count(); ++c) {
-      rows[r].push_back(util::format_fixed(eet.eet(task.type, c), 2));
+      rows[r].push_back(util::format_fixed(eet.eet(type, c), 2));
     }
   }
   return rows;
@@ -166,11 +168,14 @@ std::vector<std::vector<std::string>> missed_report(const sched::Simulation& sim
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"task_id", "task_type", "assigned_machine", "arrival_time", "start_time",
                   "missed_time", "outcome"});
-  for (const workload::Task* task : simulation.missed_tasks()) {
-    rows.push_back({std::to_string(task->id), simulation.eet().task_type_name(task->type),
-                    machine_name_of(simulation, *task),
-                    util::format_fixed(task->arrival, 2), opt_time(task->start_time),
-                    opt_time(task->missed_time), workload::task_status_name(task->status)});
+  const workload::TaskStateSoA& state = simulation.task_state();
+  for (const std::size_t i : simulation.missed_tasks()) {
+    rows.push_back({std::to_string(state.id(i)),
+                    simulation.eet().task_type_name(state.type(i)),
+                    machine_name_of(simulation, state.machine[i]),
+                    util::format_fixed(state.arrival(i), 2), opt_time(state.start_time[i]),
+                    opt_time(state.missed_time[i]),
+                    workload::task_status_name(state.status[i])});
   }
   return rows;
 }

@@ -24,9 +24,10 @@ namespace {
 /// O(rounds x pending x machines), kept verbatim and selectable via
 /// SchedImpl::kReference.
 template <typename Key>
-std::vector<Assignment> iterative_map_reference(SchedulingContext& context, Key key) {
-  std::vector<Assignment> assignments;
-  std::vector<const workload::Task*> pending = context.batch_queue();
+void iterative_map_reference(SchedulingContext& context, Key key,
+                             std::vector<Assignment>& assignments) {
+  assignments.clear();
+  std::vector<const workload::TaskDef*> pending = context.batch_queue();
 
   while (!pending.empty()) {
     std::size_t best_task = pending.size();
@@ -34,7 +35,7 @@ std::vector<Assignment> iterative_map_reference(SchedulingContext& context, Key 
     double best_key = 0.0;
 
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      const workload::Task& task = *pending[i];
+      const workload::TaskDef& task = *pending[i];
       const std::size_t machine_index = argmin_completion(context, task);
       if (machine_index >= context.machines().size()) continue;  // no slot anywhere
       const core::SimTime completion =
@@ -49,12 +50,11 @@ std::vector<Assignment> iterative_map_reference(SchedulingContext& context, Key 
     }
     if (best_task == pending.size()) break;  // saturated or only infeasible left
 
-    const workload::Task& task = *pending[best_task];
+    const workload::TaskDef& task = *pending[best_task];
     assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
     context.commit(task, best_machine);
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
   }
-  return assignments;
 }
 
 /// Sentinel for a stale per-type cache entry (distinct from machines.size(),
@@ -78,9 +78,9 @@ constexpr std::size_t kStale = std::numeric_limits<std::size_t>::max();
 /// an O(pending) selection scan per round, vs the reference's
 /// O(pending x machines) per round.
 template <typename Key>
-std::vector<Assignment> iterative_map_fast(SchedulingContext& context, Key key,
-                                           BatchMapperScratch& scratch) {
-  std::vector<Assignment> assignments;
+void iterative_map_fast(SchedulingContext& context, Key key, BatchMapperScratch& scratch,
+                        std::vector<Assignment>& assignments) {
+  assignments.clear();
   const auto& queue = context.batch_queue();
   const auto& machines = context.machines();
   const std::size_t task_count = queue.size();
@@ -115,7 +115,7 @@ std::vector<Assignment> iterative_map_fast(SchedulingContext& context, Key key,
 
     for (std::size_t i = 0; i < task_count; ++i) {
       if (scratch.state[i] != MapSlot::kActive) continue;
-      const workload::Task& task = *queue[i];
+      const workload::TaskDef& task = *queue[i];
       if (scratch.type_machine[task.type] == kStale) refresh_type(task.type);
       const std::size_t machine_index = scratch.type_machine[task.type];
       if (machine_index >= machine_count) continue;  // no slot anywhere
@@ -134,7 +134,7 @@ std::vector<Assignment> iterative_map_fast(SchedulingContext& context, Key key,
     }
     if (best_task == task_count) break;  // saturated or only infeasible left
 
-    const workload::Task& task = *queue[best_task];
+    const workload::TaskDef& task = *queue[best_task];
     assignments.push_back(Assignment{task.id, machines[best_machine].id});
     context.commit(task, best_machine);
     scratch.state[best_task] = MapSlot::kCommitted;
@@ -145,38 +145,40 @@ std::vector<Assignment> iterative_map_fast(SchedulingContext& context, Key key,
       if (scratch.type_machine[t] == best_machine) scratch.type_machine[t] = kStale;
     }
   }
-  return assignments;
 }
 
 template <typename Key>
-std::vector<Assignment> iterative_map(SchedulingContext& context, SchedImpl impl,
-                                      BatchMapperScratch& scratch, Key key) {
-  return impl == SchedImpl::kReference ? iterative_map_reference(context, key)
-                                       : iterative_map_fast(context, key, scratch);
+void iterative_map(SchedulingContext& context, SchedImpl impl, BatchMapperScratch& scratch,
+                   Key key, std::vector<Assignment>& out) {
+  impl == SchedImpl::kReference ? iterative_map_reference(context, key, out)
+                                : iterative_map_fast(context, key, scratch, out);
 }
 
 }  // namespace
 
-std::vector<Assignment> MinMinPolicy::schedule(SchedulingContext& context) {
-  return iterative_map(context, impl_, scratch_,
-                       [](const workload::Task&, core::SimTime completion) {
-                         return completion;
-                       });
+void MinMinPolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  iterative_map(context, impl_, scratch_,
+                [](const workload::TaskDef&, core::SimTime completion) {
+                  return completion;
+                },
+                out);
 }
 
-std::vector<Assignment> MaxUrgencyPolicy::schedule(SchedulingContext& context) {
+void MaxUrgencyPolicy::schedule_into(SchedulingContext& context,
+                                     std::vector<Assignment>& out) {
   // Smallest slack first == max urgency.
-  return iterative_map(context, impl_, scratch_,
-                       [](const workload::Task& task, core::SimTime completion) {
-                         return task.deadline - completion;
-                       });
+  iterative_map(context, impl_, scratch_,
+                [](const workload::TaskDef& task, core::SimTime completion) {
+                  return task.deadline - completion;
+                },
+                out);
 }
 
-std::vector<Assignment> SoonestDeadlinePolicy::schedule(SchedulingContext& context) {
-  return iterative_map(context, impl_, scratch_,
-                       [](const workload::Task& task, core::SimTime) {
-                         return task.deadline;
-                       });
+void SoonestDeadlinePolicy::schedule_into(SchedulingContext& context,
+                                          std::vector<Assignment>& out) {
+  iterative_map(context, impl_, scratch_,
+                [](const workload::TaskDef& task, core::SimTime) { return task.deadline; },
+                out);
 }
 
 }  // namespace e2c::sched

@@ -32,7 +32,7 @@ class MinMinPolicy final : public Policy {
   explicit MinMinPolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MM"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 
  private:
   SchedImpl impl_;
@@ -47,7 +47,7 @@ class MaxUrgencyPolicy final : public Policy {
   explicit MaxUrgencyPolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MMU"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 
  private:
   SchedImpl impl_;
@@ -62,7 +62,7 @@ class SoonestDeadlinePolicy final : public Policy {
   explicit SoonestDeadlinePolicy(SchedImpl impl = default_sched_impl()) : impl_(impl) {}
   [[nodiscard]] std::string name() const override { return "MSD"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 
  private:
   SchedImpl impl_;

@@ -13,21 +13,22 @@ ElarePolicy::ElarePolicy(double energy_weight, SchedImpl impl)
                 "ELARE: energy_weight must be in [0, 1]");
 }
 
-double ElarePolicy::fairness_factor(const SchedulingContext&, const workload::Task&) const {
+double ElarePolicy::fairness_factor(const SchedulingContext&, const workload::TaskDef&) const {
   return 1.0;
 }
 
-std::vector<Assignment> ElarePolicy::schedule(SchedulingContext& context) {
-  return impl_ == SchedImpl::kReference ? schedule_reference(context)
-                                        : schedule_fast(context);
+void ElarePolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  impl_ == SchedImpl::kReference ? schedule_reference(context, out)
+                                 : schedule_fast(context, out);
 }
 
 /// The original full-rescan mapper, kept verbatim as the decision-
 /// equivalence oracle for schedule_fast: O(rounds x pending x machines)
 /// twice over (normalization rescan plus pair scan) per invocation.
-std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& context) {
-  std::vector<Assignment> assignments;
-  std::vector<const workload::Task*> pending = context.batch_queue();
+void ElarePolicy::schedule_reference(SchedulingContext& context,
+                                     std::vector<Assignment>& assignments) {
+  assignments.clear();
+  std::vector<const workload::TaskDef*> pending = context.batch_queue();
 
   // Normalization bases so the energy and latency terms are comparable:
   // the worst (largest) energy and completion values over all pairs in this
@@ -36,7 +37,7 @@ std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& conte
     double max_energy = 0.0;
     core::SimTime max_completion = 0.0;
     bool any_slot = false;
-    for (const workload::Task* task : pending) {
+    for (const workload::TaskDef* task : pending) {
       for (const MachineView& m : context.machines()) {
         if (m.free_slots == 0) continue;
         any_slot = true;
@@ -51,7 +52,7 @@ std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& conte
     double best_score = 0.0;
 
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      const workload::Task& task = *pending[i];
+      const workload::TaskDef& task = *pending[i];
       const double factor = fairness_factor(context, task);
       for (std::size_t j = 0; j < context.machines().size(); ++j) {
         const MachineView& m = context.machines()[j];
@@ -70,12 +71,11 @@ std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& conte
     }
     if (best_task == pending.size()) break;  // every remaining task is infeasible
 
-    const workload::Task& task = *pending[best_task];
+    const workload::TaskDef& task = *pending[best_task];
     assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
     context.commit(task, best_machine);
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_task));
   }
-  return assignments;
 }
 
 /// Incremental mapper, decision-equivalent to schedule_reference.
@@ -103,9 +103,10 @@ std::vector<Assignment> ElarePolicy::schedule_reference(SchedulingContext& conte
 /// invocation-constant positive per-task value, so they are computed once
 /// per task; the per-pair comparison still uses the factored score so
 /// rounding ties resolve exactly like the reference.
-std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
+void ElarePolicy::schedule_fast(SchedulingContext& context,
+                                std::vector<Assignment>& assignments) {
   constexpr std::size_t kNoMachine = std::numeric_limits<std::size_t>::max();
-  std::vector<Assignment> assignments;
+  assignments.clear();
   const auto& queue = context.batch_queue();
   const auto& machines = context.machines();
   const std::size_t task_count = queue.size();
@@ -119,7 +120,7 @@ std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
   s.best_score.assign(task_count, 0.0);
   s.epoch.assign(task_count, 0);
   s.type_count.assign(type_count, 0);
-  for (const workload::Task* task : queue) ++s.type_count[task->type];
+  for (const workload::TaskDef* task : queue) ++s.type_count[task->type];
   s.pair_completion.assign(type_count * machine_count, 0.0);
   s.pair_score.assign(type_count * machine_count, 0.0);
 
@@ -189,7 +190,7 @@ std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
 
     for (std::size_t i = 0; i < task_count; ++i) {
       if (s.state[i] != MapSlot::kActive) continue;
-      const workload::Task& task = *queue[i];
+      const workload::TaskDef& task = *queue[i];
       const bool stale = s.epoch[i] != table_epoch ||
                          (!full_rebuild && s.best_machine[i] == dirty_machine);
       if (stale) {
@@ -225,7 +226,7 @@ std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
     }
     if (best_task == task_count) break;  // every remaining task is infeasible
 
-    const workload::Task& task = *queue[best_task];
+    const workload::TaskDef& task = *queue[best_task];
     assignments.push_back(Assignment{task.id, machines[best_machine].id});
     const std::size_t slots_before = machines[best_machine].free_slots;
     context.commit(task, best_machine);
@@ -235,11 +236,10 @@ std::vector<Assignment> ElarePolicy::schedule_fast(SchedulingContext& context) {
     dirty_machine = best_machine;
     slots_changed = slots_before != kUnlimitedSlots && slots_before <= 1;
   }
-  return assignments;
 }
 
 double FelarePolicy::fairness_factor(const SchedulingContext& context,
-                                     const workload::Task& task) const {
+                                     const workload::TaskDef& task) const {
   // A type completing only 40% on time gets factor ~0.4+eps: its score
   // shrinks, so its tasks win ties against well-served types. The floor
   // keeps starved types from monopolizing the mapper outright.

@@ -41,7 +41,7 @@ class ElarePolicy : public Policy {
 
   [[nodiscard]] std::string name() const override { return "ELARE"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 
  protected:
   /// Fairness discount multiplier for a task's score; 1.0 in plain ELARE,
@@ -50,11 +50,11 @@ class ElarePolicy : public Policy {
   /// machine projections (which change as the mapper commits picks) — both
   /// built-ins depend only on invocation-constant inputs.
   [[nodiscard]] virtual double fairness_factor(const SchedulingContext& context,
-                                               const workload::Task& task) const;
+                                               const workload::TaskDef& task) const;
 
  private:
-  [[nodiscard]] std::vector<Assignment> schedule_reference(SchedulingContext& context);
-  [[nodiscard]] std::vector<Assignment> schedule_fast(SchedulingContext& context);
+  void schedule_reference(SchedulingContext& context, std::vector<Assignment>& out);
+  void schedule_fast(SchedulingContext& context, std::vector<Assignment>& out);
 
   double energy_weight_;
   SchedImpl impl_;
@@ -71,7 +71,7 @@ class FelarePolicy final : public ElarePolicy {
 
  protected:
   [[nodiscard]] double fairness_factor(const SchedulingContext& context,
-                                       const workload::Task& task) const override;
+                                       const workload::TaskDef& task) const override;
 };
 
 }  // namespace e2c::sched

@@ -4,8 +4,9 @@
 
 namespace e2c::sched {
 
-std::vector<Assignment> FairSharePolicy::schedule(SchedulingContext& context) {
-  std::vector<Assignment> assignments;
+void FairSharePolicy::schedule_into(SchedulingContext& context,
+                                    std::vector<Assignment>& assignments) {
+  assignments.clear();
   const auto& queue = context.batch_queue();
   // Order-preserving skip marks instead of O(n) mid-vector erases: the scan
   // walks the arrival-ordered queue, so the arrival tie-break is untouched.
@@ -30,7 +31,7 @@ std::vector<Assignment> FairSharePolicy::schedule(SchedulingContext& context) {
       }
     }
 
-    const workload::Task& task = *queue[best_task];
+    const workload::TaskDef& task = *queue[best_task];
     const std::size_t machine_index = argmin_completion(context, task);
     if (machine_index >= context.machines().size()) break;  // saturated
 
@@ -39,7 +40,6 @@ std::vector<Assignment> FairSharePolicy::schedule(SchedulingContext& context) {
     mapped[best_task] = true;
     --remaining;
   }
-  return assignments;
 }
 
 }  // namespace e2c::sched

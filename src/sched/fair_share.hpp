@@ -25,7 +25,7 @@ class FairSharePolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "FairShare"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 };
 
 }  // namespace e2c::sched

@@ -9,42 +9,50 @@ namespace {
 /// selected by \p pick (a member-style selector). Shared by all immediate
 /// policies, which differ only in the selector.
 template <typename Pick>
-std::vector<Assignment> map_all_in_order(SchedulingContext& context, Pick pick) {
-  std::vector<Assignment> assignments;
-  for (const workload::Task* task : context.batch_queue()) {
+void map_all_in_order(SchedulingContext& context, Pick pick,
+                      std::vector<Assignment>& assignments) {
+  assignments.clear();
+  for (const workload::TaskDef* task : context.batch_queue()) {
     const std::size_t machine_index = pick(context, *task);
     if (machine_index >= context.machines().size()) continue;  // no space anywhere
     assignments.push_back(
         Assignment{task->id, context.machines()[machine_index].id});
     context.commit(*task, machine_index);
   }
-  return assignments;
 }
 }  // namespace
 
-std::vector<Assignment> FcfsPolicy::schedule(SchedulingContext& context) {
-  return map_all_in_order(context, [](const SchedulingContext& ctx, const workload::Task&) {
-    return argmin_ready(ctx);
-  });
+void FcfsPolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  map_all_in_order(
+      context,
+      [](const SchedulingContext& ctx, const workload::TaskDef&) {
+        return argmin_ready(ctx);
+      },
+      out);
 }
 
-std::vector<Assignment> MeetPolicy::schedule(SchedulingContext& context) {
-  return map_all_in_order(context,
-                          [](const SchedulingContext& ctx, const workload::Task& task) {
-                            return argmin_exec(ctx, task);
-                          });
+void MeetPolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  map_all_in_order(
+      context,
+      [](const SchedulingContext& ctx, const workload::TaskDef& task) {
+        return argmin_exec(ctx, task);
+      },
+      out);
 }
 
-std::vector<Assignment> MectPolicy::schedule(SchedulingContext& context) {
-  return map_all_in_order(context,
-                          [](const SchedulingContext& ctx, const workload::Task& task) {
-                            return argmin_completion(ctx, task);
-                          });
+void MectPolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  map_all_in_order(
+      context,
+      [](const SchedulingContext& ctx, const workload::TaskDef& task) {
+        return argmin_completion(ctx, task);
+      },
+      out);
 }
 
-std::vector<Assignment> FtMinEetPolicy::schedule(SchedulingContext& context) {
-  return map_all_in_order(
-      context, [](const SchedulingContext& ctx, const workload::Task& task) {
+void FtMinEetPolicy::schedule_into(SchedulingContext& context, std::vector<Assignment>& out) {
+  map_all_in_order(
+      context,
+      [](const SchedulingContext& ctx, const workload::TaskDef& task) {
         // Availability-discounted completion time: only the execution term is
         // inflated (a machine up `a` of the time effectively runs at speed
         // `a`), not the already-committed queue backlog — discounting the
@@ -67,7 +75,8 @@ std::vector<Assignment> FtMinEetPolicy::schedule(SchedulingContext& context) {
           }
         }
         return best;
-      });
+      },
+      out);
 }
 
 }  // namespace e2c::sched

@@ -20,7 +20,7 @@ class FcfsPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "FCFS"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 };
 
 /// Minimum Expected Execution Time: the arriving task goes to the machine
@@ -31,7 +31,7 @@ class MeetPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "MEET"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 };
 
 /// Minimum Expected Completion Time: the arriving task goes to the machine
@@ -41,7 +41,7 @@ class MectPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "MECT"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 };
 
 /// Fault-Tolerant Minimum Expected Execution Time: MECT's completion-time
@@ -54,7 +54,7 @@ class FtMinEetPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "FTMIN-EET"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kImmediate; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 };
 
 }  // namespace e2c::sched

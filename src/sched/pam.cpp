@@ -13,7 +13,7 @@ PamPolicy::PamPolicy(double success_threshold) : success_threshold_(success_thre
 }
 
 double PamPolicy::success_probability(const SchedulingContext& context,
-                                      const workload::Task& task, const MachineView& m) {
+                                      const workload::TaskDef& task, const MachineView& m) {
   const core::SimTime mean_completion = context.completion_time(task, m);
   const double sigma = context.exec_stddev(task, m);
   const double slack = task.deadline - mean_completion;
@@ -22,8 +22,9 @@ double PamPolicy::success_probability(const SchedulingContext& context,
   return 0.5 * std::erfc(-slack / (sigma * std::numbers::sqrt2));
 }
 
-std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
-  std::vector<Assignment> assignments;
+void PamPolicy::schedule_into(SchedulingContext& context,
+                              std::vector<Assignment>& assignments) {
+  assignments.clear();
   const auto& queue = context.batch_queue();
   // Order-preserving skip marks instead of O(n) mid-vector erases: the scan
   // walks the arrival-ordered queue, so the arrival tie-break is untouched.
@@ -37,7 +38,7 @@ std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
 
     for (std::size_t i = 0; i < queue.size(); ++i) {
       if (mapped[i]) continue;
-      const workload::Task& task = *queue[i];
+      const workload::TaskDef& task = *queue[i];
       // The task's best machine by expected completion among those clearing
       // the success threshold.
       for (std::size_t j = 0; j < context.machines().size(); ++j) {
@@ -54,13 +55,12 @@ std::vector<Assignment> PamPolicy::schedule(SchedulingContext& context) {
     }
     if (best_task == queue.size()) break;  // everything pruned or saturated
 
-    const workload::Task& task = *queue[best_task];
+    const workload::TaskDef& task = *queue[best_task];
     assignments.push_back(Assignment{task.id, context.machines()[best_machine].id});
     context.commit(task, best_machine);
     mapped[best_task] = true;
     --remaining;
   }
-  return assignments;
 }
 
 }  // namespace e2c::sched

@@ -33,13 +33,13 @@ class PamPolicy final : public Policy {
 
   [[nodiscard]] std::string name() const override { return "PAM"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) override;
+  void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) override;
 
   /// P(completion <= deadline) for \p task on machine view \p m under the
   /// context's PET model (normal approximation; deterministic systems give
   /// a 0/1 step at the deadline).
   [[nodiscard]] static double success_probability(const SchedulingContext& context,
-                                                  const workload::Task& task,
+                                                  const workload::TaskDef& task,
                                                   const MachineView& m);
 
  private:

@@ -48,7 +48,7 @@ SchedImpl parse_sched_impl(const std::string& name) {
   throw InputError(message);
 }
 
-std::size_t argmin_completion(const SchedulingContext& context, const workload::Task& task) {
+std::size_t argmin_completion(const SchedulingContext& context, const workload::TaskDef& task) {
   // Hand-rolled over the task's EET row: one contiguous read per machine
   // instead of a per-cell accessor call. Same strict-< / lower-index
   // tie-break as argmin_with_space.
@@ -67,7 +67,7 @@ std::size_t argmin_completion(const SchedulingContext& context, const workload::
   return best;
 }
 
-std::size_t argmin_exec(const SchedulingContext& context, const workload::Task& task) {
+std::size_t argmin_exec(const SchedulingContext& context, const workload::TaskDef& task) {
   // Ties on raw EET are broken by current load (ready time): on a
   // homogeneous system every machine ties, and without this MEET would herd
   // every task onto machine 0 while the rest sit idle. With the load

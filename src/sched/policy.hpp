@@ -82,7 +82,7 @@ class SchedulingContext {
  public:
   SchedulingContext(core::SimTime now, const hetero::EetMatrix& eet,
                     std::vector<MachineView> machines,
-                    std::vector<const workload::Task*> batch_queue,
+                    std::vector<const workload::TaskDef*> batch_queue,
                     std::vector<double> type_ontime_rate,
                     const hetero::PetMatrix* pet = nullptr)
       : now_(now),
@@ -104,14 +104,14 @@ class SchedulingContext {
   }
 
   /// Unmapped tasks in arrival order (the batch queue of Fig. 1).
-  [[nodiscard]] const std::vector<const workload::Task*>& batch_queue() const noexcept {
+  [[nodiscard]] const std::vector<const workload::TaskDef*>& batch_queue() const noexcept {
     return batch_queue_;
   }
 
   /// Expected execution time of \p task on machine view \p m. Machine views
   /// and task records are validated against the EET shape at construction,
   /// so this takes the unchecked inline path.
-  [[nodiscard]] double exec_time(const workload::Task& task, const MachineView& m) const {
+  [[nodiscard]] double exec_time(const workload::TaskDef& task, const MachineView& m) const {
     return eet_->eet_unchecked(task.type, m.type);
   }
 
@@ -122,7 +122,7 @@ class SchedulingContext {
   }
 
   /// Projected completion time of \p task on machine view \p m.
-  [[nodiscard]] core::SimTime completion_time(const workload::Task& task,
+  [[nodiscard]] core::SimTime completion_time(const workload::TaskDef& task,
                                               const MachineView& m) const {
     return m.ready_time + exec_time(task, m);
   }
@@ -131,7 +131,7 @@ class SchedulingContext {
   /// \p m under the system's PET model; 0 when the system is deterministic
   /// (no PET configured). Probabilistic policies (PAM) use this to assess
   /// deadline risk.
-  [[nodiscard]] double exec_stddev(const workload::Task& task, const MachineView& m) const {
+  [[nodiscard]] double exec_stddev(const workload::TaskDef& task, const MachineView& m) const {
     return pet_ ? pet_->cell(task.type, m.type).stddev() : 0.0;
   }
 
@@ -141,7 +141,7 @@ class SchedulingContext {
   /// Projected energy (J) to execute \p task on \p m: exec * busy_watts.
   /// The two-state power model attributes idle power to the machine, not the
   /// task, so the marginal task energy is the busy-power integral.
-  [[nodiscard]] double exec_energy(const workload::Task& task, const MachineView& m) const {
+  [[nodiscard]] double exec_energy(const workload::TaskDef& task, const MachineView& m) const {
     return exec_time(task, m) * m.busy_watts;
   }
 
@@ -155,7 +155,7 @@ class SchedulingContext {
   /// Records an assignment into the projection: advances the machine's
   /// ready_time by the task's execution time and consumes one queue slot.
   /// Policies call this after each pick so later picks see the load.
-  void commit(const workload::Task& task, std::size_t machine_index) {
+  void commit(const workload::TaskDef& task, std::size_t machine_index) {
     MachineView& m = machines_.at(machine_index);
     m.ready_time += exec_time(task, m);
     if (m.free_slots != kUnlimitedSlots && m.free_slots > 0) --m.free_slots;
@@ -166,7 +166,7 @@ class SchedulingContext {
   /// instead of reallocating three vectors on every scheduler invocation.
   /// The context must not be used afterwards.
   void release_buffers(std::vector<MachineView>& machines,
-                       std::vector<const workload::Task*>& batch_queue,
+                       std::vector<const workload::TaskDef*>& batch_queue,
                        std::vector<double>& type_ontime_rate) noexcept {
     machines = std::move(machines_);
     batch_queue = std::move(batch_queue_);
@@ -178,7 +178,7 @@ class SchedulingContext {
   const hetero::EetMatrix* eet_;
   const hetero::PetMatrix* pet_ = nullptr;
   std::vector<MachineView> machines_;
-  std::vector<const workload::Task*> batch_queue_;
+  std::vector<const workload::TaskDef*> batch_queue_;
   std::vector<double> type_ontime_rate_;
 };
 
@@ -197,23 +197,36 @@ class Policy {
   /// respect the configured queue size.
   [[nodiscard]] virtual PolicyMode mode() const = 0;
 
-  /// Decides mappings for the current invocation. The returned assignments
-  /// are applied in order; each must reference a task from the batch queue
-  /// and a machine with a free (projected) slot. Tasks not assigned stay in
-  /// the batch queue for the next invocation (or cancellation).
-  [[nodiscard]] virtual std::vector<Assignment> schedule(SchedulingContext& context) = 0;
+  /// Decides mappings for the current invocation, appended to \p out (which
+  /// is cleared first). The assignments are applied in order; each must
+  /// reference a task from the batch queue and a machine with a free
+  /// (projected) slot. Tasks not assigned stay in the batch queue for the
+  /// next invocation (or cancellation).
+  ///
+  /// The out-parameter is the hot-path form: the simulation lends the same
+  /// scratch vector to every invocation, so a steady-state scheduler round
+  /// never touches the allocator. The by-value schedule() wrapper below is
+  /// the convenience form for tests and tools.
+  virtual void schedule_into(SchedulingContext& context, std::vector<Assignment>& out) = 0;
+
+  /// Convenience wrapper over schedule_into returning a fresh vector.
+  [[nodiscard]] std::vector<Assignment> schedule(SchedulingContext& context) {
+    std::vector<Assignment> out;
+    schedule_into(context, out);
+    return out;
+  }
 };
 
 /// Shared helper: index of the machine view minimizing completion time for
 /// \p task among views with a free slot; returns machines.size() when no
 /// machine has space. Ties break to the lower machine id (deterministic).
 [[nodiscard]] std::size_t argmin_completion(const SchedulingContext& context,
-                                            const workload::Task& task);
+                                            const workload::TaskDef& task);
 
 /// Shared helper: index of the machine view minimizing raw EET for \p task
 /// among views with a free slot; machines.size() when none has space.
 [[nodiscard]] std::size_t argmin_exec(const SchedulingContext& context,
-                                      const workload::Task& task);
+                                      const workload::TaskDef& task);
 
 /// Shared helper: index of the machine view with the earliest ready time
 /// among views with a free slot; machines.size() when none has space.

@@ -59,6 +59,8 @@ Simulation::Simulation(std::shared_ptr<const SystemConfig> config,
     machines_.push_back(std::make_unique<machines::Machine>(
         engine_, i, instance.name, instance.type, instance.power, capacity));
     machines_.back()->set_listener(this);
+    // state_ is a member of a non-movable class: its address is stable.
+    machines_.back()->set_task_state(&state_);
   }
 
   if (cfg().memory) {
@@ -133,27 +135,24 @@ Simulation::Simulation(std::shared_ptr<const SystemConfig> config,
 
 Simulation::~Simulation() = default;
 
-void Simulation::init_tasks(const workload::Workload& workload) {
-  const std::vector<workload::TaskDef>& defs = workload.tasks();
-  tasks_.clear();
-  tasks_.reserve(defs.size());
-  for (const workload::TaskDef& def : defs) {
-    workload::Task task;
-    task.id = def.id;
-    task.type = def.type;
-    task.arrival = def.arrival;
-    task.deadline = def.deadline;
-    task.tenant = def.tenant;
-    tasks_.push_back(std::move(task));
-  }
+void Simulation::init_tasks(const workload::Workload& workload, bool aliased) {
   // One outcome per *submitted* task: replica clones never add to the total.
-  counters_.total = tasks_.size();
+  counters_.total = workload.tasks().size();
   const fault::RecoveryConfig& recovery = cfg().faults.recovery;
-  if (cfg().faults.enabled &&
-      recovery.strategy == fault::RecoveryStrategy::kReplicate &&
-      recovery.replicas > 1) {
+  const bool replicate = cfg().faults.enabled &&
+                         recovery.strategy == fault::RecoveryStrategy::kReplicate &&
+                         recovery.replicas > 1;
+  if (replicate) {
+    // Bind first (no copy); replicate_workload adopts the expanded clone set
+    // before the caller's trace can go away.
+    state_.bind(workload.tasks());
     replicate_workload(recovery.replicas);
+  } else if (aliased) {
+    state_.bind(workload.tasks());
+  } else {
+    state_.adopt(workload.tasks());
   }
+  if (checkpoint_spec_) state_.enable_checkpoint_column();
   init_task_state();
 }
 
@@ -162,38 +161,38 @@ void Simulation::init_task_state() {
   // task_index() degenerates to a bounds check; arbitrary ids (hand-written
   // CSVs, replica clones) fall back to the hash map.
   dense_ids_ = true;
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    if (tasks_[i].id != i) {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_.id(i) != i) {
       dense_ids_ = false;
       break;
     }
   }
   index_map_.clear();
   if (!dense_ids_) {
-    index_map_.reserve(tasks_.size());
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-      require_input(index_map_.emplace(tasks_[i].id, i).second,
-                    "Simulation: duplicate task id " + std::to_string(tasks_[i].id));
+    index_map_.reserve(state_.size());
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      require_input(index_map_.emplace(state_.id(i), i).second,
+                    "Simulation: duplicate task id " + std::to_string(state_.id(i)));
     }
   }
-  deadline_event_.assign(tasks_.size(), core::kNoEvent);
-  retry_event_.assign(tasks_.size(), core::kNoEvent);
-  in_flight_.assign(tasks_.size(), InFlight{});
-  group_of_.assign(tasks_.size(), kNoGroup);
+  deadline_event_.assign(state_.size(), core::kNoEvent);
+  retry_event_.assign(state_.size(), core::kNoEvent);
+  in_flight_.assign(state_.size(), InFlight{});
+  group_of_.assign(state_.size(), kNoGroup);
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     for (std::size_t member : groups_[g].members) {
       group_of_[member] = static_cast<std::uint32_t>(g);
     }
   }
-  batch_queue_.reset(tasks_.size());
+  batch_queue_.reset(state_.size());
 }
 
 void Simulation::schedule_control_events() {
-  if (cfg().autoscaler.enabled && !tasks_.empty()) {
+  if (cfg().autoscaler.enabled && state_.size() != 0) {
     engine_.schedule_at(cfg().autoscaler.interval, core::EventPriority::kControl,
                         "autoscaler tick", [this] { autoscaler_tick(); });
   }
-  if (injector_ && !tasks_.empty()) {
+  if (injector_ && state_.size() != 0) {
     for (std::size_t m = 0; m < machines_.size(); ++m) schedule_next_failure(m, 0.0);
   }
 }
@@ -202,11 +201,10 @@ void Simulation::load(const workload::Workload& workload) {
   require_input(!loaded_, "Simulation: load() may only be called once");
   workload.validate_against(cfg().eet);
   loaded_ = true;
-  init_tasks(workload);
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    const workload::Task& task = tasks_[i];
-    engine_.schedule_at(task.arrival, core::EventPriority::kArrival,
-                        core::EventLabel("arrival task=", task.id),
+  init_tasks(workload, /*aliased=*/false);
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    engine_.schedule_at(state_.arrival(i), core::EventPriority::kArrival,
+                        core::EventLabel("arrival task=", state_.id(i)),
                         [this, i] { on_arrival(i); });
   }
   schedule_control_events();
@@ -218,23 +216,23 @@ void Simulation::load(std::shared_ptr<const workload::Workload> workload) {
   workload->validate_against(cfg().eet);
   loaded_ = true;
   shared_trace_ = std::move(workload);
-  init_tasks(*shared_trace_);
+  init_tasks(*shared_trace_, /*aliased=*/true);
   arrival_cursor_ = 0;
   schedule_next_arrival();
   schedule_control_events();
 }
 
 void Simulation::schedule_next_arrival() {
-  // tasks_ is sorted by arrival (Workload guarantees it; replicate_workload
-  // preserves it), so arming one arrival at a time keeps the calendar at
-  // in-system size while popping events in exactly the order the eager
-  // overload would: ties at one instant resolve by priority first, and the
-  // next arrival's later insertion sequence only competes with other
+  // The task rows are sorted by arrival (Workload guarantees it;
+  // replicate_workload preserves it), so arming one arrival at a time keeps
+  // the calendar at in-system size while popping events in exactly the order
+  // the eager overload would: ties at one instant resolve by priority first,
+  // and the next arrival's later insertion sequence only competes with other
   // arrivals — of which the cursor keeps exactly one pending.
-  if (arrival_cursor_ >= tasks_.size()) return;
+  if (arrival_cursor_ >= state_.size()) return;
   const std::size_t i = arrival_cursor_;
-  engine_.schedule_at(tasks_[i].arrival, core::EventPriority::kArrival,
-                      core::EventLabel("arrival task=", tasks_[i].id), [this, i] {
+  engine_.schedule_at(state_.arrival(i), core::EventPriority::kArrival,
+                      core::EventLabel("arrival task=", state_.id(i)), [this, i] {
                         ++arrival_cursor_;
                         schedule_next_arrival();
                         on_arrival(i);
@@ -267,7 +265,7 @@ void Simulation::reset(std::unique_ptr<Policy> policy) {
   }
   for (const auto& cache : model_caches_) cache->reset();
 
-  tasks_.clear();
+  state_.bind({});
   dense_ids_ = false;
   index_map_.clear();
   deadline_event_.clear();
@@ -301,23 +299,21 @@ void Simulation::reset(std::unique_ptr<Policy> policy) {
 }
 
 bool Simulation::finished() const noexcept {
-  return std::all_of(tasks_.begin(), tasks_.end(),
-                     [](const workload::Task& task) { return task.finished(); });
+  return std::all_of(state_.status.begin(), state_.status.end(),
+                     [](workload::TaskStatus status) { return is_terminal(status); });
 }
 
 std::vector<workload::TaskId> Simulation::batch_queue_ids() const {
   std::vector<workload::TaskId> ids;
   ids.reserve(batch_queue_.size());
-  batch_queue_.for_each([&](std::size_t index) { ids.push_back(tasks_[index].id); });
+  batch_queue_.for_each([&](std::size_t index) { ids.push_back(state_.id(index)); });
   return ids;
 }
 
-std::vector<const workload::Task*> Simulation::missed_tasks() const {
-  std::vector<const workload::Task*> missed;
+std::vector<std::size_t> Simulation::missed_tasks() const {
+  std::vector<std::size_t> missed;
   missed.reserve(missed_order_.size());
-  for (workload::TaskId id : missed_order_) {
-    missed.push_back(&tasks_[task_index(id)]);
-  }
+  for (workload::TaskId id : missed_order_) missed.push_back(task_index(id));
   return missed;
 }
 
@@ -343,22 +339,22 @@ double Simulation::total_dynamic_energy_joules(core::SimTime horizon) const {
 }
 
 void Simulation::on_arrival(std::size_t index) {
-  workload::Task& task = tasks_[index];
-  task.status = workload::TaskStatus::kInBatchQueue;
+  state_.status[index] = workload::TaskStatus::kInBatchQueue;
   batch_queue_.push_back(index);
-  if (task.deadline < core::kTimeInfinity) {
-    const core::SimTime when = std::max(task.deadline, engine_.now());
+  const core::SimTime deadline = state_.deadline(index);
+  if (deadline < core::kTimeInfinity) {
+    const core::SimTime when = std::max(deadline, engine_.now());
     deadline_event_[index] = engine_.schedule_at(
-        when, core::EventPriority::kDeadline, core::EventLabel("deadline task=", task.id),
+        when, core::EventPriority::kDeadline,
+        core::EventLabel("deadline task=", state_.id(index)),
         [this, index] { on_deadline(index); });
   }
   request_schedule();
 }
 
 void Simulation::on_deadline(std::size_t index) {
-  workload::Task& task = tasks_[index];
   deadline_event_[index] = core::kNoEvent;
-  switch (task.status) {
+  switch (state_.status[index]) {
     case workload::TaskStatus::kCompleted:
     case workload::TaskStatus::kCancelled:
     case workload::TaskStatus::kDropped:
@@ -372,17 +368,17 @@ void Simulation::on_deadline(std::size_t index) {
               "deadline: retry-wait task has no retry event");
       engine_.cancel(retry_event_[index]);
       retry_event_[index] = core::kNoEvent;
-      task.status = workload::TaskStatus::kFailed;
-      task.missed_time = engine_.now();
-      mark_terminal(task);
+      state_.status[index] = workload::TaskStatus::kFailed;
+      state_.missed_time[index] = engine_.now();
+      mark_terminal(index);
       return;
     }
     case workload::TaskStatus::kInBatchQueue: {
       // Deadline before mapping: cancelled (paper §3).
       require(batch_queue_.erase(index), "deadline: task missing from batch queue");
-      task.status = workload::TaskStatus::kCancelled;
-      task.missed_time = engine_.now();
-      mark_terminal(task);
+      state_.status[index] = workload::TaskStatus::kCancelled;
+      state_.missed_time[index] = engine_.now();
+      mark_terminal(index);
       return;
     }
     case workload::TaskStatus::kTransferring: {
@@ -395,9 +391,9 @@ void Simulation::on_deadline(std::size_t index) {
       --in_flight_count_[reservation.machine];
       in_flight_exec_[reservation.machine] -= reservation.exec_seconds;
       reservation = InFlight{};
-      task.status = workload::TaskStatus::kDropped;
-      task.missed_time = engine_.now();
-      mark_terminal(task);
+      state_.status[index] = workload::TaskStatus::kDropped;
+      state_.missed_time[index] = engine_.now();
+      mark_terminal(index);
       request_schedule();  // the freed slot may unblock a batch-queue task
       return;
     }
@@ -406,12 +402,13 @@ void Simulation::on_deadline(std::size_t index) {
       // Deadline after mapping: dropped from the machine (paper §3). A
       // checkpointed task is no exception — committed progress never
       // resurrects a task past its deadline.
-      require(task.assigned_machine.has_value(), "deadline: mapped task has no machine");
-      const bool removed = machines_[*task.assigned_machine]->remove(task.id);
+      require(state_.machine[index] != workload::kNoMachine,
+              "deadline: mapped task has no machine");
+      const bool removed = machines_[state_.machine[index]]->remove(index);
       require(removed, "deadline: task not found on its assigned machine");
-      task.status = workload::TaskStatus::kDropped;
-      task.missed_time = engine_.now();
-      mark_terminal(task);
+      state_.status[index] = workload::TaskStatus::kDropped;
+      state_.missed_time[index] = engine_.now();
+      mark_terminal(index);
       return;
     }
     case workload::TaskStatus::kPending:
@@ -460,10 +457,10 @@ void Simulation::run_scheduler() {
     views.push_back(view);
   }
 
-  std::vector<const workload::Task*>& queue_view = queue_view_scratch_;
+  std::vector<const workload::TaskDef*>& queue_view = queue_view_scratch_;
   queue_view.clear();
   queue_view.reserve(batch_queue_.size());
-  batch_queue_.for_each([&](std::size_t index) { queue_view.push_back(&tasks_[index]); });
+  batch_queue_.for_each([&](std::size_t index) { queue_view.push_back(&state_.def(index)); });
 
   // Maintained incrementally by record_outcome(); identical to recomputing
   // type_ontime_rate(t) for every type here, without the O(types) sweep.
@@ -472,9 +469,11 @@ void Simulation::run_scheduler() {
   SchedulingContext context(engine_.now(), cfg().eet, std::move(views),
                             std::move(queue_view), std::move(rates),
                             cfg().pet ? &*cfg().pet : nullptr);
-  std::vector<Assignment> assignments;
+  // Lent like the context buffers above: schedule_into clears and refills
+  // it, so a steady-state scheduler round makes zero allocator calls.
+  std::vector<Assignment>& assignments = assignments_scratch_;
   try {
-    assignments = policy_->schedule(context);
+    policy_->schedule_into(context, assignments);
   } catch (...) {
     // The scratch buffers were lent to the context by move; a throwing
     // policy must not leave them moved-out-empty, or the next
@@ -489,8 +488,7 @@ void Simulation::run_scheduler() {
 
 void Simulation::apply_assignment(const Assignment& assignment) {
   const std::size_t index = task_index(assignment.task);
-  workload::Task& task = tasks_[index];
-  require_input(task.status == workload::TaskStatus::kInBatchQueue, [&] {
+  require_input(state_.status[index] == workload::TaskStatus::kInBatchQueue, [&] {
     return "policy '" + policy_name_ + "' assigned task " +
            std::to_string(assignment.task) + " which is not in the batch queue";
   });
@@ -519,13 +517,13 @@ void Simulation::apply_assignment(const Assignment& assignment) {
   const std::uint32_t group_index = group_of_.empty() ? kNoGroup : group_of_[index];
   if (group_index != kNoGroup) {
     for (std::size_t member : groups_[group_index].members) {
-      const workload::Task& sibling = tasks_[member];
-      if (sibling.id == task.id || sibling.finished()) continue;
-      const bool mapped = sibling.status == workload::TaskStatus::kTransferring ||
-                          sibling.status == workload::TaskStatus::kInMachineQueue ||
-                          sibling.status == workload::TaskStatus::kRunning;
-      if (mapped && sibling.assigned_machine &&
-          *sibling.assigned_machine == assignment.machine) {
+      if (member == index || state_.finished(member)) continue;
+      const workload::TaskStatus sibling_status = state_.status[member];
+      const bool mapped = sibling_status == workload::TaskStatus::kTransferring ||
+                          sibling_status == workload::TaskStatus::kInMachineQueue ||
+                          sibling_status == workload::TaskStatus::kRunning;
+      if (mapped && state_.machine[member] != workload::kNoMachine &&
+          state_.machine[member] == assignment.machine) {
         return;
       }
     }
@@ -534,41 +532,41 @@ void Simulation::apply_assignment(const Assignment& assignment) {
   require(batch_queue_.erase(index), "assignment: task missing from batch queue");
 
   // Actual execution time: sampled under a PET, the EET expectation otherwise.
+  const hetero::TaskTypeId type = state_.type(index);
   const double exec = cfg().pet
-                          ? cfg().pet->sample(task.type, machine.type(), sampling_rng_)
-                          : cfg().eet.eet_unchecked(task.type, machine.type());
+                          ? cfg().pet->sample(type, machine.type(), sampling_rng_)
+                          : cfg().eet.eet_unchecked(type, machine.type());
 
   const core::SimTime transfer =
-      cfg().comm ? cfg().comm->transfer_time(task.type, machine.type()) : 0.0;
+      cfg().comm ? cfg().comm->transfer_time(type, machine.type()) : 0.0;
   if (transfer > 0.0) {
-    task.status = workload::TaskStatus::kTransferring;
-    task.assigned_machine = machine.id();
-    task.assignment_time = engine_.now();
+    state_.status[index] = workload::TaskStatus::kTransferring;
+    state_.machine[index] = static_cast<std::uint32_t>(machine.id());
+    state_.assignment_time[index] = engine_.now();
     const core::EventId event = engine_.schedule_in(
         transfer, core::EventPriority::kControl,
-        core::EventLabel("transfer done task=", task.id, " machine=",
+        core::EventLabel("transfer done task=", state_.id(index), " machine=",
                          machine.name().c_str()),
         [this, index] { on_transfer_complete(index); });
     in_flight_[index] = InFlight{machine.id(), exec, event};
     ++in_flight_count_[machine.id()];
     in_flight_exec_[machine.id()] += exec;
   } else {
-    machine.enqueue(task, exec);
+    machine.enqueue(index, exec);
   }
 }
 
 void Simulation::on_transfer_complete(std::size_t index) {
-  workload::Task& task = tasks_[index];
   // Deadline drops and machine failures cancel the transfer event, so a
   // firing event always finds its reservation intact.
-  require(task.status == workload::TaskStatus::kTransferring,
+  require(state_.status[index] == workload::TaskStatus::kTransferring,
           "transfer completed for a task no longer transferring");
   require(in_flight_[index].event != core::kNoEvent, "transfer: missing reservation");
   const InFlight in_flight = in_flight_[index];
   in_flight_[index] = InFlight{};
   --in_flight_count_[in_flight.machine];
   in_flight_exec_[in_flight.machine] -= in_flight.exec_seconds;
-  machines_[in_flight.machine]->enqueue(task, in_flight.exec_seconds);
+  machines_[in_flight.machine]->enqueue(index, in_flight.exec_seconds);
 }
 
 void Simulation::schedule_next_failure(std::size_t m, double from) {
@@ -597,21 +595,22 @@ void Simulation::on_machine_failure(std::size_t m, double repair_time) {
   // Abort the committed work: running task first, then local queue, then
   // payloads still in flight toward the crashed machine (sorted by id so the
   // retry order is stable regardless of how reservations are stored).
-  std::vector<workload::Task*> evicted = machine.fail(engine_.now());
+  std::vector<std::size_t> evicted = machine.fail(engine_.now());
   std::vector<std::size_t> transferring;
   for (std::size_t i = 0; i < in_flight_.size(); ++i) {
     if (in_flight_[i].event != core::kNoEvent && in_flight_[i].machine == m) {
       transferring.push_back(i);
     }
   }
-  std::sort(transferring.begin(), transferring.end(),
-            [this](std::size_t a, std::size_t b) { return tasks_[a].id < tasks_[b].id; });
+  std::sort(transferring.begin(), transferring.end(), [this](std::size_t a, std::size_t b) {
+    return state_.id(a) < state_.id(b);
+  });
   for (std::size_t i : transferring) {
     engine_.cancel(in_flight_[i].event);
     --in_flight_count_[m];
     in_flight_exec_[m] -= in_flight_[i].exec_seconds;
     in_flight_[i] = InFlight{};
-    evicted.push_back(&tasks_[i]);
+    evicted.push_back(i);
   }
   // Schedule the repair before aborting tasks: if an abort ends the last
   // live task, mark_terminal drains this event so run() ends promptly.
@@ -619,7 +618,7 @@ void Simulation::on_machine_failure(std::size_t m, double repair_time) {
       repair_time, core::EventPriority::kControl,
       core::EventLabel::join("machine repair ", machine.name().c_str()),
       [this, m] { on_machine_repair(m); });
-  for (workload::Task* task : evicted) handle_fault_abort(*task);
+  for (std::size_t task : evicted) handle_fault_abort(task);
 }
 
 void Simulation::on_machine_repair(std::size_t m) {
@@ -631,38 +630,37 @@ void Simulation::on_machine_repair(std::size_t m) {
   }
 }
 
-void Simulation::handle_fault_abort(workload::Task& task) {
-  const std::size_t index = index_of(task);
+void Simulation::handle_fault_abort(std::size_t index) {
   // The mapping is void; a retry starts from a clean record.
-  task.assigned_machine.reset();
-  task.assignment_time.reset();
-  task.start_time.reset();
+  state_.machine[index] = workload::kNoMachine;
+  state_.assignment_time[index] = core::kTimeUnset;
+  state_.start_time[index] = core::kTimeUnset;
 
   const fault::RetryPolicy& retry = cfg().faults.retry;
-  if (task.retries >= retry.max_retries) {
-    task.status = workload::TaskStatus::kFailed;
-    task.missed_time = engine_.now();
+  if (state_.retries[index] >= retry.max_retries) {
+    state_.status[index] = workload::TaskStatus::kFailed;
+    state_.missed_time[index] = engine_.now();
     if (deadline_event_[index] != core::kNoEvent) {
       engine_.cancel(deadline_event_[index]);
       deadline_event_[index] = core::kNoEvent;
     }
-    mark_terminal(task);
+    mark_terminal(index);
     return;
   }
-  ++task.retries;
+  ++state_.retries[index];
   ++counters_.requeued;
-  task.status = workload::TaskStatus::kRetryWait;
+  state_.status[index] = workload::TaskStatus::kRetryWait;
   retry_event_[index] = engine_.schedule_in(
-      retry.delay(task.retries), core::EventPriority::kControl,
-      core::EventLabel("retry task=", task.id), [this, index] { on_retry_ready(index); });
+      retry.delay(state_.retries[index]), core::EventPriority::kControl,
+      core::EventLabel("retry task=", state_.id(index)),
+      [this, index] { on_retry_ready(index); });
 }
 
 void Simulation::on_retry_ready(std::size_t index) {
-  workload::Task& task = tasks_[index];
   retry_event_[index] = core::kNoEvent;
-  require(task.status == workload::TaskStatus::kRetryWait,
+  require(state_.status[index] == workload::TaskStatus::kRetryWait,
           "retry fired for a task not waiting on retry");
-  task.status = workload::TaskStatus::kInBatchQueue;
+  state_.status[index] = workload::TaskStatus::kInBatchQueue;
   batch_queue_.push_back(index);
   request_schedule();
 }
@@ -747,7 +745,7 @@ void Simulation::scale_in() {
 
 std::size_t Simulation::task_index(workload::TaskId id) const {
   if (dense_ids_) {
-    require(id < tasks_.size(), [id] { return "unknown task id " + std::to_string(id); });
+    require(id < state_.size(), [id] { return "unknown task id " + std::to_string(id); });
     return static_cast<std::size_t>(id);
   }
   const auto it = index_map_.find(id);
@@ -756,12 +754,13 @@ std::size_t Simulation::task_index(workload::TaskId id) const {
   return it->second;
 }
 
-void Simulation::record_outcome(const workload::Task& task, workload::TaskId display_id) {
-  ++terminal_by_type_[task.type];
-  switch (task.status) {
+void Simulation::record_outcome(std::size_t index, workload::TaskId display_id) {
+  const hetero::TaskTypeId type = state_.type(index);
+  ++terminal_by_type_[type];
+  switch (state_.status[index]) {
     case workload::TaskStatus::kCompleted:
       ++counters_.completed;
-      ++completed_by_type_[task.type];
+      ++completed_by_type_[type];
       break;
     case workload::TaskStatus::kCancelled:
       ++counters_.cancelled;
@@ -776,44 +775,43 @@ void Simulation::record_outcome(const workload::Task& task, workload::TaskId dis
       missed_order_.push_back(display_id);
       break;
     default:
-      throw InvariantError("record_outcome: task " + std::to_string(task.id) +
+      throw InvariantError("record_outcome: task " + std::to_string(state_.id(index)) +
                            " has no countable terminal status");
   }
   // Keep the scheduler's ontime-rate view current incrementally: a type's
   // rate only moves at terminal transitions, so run_scheduler() can hand the
   // cached vector to the SchedulingContext instead of recomputing all
   // task_type_count() rates on every invocation.
-  rates_scratch_[task.type] = type_ontime_rate(task.type);
+  rates_scratch_[type] = type_ontime_rate(type);
 }
 
-void Simulation::resolve_replica_group(ReplicaGroup& group, const workload::Task& task) {
+void Simulation::resolve_replica_group(ReplicaGroup& group, std::size_t index) {
   if (group.resolved) return;
-  const workload::Task& primary = tasks_[group.members.front()];
-  if (task.status == workload::TaskStatus::kCompleted) {
+  const std::size_t primary = group.members.front();
+  if (state_.status[index] == workload::TaskStatus::kCompleted) {
     // First completion wins the group; the siblings' work is now waste.
     group.resolved = true;
-    record_outcome(task, primary.id);
-    cancel_replica_siblings(group, task.id);
+    record_outcome(index, state_.id(primary));
+    cancel_replica_siblings(group, state_.id(index));
     return;
   }
   // A losing member alone decides nothing: the group's outcome stays open
   // until every copy is terminal, then the primary's fate is the group's.
   for (std::size_t member : group.members) {
-    if (!tasks_[member].finished()) return;
+    if (!state_.finished(member)) return;
   }
   group.resolved = true;
-  record_outcome(primary, primary.id);
+  record_outcome(primary, state_.id(primary));
 }
 
 void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId winner_id) {
   for (std::size_t member : group.members) {
-    workload::Task& sibling = tasks_[member];
-    if (sibling.id == winner_id || sibling.finished()) continue;
+    if (state_.id(member) == winner_id || state_.finished(member)) continue;
     if (deadline_event_[member] != core::kNoEvent) {
       engine_.cancel(deadline_event_[member]);
       deadline_event_[member] = core::kNoEvent;
     }
-    switch (sibling.status) {
+    switch (state_.status[member]) {
       case workload::TaskStatus::kInBatchQueue: {
         require(batch_queue_.erase(member), "replica cancel: task missing from batch queue");
         break;
@@ -830,12 +828,14 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
       }
       case workload::TaskStatus::kInMachineQueue:
       case workload::TaskStatus::kRunning: {
-        require(sibling.assigned_machine.has_value(),
+        require(state_.machine[member] != workload::kNoMachine,
                 "replica cancel: mapped sibling has no machine");
-        if (sibling.status == workload::TaskStatus::kRunning && sibling.start_time) {
-          counters_.cancelled_replica_seconds += engine_.now() - *sibling.start_time;
+        if (state_.status[member] == workload::TaskStatus::kRunning &&
+            core::time_set(state_.start_time[member])) {
+          counters_.cancelled_replica_seconds +=
+              engine_.now() - state_.start_time[member];
         }
-        const bool removed = machines_[*sibling.assigned_machine]->remove(sibling.id);
+        const bool removed = machines_[state_.machine[member]]->remove(member);
         require(removed, "replica cancel: sibling not found on its machine");
         break;
       }
@@ -851,19 +851,18 @@ void Simulation::cancel_replica_siblings(ReplicaGroup& group, workload::TaskId w
         // as its primary, strictly before any copy can complete.
         throw InvariantError("replica cancel: unexpected sibling status");
     }
-    sibling.status = workload::TaskStatus::kReplicaCancelled;
-    sibling.missed_time = engine_.now();
+    state_.status[member] = workload::TaskStatus::kReplicaCancelled;
+    state_.missed_time[member] = engine_.now();
     ++counters_.replicas_cancelled;
   }
 }
 
-void Simulation::mark_terminal(const workload::Task& task) {
-  const std::uint32_t group_index =
-      group_of_.empty() ? kNoGroup : group_of_[index_of(task)];
+void Simulation::mark_terminal(std::size_t index) {
+  const std::uint32_t group_index = group_of_.empty() ? kNoGroup : group_of_[index];
   if (group_index == kNoGroup) {
-    record_outcome(task, task.id);
+    record_outcome(index, state_.id(index));
   } else {
-    resolve_replica_group(groups_[group_index], task);
+    resolve_replica_group(groups_[group_index], index);
   }
   if (injector_ && all_terminal()) {
     // Nothing left to disturb: drain pending failure/repair events so the
@@ -878,53 +877,57 @@ void Simulation::mark_terminal(const workload::Task& task) {
 }
 
 void Simulation::replicate_workload(std::size_t replicas) {
+  const std::span<const workload::TaskDef> defs = state_.defs;
   workload::TaskId next_id = 0;
-  for (const workload::Task& task : tasks_) next_id = std::max(next_id, task.id + 1);
-  std::vector<workload::Task> expanded;
-  expanded.reserve(tasks_.size() * replicas);
-  groups_.reserve(tasks_.size());
-  for (const workload::Task& primary : tasks_) {
+  for (const workload::TaskDef& def : defs) next_id = std::max(next_id, def.id + 1);
+  std::vector<workload::TaskDef> expanded;
+  std::vector<workload::TaskId> replica_of;  // parallel to expanded
+  expanded.reserve(defs.size() * replicas);
+  replica_of.reserve(defs.size() * replicas);
+  groups_.reserve(defs.size());
+  for (const workload::TaskDef& primary : defs) {
     ReplicaGroup group;
     group.members.push_back(expanded.size());
     expanded.push_back(primary);
+    replica_of.push_back(workload::kNoTaskId);
     for (std::size_t k = 1; k < replicas; ++k) {
-      workload::Task clone = primary;
+      workload::TaskDef clone = primary;
       clone.id = next_id++;
-      clone.replica_of = primary.id;
       group.members.push_back(expanded.size());
       expanded.push_back(clone);
+      replica_of.push_back(primary.id);
     }
     groups_.push_back(std::move(group));
   }
-  tasks_ = std::move(expanded);
+  state_.adopt(std::move(expanded));
+  state_.replica_of = std::move(replica_of);
 }
 
 double Simulation::lost_work_seconds() const {
   double total = 0.0;
-  for (const workload::Task& task : tasks_) total += task.lost_seconds;
+  for (double lost : state_.lost_seconds) total += lost;
   return total;
 }
 
 double Simulation::checkpoint_overhead_seconds() const {
   double total = 0.0;
-  for (const workload::Task& task : tasks_) total += task.checkpoint_overhead_seconds;
+  for (double overhead : state_.checkpoint_overhead_seconds) total += overhead;
   return total;
 }
 
 std::size_t Simulation::checkpoints_taken() const {
   std::size_t total = 0;
-  for (const workload::Task& task : tasks_) total += task.checkpoint_times.size();
+  for (const auto& times : state_.checkpoint_times) total += times.size();
   return total;
 }
 
-void Simulation::on_task_completed(workload::Task& task, hetero::MachineId) {
+void Simulation::on_task_completed(std::size_t index, hetero::MachineId) {
   // The deadline check is no longer needed; keep the calendar lean.
-  const std::size_t index = index_of(task);
   if (deadline_event_[index] != core::kNoEvent) {
     engine_.cancel(deadline_event_[index]);
     deadline_event_[index] = core::kNoEvent;
   }
-  mark_terminal(task);
+  mark_terminal(index);
 }
 
 void Simulation::on_slot_freed(hetero::MachineId) { request_schedule(); }

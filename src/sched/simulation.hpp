@@ -179,8 +179,11 @@ class Simulation final : public machines::MachineListener {
   /// The policy in use.
   [[nodiscard]] const Policy& policy() const noexcept { return *policy_; }
 
-  /// All task records (arrival order), with live status.
-  [[nodiscard]] const std::vector<workload::Task>& tasks() const noexcept { return tasks_; }
+  /// The SoA per-run task state (arrival order / row index order), with live
+  /// status columns; `task_state().defs` is the immutable definitions view.
+  [[nodiscard]] const workload::TaskStateSoA& task_state() const noexcept {
+    return state_;
+  }
 
   /// Number of machine instances.
   [[nodiscard]] std::size_t machine_count() const noexcept { return machines_.size(); }
@@ -202,9 +205,9 @@ class Simulation final : public machines::MachineListener {
     return scheduler_invocations_;
   }
 
-  /// Tasks that were cancelled or dropped, in the order they missed —
-  /// the Missed Tasks panel of Fig. 4.
-  [[nodiscard]] std::vector<const workload::Task*> missed_tasks() const;
+  /// Row indices of tasks that were cancelled or dropped, in the order they
+  /// missed — the Missed Tasks panel of Fig. 4.
+  [[nodiscard]] std::vector<std::size_t> missed_tasks() const;
 
   /// Observed on-time completion rate of a task type (1.0 before any task of
   /// the type reached a terminal state). Drives fairness-aware policies.
@@ -260,7 +263,7 @@ class Simulation final : public machines::MachineListener {
   [[nodiscard]] std::size_t checkpoints_taken() const;
 
   // ---- MachineListener ----------------------------------------------------
-  void on_task_completed(workload::Task& task, hetero::MachineId machine) override;
+  void on_task_completed(std::size_t task, hetero::MachineId machine) override;
   void on_slot_freed(hetero::MachineId machine) override;
 
  private:
@@ -268,12 +271,9 @@ class Simulation final : public machines::MachineListener {
   static constexpr std::uint32_t kNoGroup = ~std::uint32_t{0};
 
   [[nodiscard]] const SystemConfig& cfg() const noexcept { return *config_; }
-  /// Index of a task record owned by this simulation (tasks_ is contiguous
-  /// and stable between load() and reset()).
-  [[nodiscard]] std::size_t index_of(const workload::Task& task) const noexcept {
-    return static_cast<std::size_t>(&task - tasks_.data());
-  }
-  void init_tasks(const workload::Workload& workload);
+  /// \p aliased: the workload outlives this simulation (shared-trace load),
+  /// so the definitions can be aliased instead of copied.
+  void init_tasks(const workload::Workload& workload, bool aliased);
   void init_task_state();
   void schedule_control_events();
   void schedule_next_arrival();
@@ -283,7 +283,7 @@ class Simulation final : public machines::MachineListener {
   void schedule_next_failure(std::size_t machine_index, double from);
   void on_machine_failure(std::size_t machine_index, double repair_time);
   void on_machine_repair(std::size_t machine_index);
-  void handle_fault_abort(workload::Task& task);
+  void handle_fault_abort(std::size_t task_index);
   void on_retry_ready(std::size_t task_index);
   [[nodiscard]] bool all_terminal() const noexcept;
   void request_schedule();
@@ -293,8 +293,8 @@ class Simulation final : public machines::MachineListener {
   void scale_out();
   void scale_in();
   [[nodiscard]] std::size_t task_index(workload::TaskId id) const;
-  void mark_terminal(const workload::Task& task);
-  void record_outcome(const workload::Task& task, workload::TaskId display_id);
+  void mark_terminal(std::size_t task_index);
+  void record_outcome(std::size_t task_index, workload::TaskId display_id);
   void replicate_workload(std::size_t replicas);
 
   std::shared_ptr<const SystemConfig> config_;
@@ -303,7 +303,9 @@ class Simulation final : public machines::MachineListener {
   core::Engine engine_;
   std::vector<std::unique_ptr<machines::Machine>> machines_;
 
-  std::vector<workload::Task> tasks_;
+  /// SoA per-run task state: dense mutable columns over an aliased (or, for
+  /// replication/tenant rewrites, adopted) immutable definitions trace.
+  workload::TaskStateSoA state_;
   /// Generated traces carry ids 0..n-1 in arrival order; then index == id and
   /// task_index() is a bounds check. index_map_ is the fallback for traces
   /// with arbitrary ids (hand-written CSVs, replica clones).
@@ -319,8 +321,9 @@ class Simulation final : public machines::MachineListener {
   // Per-round scheduler scratch, recycled through SchedulingContext's
   // release_buffers() so run_scheduler() allocates nothing at steady state.
   std::vector<MachineView> views_scratch_;
-  std::vector<const workload::Task*> queue_view_scratch_;
+  std::vector<const workload::TaskDef*> queue_view_scratch_;
   std::vector<double> rates_scratch_;
+  std::vector<Assignment> assignments_scratch_;
 
   SimulationCounters counters_;
   std::uint64_t scheduler_invocations_ = 0;
@@ -331,7 +334,7 @@ class Simulation final : public machines::MachineListener {
   util::Rng sampling_rng_;
 
   // Per-task in-flight transfer reservations (comm model only), indexed like
-  // tasks_; event == kNoEvent means no reservation. The transfer-complete
+  // task rows; event == kNoEvent means no reservation. The transfer-complete
   // event id lets a machine failure (or deadline) cancel the arrival so a
   // later re-assignment cannot race a stale event.
   struct InFlight {
@@ -356,7 +359,7 @@ class Simulation final : public machines::MachineListener {
 
   // Recovery-strategy state. The checkpoint spec lives here (Simulation is
   // non-movable, so its address is stable for the machines). Each replica
-  // group is a primary plus its clones (indices into tasks_); the group
+  // group is a primary plus its clones (task row indices); the group
   // yields exactly one outcome — the first completion wins and cancels the
   // siblings, or the group fails once every member is terminal.
   std::optional<machines::CheckpointSpec> checkpoint_spec_;
@@ -365,13 +368,13 @@ class Simulation final : public machines::MachineListener {
   /// Tenant roster for multi-tenant runs (empty when single-tenant).
   std::vector<std::string> tenant_names_;
   struct ReplicaGroup {
-    std::vector<std::size_t> members;  ///< indices into tasks_, primary first
+    std::vector<std::size_t> members;  ///< task row indices, primary first
     bool resolved = false;             ///< outcome already counted
   };
   std::vector<ReplicaGroup> groups_;
   /// Replica-group index per task index (kNoGroup when unreplicated).
   std::vector<std::uint32_t> group_of_;
-  void resolve_replica_group(ReplicaGroup& group, const workload::Task& task);
+  void resolve_replica_group(ReplicaGroup& group, std::size_t task_index);
   void cancel_replica_siblings(ReplicaGroup& group, workload::TaskId winner_id);
 
   // Per-machine warm-model caches (memory model only).

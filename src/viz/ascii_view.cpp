@@ -22,11 +22,12 @@ const char* reset_color(bool use_color) { return use_color ? "\033[0m" : ""; }
 std::string task_chip(const sched::Simulation& simulation, workload::TaskId id,
                       const AsciiViewOptions& options) {
   // Find the task to color it by type; linear scan is fine for display sizes.
-  for (const workload::Task& task : simulation.tasks()) {
-    if (task.id != id) continue;
+  const workload::TaskStateSoA& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state.id(i) != id) continue;
     std::ostringstream out;
-    out << type_color(task.type, options.use_color) << "["
-        << simulation.eet().task_type_name(task.type) << "#" << id << "]"
+    out << type_color(state.type(i), options.use_color) << "["
+        << simulation.eet().task_type_name(state.type(i)) << "#" << id << "]"
         << reset_color(options.use_color);
     return out.str();
   }
@@ -97,10 +98,12 @@ std::string render_frame(const sched::Simulation& simulation,
   if (simulation.tenant_names().size() > 1) {
     std::vector<double> lost(simulation.tenant_names().size(), 0.0);
     std::vector<double> ckpt(lost.size(), 0.0);
-    for (const workload::Task& task : simulation.tasks()) {
-      if (task.tenant >= lost.size()) continue;
-      lost[task.tenant] += task.lost_seconds;
-      ckpt[task.tenant] += task.checkpoint_overhead_seconds;
+    const workload::TaskStateSoA& state = simulation.task_state();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      const std::uint32_t tenant = state.tenant(i);
+      if (tenant >= lost.size()) continue;
+      lost[tenant] += state.lost_seconds[i];
+      ckpt[tenant] += state.checkpoint_overhead_seconds[i];
     }
     for (std::size_t i = 0; i < lost.size(); ++i) {
       out << "  " << simulation.tenant_names()[i]
@@ -118,21 +121,27 @@ std::string render_missed_panel(const sched::Simulation& simulation, std::size_t
       << util::pad_right("machine", 9) << util::pad_right("arrival", 9)
       << util::pad_right("start", 9) << util::pad_right("missed", 9) << "\n";
   std::size_t shown = 0;
-  for (const workload::Task* task : simulation.missed_tasks()) {
+  const workload::TaskStateSoA& state = simulation.task_state();
+  for (const std::size_t i : simulation.missed_tasks()) {
     if (shown++ >= max_rows) {
       out << "…\n";
       break;
     }
-    const std::string machine =
-        task->assigned_machine ? simulation.machine(*task->assigned_machine).name() : "-";
-    out << util::pad_right(std::to_string(task->id), 7)
-        << util::pad_right(simulation.eet().task_type_name(task->type), 6)
+    const std::string machine = state.machine[i] != workload::kNoMachine
+                                    ? simulation.machine(state.machine[i]).name()
+                                    : "-";
+    out << util::pad_right(std::to_string(state.id(i)), 7)
+        << util::pad_right(simulation.eet().task_type_name(state.type(i)), 6)
         << util::pad_right(machine, 9)
-        << util::pad_right(util::format_fixed(task->arrival, 2), 9)
-        << util::pad_right(task->start_time ? util::format_fixed(*task->start_time, 2) : "-",
+        << util::pad_right(util::format_fixed(state.arrival(i), 2), 9)
+        << util::pad_right(core::time_set(state.start_time[i])
+                               ? util::format_fixed(state.start_time[i], 2)
+                               : "-",
                            9)
-        << util::pad_right(
-               task->missed_time ? util::format_fixed(*task->missed_time, 2) : "-", 9)
+        << util::pad_right(core::time_set(state.missed_time[i])
+                               ? util::format_fixed(state.missed_time[i], 2)
+                               : "-",
+                           9)
         << "\n";
   }
   return out.str();

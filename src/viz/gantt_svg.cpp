@@ -22,11 +22,15 @@ const char* fill_for_type(std::size_t type) {
 
 std::string render_gantt_svg(const sched::Simulation& simulation,
                              const GanttOptions& options) {
-  const auto& tasks = simulation.tasks();
+  const workload::TaskStateSoA& state = simulation.task_state();
   core::SimTime horizon = simulation.engine().now();
-  for (const workload::Task& task : tasks) {
-    if (task.completion_time) horizon = std::max(horizon, *task.completion_time);
-    if (task.missed_time) horizon = std::max(horizon, *task.missed_time);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (core::time_set(state.completion_time[i])) {
+      horizon = std::max(horizon, state.completion_time[i]);
+    }
+    if (core::time_set(state.missed_time[i])) {
+      horizon = std::max(horizon, state.missed_time[i]);
+    }
   }
   if (horizon <= 0.0) horizon = 1.0;
 
@@ -74,46 +78,51 @@ std::string render_gantt_svg(const sched::Simulation& simulation,
   }
 
   // Execution spans.
-  for (const workload::Task& task : tasks) {
-    if (!task.start_time || !task.assigned_machine) continue;
-    const core::SimTime start = *task.start_time;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (!core::time_set(state.start_time[i]) ||
+        state.machine[i] == workload::kNoMachine) {
+      continue;
+    }
+    const core::SimTime start = state.start_time[i];
+    const workload::TaskStatus status = state.status[i];
     core::SimTime end;
     bool dropped_midrun = false;
-    if (task.completion_time) {
-      end = *task.completion_time;
-    } else if (task.missed_time && task.status == workload::TaskStatus::kDropped) {
-      end = *task.missed_time;
+    if (core::time_set(state.completion_time[i])) {
+      end = state.completion_time[i];
+    } else if (core::time_set(state.missed_time[i]) &&
+               status == workload::TaskStatus::kDropped) {
+      end = state.missed_time[i];
       dropped_midrun = true;
-    } else if (task.missed_time &&
-               task.status == workload::TaskStatus::kReplicaCancelled) {
-      end = *task.missed_time;  // a losing replica cut short mid-run
+    } else if (core::time_set(state.missed_time[i]) &&
+               status == workload::TaskStatus::kReplicaCancelled) {
+      end = state.missed_time[i];  // a losing replica cut short mid-run
     } else {
       continue;  // queued-but-dropped tasks never executed
     }
     if (end <= start) continue;
-    const bool replica_cancelled =
-        task.status == workload::TaskStatus::kReplicaCancelled;
-    const int lane = static_cast<int>(*task.assigned_machine);
+    const bool replica_cancelled = status == workload::TaskStatus::kReplicaCancelled;
+    const int lane = static_cast<int>(state.machine[i]);
     const double x = x_of(start);
     const double w = std::max(1.0, x_of(end) - x);
     const int y = options.margin_px + lane * options.lane_height_px + 3;
     svg << "<rect x=\"" << util::format_fixed(x, 1) << "\" y=\"" << y << "\" width=\""
         << util::format_fixed(w, 1) << "\" height=\"" << options.lane_height_px - 6
-        << "\" fill=\"" << fill_for_type(task.type) << "\" opacity=\""
+        << "\" fill=\"" << fill_for_type(state.type(i)) << "\" opacity=\""
         << (dropped_midrun ? "0.45" : (replica_cancelled ? "0.3" : "0.9")) << "\"";
     if (replica_cancelled) svg << " stroke=\"#888\" stroke-dasharray=\"4,2\"";
-    svg << "><title>task " << task.id << " ("
-        << simulation.eet().task_type_name(task.type) << ") ";
+    svg << "><title>task " << state.id(i) << " ("
+        << simulation.eet().task_type_name(state.type(i)) << ") ";
     // Tenant label only on multi-tenant runs, so single-tenant SVGs (and any
     // golden expectations over them) stay byte-identical.
-    if (task.tenant < simulation.tenant_names().size() &&
+    if (state.tenant(i) < simulation.tenant_names().size() &&
         simulation.tenant_names().size() > 1) {
-      svg << simulation.tenant_names()[task.tenant] << " ";
+      svg << simulation.tenant_names()[state.tenant(i)] << " ";
     }
     svg << util::format_fixed(start, 2) << "-" << util::format_fixed(end, 2)
         << (dropped_midrun ? " DROPPED" : "");
-    if (replica_cancelled && task.replica_of) {
-      svg << " replica of " << *task.replica_of << " REPLICA-CANCELLED";
+    if (replica_cancelled && state.has_replica_column() &&
+        state.replica_of[i] != workload::kNoTaskId) {
+      svg << " replica of " << state.replica_of[i] << " REPLICA-CANCELLED";
     }
     svg << "</title></rect>\n";
     if (dropped_midrun && options.show_deadline_marks) {

@@ -16,9 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
-#include <vector>
 
 #include "core/sim_time.hpp"
 #include "hetero/types.hpp"
@@ -64,66 +61,6 @@ struct TaskDef {
   /// roster); 0 for single-tenant workloads. Carried through to the task
   /// record so waste decomposes per tenant.
   std::uint32_t tenant = 0;
-};
-
-/// One task: identity, requirements and (mutable) execution record.
-///
-/// The immutable head (id, type, arrival, deadline) mirrors a TaskDef from
-/// the workload trace; the rest is the per-run record filled in by the
-/// simulation (which owns these), and is what the Task Report exports.
-struct Task {
-  TaskId id = 0;
-  hetero::TaskTypeId type = 0;
-  core::SimTime arrival = 0.0;
-  core::SimTime deadline = core::kTimeInfinity;
-  std::uint32_t tenant = 0;  ///< owning tenant (0 for single-tenant runs)
-
-  // --- simulation record ---
-  TaskStatus status = TaskStatus::kPending;
-  std::optional<hetero::MachineId> assigned_machine;  ///< set on mapping
-  std::optional<core::SimTime> assignment_time;       ///< when mapped
-  std::optional<core::SimTime> start_time;            ///< execution start
-  std::optional<core::SimTime> completion_time;       ///< on-time finish
-  std::optional<core::SimTime> missed_time;           ///< when cancelled/dropped/failed
-  std::size_t retries = 0;                            ///< requeues after machine failures
-
-  // --- recovery record ---
-  // The waste decomposition the reports export. For every machine the task
-  // touched, useful + lost + checkpoint_overhead == machine_seconds (wallclock
-  // the task occupied a slot), whether the run ended in completion, a crash,
-  // a deadline drop or a replica cancel.
-  double completed_fraction = 0.0;   ///< committed progress in [0,1] (checkpoint strategy)
-  double useful_seconds = 0.0;       ///< executed work that was kept (committed or finished)
-  double lost_seconds = 0.0;         ///< executed work discarded by crashes/aborts
-  double checkpoint_overhead_seconds = 0.0;  ///< time writing checkpoints + restarting
-  double machine_seconds = 0.0;      ///< total wallclock occupying machine slots
-  std::vector<core::SimTime> checkpoint_times;        ///< commit instants, in order
-  std::optional<TaskId> replica_of;  ///< primary's id when this task is a clone
-
-  /// True once the task reached a terminal state.
-  [[nodiscard]] bool finished() const noexcept { return is_terminal(status); }
-
-  /// True if the task completed on time.
-  [[nodiscard]] bool completed() const noexcept {
-    return status == TaskStatus::kCompleted;
-  }
-
-  /// Urgency at time \p now: remaining slack until the deadline.
-  [[nodiscard]] core::SimTime slack(core::SimTime now) const noexcept {
-    return deadline - now;
-  }
-
-  /// Response time (completion - arrival) when completed.
-  [[nodiscard]] std::optional<core::SimTime> response_time() const noexcept {
-    if (!completion_time) return std::nullopt;
-    return *completion_time - arrival;
-  }
-
-  /// Waiting time before execution started, when it started.
-  [[nodiscard]] std::optional<core::SimTime> wait_time() const noexcept {
-    if (!start_time) return std::nullopt;
-    return *start_time - arrival;
-  }
 };
 
 }  // namespace e2c::workload

@@ -25,21 +25,6 @@ Workload::Workload(std::vector<TaskDef> defs) : defs_(std::move(defs)) {
   }
 }
 
-namespace {
-
-std::vector<TaskDef> defs_of(const std::vector<Task>& tasks) {
-  std::vector<TaskDef> defs;
-  defs.reserve(tasks.size());
-  for (const Task& task : tasks) {
-    defs.push_back(TaskDef{task.id, task.type, task.arrival, task.deadline, task.tenant});
-  }
-  return defs;
-}
-
-}  // namespace
-
-Workload::Workload(const std::vector<Task>& tasks) : Workload(defs_of(tasks)) {}
-
 core::SimTime Workload::last_arrival() const noexcept {
   return defs_.empty() ? 0.0 : defs_.back().arrival;
 }

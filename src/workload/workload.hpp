@@ -12,8 +12,8 @@
 /// A Workload holds only immutable TaskDef records (no per-run state), so a
 /// single trace can be validated once and then shared read-only — e.g. via
 /// std::shared_ptr<const Workload> — across every policy cell of a sweep and
-/// across thread-pool workers. Simulations copy the definitions into their
-/// own mutable Task records at load time.
+/// across thread-pool workers. Simulations keep their mutable per-run record
+/// in a TaskStateSoA whose definition span aliases the trace.
 #pragma once
 
 #include <string>
@@ -32,10 +32,6 @@ class Workload {
   /// Takes ownership of the definitions; sorts them by (arrival, id) and
   /// validates that deadlines are not before arrivals.
   explicit Workload(std::vector<TaskDef> defs);
-
-  /// Convenience: builds a trace from full Task records, keeping only their
-  /// immutable head (id, type, arrival, deadline).
-  explicit Workload(const std::vector<Task>& tasks);
 
   /// Number of tasks.
   [[nodiscard]] std::size_t size() const noexcept { return defs_.size(); }

@@ -19,11 +19,11 @@ using e2c::machines::Machine;
 using e2c::sched::AutoscalerConfig;
 using e2c::sched::Simulation;
 using e2c::sched::SystemConfig;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
-Task make_task(std::uint64_t id, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = 0;
   task.arrival = arrival;
@@ -101,7 +101,7 @@ TEST(Autoscaler, StartsWithConfiguredMachinesOffline) {
 TEST(Autoscaler, ScalesOutUnderBacklog) {
   Simulation simulation(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
   // A burst of simultaneous tasks overflows the single online machine.
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 12; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
   simulation.load(Workload(std::move(tasks)));
   std::size_t max_online = 0;
@@ -114,7 +114,7 @@ TEST(Autoscaler, ScalesOutUnderBacklog) {
 
 TEST(Autoscaler, ScalesInWhenIdle) {
   Simulation simulation(scaled_system(default_scaler()), e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 12; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
   // A late straggler keeps the simulation alive long after the burst, giving
   // the autoscaler time to park the extra machines.
@@ -139,7 +139,7 @@ TEST(Autoscaler, SavesEnergyOnSparseLoad) {
   // Sparse trickle of work: with the autoscaler only one machine stays
   // powered, so total energy drops well below the always-on system.
   auto build_tasks = [] {
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 8; ++i) {
       tasks.push_back(make_task(i, static_cast<double>(i) * 10.0, 1e9));
     }
@@ -191,7 +191,7 @@ TEST(Autoscaler, ScaleInWhileBootingKeepsCapacity) {
   scaler.boot_delay = 10.0; // boot spans many idle ticks
   scaler.initially_offline = {1, 2};
   Simulation simulation(scaled_system(scaler), e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 4; ++i) tasks.push_back(make_task(i, 0.0, 60.0));
   // Straggler keeps the run alive long past the boot, through idle ticks.
   tasks.push_back(make_task(9, 25.0, 60.0));
@@ -212,7 +212,7 @@ TEST(Autoscaler, OfflineMachinesInvisibleToPolicies) {
   auto scaler = default_scaler();
   scaler.queue_high = 100;  // never scale out
   Simulation simulation(scaled_system(scaler), e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 4; ++i) {
     tasks.push_back(make_task(i, static_cast<double>(i) * 3.0, 1e9));
   }

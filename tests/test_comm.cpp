@@ -13,7 +13,7 @@ namespace {
 using e2c::hetero::EetMatrix;
 using e2c::net::CommModel;
 using e2c::net::LinkSpec;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 using e2c::workload::Workload;
 
@@ -61,8 +61,8 @@ e2c::sched::SystemConfig comm_system(double payload_mb, double bandwidth) {
   return config;
 }
 
-Task make_task(std::uint64_t id, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = 0;
   task.arrival = arrival;
@@ -76,12 +76,12 @@ TEST(CommSimulation, TransferDelaysExecutionStart) {
   e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0.0, 100.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_DOUBLE_EQ(task.start_time.value(), 1.0);
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 5.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(state.start_time[0], 1.0);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 5.0);
   // Assignment happened at arrival even though execution waited.
-  EXPECT_DOUBLE_EQ(task.assignment_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(state.assignment_time[0], 0.0);
 }
 
 TEST(CommSimulation, ZeroPayloadBehavesLikeNoComm) {
@@ -89,7 +89,7 @@ TEST(CommSimulation, ZeroPayloadBehavesLikeNoComm) {
   e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0.0, 100.0)}));
   simulation.run();
-  EXPECT_DOUBLE_EQ(simulation.tasks()[0].start_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(simulation.task_state().start_time[0], 0.0);
 }
 
 TEST(CommSimulation, DroppedWhileTransferring) {
@@ -99,14 +99,14 @@ TEST(CommSimulation, DroppedWhileTransferring) {
   e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0.0, 2.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kDropped);
-  EXPECT_FALSE(task.start_time.has_value());
-  EXPECT_TRUE(task.assigned_machine.has_value());
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 2.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kDropped);
+  EXPECT_FALSE(e2c::core::time_set(state.start_time[0]));
+  ASSERT_NE(state.machine[0], e2c::workload::kNoMachine);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 2.0);
   EXPECT_EQ(simulation.counters().dropped, 1u);
   // The reservation was released.
-  EXPECT_EQ(simulation.in_flight_count(*task.assigned_machine), 0u);
+  EXPECT_EQ(simulation.in_flight_count(state.machine[0]), 0u);
 }
 
 TEST(CommSimulation, InFlightTasksReserveQueueSlots) {
@@ -143,7 +143,7 @@ TEST(CommSimulation, SlowLinksReduceCompletionUnderDeadlines) {
     auto config = e2c::sched::make_default_system(std::move(eet));
     config.comm = e2c::net::CommModel::uniform(1, 2, 20.0, LinkSpec{0.0, bandwidth});
     e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 10; ++i) {
       tasks.push_back(make_task(i, static_cast<double>(i), static_cast<double>(i) + 6.0));
     }

@@ -12,7 +12,7 @@ using e2c::hetero::EetMatrix;
 using e2c::sched::Simulation;
 using e2c::viz::RunState;
 using e2c::viz::SimulationController;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
 e2c::viz::SimulationFactory make_factory(std::size_t task_count = 5) {
@@ -20,9 +20,9 @@ e2c::viz::SimulationFactory make_factory(std::size_t task_count = 5) {
     EetMatrix eet({"T1"}, {"m0", "m1"}, {{2.0, 3.0}});
     auto simulation = std::make_unique<Simulation>(
         e2c::sched::make_default_system(std::move(eet)), e2c::sched::make_policy("MECT"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < task_count; ++i) {
-      Task task;
+      TaskDef task;
       task.id = i;
       task.type = 0;
       task.arrival = static_cast<double>(i);

@@ -20,7 +20,7 @@ EetMatrix eet() {
   return EetMatrix({"T1", "T2"}, {"frugal", "fast"}, {{8.0, 2.0}, {10.0, 3.0}});
 }
 
-SchedulingContext power_context(const std::vector<const e2c::workload::Task*>& queue,
+SchedulingContext power_context(const std::vector<const e2c::workload::TaskDef*>& queue,
                                 std::vector<double> ontime_rates = {}) {
   const static EetMatrix matrix = eet();
   std::vector<MachineView> machines(2);

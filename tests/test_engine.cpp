@@ -155,12 +155,15 @@ TEST(Engine, PeekNextShowsUpcomingEvent) {
 TEST(Engine, EventsScheduledDuringRunAreProcessed) {
   Engine engine;
   int chain = 0;
+  // EventFn only stores trivially-copyable closures, so the recursive
+  // std::function is captured by reference through a thin lambda.
   std::function<void()> extend = [&] {
     if (++chain < 10) {
-      (void)engine.schedule_in(1.0, EventPriority::kControl, "chain", extend);
+      (void)engine.schedule_in(1.0, EventPriority::kControl, "chain",
+                               [&] { extend(); });
     }
   };
-  (void)engine.schedule_at(0.0, EventPriority::kControl, "start", extend);
+  (void)engine.schedule_at(0.0, EventPriority::kControl, "start", [&] { extend(); });
   engine.run();
   EXPECT_EQ(chain, 10);
   EXPECT_DOUBLE_EQ(engine.now(), 9.0);

@@ -109,8 +109,8 @@ class ThrowingPolicy final : public e2c::sched::Policy {
   [[nodiscard]] e2c::sched::PolicyMode mode() const override {
     return e2c::sched::PolicyMode::kImmediate;
   }
-  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
-      e2c::sched::SchedulingContext&) override {
+  void schedule_into(e2c::sched::SchedulingContext&,
+                     std::vector<e2c::sched::Assignment>&) override {
     throw std::runtime_error("ThrowOnSchedule: forced cell failure");
   }
 };

@@ -32,12 +32,12 @@ using e2c::machines::Machine;
 using e2c::machines::MachineState;
 using e2c::sched::Simulation;
 using e2c::sched::SystemConfig;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 using e2c::workload::Workload;
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -63,19 +63,20 @@ FaultConfig trace_faults(std::vector<FaultTraceEntry> entries) {
 TEST(MachineFailure, FailAbortsRunningAndFlushesQueue) {
   Engine engine;
   Machine machine(engine, 0, "m0", 0, MachineTypeSpec{"test", 10.0, 110.0}, 0);
-  Task t1 = make_task(1, 0, 0.0, 1e9);
-  Task t2 = make_task(2, 0, 0.0, 1e9);
-  machine.enqueue(t1, 10.0);
-  machine.enqueue(t2, 10.0);
+  e2c::workload::TaskStateSoA state;
+  state.adopt({make_task(0, 0, 0.0, 1e9), make_task(1, 0, 0.0, 1e9)});
+  machine.set_task_state(&state);
+  machine.enqueue(0, 10.0);
+  machine.enqueue(1, 10.0);
 
-  std::vector<e2c::workload::Task*> evicted;
+  std::vector<std::size_t> evicted;
   engine.schedule_at(3.0, e2c::core::EventPriority::kControl, "fail",
                      [&] { evicted = machine.fail(engine.now()); });
   engine.run();
 
   ASSERT_EQ(evicted.size(), 2u);
-  EXPECT_EQ(evicted[0]->id, 1u);  // running task first
-  EXPECT_EQ(evicted[1]->id, 2u);  // then queue order
+  EXPECT_EQ(evicted[0], 0u);  // running task first
+  EXPECT_EQ(evicted[1], 1u);  // then queue order
   EXPECT_EQ(machine.state(), MachineState::kFailed);
   EXPECT_TRUE(machine.failed());
   EXPECT_FALSE(machine.online());
@@ -385,12 +386,12 @@ TEST(FaultSimulation, AbortedTaskRetriesAndCompletes) {
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_EQ(task.retries, 1u);
-  EXPECT_EQ(task.assigned_machine.value(), 1u);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_EQ(state.retries[0], 1u);
+  EXPECT_EQ(state.machine[0], 1u);
   // crash at 2 + backoff 1 -> requeue at 3 -> 6 s (T1 on m1) -> done at 9.
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 9.0);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 9.0);
   EXPECT_EQ(simulation.counters().requeued, 1u);
   EXPECT_EQ(simulation.counters().failed, 0u);
   EXPECT_EQ(simulation.counters().completed, 1u);
@@ -404,17 +405,17 @@ TEST(FaultSimulation, RetryExhaustionMarksFailed) {
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kFailed);
-  EXPECT_EQ(task.retries, 0u);
-  EXPECT_FALSE(task.assigned_machine.has_value());
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 2.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kFailed);
+  EXPECT_EQ(state.retries[0], 0u);
+  EXPECT_EQ(state.machine[0], e2c::workload::kNoMachine);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 2.0);
   EXPECT_EQ(simulation.counters().failed, 1u);
   EXPECT_EQ(simulation.counters().requeued, 0u);
   EXPECT_TRUE(simulation.finished());
   // The missed panel includes fault-failed tasks.
   ASSERT_EQ(simulation.missed_tasks().size(), 1u);
-  EXPECT_EQ(simulation.missed_tasks()[0]->id, 0u);
+  EXPECT_EQ(state.id(simulation.missed_tasks()[0]), 0u);
 }
 
 TEST(FaultSimulation, RequeueOrderIsRunningFirstThenQueue) {
@@ -430,17 +431,18 @@ TEST(FaultSimulation, RequeueOrderIsRunningFirstThenQueue) {
   simulation.run();
   ASSERT_EQ(simulation.counters().completed, 3u);
   std::vector<double> starts;
-  for (const Task& task : simulation.tasks()) {
-    EXPECT_EQ(task.status, TaskStatus::kCompleted);
-    starts.push_back(task.start_time.value());
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_EQ(state.status[i], TaskStatus::kCompleted);
+    starts.push_back(state.start_time[i]);
   }
   // Task 1 rode out the crash on m1 (started at 0); the evicted pair lines
   // up behind it in eviction order: running task 0, then queued task 2.
   EXPECT_DOUBLE_EQ(starts[1], 0.0);
   EXPECT_DOUBLE_EQ(starts[0], 6.0);
   EXPECT_DOUBLE_EQ(starts[2], 12.0);
-  EXPECT_EQ(simulation.tasks()[0].retries, 1u);
-  EXPECT_EQ(simulation.tasks()[2].retries, 1u);
+  EXPECT_EQ(state.retries[0], 1u);
+  EXPECT_EQ(state.retries[2], 1u);
 }
 
 TEST(FaultSimulation, DeadlineDuringRetryWaitFails) {
@@ -451,9 +453,9 @@ TEST(FaultSimulation, DeadlineDuringRetryWaitFails) {
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 5.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kFailed);
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 5.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kFailed);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 5.0);
   EXPECT_EQ(simulation.counters().failed, 1u);
   EXPECT_EQ(simulation.counters().requeued, 1u);
   EXPECT_TRUE(simulation.finished());
@@ -471,10 +473,10 @@ TEST(FaultSimulation, InFlightTransferToFailedMachineIsRefunded) {
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_EQ(task.retries, 1u);
-  EXPECT_EQ(task.assigned_machine.value(), 1u);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_EQ(state.retries[0], 1u);
+  EXPECT_EQ(state.machine[0], 1u);
   EXPECT_EQ(simulation.in_flight_count(0), 0u);
   EXPECT_EQ(simulation.in_flight_count(1), 0u);
 }
@@ -486,7 +488,7 @@ TEST(FaultSimulation, CountersAddUpWithFaults) {
   system.faults.mttr = 4.0;
   system.faults.seed = 11;
   Simulation simulation(system, e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 30; ++i) {
     tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.4,
                               static_cast<double>(i) * 0.4 + 15.0));
@@ -507,7 +509,7 @@ TEST(FaultSimulation, StochasticRunIsBitIdenticalUnderSeed) {
     system.faults.mttr = 3.0;
     system.faults.seed = 99;
     Simulation simulation(system, e2c::sched::make_policy("MECT"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 40; ++i) {
       tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.5,
                                 static_cast<double>(i) * 0.5 + 25.0));
@@ -526,7 +528,7 @@ TEST(FaultSimulation, EmptyTraceMatchesDisabledFaults) {
     SystemConfig system = two_machine_system();
     system.faults = faults;
     Simulation simulation(system, e2c::sched::make_policy("MM"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 20; ++i) {
       tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.7,
                                 static_cast<double>(i) * 0.7 + 12.0));

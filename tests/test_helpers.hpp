@@ -10,21 +10,20 @@
 namespace e2c::test {
 
 /// A task present in the batch queue at time zero.
-inline workload::Task queued_task(workload::TaskId id, hetero::TaskTypeId type,
-                                  double deadline = 1e9, double arrival = 0.0) {
-  workload::Task task;
+inline workload::TaskDef queued_task(workload::TaskId id, hetero::TaskTypeId type,
+                                     double deadline = 1e9, double arrival = 0.0) {
+  workload::TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
   task.deadline = deadline;
-  task.status = workload::TaskStatus::kInBatchQueue;
   return task;
 }
 
 /// Builds a context of idle machines (one per EET machine type, machine id ==
 /// type id) with \p free_slots each, ready at \p ready_times (zeros if empty).
 inline sched::SchedulingContext make_context(
-    const hetero::EetMatrix& eet, const std::vector<const workload::Task*>& queue,
+    const hetero::EetMatrix& eet, const std::vector<const workload::TaskDef*>& queue,
     std::size_t free_slots = sched::kUnlimitedSlots,
     std::vector<double> ready_times = {}, std::vector<double> ontime_rates = {}) {
   std::vector<sched::MachineView> machines;

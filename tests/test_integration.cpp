@@ -69,15 +69,14 @@ class RoundRobinPolicy final : public e2c::sched::Policy {
   [[nodiscard]] e2c::sched::PolicyMode mode() const override {
     return e2c::sched::PolicyMode::kImmediate;
   }
-  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
-      e2c::sched::SchedulingContext& context) override {
-    std::vector<e2c::sched::Assignment> assignments;
+  void schedule_into(e2c::sched::SchedulingContext& context,
+                     std::vector<e2c::sched::Assignment>& assignments) override {
+    assignments.clear();
     for (const auto* task : context.batch_queue()) {
       const std::size_t machine = next_++ % context.machines().size();
       assignments.push_back({task->id, context.machines()[machine].id});
       context.commit(*task, machine);
     }
-    return assignments;
   }
 
  private:

@@ -32,7 +32,7 @@ using e2c::fault::RecoveryStrategy;
 using e2c::hetero::EetMatrix;
 using e2c::sched::Simulation;
 using e2c::sched::SystemConfig;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 using e2c::workload::Workload;
 
@@ -49,8 +49,8 @@ IoConfig io_config(double bandwidth, double checkpoint_bytes, double restart_byt
   return config;
 }
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -59,12 +59,13 @@ Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadli
 }
 
 void expect_waste_invariant(const Simulation& simulation) {
-  for (const Task& task : simulation.tasks()) {
-    EXPECT_NEAR(task.useful_seconds + task.lost_seconds +
-                    task.checkpoint_overhead_seconds,
-                task.machine_seconds, 1e-9)
-        << "task " << task.id << " ("
-        << e2c::workload::task_status_name(task.status) << ")";
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(state.useful_seconds[i] + state.lost_seconds[i] +
+                    state.checkpoint_overhead_seconds[i],
+                state.machine_seconds[i], 1e-9)
+        << "task " << state.id(i) << " ("
+        << e2c::workload::task_status_name(state.status[i]) << ")";
   }
 }
 
@@ -203,13 +204,13 @@ TEST(IoContention, UncontendedChannelMatchesFixedCostRun) {
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
 
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_NEAR(task.completion_time.value(), 16.0, 1e-9);
-  EXPECT_NEAR(task.useful_seconds, 10.0, 1e-9);
-  EXPECT_NEAR(task.lost_seconds, 1.5, 1e-9);
-  EXPECT_NEAR(task.checkpoint_overhead_seconds, 2.5, 1e-9);
-  EXPECT_NEAR(task.machine_seconds, 14.0, 1e-9);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_NEAR(state.completion_time[0], 16.0, 1e-9);
+  EXPECT_NEAR(state.useful_seconds[0], 10.0, 1e-9);
+  EXPECT_NEAR(state.lost_seconds[0], 1.5, 1e-9);
+  EXPECT_NEAR(state.checkpoint_overhead_seconds[0], 2.5, 1e-9);
+  EXPECT_NEAR(state.machine_seconds[0], 14.0, 1e-9);
   ASSERT_NE(simulation.io_channel(), nullptr);
   EXPECT_EQ(simulation.io_channel()->peak_concurrent(), 1u);
   EXPECT_EQ(simulation.io_channel()->reads_completed(), 1u);
@@ -239,7 +240,7 @@ TEST(IoContention, DalyWasteMatchesClosedFormAcrossMtbfSweep) {
     system.faults.recovery.restart_cost = 0.0;
     system.faults.io = io_config(16.0, 0.0, 0.0);
     Simulation simulation(system, e2c::sched::make_policy("MECT"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 6; ++i) {
       tasks.push_back(make_task(i, 0, 0.0, 1e12));
     }
@@ -247,10 +248,11 @@ TEST(IoContention, DalyWasteMatchesClosedFormAcrossMtbfSweep) {
     simulation.run();
 
     double lost = 0.0, overhead = 0.0, machine_seconds = 0.0;
-    for (const Task& task : simulation.tasks()) {
-      lost += task.lost_seconds;
-      overhead += task.checkpoint_overhead_seconds;
-      machine_seconds += task.machine_seconds;
+    const auto& state = simulation.task_state();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      lost += state.lost_seconds[i];
+      overhead += state.checkpoint_overhead_seconds[i];
+      machine_seconds += state.machine_seconds[i];
     }
     ASSERT_GT(machine_seconds, 2000.0);
     const double measured = (lost + overhead) / machine_seconds;
@@ -282,8 +284,9 @@ SystemConfig contended_system(IoStrategy strategy) {
 
 double total_waste(const Simulation& simulation) {
   double waste = 0.0;
-  for (const Task& task : simulation.tasks()) {
-    waste += task.lost_seconds + task.checkpoint_overhead_seconds;
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    waste += state.lost_seconds[i] + state.checkpoint_overhead_seconds[i];
   }
   return waste;
 }
@@ -297,10 +300,12 @@ TEST(IoContention, SelfishWritersStretchEachOther) {
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9), make_task(1, 0, 0.0, 1e9),
                             make_task(2, 0, 0.0, 1e9)}));
   simulation.run();
-  for (const Task& task : simulation.tasks()) {
-    EXPECT_EQ(task.status, TaskStatus::kCompleted);
-    ASSERT_FALSE(task.checkpoint_times.empty());
-    EXPECT_NEAR(task.checkpoint_times.front(), 3.5, 1e-9);
+  const auto& state = simulation.task_state();
+  ASSERT_TRUE(state.has_checkpoint_column());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_EQ(state.status[i], TaskStatus::kCompleted);
+    ASSERT_FALSE(state.checkpoint_times[i].empty());
+    EXPECT_NEAR(state.checkpoint_times[i].front(), 3.5, 1e-9);
   }
   ASSERT_NE(simulation.io_channel(), nullptr);
   EXPECT_EQ(simulation.io_channel()->peak_concurrent(), 3u);
@@ -377,8 +382,9 @@ TEST(IoContention, WasteInvariantHoldsForThreeContendingTenants) {
       machine_seconds += outcome.machine_seconds;
     }
     double task_machine_seconds = 0.0;
-    for (const Task& task : simulation.tasks()) {
-      task_machine_seconds += task.machine_seconds;
+    const auto& state = simulation.task_state();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      task_machine_seconds += state.machine_seconds[i];
     }
     // The tenant decomposition is a partition of the run.
     EXPECT_NEAR(machine_seconds, task_machine_seconds, 1e-9);

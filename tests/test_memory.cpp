@@ -14,7 +14,7 @@ using e2c::hetero::EetMatrix;
 using e2c::mem::EvictionPolicy;
 using e2c::mem::MemoryModel;
 using e2c::mem::ModelCache;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
 // Three models of 4 MB each with 2 s load penalty; 8 MB capacity holds two.
@@ -116,8 +116,8 @@ e2c::sched::SystemConfig memory_system(double capacity_mb) {
   return config;
 }
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -131,8 +131,8 @@ TEST(MemorySimulation, ColdStartExtendsExecution) {
   simulation.load(Workload({make_task(0, 0, 0.0), make_task(1, 0, 0.0)}));
   simulation.run();
   // First T1: cold 3+2=5 s; second T1: warm 3 s -> completes at 8.
-  EXPECT_DOUBLE_EQ(simulation.tasks()[0].completion_time.value(), 5.0);
-  EXPECT_DOUBLE_EQ(simulation.tasks()[1].completion_time.value(), 8.0);
+  EXPECT_DOUBLE_EQ(simulation.task_state().completion_time[0], 5.0);
+  EXPECT_DOUBLE_EQ(simulation.task_state().completion_time[1], 8.0);
   ASSERT_NE(simulation.model_cache(0), nullptr);
   EXPECT_EQ(simulation.model_cache(0)->hits(), 1u);
 }
@@ -142,7 +142,7 @@ TEST(MemorySimulation, ThrashingWhenMemoryTight) {
   // cold. Interleaved T1/T2 arrivals.
   auto config = memory_system(4.0);
   e2c::sched::Simulation simulation(config, e2c::sched::make_policy("FCFS"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 6; ++i) tasks.push_back(make_task(i, i % 2, 0.0));
   simulation.load(Workload(std::move(tasks)));
   simulation.run();
@@ -175,9 +175,9 @@ TEST(MemorySimulation, LargerMemoryNeverHurtsCompletion) {
   auto completion_with = [&](double capacity) {
     auto config = memory_system(capacity);
     e2c::sched::Simulation simulation(config, e2c::sched::make_policy("FCFS"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 12; ++i) {
-      Task task = make_task(i, i % 2, static_cast<double>(i) * 2.0);
+      TaskDef task = make_task(i, i % 2, static_cast<double>(i) * 2.0);
       task.deadline = task.arrival + 9.0;
       tasks.push_back(task);
     }

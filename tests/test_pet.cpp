@@ -118,7 +118,7 @@ e2c::sched::SystemConfig stochastic_system(double cv) {
 }
 
 e2c::workload::Workload single_task_workload(double deadline) {
-  e2c::workload::Task task;
+  e2c::workload::TaskDef task;
   task.id = 0;
   task.type = 0;
   task.arrival = 0.0;
@@ -133,9 +133,9 @@ TEST(PetSimulation, ExecutionTimeIsSampledNotExpected) {
   e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
   simulation.load(single_task_workload(1e9));
   simulation.run();
-  const auto& task = simulation.tasks()[0];
-  ASSERT_TRUE(task.completion_time.has_value());
-  const double actual = *task.completion_time - *task.start_time;
+  const auto& state = simulation.task_state();
+  ASSERT_TRUE(e2c::core::time_set(state.completion_time[0]));
+  const double actual = state.completion_time[0] - state.start_time[0];
   EXPECT_NE(actual, 2.0);
   EXPECT_GT(actual, 0.0);
 }
@@ -147,7 +147,7 @@ TEST(PetSimulation, SamplingSeedReproducible) {
     e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
     simulation.load(single_task_workload(1e9));
     simulation.run();
-    return simulation.tasks()[0].completion_time.value();
+    return simulation.task_state().completion_time[0];
   };
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
@@ -159,7 +159,7 @@ TEST(PetSimulation, DifferentSamplingSeedsDiffer) {
     e2c::sched::Simulation simulation(config, e2c::sched::make_policy("MECT"));
     simulation.load(single_task_workload(1e9));
     simulation.run();
-    return simulation.tasks()[0].completion_time.value();
+    return simulation.task_state().completion_time[0];
   };
   EXPECT_NE(run_with_seed(1), run_with_seed(2));
 }
@@ -185,8 +185,8 @@ TEST(PetSimulation, DeterministicPetMatchesPlainEet) {
   plain.load(single_task_workload(1e9));
   plain.run();
 
-  EXPECT_DOUBLE_EQ(with_pet.tasks()[0].completion_time.value(),
-                   plain.tasks()[0].completion_time.value());
+  EXPECT_DOUBLE_EQ(with_pet.task_state().completion_time[0],
+                   plain.task_state().completion_time[0]);
 }
 
 }  // namespace

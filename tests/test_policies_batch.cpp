@@ -155,11 +155,11 @@ TEST(BatchPolicies, SaturatedSystemMapsNothing) {
 
 TEST(BatchPolicies, EveryTaskAssignedExactlyOnce) {
   const EetMatrix matrix = eet();
-  std::vector<e2c::workload::Task> tasks;
+  std::vector<e2c::workload::TaskDef> tasks;
   for (std::uint64_t i = 0; i < 6; ++i) {
     tasks.push_back(queued_task(i, i % 3, 100.0 + static_cast<double>(i)));
   }
-  std::vector<const e2c::workload::Task*> queue;
+  std::vector<const e2c::workload::TaskDef*> queue;
   for (const auto& task : tasks) queue.push_back(&task);
 
   std::vector<std::unique_ptr<e2c::sched::Policy>> policies;

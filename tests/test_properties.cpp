@@ -16,7 +16,7 @@ namespace {
 
 using e2c::sched::Simulation;
 using e2c::workload::Intensity;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 
 struct PropertyCase {
@@ -69,38 +69,40 @@ TEST_P(PolicyInvariantTest, EveryTaskReachesExactlyOneTerminalState) {
   const auto& counters = simulation_->counters();
   EXPECT_GT(counters.total, 0u);
   EXPECT_EQ(counters.completed + counters.cancelled + counters.dropped, counters.total);
-  for (const Task& task : simulation_->tasks()) {
-    EXPECT_TRUE(task.finished()) << "task " << task.id;
+  const auto& state = simulation_->task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_TRUE(state.finished(i)) << "task " << state.id(i);
   }
 }
 
 TEST_P(PolicyInvariantTest, TaskRecordsAreInternallyConsistent) {
   run_case();
-  for (const Task& task : simulation_->tasks()) {
-    switch (task.status) {
+  const auto& state = simulation_->task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    switch (state.status[i]) {
       case TaskStatus::kCompleted:
-        ASSERT_TRUE(task.start_time.has_value());
-        ASSERT_TRUE(task.completion_time.has_value());
-        ASSERT_TRUE(task.assigned_machine.has_value());
-        EXPECT_GE(*task.start_time, task.arrival);
-        EXPECT_GE(*task.completion_time, *task.start_time);
+        ASSERT_TRUE(e2c::core::time_set(state.start_time[i]));
+        ASSERT_TRUE(e2c::core::time_set(state.completion_time[i]));
+        ASSERT_NE(state.machine[i], e2c::workload::kNoMachine);
+        EXPECT_GE(state.start_time[i], state.arrival(i));
+        EXPECT_GE(state.completion_time[i], state.start_time[i]);
         // On-time means at or before the deadline.
-        EXPECT_LE(*task.completion_time, task.deadline + 1e-9);
-        EXPECT_FALSE(task.missed_time.has_value());
+        EXPECT_LE(state.completion_time[i], state.deadline(i) + 1e-9);
+        EXPECT_FALSE(e2c::core::time_set(state.missed_time[i]));
         break;
       case TaskStatus::kCancelled:
         // Cancelled before mapping: never saw a machine.
-        EXPECT_FALSE(task.assigned_machine.has_value());
-        EXPECT_FALSE(task.start_time.has_value());
-        ASSERT_TRUE(task.missed_time.has_value());
-        EXPECT_NEAR(*task.missed_time, task.deadline, 1e-9);
+        EXPECT_EQ(state.machine[i], e2c::workload::kNoMachine);
+        EXPECT_FALSE(e2c::core::time_set(state.start_time[i]));
+        ASSERT_TRUE(e2c::core::time_set(state.missed_time[i]));
+        EXPECT_NEAR(state.missed_time[i], state.deadline(i), 1e-9);
         break;
       case TaskStatus::kDropped:
         // Dropped after mapping.
-        EXPECT_TRUE(task.assigned_machine.has_value());
-        ASSERT_TRUE(task.missed_time.has_value());
-        EXPECT_NEAR(*task.missed_time, task.deadline, 1e-9);
-        EXPECT_FALSE(task.completion_time.has_value());
+        EXPECT_NE(state.machine[i], e2c::workload::kNoMachine);
+        ASSERT_TRUE(e2c::core::time_set(state.missed_time[i]));
+        EXPECT_NEAR(state.missed_time[i], state.deadline(i), 1e-9);
+        EXPECT_FALSE(e2c::core::time_set(state.completion_time[i]));
         break;
       default:
         FAIL() << "non-terminal status after run()";
@@ -111,12 +113,13 @@ TEST_P(PolicyInvariantTest, TaskRecordsAreInternallyConsistent) {
 TEST_P(PolicyInvariantTest, ExecutionRespectsEet) {
   run_case();
   const auto& eet = simulation_->eet();
-  for (const Task& task : simulation_->tasks()) {
-    if (task.status != TaskStatus::kCompleted) continue;
-    const auto machine_type = simulation_->machine(*task.assigned_machine).type();
-    EXPECT_NEAR(*task.completion_time - *task.start_time, eet.eet(task.type, machine_type),
-                1e-9)
-        << "task " << task.id;
+  const auto& state = simulation_->task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state.status[i] != TaskStatus::kCompleted) continue;
+    const auto machine_type = simulation_->machine(state.machine[i]).type();
+    EXPECT_NEAR(state.completion_time[i] - state.start_time[i],
+                eet.eet(state.type(i), machine_type), 1e-9)
+        << "task " << state.id(i);
   }
 }
 

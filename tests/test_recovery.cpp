@@ -22,12 +22,12 @@ using e2c::fault::RecoveryStrategy;
 using e2c::hetero::EetMatrix;
 using e2c::sched::Simulation;
 using e2c::sched::SystemConfig;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 using e2c::workload::Workload;
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -56,12 +56,13 @@ FaultConfig trace_faults(std::vector<FaultTraceEntry> entries) {
 }
 
 void expect_waste_invariant(const Simulation& simulation) {
-  for (const Task& task : simulation.tasks()) {
-    EXPECT_NEAR(task.useful_seconds + task.lost_seconds +
-                    task.checkpoint_overhead_seconds,
-                task.machine_seconds, 1e-9)
-        << "task " << task.id << " (" << e2c::workload::task_status_name(task.status)
-        << ")";
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(state.useful_seconds[i] + state.lost_seconds[i] +
+                    state.checkpoint_overhead_seconds[i],
+                state.machine_seconds[i], 1e-9)
+        << "task " << state.id(i) << " ("
+        << e2c::workload::task_status_name(state.status[i]) << ")";
   }
 }
 
@@ -83,20 +84,21 @@ TEST(CheckpointRecovery, ResumesFromLastCheckpointAfterCrash) {
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
 
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_EQ(task.retries, 1u);
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 13.0);
-  EXPECT_DOUBLE_EQ(task.useful_seconds, 10.0);
-  EXPECT_DOUBLE_EQ(task.lost_seconds, 1.0);
-  EXPECT_DOUBLE_EQ(task.checkpoint_overhead_seconds, 0.0);
-  EXPECT_DOUBLE_EQ(task.machine_seconds, 11.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_EQ(state.retries[0], 1u);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 13.0);
+  EXPECT_DOUBLE_EQ(state.useful_seconds[0], 10.0);
+  EXPECT_DOUBLE_EQ(state.lost_seconds[0], 1.0);
+  EXPECT_DOUBLE_EQ(state.checkpoint_overhead_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(state.machine_seconds[0], 11.0);
   // Two commits per run: t = 2, 4 before the crash; t = 9, 11 after.
-  ASSERT_EQ(task.checkpoint_times.size(), 4u);
-  EXPECT_DOUBLE_EQ(task.checkpoint_times[0], 2.0);
-  EXPECT_DOUBLE_EQ(task.checkpoint_times[1], 4.0);
-  EXPECT_DOUBLE_EQ(task.checkpoint_times[2], 9.0);
-  EXPECT_DOUBLE_EQ(task.checkpoint_times[3], 11.0);
+  ASSERT_TRUE(state.has_checkpoint_column());
+  ASSERT_EQ(state.checkpoint_times[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(state.checkpoint_times[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(state.checkpoint_times[0][1], 4.0);
+  EXPECT_DOUBLE_EQ(state.checkpoint_times[0][2], 9.0);
+  EXPECT_DOUBLE_EQ(state.checkpoint_times[0][3], 11.0);
   EXPECT_EQ(simulation.checkpoints_taken(), 4u);
   EXPECT_DOUBLE_EQ(simulation.lost_work_seconds(), 1.0);
   expect_waste_invariant(simulation);
@@ -118,13 +120,13 @@ TEST(CheckpointRecovery, ChargesWriteAndRestartCosts) {
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
 
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_NEAR(task.completion_time.value(), 16.0, 1e-9);
-  EXPECT_NEAR(task.useful_seconds, 10.0, 1e-9);
-  EXPECT_NEAR(task.lost_seconds, 1.5, 1e-9);
-  EXPECT_NEAR(task.checkpoint_overhead_seconds, 2.5, 1e-9);
-  EXPECT_NEAR(task.machine_seconds, 14.0, 1e-9);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_NEAR(state.completion_time[0], 16.0, 1e-9);
+  EXPECT_NEAR(state.useful_seconds[0], 10.0, 1e-9);
+  EXPECT_NEAR(state.lost_seconds[0], 1.5, 1e-9);
+  EXPECT_NEAR(state.checkpoint_overhead_seconds[0], 2.5, 1e-9);
+  EXPECT_NEAR(state.machine_seconds[0], 14.0, 1e-9);
   EXPECT_EQ(simulation.checkpoints_taken(), 3u);
   expect_waste_invariant(simulation);
 }
@@ -142,11 +144,11 @@ TEST(CheckpointRecovery, RestartNeverResurrectsPastDeadline) {
   simulation.load(Workload({make_task(0, 0, 0.0, 8.0)}));
   simulation.run();
 
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kDropped);
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 8.0);
-  EXPECT_GT(task.completed_fraction, 0.0);  // it had checkpointed progress...
-  EXPECT_LT(task.completed_fraction, 1.0);  // ...but never completed
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kDropped);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 8.0);
+  EXPECT_GT(state.completed_fraction[0], 0.0);  // it had checkpointed progress...
+  EXPECT_LT(state.completed_fraction[0], 1.0);  // ...but never completed
   EXPECT_EQ(simulation.counters().completed, 0u);
   EXPECT_EQ(simulation.counters().dropped, 1u);
   EXPECT_TRUE(simulation.finished());
@@ -166,13 +168,13 @@ TEST(CheckpointRecovery, ResumeOnDifferentMachineUsesItsOwnSpeed) {
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
 
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_EQ(task.assigned_machine.value(), 1u);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_EQ(state.machine[0], 1u);
   // Crash at 2 with commits at 1 and 2: fraction 2/4 = 0.5. Retry at 3 maps
   // to m1; the remaining half of T1 there is 0.5 · 6 = 3 s -> done at 6.
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 6.0);
-  EXPECT_DOUBLE_EQ(task.lost_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 6.0);
+  EXPECT_DOUBLE_EQ(state.lost_seconds[0], 0.0);
   expect_waste_invariant(simulation);
 }
 
@@ -189,21 +191,21 @@ TEST(ReplicateRecovery, FirstCompletionWinsAndCancelsSiblings) {
 
   // The workload expanded to primary + clone on distinct machines; the copy
   // on m0 (eet 4) beats the one on m1 (eet 6).
-  ASSERT_EQ(simulation.tasks().size(), 2u);
-  const Task& primary = simulation.tasks()[0];
-  const Task& clone = simulation.tasks()[1];
-  EXPECT_FALSE(primary.replica_of.has_value());
-  EXPECT_EQ(clone.replica_of.value(), 0u);
+  const auto& state = simulation.task_state();
+  ASSERT_EQ(state.size(), 2u);
+  ASSERT_TRUE(state.has_replica_column());
+  EXPECT_EQ(state.replica_of[0], e2c::workload::kNoTaskId);
+  EXPECT_EQ(state.replica_of[1], 0u);
 
   EXPECT_EQ(simulation.counters().total, 1u);  // one outcome per submitted task
   EXPECT_EQ(simulation.counters().completed, 1u);
   EXPECT_EQ(simulation.counters().replicas_cancelled, 1u);
-  const Task& winner = primary.status == TaskStatus::kCompleted ? primary : clone;
-  const Task& loser = primary.status == TaskStatus::kCompleted ? clone : primary;
-  EXPECT_EQ(winner.status, TaskStatus::kCompleted);
-  EXPECT_DOUBLE_EQ(winner.completion_time.value(), 4.0);
-  EXPECT_EQ(loser.status, TaskStatus::kReplicaCancelled);
-  EXPECT_DOUBLE_EQ(loser.missed_time.value(), 4.0);
+  const std::size_t winner = state.status[0] == TaskStatus::kCompleted ? 0 : 1;
+  const std::size_t loser = 1 - winner;
+  EXPECT_EQ(state.status[winner], TaskStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(state.completion_time[winner], 4.0);
+  EXPECT_EQ(state.status[loser], TaskStatus::kReplicaCancelled);
+  EXPECT_DOUBLE_EQ(state.missed_time[loser], 4.0);
   // The loser ran on the other machine for the full 4 s — charged as waste.
   EXPECT_DOUBLE_EQ(simulation.counters().cancelled_replica_seconds, 4.0);
   // The cancel frees the loser's machine slot.
@@ -231,8 +233,8 @@ TEST(ReplicateRecovery, GroupFailureCountsOnce) {
   EXPECT_EQ(simulation.counters().failed, 1u);
   EXPECT_EQ(simulation.counters().completed, 0u);
   EXPECT_EQ(simulation.counters().replicas_cancelled, 0u);
-  for (const Task& task : simulation.tasks()) {
-    EXPECT_EQ(task.status, TaskStatus::kFailed);
+  for (const TaskStatus status : simulation.task_state().status) {
+    EXPECT_EQ(status, TaskStatus::kFailed);
   }
   EXPECT_TRUE(simulation.finished());
   expect_waste_invariant(simulation);
@@ -255,10 +257,11 @@ TEST(ReplicateRecovery, ReplicaSurvivesTheCrashThatKillsThePrimary) {
   EXPECT_EQ(simulation.counters().completed, 1u);
   EXPECT_EQ(simulation.counters().failed, 0u);  // the group completed
   bool completed_on_m1 = false;
-  for (const Task& task : simulation.tasks()) {
-    if (task.status == TaskStatus::kCompleted) {
-      completed_on_m1 = task.assigned_machine.value() == 1u;
-      EXPECT_DOUBLE_EQ(task.completion_time.value(), 6.0);
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state.status[i] == TaskStatus::kCompleted) {
+      completed_on_m1 = state.machine[i] == 1u;
+      EXPECT_DOUBLE_EQ(state.completion_time[i], 6.0);
     }
   }
   EXPECT_TRUE(completed_on_m1);
@@ -279,7 +282,7 @@ std::vector<std::vector<std::string>> stochastic_run(RecoveryStrategy strategy) 
   system.faults.recovery.restart_cost = 0.25;
   system.faults.recovery.replicas = 2;
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 30; ++i) {
     tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.6,
                               static_cast<double>(i) * 0.6 + 20.0));
@@ -316,7 +319,7 @@ TEST(RecoveryWaste, InvariantHoldsUnderStochasticChurn) {
     system.faults.recovery.restart_cost = 0.2;
     system.faults.recovery.replicas = 2;
     Simulation simulation(system, e2c::sched::make_policy("MM"));
-    std::vector<Task> tasks;
+    std::vector<TaskDef> tasks;
     for (std::uint64_t i = 0; i < 40; ++i) {
       tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.5,
                                 static_cast<double>(i) * 0.5 + 15.0));
@@ -343,12 +346,12 @@ TEST(RecoveryWaste, ResubmitMatchesPriorBehaviourExactly) {
   Simulation simulation(system, e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 1e9)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 9.0);  // as in test_fault.cpp
-  EXPECT_DOUBLE_EQ(task.lost_seconds, 2.0);             // 2 s burned on m0
-  EXPECT_DOUBLE_EQ(task.useful_seconds, 6.0);           // full T1-on-m1 run
-  EXPECT_DOUBLE_EQ(task.checkpoint_overhead_seconds, 0.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 9.0);  // as in test_fault.cpp
+  EXPECT_DOUBLE_EQ(state.lost_seconds[0], 2.0);     // 2 s burned on m0
+  EXPECT_DOUBLE_EQ(state.useful_seconds[0], 6.0);   // full T1-on-m1 run
+  EXPECT_DOUBLE_EQ(state.checkpoint_overhead_seconds[0], 0.0);
   EXPECT_EQ(simulation.checkpoints_taken(), 0u);
   expect_waste_invariant(simulation);
 }

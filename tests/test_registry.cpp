@@ -51,9 +51,9 @@ class NullPolicy final : public e2c::sched::Policy {
  public:
   [[nodiscard]] std::string name() const override { return "Null"; }
   [[nodiscard]] PolicyMode mode() const override { return PolicyMode::kBatch; }
-  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
-      e2c::sched::SchedulingContext&) override {
-    return {};
+  void schedule_into(e2c::sched::SchedulingContext&,
+                     std::vector<e2c::sched::Assignment>& out) override {
+    out.clear();
   }
 };
 

@@ -15,11 +15,11 @@ using e2c::hetero::EetMatrix;
 using e2c::reports::compute_metrics;
 using e2c::reports::Metrics;
 using e2c::sched::Simulation;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -136,7 +136,7 @@ TEST(MetricsEdge, EmptyWorkloadIsAllZeros) {
   EetMatrix eet({"T1"}, {"m0"}, {{1.0}});
   Simulation simulation(e2c::sched::make_default_system(std::move(eet)),
                         e2c::sched::make_policy("FCFS"));
-  simulation.load(Workload(std::vector<Task>{}));
+  simulation.load(Workload(std::vector<TaskDef>{}));
   simulation.run();
   const Metrics metrics = compute_metrics(simulation);
   EXPECT_EQ(metrics.total_tasks, 0u);

@@ -44,9 +44,12 @@ class Fnv1a {
     std::memcpy(&bits, &value, sizeof(bits));
     add_u64(bits);
   }
-  void add_opt(const std::optional<double>& value) noexcept {
-    add_u64(value.has_value() ? 1u : 0u);
-    add_double(value.value_or(0.0));
+  // Sentinel times hash exactly as the old optional columns did: a
+  // presence word followed by the value (0.0 when unset).
+  void add_time(double value) noexcept {
+    const bool set = e2c::core::time_set(value);
+    add_u64(set ? 1u : 0u);
+    add_double(set ? value : 0.0);
   }
   [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
 
@@ -66,20 +69,23 @@ std::uint64_t run_digest(SystemConfig config, std::unique_ptr<e2c::sched::Policy
   simulation.run();
 
   Fnv1a digest;
-  for (const auto& task : simulation.tasks()) {
-    digest.add_u64(task.id);
-    digest.add_u64(task.type);
-    digest.add_u64(static_cast<std::uint64_t>(task.status));
-    digest.add_u64(task.assigned_machine.value_or(~0ull));
-    digest.add_opt(task.assignment_time);
-    digest.add_opt(task.start_time);
-    digest.add_opt(task.completion_time);
-    digest.add_opt(task.missed_time);
-    digest.add_u64(task.retries);
-    digest.add_double(task.useful_seconds);
-    digest.add_double(task.lost_seconds);
-    digest.add_double(task.checkpoint_overhead_seconds);
-    digest.add_double(task.machine_seconds);
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    digest.add_u64(state.id(i));
+    digest.add_u64(state.type(i));
+    digest.add_u64(static_cast<std::uint64_t>(state.status[i]));
+    digest.add_u64(state.machine[i] == e2c::workload::kNoMachine
+                       ? ~0ull
+                       : static_cast<std::uint64_t>(state.machine[i]));
+    digest.add_time(state.assignment_time[i]);
+    digest.add_time(state.start_time[i]);
+    digest.add_time(state.completion_time[i]);
+    digest.add_time(state.missed_time[i]);
+    digest.add_u64(state.retries[i]);
+    digest.add_double(state.useful_seconds[i]);
+    digest.add_double(state.lost_seconds[i]);
+    digest.add_double(state.checkpoint_overhead_seconds[i]);
+    digest.add_double(state.machine_seconds[i]);
   }
   const auto& counters = simulation.counters();
   digest.add_u64(counters.total);

@@ -28,12 +28,12 @@ using e2c::sched::SchedulingContext;
 struct FuzzScenario {
   e2c::hetero::EetMatrix eet;
   std::vector<MachineView> machines;
-  std::vector<e2c::workload::Task> tasks;
+  std::vector<e2c::workload::TaskDef> tasks;
   std::vector<double> ontime_rates;
   std::optional<e2c::hetero::PetMatrix> pet;
 
   [[nodiscard]] SchedulingContext make_context() const {
-    std::vector<const e2c::workload::Task*> queue;
+    std::vector<const e2c::workload::TaskDef*> queue;
     queue.reserve(tasks.size());
     for (const auto& task : tasks) queue.push_back(&task);
     return SchedulingContext(0.0, eet, machines, std::move(queue), ontime_rates,
@@ -100,13 +100,12 @@ FuzzScenario random_scenario(std::mt19937_64& rng) {
   std::uniform_int_distribution<std::size_t> pick_task_type(0, task_types - 1);
   std::uniform_int_distribution<int> tight_deadline(1, 25);
   for (std::size_t i = 0; i < task_count; ++i) {
-    e2c::workload::Task task;
+    e2c::workload::TaskDef task;
     task.id = i + 1;
     task.type = pick_task_type(rng);
     task.arrival = static_cast<double>(i);
     // ~40% tight (often infeasible -> deferral paths), rest effectively open.
     task.deadline = percent(rng) < 40 ? static_cast<double>(tight_deadline(rng)) : 1e9;
-    task.status = e2c::workload::TaskStatus::kInBatchQueue;
     scenario.tasks.push_back(task);
   }
 

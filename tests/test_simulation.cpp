@@ -16,7 +16,7 @@ namespace {
 using e2c::hetero::EetMatrix;
 using e2c::sched::Simulation;
 using e2c::sched::SystemConfig;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 using e2c::workload::Workload;
 
@@ -26,8 +26,8 @@ SystemConfig two_machine_system(std::size_t queue_capacity = 2) {
   return e2c::sched::make_default_system(std::move(eet), queue_capacity);
 }
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;
@@ -39,11 +39,11 @@ TEST(Simulation, SingleTaskCompletes) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 1.0, 100.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kCompleted);
-  EXPECT_EQ(task.assigned_machine.value(), 0u);  // T1 fastest on m0
-  EXPECT_DOUBLE_EQ(task.start_time.value(), 1.0);
-  EXPECT_DOUBLE_EQ(task.completion_time.value(), 5.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kCompleted);
+  EXPECT_EQ(state.machine[0], 0u);  // T1 fastest on m0
+  EXPECT_DOUBLE_EQ(state.start_time[0], 1.0);
+  EXPECT_DOUBLE_EQ(state.completion_time[0], 5.0);
   EXPECT_EQ(simulation.counters().completed, 1u);
   EXPECT_TRUE(simulation.finished());
 }
@@ -52,7 +52,7 @@ TEST(Simulation, InfiniteDeadlineNeverCancelled) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("FCFS"));
   simulation.load(Workload({make_task(0, 0, 0.0, e2c::core::kTimeInfinity)}));
   simulation.run();
-  EXPECT_EQ(simulation.tasks()[0].status, TaskStatus::kCompleted);
+  EXPECT_EQ(simulation.task_state().status[0], TaskStatus::kCompleted);
 }
 
 TEST(Simulation, TaskDroppedWhenDeadlinePassesMidRun) {
@@ -61,10 +61,10 @@ TEST(Simulation, TaskDroppedWhenDeadlinePassesMidRun) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 3.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[0];
-  EXPECT_EQ(task.status, TaskStatus::kDropped);
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 3.0);
-  EXPECT_FALSE(task.completion_time.has_value());
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kDropped);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 3.0);
+  EXPECT_FALSE(e2c::core::time_set(state.completion_time[0]));
   EXPECT_EQ(simulation.counters().dropped, 1u);
   EXPECT_EQ(simulation.counters().completed, 0u);
 }
@@ -75,7 +75,7 @@ TEST(Simulation, CompletionExactlyAtDeadlineCounts) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("MECT"));
   simulation.load(Workload({make_task(0, 0, 0.0, 4.0)}));
   simulation.run();
-  EXPECT_EQ(simulation.tasks()[0].status, TaskStatus::kCompleted);
+  EXPECT_EQ(simulation.task_state().status[0], TaskStatus::kCompleted);
 }
 
 TEST(Simulation, DeadlineAtExactDispatchInstantCancels) {
@@ -87,10 +87,10 @@ TEST(Simulation, DeadlineAtExactDispatchInstantCancels) {
   simulation.load(Workload({make_task(0, 0, 0.0, 100.0), make_task(1, 0, 0.0, 100.0),
                             make_task(2, 0, 0.0, 4.0)}));
   simulation.run();
-  const Task& task = simulation.tasks()[2];
-  EXPECT_EQ(task.status, TaskStatus::kCancelled);
-  EXPECT_DOUBLE_EQ(task.missed_time.value(), 4.0);
-  EXPECT_FALSE(task.assigned_machine.has_value());
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[2], TaskStatus::kCancelled);
+  EXPECT_DOUBLE_EQ(state.missed_time[2], 4.0);
+  EXPECT_EQ(state.machine[2], e2c::workload::kNoMachine);
   EXPECT_EQ(simulation.counters().cancelled, 1u);
   EXPECT_EQ(simulation.counters().completed, 2u);
 }
@@ -101,17 +101,18 @@ TEST(Simulation, TaskCancelledWhenStuckInBatchQueue) {
   // the batch queue. With tight deadlines the waiting task is cancelled.
   SystemConfig system = two_machine_system(/*queue_capacity=*/1);
   Simulation simulation(system, e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 6; ++i) {
     tasks.push_back(make_task(i, 0, 0.0, 4.5));  // only the first wave fits
   }
   simulation.load(Workload(std::move(tasks)));
   simulation.run();
   EXPECT_GT(simulation.counters().cancelled, 0u);
-  for (const Task& task : simulation.tasks()) {
-    if (task.status == TaskStatus::kCancelled) {
-      EXPECT_FALSE(task.assigned_machine.has_value());
-      EXPECT_DOUBLE_EQ(task.missed_time.value(), 4.5);
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (state.status[i] == TaskStatus::kCancelled) {
+      EXPECT_EQ(state.machine[i], e2c::workload::kNoMachine);
+      EXPECT_DOUBLE_EQ(state.missed_time[i], 4.5);
     }
   }
 }
@@ -124,13 +125,14 @@ TEST(Simulation, MissedTasksPanelOrderedByMissTime) {
   simulation.run();
   const auto missed = simulation.missed_tasks();
   ASSERT_EQ(missed.size(), 2u);
-  EXPECT_LE(missed[0]->missed_time.value(), missed[1]->missed_time.value());
+  const auto& state = simulation.task_state();
+  EXPECT_LE(state.missed_time[missed[0]], state.missed_time[missed[1]]);
 }
 
 TEST(Simulation, CountersAddUp) {
   SystemConfig system = two_machine_system(1);
   Simulation simulation(system, e2c::sched::make_policy("MSD"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 20; ++i) {
     tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.3,
                               static_cast<double>(i) * 0.3 + 6.0));
@@ -141,12 +143,14 @@ TEST(Simulation, CountersAddUp) {
   EXPECT_EQ(counters.total, 20u);
   EXPECT_EQ(counters.completed + counters.cancelled + counters.dropped, counters.total);
   EXPECT_TRUE(simulation.finished());
-  for (const Task& task : simulation.tasks()) EXPECT_TRUE(task.finished());
+  for (std::size_t i = 0; i < simulation.task_state().size(); ++i) {
+    EXPECT_TRUE(simulation.task_state().finished(i));
+  }
 }
 
 TEST(Simulation, ImmediatePolicyEmptiesBatchQueueInstantly) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("MECT"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 10; ++i) {
     tasks.push_back(make_task(i, 0, 0.0, 1000.0));
   }
@@ -159,7 +163,7 @@ TEST(Simulation, ImmediatePolicyEmptiesBatchQueueInstantly) {
 
 TEST(Simulation, MectSpreadsLoadAcrossMachines) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("MECT"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 8; ++i) tasks.push_back(make_task(i, 0, 0.0, 1000.0));
   simulation.load(Workload(std::move(tasks)));
   simulation.run();
@@ -172,21 +176,21 @@ TEST(Simulation, MectSpreadsLoadAcrossMachines) {
 TEST(Simulation, DeterministicReplay) {
   // Same system, workload, policy -> bit-identical task records.
   const SystemConfig system = two_machine_system();
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 30; ++i) {
     tasks.push_back(make_task(i, i % 2, static_cast<double>(i) * 0.7,
                               static_cast<double>(i) * 0.7 + 9.0));
   }
-  const Workload workload((std::vector<Task>(tasks)));
+  const Workload workload((std::vector<TaskDef>(tasks)));
 
   auto run_once = [&] {
     Simulation simulation(system, e2c::sched::make_policy("MM"));
     simulation.load(workload);
     simulation.run();
-    std::vector<std::tuple<TaskStatus, std::optional<std::size_t>, std::optional<double>>>
-        records;
-    for (const Task& task : simulation.tasks()) {
-      records.emplace_back(task.status, task.assigned_machine, task.completion_time);
+    std::vector<std::tuple<TaskStatus, std::uint32_t, double>> records;
+    const auto& state = simulation.task_state();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      records.emplace_back(state.status[i], state.machine[i], state.completion_time[i]);
     }
     return records;
   };
@@ -195,11 +199,11 @@ TEST(Simulation, DeterministicReplay) {
 
 TEST(Simulation, StepMatchesRun) {
   const SystemConfig system = two_machine_system();
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 10; ++i) {
     tasks.push_back(make_task(i, i % 2, static_cast<double>(i), 1000.0));
   }
-  const Workload workload((std::vector<Task>(tasks)));
+  const Workload workload((std::vector<TaskDef>(tasks)));
 
   Simulation run_sim(system, e2c::sched::make_policy("MECT"));
   run_sim.load(workload);
@@ -242,7 +246,7 @@ TEST(Simulation, GuardsMisuse) {
   Simulation simulation(two_machine_system(), e2c::sched::make_policy("FCFS"));
   EXPECT_THROW(simulation.run(), e2c::InputError);  // load() first
   simulation.load(Workload({make_task(0, 0, 0.0, 10.0)}));
-  EXPECT_THROW(simulation.load(Workload(std::vector<Task>{})),
+  EXPECT_THROW(simulation.load(Workload(std::vector<TaskDef>{})),
                e2c::InputError);  // only once
 }
 
@@ -278,10 +282,10 @@ class IdleOnlyPolicy : public e2c::sched::Policy {
   [[nodiscard]] e2c::sched::PolicyMode mode() const override {
     return e2c::sched::PolicyMode::kBatch;
   }
-  [[nodiscard]] std::vector<e2c::sched::Assignment> schedule(
-      e2c::sched::SchedulingContext& context) override {
-    std::vector<e2c::sched::Assignment> out;
-    for (const Task* task : context.batch_queue()) {
+  void schedule_into(e2c::sched::SchedulingContext& context,
+                     std::vector<e2c::sched::Assignment>& out) override {
+    out.clear();
+    for (const TaskDef* task : context.batch_queue()) {
       for (std::size_t m = 0; m < context.machines().size(); ++m) {
         const e2c::sched::MachineView& view = context.machines()[m];
         if (view.free_slots == 0) continue;
@@ -291,7 +295,6 @@ class IdleOnlyPolicy : public e2c::sched::Policy {
         break;
       }
     }
-    return out;
   }
 };
 
@@ -309,16 +312,15 @@ TEST(Simulation, DeadlineDropOfRunningTaskRetriggersScheduler) {
                             make_task(1, 0, 0.0, e2c::core::kTimeInfinity)}));
   simulation.run();
 
-  const Task& dropped = simulation.tasks()[0];
-  EXPECT_EQ(dropped.status, TaskStatus::kDropped);
-  EXPECT_DOUBLE_EQ(dropped.missed_time.value(), 2.0);
+  const auto& state = simulation.task_state();
+  EXPECT_EQ(state.status[0], TaskStatus::kDropped);
+  EXPECT_DOUBLE_EQ(state.missed_time[0], 2.0);
 
   // Pre-fix, B was stuck in the batch queue when the calendar drained.
-  const Task& waiting = simulation.tasks()[1];
-  EXPECT_EQ(waiting.status, TaskStatus::kCompleted);
-  ASSERT_TRUE(waiting.start_time.has_value());
-  EXPECT_DOUBLE_EQ(waiting.start_time.value(), 2.0);  // dispatched at the drop
-  EXPECT_DOUBLE_EQ(waiting.completion_time.value(), 6.0);
+  EXPECT_EQ(state.status[1], TaskStatus::kCompleted);
+  ASSERT_TRUE(e2c::core::time_set(state.start_time[1]));
+  EXPECT_DOUBLE_EQ(state.start_time[1], 2.0);  // dispatched at the drop
+  EXPECT_DOUBLE_EQ(state.completion_time[1], 6.0);
   EXPECT_TRUE(simulation.finished());
   EXPECT_TRUE(simulation.batch_queue_ids().empty());
 }
@@ -326,7 +328,7 @@ TEST(Simulation, DeadlineDropOfRunningTaskRetriggersScheduler) {
 TEST(Simulation, BatchQueueVisibleDuringStepping) {
   SystemConfig system = two_machine_system(/*queue_capacity=*/1);
   Simulation simulation(system, e2c::sched::make_policy("MM"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 8; ++i) tasks.push_back(make_task(i, 0, 0.0, 50.0));
   simulation.load(Workload(std::move(tasks)));
   // Step until the scheduler ran once; with 2 machines x (1 run + 1 queued)

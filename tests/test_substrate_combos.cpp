@@ -16,7 +16,7 @@
 namespace {
 
 using e2c::sched::Simulation;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::TaskStatus;
 
 struct ComboCase {
@@ -126,18 +126,19 @@ TEST_P(SubstrateComboTest, NoReservationLeaks) {
 
 TEST_P(SubstrateComboTest, RecordsConsistentUnderAllSubstrates) {
   run_case();
-  for (const Task& task : simulation_->tasks()) {
-    switch (task.status) {
+  const auto& state = simulation_->task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    switch (state.status[i]) {
       case TaskStatus::kCompleted:
-        EXPECT_LE(*task.completion_time, task.deadline + 1e-9);
-        EXPECT_GE(*task.start_time, task.arrival - 1e-9);
+        EXPECT_LE(state.completion_time[i], state.deadline(i) + 1e-9);
+        EXPECT_GE(state.start_time[i], state.arrival(i) - 1e-9);
         break;
       case TaskStatus::kCancelled:
-        EXPECT_FALSE(task.assigned_machine.has_value());
+        EXPECT_EQ(state.machine[i], e2c::workload::kNoMachine);
         break;
       case TaskStatus::kDropped:
-        EXPECT_TRUE(task.assigned_machine.has_value());
-        EXPECT_NEAR(*task.missed_time, task.deadline, 1e-9);
+        EXPECT_NE(state.machine[i], e2c::workload::kNoMachine);
+        EXPECT_NEAR(state.missed_time[i], state.deadline(i), 1e-9);
         break;
       default:
         FAIL() << "non-terminal status after run";

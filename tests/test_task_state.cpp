@@ -1,0 +1,148 @@
+// SoA equivalence suite: the per-status counters the simulation maintains
+// incrementally at terminal transitions must equal a full scan of the SoA
+// status column, and the waste invariant must hold row-by-row, after
+// randomized fault/recovery runs. The run-digest goldens prove the layout
+// refactor is observationally pure; this suite proves the two bookkeeping
+// paths (incremental counters vs dense columns) can never drift apart.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "fault/fault_model.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulation.hpp"
+#include "util/rng.hpp"
+#include "workload/task_state.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using e2c::fault::RecoveryStrategy;
+using e2c::sched::Simulation;
+using e2c::sched::SystemConfig;
+using e2c::workload::TaskDef;
+using e2c::workload::TaskStatus;
+using e2c::workload::Workload;
+
+struct StatusScan {
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t dropped = 0;
+  std::size_t failed = 0;
+  std::size_t replicas_cancelled = 0;
+  std::size_t non_terminal = 0;
+};
+
+StatusScan scan_statuses(const e2c::workload::TaskStateSoA& state) {
+  StatusScan scan;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    switch (state.status[i]) {
+      case TaskStatus::kCompleted: ++scan.completed; break;
+      case TaskStatus::kCancelled: ++scan.cancelled; break;
+      case TaskStatus::kDropped: ++scan.dropped; break;
+      case TaskStatus::kFailed: ++scan.failed; break;
+      case TaskStatus::kReplicaCancelled: ++scan.replicas_cancelled; break;
+      default: ++scan.non_terminal; break;
+    }
+  }
+  return scan;
+}
+
+void expect_waste_invariant(const Simulation& simulation) {
+  const auto& state = simulation.task_state();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(state.useful_seconds[i] + state.lost_seconds[i] +
+                    state.checkpoint_overhead_seconds[i],
+                state.machine_seconds[i], 1e-9)
+        << "task " << state.id(i) << " ("
+        << e2c::workload::task_status_name(state.status[i]) << ")";
+  }
+}
+
+/// One randomized fault/recovery run: stochastic failures with a random
+/// MTBF/MTTR draw, a random policy, and (for checkpoint runs) random τ/C/R.
+std::unique_ptr<Simulation> run_randomized(std::uint64_t seed, RecoveryStrategy strategy) {
+  e2c::util::Rng rng(seed);
+  SystemConfig system = e2c::exp::heterogeneous_classroom(2);
+  system.faults.enabled = true;
+  system.faults.mtbf = rng.uniform(6.0, 30.0);
+  system.faults.mttr = rng.uniform(1.0, 4.0);
+  system.faults.seed = seed * 7919 + 13;
+  system.faults.recovery.strategy = strategy;
+  if (strategy == RecoveryStrategy::kCheckpoint) {
+    system.faults.recovery.checkpoint_interval = rng.uniform(0.5, 3.0);
+    system.faults.recovery.checkpoint_cost = rng.uniform(0.1, 0.5);
+    system.faults.recovery.restart_cost = rng.uniform(0.1, 0.5);
+  }
+  if (strategy == RecoveryStrategy::kReplicate) {
+    system.faults.recovery.replicas = 2;
+  }
+  const char* policy = rng.bernoulli(0.5) ? "MECT" : "MM";
+
+  std::vector<TaskDef> tasks;
+  const std::size_t count = 30 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+  const std::size_t types = system.eet.task_type_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskDef task;
+    task.id = i;
+    task.type = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(types) - 1));
+    task.arrival = static_cast<double>(i) * rng.uniform(0.2, 0.8);
+    task.deadline = task.arrival + rng.uniform(5.0, 40.0);
+    tasks.push_back(task);
+  }
+
+  auto simulation = std::make_unique<Simulation>(std::move(system),
+                                                 e2c::sched::make_policy(policy));
+  simulation->load(Workload(std::move(tasks)));
+  simulation->run();
+  return simulation;
+}
+
+TEST(TaskStateEquivalence, IncrementalCountersMatchStatusScan) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const RecoveryStrategy strategy :
+         {RecoveryStrategy::kResubmit, RecoveryStrategy::kCheckpoint}) {
+      const auto simulation_ptr = run_randomized(seed, strategy);
+      const Simulation& simulation = *simulation_ptr;
+      const auto& counters = simulation.counters();
+      const StatusScan scan = scan_statuses(simulation.task_state());
+      EXPECT_EQ(scan.non_terminal, 0u) << "seed " << seed;
+      EXPECT_EQ(counters.total, simulation.task_state().size()) << "seed " << seed;
+      EXPECT_EQ(counters.completed, scan.completed) << "seed " << seed;
+      EXPECT_EQ(counters.cancelled, scan.cancelled) << "seed " << seed;
+      EXPECT_EQ(counters.dropped, scan.dropped) << "seed " << seed;
+      EXPECT_EQ(counters.failed, scan.failed) << "seed " << seed;
+      EXPECT_EQ(scan.replicas_cancelled, 0u) << "seed " << seed;
+      expect_waste_invariant(simulation);
+    }
+  }
+}
+
+TEST(TaskStateEquivalence, ReplicatedCountersMatchStatusScan) {
+  // Replication counts one outcome per submitted task (group), so the scan
+  // compares winners and cancelled siblings rather than raw row totals.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto simulation_ptr = run_randomized(seed, RecoveryStrategy::kReplicate);
+    const Simulation& simulation = *simulation_ptr;
+    const auto& counters = simulation.counters();
+    const auto& state = simulation.task_state();
+    const StatusScan scan = scan_statuses(state);
+    EXPECT_EQ(scan.non_terminal, 0u) << "seed " << seed;
+    EXPECT_EQ(counters.completed, scan.completed) << "seed " << seed;
+    EXPECT_EQ(counters.replicas_cancelled, scan.replicas_cancelled) << "seed " << seed;
+    // Every row is a member of some group; the group count is the primaries.
+    ASSERT_TRUE(state.has_replica_column());
+    std::size_t primaries = 0;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (state.replica_of[i] == e2c::workload::kNoTaskId) ++primaries;
+    }
+    EXPECT_EQ(counters.total, primaries) << "seed " << seed;
+    expect_waste_invariant(simulation);
+  }
+}
+
+}  // namespace

@@ -17,16 +17,16 @@ namespace {
 
 using e2c::hetero::EetMatrix;
 using e2c::sched::Simulation;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
 std::unique_ptr<Simulation> finished_simulation() {
   EetMatrix eet({"T1", "T2"}, {"m0", "m1"}, {{4.0, 6.0}, {5.0, 2.0}});
   auto simulation = std::make_unique<Simulation>(
       e2c::sched::make_default_system(std::move(eet)), e2c::sched::make_policy("MECT"));
-  std::vector<Task> tasks;
+  std::vector<TaskDef> tasks;
   for (std::uint64_t i = 0; i < 6; ++i) {
-    Task task;
+    TaskDef task;
     task.id = i;
     task.type = i % 2;
     task.arrival = static_cast<double>(i) * 0.5;
@@ -54,7 +54,7 @@ TEST(AsciiView, ColorModeEmitsAnsi) {
   EetMatrix eet({"T1"}, {"m0"}, {{5.0}});
   Simulation simulation(e2c::sched::make_default_system(std::move(eet)),
                         e2c::sched::make_policy("FCFS"));
-  Task task;
+  TaskDef task;
   task.id = 0;
   task.type = 0;
   task.arrival = 0.0;

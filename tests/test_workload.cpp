@@ -10,15 +10,15 @@
 namespace {
 
 using e2c::hetero::EetMatrix;
-using e2c::workload::Task;
+using e2c::workload::TaskDef;
 using e2c::workload::Workload;
 
 EetMatrix sample_eet() {
   return EetMatrix({"T1", "T2"}, {"m1", "m2"}, {{2.0, 4.0}, {3.0, 1.0}});
 }
 
-Task make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
-  Task task;
+TaskDef make_task(std::uint64_t id, std::size_t type, double arrival, double deadline) {
+  TaskDef task;
   task.id = id;
   task.type = type;
   task.arrival = arrival;

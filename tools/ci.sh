@@ -179,6 +179,79 @@ run_bench_smoke() {
     exit 1
   }
   echo "io interference: waste_ratio ${fresh} (baseline ${base}) ok"
+
+  local mega_out="${dir}/BENCH_megarun.json"
+  local mega_baseline="${ROOT}/BENCH_megarun.json"
+  echo "=== bench: build megarun ==="
+  cmake --build "${dir}" --target bench_megarun -j "${JOBS}"
+  echo "=== bench: run megarun (10M tasks, MM + ELARE) ==="
+  "${dir}/bench/bench_megarun" --out "${mega_out}"
+  echo "=== bench: validate megarun JSON keys ==="
+  for key in bench results policy lane tasks events seconds events_per_sec \
+             ns_per_event completion_percent peak_rss_kb scaling scaling_ratio; do
+    grep -q "\"${key}\"" "${mega_out}" || {
+      echo "bench smoke: key '${key}' missing from ${mega_out}" >&2
+      exit 1
+    }
+  done
+  echo "=== bench: megarun scaling-ratio regression gate ==="
+  # scaling_ratio = mega events/s over same-host calibration events/s: the
+  # SoA core's throughput retention when the task table is 100x larger than
+  # cache. Both runs happen on this host, so the ratio is machine-independent;
+  # a fresh run must stay within 70% of the committed baseline.
+  scaling_ratio_of() {  # file policy
+    sed -n "s/.*{\"policy\": \"$2\", \"scaling_ratio\": \([0-9.eE+-]*\)}.*/\1/p" "$1"
+  }
+  for policy in MM ELARE; do
+    fresh="$(scaling_ratio_of "${mega_out}" "${policy}")"
+    base="$(scaling_ratio_of "${mega_baseline}" "${policy}")"
+    if [ -z "${fresh}" ] || [ -z "${base}" ]; then
+      echo "bench smoke: missing ${policy} scaling_ratio (fresh='${fresh}' baseline='${base}')" >&2
+      exit 1
+    fi
+    awk -v fresh="${fresh}" -v base="${base}" 'BEGIN { exit !(fresh >= 0.7 * base) }' || {
+      echo "bench smoke: ${policy} megarun throughput retention regressed: ${fresh} vs baseline ${base} (floor 70%)" >&2
+      exit 1
+    }
+    echo "${policy}: megarun scaling ratio ${fresh} (baseline ${base}) ok"
+  done
+
+  echo "=== bench: PGO lane (profile-generate -> profile-use) ==="
+  # Two-phase profile-guided build of the megarun: train on a 200k-task run,
+  # then flip the SAME build tree to -fprofile-use and rebuild. In-place is
+  # load-bearing, not a space saving: gcov data files are keyed by the
+  # mangled object path of the generating compile, so a separate
+  # profile-use tree looks for gcda names it can never find and
+  # -Wno-missing-profile silently yields a no-PGO binary. The delta is
+  # informational (reported in the bench summary, not gated) — PGO headroom
+  # varies by compiler.
+  local pg_use="${BUILD_ROOT}/build-pg"
+  local profdir="${BUILD_ROOT}/pg-profiles"
+  mkdir -p "${profdir}"
+  cmake -S "${ROOT}" -B "${pg_use}" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-fprofile-generate=${profdir}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fprofile-generate=${profdir}" >/dev/null
+  cmake --build "${pg_use}" --target bench_megarun -j "${JOBS}"
+  "${pg_use}/bench/bench_megarun" --tasks 200000 --out "${pg_use}/train.json" >/dev/null
+  cmake -S "${ROOT}" -B "${pg_use}" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-fprofile-use=${profdir} -fprofile-correction -Wno-missing-profile" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fprofile-use=${profdir}" >/dev/null
+  cmake --build "${pg_use}" --target bench_megarun -j "${JOBS}"
+  "${dir}/bench/bench_megarun" --tasks 1000000 --out "${dir}/megarun_plain_1m.json" >/dev/null
+  "${pg_use}/bench/bench_megarun" --tasks 1000000 --out "${pg_use}/megarun_pgo_1m.json" >/dev/null
+  mega_events_of() {  # file policy
+    sed -n "s/.*\"policy\": \"$2\", \"lane\": \"mega\".*\"events_per_sec\": \([0-9.eE+-]*\),.*/\1/p" "$1"
+  }
+  for policy in MM ELARE; do
+    plain="$(mega_events_of "${dir}/megarun_plain_1m.json" "${policy}")"
+    pgo="$(mega_events_of "${pg_use}/megarun_pgo_1m.json" "${policy}")"
+    if [ -n "${plain}" ] && [ -n "${pgo}" ]; then
+      delta="$(awk -v p="${plain}" -v g="${pgo}" 'BEGIN { printf "%.3f", g / p }')"
+      echo "${policy}: PGO delta ${delta}x (plain ${plain} ev/s, pgo ${pgo} ev/s)"
+    else
+      echo "${policy}: PGO delta unavailable (plain='${plain}' pgo='${pgo}')"
+    fi
+  done
   echo "bench smoke passed"
 }
 
@@ -285,7 +358,7 @@ for suite in "${suites[@]}"; do
   case "${suite}" in
     asan)  run_suite asan address ;;
     ubsan) run_suite ubsan undefined ;;
-    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention' ;;
+    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention|test_task_state' ;;
     bench) run_bench_smoke ;;
     crash) run_crash_smoke ;;
     *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench | crash)" >&2; exit 2 ;;
