@@ -15,6 +15,7 @@
 //   bench_megarun [--tasks N] [--duration SECONDS] [--out FILE.json]
 //
 // Exit codes: 0 success, 1 internal error, 2 invalid input.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -43,7 +44,17 @@ struct Row {
   double events_per_sec = 0.0;
   double ns_per_event = 0.0;
   double completion_percent = 0.0;
+  /// Process-lifetime high-water mark (VmHWM) at the end of the lane. VmHWM
+  /// never goes down, so this is NOT the lane's own footprint: any lane that
+  /// runs after a bigger one just re-reports the bigger lane's peak.
   long peak_rss_kb = 0;
+  /// How much this lane raised the process high-water mark (VmHWM after
+  /// minus VmHWM before, best across repeats). 0 means the lane fit inside
+  /// the footprint already established by earlier lanes. This is the
+  /// per-lane signal; lanes are also ordered smallest-first (all
+  /// calibrations, then all megas) so the small lanes report their own
+  /// footprint instead of a predecessor's.
+  long rss_delta_kb = 0;
 };
 
 /// Offered load just under capacity: the batch queue drains every round, so
@@ -59,6 +70,7 @@ constexpr int kRepeats = 3;
 
 Row run_once(const std::string& policy_name, const char* lane, std::size_t task_count,
              double duration_override) {
+  const long rss_before = e2c::bench::peak_rss_kb();
   e2c::sched::SystemConfig config = e2c::exp::heterogeneous_classroom(2);
   const auto machine_types = e2c::exp::machine_types_of(config);
 
@@ -95,6 +107,7 @@ Row run_once(const std::string& policy_name, const char* lane, std::size_t task_
   row.ns_per_event = e2c::bench::ns_per_event(row.seconds, row.events);
   row.completion_percent = simulation.counters().completion_percent();
   row.peak_rss_kb = e2c::bench::peak_rss_kb();
+  row.rss_delta_kb = std::max(0L, row.peak_rss_kb - rss_before);
   return row;
 }
 
@@ -102,10 +115,16 @@ Row run_once(const std::string& policy_name, const char* lane, std::size_t task_
 Row run_one(const std::string& policy_name, const char* lane, std::size_t task_count,
             double duration_override) {
   Row best = run_once(policy_name, lane, task_count, duration_override);
+  // rss_delta_kb is taken as the max across repeats, not from the fastest
+  // repeat: after the first repeat the high-water mark is already set, so
+  // later repeats legitimately report a delta of 0.
+  long rss_delta = best.rss_delta_kb;
   for (int rep = 1; rep < kRepeats; ++rep) {
     const Row row = run_once(policy_name, lane, task_count, duration_override);
+    rss_delta = std::max(rss_delta, row.rss_delta_kb);
     if (row.events_per_sec > best.events_per_sec) best = row;
   }
+  best.rss_delta_kb = rss_delta;
   return best;
 }
 
@@ -129,7 +148,8 @@ void write_json(const std::string& path, std::size_t tasks, double duration,
         << ", \"events_per_sec\": " << row.events_per_sec
         << ", \"ns_per_event\": " << row.ns_per_event
         << ", \"completion_percent\": " << row.completion_percent
-        << ", \"peak_rss_kb\": " << row.peak_rss_kb << "}"
+        << ", \"peak_rss_kb\": " << row.peak_rss_kb
+        << ", \"rss_delta_kb\": " << row.rss_delta_kb << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"scaling\": [\n";
@@ -181,31 +201,42 @@ int main(int argc, char** argv) {
     }
 
     const std::size_t calibration_tasks = std::max<std::size_t>(tasks / 100, 1000);
+    const std::vector<std::string> policies = {"MM", "ELARE"};
     std::vector<Row> rows;
     std::vector<Scaling> scalings;
     std::cout << "==== megarun: " << tasks << " tasks per policy ====\n";
-    for (const char* policy : {"MM", "ELARE"}) {
-      const Row calibration =
+    const auto print_row = [](const Row& row) {
+      std::cout << row.policy << " (" << row.lane << ") tasks=" << row.tasks
+                << " events=" << row.events << " seconds=" << row.seconds
+                << " events/sec=" << static_cast<std::uint64_t>(row.events_per_sec)
+                << " ns/event=" << row.ns_per_event
+                << " completion=" << row.completion_percent << "%"
+                << " peak_rss_kb=" << row.peak_rss_kb
+                << " rss_delta_kb=" << row.rss_delta_kb << "\n";
+    };
+    // All calibrations before any mega lane: VmHWM is a process-lifetime
+    // high-water mark, so a calibration run after a 10M-task mega would
+    // re-report the mega's peak instead of its own footprint.
+    std::vector<Row> calibrations;
+    for (const auto& policy : policies) {
+      calibrations.push_back(
           run_one(policy, "calibration", calibration_tasks,
                   duration > 0.0 ? duration * static_cast<double>(calibration_tasks) /
                                        static_cast<double>(tasks)
-                                 : 0.0);
-      const Row mega = run_one(policy, "mega", tasks, duration);
-      for (const Row& row : {calibration, mega}) {
-        std::cout << row.policy << " (" << row.lane << ") tasks=" << row.tasks
-                  << " events=" << row.events << " seconds=" << row.seconds
-                  << " events/sec=" << static_cast<std::uint64_t>(row.events_per_sec)
-                  << " ns/event=" << row.ns_per_event
-                  << " completion=" << row.completion_percent << "%"
-                  << " peak_rss_kb=" << row.peak_rss_kb << "\n";
-        rows.push_back(row);
-      }
+                                 : 0.0));
+      print_row(calibrations.back());
+      rows.push_back(calibrations.back());
+    }
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const Row mega = run_one(policies[i], "mega", tasks, duration);
+      print_row(mega);
+      rows.push_back(mega);
       Scaling scaling;
-      scaling.policy = policy;
-      if (calibration.events_per_sec > 0.0) {
-        scaling.scaling_ratio = mega.events_per_sec / calibration.events_per_sec;
+      scaling.policy = policies[i];
+      if (calibrations[i].events_per_sec > 0.0) {
+        scaling.scaling_ratio = mega.events_per_sec / calibrations[i].events_per_sec;
       }
-      std::cout << policy << " scaling ratio (mega/calibration) = "
+      std::cout << policies[i] << " scaling ratio (mega/calibration) = "
                 << scaling.scaling_ratio << "\n";
       scalings.push_back(scaling);
     }

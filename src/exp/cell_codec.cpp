@@ -115,4 +115,20 @@ CellResult decode_cell(std::string_view payload) {
   return cell;
 }
 
+std::string encode_metrics_payload(const reports::Metrics& metrics) {
+  util::ByteWriter writer;
+  writer.u8(kCellCodecVersion);
+  encode_metrics(writer, metrics);
+  return writer.take();
+}
+
+reports::Metrics decode_metrics_payload(std::string_view payload) {
+  util::ByteReader reader(payload);
+  require_input(reader.u8() == kCellCodecVersion,
+                "metrics payload: unsupported codec version");
+  reports::Metrics metrics = decode_metrics(reader);
+  require_input(reader.exhausted(), "metrics payload: trailing bytes");
+  return metrics;
+}
+
 }  // namespace e2c::exp

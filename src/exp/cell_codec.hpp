@@ -23,4 +23,14 @@ namespace e2c::exp {
 /// or wrong-version payload.
 [[nodiscard]] CellResult decode_cell(std::string_view payload);
 
+/// Encodes one replication's Metrics as a self-contained payload — the unit
+/// the serve backend ships per (cell, replication) work item. Same field
+/// layout (and the same bit-exact doubles guarantee) as the per-run records
+/// inside encode_cell, with its own leading version byte.
+[[nodiscard]] std::string encode_metrics_payload(const reports::Metrics& metrics);
+
+/// Inverse of encode_metrics_payload. Throws e2c::InputError on a truncated,
+/// overlong, or wrong-version payload.
+[[nodiscard]] reports::Metrics decode_metrics_payload(std::string_view payload);
+
 }  // namespace e2c::exp

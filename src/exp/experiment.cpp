@@ -329,6 +329,14 @@ std::uint64_t spec_digest(const ExperimentSpec& spec) noexcept {
 
 namespace detail {
 
+workload::Workload generate_trace(const ExperimentSpec& spec,
+                                  const std::vector<hetero::MachineTypeId>& machine_types,
+                                  workload::Intensity intensity,
+                                  std::size_t replication) {
+  return workload::generate_workload(
+      spec.system.eet, generator_for(spec, machine_types, intensity, replication));
+}
+
 CellResult compute_cell(const ExperimentSpec& spec, const std::string& policy,
                         workload::Intensity intensity) {
   const auto system = std::make_shared<const sched::SystemConfig>(spec.system);

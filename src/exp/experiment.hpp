@@ -207,6 +207,15 @@ namespace detail {
 [[nodiscard]] CellResult compute_cell(const ExperimentSpec& spec,
                                       const std::string& policy,
                                       workload::Intensity intensity);
+
+/// Regenerates the paired trace of one (intensity, replication) — a pure
+/// function of the spec, identical across every policy, data plane, and
+/// backend. \p machine_types must be machine_types_of(spec.system). The
+/// serve workers call this per (cell, replication) work unit and cache the
+/// result, so repeat submissions of one sweep never regenerate traces.
+[[nodiscard]] workload::Workload generate_trace(
+    const ExperimentSpec& spec, const std::vector<hetero::MachineTypeId>& machine_types,
+    workload::Intensity intensity, std::size_t replication);
 }  // namespace detail
 
 /// Builds the grouped bar chart of completion % — the layout of Figs. 5-7

@@ -1,0 +1,156 @@
+/// \file job_codec.hpp
+/// \brief Versioned binary codec for the resident sweep service's framed
+/// protocol — the job-level sibling of cell_codec.
+///
+/// Two conversations share this vocabulary, both carried as length-prefixed
+/// frames (util/framing) whose payload starts with [version u8][kind u8]:
+///
+///   client <-> service (Unix-domain socket):
+///     kSubmit   client -> service   the sweep config as INI text
+///     kAccepted service -> client   job admitted; id + shape echo
+///     kBusy     service -> client   backlog full or draining; try later
+///     kCell     service -> client   one finished cell (encode_cell payload)
+///     kDone     service -> client   sweep health; the job is complete
+///     kError    service -> client   config rejected; human-readable message
+///
+///   service <-> worker (pre-forked process, pipes):
+///     kLoadJob    service -> worker  cache a job's spec (keyed by ini digest)
+///     kRunUnit    service -> worker  compute one (cell, replication)
+///     kShutdown   service -> worker  exit cleanly
+///     kUnitResult worker -> service  one replication's Metrics payload
+///
+/// Both sides are builds of this repository on one machine (the process-pool
+/// convention), so fields are native-endian and fixed-width; doubles travel
+/// as raw bytes inside the nested cell/metrics payloads, which is what keeps
+/// `--submit` results byte-identical to direct runs. decode_* reject wrong
+/// versions, wrong kinds, truncated and overlong payloads with
+/// e2c::InputError so a corrupt frame surfaces loudly, never as garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/framing.hpp"
+
+namespace e2c::exp {
+
+/// Bump when any frame layout changes; decoders reject other versions so a
+/// stale client or worker binary fails loudly instead of mis-parsing.
+inline constexpr std::uint8_t kJobCodecVersion = 1;
+
+/// Discriminator byte of every serve-protocol frame.
+enum class JobFrame : std::uint8_t {
+  kSubmit = 1,
+  kAccepted = 2,
+  kBusy = 3,
+  kCell = 4,
+  kDone = 5,
+  kError = 6,
+  kLoadJob = 7,
+  kRunUnit = 8,
+  kShutdown = 9,
+  kUnitResult = 10,
+};
+
+/// Kind of a frame payload without consuming it; throws e2c::InputError on
+/// an empty/wrong-version payload or an out-of-range kind byte.
+[[nodiscard]] JobFrame peek_job_frame(std::string_view payload);
+
+/// Stable key of a job's config text (FNV-1a): the warm-cache identity used
+/// by service and workers. Two submissions with identical INI text share
+/// cached specs, traces, and Simulation leases.
+[[nodiscard]] std::uint64_t job_key_of(std::string_view ini_text) noexcept;
+
+// ---- client <-> service --------------------------------------------------
+
+struct JobSubmit {
+  std::string ini_text;  ///< the full experiment config, verbatim
+};
+
+struct JobAccepted {
+  std::uint64_t job_id = 0;       ///< service-assigned, unique per service run
+  std::uint32_t cells_total = 0;  ///< policies x intensities
+  std::uint32_t replications = 0;
+  std::uint32_t workers = 0;      ///< resolved size of the persistent pool
+};
+
+struct JobBusy {
+  std::uint32_t in_service = 0;  ///< jobs admitted and not yet finished
+  std::uint32_t backlog = 0;     ///< admission bound the request exceeded
+  std::uint8_t draining = 0;     ///< 1 when the service is shutting down
+};
+
+struct JobCell {
+  std::uint32_t slot = 0;        ///< (policy-major, intensity-minor) index
+  std::uint32_t cells_done = 0;  ///< finished cells of this job so far
+  std::uint32_t cells_total = 0;
+  std::string cell_payload;      ///< encode_cell bytes (bit-exact doubles)
+};
+
+struct JobDone {
+  std::uint64_t completed_cells = 0;
+  std::uint64_t failed_cells = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t workers = 0;
+};
+
+struct JobError {
+  std::string message;
+};
+
+// ---- service <-> worker --------------------------------------------------
+
+struct WorkerLoadJob {
+  std::uint64_t job_key = 0;  ///< job_key_of(ini_text); cache identity
+  std::string ini_text;
+};
+
+struct WorkerRunUnit {
+  std::uint64_t job_key = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t rep = 0;
+  std::uint32_t attempt = 0;  ///< 0 on first dispatch; for the crash hooks
+};
+
+struct WorkerUnitResult {
+  std::uint64_t job_key = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t rep = 0;
+  std::uint32_t attempt = 0;
+  std::string metrics_payload;  ///< encode_metrics_payload bytes
+};
+
+// Encoders append a complete payload to \p writer (recycled by the caller
+// between frames); decoders parse a whole payload and reject leftovers.
+
+void encode_job_submit(util::ByteWriter& writer, const JobSubmit& frame);
+[[nodiscard]] JobSubmit decode_job_submit(std::string_view payload);
+
+void encode_job_accepted(util::ByteWriter& writer, const JobAccepted& frame);
+[[nodiscard]] JobAccepted decode_job_accepted(std::string_view payload);
+
+void encode_job_busy(util::ByteWriter& writer, const JobBusy& frame);
+[[nodiscard]] JobBusy decode_job_busy(std::string_view payload);
+
+void encode_job_cell(util::ByteWriter& writer, const JobCell& frame);
+[[nodiscard]] JobCell decode_job_cell(std::string_view payload);
+
+void encode_job_done(util::ByteWriter& writer, const JobDone& frame);
+[[nodiscard]] JobDone decode_job_done(std::string_view payload);
+
+void encode_job_error(util::ByteWriter& writer, const JobError& frame);
+[[nodiscard]] JobError decode_job_error(std::string_view payload);
+
+void encode_worker_load_job(util::ByteWriter& writer, const WorkerLoadJob& frame);
+[[nodiscard]] WorkerLoadJob decode_worker_load_job(std::string_view payload);
+
+void encode_worker_run_unit(util::ByteWriter& writer, const WorkerRunUnit& frame);
+[[nodiscard]] WorkerRunUnit decode_worker_run_unit(std::string_view payload);
+
+void encode_worker_shutdown(util::ByteWriter& writer);
+
+void encode_worker_unit_result(util::ByteWriter& writer, const WorkerUnitResult& frame);
+[[nodiscard]] WorkerUnitResult decode_worker_unit_result(std::string_view payload);
+
+}  // namespace e2c::exp

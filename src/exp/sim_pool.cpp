@@ -1,5 +1,6 @@
 #include "exp/sim_pool.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace e2c::exp {
@@ -12,15 +13,20 @@ struct LeaseEntry {
   std::unique_ptr<sched::Simulation> simulation;
 };
 
+/// A sweep uses one SystemConfig and at most two modes, so the cache is a
+/// tiny linear-scanned vector, never a map. Thread-local: no locks, no
+/// sharing; the worker owns its engines outright (CP.2).
+std::vector<LeaseEntry>& lease_cache() {
+  thread_local std::vector<LeaseEntry> cache;
+  return cache;
+}
+
 }  // namespace
 
 sched::Simulation& lease_simulation(
     const std::shared_ptr<const sched::SystemConfig>& config,
     std::unique_ptr<sched::Policy> policy) {
-  // A sweep uses one SystemConfig and at most two modes, so the cache is a
-  // tiny linear-scanned vector, never a map. Thread-local: no locks, no
-  // sharing; the worker owns its engines outright (CP.2).
-  thread_local std::vector<LeaseEntry> cache;
+  std::vector<LeaseEntry>& cache = lease_cache();
   const sched::PolicyMode mode = policy->mode();
   for (LeaseEntry& entry : cache) {
     if (entry.config.get() == config.get() && entry.mode == mode) {
@@ -31,6 +37,15 @@ sched::Simulation& lease_simulation(
   cache.push_back(
       {config, mode, std::make_unique<sched::Simulation>(config, std::move(policy))});
   return *cache.back().simulation;
+}
+
+void purge_simulations(const sched::SystemConfig* config) noexcept {
+  std::vector<LeaseEntry>& cache = lease_cache();
+  cache.erase(std::remove_if(cache.begin(), cache.end(),
+                             [config](const LeaseEntry& entry) {
+                               return entry.config.get() == config;
+                             }),
+              cache.end());
 }
 
 }  // namespace e2c::exp

@@ -33,4 +33,11 @@ namespace e2c::exp {
     const std::shared_ptr<const sched::SystemConfig>& config,
     std::unique_ptr<sched::Policy> policy);
 
+/// Drops every cached Simulation of the calling thread keyed by \p config.
+/// Sweep workers never need this (entries die with the worker thread), but
+/// the resident serve workers live across jobs: when a worker evicts a job
+/// from its warm cache it purges the job's leases too, so the lease cache
+/// stays bounded by the job cache instead of growing with service lifetime.
+void purge_simulations(const sched::SystemConfig* config) noexcept;
+
 }  // namespace e2c::exp

@@ -1,5 +1,6 @@
 #include "util/framing.hpp"
 
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -100,15 +101,50 @@ void write_frame(int fd, std::string_view payload) {
 }
 
 std::optional<std::string> read_frame(int fd) {
+  std::string payload;
+  if (!read_frame_into(fd, payload)) return std::nullopt;
+  return payload;
+}
+
+void write_frame_zc(int fd, std::string_view payload) {
+  std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  iovec iov[2];
+  iov[0].iov_base = &size;
+  iov[0].iov_len = sizeof size;
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  int index = 0;
+  while (index < 2) {
+    const ssize_t written = ::writev(fd, &iov[index], 2 - index);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("frame: writev failed: ") + std::strerror(errno));
+    }
+    auto remaining = static_cast<std::size_t>(written);
+    while (index < 2 && remaining >= iov[index].iov_len) {
+      remaining -= iov[index].iov_len;
+      ++index;
+    }
+    if (index < 2 && remaining > 0) {
+      iov[index].iov_base = static_cast<char*>(iov[index].iov_base) + remaining;
+      iov[index].iov_len -= remaining;
+    }
+  }
+}
+
+bool read_frame_into(int fd, std::string& payload) {
   std::uint32_t size = 0;
   const std::size_t header = read_upto(fd, reinterpret_cast<char*>(&size), sizeof size);
-  if (header == 0) return std::nullopt;  // clean EOF between frames
+  if (header == 0) {
+    payload.clear();
+    return false;  // clean EOF between frames
+  }
   if (header < sizeof size) throw IoError("pipe: peer closed mid-frame header");
-  std::string payload(size, '\0');
+  payload.resize(size);
   if (read_upto(fd, payload.data(), size) < size) {
     throw IoError("pipe: peer closed mid-frame payload");
   }
-  return payload;
+  return true;
 }
 
 std::string hex_encode(std::string_view bytes) {

@@ -27,6 +27,11 @@ class ByteWriter {
   /// Length-prefixed (u32) byte string.
   void str(std::string_view value);
 
+  /// Drops the contents but keeps the allocation — the recycled-buffer
+  /// pattern of the serve loop, where one writer is reused per frame so
+  /// steady-state encoding never touches the allocator.
+  void clear() noexcept { buffer_.clear(); }
+
   [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
   [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
 
@@ -70,6 +75,25 @@ void write_frame(int fd, std::string_view payload);
 /// clean EOF before any byte of the frame; throws e2c::IoError when the peer
 /// hangs up mid-frame (a truncated frame is how a crashed writer looks).
 [[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+/// Zero-copy variant of write_frame: the 4-byte length header and \p payload
+/// go out in one writev() — the payload is never copied into a combined
+/// buffer, so a caller encoding into a recycled ByteWriter writes frames
+/// with zero allocations and zero extra copies. Semantics match write_frame
+/// (loops over partial writes and EINTR, throws e2c::IoError on failure).
+/// Note: unlike write_frame, header and payload may land in separate
+/// write()s under a partial write, so this is for stream sockets and for
+/// writers the peer supervises via EOF — not for the crash-journal pipe
+/// path that counts on single-write atomicity.
+void write_frame_zc(int fd, std::string_view payload);
+
+/// Recycled-buffer variant of read_frame: reads the next frame's payload
+/// into \p payload (replacing its contents, reusing its capacity). Returns
+/// false on clean EOF before any byte of the frame; throws e2c::IoError on a
+/// mid-frame hangup. The steady-state serve loop calls this with one
+/// long-lived buffer per connection, so frame reads stop allocating once
+/// the buffer has grown to the session's largest frame.
+[[nodiscard]] bool read_frame_into(int fd, std::string& payload);
 
 /// Lowercase hex armor for embedding binary payloads in line-oriented files.
 [[nodiscard]] std::string hex_encode(std::string_view bytes);

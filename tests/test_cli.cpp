@@ -398,6 +398,82 @@ TEST(ExperimentCli, ResumeNeedsJournal) {
   EXPECT_NE(result.output.find("--resume needs --journal"), std::string::npos);
 }
 
+TEST(ExperimentCli, UnknownFlagRejectedWithSuggestion) {
+  // A typo'd flag used to be swallowed as a positional argument; it must be
+  // exit 2 with a nearest-match hint.
+  const auto typo =
+      run_experiment(data("experiment_example.ini") + " 1 --cel-timeout 5");
+  EXPECT_EQ(typo.exit_code, 2);
+  EXPECT_NE(typo.output.find("unknown flag '--cel-timeout'"), std::string::npos);
+  EXPECT_NE(typo.output.find("did you mean '--cell-timeout'"), std::string::npos);
+  const auto nonsense = run_experiment("--frobnicate");
+  EXPECT_EQ(nonsense.exit_code, 2);
+  EXPECT_NE(nonsense.output.find("unknown flag '--frobnicate'"), std::string::npos);
+}
+
+TEST(ExperimentCli, NonPositiveServeWorkersRejectedWithLocator) {
+  for (const char* bad : {"0", "-1", "lots"}) {
+    const auto result =
+        run_experiment(std::string("--serve /tmp/e2c_cli_test.sock --serve-workers ") +
+                       bad);
+    EXPECT_EQ(result.exit_code, 2) << bad;
+    EXPECT_NE(result.output.find("--serve-workers must be"), std::string::npos) << bad;
+    EXPECT_NE(result.output.find("(--serve-workers)"), std::string::npos) << bad;
+  }
+}
+
+TEST(ExperimentCli, NonPositiveBacklogRejectedWithLocator) {
+  for (const char* bad : {"0", "-3", "full"}) {
+    const auto result = run_experiment(
+        std::string("--serve /tmp/e2c_cli_test.sock --backlog ") + bad);
+    EXPECT_EQ(result.exit_code, 2) << bad;
+    EXPECT_NE(result.output.find("--backlog must be"), std::string::npos) << bad;
+    EXPECT_NE(result.output.find("(--backlog)"), std::string::npos) << bad;
+  }
+}
+
+TEST(ExperimentCli, SubmitWithoutSocketPathRejected) {
+  const auto result = run_experiment("--submit");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("missing value for --submit"), std::string::npos);
+}
+
+TEST(ExperimentCli, SubmitWithoutConfigRejected) {
+  const auto result = run_experiment("--submit /tmp/e2c_cli_test.sock");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--submit needs a CONFIG.ini"), std::string::npos);
+}
+
+TEST(ExperimentCli, ServeFlagsNeedServeMode) {
+  const auto workers =
+      run_experiment(data("experiment_example.ini") + " 1 --serve-workers 2");
+  EXPECT_EQ(workers.exit_code, 2);
+  EXPECT_NE(workers.output.find("--serve-workers needs --serve"), std::string::npos);
+  const auto backlog = run_experiment(data("experiment_example.ini") + " 1 --backlog 2");
+  EXPECT_EQ(backlog.exit_code, 2);
+  EXPECT_NE(backlog.output.find("--backlog needs --serve"), std::string::npos);
+}
+
+TEST(ExperimentCli, ServeAndSubmitAreMutuallyExclusive) {
+  const auto result = run_experiment("--serve /tmp/a.sock --submit /tmp/b.sock");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(ExperimentCli, ServeRejectsPositionalConfig) {
+  const auto result =
+      run_experiment("--serve /tmp/e2c_cli_test.sock " + data("experiment_example.ini"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--serve takes no CONFIG.ini"), std::string::npos);
+}
+
+TEST(ExperimentCli, SubmitToMissingSocketIsInvalidInput) {
+  const auto result = run_experiment("--submit /nonexistent/e2c.sock " +
+                                     data("experiment_example.ini"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("no service socket"), std::string::npos);
+}
+
 TEST(ExperimentCli, ReferenceSchedImplMatchesFastSweep) {
   const auto fast =
       run_experiment(data("experiment_example.ini") + " 1 --sched-impl fast");

@@ -1,0 +1,416 @@
+// Tests for the resident sweep service (exp/serve.hpp): the job codec, the
+// byte-identical-results guarantee against direct runs, worker crash
+// supervision, backlog busy-rejection, and SIGTERM drain. The service runs
+// as the real e2c_experiment binary (fork+exec) and clients use the library
+// submit_job path — the same split production uses. Fault injection uses the
+// worker-side E2C_SERVE_TEST_* env hooks (see serve.cpp), inherited through
+// the exec, so crashes and slow units are deterministic.
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/cell_codec.hpp"
+#include "exp/experiment.hpp"
+#include "exp/job_codec.hpp"
+#include "exp/journal.hpp"
+#include "exp/serve.hpp"
+#include "exp/spec_io.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/framing.hpp"
+#include "util/ini.hpp"
+
+namespace {
+
+namespace exp = e2c::exp;
+namespace util = e2c::util;
+
+#ifndef E2C_EXPERIMENT_BIN
+#error "E2C_EXPERIMENT_BIN must be defined by the build"
+#endif
+
+std::string config_text(std::uint64_t seed = 7) {
+  return "[sweep]\n"
+         "policies = FCFS, MECT\n"
+         "intensities = low, high\n"
+         "replications = 2\n"
+         "duration = 60\n"
+         "seed = " +
+         std::to_string(seed) + "\n";
+}
+
+std::string csv_of(const exp::ExperimentResult& result) {
+  return util::to_csv(exp::result_csv(result));
+}
+
+/// The ground truth a submitted job must match byte for byte: the same
+/// config run directly on the crash-isolated process backend.
+exp::ExperimentResult direct_run(const std::string& text) {
+  const auto spec = exp::spec_from_ini(util::IniFile::parse(text, "test config"));
+  exp::RunOptions options;
+  options.workers = 2;
+  options.backend = exp::Backend::kProcs;
+  return exp::run_experiment(spec, options);
+}
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+std::string temp_path(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+/// fork+execs `e2c_experiment --serve SOCKET extra...`; the child inherits
+/// the caller's environment (ScopedEnv hooks reach the service's workers).
+pid_t start_service(const std::string& socket_path,
+                    const std::vector<std::string>& extra,
+                    const std::string& stdout_path = {}) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (!stdout_path.empty()) {
+      if (std::freopen(stdout_path.c_str(), "w", stdout) == nullptr) ::_exit(97);
+    }
+    std::vector<std::string> args = {E2C_EXPERIMENT_BIN, "--serve", socket_path};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(E2C_EXPERIMENT_BIN, argv.data());
+    ::_exit(98);  // exec failed
+  }
+  return pid;
+}
+
+/// True when something is accepting connections on \p socket_path. The
+/// supervisor sees the probe as a client that hung up before submitting
+/// and just drops it.
+bool service_up(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool up =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+  ::close(fd);
+  return up;
+}
+
+/// Blocks until the service accepts connections (or ~5 s pass): submitting
+/// before listen() would read as a stale socket.
+void wait_for_service(const std::string& socket_path) {
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    if (service_up(socket_path)) return;
+    ::usleep(20 * 1000);
+  }
+  FAIL() << "service at " << socket_path << " never came up";
+}
+
+/// SIGTERMs the service and asserts the drain exits 0.
+void stop_service(pid_t pid) {
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---- codec ---------------------------------------------------------------
+
+TEST(JobCodec, FramesRoundTrip) {
+  util::ByteWriter writer;
+  exp::encode_job_submit(writer, {"[sweep]\npolicies = FCFS\n"});
+  const auto submit = exp::decode_job_submit(writer.bytes());
+  EXPECT_EQ(submit.ini_text, "[sweep]\npolicies = FCFS\n");
+  EXPECT_EQ(exp::peek_job_frame(writer.bytes()), exp::JobFrame::kSubmit);
+
+  writer.clear();
+  exp::encode_job_accepted(writer, {42, 6, 20, 8});
+  const auto accepted = exp::decode_job_accepted(writer.bytes());
+  EXPECT_EQ(accepted.job_id, 42u);
+  EXPECT_EQ(accepted.cells_total, 6u);
+  EXPECT_EQ(accepted.replications, 20u);
+  EXPECT_EQ(accepted.workers, 8u);
+
+  writer.clear();
+  exp::encode_job_busy(writer, {3, 4, 1});
+  const auto busy = exp::decode_job_busy(writer.bytes());
+  EXPECT_EQ(busy.in_service, 3u);
+  EXPECT_EQ(busy.backlog, 4u);
+  EXPECT_EQ(busy.draining, 1u);
+
+  writer.clear();
+  exp::encode_worker_run_unit(writer, {0xDEADBEEFu, 2, 5, 1});
+  const auto unit = exp::decode_worker_run_unit(writer.bytes());
+  EXPECT_EQ(unit.job_key, 0xDEADBEEFu);
+  EXPECT_EQ(unit.slot, 2u);
+  EXPECT_EQ(unit.rep, 5u);
+  EXPECT_EQ(unit.attempt, 1u);
+}
+
+TEST(JobCodec, RejectsCorruptFrames) {
+  util::ByteWriter writer;
+  exp::encode_job_accepted(writer, {1, 2, 3, 4});
+  const std::string payload(writer.bytes());
+  EXPECT_THROW((void)exp::decode_job_accepted(payload.substr(0, payload.size() / 2)),
+               e2c::InputError);
+  EXPECT_THROW((void)exp::decode_job_accepted(payload + "x"), e2c::InputError);
+  EXPECT_THROW((void)exp::decode_job_busy(payload), e2c::InputError);  // wrong kind
+  EXPECT_THROW((void)exp::peek_job_frame(""), e2c::InputError);
+  std::string wrong_version = payload;
+  wrong_version[0] = static_cast<char>(0x7F);
+  EXPECT_THROW((void)exp::peek_job_frame(wrong_version), e2c::InputError);
+}
+
+TEST(JobCodec, MetricsPayloadRoundTripsBitExactly) {
+  const auto spec = exp::spec_from_ini(util::IniFile::parse(config_text(), "t"));
+  const auto source = exp::run_experiment(spec, 2);
+  for (const auto& cell : source.cells) {
+    for (const auto& metrics : cell.runs) {
+      const auto decoded =
+          exp::decode_metrics_payload(exp::encode_metrics_payload(metrics));
+      EXPECT_EQ(decoded.total_tasks, metrics.total_tasks);
+      EXPECT_EQ(decoded.completion_percent, metrics.completion_percent);
+      EXPECT_EQ(decoded.total_energy_joules, metrics.total_energy_joules);
+      EXPECT_EQ(decoded.type_fairness_jain, metrics.type_fairness_jain);
+    }
+  }
+}
+
+TEST(JobCodec, JobKeyIsStableAndTextSensitive) {
+  EXPECT_EQ(exp::job_key_of("abc"), exp::job_key_of("abc"));
+  EXPECT_NE(exp::job_key_of("abc"), exp::job_key_of("abd"));
+  EXPECT_NE(exp::job_key_of(""), exp::job_key_of(" "));
+}
+
+// ---- service behavior ----------------------------------------------------
+
+TEST(Serve, TwoConcurrentClientsByteIdenticalToDirectRuns) {
+  const std::string text_a = config_text(7);
+  const std::string text_b = config_text(9);
+  const std::string expected_a = csv_of(direct_run(text_a));
+  const std::string expected_b = csv_of(direct_run(text_b));
+
+  const std::string socket_path = temp_path("serve_two.sock");
+  const pid_t service = start_service(socket_path, {"--serve-workers", "2"});
+  wait_for_service(socket_path);
+
+  // Two clients in flight at once: the pool interleaves both jobs' units.
+  exp::ExperimentResult result_a;
+  exp::ExperimentResult result_b;
+  std::string error_a;
+  std::string error_b;
+  std::thread client_a([&] {
+    try {
+      result_a = exp::submit_job(socket_path, text_a);
+    } catch (const std::exception& failure) {
+      error_a = failure.what();
+    }
+  });
+  std::thread client_b([&] {
+    try {
+      result_b = exp::submit_job(socket_path, text_b);
+    } catch (const std::exception& failure) {
+      error_b = failure.what();
+    }
+  });
+  client_a.join();
+  client_b.join();
+  ASSERT_EQ(error_a, "");
+  ASSERT_EQ(error_b, "");
+
+  EXPECT_EQ(csv_of(result_a), expected_a);
+  EXPECT_EQ(csv_of(result_b), expected_b);
+  EXPECT_EQ(result_a.health.completed_cells, 4u);
+  EXPECT_EQ(result_b.health.completed_cells, 4u);
+  EXPECT_EQ(result_a.health.workers, 2u);
+
+  // A repeat submission hits the warm caches and must not drift.
+  const auto again = exp::submit_job(socket_path, text_a);
+  EXPECT_EQ(csv_of(again), expected_a);
+
+  stop_service(service);
+}
+
+TEST(Serve, CrashedWorkerMidJobIsRequeuedAndClientGetsCompleteResult) {
+  const std::string text = config_text(7);
+  const std::string expected = csv_of(direct_run(text));
+
+  // Slot 1 rep 0 SIGKILLs its worker on the first attempt — a worker dying
+  // mid-job. The supervisor must respawn, requeue, and finish the sweep.
+  const ScopedEnv crash("E2C_SERVE_TEST_CRASH_UNIT", "1/0");
+  const std::string socket_path = temp_path("serve_crash.sock");
+  const pid_t service = start_service(socket_path, {"--serve-workers", "2"});
+  wait_for_service(socket_path);
+
+  const auto result = exp::submit_job(socket_path, text);
+  EXPECT_EQ(csv_of(result), expected);
+  EXPECT_EQ(result.health.completed_cells, 4u);
+  EXPECT_EQ(result.health.failed_cells, 0u);
+  EXPECT_GE(result.health.retries, 1u);
+  EXPECT_GE(result.cell("FCFS", e2c::workload::Intensity::kHigh).attempts, 2u);
+
+  stop_service(service);
+}
+
+TEST(Serve, BacklogOverflowIsBusyRejected) {
+  // One worker, 300 ms per unit, backlog 1: the first job occupies the
+  // service long enough for a second submit to bounce.
+  const ScopedEnv delay("E2C_SERVE_TEST_UNIT_DELAY_MS", "300");
+  const std::string socket_path = temp_path("serve_busy.sock");
+  const pid_t service =
+      start_service(socket_path, {"--serve-workers", "1", "--backlog", "1"});
+  wait_for_service(socket_path);
+
+  const std::string text = config_text(7);
+  exp::ExperimentResult slow_result;
+  std::string slow_error;
+  std::thread slow_client([&] {
+    try {
+      slow_result = exp::submit_job(socket_path, text);
+    } catch (const std::exception& failure) {
+      slow_error = failure.what();
+    }
+  });
+  ::usleep(400 * 1000);  // let the first job be admitted
+
+  try {
+    (void)exp::submit_job(socket_path, text);
+    FAIL() << "expected a busy rejection";
+  } catch (const e2c::IoError& busy) {
+    const std::string message = busy.what();
+    EXPECT_NE(message.find("busy"), std::string::npos) << message;
+    EXPECT_NE(message.find("backlog 1"), std::string::npos) << message;
+  }
+
+  slow_client.join();
+  ASSERT_EQ(slow_error, "");
+  EXPECT_EQ(slow_result.health.completed_cells, 4u);  // rejected ≠ disturbed
+
+  stop_service(service);
+}
+
+TEST(Serve, SigtermDrainsInFlightJobsJournalsAndExitsZero) {
+  const ScopedEnv delay("E2C_SERVE_TEST_UNIT_DELAY_MS", "150");
+  const std::string socket_path = temp_path("serve_drain.sock");
+  const std::string journal_prefix = temp_path("serve_drain_journal");
+  const std::string stdout_path = temp_path("serve_drain_stdout.txt");
+  const pid_t service = start_service(
+      socket_path, {"--serve-workers", "2", "--journal", journal_prefix},
+      stdout_path);
+  wait_for_service(socket_path);
+
+  // 8 units x 150 ms on 2 workers ≈ 600 ms of sweep: the SIGTERM lands
+  // mid-job, and the drain must still deliver the complete result.
+  const std::string text = config_text(7);
+  exp::ExperimentResult result;
+  std::string error;
+  std::thread client([&] {
+    try {
+      result = exp::submit_job(socket_path, text);
+    } catch (const std::exception& failure) {
+      error = failure.what();
+    }
+  });
+  ::usleep(250 * 1000);
+  ASSERT_EQ(::kill(service, SIGTERM), 0);
+
+  client.join();
+  ASSERT_EQ(error, "") << "drain must finish admitted jobs, not abort them";
+  EXPECT_EQ(result.health.completed_cells, 4u);
+  EXPECT_EQ(csv_of(result), csv_of(direct_run(text)));
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(service, &status, 0), service);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::ifstream out(stdout_path);
+  std::stringstream captured;
+  captured << out.rdbuf();
+  EXPECT_NE(captured.str().find("service drained"), std::string::npos)
+      << captured.str();
+
+  // The per-job journal recorded every cell of the drained-through job.
+  const auto contents = exp::read_journal(journal_prefix + ".job1");
+  EXPECT_EQ(contents.cells_total, 4u);
+  EXPECT_EQ(contents.cells.size(), 4u);
+  for (const auto& [slot, cell] : contents.cells) {
+    EXPECT_EQ(cell.status, exp::CellStatus::kOk);
+    EXPECT_EQ(cell.runs.size(), 2u);
+  }
+
+  // After the drain the socket is gone: a fresh submit says so clearly.
+  try {
+    (void)exp::submit_job(socket_path, text);
+    FAIL() << "expected a connection error after drain";
+  } catch (const e2c::InputError& gone) {
+    EXPECT_NE(std::string(gone.what()).find("no service socket"), std::string::npos)
+        << gone.what();
+  }
+}
+
+TEST(Serve, StaleSocketFileIsReplacedAndNonSocketRefused) {
+  // A socket file with no listener behind it (crashed service) must be
+  // replaced automatically...
+  const std::string socket_path = temp_path("serve_stale.sock");
+  {
+    const pid_t service = start_service(socket_path, {"--serve-workers", "1"});
+    wait_for_service(socket_path);
+    ASSERT_EQ(::kill(service, SIGKILL), 0);  // die without unlinking
+    int status = 0;
+    ASSERT_EQ(::waitpid(service, &status, 0), service);
+  }
+  ASSERT_EQ(::access(socket_path.c_str(), F_OK), 0) << "stale socket should linger";
+  {
+    const pid_t service = start_service(socket_path, {"--serve-workers", "1"});
+    wait_for_service(socket_path);
+    const auto result = exp::submit_job(socket_path, config_text(7));
+    EXPECT_EQ(result.health.completed_cells, 4u);
+    stop_service(service);
+  }
+
+  // ...but a regular file in the way is never clobbered.
+  const std::string decoy_path = temp_path("serve_decoy.txt");
+  {
+    std::ofstream decoy(decoy_path, std::ios::trunc);
+    decoy << "not a socket\n";
+  }
+  exp::ServeOptions options;
+  options.socket_path = decoy_path;
+  options.workers = 1;
+  options.drain_on_signals = false;
+  EXPECT_THROW((void)exp::run_serve(options), e2c::InputError);
+  std::ifstream still_there(decoy_path);
+  std::string line;
+  std::getline(still_there, line);
+  EXPECT_EQ(line, "not a socket");
+}
+
+}  // namespace

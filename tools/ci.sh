@@ -3,7 +3,8 @@
 # sanitizer(s) and runs ctest under each. Any sanitizer report fails the run.
 #
 # Usage: tools/ci.sh [suite ...]
-#   suites: asan | ubsan | tsan | bench | crash   (default: the three sanitizers)
+#   suites: asan | ubsan | tsan | bench | crash | serve
+#   (default: the three sanitizers)
 #   E2C_BUILD_ROOT overrides the build root (default: <repo>/build-san)
 #
 # The bench suite is a smoke test plus relative gates: it builds Release,
@@ -22,6 +23,12 @@
 # while kill -9'ing one worker process mid-cell, then asserts the result CSV
 # is byte-identical to the golden run and the sweep journal is valid — the
 # supervisor must detect the crash, requeue the cell, and keep going.
+#
+# The serve suite is an end-to-end smoke test of the resident sweep service:
+# it starts `e2c_experiment --serve`, submits two overlapping sweeps while
+# kill -9'ing one warm worker mid-job, and asserts both clients' CSVs are
+# byte-identical to a direct run, the per-job journals are complete, and
+# SIGTERM drains the service with exit 0.
 #
 # The tsan suite runs only the threaded tests (thread pool and the parallel
 # substrate-combo sweep) plus the I/O-contention suite, whose event
@@ -188,7 +195,8 @@ run_bench_smoke() {
   "${dir}/bench/bench_megarun" --out "${mega_out}"
   echo "=== bench: validate megarun JSON keys ==="
   for key in bench results policy lane tasks events seconds events_per_sec \
-             ns_per_event completion_percent peak_rss_kb scaling scaling_ratio; do
+             ns_per_event completion_percent peak_rss_kb rss_delta_kb \
+             scaling scaling_ratio; do
     grep -q "\"${key}\"" "${mega_out}" || {
       echo "bench smoke: key '${key}' missing from ${mega_out}" >&2
       exit 1
@@ -215,6 +223,40 @@ run_bench_smoke() {
     }
     echo "${policy}: megarun scaling ratio ${fresh} (baseline ${base}) ok"
   done
+
+  local serve_out="${dir}/BENCH_serve.json"
+  local serve_baseline="${ROOT}/BENCH_serve.json"
+  echo "=== bench: build resident-service throughput ==="
+  cmake --build "${dir}" --target bench_serve -j "${JOBS}"
+  echo "=== bench: run resident-service throughput (12 jobs per lane) ==="
+  "${dir}/bench/bench_serve" --jobs 12 --out "${serve_out}"
+  echo "=== bench: validate serve JSON keys ==="
+  for key in bench jobs workers distinct_configs results lane seconds \
+             jobs_per_sec p50_ms p99_ms speedup; do
+    grep -q "\"${key}\"" "${serve_out}" || {
+      echo "bench smoke: key '${key}' missing from ${serve_out}" >&2
+      exit 1
+    }
+  done
+  echo "=== bench: serve/spawn speedup regression gate ==="
+  # speedup = warm-service jobs/s over spawn-per-sweep jobs/s for the same
+  # job stream. Both lanes run on this host, so the ratio is
+  # machine-independent; a fresh run must stay within 70% of the committed
+  # baseline.
+  serve_speedup_of() {  # file
+    sed -n 's/.*"speedup": \([0-9.eE+-]*\).*/\1/p' "$1"
+  }
+  fresh="$(serve_speedup_of "${serve_out}")"
+  base="$(serve_speedup_of "${serve_baseline}")"
+  if [ -z "${fresh}" ] || [ -z "${base}" ]; then
+    echo "bench smoke: missing serve speedup (fresh='${fresh}' baseline='${base}')" >&2
+    exit 1
+  fi
+  awk -v fresh="${fresh}" -v base="${base}" 'BEGIN { exit !(fresh >= 0.7 * base) }' || {
+    echo "bench smoke: serve/spawn speedup regressed: ${fresh}x vs baseline ${base}x (floor 70%)" >&2
+    exit 1
+  }
+  echo "resident service: serve/spawn speedup ${fresh}x (baseline ${base}x) ok"
 
   echo "=== bench: PGO lane (profile-generate -> profile-use) ==="
   # Two-phase profile-guided build of the megarun: train on a 200k-task run,
@@ -327,6 +369,118 @@ INI
   echo "crash smoke passed"
 }
 
+run_serve_smoke() {
+  local dir="${BUILD_ROOT}/serve"
+  local work="${dir}/smoke"
+  echo "=== serve: configure (Release) ==="
+  cmake -S "${ROOT}" -B "${dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "=== serve: build e2c_experiment ==="
+  cmake --build "${dir}" --target e2c_experiment -j "${JOBS}"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  local bin="${dir}/src/cli/e2c_experiment"
+  local sweep="policies = FCFS, MECT
+intensities = low, high
+replications = 2
+duration = 60
+seed = 7"
+  for name in direct sub1 sub2; do
+    cat > "${work}/${name}.ini" <<INI
+[sweep]
+${sweep}
+
+[output]
+csv = ${work}/${name}.csv
+INI
+  done
+
+  echo "=== serve: golden direct run ==="
+  "${bin}" "${work}/direct.ini" 2 > "${work}/direct.out"
+
+  echo "=== serve: start service (2 warm workers) ==="
+  # The per-unit delay keeps workers inside a unit long enough to be shot.
+  E2C_SERVE_TEST_UNIT_DELAY_MS=100 \
+    "${bin}" --serve "${work}/serve.sock" --serve-workers 2 \
+    --journal "${work}/journal" > "${work}/serve.out" 2>&1 &
+  local service=$!
+  for _ in $(seq 1 100); do
+    [ -S "${work}/serve.sock" ] && break
+    sleep 0.05
+  done
+  if [ ! -S "${work}/serve.sock" ]; then
+    echo "serve smoke: service never bound its socket" >&2
+    kill "${service}" 2>/dev/null || true
+    exit 1
+  fi
+
+  echo "=== serve: submit two overlapping sweeps, kill -9 one worker ==="
+  "${bin}" --submit "${work}/serve.sock" "${work}/sub1.ini" > "${work}/sub1.out" &
+  local sub1=$!
+  "${bin}" --submit "${work}/serve.sock" "${work}/sub2.ini" > "${work}/sub2.out" &
+  local sub2=$!
+  local victim=""
+  for _ in $(seq 1 100); do
+    victim="$(pgrep -P "${service}" | head -n1 || true)"
+    [ -n "${victim}" ] && break
+    sleep 0.05
+  done
+  if [ -z "${victim}" ]; then
+    echo "serve smoke: service spawned no worker to kill" >&2
+    kill "${service}" "${sub1}" "${sub2}" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.2  # let the victim get a unit in flight
+  kill -9 "${victim}"
+  echo "killed worker pid ${victim}"
+  wait "${sub1}" || {
+    echo "serve smoke: first submission failed" >&2
+    cat "${work}/sub1.out" >&2
+    exit 1
+  }
+  wait "${sub2}" || {
+    echo "serve smoke: second submission failed" >&2
+    cat "${work}/sub2.out" >&2
+    exit 1
+  }
+
+  echo "=== serve: submitted CSVs must match the direct run byte-for-byte ==="
+  diff "${work}/direct.csv" "${work}/sub1.csv" || {
+    echo "serve smoke: first submission's CSV diverged from the direct run" >&2
+    exit 1
+  }
+  diff "${work}/direct.csv" "${work}/sub2.csv" || {
+    echo "serve smoke: second submission's CSV diverged from the direct run" >&2
+    exit 1
+  }
+
+  echo "=== serve: SIGTERM drain must exit 0 with complete journals ==="
+  kill -TERM "${service}"
+  wait "${service}" || {
+    echo "serve smoke: service exited nonzero on drain" >&2
+    cat "${work}/serve.out" >&2
+    exit 1
+  }
+  grep -q "service drained: 2 job" "${work}/serve.out" || {
+    echo "serve smoke: drain summary missing from service output" >&2
+    cat "${work}/serve.out" >&2
+    exit 1
+  }
+  for id in 1 2; do
+    local journal="${work}/journal.job${id}"
+    head -n1 "${journal}" | grep -q '^e2c-sweep-journal v1 ' || {
+      echo "serve smoke: bad journal header in ${journal}" >&2
+      exit 1
+    }
+    local cells
+    cells="$(grep -c '^cell ' "${journal}")"
+    if [ "${cells}" -ne 4 ]; then
+      echo "serve smoke: ${journal} records ${cells}/4 cells" >&2
+      exit 1
+    fi
+  done
+  echo "serve smoke passed"
+}
+
 run_suite() {
   local name="$1" sanitize="$2" filter="${3:-}"
   local dir="${BUILD_ROOT}/${name}"
@@ -358,10 +512,11 @@ for suite in "${suites[@]}"; do
   case "${suite}" in
     asan)  run_suite asan address ;;
     ubsan) run_suite ubsan undefined ;;
-    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention|test_task_state' ;;
+    tsan)  run_suite tsan thread 'test_thread_pool|test_substrate_combos|test_experiment_plane|test_io_contention|test_task_state|test_serve' ;;
     bench) run_bench_smoke ;;
     crash) run_crash_smoke ;;
-    *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench | crash)" >&2; exit 2 ;;
+    serve) run_serve_smoke ;;
+    *) echo "unknown suite '${suite}' (asan | ubsan | tsan | bench | crash | serve)" >&2; exit 2 ;;
   esac
 done
 
