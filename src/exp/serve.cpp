@@ -136,7 +136,11 @@ int make_listen_socket(const std::string& path) {
     throw InputError("--serve: '" + path +
                      "' exists and is not a socket — refusing to replace it");
   }
-  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  // Nonblocking listener: a pending connection that is aborted between
+  // poll() and accept() must make accept fail with EAGAIN, not block the
+  // supervisor until the next client shows up. Accepted connections do not
+  // inherit the flag; they rely on SO_RCVTIMEO/SO_SNDTIMEO instead.
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0));
   if (fd.get() < 0) {
     throw IoError(std::string("--serve: socket() failed: ") + std::strerror(errno));
   }
@@ -190,6 +194,8 @@ int connect_to_service(const std::string& path) {
 /// Fault-injection hooks for tests and the CI serve lane, matched on
 /// "slot/rep" (e.g. "1/0"):
 ///   E2C_SERVE_TEST_CRASH_UNIT    raise(SIGKILL) on the unit's first attempt
+///   E2C_SERVE_TEST_CRASH_ALWAYS  raise(SIGKILL) on every attempt — exhausts
+///                                retries and degrades the cell to kFailed
 ///   E2C_SERVE_TEST_HANG_UNIT     loop in pause() forever (every attempt)
 ///   E2C_SERVE_TEST_UNIT_DELAY_MS sleep before computing any unit
 bool unit_matches(const char* env, std::uint32_t slot, std::uint32_t rep) {
@@ -226,6 +232,7 @@ CachedJob* find_cached(std::deque<CachedJob>& cache, std::uint64_t key) {
   ::signal(SIGINT, SIG_IGN);
   ::signal(SIGTERM, SIG_IGN);
   const char* crash_unit = std::getenv("E2C_SERVE_TEST_CRASH_UNIT");
+  const char* crash_always = std::getenv("E2C_SERVE_TEST_CRASH_ALWAYS");
   const char* hang_unit = std::getenv("E2C_SERVE_TEST_HANG_UNIT");
   const char* delay_ms = std::getenv("E2C_SERVE_TEST_UNIT_DELAY_MS");
   std::deque<CachedJob> cache;
@@ -267,6 +274,9 @@ CachedJob* find_cached(std::deque<CachedJob>& cache, std::uint64_t key) {
           if (job == nullptr) ::_exit(3);  // supervisor mirror out of sync
           const Slot& slot = job->slots.at(unit.slot);
           if (unit.attempt == 0 && unit_matches(crash_unit, unit.slot, unit.rep)) {
+            ::raise(SIGKILL);
+          }
+          if (unit_matches(crash_always, unit.slot, unit.rep)) {
             ::raise(SIGKILL);
           }
           if (unit_matches(hang_unit, unit.slot, unit.rep)) {
@@ -416,34 +426,6 @@ std::size_t run_serve(const ServeOptions& options) {
     return fds;
   };
 
-  const auto handle_unit_failure = [&](ServeJob& job, const Unit& unit) {
-    if (job.slot_failed[unit.slot] != 0) return;  // cell already given up on
-    if (unit.attempt < options.max_retries) {
-      ++job.retries;
-      ++job.slot_retries[unit.slot];
-      const double backoff =
-          std::min(options.max_backoff,
-                   options.backoff_base * std::pow(options.backoff_factor,
-                                                   static_cast<double>(unit.attempt)));
-      ready.push_back({job.id, unit.slot, unit.rep, unit.attempt + 1,
-                       Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                          std::chrono::duration<double>(backoff))});
-      say("job " + std::to_string(job.id) + ": unit " + std::to_string(unit.slot) +
-          "/" + std::to_string(unit.rep) + " failed (attempt " +
-          std::to_string(unit.attempt + 1) + "), requeued");
-    } else {
-      job.slot_failed[unit.slot] = 1;
-      ready.erase(std::remove_if(ready.begin(), ready.end(),
-                                 [&](const Unit& pending) {
-                                   return pending.job_id == job.id &&
-                                          pending.slot == unit.slot;
-                                 }),
-                  ready.end());
-      say("job " + std::to_string(job.id) + ": cell " + std::to_string(unit.slot) +
-          " failed after " + std::to_string(unit.attempt + 1) + " attempts");
-    }
-  };
-
   /// Records a finished (ok or failed) cell: journal, stream to the client,
   /// bump counters. A write failure marks the client dead; the job is
   /// cancelled at the next finalize pass.
@@ -467,6 +449,47 @@ std::size_t run_serve(const ServeOptions& options) {
       util::write_frame_zc(job.client_fd, writer.bytes());
     } catch (const IoError&) {
       job.client_dead = true;
+    }
+  };
+
+  const auto handle_unit_failure = [&](ServeJob& job, const Unit& unit) {
+    if (job.slot_failed[unit.slot] != 0) return;  // cell already given up on
+    if (unit.attempt < options.max_retries) {
+      ++job.retries;
+      ++job.slot_retries[unit.slot];
+      const double backoff =
+          std::min(options.max_backoff,
+                   options.backoff_base * std::pow(options.backoff_factor,
+                                                   static_cast<double>(unit.attempt)));
+      ready.push_back({job.id, unit.slot, unit.rep, unit.attempt + 1,
+                       Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                          std::chrono::duration<double>(backoff))});
+      say("job " + std::to_string(job.id) + ": unit " + std::to_string(unit.slot) +
+          "/" + std::to_string(unit.rep) + " failed (attempt " +
+          std::to_string(unit.attempt + 1) + "), requeued");
+    } else {
+      // Retries exhausted: the whole cell degrades to kFailed. The failed
+      // cell still flows through emit_cell so the journal records it, the
+      // client receives it, and cells_done advances — otherwise the job
+      // could never finalize and both sides would wait forever.
+      job.slot_failed[unit.slot] = 1;
+      ready.erase(std::remove_if(ready.begin(), ready.end(),
+                                 [&](const Unit& pending) {
+                                   return pending.job_id == job.id &&
+                                          pending.slot == unit.slot;
+                                 }),
+                  ready.end());
+      for (std::uint32_t rep = 0; rep < job.reps; ++rep) {
+        job.metrics[unit.slot * job.reps + rep].reset();
+      }
+      CellResult failed;
+      failed.policy = job.slots[unit.slot].policy;
+      failed.intensity = job.slots[unit.slot].intensity;
+      failed.status = CellStatus::kFailed;
+      failed.attempts = unit.attempt + 1;
+      say("job " + std::to_string(job.id) + ": cell " + std::to_string(unit.slot) +
+          " failed after " + std::to_string(unit.attempt + 1) + " attempts");
+      emit_cell(job, unit.slot, failed);
     }
   };
 
@@ -555,9 +578,16 @@ std::size_t run_serve(const ServeOptions& options) {
     const int raw_fd = ::accept(listen_fd, nullptr, nullptr);
     if (raw_fd < 0) return;
     FdGuard fd(raw_fd);
+    // A stalled client must not wedge the single-threaded supervisor in
+    // either direction: a submitter that never finishes its frame (read
+    // side) or a receiver that stops draining its socket buffer (write
+    // side, e.g. SIGSTOPed). The timeouts stick to the fd, so every later
+    // emit_cell / done-frame write is covered too; a timed-out write throws
+    // IoError, which marks the client dead exactly like a hangup.
     timeval timeout{};
-    timeout.tv_sec = 5;  // a stalled submitter must not wedge the supervisor
+    timeout.tv_sec = 5;
     ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
     try {
       if (!util::read_frame_into(fd.get(), frame)) return;
       if (peek_job_frame(frame) != JobFrame::kSubmit) return;

@@ -279,6 +279,58 @@ TEST(Serve, CrashedWorkerMidJobIsRequeuedAndClientGetsCompleteResult) {
   stop_service(service);
 }
 
+TEST(Serve, RetriesExhaustedDegradesCellAndClientStillCompletes) {
+  // Unit 1/0 SIGKILLs its worker on EVERY attempt: retries run out and the
+  // cell must degrade to kFailed — journaled, streamed to the client, and
+  // counted toward completion. Before the fix the supervisor dropped the
+  // cell silently, so the client blocked forever on a job that could never
+  // finalize and a drain never finished.
+  const ScopedEnv crash("E2C_SERVE_TEST_CRASH_ALWAYS", "1/0");
+  const std::string socket_path = temp_path("serve_exhaust.sock");
+  const std::string journal_prefix = temp_path("serve_exhaust_journal");
+  const pid_t service = start_service(
+      socket_path,
+      {"--serve-workers", "2", "--max-retries", "1", "--journal", journal_prefix});
+  wait_for_service(socket_path);
+
+  const auto result = exp::submit_job(socket_path, config_text(7));
+  EXPECT_EQ(result.health.completed_cells, 3u);
+  EXPECT_EQ(result.health.failed_cells, 1u);
+  EXPECT_GE(result.health.retries, 1u);
+
+  // Slot 1 is FCFS/high (policy-major, intensity-minor slot order).
+  const auto& degraded = result.cell("FCFS", e2c::workload::Intensity::kHigh);
+  EXPECT_EQ(degraded.status, exp::CellStatus::kFailed);
+  EXPECT_TRUE(degraded.runs.empty());
+  EXPECT_EQ(degraded.attempts, 2u);  // --max-retries 1 → initial + 1 retry
+  for (const auto* policy : {"FCFS", "MECT"}) {
+    for (const auto intensity :
+         {e2c::workload::Intensity::kLow, e2c::workload::Intensity::kHigh}) {
+      const auto& cell = result.cell(policy, intensity);
+      if (&cell == &degraded) continue;
+      EXPECT_EQ(cell.status, exp::CellStatus::kOk);
+      EXPECT_EQ(cell.runs.size(), 2u);
+    }
+  }
+
+  // The journal recorded the degraded cell alongside the ok ones.
+  const auto contents = exp::read_journal(journal_prefix + ".job1");
+  EXPECT_EQ(contents.cells_total, 4u);
+  EXPECT_EQ(contents.cells.size(), 4u);
+  std::size_t journaled_failures = 0;
+  for (const auto& [slot, cell] : contents.cells) {
+    if (cell.status == exp::CellStatus::kFailed) {
+      ++journaled_failures;
+      EXPECT_EQ(slot, 1u);
+    }
+  }
+  EXPECT_EQ(journaled_failures, 1u);
+
+  // The degraded job must not linger in the backlog: the drain sees an
+  // empty service and exits 0 promptly.
+  stop_service(service);
+}
+
 TEST(Serve, BacklogOverflowIsBusyRejected) {
   // One worker, 300 ms per unit, backlog 1: the first job occupies the
   // service long enough for a second submit to bounce.
